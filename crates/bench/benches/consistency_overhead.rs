@@ -1,0 +1,41 @@
+//! E2 — cost of checking every update against the consistency information, both on the SPADES
+//! workload (checks on vs. off) and as a function of schema complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seed_core::Database;
+
+fn workload_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_consistency_workload");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let workload = seed_bench::spades_workload(60);
+    group.bench_function("checks_on", |b| b.iter(|| seed_bench::run_on_seed(&workload, true)));
+    group.bench_function("checks_off", |b| b.iter(|| seed_bench::run_on_seed(&workload, false)));
+    group.finish();
+}
+
+fn schema_width_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_schema_width");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for width in [1usize, 4, 16] {
+        let schema = seed_bench::wide_schema(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &schema, |b, schema| {
+            b.iter(|| {
+                let mut db = Database::new(schema.clone());
+                let hub = db.create_object("Hub", "Hub").unwrap();
+                for i in 0..50 {
+                    let node = db.create_object("Node", &format!("Node{i:03}")).unwrap();
+                    db.create_relationship("Link0", &[("node", node), ("hub", hub)]).unwrap();
+                }
+                db.object_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, workload_checking, schema_width_sweep);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! E8 — the two-level multi-user extension: check-out / check-in cycle cost and conflict rate as
+//! the number of clients sharing a working set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seed_core::{Database, Value};
+use seed_schema::figure3_schema;
+use seed_server::{SeedServer, Update};
+
+fn server_with_objects(n: usize) -> SeedServer {
+    let mut db = Database::new(figure3_schema());
+    for i in 0..n {
+        db.create_object("Data", &format!("Shared{i:03}")).unwrap();
+    }
+    SeedServer::new(db)
+}
+
+fn checkout_checkin_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_checkout_checkin");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for clients in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, &clients| {
+            let server = server_with_objects(clients.max(1));
+            b.iter(|| {
+                let mut applied = 0usize;
+                for c in 0..clients {
+                    let client = (c + 1) as u64;
+                    let target = format!("Shared{c:03}");
+                    server.checkout(client, &[&target]).unwrap();
+                    server
+                        .checkin(
+                            client,
+                            &[Update::SetValue { object: target.clone(), value: Value::Undefined }],
+                        )
+                        .unwrap();
+                    applied += 1;
+                }
+                applied
+            })
+        });
+    }
+    group.finish();
+}
+
+fn conflict_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_conflicts");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // All clients want the same object: every cycle after the first in a round conflicts.
+    for clients in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, &clients| {
+            let server = server_with_objects(1);
+            b.iter(|| {
+                // Everyone tries to check the same object out before anyone checks in: only the
+                // first client succeeds, the rest observe lock conflicts.
+                let mut winners = Vec::new();
+                let mut conflicts = 0usize;
+                for c in 0..clients {
+                    let client = (c + 1) as u64;
+                    match server.checkout(client, &["Shared000"]) {
+                        Ok(_) => winners.push(client),
+                        Err(_) => conflicts += 1,
+                    }
+                }
+                for client in winners {
+                    server
+                        .checkin(
+                            client,
+                            &[Update::SetValue {
+                                object: "Shared000".to_string(),
+                                value: Value::Undefined,
+                            }],
+                        )
+                        .unwrap();
+                }
+                conflicts
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, checkout_checkin_cycle, conflict_rate);
+criterion_main!(benches);

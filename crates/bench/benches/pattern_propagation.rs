@@ -1,0 +1,47 @@
+//! E4 — pattern inheritance: cost of reading the materialized view as the number of inheritors
+//! grows, and of establishing new inherits-relationships.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn materialized_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_materialized_reads");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for inheritors in [10usize, 100, 1000] {
+        let (db, _pattern, members) = seed_bench::pattern_with_inheritors(inheritors);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(inheritors),
+            &(db, members),
+            |b, (db, members)| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for m in members {
+                        total += db.relationships(*m).len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn inheritance_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_inherit_setup");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for inheritors in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(inheritors), &inheritors, |b, &n| {
+            b.iter(|| {
+                let (db, pattern, members) = seed_bench::pattern_with_inheritors(n);
+                (db.inheritors_of(pattern).len(), members.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, materialized_reads, inheritance_setup);
+criterion_main!(benches);

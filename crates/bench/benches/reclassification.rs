@@ -1,0 +1,64 @@
+//! E5 — re-classification: the cost of making vague information precise, swept over the number
+//! of relationships attached to the item being re-classified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seed_core::Database;
+use seed_schema::figure3_schema;
+
+fn object_reclassification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_object_reclassification");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // An object with `rels` attached relationships: each re-classification must re-validate them.
+    for rels in [0usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(rels), &rels, |b, &rels| {
+            b.iter_with_setup(
+                || {
+                    let mut db = Database::new(figure3_schema());
+                    let data = db.create_object("Data", "Subject").unwrap();
+                    for i in 0..rels {
+                        let action = db.create_object("Action", &format!("A{i:03}")).unwrap();
+                        db.create_relationship("Access", &[("from", data), ("by", action)]).unwrap();
+                    }
+                    (db, data)
+                },
+                |(mut db, data)| {
+                    db.reclassify_object(data, "OutputData").unwrap();
+                    db
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn relationship_reclassification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_relationship_reclassification");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let (mut db, objects, rels) = seed_bench::vague_database(n);
+                    for id in &objects {
+                        db.reclassify_object(*id, "OutputData").unwrap();
+                    }
+                    (db, rels)
+                },
+                |(mut db, rels)| {
+                    for id in &rels {
+                        db.reclassify_relationship(*id, "Write").unwrap();
+                    }
+                    db
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, object_reclassification, relationship_reclassification);
+criterion_main!(benches);

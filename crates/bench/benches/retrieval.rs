@@ -1,0 +1,45 @@
+//! E6 — retrieval by name (the prototype's primary access path), name-prefix scans and query
+//! execution, swept over database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn retrieval_by_name(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_retrieval_by_name");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for size in [100usize, 1000, 5000] {
+        let db = seed_bench::populated_database(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &db, |b, db| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 997) % size;
+                db.object_by_name(&format!("Data{i:05}")).unwrap().id
+            })
+        });
+    }
+    group.finish();
+}
+
+fn prefix_and_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_prefix_and_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let db = seed_bench::populated_database(2000);
+    group.bench_function("prefix_scan", |b| b.iter(|| db.objects_with_name_prefix("Data01").len()));
+    group.bench_function("query_count_class", |b| {
+        b.iter(|| seed_query::run(&db, "count Data").unwrap().count())
+    });
+    group.bench_function("query_navigate", |b| {
+        b.iter(|| {
+            seed_query::run(&db, r#"find Action navigate Access.by from "Data00042""#)
+                .unwrap()
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, retrieval_by_name, prefix_and_query);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E1 — the paper's qualitative claim: SPADES on SEED is "considerably slower" than the direct
+//! implementation (but more flexible).  Measures the same editing workload on both backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_spades_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for scale in [40usize, 80] {
+        let workload = seed_bench::spades_workload(scale);
+        group.bench_with_input(BenchmarkId::new("direct", scale), &workload, |b, w| {
+            b.iter(|| seed_bench::run_on_direct(w))
+        });
+        group.bench_with_input(BenchmarkId::new("seed", scale), &workload, |b, w| {
+            b.iter(|| seed_bench::run_on_seed(w, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E3 — delta-based version storage: snapshot cost and view-reconstruction latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seed_core::VersionId;
+
+fn snapshot_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_snapshot_cost");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // Snapshot cost depends on the number of *changed* items, not the database size.
+    for changes in [5usize, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(changes), &changes, |b, &changes| {
+            b.iter(|| {
+                let db = seed_bench::versioned_database(200, 3, changes);
+                db.version_manager().stored_snapshot_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn view_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_view_reconstruction");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for versions in [2usize, 10, 30] {
+        let db = seed_bench::versioned_database(200, versions, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(versions), &db, |b, db| {
+            b.iter(|| db.version_manager().view(&VersionId::initial()).unwrap().live_object_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, snapshot_cost, view_reconstruction);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # seed-bench
+//!
+//! Benchmark harness of the SEED reproduction.
+//!
+//! The 1986 paper has no quantitative tables; its evaluation is the experience of running SPADES
+//! on SEED ("considerably slower, but much more flexible") plus the design decisions the text
+//! motivates (consistency checking on every update, delta-based version storage, pattern
+//! propagation, re-classification, retrieval by name).  Each benchmark in `benches/` regenerates
+//! one row of `EXPERIMENTS.md`; the [`report`] module prints the same rows quickly (without
+//! Criterion's statistics) via `cargo run -p seed-bench --release`.
+//!
+//! The helpers in this crate build databases and workloads of controlled size so that the
+//! Criterion benches and the quick report measure exactly the same scenarios.
+
+pub mod report;
+pub mod scenarios;
+
+pub use report::run_report;
+pub use scenarios::*;

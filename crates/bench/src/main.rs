@@ -1,0 +1,7 @@
+//! Prints the quick evaluation report (one row per experiment in `EXPERIMENTS.md`).
+//!
+//! Run with `cargo run -p seed-bench --release`.
+
+fn main() {
+    seed_bench::run_report();
+}

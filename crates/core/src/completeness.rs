@@ -1,0 +1,504 @@
+//! Completeness analysis.
+//!
+//! "Minimum cardinalities and covering conditions for generalizations represent completeness
+//! information."  They are deliberately *not* enforced on updates — that is what lets SEED
+//! accept incomplete data — but the development must eventually become "sufficiently formal,
+//! complete, and precise to serve as a basis for implementation".  "Formal detection of
+//! incompleteness is provided by operations which check the rules that are derivable from the
+//! completeness conditions in the schema."
+//!
+//! [`analyze`] is that operation: it scans the visible database and reports every completeness
+//! finding without modifying anything.
+
+use std::fmt;
+
+use seed_schema::{GeneralizationHierarchy, Schema};
+
+use crate::ident::{ObjectId, RelationshipId};
+use crate::store::DataStore;
+
+/// One incompleteness finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Incompleteness {
+    /// An object participates in fewer relationships of an association (in a given role) than
+    /// the role's minimum cardinality requires.
+    MissingRelationships {
+        /// The object that is missing relationships.
+        object: ObjectId,
+        /// The object's name.
+        object_name: String,
+        /// Association whose minimum is not met.
+        association: String,
+        /// Role of the object in the missing relationships.
+        role: String,
+        /// Required minimum.
+        required: u32,
+        /// Actual count.
+        actual: u32,
+    },
+    /// An object has fewer dependent objects of a class than the occurrence minimum requires.
+    MissingDependents {
+        /// The incomplete parent object.
+        object: ObjectId,
+        /// The parent object's name.
+        object_name: String,
+        /// Dependent class whose minimum is not met.
+        dependent_class: String,
+        /// Required minimum.
+        required: u32,
+        /// Actual count.
+        actual: u32,
+    },
+    /// An object still sits at a covering generalized class and must eventually be specialized.
+    UnspecializedObject {
+        /// The object.
+        object: ObjectId,
+        /// The object's name.
+        object_name: String,
+        /// The covering class it still belongs to.
+        class: String,
+    },
+    /// A relationship still sits at a covering generalized association.
+    UnspecializedRelationship {
+        /// The relationship.
+        relationship: RelationshipId,
+        /// The covering association it still belongs to.
+        association: String,
+    },
+    /// An object of a value class still has an undefined value.
+    UndefinedValue {
+        /// The object.
+        object: ObjectId,
+        /// The object's name.
+        object_name: String,
+        /// The class whose domain awaits a value.
+        class: String,
+    },
+    /// A relationship lacks a required attribute value.
+    MissingAttribute {
+        /// The relationship.
+        relationship: RelationshipId,
+        /// Its association.
+        association: String,
+        /// The required attribute that is absent or undefined.
+        attribute: String,
+    },
+}
+
+impl Incompleteness {
+    /// The name of the item concerned (object name or association name).
+    pub fn subject(&self) -> &str {
+        match self {
+            Incompleteness::MissingRelationships { object_name, .. }
+            | Incompleteness::MissingDependents { object_name, .. }
+            | Incompleteness::UnspecializedObject { object_name, .. }
+            | Incompleteness::UndefinedValue { object_name, .. } => object_name,
+            Incompleteness::UnspecializedRelationship { association, .. }
+            | Incompleteness::MissingAttribute { association, .. } => association,
+        }
+    }
+}
+
+impl fmt::Display for Incompleteness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Incompleteness::MissingRelationships { object_name, association, role, required, actual, .. } => {
+                write!(
+                    f,
+                    "'{object_name}' needs at least {required} '{association}' relationship(s) as '{role}' (has {actual})"
+                )
+            }
+            Incompleteness::MissingDependents { object_name, dependent_class, required, actual, .. } => {
+                write!(
+                    f,
+                    "'{object_name}' needs at least {required} dependent(s) of class '{dependent_class}' (has {actual})"
+                )
+            }
+            Incompleteness::UnspecializedObject { object_name, class, .. } => {
+                write!(f, "'{object_name}' must eventually be specialized below covering class '{class}'")
+            }
+            Incompleteness::UnspecializedRelationship { relationship, association } => {
+                write!(f, "relationship {relationship} must eventually be specialized below covering association '{association}'")
+            }
+            Incompleteness::UndefinedValue { object_name, class, .. } => {
+                write!(f, "'{object_name}' of class '{class}' still has an undefined value")
+            }
+            Incompleteness::MissingAttribute { association, attribute, .. } => {
+                write!(f, "a '{association}' relationship lacks required attribute '{attribute}'")
+            }
+        }
+    }
+}
+
+/// The result of a completeness analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompletenessReport {
+    /// Every finding, in a stable (object-id then kind) order.
+    pub findings: Vec<Incompleteness>,
+}
+
+impl CompletenessReport {
+    /// Whether the database is complete.
+    pub fn is_complete(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Whether there are no findings.
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings concerning a particular object name.
+    pub fn for_subject(&self, subject: &str) -> Vec<&Incompleteness> {
+        self.findings.iter().filter(|f| f.subject() == subject).collect()
+    }
+}
+
+impl fmt::Display for CompletenessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return writeln!(f, "database is complete");
+        }
+        writeln!(f, "{} incompleteness finding(s):", self.findings.len())?;
+        for finding in &self.findings {
+            writeln!(f, "  - {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyzes the store for incompleteness with respect to the schema's completeness information.
+///
+/// Pattern items are skipped (they are invisible until inherited); relationships materialized
+/// through pattern inheritance count towards the inheritor's obligations.
+pub fn analyze(schema: &Schema, store: &DataStore) -> CompletenessReport {
+    let hierarchy = GeneralizationHierarchy::new(schema);
+    let mut findings = Vec::new();
+
+    let mut objects: Vec<_> = store.visible_objects().collect();
+    objects.sort_by_key(|o| o.id);
+
+    for object in &objects {
+        let object_name = object.name.to_string();
+        let Ok(class_def) = schema.class(object.class) else { continue };
+
+        // (1) Minimum role cardinalities: for every association role this object's class must
+        // eventually fill, count its live participations across the association's hierarchy,
+        // including relationships inherited from patterns.
+        for (assoc, role) in schema.completeness_obligations(object.class) {
+            let role_index = assoc.role_index(&role.name).unwrap_or(0);
+            let mut count = 0u32;
+            // Direct participations in the association or any of its specializations.
+            let mut hierarchy_ids = schema.association_descendants(assoc.id);
+            hierarchy_ids.push(assoc.id);
+            for rel in store.relationships_of(object.id) {
+                if rel.is_pattern {
+                    continue;
+                }
+                if hierarchy_ids.contains(&rel.association)
+                    && rel.bindings.get(role_index).map(|(_, o)| *o) == Some(object.id)
+                {
+                    count += 1;
+                }
+            }
+            // Participations inherited from patterns: a pattern the object inherits may be bound
+            // in relationships that materialize in the object's context.
+            for pattern in store.inherited_patterns(object.id) {
+                for rel in store.relationships_of(pattern) {
+                    if hierarchy_ids.contains(&rel.association)
+                        && rel.bindings.get(role_index).map(|(_, o)| *o) == Some(pattern)
+                    {
+                        count += 1;
+                    }
+                }
+            }
+            if count < role.cardinality.min {
+                findings.push(Incompleteness::MissingRelationships {
+                    object: object.id,
+                    object_name: object_name.clone(),
+                    association: assoc.name.clone(),
+                    role: role.name.clone(),
+                    required: role.cardinality.min,
+                    actual: count,
+                });
+            }
+        }
+
+        // (2) Minimum occurrences of dependent classes.
+        for dependent in schema.dependent_classes(object.class) {
+            if dependent.occurrence.min == 0 {
+                continue;
+            }
+            let actual = store
+                .children_of_class(object.id, dependent.id)
+                .iter()
+                .filter(|c| !c.is_pattern)
+                .count() as u32;
+            if actual < dependent.occurrence.min {
+                findings.push(Incompleteness::MissingDependents {
+                    object: object.id,
+                    object_name: object_name.clone(),
+                    dependent_class: dependent.name.clone(),
+                    required: dependent.occurrence.min,
+                    actual,
+                });
+            }
+        }
+
+        // (3) Covering classes: the object must eventually move to a specialization.
+        if class_def.covering && !schema.subclasses(object.class).is_empty() {
+            findings.push(Incompleteness::UnspecializedObject {
+                object: object.id,
+                object_name: object_name.clone(),
+                class: class_def.name.clone(),
+            });
+        }
+
+        // (4) Undefined values of value classes.
+        if class_def.domain.is_some() && object.value.is_undefined() {
+            findings.push(Incompleteness::UndefinedValue {
+                object: object.id,
+                object_name: object_name.clone(),
+                class: class_def.name.clone(),
+            });
+        }
+        let _ = &hierarchy;
+    }
+
+    // (5) Covering associations and (6) required relationship attributes.
+    let mut relationships: Vec<_> = store.all_relationships().filter(|r| r.is_visible()).collect();
+    relationships.sort_by_key(|r| r.id);
+    for rel in relationships {
+        let Ok(assoc_def) = schema.association(rel.association) else { continue };
+        if assoc_def.covering && !schema.subassociations(rel.association).is_empty() {
+            findings.push(Incompleteness::UnspecializedRelationship {
+                relationship: rel.id,
+                association: assoc_def.name.clone(),
+            });
+        }
+        for ancestor in schema.association_ancestors(rel.association) {
+            let Ok(ancestor_def) = schema.association(ancestor) else { continue };
+            for attr in &ancestor_def.attributes {
+                if !attr.required {
+                    continue;
+                }
+                let present = rel
+                    .attributes
+                    .get(&attr.name)
+                    .map(|v| !v.is_undefined())
+                    .unwrap_or(false);
+                if !present {
+                    findings.push(Incompleteness::MissingAttribute {
+                        relationship: rel.id,
+                        association: assoc_def.name.clone(),
+                        attribute: attr.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    CompletenessReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ObjectName;
+    use crate::object::ObjectRecord;
+    use crate::relationship::RelationshipRecord;
+    use crate::value::Value;
+    use seed_schema::figure3_schema;
+
+    struct Fixture {
+        schema: Schema,
+        store: DataStore,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self { schema: figure3_schema(), store: DataStore::new() }
+        }
+
+        fn add_object(&mut self, name: &str, class: &str) -> ObjectId {
+            let class = self.schema.class_id(class).unwrap();
+            let id = self.store.allocate_object_id();
+            self.store.insert_object(ObjectRecord::new(id, class, ObjectName::root(name), None));
+            id
+        }
+
+        fn add_relationship(&mut self, assoc: &str, bindings: Vec<(&str, ObjectId)>) -> RelationshipId {
+            let assoc = self.schema.association_id(assoc).unwrap();
+            let id = self.store.allocate_relationship_id();
+            self.store.insert_relationship(RelationshipRecord::new(
+                id,
+                assoc,
+                bindings.into_iter().map(|(r, o)| (r.to_string(), o)).collect(),
+            ));
+            id
+        }
+    }
+
+    #[test]
+    fn empty_database_is_complete() {
+        let fx = Fixture::new();
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(report.is_complete());
+        assert!(report.to_string().contains("complete"));
+    }
+
+    #[test]
+    fn thing_object_is_incomplete_until_specialized() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Thing");
+        let report = analyze(&fx.schema, &fx.store);
+        // Thing is covering, so 'Alarms' must be specialized eventually.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Incompleteness::UnspecializedObject { object, .. } if *object == alarms)));
+        // Specialize to Data: the covering finding disappears, but Data's role minima appear.
+        let data = fx.schema.class_id("Data").unwrap();
+        fx.store.update_object(alarms, |o| o.class = data);
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Incompleteness::UnspecializedObject { .. })));
+    }
+
+    #[test]
+    fn action_needs_an_access_relationship() {
+        let mut fx = Fixture::new();
+        let sensor = fx.add_object("Sensor", "Action");
+        let report = analyze(&fx.schema, &fx.store);
+        // 'Access by' has minimum 1..*: every Action must eventually access some Data.
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Incompleteness::MissingRelationships { object, association, .. }
+                if *object == sensor && association == "Access"
+        )));
+        // Adding an Access (or any specialization) satisfies it.
+        let alarms = fx.add_object("Alarms", "Data");
+        fx.add_relationship("Access", vec![("from", alarms), ("by", sensor)]);
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(!report.findings.iter().any(|f| matches!(
+            f,
+            Incompleteness::MissingRelationships { object, .. } if *object == sensor
+        )));
+    }
+
+    #[test]
+    fn specialized_relationship_satisfies_generalized_minimum() {
+        let mut fx = Fixture::new();
+        let sensor = fx.add_object("Sensor", "Action");
+        let alarms = fx.add_object("Alarms", "OutputData");
+        fx.add_relationship("Write", vec![("to", alarms), ("by", sensor)]);
+        let report = analyze(&fx.schema, &fx.store);
+        // The Write relationship counts towards 'Access by: 1..*' for Sensor and towards
+        // 'Write to: 1..*' for Alarms.
+        assert!(!report.findings.iter().any(|f| matches!(
+            f,
+            Incompleteness::MissingRelationships { object, .. } if *object == sensor
+        )));
+        assert!(!report.findings.iter().any(|f| matches!(
+            f,
+            Incompleteness::MissingRelationships { object, association, .. }
+                if *object == alarms && association == "Write"
+        )));
+    }
+
+    #[test]
+    fn data_object_missing_read_and_write() {
+        let mut fx = Fixture::new();
+        // Figure 3: InputData must be read (1..*), OutputData must be written (1..*).
+        let input = fx.add_object("ProcessData", "InputData");
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Incompleteness::MissingRelationships { object, association, .. }
+                if *object == input && association == "Read"
+        )));
+    }
+
+    #[test]
+    fn undefined_value_and_missing_attribute_reported() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "OutputData");
+        let sensor = fx.add_object("Sensor", "Action");
+        // A Selector sub-object with no value yet.
+        let selector_class = fx.schema.class_id("Data.Text.Selector").unwrap();
+        let sel_id = fx.store.allocate_object_id();
+        fx.store.insert_object(ObjectRecord::new(
+            sel_id,
+            selector_class,
+            ObjectName::parse("Alarms.Text.Selector").unwrap(),
+            Some(alarms),
+        ));
+        // A Write relationship without the required NumberOfWrites attribute.
+        fx.add_relationship("Write", vec![("to", alarms), ("by", sensor)]);
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(report.findings.iter().any(|f| matches!(f, Incompleteness::UndefinedValue { object, .. } if *object == sel_id)));
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Incompleteness::MissingAttribute { attribute, .. } if attribute == "NumberOfWrites"
+        )));
+        // Filling the value and the attribute clears both findings.
+        fx.store.update_object(sel_id, |o| o.value = Value::string("Representation"));
+        let rels: Vec<_> = fx.store.relationships_of(alarms).iter().map(|r| r.id).collect();
+        fx.store.update_relationship(rels[0], |r| {
+            r.attributes.insert("NumberOfWrites".into(), Value::Integer(2));
+        });
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(!report.findings.iter().any(|f| matches!(f, Incompleteness::UndefinedValue { .. })));
+        assert!(!report.findings.iter().any(|f| matches!(f, Incompleteness::MissingAttribute { .. })));
+    }
+
+    #[test]
+    fn covering_association_reported_until_specialized() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Data");
+        let sensor = fx.add_object("Sensor", "Action");
+        let rel = fx.add_relationship("Access", vec![("from", alarms), ("by", sensor)]);
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Incompleteness::UnspecializedRelationship { relationship, .. } if *relationship == rel
+        )));
+        // Specialize the relationship to Read: finding disappears.
+        let read = fx.schema.association_id("Read").unwrap();
+        fx.store.update_relationship(rel, |r| r.association = read);
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Incompleteness::UnspecializedRelationship { .. })));
+    }
+
+    #[test]
+    fn patterns_are_ignored_by_the_analysis() {
+        let mut fx = Fixture::new();
+        let pattern = fx.add_object("PatternThing", "Thing");
+        fx.store.update_object(pattern, |o| o.is_pattern = true);
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(report.is_complete(), "{report}");
+    }
+
+    #[test]
+    fn report_filters_by_subject() {
+        let mut fx = Fixture::new();
+        fx.add_object("Sensor", "Action");
+        fx.add_object("Display", "Action");
+        let report = analyze(&fx.schema, &fx.store);
+        assert!(!report.for_subject("Sensor").is_empty());
+        assert!(!report.for_subject("Display").is_empty());
+        assert!(report.for_subject("Ghost").is_empty());
+        assert_eq!(report.len(), report.findings.len());
+        assert!(!report.is_empty());
+    }
+}

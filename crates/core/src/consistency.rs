@@ -1,0 +1,1215 @@
+//! The consistency checker.
+//!
+//! "Whenever an update operation is executed, SEED checks all consistency rules that are
+//! derivable from the consistency information (...) and that apply to the data being updated.
+//! Thus SEED permanently ensures database consistency."
+//!
+//! Consistency information comprises: class and association membership, value domains,
+//! **maximum** cardinalities (of dependent classes and of association roles), ACYCLIC
+//! conditions, and attached procedures.  Minimum cardinalities and covering conditions are
+//! *completeness* information and are handled by [`crate::completeness`] instead — this split is
+//! precisely how SEED admits incomplete data without giving up consistency checking.
+//!
+//! Pattern items are not checked ("patterns (...) are not checked for consistency unless they
+//! are inherited by a 'normal' data item"); the checks run against the materialized view when a
+//! pattern is inherited.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use seed_schema::{
+    AssociationId, AttachedProcedure, ClassId, GeneralizationHierarchy, ProcedureEvent, Schema,
+};
+
+use crate::ident::{ItemId, ObjectId, RelationshipId};
+use crate::object::ObjectRecord;
+use crate::procedures::{ProcedureContext, ProcedureRegistry};
+use crate::relationship::RelationshipRecord;
+use crate::store::DataStore;
+use crate::value::Value;
+
+/// A single consistency problem detected by the checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsistencyViolation {
+    /// A dependent class instance was created without a parent, or an independent class
+    /// instance with one.
+    ParentMismatch { class: String, reason: String },
+    /// The parent object's class does not own the dependent class being instantiated.
+    WrongParentClass { class: String, parent_class: String },
+    /// Creating the object would exceed the maximum occurrence of a dependent class within its
+    /// parent (e.g. a 17th `Data.Text` under one `Data` object).
+    OccurrenceExceeded { class: String, parent: String, max: u32, attempted: u32 },
+    /// A value was supplied that does not conform to the class's (or attribute's) domain.
+    DomainViolation { subject: String, expected: String, found: String },
+    /// A value was supplied for a class that has no value domain.
+    NotAValueClass { class: String },
+    /// A role required by the association was not bound.
+    MissingRoleBinding { association: String, role: String },
+    /// A role name was bound that the association does not declare.
+    UnknownRoleBinding { association: String, role: String },
+    /// The object bound to a role is not an instance of (a specialization of) the role's class.
+    RoleClassMismatch { association: String, role: String, expected: String, found: String },
+    /// The object bound to a role does not exist or is deleted.
+    DanglingBinding { association: String, role: String },
+    /// Adding the relationship would exceed a role's maximum cardinality (counted across the
+    /// association's whole generalization hierarchy).
+    RoleMaxCardinalityExceeded {
+        association: String,
+        role: String,
+        object: String,
+        max: u32,
+        attempted: u32,
+    },
+    /// Adding the relationship would create a cycle in an ACYCLIC association.
+    CycleIntroduced { association: String, object: String },
+    /// An attribute was supplied that the association (hierarchy) does not declare.
+    UnknownAttribute { association: String, attribute: String },
+    /// An attached procedure vetoed the update.
+    ProcedureFailed { subject: String, procedure: String, reason: String },
+    /// A re-classification target is not in the same generalization hierarchy.
+    UnrelatedReclassification { from: String, to: String },
+    /// After re-classification a dependent object would no longer be owned by a legal parent
+    /// class, or a relationship binding would no longer be class-compatible.
+    ReclassificationBreaksStructure { subject: String, reason: String },
+    /// Inherited pattern information may only be changed through the pattern itself.
+    InheritedInformationImmutable { inheritor: String, pattern: String },
+}
+
+impl fmt::Display for ConsistencyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyViolation::ParentMismatch { class, reason } => {
+                write!(f, "class '{class}': {reason}")
+            }
+            ConsistencyViolation::WrongParentClass { class, parent_class } => {
+                write!(f, "objects of class '{class}' cannot be dependents of '{parent_class}' objects")
+            }
+            ConsistencyViolation::OccurrenceExceeded { class, parent, max, attempted } => write!(
+                f,
+                "'{parent}' may have at most {max} dependents of class '{class}' (attempted {attempted})"
+            ),
+            ConsistencyViolation::DomainViolation { subject, expected, found } => {
+                write!(f, "'{subject}': value of type {found} does not conform to {expected}")
+            }
+            ConsistencyViolation::NotAValueClass { class } => {
+                write!(f, "class '{class}' has no value domain")
+            }
+            ConsistencyViolation::MissingRoleBinding { association, role } => {
+                write!(f, "association '{association}' requires a binding for role '{role}'")
+            }
+            ConsistencyViolation::UnknownRoleBinding { association, role } => {
+                write!(f, "association '{association}' has no role '{role}'")
+            }
+            ConsistencyViolation::RoleClassMismatch { association, role, expected, found } => write!(
+                f,
+                "role '{role}' of '{association}' requires an instance of '{expected}', got '{found}'"
+            ),
+            ConsistencyViolation::DanglingBinding { association, role } => {
+                write!(f, "role '{role}' of '{association}' is bound to a missing or deleted object")
+            }
+            ConsistencyViolation::RoleMaxCardinalityExceeded { association, role, object, max, attempted } => {
+                write!(
+                    f,
+                    "'{object}' may participate in at most {max} '{association}' relationships as '{role}' (attempted {attempted})"
+                )
+            }
+            ConsistencyViolation::CycleIntroduced { association, object } => {
+                write!(f, "relationship would create a cycle in ACYCLIC association '{association}' at '{object}'")
+            }
+            ConsistencyViolation::UnknownAttribute { association, attribute } => {
+                write!(f, "association '{association}' declares no attribute '{attribute}'")
+            }
+            ConsistencyViolation::ProcedureFailed { subject, procedure, reason } => {
+                write!(f, "attached procedure '{procedure}' rejected update of '{subject}': {reason}")
+            }
+            ConsistencyViolation::UnrelatedReclassification { from, to } => {
+                write!(f, "cannot re-classify from '{from}' to '{to}': not in the same generalization hierarchy")
+            }
+            ConsistencyViolation::ReclassificationBreaksStructure { subject, reason } => {
+                write!(f, "re-classification of '{subject}' rejected: {reason}")
+            }
+            ConsistencyViolation::InheritedInformationImmutable { inheritor, pattern } => {
+                write!(
+                    f,
+                    "'{inheritor}' inherits this information from pattern '{pattern}'; update the pattern instead"
+                )
+            }
+        }
+    }
+}
+
+/// Checks proposed updates against the consistency information of the schema.
+pub struct ConsistencyChecker<'a> {
+    schema: &'a Schema,
+    store: &'a DataStore,
+    procedures: &'a ProcedureRegistry,
+}
+
+impl<'a> ConsistencyChecker<'a> {
+    /// Creates a checker over the given schema, store and procedure registry.
+    pub fn new(schema: &'a Schema, store: &'a DataStore, procedures: &'a ProcedureRegistry) -> Self {
+        Self { schema, store, procedures }
+    }
+
+    fn class_name(&self, class: ClassId) -> String {
+        self.schema.class(class).map(|c| c.name.clone()).unwrap_or_else(|_| class.to_string())
+    }
+
+    fn assoc_name(&self, assoc: AssociationId) -> String {
+        self.schema
+            .association(assoc)
+            .map(|a| a.name.clone())
+            .unwrap_or_else(|_| assoc.to_string())
+    }
+
+    // ----- attached procedures ---------------------------------------------------------------------
+
+    fn run_procedures(
+        &self,
+        declared: &[AttachedProcedure],
+        subject: &str,
+        item: ItemId,
+        event: ProcedureEvent,
+        value: Option<&Value>,
+        violations: &mut Vec<ConsistencyViolation>,
+    ) {
+        for proc in declared {
+            let failed: Option<String> = match proc {
+                AttachedProcedure::ValueRange { min, max } => match value {
+                    Some(Value::Integer(i)) => {
+                        if min.map(|lo| *i < lo).unwrap_or(false) || max.map(|hi| *i > hi).unwrap_or(false) {
+                            Some(proc.describe())
+                        } else {
+                            None
+                        }
+                    }
+                    Some(Value::Undefined) | None => None,
+                    Some(other) => Some(format!("{} (got {})", proc.describe(), other.type_name())),
+                },
+                AttachedProcedure::ValueNotEmpty => match value {
+                    Some(v) if !v.is_undefined() => match v.as_str() {
+                        Some(s) if s.trim().is_empty() => Some(proc.describe()),
+                        _ => None,
+                    },
+                    _ => None,
+                },
+                AttachedProcedure::ValueContains(needle) => match value.and_then(|v| v.as_str()) {
+                    Some(s) if !s.contains(needle) => Some(proc.describe()),
+                    _ => None,
+                },
+                AttachedProcedure::MaxLength(n) => match value.and_then(|v| v.as_str()) {
+                    Some(s) if s.chars().count() > *n => Some(proc.describe()),
+                    _ => None,
+                },
+                AttachedProcedure::Named(name) => {
+                    let ctx = ProcedureContext { event, item, value, subject };
+                    self.procedures.run(name, &ctx).err()
+                }
+            };
+            if let Some(reason) = failed {
+                violations.push(ConsistencyViolation::ProcedureFailed {
+                    subject: subject.to_string(),
+                    procedure: match proc {
+                        AttachedProcedure::Named(n) => n.clone(),
+                        other => other.describe(),
+                    },
+                    reason,
+                });
+            }
+        }
+    }
+
+    // ----- object checks ----------------------------------------------------------------------------
+
+    /// Checks the creation of an object of `class` under `parent` with `value`.
+    ///
+    /// `is_pattern` objects are exempt from all checks.
+    pub fn check_new_object(
+        &self,
+        class: ClassId,
+        parent: Option<ObjectId>,
+        value: &Value,
+        name: &str,
+        is_pattern: bool,
+    ) -> Vec<ConsistencyViolation> {
+        if is_pattern {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        let Ok(class_def) = self.schema.class(class) else {
+            violations.push(ConsistencyViolation::ParentMismatch {
+                class: class.to_string(),
+                reason: "unknown class".to_string(),
+            });
+            return violations;
+        };
+
+        match (class_def.owner, parent) {
+            (Some(owner), Some(parent_id)) => {
+                match self.store.live_object(parent_id) {
+                    Some(parent_obj) => {
+                        if !self.schema.class_is_a(parent_obj.class, owner) {
+                            violations.push(ConsistencyViolation::WrongParentClass {
+                                class: class_def.name.clone(),
+                                parent_class: self.class_name(parent_obj.class),
+                            });
+                        } else if !parent_obj.is_pattern {
+                            // Maximum occurrence of this dependent class within the parent.
+                            // Pattern children do not count.
+                            let existing = self
+                                .store
+                                .children_of_class(parent_id, class)
+                                .iter()
+                                .filter(|c| !c.is_pattern)
+                                .count() as u32;
+                            if !class_def.occurrence.allows(existing + 1) {
+                                violations.push(ConsistencyViolation::OccurrenceExceeded {
+                                    class: class_def.name.clone(),
+                                    parent: parent_obj.name.to_string(),
+                                    max: class_def.occurrence.max.unwrap_or(u32::MAX),
+                                    attempted: existing + 1,
+                                });
+                            }
+                        }
+                    }
+                    None => violations.push(ConsistencyViolation::ParentMismatch {
+                        class: class_def.name.clone(),
+                        reason: "parent object does not exist".to_string(),
+                    }),
+                }
+            }
+            (Some(_), None) => violations.push(ConsistencyViolation::ParentMismatch {
+                class: class_def.name.clone(),
+                reason: "dependent objects need a parent object".to_string(),
+            }),
+            (None, Some(_)) => violations.push(ConsistencyViolation::ParentMismatch {
+                class: class_def.name.clone(),
+                reason: "independent objects cannot have a parent".to_string(),
+            }),
+            (None, None) => {}
+        }
+
+        self.check_value_against_class(class, value, name, &mut violations);
+        self.run_procedures(
+            &class_def.procedures,
+            name,
+            ItemId::Object(ObjectId(0)),
+            ProcedureEvent::Create,
+            Some(value),
+            &mut violations,
+        );
+        violations
+    }
+
+    fn check_value_against_class(
+        &self,
+        class: ClassId,
+        value: &Value,
+        subject: &str,
+        violations: &mut Vec<ConsistencyViolation>,
+    ) {
+        let Ok(class_def) = self.schema.class(class) else { return };
+        match &class_def.domain {
+            Some(domain) => {
+                if !value.conforms_to(domain) {
+                    violations.push(ConsistencyViolation::DomainViolation {
+                        subject: subject.to_string(),
+                        expected: domain.keyword(),
+                        found: value.type_name().to_string(),
+                    });
+                }
+            }
+            None => {
+                if !value.is_undefined() {
+                    violations.push(ConsistencyViolation::NotAValueClass {
+                        class: class_def.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Checks a value update of an existing object.
+    pub fn check_value_update(&self, object: &ObjectRecord, value: &Value) -> Vec<ConsistencyViolation> {
+        if object.is_pattern {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        self.check_value_against_class(object.class, value, &object.name.to_string(), &mut violations);
+        if let Ok(class_def) = self.schema.class(object.class) {
+            self.run_procedures(
+                &class_def.procedures,
+                &object.name.to_string(),
+                ItemId::Object(object.id),
+                ProcedureEvent::Update,
+                Some(value),
+                &mut violations,
+            );
+        }
+        violations
+    }
+
+    /// Checks deletion of an object (runs Delete procedures; structural max-cardinality checks
+    /// never fail on deletion).
+    pub fn check_delete_object(&self, object: &ObjectRecord) -> Vec<ConsistencyViolation> {
+        if object.is_pattern {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        if let Ok(class_def) = self.schema.class(object.class) {
+            self.run_procedures(
+                &class_def.procedures,
+                &object.name.to_string(),
+                ItemId::Object(object.id),
+                ProcedureEvent::Delete,
+                None,
+                &mut violations,
+            );
+        }
+        violations
+    }
+
+    // ----- relationship checks ------------------------------------------------------------------------
+
+    /// Checks creation of a relationship of `association` with the given role bindings and
+    /// attribute values.  `exclude` is a relationship id to ignore when counting cardinalities
+    /// and cycles (used when re-checking an existing relationship after re-classification).
+    pub fn check_new_relationship(
+        &self,
+        association: AssociationId,
+        bindings: &[(String, ObjectId)],
+        attributes: &HashMap<String, Value>,
+        is_pattern: bool,
+        exclude: Option<RelationshipId>,
+    ) -> Vec<ConsistencyViolation> {
+        if is_pattern {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        let Ok(assoc_def) = self.schema.association(association) else {
+            violations.push(ConsistencyViolation::UnknownRoleBinding {
+                association: association.to_string(),
+                role: "<unknown association>".to_string(),
+            });
+            return violations;
+        };
+        let assoc_name = assoc_def.name.clone();
+
+        // Every declared role must be bound exactly once; no extra bindings.
+        for role in &assoc_def.roles {
+            if !bindings.iter().any(|(r, _)| r == &role.name) {
+                violations.push(ConsistencyViolation::MissingRoleBinding {
+                    association: assoc_name.clone(),
+                    role: role.name.clone(),
+                });
+            }
+        }
+        for (role_name, object_id) in bindings {
+            let Some(role) = assoc_def.role(role_name) else {
+                violations.push(ConsistencyViolation::UnknownRoleBinding {
+                    association: assoc_name.clone(),
+                    role: role_name.clone(),
+                });
+                continue;
+            };
+            let Some(object) = self.store.live_object(*object_id) else {
+                violations.push(ConsistencyViolation::DanglingBinding {
+                    association: assoc_name.clone(),
+                    role: role_name.clone(),
+                });
+                continue;
+            };
+            if !self.schema.class_is_a(object.class, role.class) {
+                violations.push(ConsistencyViolation::RoleClassMismatch {
+                    association: assoc_name.clone(),
+                    role: role_name.clone(),
+                    expected: self.class_name(role.class),
+                    found: self.class_name(object.class),
+                });
+            }
+        }
+
+        // Maximum role cardinalities, counted per generalization ancestor by role position.
+        if violations.is_empty() {
+            self.check_role_maxima(association, bindings, exclude, &mut violations);
+            self.check_acyclicity(association, bindings, exclude, &mut violations);
+        }
+
+        // Relationship attributes must be declared (on the association or an ancestor) and
+        // conform to their domains.
+        for (attr_name, attr_value) in attributes {
+            let decl = self
+                .schema
+                .association_ancestors(association)
+                .into_iter()
+                .filter_map(|a| self.schema.association(a).ok())
+                .find_map(|a| a.attribute(attr_name).cloned());
+            match decl {
+                Some(decl) => {
+                    if !attr_value.conforms_to(&decl.domain) {
+                        violations.push(ConsistencyViolation::DomainViolation {
+                            subject: format!("{assoc_name}.{attr_name}"),
+                            expected: decl.domain.keyword(),
+                            found: attr_value.type_name().to_string(),
+                        });
+                    }
+                }
+                None => violations.push(ConsistencyViolation::UnknownAttribute {
+                    association: assoc_name.clone(),
+                    attribute: attr_name.clone(),
+                }),
+            }
+        }
+
+        self.run_procedures(
+            &assoc_def.procedures,
+            &assoc_name,
+            ItemId::Relationship(RelationshipId(0)),
+            ProcedureEvent::Create,
+            None,
+            &mut violations,
+        );
+        violations
+    }
+
+    /// Counts, for every ancestor association and every role position, how many live
+    /// non-pattern relationships each bound object already participates in, and flags
+    /// violations of the ancestor's maximum cardinality.
+    fn check_role_maxima(
+        &self,
+        association: AssociationId,
+        bindings: &[(String, ObjectId)],
+        exclude: Option<RelationshipId>,
+        violations: &mut Vec<ConsistencyViolation>,
+    ) {
+        let Ok(assoc_def) = self.schema.association(association) else { return };
+        for ancestor_id in self.schema.association_ancestors(association) {
+            let Ok(ancestor) = self.schema.association(ancestor_id) else { continue };
+            // Relationships counting towards this ancestor: every live, non-pattern relationship
+            // whose association is the ancestor or one of its descendants.
+            let mut members: Vec<&RelationshipRecord> = Vec::new();
+            let mut hierarchy: Vec<AssociationId> = self.schema.association_descendants(ancestor_id);
+            hierarchy.push(ancestor_id);
+            for assoc in hierarchy {
+                members.extend(
+                    self.store
+                        .association_extent(assoc)
+                        .into_iter()
+                        .filter(|r| !r.is_pattern && Some(r.id) != exclude),
+                );
+            }
+            for (idx, ancestor_role) in ancestor.roles.iter().enumerate() {
+                let Some(max) = ancestor_role.cardinality.max else { continue };
+                // The binding in the *new* relationship at this role position.
+                let Some(own_role) = assoc_def.roles.get(idx) else { continue };
+                let Some((_, bound_obj)) =
+                    bindings.iter().find(|(r, _)| r == &own_role.name)
+                else {
+                    continue;
+                };
+                let existing = members
+                    .iter()
+                    .filter(|r| r.bindings.get(idx).map(|(_, o)| o) == Some(bound_obj))
+                    .count() as u32;
+                if existing + 1 > max {
+                    violations.push(ConsistencyViolation::RoleMaxCardinalityExceeded {
+                        association: ancestor.name.clone(),
+                        role: ancestor_role.name.clone(),
+                        object: self
+                            .store
+                            .object(*bound_obj)
+                            .map(|o| o.name.to_string())
+                            .unwrap_or_else(|| bound_obj.to_string()),
+                        max,
+                        attempted: existing + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Checks that adding the relationship keeps every ACYCLIC ancestor association acyclic.
+    fn check_acyclicity(
+        &self,
+        association: AssociationId,
+        bindings: &[(String, ObjectId)],
+        exclude: Option<RelationshipId>,
+        violations: &mut Vec<ConsistencyViolation>,
+    ) {
+        let Ok(assoc_def) = self.schema.association(association) else { return };
+        if assoc_def.roles.len() != 2 || bindings.len() < 2 {
+            return;
+        }
+        for ancestor_id in self.schema.association_ancestors(association) {
+            let Ok(ancestor) = self.schema.association(ancestor_id) else { continue };
+            if !ancestor.acyclic || ancestor.roles.len() != 2 {
+                continue;
+            }
+            // Edge direction: role 0 → role 1 (e.g. `in` → `container`).
+            let Some(from_role) = assoc_def.roles.first() else { continue };
+            let Some(to_role) = assoc_def.roles.get(1) else { continue };
+            let Some((_, from_obj)) = bindings.iter().find(|(r, _)| r == &from_role.name) else {
+                continue;
+            };
+            let Some((_, to_obj)) = bindings.iter().find(|(r, _)| r == &to_role.name) else {
+                continue;
+            };
+            if from_obj == to_obj {
+                violations.push(ConsistencyViolation::CycleIntroduced {
+                    association: ancestor.name.clone(),
+                    object: self
+                        .store
+                        .object(*from_obj)
+                        .map(|o| o.name.to_string())
+                        .unwrap_or_else(|| from_obj.to_string()),
+                });
+                continue;
+            }
+            // Build the edge set of the whole hierarchy and look for a path to_obj ↝ from_obj.
+            let mut edges: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+            let mut hierarchy: Vec<AssociationId> = self.schema.association_descendants(ancestor_id);
+            hierarchy.push(ancestor_id);
+            for assoc in hierarchy {
+                for rel in self.store.association_extent(assoc) {
+                    if rel.is_pattern || Some(rel.id) == exclude {
+                        continue;
+                    }
+                    if let (Some((_, a)), Some((_, b))) = (rel.bindings.first(), rel.bindings.get(1)) {
+                        edges.entry(*a).or_default().push(*b);
+                    }
+                }
+            }
+            let mut seen: HashSet<ObjectId> = HashSet::new();
+            let mut stack = vec![*to_obj];
+            let mut cycle = false;
+            while let Some(node) = stack.pop() {
+                if node == *from_obj {
+                    cycle = true;
+                    break;
+                }
+                if !seen.insert(node) {
+                    continue;
+                }
+                if let Some(nexts) = edges.get(&node) {
+                    stack.extend(nexts.iter().copied());
+                }
+            }
+            if cycle {
+                violations.push(ConsistencyViolation::CycleIntroduced {
+                    association: ancestor.name.clone(),
+                    object: self
+                        .store
+                        .object(*from_obj)
+                        .map(|o| o.name.to_string())
+                        .unwrap_or_else(|| from_obj.to_string()),
+                });
+            }
+        }
+    }
+
+    /// Checks a single relationship-attribute update.
+    pub fn check_attribute_update(
+        &self,
+        relationship: &RelationshipRecord,
+        attribute: &str,
+        value: &Value,
+    ) -> Vec<ConsistencyViolation> {
+        if relationship.is_pattern {
+            return Vec::new();
+        }
+        let mut attributes = HashMap::new();
+        attributes.insert(attribute.to_string(), value.clone());
+        // Reuse the attribute-validation part of the relationship check (bindings already valid).
+        let mut violations = Vec::new();
+        let assoc_name = self.assoc_name(relationship.association);
+        let decl = self
+            .schema
+            .association_ancestors(relationship.association)
+            .into_iter()
+            .filter_map(|a| self.schema.association(a).ok())
+            .find_map(|a| a.attribute(attribute).cloned());
+        match decl {
+            Some(decl) => {
+                if !value.conforms_to(&decl.domain) {
+                    violations.push(ConsistencyViolation::DomainViolation {
+                        subject: format!("{assoc_name}.{attribute}"),
+                        expected: decl.domain.keyword(),
+                        found: value.type_name().to_string(),
+                    });
+                }
+            }
+            None => violations.push(ConsistencyViolation::UnknownAttribute {
+                association: assoc_name,
+                attribute: attribute.to_string(),
+            }),
+        }
+        violations
+    }
+
+    // ----- re-classification checks ----------------------------------------------------------------------
+
+    /// Checks moving an object to a new class within a generalization hierarchy.
+    pub fn check_reclassify_object(
+        &self,
+        object: &ObjectRecord,
+        new_class: ClassId,
+    ) -> Vec<ConsistencyViolation> {
+        let mut violations = Vec::new();
+        let hierarchy = GeneralizationHierarchy::new(self.schema);
+        use seed_schema::generalization::MoveKind;
+        match hierarchy.classify_class_move(object.class, new_class) {
+            MoveKind::Unrelated => {
+                violations.push(ConsistencyViolation::UnrelatedReclassification {
+                    from: self.class_name(object.class),
+                    to: self.class_name(new_class),
+                });
+                return violations;
+            }
+            MoveKind::Identity | MoveKind::Specialize | MoveKind::Generalize | MoveKind::Lateral => {}
+        }
+        if object.is_pattern {
+            return violations;
+        }
+
+        // The value must conform to the new class.
+        self.check_value_against_class(new_class, &object.value, &object.name.to_string(), &mut violations);
+
+        // Dependent children must still hang off a legal owner class.
+        for child in self.store.children_of(object.id) {
+            if let Ok(child_class) = self.schema.class(child.class) {
+                if let Some(owner) = child_class.owner {
+                    if !self.schema.class_is_a(new_class, owner) {
+                        violations.push(ConsistencyViolation::ReclassificationBreaksStructure {
+                            subject: object.name.to_string(),
+                            reason: format!(
+                                "dependent object '{}' requires an owner of class '{}'",
+                                child.name,
+                                self.class_name(owner)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Every relationship the object participates in must still be class-compatible.
+        for rel in self.store.relationships_of(object.id) {
+            if rel.is_pattern {
+                continue;
+            }
+            let Ok(assoc) = self.schema.association(rel.association) else { continue };
+            for (role_name, bound) in &rel.bindings {
+                if *bound != object.id {
+                    continue;
+                }
+                if let Some(role) = assoc.role(role_name) {
+                    if !self.schema.class_is_a(new_class, role.class) {
+                        violations.push(ConsistencyViolation::ReclassificationBreaksStructure {
+                            subject: object.name.to_string(),
+                            reason: format!(
+                                "relationship '{}' requires '{}' in role '{}'",
+                                assoc.name,
+                                self.class_name(role.class),
+                                role_name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Attached procedures of the target class observe the re-classification as an update.
+        if let Ok(class_def) = self.schema.class(new_class) {
+            self.run_procedures(
+                &class_def.procedures,
+                &object.name.to_string(),
+                ItemId::Object(object.id),
+                ProcedureEvent::Update,
+                Some(&object.value),
+                &mut violations,
+            );
+        }
+        violations
+    }
+
+    /// Checks moving a relationship to a new association within a generalization hierarchy
+    /// (e.g. making a vague `Access` precise as a `Write`).
+    pub fn check_reclassify_relationship(
+        &self,
+        relationship: &RelationshipRecord,
+        new_association: AssociationId,
+    ) -> Vec<ConsistencyViolation> {
+        let mut violations = Vec::new();
+        let hierarchy = GeneralizationHierarchy::new(self.schema);
+        use seed_schema::generalization::MoveKind;
+        match hierarchy.classify_association_move(relationship.association, new_association) {
+            MoveKind::Unrelated => {
+                violations.push(ConsistencyViolation::UnrelatedReclassification {
+                    from: self.assoc_name(relationship.association),
+                    to: self.assoc_name(new_association),
+                });
+                return violations;
+            }
+            _ => {}
+        }
+        if relationship.is_pattern {
+            return violations;
+        }
+        let Ok(new_assoc) = self.schema.association(new_association) else { return violations };
+        let Ok(old_assoc) = self.schema.association(relationship.association) else {
+            return violations;
+        };
+
+        // Re-bind by role position: role i of the old association corresponds to role i of the
+        // new one (`Access.from` ↔ `Write.to`).
+        let new_bindings: Vec<(String, ObjectId)> = relationship
+            .bindings
+            .iter()
+            .enumerate()
+            .map(|(idx, (_, obj))| {
+                let role_name = new_assoc
+                    .roles
+                    .get(idx)
+                    .map(|r| r.name.clone())
+                    .unwrap_or_else(|| old_assoc.roles[idx].name.clone());
+                (role_name, *obj)
+            })
+            .collect();
+        // Attribute values were validated when they were set; they stay attached to the
+        // relationship across re-classification (a `NumberOfWrites` recorded while the
+        // relationship was a `Write` remains stored if the knowledge later becomes vague again),
+        // so only the structural rules are re-checked here.
+        violations.extend(self.check_new_relationship(
+            new_association,
+            &new_bindings,
+            &HashMap::new(),
+            false,
+            Some(relationship.id),
+        ));
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ObjectName;
+    use seed_schema::figure3_schema;
+
+    struct Fixture {
+        schema: Schema,
+        store: DataStore,
+        procedures: ProcedureRegistry,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self { schema: figure3_schema(), store: DataStore::new(), procedures: ProcedureRegistry::new() }
+        }
+
+        fn checker(&self) -> ConsistencyChecker<'_> {
+            ConsistencyChecker::new(&self.schema, &self.store, &self.procedures)
+        }
+
+        fn add_object(&mut self, name: &str, class: &str) -> ObjectId {
+            let class = self.schema.class_id(class).unwrap();
+            let id = self.store.allocate_object_id();
+            self.store.insert_object(ObjectRecord::new(id, class, ObjectName::root(name), None));
+            id
+        }
+
+        fn add_relationship(&mut self, assoc: &str, bindings: Vec<(&str, ObjectId)>) -> RelationshipId {
+            let assoc = self.schema.association_id(assoc).unwrap();
+            let id = self.store.allocate_relationship_id();
+            self.store.insert_relationship(RelationshipRecord::new(
+                id,
+                assoc,
+                bindings.into_iter().map(|(r, o)| (r.to_string(), o)).collect(),
+            ));
+            id
+        }
+    }
+
+    #[test]
+    fn valid_object_creation_passes() {
+        let mut fx = Fixture::new();
+        let _ = fx.add_object("Sensor", "Action");
+        let checker = fx.checker();
+        let data = fx.schema.class_id("Data").unwrap();
+        assert!(checker.check_new_object(data, None, &Value::Undefined, "Alarms", false).is_empty());
+    }
+
+    #[test]
+    fn dependent_object_requires_matching_parent() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Data");
+        let sensor = fx.add_object("Sensor", "Action");
+        let text = fx.schema.class_id("Data.Text").unwrap();
+        let checker = fx.checker();
+        // Correct parent class.
+        assert!(checker
+            .check_new_object(text, Some(alarms), &Value::Undefined, "Alarms.Text", false)
+            .is_empty());
+        // Wrong parent class.
+        let v = checker.check_new_object(text, Some(sensor), &Value::Undefined, "Sensor.Text", false);
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::WrongParentClass { .. })));
+        // Missing parent.
+        let v = checker.check_new_object(text, None, &Value::Undefined, "Text", false);
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::ParentMismatch { .. })));
+        // Independent class with parent.
+        let data = fx.schema.class_id("Data").unwrap();
+        let v = checker.check_new_object(data, Some(alarms), &Value::Undefined, "X", false);
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::ParentMismatch { .. })));
+    }
+
+    #[test]
+    fn occurrence_maximum_enforced() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Data");
+        let text = fx.schema.class_id("Data.Text").unwrap();
+        // Add 16 Text children (the maximum of Figure 2/3).
+        for i in 0..16 {
+            let id = fx.store.allocate_object_id();
+            fx.store.insert_object(ObjectRecord {
+                id,
+                class: text,
+                name: ObjectName::parse(&format!("Alarms.Text[{i}]")).unwrap(),
+                parent: Some(alarms),
+                value: Value::Undefined,
+                is_pattern: false,
+                deleted: false,
+            });
+        }
+        let checker = fx.checker();
+        let v = checker.check_new_object(text, Some(alarms), &Value::Undefined, "Alarms.Text[16]", false);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            ConsistencyViolation::OccurrenceExceeded { max: 16, attempted: 17, .. }
+        )));
+    }
+
+    #[test]
+    fn value_domain_checked() {
+        let fx = Fixture::new();
+        let checker = fx.checker();
+        let selector = fx.schema.class_id("Data.Text.Selector").unwrap();
+        // Domain violations are reported even though the parent is missing (both violations appear).
+        let v = checker.check_new_object(selector, None, &Value::Integer(3), "X", false);
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::DomainViolation { .. })));
+        // Value on a class without domain.
+        let data = fx.schema.class_id("Data").unwrap();
+        let v = checker.check_new_object(data, None, &Value::string("oops"), "Alarms", false);
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::NotAValueClass { .. })));
+        // Undefined conforms everywhere.
+        let v = checker.check_new_object(data, None, &Value::Undefined, "Alarms", false);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn pattern_items_are_not_checked() {
+        let fx = Fixture::new();
+        let checker = fx.checker();
+        let selector = fx.schema.class_id("Data.Text.Selector").unwrap();
+        // Grossly invalid, but it is a pattern: no violations.
+        let v = checker.check_new_object(selector, None, &Value::Integer(3), "P", true);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn relationship_role_checks() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Data");
+        let sensor = fx.add_object("Sensor", "Action");
+        let checker = fx.checker();
+        let access = fx.schema.association_id("Access").unwrap();
+        // Valid.
+        let v = checker.check_new_relationship(
+            access,
+            &[("from".into(), alarms), ("by".into(), sensor)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // Role class mismatch: Action in the `from` role.
+        let v = checker.check_new_relationship(
+            access,
+            &[("from".into(), sensor), ("by".into(), alarms)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert_eq!(
+            v.iter().filter(|x| matches!(x, ConsistencyViolation::RoleClassMismatch { .. })).count(),
+            2
+        );
+        // Missing binding.
+        let v = checker.check_new_relationship(
+            access,
+            &[("from".into(), alarms)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::MissingRoleBinding { .. })));
+        // Unknown role.
+        let v = checker.check_new_relationship(
+            access,
+            &[("from".into(), alarms), ("by".into(), sensor), ("onto".into(), alarms)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::UnknownRoleBinding { .. })));
+        // Read requires InputData in `from`; plain Data is not enough.
+        let read = fx.schema.association_id("Read").unwrap();
+        let v = checker.check_new_relationship(
+            read,
+            &[("from".into(), alarms), ("by".into(), sensor)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::RoleClassMismatch { .. })));
+    }
+
+    #[test]
+    fn dangling_binding_detected() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Data");
+        let checker = fx.checker();
+        let access = fx.schema.association_id("Access").unwrap();
+        let v = checker.check_new_relationship(
+            access,
+            &[("from".into(), alarms), ("by".into(), ObjectId(999))],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::DanglingBinding { .. })));
+    }
+
+    #[test]
+    fn contained_max_cardinality_and_acyclicity() {
+        let mut fx = Fixture::new();
+        let a = fx.add_object("A", "Action");
+        let b = fx.add_object("B", "Action");
+        let c = fx.add_object("C", "Action");
+        // A in B, B in C.
+        fx.add_relationship("Contained", vec![("in", a), ("container", b)]);
+        fx.add_relationship("Contained", vec![("in", b), ("container", c)]);
+        let checker = fx.checker();
+        let contained = fx.schema.association_id("Contained").unwrap();
+        // A already has a container: the 0..1 maximum of role `in` forbids a second one.
+        let v = checker.check_new_relationship(
+            contained,
+            &[("in".into(), a), ("container".into(), c)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConsistencyViolation::RoleMaxCardinalityExceeded { max: 1, .. })));
+        // C in A closes a cycle C -> A -> B -> C.
+        let v = checker.check_new_relationship(
+            contained,
+            &[("in".into(), c), ("container".into(), a)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::CycleIntroduced { .. })));
+        // Self containment.
+        let v = checker.check_new_relationship(
+            contained,
+            &[("in".into(), c), ("container".into(), c)],
+            &HashMap::new(),
+            false,
+            None,
+        );
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::CycleIntroduced { .. })));
+    }
+
+    #[test]
+    fn attribute_domains_checked() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "OutputData");
+        let sensor = fx.add_object("Sensor", "Action");
+        let checker = fx.checker();
+        let write = fx.schema.association_id("Write").unwrap();
+        let mut attrs = HashMap::new();
+        attrs.insert("NumberOfWrites".to_string(), Value::Integer(2));
+        attrs.insert("ErrorHandling".to_string(), Value::symbol("repeat"));
+        let v = checker.check_new_relationship(
+            write,
+            &[("to".into(), alarms), ("by".into(), sensor)],
+            &attrs,
+            false,
+            None,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // Wrong domain and unknown attribute.
+        let mut attrs = HashMap::new();
+        attrs.insert("NumberOfWrites".to_string(), Value::string("two"));
+        attrs.insert("Ghost".to_string(), Value::Integer(1));
+        let v = checker.check_new_relationship(
+            write,
+            &[("to".into(), alarms), ("by".into(), sensor)],
+            &attrs,
+            false,
+            None,
+        );
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::DomainViolation { .. })));
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::UnknownAttribute { .. })));
+        // Enumeration literal outside the domain.
+        let rel = RelationshipRecord::new(
+            RelationshipId(1),
+            write,
+            vec![("to".into(), alarms), ("by".into(), sensor)],
+        );
+        let v = checker.check_attribute_update(&rel, "ErrorHandling", &Value::symbol("retry"));
+        assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::DomainViolation { .. })));
+    }
+
+    #[test]
+    fn named_procedure_veto() {
+        let mut fx = Fixture::new();
+        let selector = fx.schema.class_id("Data.Text.Selector").unwrap();
+        fx.schema
+            .attach_class_procedure(selector, AttachedProcedure::Named("no_umlauts".into()))
+            .unwrap();
+        fx.procedures.register("no_umlauts", |ctx| {
+            if ctx.value.and_then(|v| v.as_str()).map(|s| s.contains('ä')).unwrap_or(false) {
+                Err("umlauts are not allowed".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        let alarms = fx.add_object("Alarms", "Data");
+        let text = fx.schema.class_id("Data.Text").unwrap();
+        let text_id = fx.store.allocate_object_id();
+        fx.store.insert_object(ObjectRecord::new(
+            text_id,
+            text,
+            ObjectName::parse("Alarms.Text").unwrap(),
+            Some(alarms),
+        ));
+        let checker = fx.checker();
+        let bad = checker.check_new_object(
+            selector,
+            Some(text_id),
+            &Value::string("Darstellung der Zustände"),
+            "Alarms.Text.Selector",
+            false,
+        );
+        assert!(bad.iter().any(|x| matches!(x, ConsistencyViolation::ProcedureFailed { .. })));
+        let good = checker.check_new_object(
+            selector,
+            Some(text_id),
+            &Value::string("Representation"),
+            "Alarms.Text.Selector",
+            false,
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn declarative_procedures_evaluated() {
+        let mut fx = Fixture::new();
+        let desc = fx.schema.class_id("Action.Description").unwrap();
+        fx.schema.attach_class_procedure(desc, AttachedProcedure::ValueNotEmpty).unwrap();
+        fx.schema.attach_class_procedure(desc, AttachedProcedure::MaxLength(20)).unwrap();
+        let handler = fx.add_object("AlarmHandler", "Action");
+        let checker = fx.checker();
+        let ok = checker.check_new_object(
+            desc,
+            Some(handler),
+            &Value::string("Handles alarms"),
+            "AlarmHandler.Description",
+            false,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let empty = checker.check_new_object(
+            desc,
+            Some(handler),
+            &Value::string("   "),
+            "AlarmHandler.Description",
+            false,
+        );
+        assert!(empty.iter().any(|x| matches!(x, ConsistencyViolation::ProcedureFailed { .. })));
+        let long = checker.check_new_object(
+            desc,
+            Some(handler),
+            &Value::string("Generates alarms from process data, triggers Operator Alert"),
+            "AlarmHandler.Description",
+            false,
+        );
+        assert!(long.iter().any(|x| matches!(x, ConsistencyViolation::ProcedureFailed { .. })));
+    }
+
+    #[test]
+    fn reclassification_checks() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Thing");
+        let sensor = fx.add_object("Sensor", "Action");
+        let data = fx.schema.class_id("Data").unwrap();
+        let output = fx.schema.class_id("OutputData").unwrap();
+        let action = fx.schema.class_id("Action").unwrap();
+        let text_class = fx.schema.class_id("Data.Text").unwrap();
+        {
+            let checker = fx.checker();
+            let obj = fx.store.object(alarms).unwrap();
+            // Thing -> Data is a specialization: fine.
+            assert!(checker.check_reclassify_object(obj, data).is_empty());
+            // Thing -> Data.Text is unrelated.
+            let v = checker.check_reclassify_object(obj, text_class);
+            assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::UnrelatedReclassification { .. })));
+        }
+        // Now make Alarms a Data with an Access relationship from Sensor, then try to make it an
+        // Action: lateral move, but the Access `from` role requires Data.
+        fx.store.update_object(alarms, |o| o.class = data);
+        fx.add_relationship("Access", vec![("from", alarms), ("by", sensor)]);
+        {
+            let checker = fx.checker();
+            let obj = fx.store.object(alarms).unwrap();
+            let v = checker.check_reclassify_object(obj, action);
+            assert!(v
+                .iter()
+                .any(|x| matches!(x, ConsistencyViolation::ReclassificationBreaksStructure { .. })));
+            // Data -> OutputData is fine.
+            assert!(checker.check_reclassify_object(obj, output).is_empty());
+        }
+    }
+
+    #[test]
+    fn relationship_reclassification_checks() {
+        let mut fx = Fixture::new();
+        let alarms = fx.add_object("Alarms", "Data");
+        let sensor = fx.add_object("Sensor", "Action");
+        let rel_id = fx.add_relationship("Access", vec![("from", alarms), ("by", sensor)]);
+        let write = fx.schema.association_id("Write").unwrap();
+        let read = fx.schema.association_id("Read").unwrap();
+        let contained = fx.schema.association_id("Contained").unwrap();
+        {
+            let checker = fx.checker();
+            let rel = fx.store.relationship(rel_id).unwrap();
+            // Access -> Write needs OutputData in role 0: Alarms is plain Data, so this fails.
+            let v = checker.check_reclassify_relationship(rel, write);
+            assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::RoleClassMismatch { .. })));
+            // Access -> Contained is unrelated.
+            let v = checker.check_reclassify_relationship(rel, contained);
+            assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::UnrelatedReclassification { .. })));
+        }
+        // Specialize Alarms to OutputData; now Access -> Write succeeds, Read still fails.
+        let output = fx.schema.class_id("OutputData").unwrap();
+        fx.store.update_object(alarms, |o| o.class = output);
+        {
+            let checker = fx.checker();
+            let rel = fx.store.relationship(rel_id).unwrap();
+            assert!(checker.check_reclassify_relationship(rel, write).is_empty());
+            let v = checker.check_reclassify_relationship(rel, read);
+            assert!(!v.is_empty());
+        }
+    }
+}

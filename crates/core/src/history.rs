@@ -1,0 +1,256 @@
+//! History-sensitive consistency rules.
+//!
+//! The paper lists these as an open problem: "In our version concept, we have not yet considered
+//! history sensitive consistency rules, i.e. rules that impose constraints for the transition
+//! from a given version to its successor."  We implement them as an extension: a set of
+//! [`TransitionRule`]s registered on the database and evaluated when a new version is created,
+//! comparing the parent version's view with the state being snapshotted.
+
+use std::fmt;
+
+use seed_schema::Schema;
+
+use crate::store::DataStore;
+use crate::value::Value;
+
+/// A rule constraining the transition from a version to its successor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionRule {
+    /// Objects present in the predecessor version must not be deleted in the successor
+    /// (released information may only be extended, never retracted).
+    NoDeletions,
+    /// Objects of the given class must not have their value changed once versioned
+    /// (e.g. frozen requirement statements).
+    FrozenValues {
+        /// Full path name of the class whose values are frozen.
+        class: String,
+    },
+    /// Values of the given class must not decrease between versions (dates and counters, e.g.
+    /// the `Revised` date of Figure 3 must move forward).
+    MonotonicValue {
+        /// Full path name of the class whose values must be non-decreasing.
+        class: String,
+    },
+    /// The successor must differ from its parent (empty versions are pointless and usually an
+    /// operator mistake).
+    MustDiffer,
+}
+
+impl fmt::Display for TransitionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionRule::NoDeletions => write!(f, "no deletions between versions"),
+            TransitionRule::FrozenValues { class } => write!(f, "values of '{class}' are frozen"),
+            TransitionRule::MonotonicValue { class } => {
+                write!(f, "values of '{class}' must not decrease")
+            }
+            TransitionRule::MustDiffer => write!(f, "successor version must differ from its parent"),
+        }
+    }
+}
+
+/// A violation of a transition rule, described for the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionViolation {
+    /// The rule that was violated.
+    pub rule: TransitionRule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for TransitionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.rule, self.message)
+    }
+}
+
+/// Orders two values when both are comparable (integers, reals, dates, strings).
+fn value_order(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Integer(x), Value::Integer(y)) => Some(x.cmp(y)),
+        (Value::Real(x), Value::Real(y)) => x.partial_cmp(y),
+        (Value::Date { year: y1, month: m1, day: d1 }, Value::Date { year: y2, month: m2, day: d2 }) => {
+            Some((y1, m1, d1).cmp(&(y2, m2, d2)))
+        }
+        (Value::String(x), Value::String(y)) | (Value::Text(x), Value::Text(y)) => Some(x.cmp(y)),
+        (Value::Undefined, _) | (_, Value::Undefined) => Some(Ordering::Equal),
+        _ => None,
+    }
+}
+
+/// Evaluates the rules for a transition from `previous` (the parent version's view) to `next`
+/// (the state about to be snapshotted).
+pub fn check_transition(
+    rules: &[TransitionRule],
+    schema: &Schema,
+    previous: &DataStore,
+    next: &DataStore,
+) -> Vec<TransitionViolation> {
+    let mut violations = Vec::new();
+    for rule in rules {
+        match rule {
+            TransitionRule::NoDeletions => {
+                for obj in previous.visible_objects() {
+                    let still_there = next
+                        .object(obj.id)
+                        .map(|o| !o.deleted)
+                        .unwrap_or(false);
+                    if !still_there {
+                        violations.push(TransitionViolation {
+                            rule: rule.clone(),
+                            message: format!("object '{}' was deleted", obj.name),
+                        });
+                    }
+                }
+            }
+            TransitionRule::FrozenValues { class } => {
+                let Ok(class_id) = schema.class_id(class) else { continue };
+                for obj in previous.visible_objects().filter(|o| o.class == class_id) {
+                    if obj.value.is_undefined() {
+                        continue;
+                    }
+                    if let Some(new_obj) = next.object(obj.id) {
+                        if !new_obj.deleted && new_obj.value != obj.value {
+                            violations.push(TransitionViolation {
+                                rule: rule.clone(),
+                                message: format!(
+                                    "'{}' changed from {} to {}",
+                                    obj.name, obj.value, new_obj.value
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            TransitionRule::MonotonicValue { class } => {
+                let Ok(class_id) = schema.class_id(class) else { continue };
+                for obj in previous.visible_objects().filter(|o| o.class == class_id) {
+                    if let Some(new_obj) = next.object(obj.id) {
+                        if new_obj.deleted {
+                            continue;
+                        }
+                        if let Some(std::cmp::Ordering::Less) = value_order(&new_obj.value, &obj.value) {
+                            violations.push(TransitionViolation {
+                                rule: rule.clone(),
+                                message: format!(
+                                    "'{}' decreased from {} to {}",
+                                    obj.name, obj.value, new_obj.value
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            TransitionRule::MustDiffer => {
+                if next.dirty_items().is_empty() {
+                    violations.push(TransitionViolation {
+                        rule: rule.clone(),
+                        message: "no item changed since the parent version".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::ObjectId;
+    use crate::name::ObjectName;
+    use crate::object::ObjectRecord;
+    use seed_schema::figure3_schema;
+
+    fn add_object(store: &mut DataStore, name: &str, class: seed_schema::ClassId) -> ObjectId {
+        let id = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(id, class, ObjectName::root(name), None));
+        id
+    }
+
+    #[test]
+    fn no_deletions_rule() {
+        let schema = figure3_schema();
+        let data = schema.class_id("Data").unwrap();
+        let mut previous = DataStore::new();
+        let a = add_object(&mut previous, "Kept", data);
+        let b = add_object(&mut previous, "Dropped", data);
+        let mut next = previous.clone();
+        next.tombstone_object(b);
+        let v = check_transition(&[TransitionRule::NoDeletions], &schema, &previous, &next);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Dropped"));
+        assert!(v[0].to_string().contains("no deletions"));
+        // Keeping everything passes.
+        let v = check_transition(&[TransitionRule::NoDeletions], &schema, &previous, &previous.clone());
+        assert!(v.is_empty());
+        let _ = a;
+    }
+
+    #[test]
+    fn frozen_and_monotonic_values() {
+        let schema = figure3_schema();
+        let revised = schema.class_id("Thing.Revised").unwrap();
+        let mut previous = DataStore::new();
+        let r = add_object(&mut previous, "AlarmHandler.Revised", revised);
+        previous.update_object(r, |o| o.value = Value::date(1985, 6, 1).unwrap());
+        // Date moves forward: monotonic ok, frozen violated.
+        let mut forward = previous.clone();
+        forward.update_object(r, |o| o.value = Value::date(1986, 1, 15).unwrap());
+        let rules = vec![
+            TransitionRule::FrozenValues { class: "Thing.Revised".into() },
+            TransitionRule::MonotonicValue { class: "Thing.Revised".into() },
+        ];
+        let v = check_transition(&rules, &schema, &previous, &forward);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].rule, TransitionRule::FrozenValues { .. }));
+        // Date moves backward: both violated.
+        let mut backward = previous.clone();
+        backward.update_object(r, |o| o.value = Value::date(1984, 1, 1).unwrap());
+        let v = check_transition(&rules, &schema, &previous, &backward);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn must_differ_rule() {
+        let schema = figure3_schema();
+        let mut store = DataStore::new();
+        let data = schema.class_id("Data").unwrap();
+        add_object(&mut store, "Alarms", data);
+        store.clear_dirty();
+        let v = check_transition(&[TransitionRule::MustDiffer], &schema, &store.clone(), &store);
+        assert_eq!(v.len(), 1);
+        let mut changed = store.clone();
+        add_object(&mut changed, "More", data);
+        let v = check_transition(&[TransitionRule::MustDiffer], &schema, &store, &changed);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unknown_class_in_rule_is_ignored() {
+        let schema = figure3_schema();
+        let store = DataStore::new();
+        let v = check_transition(
+            &[TransitionRule::FrozenValues { class: "Ghost".into() }],
+            &schema,
+            &store,
+            &store.clone(),
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn value_order_covers_types() {
+        use std::cmp::Ordering;
+        assert_eq!(value_order(&Value::Integer(1), &Value::Integer(2)), Some(Ordering::Less));
+        assert_eq!(value_order(&Value::Real(2.0), &Value::Real(1.0)), Some(Ordering::Greater));
+        assert_eq!(
+            value_order(&Value::date(1986, 1, 1).unwrap(), &Value::date(1986, 1, 2).unwrap()),
+            Some(Ordering::Less)
+        );
+        assert_eq!(value_order(&Value::string("a"), &Value::string("a")), Some(Ordering::Equal));
+        assert_eq!(value_order(&Value::Integer(1), &Value::string("a")), None);
+        assert_eq!(value_order(&Value::Undefined, &Value::Integer(5)), Some(Ordering::Equal));
+    }
+}

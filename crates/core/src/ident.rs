@@ -1,0 +1,243 @@
+//! Identifiers: object ids, relationship ids, and decimal version identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SeedError, SeedResult};
+
+/// Identifier of an object (independent or dependent) in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// Identifier of a relationship in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelationshipId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for RelationshipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of any data item (object or relationship).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ItemId {
+    /// An object.
+    Object(ObjectId),
+    /// A relationship.
+    Relationship(RelationshipId),
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItemId::Object(o) => write!(f, "{o}"),
+            ItemId::Relationship(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<ObjectId> for ItemId {
+    fn from(o: ObjectId) -> Self {
+        ItemId::Object(o)
+    }
+}
+
+impl From<RelationshipId> for ItemId {
+    fn from(r: RelationshipId) -> Self {
+        ItemId::Relationship(r)
+    }
+}
+
+/// A version identifier in SEED's decimal classification (`1.0`, `2.0`, `1.0.1`, ...).
+///
+/// "Versions are identified by a decimal classification.  The classification tree reflects the
+/// version history."  Identifiers order lexicographically by component, which gives exactly the
+/// ordering needed for view reconstruction: the view to version *n* consists of the items whose
+/// greatest recorded version number is ≤ *n*.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VersionId(Vec<u32>);
+
+impl VersionId {
+    /// Creates a version id from its components; at least one component is required.
+    pub fn new(components: Vec<u32>) -> SeedResult<Self> {
+        if components.is_empty() {
+            return Err(SeedError::Version("a version id needs at least one component".into()));
+        }
+        Ok(Self(components))
+    }
+
+    /// The conventional first version, `1.0`.
+    pub fn initial() -> Self {
+        Self(vec![1, 0])
+    }
+
+    /// Parses `"2.0"`, `"1.0.1"`, ... into a version id.
+    pub fn parse(s: &str) -> SeedResult<Self> {
+        let components = s
+            .split('.')
+            .map(|part| {
+                part.trim()
+                    .parse::<u32>()
+                    .map_err(|_| SeedError::Version(format!("invalid version id '{s}'")))
+            })
+            .collect::<SeedResult<Vec<u32>>>()?;
+        Self::new(components)
+    }
+
+    /// The components of the id.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of components (depth in the classification tree is `len() - 1` for the
+    /// major.minor convention).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Never true; ids always have at least one component.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The id of the next sibling at the same level (`1.0` → `2.0` at the top level,
+    /// `1.0.1` → `1.0.2` below).  Top-level successors follow the paper's `1.0`, `2.0`, ...
+    /// convention: the major component increments and the trailing component resets to 0.
+    pub fn next_sibling(&self) -> Self {
+        let mut c = self.0.clone();
+        if c.len() == 2 {
+            c[0] += 1;
+            c[1] = 0;
+        } else {
+            let last = c.len() - 1;
+            c[last] += 1;
+        }
+        Self(c)
+    }
+
+    /// The first child id below this version (used for alternatives): `1.0` → `1.0.1`.
+    pub fn first_child(&self) -> Self {
+        let mut c = self.0.clone();
+        c.push(1);
+        Self(c)
+    }
+
+    /// The id one level up, if any (`1.0.2` → `1.0`).
+    pub fn parent(&self) -> Option<Self> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(Self(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Whether `self` is a prefix of (an ancestor of, or equal to) `other` in the version tree.
+    pub fn is_prefix_of(&self, other: &VersionId) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ObjectId(5).to_string(), "o5");
+        assert_eq!(RelationshipId(7).to_string(), "r7");
+        assert_eq!(ItemId::from(ObjectId(5)).to_string(), "o5");
+        assert_eq!(ItemId::from(RelationshipId(5)).to_string(), "r5");
+    }
+
+    #[test]
+    fn version_parse_and_display() {
+        let v = VersionId::parse("1.0").unwrap();
+        assert_eq!(v, VersionId::initial());
+        assert_eq!(v.to_string(), "1.0");
+        assert_eq!(VersionId::parse("2.0.13").unwrap().to_string(), "2.0.13");
+        assert!(VersionId::parse("").is_err());
+        assert!(VersionId::parse("1.x").is_err());
+        assert!(VersionId::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn ordering_matches_decimal_classification() {
+        let v10 = VersionId::parse("1.0").unwrap();
+        let v101 = VersionId::parse("1.0.1").unwrap();
+        let v102 = VersionId::parse("1.0.2").unwrap();
+        let v11 = VersionId::parse("1.1").unwrap();
+        let v20 = VersionId::parse("2.0").unwrap();
+        assert!(v10 < v101);
+        assert!(v101 < v102);
+        assert!(v102 < v11);
+        assert!(v11 < v20);
+    }
+
+    #[test]
+    fn sibling_and_child_generation() {
+        let v10 = VersionId::parse("1.0").unwrap();
+        assert_eq!(v10.next_sibling().to_string(), "2.0");
+        assert_eq!(v10.next_sibling().next_sibling().to_string(), "3.0");
+        assert_eq!(v10.first_child().to_string(), "1.0.1");
+        assert_eq!(v10.first_child().next_sibling().to_string(), "1.0.2");
+        assert_eq!(VersionId::parse("3").unwrap().next_sibling().to_string(), "4");
+    }
+
+    #[test]
+    fn parent_and_prefix() {
+        let v102 = VersionId::parse("1.0.2").unwrap();
+        assert_eq!(v102.parent().unwrap().to_string(), "1.0");
+        assert_eq!(v102.parent().unwrap().parent().unwrap().to_string(), "1");
+        assert!(v102.parent().unwrap().parent().unwrap().parent().is_none());
+        let v10 = VersionId::parse("1.0").unwrap();
+        assert!(v10.is_prefix_of(&v102));
+        assert!(v10.is_prefix_of(&v10));
+        assert!(!v102.is_prefix_of(&v10));
+        assert!(!VersionId::parse("1.1").unwrap().is_prefix_of(&v102));
+        assert_eq!(v102.len(), 3);
+        assert!(!v102.is_empty());
+        assert_eq!(v102.components(), &[1, 0, 2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn parse_display_roundtrip(components in proptest::collection::vec(0u32..100, 1..5)) {
+            let v = VersionId::new(components).unwrap();
+            prop_assert_eq!(VersionId::parse(&v.to_string()).unwrap(), v);
+        }
+
+        #[test]
+        fn child_is_greater_than_parent_but_less_than_next_sibling(
+            components in proptest::collection::vec(0u32..50, 2..4)
+        ) {
+            let v = VersionId::new(components).unwrap();
+            let child = v.first_child();
+            let sibling = v.next_sibling();
+            prop_assert!(v < child);
+            prop_assert!(child < sibling);
+            prop_assert!(v.is_prefix_of(&child));
+            prop_assert!(!v.is_prefix_of(&sibling));
+        }
+    }
+}

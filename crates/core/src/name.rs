@@ -1,0 +1,228 @@
+//! Hierarchical object names.
+//!
+//! "The name of a dependent object is composed of the name of its parent and of its role in the
+//! context of the parent object.  Thus, (3) is the object 'Alarms.Text' consisting of objects
+//! 'Alarms.Text.Body' and 'Alarms.Text.Selector'. (...) (4) is a dependent object with name
+//! 'Alarms.Text.Body.Keywords[1]'."  (paper, explanation of Figure 1)
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SeedError, SeedResult};
+
+/// One segment of a hierarchical name: the role name plus an optional occurrence index used when
+/// several dependent objects of the same class exist under one parent (`Keywords[1]`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NameSegment {
+    /// The role / class local name, e.g. `"Keywords"`.
+    pub name: String,
+    /// Occurrence index for repeated dependents, e.g. `Some(1)` in `Keywords[1]`.
+    pub index: Option<u32>,
+}
+
+impl NameSegment {
+    /// Creates an un-indexed segment.
+    pub fn plain(name: impl Into<String>) -> Self {
+        Self { name: name.into(), index: None }
+    }
+
+    /// Creates an indexed segment.
+    pub fn indexed(name: impl Into<String>, index: u32) -> Self {
+        Self { name: name.into(), index: Some(index) }
+    }
+}
+
+impl fmt::Display for NameSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{}]", self.name, i),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A full hierarchical object name such as `Alarms.Text.Body.Keywords[1]`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectName {
+    segments: Vec<NameSegment>,
+}
+
+impl ObjectName {
+    /// Creates a top-level (independent object) name.
+    pub fn root(name: impl Into<String>) -> Self {
+        Self { segments: vec![NameSegment::plain(name)] }
+    }
+
+    /// Creates a name from segments; at least one segment is required.
+    pub fn from_segments(segments: Vec<NameSegment>) -> SeedResult<Self> {
+        if segments.is_empty() {
+            return Err(SeedError::Invalid("an object name needs at least one segment".into()));
+        }
+        Ok(Self { segments })
+    }
+
+    /// Parses `"Alarms.Text.Body.Keywords[1]"`.
+    pub fn parse(s: &str) -> SeedResult<Self> {
+        if s.trim().is_empty() {
+            return Err(SeedError::Invalid("empty object name".into()));
+        }
+        let mut segments = Vec::new();
+        for part in s.split('.') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(SeedError::Invalid(format!("empty segment in name '{s}'")));
+            }
+            if let Some(open) = part.find('[') {
+                if !part.ends_with(']') {
+                    return Err(SeedError::Invalid(format!("unterminated index in '{part}'")));
+                }
+                let name = &part[..open];
+                let idx_str = &part[open + 1..part.len() - 1];
+                let index: u32 = idx_str
+                    .parse()
+                    .map_err(|_| SeedError::Invalid(format!("invalid index '{idx_str}' in '{part}'")))?;
+                if name.is_empty() {
+                    return Err(SeedError::Invalid(format!("missing segment name in '{part}'")));
+                }
+                segments.push(NameSegment::indexed(name, index));
+            } else {
+                segments.push(NameSegment::plain(part));
+            }
+        }
+        Self::from_segments(segments)
+    }
+
+    /// The name's segments.
+    pub fn segments(&self) -> &[NameSegment] {
+        &self.segments
+    }
+
+    /// Number of segments (1 for independent objects).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The last segment (the object's own role name).
+    pub fn leaf(&self) -> &NameSegment {
+        self.segments.last().expect("names always have at least one segment")
+    }
+
+    /// The first segment (the independent ancestor's name).
+    pub fn root_segment(&self) -> &NameSegment {
+        self.segments.first().expect("names always have at least one segment")
+    }
+
+    /// The parent object's name, if this is a dependent object's name.
+    pub fn parent(&self) -> Option<ObjectName> {
+        if self.segments.len() <= 1 {
+            None
+        } else {
+            Some(ObjectName { segments: self.segments[..self.segments.len() - 1].to_vec() })
+        }
+    }
+
+    /// Builds the name of a dependent object: this name extended by a segment.
+    pub fn child(&self, segment: NameSegment) -> ObjectName {
+        let mut segments = self.segments.clone();
+        segments.push(segment);
+        ObjectName { segments }
+    }
+
+    /// Whether this name is a (strict or non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &ObjectName) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+
+    /// Renames the root segment (used when an independent object is renamed: all dependent
+    /// object names change with it).
+    pub fn with_root_renamed(&self, new_root: impl Into<String>) -> ObjectName {
+        let mut segments = self.segments.clone();
+        segments[0] = NameSegment::plain(new_root);
+        ObjectName { segments }
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure1_names() {
+        let n = ObjectName::parse("Alarms.Text.Body.Keywords[1]").unwrap();
+        assert_eq!(n.depth(), 4);
+        assert_eq!(n.to_string(), "Alarms.Text.Body.Keywords[1]");
+        assert_eq!(n.leaf(), &NameSegment::indexed("Keywords", 1));
+        assert_eq!(n.root_segment(), &NameSegment::plain("Alarms"));
+        assert_eq!(n.parent().unwrap().to_string(), "Alarms.Text.Body");
+        let root = ObjectName::root("Alarms");
+        assert_eq!(root.parent(), None);
+        assert!(root.is_prefix_of(&n));
+        assert!(!n.is_prefix_of(&root));
+    }
+
+    #[test]
+    fn child_builds_dependent_names() {
+        let alarms = ObjectName::root("Alarms");
+        let text = alarms.child(NameSegment::plain("Text"));
+        let kw = text.child(NameSegment::plain("Body")).child(NameSegment::indexed("Keywords", 0));
+        assert_eq!(kw.to_string(), "Alarms.Text.Body.Keywords[0]");
+        assert_eq!(kw.depth(), 4);
+    }
+
+    #[test]
+    fn rename_root_propagates() {
+        let n = ObjectName::parse("Alarms.Text.Selector").unwrap();
+        assert_eq!(n.with_root_renamed("AlarmMatrix").to_string(), "AlarmMatrix.Text.Selector");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_names() {
+        for bad in ["", " ", "A..B", "A.[1]", "A.B[", "A.B[x]", "A.B[1", ".A"] {
+            assert!(ObjectName::parse(bad).is_err(), "should reject {bad:?}");
+        }
+        assert!(ObjectName::from_segments(vec![]).is_err());
+    }
+
+    #[test]
+    fn ordering_groups_hierarchies() {
+        let a = ObjectName::parse("Alarms").unwrap();
+        let at = ObjectName::parse("Alarms.Text").unwrap();
+        let b = ObjectName::parse("Sensor").unwrap();
+        assert!(a < at);
+        assert!(at < b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_segment() -> impl Strategy<Value = NameSegment> {
+        ("[A-Za-z][A-Za-z0-9_]{0,8}", proptest::option::of(0u32..100))
+            .prop_map(|(name, index)| NameSegment { name, index })
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_roundtrip(segments in proptest::collection::vec(arb_segment(), 1..5)) {
+            let name = ObjectName::from_segments(segments).unwrap();
+            let parsed = ObjectName::parse(&name.to_string()).unwrap();
+            prop_assert_eq!(parsed, name);
+        }
+    }
+}

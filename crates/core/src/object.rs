@@ -1,0 +1,84 @@
+//! Object records: independent objects and dependent sub-objects.
+
+use serde::{Deserialize, Serialize};
+
+use seed_schema::ClassId;
+
+use crate::ident::ObjectId;
+use crate::name::ObjectName;
+use crate::value::Value;
+
+/// A stored object (entity instance).
+///
+/// Deletion is logical ("this is made easy by marking items as deleted instead of removing them
+/// physically"), which is what makes delta-based version storage cheap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectRecord {
+    /// Stable identifier.
+    pub id: ObjectId,
+    /// The object's class (may move within a generalization hierarchy via re-classification).
+    pub class: ClassId,
+    /// Full hierarchical name (`Alarms`, `Alarms.Text.Selector`, ...).
+    pub name: ObjectName,
+    /// Owning object for dependent objects.
+    pub parent: Option<ObjectId>,
+    /// The object's value, or [`Value::Undefined`] when none has been entered yet.
+    pub value: Value,
+    /// Whether the object is a pattern ("patterns are invisible to any retrieval operation and
+    /// are not checked for consistency unless they are inherited by a 'normal' data item").
+    pub is_pattern: bool,
+    /// Logical-deletion tombstone.
+    pub deleted: bool,
+}
+
+impl ObjectRecord {
+    /// Creates a live, non-pattern object record.
+    pub fn new(id: ObjectId, class: ClassId, name: ObjectName, parent: Option<ObjectId>) -> Self {
+        Self { id, class, name, parent, value: Value::Undefined, is_pattern: false, deleted: false }
+    }
+
+    /// Whether this object is visible to ordinary retrieval (live and not a pattern).
+    pub fn is_visible(&self) -> bool {
+        !self.deleted && !self.is_pattern
+    }
+
+    /// Whether the object is an independent (top-level) object.
+    pub fn is_independent(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_object_is_visible_and_undefined() {
+        let o = ObjectRecord::new(ObjectId(1), ClassId(0), ObjectName::root("Alarms"), None);
+        assert!(o.is_visible());
+        assert!(o.is_independent());
+        assert!(o.value.is_undefined());
+        assert!(!o.is_pattern);
+    }
+
+    #[test]
+    fn visibility_flags() {
+        let mut o = ObjectRecord::new(ObjectId(1), ClassId(0), ObjectName::root("Alarms"), None);
+        o.is_pattern = true;
+        assert!(!o.is_visible());
+        o.is_pattern = false;
+        o.deleted = true;
+        assert!(!o.is_visible());
+    }
+
+    #[test]
+    fn dependent_objects_have_parents() {
+        let o = ObjectRecord::new(
+            ObjectId(2),
+            ClassId(3),
+            ObjectName::parse("Alarms.Text").unwrap(),
+            Some(ObjectId(1)),
+        );
+        assert!(!o.is_independent());
+    }
+}

@@ -1,0 +1,343 @@
+//! Patterns, inheritance and variants.
+//!
+//! "Any data item that is entered into the database can be marked as a pattern.  Patterns are
+//! invisible to any retrieval operation and are not checked for consistency unless they are
+//! inherited by a 'normal' data item.  (...) all retrieval operations view patterns as if they
+//! were inserted in the context of the inheritors.  However, instead of a real insertion we
+//! establish a special inherits-relationship between a pattern and any of its inheritors.  Thus
+//! pattern information cannot be updated in the context of the inheritors, but only in the
+//! pattern itself.  Conversely, any update of a pattern automatically propagates to all
+//! inheritors of that pattern."
+//!
+//! This module provides the *materialization view*: given the inherits-links kept in the
+//! [`DataStore`], it computes what an inheritor's context looks like with its patterns folded
+//! in.  Because the view is computed, pattern updates propagate to inheritors by construction.
+//! [`VariantFamily`] packages the paper's Figure 5 construction of variants on top of patterns.
+
+use std::collections::BTreeMap;
+
+use crate::ident::{ObjectId, RelationshipId};
+use crate::object::ObjectRecord;
+use crate::relationship::RelationshipRecord;
+use crate::store::DataStore;
+use crate::value::Value;
+
+/// A relationship as seen in the context of an inheritor: either a real one or a pattern
+/// relationship materialized with the inheritor substituted for the pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedRelationship {
+    /// The relationship content (bindings already substituted for inherited ones).
+    pub record: RelationshipRecord,
+    /// The pattern object this relationship was inherited from, or `None` if it is a real
+    /// relationship of the inheritor itself.
+    pub inherited_from: Option<ObjectId>,
+}
+
+impl MaterializedRelationship {
+    /// Whether the relationship is inherited (and therefore immutable in this context).
+    pub fn is_inherited(&self) -> bool {
+        self.inherited_from.is_some()
+    }
+}
+
+/// A dependent object as seen in the context of an inheritor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedChild {
+    /// The dependent object's record (name still rooted at the pattern for inherited ones).
+    pub record: ObjectRecord,
+    /// The pattern object this child was inherited from, or `None` for the inheritor's own.
+    pub inherited_from: Option<ObjectId>,
+}
+
+/// Computes the relationships visible in `object`'s context: its own live, non-pattern
+/// relationships plus every relationship of every pattern it inherits, with the pattern
+/// substituted by the inheritor in the bindings.
+pub fn materialized_relationships(store: &DataStore, object: ObjectId) -> Vec<MaterializedRelationship> {
+    let mut out = Vec::new();
+    for rel in store.relationships_of(object) {
+        if rel.is_visible() {
+            out.push(MaterializedRelationship { record: rel.clone(), inherited_from: None });
+        }
+    }
+    for pattern in store.inherited_patterns(object) {
+        for rel in store.relationships_of(pattern) {
+            if rel.deleted {
+                continue;
+            }
+            out.push(MaterializedRelationship {
+                record: rel.with_substituted(pattern, object),
+                inherited_from: Some(pattern),
+            });
+        }
+    }
+    out.sort_by_key(|m| m.record.id);
+    out
+}
+
+/// Computes the dependent objects visible in `object`'s context: its own live, non-pattern
+/// children plus the children of every inherited pattern.
+pub fn materialized_children(store: &DataStore, object: ObjectId) -> Vec<MaterializedChild> {
+    let mut out = Vec::new();
+    for child in store.children_of(object) {
+        if !child.is_pattern {
+            out.push(MaterializedChild { record: child.clone(), inherited_from: None });
+        }
+    }
+    for pattern in store.inherited_patterns(object) {
+        for child in store.children_of(pattern) {
+            out.push(MaterializedChild { record: child.clone(), inherited_from: Some(pattern) });
+        }
+    }
+    out.sort_by_key(|m| m.record.id);
+    out
+}
+
+/// The value visible in `object`'s context: its own value if defined, otherwise the first
+/// defined value among its inherited patterns (in pattern-id order).
+pub fn effective_value(store: &DataStore, object: ObjectId) -> Value {
+    if let Some(obj) = store.live_object(object) {
+        if !obj.value.is_undefined() {
+            return obj.value.clone();
+        }
+        for pattern in store.inherited_patterns(object) {
+            if let Some(p) = store.live_object(pattern) {
+                if !p.value.is_undefined() {
+                    return p.value.clone();
+                }
+            }
+        }
+    }
+    Value::Undefined
+}
+
+/// Whether `relationship` is inherited (rather than owned) in the context of `object`:
+/// i.e. it is a relationship of one of the patterns `object` inherits.
+pub fn is_inherited_relationship(store: &DataStore, object: ObjectId, relationship: RelationshipId) -> Option<ObjectId> {
+    for pattern in store.inherited_patterns(object) {
+        if store
+            .relationships_of(pattern)
+            .iter()
+            .any(|r| r.id == relationship)
+        {
+            return Some(pattern);
+        }
+    }
+    None
+}
+
+/// Description of a variants family built with patterns (Figure 5 of the paper).
+///
+/// "We define a *variants family* to be some sets of objects and relationships that have a part
+/// of their information in common, but differ in some other parts. (...) Common and variant
+/// parts of a variants family are described by normal items.  The connections between the common
+/// part and the several variant parts are established by pattern relationships, with every
+/// variant inheriting these patterns.  Pattern semantics now guarantee that all variant parts
+/// have the same relationships to the common part."
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantFamily {
+    /// Name of the family (for reports).
+    pub name: String,
+    /// Objects making up the common part.
+    pub common_part: Vec<ObjectId>,
+    /// The pattern objects carrying the connection points (PO1, PO2, ... in Figure 5).
+    pub patterns: Vec<ObjectId>,
+    /// Variant name → the objects of that variant part (each of which inherits the patterns).
+    pub variants: BTreeMap<String, Vec<ObjectId>>,
+}
+
+impl VariantFamily {
+    /// Creates an empty family description.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), common_part: Vec::new(), patterns: Vec::new(), variants: BTreeMap::new() }
+    }
+
+    /// Objects of a named variant.
+    pub fn variant(&self, name: &str) -> Option<&[ObjectId]> {
+        self.variants.get(name).map(|v| v.as_slice())
+    }
+
+    /// Names of all variants.
+    pub fn variant_names(&self) -> Vec<&str> {
+        self.variants.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Verifies the defining property of a variants family: every variant part object inherits
+    /// every pattern, so all variants share the same (inherited) relationships to the common
+    /// part.  Returns the list of `(variant, object, missing pattern)` triples that break it.
+    pub fn check_uniform_inheritance(&self, store: &DataStore) -> Vec<(String, ObjectId, ObjectId)> {
+        let mut problems = Vec::new();
+        for (variant_name, members) in &self.variants {
+            for member in members {
+                let inherited = store.inherited_patterns(*member);
+                for pattern in &self.patterns {
+                    if !inherited.contains(pattern) {
+                        problems.push((variant_name.clone(), *member, *pattern));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ObjectName;
+    use seed_schema::{AssociationId, ClassId};
+
+    fn add_object(store: &mut DataStore, name: &str, pattern: bool) -> ObjectId {
+        let id = store.allocate_object_id();
+        let mut rec = ObjectRecord::new(id, ClassId(0), ObjectName::root(name), None);
+        rec.is_pattern = pattern;
+        store.insert_object(rec);
+        id
+    }
+
+    fn add_rel(store: &mut DataStore, a: ObjectId, b: ObjectId, pattern: bool) -> RelationshipId {
+        let id = store.allocate_relationship_id();
+        let mut rec = RelationshipRecord::new(
+            id,
+            AssociationId(0),
+            vec![("a".to_string(), a), ("b".to_string(), b)],
+        );
+        rec.is_pattern = pattern;
+        store.insert_relationship(rec);
+        id
+    }
+
+    #[test]
+    fn inherited_relationships_substitute_the_inheritor() {
+        let mut store = DataStore::new();
+        let common = add_object(&mut store, "CommonPart", false);
+        let pattern = add_object(&mut store, "PO1", true);
+        let variant_a = add_object(&mut store, "VariantA", false);
+        let pr1 = add_rel(&mut store, pattern, common, true);
+        store.add_inherits(variant_a, pattern);
+
+        let rels = materialized_relationships(&store, variant_a);
+        assert_eq!(rels.len(), 1);
+        assert!(rels[0].is_inherited());
+        assert_eq!(rels[0].inherited_from, Some(pattern));
+        // The pattern is substituted by the inheritor in the binding.
+        assert_eq!(rels[0].record.bound("a"), Some(variant_a));
+        assert_eq!(rels[0].record.bound("b"), Some(common));
+        assert_eq!(is_inherited_relationship(&store, variant_a, pr1), Some(pattern));
+        assert_eq!(is_inherited_relationship(&store, common, pr1), None);
+    }
+
+    #[test]
+    fn own_relationships_are_not_marked_inherited() {
+        let mut store = DataStore::new();
+        let a = add_object(&mut store, "A", false);
+        let b = add_object(&mut store, "B", false);
+        add_rel(&mut store, a, b, false);
+        let rels = materialized_relationships(&store, a);
+        assert_eq!(rels.len(), 1);
+        assert!(!rels[0].is_inherited());
+    }
+
+    #[test]
+    fn pattern_children_and_values_materialize() {
+        let mut store = DataStore::new();
+        let pattern = add_object(&mut store, "PatternProcedure", true);
+        // The pattern carries a deadline value and a child.
+        store.update_object(pattern, |o| o.value = Value::string("1986-06-30"));
+        let child = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(
+            child,
+            ClassId(1),
+            ObjectName::parse("PatternProcedure.Deadline").unwrap(),
+            Some(pattern),
+        ));
+        let proc_a = add_object(&mut store, "ProcA", false);
+        store.add_inherits(proc_a, pattern);
+
+        assert_eq!(effective_value(&store, proc_a), Value::string("1986-06-30"));
+        let children = materialized_children(&store, proc_a);
+        assert_eq!(children.len(), 1);
+        assert_eq!(children[0].inherited_from, Some(pattern));
+        // The inheritor's own value wins once defined.
+        store.update_object(proc_a, |o| o.value = Value::string("own"));
+        assert_eq!(effective_value(&store, proc_a), Value::string("own"));
+    }
+
+    #[test]
+    fn pattern_update_propagates_to_all_inheritors() {
+        let mut store = DataStore::new();
+        let pattern = add_object(&mut store, "Deadline", true);
+        store.update_object(pattern, |o| o.value = Value::string("1986-03-01"));
+        let a = add_object(&mut store, "ProcA", false);
+        let b = add_object(&mut store, "ProcB", false);
+        store.add_inherits(a, pattern);
+        store.add_inherits(b, pattern);
+        assert_eq!(effective_value(&store, a), Value::string("1986-03-01"));
+        assert_eq!(effective_value(&store, b), Value::string("1986-03-01"));
+        // "a change in the pattern affects all inheriting objects in the same way"
+        store.update_object(pattern, |o| o.value = Value::string("1986-06-30"));
+        assert_eq!(effective_value(&store, a), Value::string("1986-06-30"));
+        assert_eq!(effective_value(&store, b), Value::string("1986-06-30"));
+    }
+
+    #[test]
+    fn figure5_variant_family_shares_relationships_to_common_part() {
+        let mut store = DataStore::new();
+        // Figure 5: common part, PO1/PO2 patterns, variant parts A and B.
+        let common = add_object(&mut store, "CommonPart", false);
+        let po1 = add_object(&mut store, "PO1", true);
+        let po2 = add_object(&mut store, "PO2", true);
+        add_rel(&mut store, po1, common, true); // PR1
+        add_rel(&mut store, po2, common, true); // PR2
+        let variant_a = add_object(&mut store, "VariantPartA", false);
+        let variant_b = add_object(&mut store, "VariantPartB", false);
+        for v in [variant_a, variant_b] {
+            store.add_inherits(v, po1);
+            store.add_inherits(v, po2);
+        }
+        let mut family = VariantFamily::new("SystemConfigurations");
+        family.common_part.push(common);
+        family.patterns.extend([po1, po2]);
+        family.variants.insert("A".to_string(), vec![variant_a]);
+        family.variants.insert("B".to_string(), vec![variant_b]);
+
+        assert!(family.check_uniform_inheritance(&store).is_empty());
+        assert_eq!(family.variant_names(), vec!["A", "B"]);
+        assert_eq!(family.variant("A"), Some(&[variant_a][..]));
+        assert!(family.variant("C").is_none());
+
+        // Both variants see two inherited relationships to the common part.
+        for v in [variant_a, variant_b] {
+            let rels = materialized_relationships(&store, v);
+            assert_eq!(rels.len(), 2);
+            assert!(rels.iter().all(|r| r.is_inherited()));
+            assert!(rels.iter().all(|r| r.record.involves(common)));
+            assert!(rels.iter().all(|r| r.record.involves(v)));
+        }
+        // The common part itself does not see the variants through retrieval of its own
+        // (non-pattern) relationships.
+        let common_rels = materialized_relationships(&store, common);
+        assert!(common_rels.is_empty(), "pattern relationships are invisible in the common part's own context");
+    }
+
+    #[test]
+    fn uniform_inheritance_violations_are_reported() {
+        let mut store = DataStore::new();
+        let common = add_object(&mut store, "Common", false);
+        let po1 = add_object(&mut store, "PO1", true);
+        add_rel(&mut store, po1, common, true);
+        let variant_a = add_object(&mut store, "A", false);
+        let variant_b = add_object(&mut store, "B", false);
+        store.add_inherits(variant_a, po1);
+        // B forgot to inherit.
+        let mut family = VariantFamily::new("F");
+        family.common_part.push(common);
+        family.patterns.push(po1);
+        family.variants.insert("A".into(), vec![variant_a]);
+        family.variants.insert("B".into(), vec![variant_b]);
+        let problems = family.check_uniform_inheritance(&store);
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].0, "B");
+        assert_eq!(problems[0].1, variant_b);
+        assert_eq!(problems[0].2, po1);
+    }
+}

@@ -1,0 +1,834 @@
+//! Persistence of a whole database through the `seed-storage` engine.
+//!
+//! The database is serialized with the storage crate's binary codec into a handful of keys
+//! (`schema`, `objects`, `relationships`, `inherits`, `versions`, `meta`) written in a single
+//! storage transaction, so a crash during save never leaves a half-written database; the engine
+//! then checkpoints.  Loading rebuilds the schema registry, the data store and the version
+//! manager from those blobs.
+
+use std::path::Path;
+
+use seed_schema::{
+    AssociationId, AttachedProcedure, Cardinality, ClassId, Domain, RelationshipAttribute, Role,
+    Schema, SchemaRegistry,
+};
+use seed_storage::{Decoder, Encoder, StorageEngine};
+
+use crate::database::Database;
+use crate::error::{SeedError, SeedResult};
+use crate::history::TransitionRule;
+use crate::ident::{ItemId, ObjectId, RelationshipId, VersionId};
+use crate::name::ObjectName;
+use crate::object::ObjectRecord;
+use crate::relationship::RelationshipRecord;
+use crate::store::DataStore;
+use crate::value::Value;
+use crate::version::{ItemSnapshot, VersionInfo, VersionManager};
+
+// --------------------------------------------------------------------------------------------
+// Value encoding
+// --------------------------------------------------------------------------------------------
+
+fn encode_value(e: &mut Encoder, v: &Value) {
+    match v {
+        Value::String(s) => {
+            e.put_u8(0).put_str(s);
+        }
+        Value::Integer(i) => {
+            e.put_u8(1).put_i64(*i);
+        }
+        Value::Real(r) => {
+            e.put_u8(2).put_f64(*r);
+        }
+        Value::Boolean(b) => {
+            e.put_u8(3).put_bool(*b);
+        }
+        Value::Date { year, month, day } => {
+            e.put_u8(4).put_i64(*year as i64).put_u8(*month).put_u8(*day);
+        }
+        Value::Symbol(s) => {
+            e.put_u8(5).put_str(s);
+        }
+        Value::Text(s) => {
+            e.put_u8(6).put_str(s);
+        }
+        Value::Undefined => {
+            e.put_u8(7);
+        }
+    }
+}
+
+fn decode_value(d: &mut Decoder<'_>) -> SeedResult<Value> {
+    Ok(match d.get_u8()? {
+        0 => Value::String(d.get_str()?.to_string()),
+        1 => Value::Integer(d.get_i64()?),
+        2 => Value::Real(d.get_f64()?),
+        3 => Value::Boolean(d.get_bool()?),
+        4 => Value::Date { year: d.get_i64()? as i32, month: d.get_u8()?, day: d.get_u8()? },
+        5 => Value::Symbol(d.get_str()?.to_string()),
+        6 => Value::Text(d.get_str()?.to_string()),
+        7 => Value::Undefined,
+        other => return Err(SeedError::Invalid(format!("unknown value tag {other}"))),
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Domain / cardinality / procedure encoding
+// --------------------------------------------------------------------------------------------
+
+fn encode_domain(e: &mut Encoder, d: &Domain) {
+    match d {
+        Domain::String => {
+            e.put_u8(0);
+        }
+        Domain::Integer => {
+            e.put_u8(1);
+        }
+        Domain::Real => {
+            e.put_u8(2);
+        }
+        Domain::Boolean => {
+            e.put_u8(3);
+        }
+        Domain::Date => {
+            e.put_u8(4);
+        }
+        Domain::Text => {
+            e.put_u8(5);
+        }
+        Domain::Enumeration(lits) => {
+            e.put_u8(6).put_varint(lits.len() as u64);
+            for lit in lits {
+                e.put_str(lit);
+            }
+        }
+    }
+}
+
+fn decode_domain(d: &mut Decoder<'_>) -> SeedResult<Domain> {
+    Ok(match d.get_u8()? {
+        0 => Domain::String,
+        1 => Domain::Integer,
+        2 => Domain::Real,
+        3 => Domain::Boolean,
+        4 => Domain::Date,
+        5 => Domain::Text,
+        6 => {
+            let n = d.get_varint()? as usize;
+            let mut lits = Vec::with_capacity(n);
+            for _ in 0..n {
+                lits.push(d.get_str()?.to_string());
+            }
+            Domain::Enumeration(lits)
+        }
+        other => return Err(SeedError::Invalid(format!("unknown domain tag {other}"))),
+    })
+}
+
+fn encode_cardinality(e: &mut Encoder, c: &Cardinality) {
+    e.put_u32(c.min);
+    match c.max {
+        Some(m) => {
+            e.put_bool(true).put_u32(m);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+}
+
+fn decode_cardinality(d: &mut Decoder<'_>) -> SeedResult<Cardinality> {
+    let min = d.get_u32()?;
+    let max = if d.get_bool()? { Some(d.get_u32()?) } else { None };
+    Cardinality::new(min, max).map_err(SeedError::from)
+}
+
+fn encode_procedure(e: &mut Encoder, p: &AttachedProcedure) {
+    match p {
+        AttachedProcedure::ValueRange { min, max } => {
+            e.put_u8(0);
+            match min {
+                Some(v) => {
+                    e.put_bool(true).put_i64(*v);
+                }
+                None => {
+                    e.put_bool(false);
+                }
+            }
+            match max {
+                Some(v) => {
+                    e.put_bool(true).put_i64(*v);
+                }
+                None => {
+                    e.put_bool(false);
+                }
+            }
+        }
+        AttachedProcedure::ValueNotEmpty => {
+            e.put_u8(1);
+        }
+        AttachedProcedure::ValueContains(s) => {
+            e.put_u8(2).put_str(s);
+        }
+        AttachedProcedure::MaxLength(n) => {
+            e.put_u8(3).put_varint(*n as u64);
+        }
+        AttachedProcedure::Named(s) => {
+            e.put_u8(4).put_str(s);
+        }
+    }
+}
+
+fn decode_procedure(d: &mut Decoder<'_>) -> SeedResult<AttachedProcedure> {
+    Ok(match d.get_u8()? {
+        0 => {
+            let min = if d.get_bool()? { Some(d.get_i64()?) } else { None };
+            let max = if d.get_bool()? { Some(d.get_i64()?) } else { None };
+            AttachedProcedure::ValueRange { min, max }
+        }
+        1 => AttachedProcedure::ValueNotEmpty,
+        2 => AttachedProcedure::ValueContains(d.get_str()?.to_string()),
+        3 => AttachedProcedure::MaxLength(d.get_varint()? as usize),
+        4 => AttachedProcedure::Named(d.get_str()?.to_string()),
+        other => return Err(SeedError::Invalid(format!("unknown procedure tag {other}"))),
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Schema encoding
+// --------------------------------------------------------------------------------------------
+
+fn encode_schema(e: &mut Encoder, schema: &Schema) {
+    e.put_str(&schema.name);
+    e.put_varint(schema.class_count() as u64);
+    for class in schema.classes() {
+        e.put_str(&class.name);
+        match class.owner {
+            Some(o) => {
+                e.put_bool(true).put_u32(o.0);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        encode_cardinality(e, &class.occurrence);
+        match &class.domain {
+            Some(d) => {
+                e.put_bool(true);
+                encode_domain(e, d);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        match class.superclass {
+            Some(s) => {
+                e.put_bool(true).put_u32(s.0);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        e.put_bool(class.covering);
+        e.put_varint(class.procedures.len() as u64);
+        for p in &class.procedures {
+            encode_procedure(e, p);
+        }
+    }
+    e.put_varint(schema.association_count() as u64);
+    for assoc in schema.associations() {
+        e.put_str(&assoc.name);
+        e.put_varint(assoc.roles.len() as u64);
+        for role in &assoc.roles {
+            e.put_str(&role.name).put_u32(role.class.0);
+            encode_cardinality(e, &role.cardinality);
+        }
+        e.put_bool(assoc.acyclic);
+        match assoc.superassociation {
+            Some(s) => {
+                e.put_bool(true).put_u32(s.0);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        e.put_bool(assoc.covering);
+        e.put_varint(assoc.procedures.len() as u64);
+        for p in &assoc.procedures {
+            encode_procedure(e, p);
+        }
+        e.put_varint(assoc.attributes.len() as u64);
+        for attr in &assoc.attributes {
+            e.put_str(&attr.name);
+            encode_domain(e, &attr.domain);
+            e.put_bool(attr.required);
+        }
+    }
+}
+
+fn decode_schema(d: &mut Decoder<'_>) -> SeedResult<Schema> {
+    let name = d.get_str()?.to_string();
+    let mut schema = Schema::new(name);
+    let class_count = d.get_varint()? as usize;
+    struct PendingClass {
+        superclass: Option<u32>,
+        covering: bool,
+        procedures: Vec<AttachedProcedure>,
+    }
+    let mut pending_classes = Vec::with_capacity(class_count);
+    for _ in 0..class_count {
+        let name = d.get_str()?.to_string();
+        let owner = if d.get_bool()? { Some(ClassId(d.get_u32()?)) } else { None };
+        let occurrence = decode_cardinality(d)?;
+        let domain = if d.get_bool()? { Some(decode_domain(d)?) } else { None };
+        let superclass = if d.get_bool()? { Some(d.get_u32()?) } else { None };
+        let covering = d.get_bool()?;
+        let proc_count = d.get_varint()? as usize;
+        let mut procedures = Vec::with_capacity(proc_count);
+        for _ in 0..proc_count {
+            procedures.push(decode_procedure(d)?);
+        }
+        // Classes are encoded in id order, so re-adding them in order reproduces the ids.
+        schema.add_class_full(name, owner, occurrence, domain)?;
+        pending_classes.push(PendingClass { superclass, covering, procedures });
+    }
+    for (idx, pending) in pending_classes.into_iter().enumerate() {
+        let id = ClassId(idx as u32);
+        if let Some(sup) = pending.superclass {
+            schema.set_superclass(id, ClassId(sup))?;
+        }
+        if pending.covering {
+            schema.set_class_covering(id, true)?;
+        }
+        for p in pending.procedures {
+            schema.attach_class_procedure(id, p)?;
+        }
+    }
+
+    let assoc_count = d.get_varint()? as usize;
+    struct PendingAssoc {
+        superassociation: Option<u32>,
+        covering: bool,
+        procedures: Vec<AttachedProcedure>,
+        attributes: Vec<RelationshipAttribute>,
+    }
+    let mut pending_assocs = Vec::with_capacity(assoc_count);
+    for _ in 0..assoc_count {
+        let name = d.get_str()?.to_string();
+        let role_count = d.get_varint()? as usize;
+        let mut roles = Vec::with_capacity(role_count);
+        for _ in 0..role_count {
+            let role_name = d.get_str()?.to_string();
+            let class = ClassId(d.get_u32()?);
+            let cardinality = decode_cardinality(d)?;
+            roles.push(Role::new(role_name, class, cardinality));
+        }
+        let acyclic = d.get_bool()?;
+        let superassociation = if d.get_bool()? { Some(d.get_u32()?) } else { None };
+        let covering = d.get_bool()?;
+        let proc_count = d.get_varint()? as usize;
+        let mut procedures = Vec::with_capacity(proc_count);
+        for _ in 0..proc_count {
+            procedures.push(decode_procedure(d)?);
+        }
+        let attr_count = d.get_varint()? as usize;
+        let mut attributes = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            let attr_name = d.get_str()?.to_string();
+            let domain = decode_domain(d)?;
+            let required = d.get_bool()?;
+            attributes.push(RelationshipAttribute::new(attr_name, domain, required));
+        }
+        schema.add_association(name, roles, acyclic)?;
+        pending_assocs.push(PendingAssoc { superassociation, covering, procedures, attributes });
+    }
+    for (idx, pending) in pending_assocs.into_iter().enumerate() {
+        let id = AssociationId(idx as u32);
+        if let Some(sup) = pending.superassociation {
+            schema.set_superassociation(id, AssociationId(sup))?;
+        }
+        if pending.covering {
+            schema.set_association_covering(id, true)?;
+        }
+        for p in pending.procedures {
+            schema.attach_association_procedure(id, p)?;
+        }
+        for attr in pending.attributes {
+            schema.add_relationship_attribute(id, attr)?;
+        }
+    }
+    Ok(schema)
+}
+
+// --------------------------------------------------------------------------------------------
+// Record encoding
+// --------------------------------------------------------------------------------------------
+
+fn encode_object(e: &mut Encoder, o: &ObjectRecord) {
+    e.put_u64(o.id.0).put_u32(o.class.0).put_str(&o.name.to_string());
+    match o.parent {
+        Some(p) => {
+            e.put_bool(true).put_u64(p.0);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+    encode_value(e, &o.value);
+    e.put_bool(o.is_pattern).put_bool(o.deleted);
+}
+
+fn decode_object(d: &mut Decoder<'_>) -> SeedResult<ObjectRecord> {
+    let id = ObjectId(d.get_u64()?);
+    let class = ClassId(d.get_u32()?);
+    let name = ObjectName::parse(d.get_str()?)?;
+    let parent = if d.get_bool()? { Some(ObjectId(d.get_u64()?)) } else { None };
+    let value = decode_value(d)?;
+    let is_pattern = d.get_bool()?;
+    let deleted = d.get_bool()?;
+    Ok(ObjectRecord { id, class, name, parent, value, is_pattern, deleted })
+}
+
+fn encode_relationship(e: &mut Encoder, r: &RelationshipRecord) {
+    e.put_u64(r.id.0).put_u32(r.association.0);
+    e.put_varint(r.bindings.len() as u64);
+    for (role, obj) in &r.bindings {
+        e.put_str(role).put_u64(obj.0);
+    }
+    e.put_varint(r.attributes.len() as u64);
+    for (name, value) in &r.attributes {
+        e.put_str(name);
+        encode_value(e, value);
+    }
+    e.put_bool(r.is_pattern).put_bool(r.deleted);
+}
+
+fn decode_relationship(d: &mut Decoder<'_>) -> SeedResult<RelationshipRecord> {
+    let id = RelationshipId(d.get_u64()?);
+    let association = AssociationId(d.get_u32()?);
+    let binding_count = d.get_varint()? as usize;
+    let mut bindings = Vec::with_capacity(binding_count);
+    for _ in 0..binding_count {
+        let role = d.get_str()?.to_string();
+        let obj = ObjectId(d.get_u64()?);
+        bindings.push((role, obj));
+    }
+    let attr_count = d.get_varint()? as usize;
+    let mut record = RelationshipRecord::new(id, association, bindings);
+    for _ in 0..attr_count {
+        let name = d.get_str()?.to_string();
+        let value = decode_value(d)?;
+        record.attributes.insert(name, value);
+    }
+    record.is_pattern = d.get_bool()?;
+    record.deleted = d.get_bool()?;
+    Ok(record)
+}
+
+fn encode_item_id(e: &mut Encoder, item: &ItemId) {
+    match item {
+        ItemId::Object(o) => {
+            e.put_u8(0).put_u64(o.0);
+        }
+        ItemId::Relationship(r) => {
+            e.put_u8(1).put_u64(r.0);
+        }
+    }
+}
+
+fn decode_item_id(d: &mut Decoder<'_>) -> SeedResult<ItemId> {
+    Ok(match d.get_u8()? {
+        0 => ItemId::Object(ObjectId(d.get_u64()?)),
+        1 => ItemId::Relationship(RelationshipId(d.get_u64()?)),
+        other => return Err(SeedError::Invalid(format!("unknown item tag {other}"))),
+    })
+}
+
+fn encode_transition_rule(e: &mut Encoder, rule: &TransitionRule) {
+    match rule {
+        TransitionRule::NoDeletions => {
+            e.put_u8(0);
+        }
+        TransitionRule::FrozenValues { class } => {
+            e.put_u8(1).put_str(class);
+        }
+        TransitionRule::MonotonicValue { class } => {
+            e.put_u8(2).put_str(class);
+        }
+        TransitionRule::MustDiffer => {
+            e.put_u8(3);
+        }
+    }
+}
+
+fn decode_transition_rule(d: &mut Decoder<'_>) -> SeedResult<TransitionRule> {
+    Ok(match d.get_u8()? {
+        0 => TransitionRule::NoDeletions,
+        1 => TransitionRule::FrozenValues { class: d.get_str()?.to_string() },
+        2 => TransitionRule::MonotonicValue { class: d.get_str()?.to_string() },
+        3 => TransitionRule::MustDiffer,
+        other => return Err(SeedError::Invalid(format!("unknown transition-rule tag {other}"))),
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Whole-database save / load
+// --------------------------------------------------------------------------------------------
+
+/// Saves the database into an open storage engine (single transaction + checkpoint).
+pub fn save(db: &Database, engine: &StorageEngine) -> SeedResult<()> {
+    let (schemas, store, versions, rules) = db.parts();
+
+    // Schema registry.
+    let mut schema_blob = Encoder::new();
+    let version_ids = schemas.version_ids();
+    schema_blob.put_varint(version_ids.len() as u64);
+    schema_blob.put_u32(schemas.current_id().0);
+    for vid in &version_ids {
+        schema_blob.put_u32(vid.0);
+        encode_schema(&mut schema_blob, schemas.get(*vid)?);
+    }
+
+    // Objects and relationships (everything, tombstones included).
+    let mut objects_blob = Encoder::new();
+    let mut objects: Vec<&ObjectRecord> = store.all_objects().collect();
+    objects.sort_by_key(|o| o.id);
+    objects_blob.put_varint(objects.len() as u64);
+    for o in objects {
+        encode_object(&mut objects_blob, o);
+    }
+    let mut rels_blob = Encoder::new();
+    let mut rels: Vec<&RelationshipRecord> = store.all_relationships().collect();
+    rels.sort_by_key(|r| r.id);
+    rels_blob.put_varint(rels.len() as u64);
+    for r in rels {
+        encode_relationship(&mut rels_blob, r);
+    }
+
+    // Inherits links.
+    let mut inherits_blob = Encoder::new();
+    let links = store.all_inherits_links();
+    inherits_blob.put_varint(links.len() as u64);
+    for (inheritor, pattern) in links {
+        inherits_blob.put_u64(inheritor.0).put_u64(pattern.0);
+    }
+
+    // Version manager.
+    let mut versions_blob = Encoder::new();
+    let (infos, histories, last_created, seq) = versions.export_state();
+    versions_blob.put_varint(infos.len() as u64);
+    for info in &infos {
+        versions_blob.put_str(&info.id.to_string());
+        match &info.parent {
+            Some(p) => {
+                versions_blob.put_bool(true).put_str(&p.to_string());
+            }
+            None => {
+                versions_blob.put_bool(false);
+            }
+        }
+        versions_blob.put_u32(info.schema_version.0);
+        versions_blob.put_str(&info.comment);
+        versions_blob.put_u64(info.seq);
+        versions_blob.put_varint(info.delta_size as u64);
+    }
+    versions_blob.put_varint(histories.len() as u64);
+    for (item, entries) in &histories {
+        encode_item_id(&mut versions_blob, item);
+        versions_blob.put_varint(entries.len() as u64);
+        for (version, snapshot) in entries {
+            versions_blob.put_str(&version.to_string());
+            match snapshot {
+                ItemSnapshot::Object(o) => {
+                    versions_blob.put_u8(0);
+                    encode_object(&mut versions_blob, o);
+                }
+                ItemSnapshot::Relationship(r) => {
+                    versions_blob.put_u8(1);
+                    encode_relationship(&mut versions_blob, r);
+                }
+            }
+        }
+    }
+    match &last_created {
+        Some(v) => {
+            versions_blob.put_bool(true).put_str(&v.to_string());
+        }
+        None => {
+            versions_blob.put_bool(false);
+        }
+    }
+    versions_blob.put_u64(seq);
+
+    // Meta: id floors, dirty set, transition rules.
+    let mut meta_blob = Encoder::new();
+    let (obj_floor, rel_floor) = store.id_floor();
+    meta_blob.put_u64(obj_floor).put_u64(rel_floor);
+    let dirty: Vec<ItemId> = {
+        let mut d: Vec<ItemId> = store.dirty_items().iter().copied().collect();
+        d.sort();
+        d
+    };
+    meta_blob.put_varint(dirty.len() as u64);
+    for item in &dirty {
+        encode_item_id(&mut meta_blob, item);
+    }
+    meta_blob.put_varint(rules.len() as u64);
+    for rule in rules {
+        encode_transition_rule(&mut meta_blob, rule);
+    }
+
+    let txn = engine.begin()?;
+    engine.txn_put(txn, b"seed/schema", schema_blob.as_slice())?;
+    engine.txn_put(txn, b"seed/objects", objects_blob.as_slice())?;
+    engine.txn_put(txn, b"seed/relationships", rels_blob.as_slice())?;
+    engine.txn_put(txn, b"seed/inherits", inherits_blob.as_slice())?;
+    engine.txn_put(txn, b"seed/versions", versions_blob.as_slice())?;
+    engine.txn_put(txn, b"seed/meta", meta_blob.as_slice())?;
+    engine.commit(txn)?;
+    engine.checkpoint()?;
+    Ok(())
+}
+
+/// Loads a database from an open storage engine.
+pub fn load(engine: &StorageEngine) -> SeedResult<Database> {
+    let get = |key: &[u8]| -> SeedResult<Vec<u8>> {
+        engine
+            .get(key)?
+            .ok_or_else(|| SeedError::NotFound(format!("missing key {}", String::from_utf8_lossy(key))))
+    };
+
+    // Schema registry.
+    let schema_bytes = get(b"seed/schema")?;
+    let mut d = Decoder::new(&schema_bytes);
+    let version_count = d.get_varint()? as usize;
+    let current = d.get_u32()?;
+    let mut schemas_list = Vec::with_capacity(version_count);
+    for _ in 0..version_count {
+        let _vid = d.get_u32()?;
+        schemas_list.push(decode_schema(&mut d)?);
+    }
+    if schemas_list.is_empty() {
+        return Err(SeedError::Invalid("persisted database has no schema".to_string()));
+    }
+    let mut iter = schemas_list.into_iter();
+    let mut registry = SchemaRegistry::new(iter.next().expect("non-empty"));
+    for schema in iter {
+        registry.publish(schema);
+    }
+    registry.select(seed_schema::SchemaVersionId(current))?;
+
+    // Data store.
+    let mut store = DataStore::new();
+    let object_bytes = get(b"seed/objects")?;
+    let mut d = Decoder::new(&object_bytes);
+    let count = d.get_varint()? as usize;
+    for _ in 0..count {
+        store.insert_object(decode_object(&mut d)?);
+    }
+    let rel_bytes = get(b"seed/relationships")?;
+    let mut d = Decoder::new(&rel_bytes);
+    let count = d.get_varint()? as usize;
+    for _ in 0..count {
+        store.insert_relationship(decode_relationship(&mut d)?);
+    }
+    let inherits_bytes = get(b"seed/inherits")?;
+    let mut d = Decoder::new(&inherits_bytes);
+    let count = d.get_varint()? as usize;
+    for _ in 0..count {
+        let inheritor = ObjectId(d.get_u64()?);
+        let pattern = ObjectId(d.get_u64()?);
+        store.add_inherits(inheritor, pattern);
+    }
+
+    // Version manager.
+    let version_bytes = get(b"seed/versions")?;
+    let mut d = Decoder::new(&version_bytes);
+    let info_count = d.get_varint()? as usize;
+    let mut infos = Vec::with_capacity(info_count);
+    for _ in 0..info_count {
+        let id = VersionId::parse(d.get_str()?)?;
+        let parent = if d.get_bool()? { Some(VersionId::parse(d.get_str()?)?) } else { None };
+        let schema_version = seed_schema::SchemaVersionId(d.get_u32()?);
+        let comment = d.get_str()?.to_string();
+        let seq = d.get_u64()?;
+        let delta_size = d.get_varint()? as usize;
+        infos.push(VersionInfo { id, parent, schema_version, comment, seq, delta_size });
+    }
+    let history_count = d.get_varint()? as usize;
+    let mut histories = Vec::with_capacity(history_count);
+    for _ in 0..history_count {
+        let item = decode_item_id(&mut d)?;
+        let entry_count = d.get_varint()? as usize;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let version = VersionId::parse(d.get_str()?)?;
+            let snapshot = match d.get_u8()? {
+                0 => ItemSnapshot::Object(decode_object(&mut d)?),
+                1 => ItemSnapshot::Relationship(decode_relationship(&mut d)?),
+                other => return Err(SeedError::Invalid(format!("unknown snapshot tag {other}"))),
+            };
+            entries.push((version, snapshot));
+        }
+        histories.push((item, entries));
+    }
+    let last_created = if d.get_bool()? { Some(VersionId::parse(d.get_str()?)?) } else { None };
+    let seq = d.get_u64()?;
+    let versions = VersionManager::from_state(infos, histories, last_created, seq);
+
+    // Meta.
+    let meta_bytes = get(b"seed/meta")?;
+    let mut d = Decoder::new(&meta_bytes);
+    let obj_floor = d.get_u64()?;
+    let rel_floor = d.get_u64()?;
+    store.raise_id_floor(obj_floor, rel_floor);
+    // Dirty set: loading re-marked everything dirty through the inserts above; restore the
+    // persisted dirty set instead so the next version snapshot stays a true delta.
+    store.clear_dirty();
+    let dirty_count = d.get_varint()? as usize;
+    let mut dirty = Vec::with_capacity(dirty_count);
+    for _ in 0..dirty_count {
+        dirty.push(decode_item_id(&mut d)?);
+    }
+    store.mark_dirty_bulk(&dirty);
+    let rule_count = d.get_varint()? as usize;
+    let mut rules = Vec::with_capacity(rule_count);
+    for _ in 0..rule_count {
+        rules.push(decode_transition_rule(&mut d)?);
+    }
+
+    Ok(Database::from_parts(registry, store, versions, rules))
+}
+
+/// Saves a database into a directory (creating or reusing the storage engine files there).
+pub fn save_dir(db: &Database, dir: impl AsRef<Path>) -> SeedResult<()> {
+    let engine = StorageEngine::open(dir)?;
+    save(db, &engine)?;
+    engine.close()?;
+    Ok(())
+}
+
+/// Loads a database from a directory written by [`save_dir`].
+pub fn load_dir(dir: impl AsRef<Path>) -> SeedResult<Database> {
+    let engine = StorageEngine::open(dir)?;
+    let db = load(&engine)?;
+    engine.close()?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::NameSegment;
+    use seed_schema::figure3_schema;
+
+    fn populated_db() -> Database {
+        let mut db = Database::new(figure3_schema());
+        db.add_transition_rule(TransitionRule::NoDeletions);
+        let alarms = db.create_object("Thing", "Alarms").unwrap();
+        let sensor = db.create_object("Action", "Sensor").unwrap();
+        db.reclassify_object(alarms, "OutputData").unwrap();
+        let rel = db
+            .create_relationship_with_attributes(
+                "Write",
+                &[("to", alarms), ("by", sensor)],
+                &[("NumberOfWrites", Value::Integer(2)), ("ErrorHandling", Value::symbol("repeat"))],
+            )
+            .unwrap();
+        let text = db
+            .create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)
+            .unwrap();
+        db.create_dependent(text, "Selector", Value::string("Representation")).unwrap();
+        db.create_version("1.0 release").unwrap();
+        db.set_relationship_attribute(rel, "NumberOfWrites", Value::Integer(3)).unwrap();
+        let pattern = db.create_pattern_object("Data", "StandardInput").unwrap();
+        db.create_pattern_relationship("Access", &[("from", pattern), ("by", sensor)]).unwrap();
+        let consumer = db.create_object("Data", "Consumer").unwrap();
+        db.inherit_pattern(consumer, pattern).unwrap();
+        db
+    }
+
+    #[test]
+    fn schema_roundtrips_through_binary_encoding() {
+        let schema = figure3_schema();
+        let mut e = Encoder::new();
+        encode_schema(&mut e, &schema);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        let decoded = decode_schema(&mut d).unwrap();
+        assert_eq!(decoded, schema);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let values = vec![
+            Value::string("Alarms"),
+            Value::Integer(-9),
+            Value::Real(2.5),
+            Value::Boolean(true),
+            Value::date(1986, 2, 5).unwrap(),
+            Value::symbol("repeat"),
+            Value::text("long body"),
+            Value::Undefined,
+        ];
+        for v in values {
+            let mut e = Encoder::new();
+            encode_value(&mut e, &v);
+            let bytes = e.finish();
+            let mut d = Decoder::new(&bytes);
+            assert_eq!(decode_value(&mut d).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn database_roundtrips_through_engine() {
+        let db = populated_db();
+        let engine = StorageEngine::in_memory().unwrap();
+        save(&db, &engine).unwrap();
+        let loaded = load(&engine).unwrap();
+
+        assert_eq!(loaded.schema().name, "Figure3");
+        assert_eq!(loaded.object_count(), db.object_count());
+        assert_eq!(loaded.relationship_count(), db.relationship_count());
+        assert_eq!(loaded.versions().len(), 1);
+        assert_eq!(loaded.transition_rules(), db.transition_rules());
+        // Data survived.
+        let alarms = loaded.object_by_name("Alarms").unwrap();
+        assert_eq!(loaded.schema().class(alarms.class).unwrap().name, "OutputData");
+        let rels = loaded.relationships(alarms.id);
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].record.attributes.get("NumberOfWrites"), Some(&Value::Integer(3)));
+        // Patterns and inheritance survived.
+        let consumer = loaded.object_by_name("Consumer").unwrap();
+        assert_eq!(loaded.inherited_patterns(consumer.id).len(), 1);
+        assert_eq!(loaded.relationships(consumer.id).len(), 1);
+        // Version view survived.
+        let mut loaded = loaded;
+        let v10 = VersionId::parse("1.0").unwrap();
+        loaded.select_version(Some(v10)).unwrap();
+        let old_rel = loaded.relationships(loaded.object_by_name("Alarms").unwrap().id);
+        assert_eq!(old_rel[0].record.attributes.get("NumberOfWrites"), Some(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("seed-persist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = populated_db();
+        db.save_to_dir(&dir).unwrap();
+        let loaded = Database::open_dir(&dir).unwrap();
+        assert_eq!(loaded.object_count(), db.object_count());
+        // New objects after reload continue with fresh ids (no collision with stored ones).
+        let mut loaded = loaded;
+        let new_id = loaded.create_object("Action", "Display").unwrap();
+        assert!(loaded.store().all_objects().filter(|o| o.id == new_id).count() == 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loading_from_empty_engine_fails_cleanly() {
+        let engine = StorageEngine::in_memory().unwrap();
+        assert!(matches!(load(&engine), Err(SeedError::NotFound(_))));
+    }
+}

@@ -1,0 +1,132 @@
+//! Run-time registry for named attached procedures.
+//!
+//! Declarative attached procedures ([`seed_schema::AttachedProcedure`]'s value constraints) are
+//! evaluated directly by the consistency checker.  `Named` procedures are looked up here, which
+//! lets an application — such as the SPADES tool — register arbitrary Rust hooks that run
+//! whenever an item of the corresponding schema element is updated.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use seed_schema::ProcedureEvent;
+
+use crate::ident::ItemId;
+use crate::value::Value;
+
+/// Information handed to a named attached procedure when it fires.
+#[derive(Debug, Clone)]
+pub struct ProcedureContext<'a> {
+    /// What happened to the item.
+    pub event: ProcedureEvent,
+    /// The item being created / updated / deleted.
+    pub item: ItemId,
+    /// The item's (new) value, if the operation concerns a value.
+    pub value: Option<&'a Value>,
+    /// The item's name (for objects) or association name (for relationships).
+    pub subject: &'a str,
+}
+
+/// Signature of a named attached procedure: return `Err(reason)` to veto the update.
+pub type ProcedureFn = dyn Fn(&ProcedureContext<'_>) -> Result<(), String> + Send + Sync;
+
+/// Registry mapping procedure names to their implementations.
+#[derive(Clone, Default)]
+pub struct ProcedureRegistry {
+    procedures: HashMap<String, Arc<ProcedureFn>>,
+}
+
+impl fmt::Debug for ProcedureRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.procedures.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("ProcedureRegistry").field("procedures", &names).finish()
+    }
+}
+
+impl ProcedureRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a procedure under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&ProcedureContext<'_>) -> Result<(), String> + Send + Sync + 'static,
+    {
+        self.procedures.insert(name.into(), Arc::new(f));
+    }
+
+    /// Whether a procedure with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.procedures.contains_key(name)
+    }
+
+    /// Runs the named procedure.  An unregistered name is treated as a veto, so that a schema
+    /// referring to a missing hook fails loudly instead of silently skipping its constraint.
+    pub fn run(&self, name: &str, ctx: &ProcedureContext<'_>) -> Result<(), String> {
+        match self.procedures.get(name) {
+            Some(f) => f(ctx),
+            None => Err(format!("attached procedure '{name}' is not registered")),
+        }
+    }
+
+    /// Names of all registered procedures (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.procedures.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::ObjectId;
+
+    fn ctx<'a>(value: Option<&'a Value>) -> ProcedureContext<'a> {
+        ProcedureContext {
+            event: ProcedureEvent::Update,
+            item: ItemId::Object(ObjectId(1)),
+            value,
+            subject: "Alarms",
+        }
+    }
+
+    #[test]
+    fn registered_procedures_run() {
+        let mut reg = ProcedureRegistry::new();
+        reg.register("must_be_positive", |ctx| match ctx.value {
+            Some(Value::Integer(i)) if *i > 0 => Ok(()),
+            _ => Err("value must be a positive integer".to_string()),
+        });
+        assert!(reg.contains("must_be_positive"));
+        assert!(reg.run("must_be_positive", &ctx(Some(&Value::Integer(3)))).is_ok());
+        assert!(reg.run("must_be_positive", &ctx(Some(&Value::Integer(-3)))).is_err());
+        assert!(reg.run("must_be_positive", &ctx(None)).is_err());
+        assert_eq!(reg.names(), vec!["must_be_positive".to_string()]);
+    }
+
+    #[test]
+    fn unregistered_procedure_vetoes() {
+        let reg = ProcedureRegistry::new();
+        assert!(reg.run("ghost", &ctx(None)).is_err());
+        assert!(!reg.contains("ghost"));
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut reg = ProcedureRegistry::new();
+        reg.register("p", |_| Err("always fails".into()));
+        reg.register("p", |_| Ok(()));
+        assert!(reg.run("p", &ctx(None)).is_ok());
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let mut reg = ProcedureRegistry::new();
+        reg.register("audit", |_| Ok(()));
+        assert!(format!("{reg:?}").contains("audit"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Relationship records.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use seed_schema::AssociationId;
+
+use crate::ident::{ObjectId, RelationshipId};
+use crate::value::Value;
+
+/// A stored relationship: an instance of an association, binding objects to roles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationshipRecord {
+    /// Stable identifier.
+    pub id: RelationshipId,
+    /// The association this relationship belongs to (may move within a generalization hierarchy
+    /// via re-classification, e.g. `Access` → `Write`).
+    pub association: AssociationId,
+    /// Role bindings in role-name order of the association.
+    pub bindings: Vec<(String, ObjectId)>,
+    /// Relationship attribute values (e.g. `NumberOfWrites = 2`).
+    pub attributes: BTreeMap<String, Value>,
+    /// Whether the relationship is a pattern relationship.
+    pub is_pattern: bool,
+    /// Logical-deletion tombstone.
+    pub deleted: bool,
+}
+
+impl RelationshipRecord {
+    /// Creates a live, non-pattern relationship.
+    pub fn new(
+        id: RelationshipId,
+        association: AssociationId,
+        bindings: Vec<(String, ObjectId)>,
+    ) -> Self {
+        Self {
+            id,
+            association,
+            bindings,
+            attributes: BTreeMap::new(),
+            is_pattern: false,
+            deleted: false,
+        }
+    }
+
+    /// The object bound to `role`, if any.
+    pub fn bound(&self, role: &str) -> Option<ObjectId> {
+        self.bindings.iter().find(|(r, _)| r == role).map(|(_, o)| *o)
+    }
+
+    /// The role a given object is bound to, if any.
+    pub fn role_of(&self, object: ObjectId) -> Option<&str> {
+        self.bindings.iter().find(|(_, o)| *o == object).map(|(r, _)| r.as_str())
+    }
+
+    /// Whether `object` participates in this relationship.
+    pub fn involves(&self, object: ObjectId) -> bool {
+        self.bindings.iter().any(|(_, o)| *o == object)
+    }
+
+    /// Objects bound by this relationship, in role order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.bindings.iter().map(|(_, o)| *o).collect()
+    }
+
+    /// Whether the relationship is visible to ordinary retrieval.
+    pub fn is_visible(&self) -> bool {
+        !self.deleted && !self.is_pattern
+    }
+
+    /// Returns a copy with every binding of `from` replaced by `to`.  Used to materialize
+    /// inherited pattern relationships in the context of an inheritor.
+    pub fn with_substituted(&self, from: ObjectId, to: ObjectId) -> RelationshipRecord {
+        let mut copy = self.clone();
+        for (_, obj) in copy.bindings.iter_mut() {
+            if *obj == from {
+                *obj = to;
+            }
+        }
+        copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> RelationshipRecord {
+        RelationshipRecord::new(
+            RelationshipId(1),
+            AssociationId(0),
+            vec![("from".to_string(), ObjectId(10)), ("by".to_string(), ObjectId(20))],
+        )
+    }
+
+    #[test]
+    fn binding_lookups() {
+        let r = rel();
+        assert_eq!(r.bound("from"), Some(ObjectId(10)));
+        assert_eq!(r.bound("by"), Some(ObjectId(20)));
+        assert_eq!(r.bound("onto"), None);
+        assert_eq!(r.role_of(ObjectId(20)), Some("by"));
+        assert_eq!(r.role_of(ObjectId(99)), None);
+        assert!(r.involves(ObjectId(10)));
+        assert!(!r.involves(ObjectId(11)));
+        assert_eq!(r.objects(), vec![ObjectId(10), ObjectId(20)]);
+    }
+
+    #[test]
+    fn visibility() {
+        let mut r = rel();
+        assert!(r.is_visible());
+        r.is_pattern = true;
+        assert!(!r.is_visible());
+        r.is_pattern = false;
+        r.deleted = true;
+        assert!(!r.is_visible());
+    }
+
+    #[test]
+    fn substitution_replaces_bindings() {
+        let r = rel();
+        let s = r.with_substituted(ObjectId(10), ObjectId(99));
+        assert_eq!(s.bound("from"), Some(ObjectId(99)));
+        assert_eq!(s.bound("by"), Some(ObjectId(20)));
+        // Original untouched.
+        assert_eq!(r.bound("from"), Some(ObjectId(10)));
+    }
+
+    #[test]
+    fn attributes_store_values() {
+        let mut r = rel();
+        r.attributes.insert("NumberOfWrites".into(), Value::Integer(2));
+        assert_eq!(r.attributes.get("NumberOfWrites"), Some(&Value::Integer(2)));
+    }
+}

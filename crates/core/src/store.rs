@@ -1,0 +1,559 @@
+//! The in-memory data store: the *current version* of the database.
+//!
+//! The store keeps every object and relationship ever created (deletion is logical) together
+//! with the secondary indexes the operational interface needs: the name index (retrieval by
+//! name is the prototype's primary access path), class and association extents, per-object
+//! adjacency lists and the pattern-inheritance links.
+//!
+//! The store itself performs **no** consistency checking — it is a dumb, always-successful
+//! container.  The [`crate::database::Database`] layer checks consistency *before* mutating the
+//! store, which is how SEED "permanently ensures database consistency".
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use seed_schema::{AssociationId, ClassId};
+
+use crate::ident::{ItemId, ObjectId, RelationshipId};
+use crate::object::ObjectRecord;
+use crate::relationship::RelationshipRecord;
+
+/// The mutable current state of a SEED database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataStore {
+    objects: HashMap<ObjectId, ObjectRecord>,
+    relationships: HashMap<RelationshipId, RelationshipRecord>,
+    /// name (string form) → object id, for *live* (possibly pattern) objects.
+    name_index: BTreeMap<String, ObjectId>,
+    /// class → live object ids (patterns included; retrieval filters them).
+    class_extent: HashMap<ClassId, HashSet<ObjectId>>,
+    /// association → live relationship ids.
+    association_extent: HashMap<AssociationId, HashSet<RelationshipId>>,
+    /// object → live relationships it participates in.
+    adjacency: HashMap<ObjectId, HashSet<RelationshipId>>,
+    /// parent object → live dependent objects.
+    children: HashMap<ObjectId, Vec<ObjectId>>,
+    /// inheritor object → patterns it inherits.
+    inherits: HashMap<ObjectId, HashSet<ObjectId>>,
+    /// pattern object → its inheritors.
+    inheritors: HashMap<ObjectId, HashSet<ObjectId>>,
+    /// Items changed since the last version snapshot (drives delta version storage).
+    dirty: HashSet<ItemId>,
+    next_object: u64,
+    next_relationship: u64,
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- id allocation --------------------------------------------------------------------------
+
+    /// Allocates a fresh object id.
+    pub fn allocate_object_id(&mut self) -> ObjectId {
+        self.next_object += 1;
+        ObjectId(self.next_object)
+    }
+
+    /// Allocates a fresh relationship id.
+    pub fn allocate_relationship_id(&mut self) -> RelationshipId {
+        self.next_relationship += 1;
+        RelationshipId(self.next_relationship)
+    }
+
+    /// The highest object and relationship ids handed out so far.
+    pub fn id_floor(&self) -> (u64, u64) {
+        (self.next_object, self.next_relationship)
+    }
+
+    /// Raises the id counters so that future allocations stay above the given floor (used when
+    /// a reconstructed version view becomes the working state).
+    pub fn raise_id_floor(&mut self, object_floor: u64, relationship_floor: u64) {
+        self.next_object = self.next_object.max(object_floor);
+        self.next_relationship = self.next_relationship.max(relationship_floor);
+    }
+
+    // ----- dirty tracking -------------------------------------------------------------------------
+
+    /// Items changed since the dirty set was last drained (used by the version manager).
+    pub fn dirty_items(&self) -> &HashSet<ItemId> {
+        &self.dirty
+    }
+
+    /// Clears the dirty set (after a version snapshot has recorded the changes).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    fn mark_dirty(&mut self, item: ItemId) {
+        self.dirty.insert(item);
+    }
+
+    /// Marks a set of items dirty (used when restoring a persisted dirty set).
+    pub fn mark_dirty_bulk(&mut self, items: &[ItemId]) {
+        self.dirty.extend(items.iter().copied());
+    }
+
+    // ----- objects --------------------------------------------------------------------------------
+
+    /// Inserts a new object record.
+    pub fn insert_object(&mut self, record: ObjectRecord) {
+        let id = record.id;
+        self.name_index.insert(record.name.to_string(), id);
+        self.class_extent.entry(record.class).or_default().insert(id);
+        if let Some(parent) = record.parent {
+            self.children.entry(parent).or_default().push(id);
+        }
+        self.next_object = self.next_object.max(id.0);
+        self.objects.insert(id, record);
+        self.mark_dirty(ItemId::Object(id));
+    }
+
+    /// Looks up an object record (live or deleted).
+    pub fn object(&self, id: ObjectId) -> Option<&ObjectRecord> {
+        self.objects.get(&id)
+    }
+
+    /// Looks up a *live* object record.
+    pub fn live_object(&self, id: ObjectId) -> Option<&ObjectRecord> {
+        self.objects.get(&id).filter(|o| !o.deleted)
+    }
+
+    /// Looks up a live object by its full name.
+    pub fn object_by_name(&self, name: &str) -> Option<&ObjectRecord> {
+        self.name_index.get(name).and_then(|id| self.live_object(*id))
+    }
+
+    /// Whether a live object with this name exists.
+    pub fn name_taken(&self, name: &str) -> bool {
+        self.object_by_name(name).is_some()
+    }
+
+    /// Mutates an object record through a closure; maintains the secondary indexes and the
+    /// dirty set.  Returns `false` if the object does not exist.
+    pub fn update_object(&mut self, id: ObjectId, f: impl FnOnce(&mut ObjectRecord)) -> bool {
+        // Take a snapshot of index-relevant fields, mutate, then fix the indexes.
+        let Some(record) = self.objects.get_mut(&id) else { return false };
+        let old_name = record.name.to_string();
+        let old_class = record.class;
+        let was_deleted = record.deleted;
+        f(record);
+        let new_name = record.name.to_string();
+        let new_class = record.class;
+        let now_deleted = record.deleted;
+
+        if old_name != new_name || (!was_deleted && now_deleted) {
+            self.name_index.remove(&old_name);
+        }
+        if !now_deleted {
+            self.name_index.insert(new_name, id);
+        }
+        if old_class != new_class || now_deleted != was_deleted {
+            if let Some(ext) = self.class_extent.get_mut(&old_class) {
+                ext.remove(&id);
+            }
+            if !now_deleted {
+                self.class_extent.entry(new_class).or_default().insert(id);
+            }
+        }
+        self.mark_dirty(ItemId::Object(id));
+        true
+    }
+
+    /// Marks an object (and nothing else — cascades are the database layer's job) as deleted.
+    pub fn tombstone_object(&mut self, id: ObjectId) -> bool {
+        self.update_object(id, |o| o.deleted = true)
+    }
+
+    /// Physically removes an object from the store and all indexes.  Only used to roll back a
+    /// creation inside an aborted transaction — versioned data is never removed physically.
+    pub fn remove_object(&mut self, id: ObjectId) -> Option<ObjectRecord> {
+        let record = self.objects.remove(&id)?;
+        self.name_index.remove(&record.name.to_string());
+        if let Some(ext) = self.class_extent.get_mut(&record.class) {
+            ext.remove(&id);
+        }
+        if let Some(parent) = record.parent {
+            if let Some(children) = self.children.get_mut(&parent) {
+                children.retain(|c| *c != id);
+            }
+        }
+        self.children.remove(&id);
+        self.adjacency.remove(&id);
+        self.dirty.remove(&ItemId::Object(id));
+        // Drop any inherits links touching the object.
+        if let Some(patterns) = self.inherits.remove(&id) {
+            for p in patterns {
+                if let Some(s) = self.inheritors.get_mut(&p) {
+                    s.remove(&id);
+                }
+            }
+        }
+        if let Some(inheritors) = self.inheritors.remove(&id) {
+            for i in inheritors {
+                if let Some(s) = self.inherits.get_mut(&i) {
+                    s.remove(&id);
+                }
+            }
+        }
+        Some(record)
+    }
+
+    /// Physically removes a relationship (rollback of an aborted creation only).
+    pub fn remove_relationship(&mut self, id: RelationshipId) -> Option<RelationshipRecord> {
+        let record = self.relationships.remove(&id)?;
+        if let Some(ext) = self.association_extent.get_mut(&record.association) {
+            ext.remove(&id);
+        }
+        for (_, obj) in &record.bindings {
+            if let Some(adj) = self.adjacency.get_mut(obj) {
+                adj.remove(&id);
+            }
+        }
+        self.dirty.remove(&ItemId::Relationship(id));
+        Some(record)
+    }
+
+    /// Live dependent objects of `parent`.
+    pub fn children_of(&self, parent: ObjectId) -> Vec<&ObjectRecord> {
+        self.children
+            .get(&parent)
+            .map(|ids| ids.iter().filter_map(|id| self.live_object(*id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Live dependent objects of `parent` belonging to `class`.
+    pub fn children_of_class(&self, parent: ObjectId, class: ClassId) -> Vec<&ObjectRecord> {
+        self.children_of(parent).into_iter().filter(|o| o.class == class).collect()
+    }
+
+    /// Live objects of exactly `class` (no subclass closure; patterns included).
+    pub fn extent(&self, class: ClassId) -> Vec<&ObjectRecord> {
+        self.class_extent
+            .get(&class)
+            .map(|ids| ids.iter().filter_map(|id| self.live_object(*id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All object records, including deleted ones (used by persistence and versioning).
+    pub fn all_objects(&self) -> impl Iterator<Item = &ObjectRecord> {
+        self.objects.values()
+    }
+
+    /// All live, visible (non-pattern) objects.
+    pub fn visible_objects(&self) -> impl Iterator<Item = &ObjectRecord> {
+        self.objects.values().filter(|o| o.is_visible())
+    }
+
+    /// Number of live objects (patterns included).
+    pub fn live_object_count(&self) -> usize {
+        self.objects.values().filter(|o| !o.deleted).count()
+    }
+
+    /// Live objects whose name starts with `prefix` (in name order).
+    pub fn objects_with_name_prefix(&self, prefix: &str) -> Vec<&ObjectRecord> {
+        self.name_index
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(_, id)| self.live_object(*id))
+            .collect()
+    }
+
+    // ----- relationships ---------------------------------------------------------------------------
+
+    /// Inserts a new relationship record.
+    pub fn insert_relationship(&mut self, record: RelationshipRecord) {
+        let id = record.id;
+        self.association_extent.entry(record.association).or_default().insert(id);
+        for (_, obj) in &record.bindings {
+            self.adjacency.entry(*obj).or_default().insert(id);
+        }
+        self.next_relationship = self.next_relationship.max(id.0);
+        self.relationships.insert(id, record);
+        self.mark_dirty(ItemId::Relationship(id));
+    }
+
+    /// Looks up a relationship record (live or deleted).
+    pub fn relationship(&self, id: RelationshipId) -> Option<&RelationshipRecord> {
+        self.relationships.get(&id)
+    }
+
+    /// Looks up a live relationship record.
+    pub fn live_relationship(&self, id: RelationshipId) -> Option<&RelationshipRecord> {
+        self.relationships.get(&id).filter(|r| !r.deleted)
+    }
+
+    /// Mutates a relationship record; maintains indexes and the dirty set.
+    pub fn update_relationship(
+        &mut self,
+        id: RelationshipId,
+        f: impl FnOnce(&mut RelationshipRecord),
+    ) -> bool {
+        let Some(record) = self.relationships.get_mut(&id) else { return false };
+        let old_assoc = record.association;
+        let old_objects: Vec<ObjectId> = record.objects();
+        let was_deleted = record.deleted;
+        f(record);
+        let new_assoc = record.association;
+        let new_objects: Vec<ObjectId> = record.objects();
+        let now_deleted = record.deleted;
+
+        if old_assoc != new_assoc || now_deleted != was_deleted {
+            if let Some(ext) = self.association_extent.get_mut(&old_assoc) {
+                ext.remove(&id);
+            }
+            if !now_deleted {
+                self.association_extent.entry(new_assoc).or_default().insert(id);
+            }
+        }
+        if old_objects != new_objects || now_deleted != was_deleted {
+            for obj in &old_objects {
+                if let Some(adj) = self.adjacency.get_mut(obj) {
+                    adj.remove(&id);
+                }
+            }
+            if !now_deleted {
+                for obj in &new_objects {
+                    self.adjacency.entry(*obj).or_default().insert(id);
+                }
+            }
+        }
+        self.mark_dirty(ItemId::Relationship(id));
+        true
+    }
+
+    /// Marks a relationship as deleted.
+    pub fn tombstone_relationship(&mut self, id: RelationshipId) -> bool {
+        self.update_relationship(id, |r| r.deleted = true)
+    }
+
+    /// Live relationships of exactly `association` (patterns included).
+    pub fn association_extent(&self, association: AssociationId) -> Vec<&RelationshipRecord> {
+        self.association_extent
+            .get(&association)
+            .map(|ids| ids.iter().filter_map(|id| self.live_relationship(*id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Live relationships `object` participates in (patterns included).
+    pub fn relationships_of(&self, object: ObjectId) -> Vec<&RelationshipRecord> {
+        self.adjacency
+            .get(&object)
+            .map(|ids| ids.iter().filter_map(|id| self.live_relationship(*id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All relationship records, including deleted ones.
+    pub fn all_relationships(&self) -> impl Iterator<Item = &RelationshipRecord> {
+        self.relationships.values()
+    }
+
+    /// Number of live relationships (patterns included).
+    pub fn live_relationship_count(&self) -> usize {
+        self.relationships.values().filter(|r| !r.deleted).count()
+    }
+
+    // ----- pattern inheritance links -----------------------------------------------------------------
+
+    /// Records that `inheritor` inherits `pattern`.
+    pub fn add_inherits(&mut self, inheritor: ObjectId, pattern: ObjectId) {
+        self.inherits.entry(inheritor).or_default().insert(pattern);
+        self.inheritors.entry(pattern).or_default().insert(inheritor);
+        self.mark_dirty(ItemId::Object(inheritor));
+    }
+
+    /// Removes an inherits link.
+    pub fn remove_inherits(&mut self, inheritor: ObjectId, pattern: ObjectId) -> bool {
+        let removed = self
+            .inherits
+            .get_mut(&inheritor)
+            .map(|s| s.remove(&pattern))
+            .unwrap_or(false);
+        if removed {
+            if let Some(s) = self.inheritors.get_mut(&pattern) {
+                s.remove(&inheritor);
+            }
+            self.mark_dirty(ItemId::Object(inheritor));
+        }
+        removed
+    }
+
+    /// Patterns inherited by `inheritor`.
+    pub fn inherited_patterns(&self, inheritor: ObjectId) -> Vec<ObjectId> {
+        self.inherits
+            .get(&inheritor)
+            .map(|s| {
+                let mut v: Vec<ObjectId> = s.iter().copied().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Inheritors of `pattern`.
+    pub fn inheritors_of(&self, pattern: ObjectId) -> Vec<ObjectId> {
+        self.inheritors
+            .get(&pattern)
+            .map(|s| {
+                let mut v: Vec<ObjectId> = s.iter().copied().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// All `(inheritor, pattern)` pairs (used by persistence).
+    pub fn all_inherits_links(&self) -> Vec<(ObjectId, ObjectId)> {
+        let mut out = Vec::new();
+        for (inheritor, patterns) in &self.inherits {
+            for pattern in patterns {
+                out.push((*inheritor, *pattern));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::name::ObjectName;
+
+    fn obj(store: &mut DataStore, name: &str, class: u32) -> ObjectId {
+        let id = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(id, ClassId(class), ObjectName::root(name), None));
+        id
+    }
+
+    #[test]
+    fn insert_and_lookup_objects() {
+        let mut store = DataStore::new();
+        let alarms = obj(&mut store, "Alarms", 0);
+        let handler = obj(&mut store, "AlarmHandler", 1);
+        assert_ne!(alarms, handler);
+        assert_eq!(store.object_by_name("Alarms").unwrap().id, alarms);
+        assert_eq!(store.live_object_count(), 2);
+        assert_eq!(store.extent(ClassId(0)).len(), 1);
+        assert!(store.name_taken("Alarms"));
+        assert!(!store.name_taken("Sensor"));
+    }
+
+    #[test]
+    fn update_maintains_name_and_class_indexes() {
+        let mut store = DataStore::new();
+        let alarms = obj(&mut store, "Alarms", 0);
+        store.update_object(alarms, |o| o.class = ClassId(5));
+        assert!(store.extent(ClassId(0)).is_empty());
+        assert_eq!(store.extent(ClassId(5)).len(), 1);
+        store.update_object(alarms, |o| o.name = ObjectName::root("AlarmMatrix"));
+        assert!(store.object_by_name("Alarms").is_none());
+        assert_eq!(store.object_by_name("AlarmMatrix").unwrap().id, alarms);
+    }
+
+    #[test]
+    fn tombstone_removes_from_live_views_but_keeps_record() {
+        let mut store = DataStore::new();
+        let alarms = obj(&mut store, "Alarms", 0);
+        assert!(store.tombstone_object(alarms));
+        assert!(store.object_by_name("Alarms").is_none());
+        assert!(store.live_object(alarms).is_none());
+        assert!(store.object(alarms).is_some(), "record is kept for version views");
+        assert_eq!(store.live_object_count(), 0);
+        assert!(store.extent(ClassId(0)).is_empty());
+    }
+
+    #[test]
+    fn children_are_tracked() {
+        let mut store = DataStore::new();
+        let alarms = obj(&mut store, "Alarms", 0);
+        let text_id = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(
+            text_id,
+            ClassId(2),
+            ObjectName::parse("Alarms.Text").unwrap(),
+            Some(alarms),
+        ));
+        assert_eq!(store.children_of(alarms).len(), 1);
+        assert_eq!(store.children_of_class(alarms, ClassId(2)).len(), 1);
+        assert!(store.children_of_class(alarms, ClassId(3)).is_empty());
+        store.tombstone_object(text_id);
+        assert!(store.children_of(alarms).is_empty());
+    }
+
+    #[test]
+    fn relationships_update_adjacency_and_extents() {
+        let mut store = DataStore::new();
+        let alarms = obj(&mut store, "Alarms", 0);
+        let handler = obj(&mut store, "AlarmHandler", 1);
+        let rid = store.allocate_relationship_id();
+        store.insert_relationship(RelationshipRecord::new(
+            rid,
+            AssociationId(0),
+            vec![("from".into(), alarms), ("by".into(), handler)],
+        ));
+        assert_eq!(store.relationships_of(alarms).len(), 1);
+        assert_eq!(store.association_extent(AssociationId(0)).len(), 1);
+        // Re-classify to another association.
+        store.update_relationship(rid, |r| r.association = AssociationId(1));
+        assert!(store.association_extent(AssociationId(0)).is_empty());
+        assert_eq!(store.association_extent(AssociationId(1)).len(), 1);
+        // Delete.
+        store.tombstone_relationship(rid);
+        assert!(store.relationships_of(alarms).is_empty());
+        assert!(store.association_extent(AssociationId(1)).is_empty());
+        assert!(store.relationship(rid).is_some());
+        assert_eq!(store.live_relationship_count(), 0);
+    }
+
+    #[test]
+    fn dirty_tracking_records_changes() {
+        let mut store = DataStore::new();
+        assert!(store.dirty_items().is_empty());
+        let alarms = obj(&mut store, "Alarms", 0);
+        assert_eq!(store.dirty_items().len(), 1);
+        store.clear_dirty();
+        assert!(store.dirty_items().is_empty());
+        store.update_object(alarms, |o| o.value = Value::string("x"));
+        assert!(store.dirty_items().contains(&ItemId::Object(alarms)));
+    }
+
+    #[test]
+    fn inherits_links_are_bidirectional() {
+        let mut store = DataStore::new();
+        let pattern = obj(&mut store, "PatternProc", 0);
+        let a = obj(&mut store, "ProcA", 0);
+        let b = obj(&mut store, "ProcB", 0);
+        store.add_inherits(a, pattern);
+        store.add_inherits(b, pattern);
+        assert_eq!(store.inherited_patterns(a), vec![pattern]);
+        assert_eq!(store.inheritors_of(pattern), vec![a, b]);
+        assert_eq!(store.all_inherits_links().len(), 2);
+        assert!(store.remove_inherits(a, pattern));
+        assert!(!store.remove_inherits(a, pattern));
+        assert_eq!(store.inheritors_of(pattern), vec![b]);
+    }
+
+    #[test]
+    fn name_prefix_scan() {
+        let mut store = DataStore::new();
+        obj(&mut store, "Alarms", 0);
+        let alarms = store.object_by_name("Alarms").unwrap().id;
+        let text = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(
+            text,
+            ClassId(1),
+            ObjectName::parse("Alarms.Text").unwrap(),
+            Some(alarms),
+        ));
+        obj(&mut store, "AlarmHandler", 2);
+        obj(&mut store, "Sensor", 2);
+        assert_eq!(store.objects_with_name_prefix("Alarms").len(), 2);
+        assert_eq!(store.objects_with_name_prefix("Alarm").len(), 3);
+        assert_eq!(store.objects_with_name_prefix("Z").len(), 0);
+    }
+}

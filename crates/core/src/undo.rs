@@ -1,0 +1,174 @@
+//! Undo log for single-user transactions.
+//!
+//! SEED is a single-user system; the database layer applies every operation immediately (after
+//! consistency checking) and, when a transaction is open, records the inverse operation here.
+//! Rolling back replays the inverses in reverse order.  The undo log is also what the client
+//! side of the multi-user extension (`seed-server`) uses to discard a rejected check-in.
+
+use crate::ident::{ObjectId, RelationshipId};
+use crate::object::ObjectRecord;
+use crate::relationship::RelationshipRecord;
+use crate::store::DataStore;
+
+/// One recorded inverse operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UndoEntry {
+    /// An object was created; undo removes it physically (it never existed).
+    ObjectCreated(ObjectId),
+    /// An object was mutated (value, class, name, tombstone, pattern flag); undo restores the
+    /// full previous record.
+    ObjectChanged(Box<ObjectRecord>),
+    /// A relationship was created; undo removes it physically.
+    RelationshipCreated(RelationshipId),
+    /// A relationship was mutated; undo restores the previous record.
+    RelationshipChanged(Box<RelationshipRecord>),
+    /// An inherits-link was added; undo removes it.
+    InheritsAdded {
+        /// The inheriting object.
+        inheritor: ObjectId,
+        /// The inherited pattern.
+        pattern: ObjectId,
+    },
+    /// An inherits-link was removed; undo re-adds it.
+    InheritsRemoved {
+        /// The inheriting object.
+        inheritor: ObjectId,
+        /// The inherited pattern.
+        pattern: ObjectId,
+    },
+}
+
+/// A log of inverse operations for one open transaction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UndoLog {
+    entries: Vec<UndoEntry>,
+}
+
+impl UndoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an inverse operation.
+    pub fn push(&mut self, entry: UndoEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Applies all inverses in reverse order, restoring the store to its state at the start of
+    /// the transaction.
+    pub fn rollback(self, store: &mut DataStore) {
+        for entry in self.entries.into_iter().rev() {
+            match entry {
+                UndoEntry::ObjectCreated(id) => {
+                    store.remove_object(id);
+                }
+                UndoEntry::ObjectChanged(previous) => {
+                    let id = previous.id;
+                    store.update_object(id, |o| *o = *previous);
+                }
+                UndoEntry::RelationshipCreated(id) => {
+                    store.remove_relationship(id);
+                }
+                UndoEntry::RelationshipChanged(previous) => {
+                    let id = previous.id;
+                    store.update_relationship(id, |r| *r = *previous);
+                }
+                UndoEntry::InheritsAdded { inheritor, pattern } => {
+                    store.remove_inherits(inheritor, pattern);
+                }
+                UndoEntry::InheritsRemoved { inheritor, pattern } => {
+                    store.add_inherits(inheritor, pattern);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ObjectName;
+    use crate::value::Value;
+    use seed_schema::{AssociationId, ClassId};
+
+    #[test]
+    fn rollback_restores_previous_state() {
+        let mut store = DataStore::new();
+        let mut log = UndoLog::new();
+        assert!(log.is_empty());
+
+        // Pre-existing object whose value the transaction changes.
+        let existing = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(existing, ClassId(0), ObjectName::root("Kept"), None));
+        let before = store.object(existing).unwrap().clone();
+        log.push(UndoEntry::ObjectChanged(Box::new(before)));
+        store.update_object(existing, |o| o.value = Value::string("modified"));
+
+        // Object created inside the transaction.
+        let created = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(created, ClassId(0), ObjectName::root("New"), None));
+        log.push(UndoEntry::ObjectCreated(created));
+
+        // Relationship created inside the transaction.
+        let rel = store.allocate_relationship_id();
+        store.insert_relationship(RelationshipRecord::new(
+            rel,
+            AssociationId(0),
+            vec![("a".into(), existing), ("b".into(), created)],
+        ));
+        log.push(UndoEntry::RelationshipCreated(rel));
+
+        // Inherits link added inside the transaction.
+        store.add_inherits(created, existing);
+        log.push(UndoEntry::InheritsAdded { inheritor: created, pattern: existing });
+
+        assert_eq!(log.len(), 4);
+        log.rollback(&mut store);
+
+        assert_eq!(store.object(existing).unwrap().value, Value::Undefined);
+        assert!(store.object(created).is_none());
+        assert!(store.relationship(rel).is_none());
+        assert!(store.object_by_name("New").is_none());
+        assert!(store.inherited_patterns(created).is_empty());
+        assert_eq!(store.live_object_count(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_removed_inherits_and_changed_relationships() {
+        let mut store = DataStore::new();
+        let a = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(a, ClassId(0), ObjectName::root("A"), None));
+        let p = store.allocate_object_id();
+        store.insert_object(ObjectRecord::new(p, ClassId(0), ObjectName::root("P"), None));
+        store.add_inherits(a, p);
+        let rel = store.allocate_relationship_id();
+        store.insert_relationship(RelationshipRecord::new(
+            rel,
+            AssociationId(0),
+            vec![("a".into(), a), ("b".into(), p)],
+        ));
+
+        let mut log = UndoLog::new();
+        // Transaction removes the inherits link and re-classifies the relationship.
+        let before = store.relationship(rel).unwrap().clone();
+        log.push(UndoEntry::RelationshipChanged(Box::new(before)));
+        store.update_relationship(rel, |r| r.association = AssociationId(5));
+        store.remove_inherits(a, p);
+        log.push(UndoEntry::InheritsRemoved { inheritor: a, pattern: p });
+
+        log.rollback(&mut store);
+        assert_eq!(store.relationship(rel).unwrap().association, AssociationId(0));
+        assert_eq!(store.inherited_patterns(a), vec![p]);
+    }
+}

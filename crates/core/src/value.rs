@@ -1,0 +1,243 @@
+//! Values carried by objects and relationship attributes.
+//!
+//! SEED admits *incomplete* data, so every value slot can also be [`Value::Undefined`].  "The
+//! semantics of such objects in database operations is simple: when the database is searched for
+//! data that meet certain selection criteria, an undefined object matches nothing."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use seed_schema::Domain;
+
+/// A concrete value (or the absence of one) stored in the database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A UTF-8 string.
+    String(String),
+    /// A signed integer.
+    Integer(i64),
+    /// A floating point number.
+    Real(f64),
+    /// A boolean.
+    Boolean(bool),
+    /// A calendar date.
+    Date {
+        /// Year (e.g. 1986).
+        year: i32,
+        /// Month 1–12.
+        month: u8,
+        /// Day 1–31.
+        day: u8,
+    },
+    /// A literal of an enumeration domain, e.g. `repeat` of `(abort, repeat)`.
+    Symbol(String),
+    /// Multi-line text (behaves like [`Value::String`] but signals intent).
+    Text(String),
+    /// No value yet — the paper's incomplete-information placeholder.
+    Undefined,
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn string(s: impl Into<String>) -> Self {
+        Value::String(s.into())
+    }
+
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Convenience constructor for symbols (enumeration literals).
+    pub fn symbol(s: impl Into<String>) -> Self {
+        Value::Symbol(s.into())
+    }
+
+    /// Convenience constructor for dates; returns `None` if the date is not plausible.
+    pub fn date(year: i32, month: u8, day: u8) -> Option<Self> {
+        let days_in_month = match month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+                if leap {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => return None,
+        };
+        if day == 0 || day > days_in_month {
+            return None;
+        }
+        Some(Value::Date { year, month, day })
+    }
+
+    /// Whether this slot holds no value yet.
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, Value::Undefined)
+    }
+
+    /// Whether this value conforms to the given domain.  [`Value::Undefined`] conforms to every
+    /// domain — incompleteness is not an inconsistency.
+    pub fn conforms_to(&self, domain: &Domain) -> bool {
+        match (self, domain) {
+            (Value::Undefined, _) => true,
+            (Value::String(_), Domain::String) => true,
+            (Value::String(_), Domain::Text) => true,
+            (Value::Text(_), Domain::Text) => true,
+            (Value::Text(_), Domain::String) => true,
+            (Value::Integer(_), Domain::Integer) => true,
+            (Value::Real(_), Domain::Real) => true,
+            (Value::Integer(_), Domain::Real) => true,
+            (Value::Boolean(_), Domain::Boolean) => true,
+            (Value::Date { .. }, Domain::Date) => true,
+            (Value::Symbol(s), Domain::Enumeration(lits)) => lits.iter().any(|l| l == s),
+            (Value::String(s), Domain::Enumeration(lits)) => lits.iter().any(|l| l == s),
+            _ => false,
+        }
+    }
+
+    /// Short name of this value's own type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::String(_) => "STRING",
+            Value::Integer(_) => "INTEGER",
+            Value::Real(_) => "REAL",
+            Value::Boolean(_) => "BOOLEAN",
+            Value::Date { .. } => "DATE",
+            Value::Symbol(_) => "SYMBOL",
+            Value::Text(_) => "TEXT",
+            Value::Undefined => "UNDEFINED",
+        }
+    }
+
+    /// The string content, if this is a string-like value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) | Value::Text(s) | Value::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if any.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Comparison key for "matches nothing" semantics: undefined values are never equal to
+    /// anything, including other undefined values (like SQL `NULL`).
+    pub fn matches(&self, other: &Value) -> bool {
+        if self.is_undefined() || other.is_undefined() {
+            return false;
+        }
+        self == other
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::String(s) | Value::Text(s) => write!(f, "\"{s}\""),
+            Value::Symbol(s) => write!(f, "{s}"),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Date { year, month, day } => write!(f, "{year:04}-{month:02}-{day:02}"),
+            Value::Undefined => write!(f, "<undefined>"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Integer(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Boolean(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_matrix() {
+        assert!(Value::string("Alarms").conforms_to(&Domain::String));
+        assert!(Value::text("body").conforms_to(&Domain::String));
+        assert!(Value::string("body").conforms_to(&Domain::Text));
+        assert!(Value::Integer(2).conforms_to(&Domain::Integer));
+        assert!(Value::Integer(2).conforms_to(&Domain::Real));
+        assert!(!Value::Real(2.5).conforms_to(&Domain::Integer));
+        assert!(Value::Boolean(true).conforms_to(&Domain::Boolean));
+        assert!(Value::date(1986, 2, 5).unwrap().conforms_to(&Domain::Date));
+        assert!(!Value::string("1986").conforms_to(&Domain::Date));
+        let d = Domain::Enumeration(vec!["abort".into(), "repeat".into()]);
+        assert!(Value::symbol("repeat").conforms_to(&d));
+        assert!(Value::string("abort").conforms_to(&d));
+        assert!(!Value::symbol("retry").conforms_to(&d));
+    }
+
+    #[test]
+    fn undefined_conforms_to_everything_but_matches_nothing() {
+        for domain in [Domain::String, Domain::Integer, Domain::Date, Domain::Boolean] {
+            assert!(Value::Undefined.conforms_to(&domain));
+        }
+        assert!(!Value::Undefined.matches(&Value::Undefined));
+        assert!(!Value::Undefined.matches(&Value::string("x")));
+        assert!(!Value::string("x").matches(&Value::Undefined));
+        assert!(Value::string("x").matches(&Value::string("x")));
+        assert!(!Value::string("x").matches(&Value::string("y")));
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(Value::date(1986, 2, 29).is_none(), "1986 is not a leap year");
+        assert!(Value::date(1988, 2, 29).is_some());
+        assert!(Value::date(2000, 2, 29).is_some());
+        assert!(Value::date(1900, 2, 29).is_none(), "1900 is not a leap year");
+        assert!(Value::date(1986, 4, 31).is_none());
+        assert!(Value::date(1986, 13, 1).is_none());
+        assert!(Value::date(1986, 6, 0).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::string("x").to_string(), "\"x\"");
+        assert_eq!(Value::Integer(-3).to_string(), "-3");
+        assert_eq!(Value::date(1986, 2, 5).unwrap().to_string(), "1986-02-05");
+        assert_eq!(Value::Undefined.to_string(), "<undefined>");
+        assert_eq!(Value::symbol("repeat").to_string(), "repeat");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("a"), Value::string("a"));
+        assert_eq!(Value::from(5i64), Value::Integer(5));
+        assert_eq!(Value::from(true), Value::Boolean(true));
+        assert_eq!(Value::string("abc").as_str(), Some("abc"));
+        assert_eq!(Value::Integer(7).as_integer(), Some(7));
+        assert_eq!(Value::Integer(7).as_str(), None);
+    }
+}

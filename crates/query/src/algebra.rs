@@ -1,0 +1,174 @@
+//! A tiny entity-relationship algebra over sets of objects.
+//!
+//! Queries evaluate to an [`ObjectSet`]; the set operations (union, intersection, difference)
+//! and the relational-style helpers (selection by predicate, navigation along an association)
+//! mirror the entity-relationship algebra the paper cites as related work.  All operations are
+//! defined on *existing* relationships only, so undefined items never join with anything —
+//! exactly the paper's semantics for incomplete data.
+
+use std::collections::BTreeMap;
+
+use seed_core::{Database, ObjectId, ObjectRecord, SeedResult};
+
+/// Re-export used by the executor for value comparisons.
+pub use seed_core::Value;
+
+/// An ordered, duplicate-free set of objects (ordered by object id).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObjectSet {
+    objects: BTreeMap<ObjectId, ObjectRecord>,
+}
+
+impl ObjectSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from records (duplicates collapse).
+    pub fn from_records(records: impl IntoIterator<Item = ObjectRecord>) -> Self {
+        let mut set = Self::new();
+        for r in records {
+            set.objects.insert(r.id, r);
+        }
+        set
+    }
+
+    /// Number of objects in the set.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Whether the set contains an object.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// The records, in object-id order.
+    pub fn records(&self) -> Vec<&ObjectRecord> {
+        self.objects.values().collect()
+    }
+
+    /// The object names, in object-id order.
+    pub fn names(&self) -> Vec<String> {
+        self.objects.values().map(|o| o.name.to_string()).collect()
+    }
+
+    /// Keeps only the objects satisfying `predicate` (selection σ).
+    pub fn select(&self, predicate: impl Fn(&ObjectRecord) -> bool) -> ObjectSet {
+        ObjectSet {
+            objects: self
+                .objects
+                .iter()
+                .filter(|(_, o)| predicate(o))
+                .map(|(id, o)| (*id, o.clone()))
+                .collect(),
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ObjectSet) -> ObjectSet {
+        let mut objects = self.objects.clone();
+        for (id, o) in &other.objects {
+            objects.entry(*id).or_insert_with(|| o.clone());
+        }
+        ObjectSet { objects }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &ObjectSet) -> ObjectSet {
+        ObjectSet {
+            objects: self
+                .objects
+                .iter()
+                .filter(|(id, _)| other.objects.contains_key(id))
+                .map(|(id, o)| (*id, o.clone()))
+                .collect(),
+        }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &ObjectSet) -> ObjectSet {
+        ObjectSet {
+            objects: self
+                .objects
+                .iter()
+                .filter(|(id, _)| !other.objects.contains_key(id))
+                .map(|(id, o)| (*id, o.clone()))
+                .collect(),
+        }
+    }
+
+    /// Navigation (a role-to-role join along existing relationships): for every object in the
+    /// set, follow visible relationships of `association` (and its specializations) where the
+    /// object fills `from_role`, and collect the objects bound to `to_role`.
+    pub fn navigate(
+        &self,
+        db: &Database,
+        association: &str,
+        from_role: &str,
+        to_role: &str,
+    ) -> SeedResult<ObjectSet> {
+        let mut out = ObjectSet::new();
+        for id in self.objects.keys() {
+            for target in db.related(*id, association, from_role, to_role)? {
+                out.objects.insert(target.id, target);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_core::Database;
+    use seed_schema::figure3_schema;
+
+    fn db() -> (Database, ObjectId, ObjectId, ObjectId) {
+        let mut db = Database::new(figure3_schema());
+        let alarms = db.create_object("OutputData", "Alarms").unwrap();
+        let process = db.create_object("InputData", "ProcessData").unwrap();
+        let handler = db.create_object("Action", "AlarmHandler").unwrap();
+        db.create_relationship("Write", &[("to", alarms), ("by", handler)]).unwrap();
+        db.create_relationship("Read", &[("from", process), ("by", handler)]).unwrap();
+        (db, alarms, process, handler)
+    }
+
+    #[test]
+    fn set_operations() {
+        let (db, alarms, process, _) = db();
+        let data = ObjectSet::from_records(db.objects_of_class("Data", true).unwrap());
+        assert_eq!(data.len(), 2);
+        assert!(data.contains(alarms));
+        let output = ObjectSet::from_records(db.objects_of_class("OutputData", true).unwrap());
+        assert_eq!(data.intersect(&output).len(), 1);
+        assert_eq!(data.difference(&output).names(), vec!["ProcessData"]);
+        assert_eq!(data.union(&output).len(), 2);
+        let selected = data.select(|o| o.name.to_string().starts_with("Alarm"));
+        assert_eq!(selected.names(), vec!["Alarms"]);
+        assert!(!selected.is_empty());
+        assert!(ObjectSet::new().is_empty());
+        let _ = process;
+    }
+
+    #[test]
+    fn navigation_follows_roles() {
+        let (db, alarms, _, handler) = db();
+        let start = ObjectSet::from_records(vec![db.object(alarms).unwrap()]);
+        // Who writes Alarms?  Navigate Write from role 'to' to role 'by'.
+        let writers = start.navigate(&db, "Write", "to", "by").unwrap();
+        assert_eq!(writers.names(), vec!["AlarmHandler"]);
+        assert!(writers.contains(handler));
+        // Generalized navigation also works (Access subsumes Write).
+        let writers = start.navigate(&db, "Access", "from", "by").unwrap();
+        assert_eq!(writers.len(), 1);
+        // Unknown association errors.
+        assert!(start.navigate(&db, "Ghost", "a", "b").is_err());
+    }
+}

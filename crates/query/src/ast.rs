@@ -1,0 +1,107 @@
+//! Abstract syntax of the retrieval language.
+
+/// Comparison operators usable in value selections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Equal,
+    /// `!=`
+    NotEqual,
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+}
+
+/// A selection predicate applied to each candidate object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// `name = "Alarms"` — exact hierarchical-name match.
+    NameEquals(String),
+    /// `name prefix "Alarm"` — hierarchical-name prefix match.
+    NamePrefix(String),
+    /// `value <op> "literal"` — value comparison; undefined values match nothing.
+    Value(Comparison, String),
+    /// `related <Association>.<role>` — the object participates in at least one visible
+    /// relationship of the association (or a specialization) in the given role.
+    Related {
+        /// Association name.
+        association: String,
+        /// Role the object must fill.
+        role: String,
+    },
+    /// `incomplete` — the completeness analysis reports at least one finding for the object.
+    Incomplete,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `find [exactly] <Class> [where <selection>]* [navigate <Assoc>.<role> from "<name>"]`
+    Find {
+        /// The class whose extent seeds the result set.
+        class: String,
+        /// Whether specializations are excluded (`exactly`).
+        exact: bool,
+        /// Selections applied conjunctively.
+        selections: Vec<Selection>,
+        /// Optional navigation step executed before the selections.
+        navigate: Option<Navigation>,
+    },
+    /// `count ...` — same shape as `find`, but only the cardinality is returned.
+    Count {
+        /// The class whose extent seeds the result set.
+        class: String,
+        /// Whether specializations are excluded.
+        exact: bool,
+        /// Selections applied conjunctively.
+        selections: Vec<Selection>,
+        /// Optional navigation step.
+        navigate: Option<Navigation>,
+    },
+}
+
+/// A navigation step: start from a named object and follow an association role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Navigation {
+    /// Association to traverse (specializations included).
+    pub association: String,
+    /// Role of the *target* objects.
+    pub to_role: String,
+    /// Name of the object to start from.
+    pub from_object: String,
+}
+
+impl Query {
+    /// The class the query ranges over.
+    pub fn class(&self) -> &str {
+        match self {
+            Query::Find { class, .. } | Query::Count { class, .. } => class,
+        }
+    }
+
+    /// Whether this is a `count` query.
+    pub fn is_count(&self) -> bool {
+        matches!(self, Query::Count { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let q = Query::Find {
+            class: "Data".into(),
+            exact: false,
+            selections: vec![Selection::NameEquals("Alarms".into())],
+            navigate: None,
+        };
+        assert_eq!(q.class(), "Data");
+        assert!(!q.is_count());
+        let c = Query::Count { class: "Action".into(), exact: true, selections: vec![], navigate: None };
+        assert!(c.is_count());
+        assert_eq!(c.class(), "Action");
+    }
+}

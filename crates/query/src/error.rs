@@ -1,0 +1,64 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// Errors raised while parsing or executing a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query text could not be parsed.
+    Parse {
+        /// Byte position of the problem.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query referred to a schema element or object that does not exist.
+    Unknown(String),
+    /// The underlying database rejected an operation.
+    Database(seed_core::SeedError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            QueryError::Unknown(what) => write!(f, "unknown: {what}"),
+            QueryError::Database(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Database(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seed_core::SeedError> for QueryError {
+    fn from(e: seed_core::SeedError) -> Self {
+        QueryError::Database(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = QueryError::Parse { position: 4, message: "expected class name".into() };
+        assert!(e.to_string().contains("byte 4"));
+        let e: QueryError = seed_core::SeedError::NotFound("object".into()).into();
+        assert!(matches!(e, QueryError::Database(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(QueryError::Unknown("class 'X'".into()).to_string().contains("class 'X'"));
+    }
+}

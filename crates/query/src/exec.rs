@@ -1,0 +1,275 @@
+//! Query execution against a [`Database`].
+
+use seed_core::{Database, Value};
+
+use crate::algebra::ObjectSet;
+use crate::ast::{Comparison, Navigation, Query, Selection};
+use crate::error::{QueryError, QueryResult};
+
+/// The result of executing a query: either a set of objects or a count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// The objects matching a `find` query.
+    Objects(ObjectSet),
+    /// The cardinality returned by a `count` query.
+    Count(usize),
+}
+
+impl QueryOutcome {
+    /// The number of matching objects (for both kinds of outcome).
+    pub fn count(&self) -> usize {
+        match self {
+            QueryOutcome::Objects(set) => set.len(),
+            QueryOutcome::Count(n) => *n,
+        }
+    }
+
+    /// The matching object names (empty for `count` outcomes).
+    pub fn names(&self) -> Vec<String> {
+        match self {
+            QueryOutcome::Objects(set) => set.names(),
+            QueryOutcome::Count(_) => Vec::new(),
+        }
+    }
+
+    /// The object set, if this outcome carries one.
+    pub fn objects(&self) -> Option<&ObjectSet> {
+        match self {
+            QueryOutcome::Objects(set) => Some(set),
+            QueryOutcome::Count(_) => None,
+        }
+    }
+}
+
+/// Compares a stored value against a query literal.  Undefined values match nothing, following
+/// the paper.  Literals compare as integers when both sides parse as integers, as strings
+/// otherwise.
+fn compare_value(value: &Value, op: Comparison, literal: &str) -> bool {
+    if value.is_undefined() {
+        return false;
+    }
+    // Integer comparison when possible.
+    if let (Some(lhs), Ok(rhs)) = (value.as_integer(), literal.parse::<i64>()) {
+        return match op {
+            Comparison::Equal => lhs == rhs,
+            Comparison::NotEqual => lhs != rhs,
+            Comparison::Less => lhs < rhs,
+            Comparison::Greater => lhs > rhs,
+        };
+    }
+    let lhs = match value.as_str() {
+        Some(s) => s.to_string(),
+        None => value.to_string(),
+    };
+    match op {
+        Comparison::Equal => lhs == literal,
+        Comparison::NotEqual => lhs != literal,
+        Comparison::Less => lhs.as_str() < literal,
+        Comparison::Greater => lhs.as_str() > literal,
+    }
+}
+
+fn apply_navigation(db: &Database, nav: &Navigation, class_set: &ObjectSet) -> QueryResult<ObjectSet> {
+    let start = db
+        .object_by_name(&nav.from_object)
+        .map_err(|_| QueryError::Unknown(format!("object '{}'", nav.from_object)))?;
+    let schema = db.schema();
+    let association = schema
+        .association_by_name(&nav.association)
+        .map_err(|_| QueryError::Unknown(format!("association '{}'", nav.association)))?;
+    // Navigate from the start object's role (any role that is not the target role works for the
+    // binary associations of the paper; we pick the first non-target role).
+    let from_role = association
+        .roles
+        .iter()
+        .map(|r| r.name.as_str())
+        .find(|r| *r != nav.to_role)
+        .ok_or_else(|| QueryError::Unknown(format!("role '{}' of '{}'", nav.to_role, nav.association)))?;
+    if association.role(&nav.to_role).is_none() {
+        return Err(QueryError::Unknown(format!(
+            "role '{}' of '{}'",
+            nav.to_role, nav.association
+        )));
+    }
+    let reached = ObjectSet::from_records(vec![db.object(start.id)?])
+        .navigate(db, &nav.association, from_role, &nav.to_role)?;
+    Ok(reached.intersect(class_set))
+}
+
+fn apply_selection(db: &Database, selection: &Selection, set: ObjectSet) -> QueryResult<ObjectSet> {
+    Ok(match selection {
+        Selection::NameEquals(name) => set.select(|o| o.name.to_string() == *name),
+        Selection::NamePrefix(prefix) => set.select(|o| o.name.to_string().starts_with(prefix)),
+        Selection::Value(op, literal) => set.select(|o| compare_value(&o.value, *op, literal)),
+        Selection::Related { association, role } => {
+            let schema = db.schema();
+            let assoc = schema
+                .association_by_name(association)
+                .map_err(|_| QueryError::Unknown(format!("association '{association}'")))?;
+            let role_index = assoc
+                .role_index(role)
+                .ok_or_else(|| QueryError::Unknown(format!("role '{role}' of '{association}'")))?;
+            let mut hierarchy = schema.association_descendants(assoc.id);
+            hierarchy.push(assoc.id);
+            set.select(|o| {
+                db.relationships(o.id).iter().any(|rel| {
+                    hierarchy.contains(&rel.record.association)
+                        && rel.record.bindings.get(role_index).map(|(_, obj)| *obj) == Some(o.id)
+                })
+            })
+        }
+        Selection::Incomplete => {
+            let report = db.completeness_report();
+            set.select(|o| report.for_subject(&o.name.to_string()).iter().count() > 0)
+        }
+    })
+}
+
+/// Executes a parsed query.
+pub fn execute(db: &Database, query: &Query) -> QueryResult<QueryOutcome> {
+    let (class, exact, selections, navigate, is_count) = match query {
+        Query::Find { class, exact, selections, navigate } => {
+            (class, *exact, selections, navigate, false)
+        }
+        Query::Count { class, exact, selections, navigate } => {
+            (class, *exact, selections, navigate, true)
+        }
+    };
+    let records = db
+        .objects_of_class(class, !exact)
+        .map_err(|_| QueryError::Unknown(format!("class '{class}'")))?;
+    let mut set = ObjectSet::from_records(records);
+    if let Some(nav) = navigate {
+        set = apply_navigation(db, nav, &set)?;
+    }
+    for selection in selections {
+        set = apply_selection(db, selection, set)?;
+    }
+    Ok(if is_count { QueryOutcome::Count(set.len()) } else { QueryOutcome::Objects(set) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use seed_core::Database;
+    use seed_schema::figure3_schema;
+
+    fn sample() -> Database {
+        let mut db = Database::new(figure3_schema());
+        let alarms = db.create_object("OutputData", "Alarms").unwrap();
+        let process = db.create_object("InputData", "ProcessData").unwrap();
+        let handler = db.create_object("Action", "AlarmHandler").unwrap();
+        let display = db.create_object("Action", "Display").unwrap();
+        db.create_relationship("Write", &[("to", alarms), ("by", handler)]).unwrap();
+        db.create_relationship("Read", &[("from", process), ("by", handler)]).unwrap();
+        db.create_relationship("Read", &[("from", process), ("by", display)]).unwrap();
+        let text = db.create_dependent(alarms, "Text", seed_core::Value::Undefined).unwrap();
+        db.create_dependent(text, "Selector", seed_core::Value::string("Representation")).unwrap();
+        db.create_dependent(text, "Body", seed_core::Value::Undefined).unwrap();
+        db
+    }
+
+    fn run(db: &Database, q: &str) -> QueryOutcome {
+        execute(db, &parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn class_extent_with_and_without_specializations() {
+        let db = sample();
+        assert_eq!(run(&db, "count Thing").count(), 4);
+        assert_eq!(run(&db, "count Data").count(), 2);
+        assert_eq!(run(&db, "count exactly Data").count(), 0);
+        assert_eq!(run(&db, "count Action").count(), 2);
+    }
+
+    #[test]
+    fn selections_compose_conjunctively() {
+        let db = sample();
+        let q = r#"find Data where name prefix "Alarm" and related Write.to"#;
+        assert_eq!(run(&db, q).names(), vec!["Alarms"]);
+        let q = r#"find Data where name prefix "Proc" and related Write.to"#;
+        assert_eq!(run(&db, q).count(), 0);
+    }
+
+    #[test]
+    fn value_comparisons_skip_undefined() {
+        let db = sample();
+        assert_eq!(run(&db, r#"find Data.Text.Selector where value = "Representation""#).count(), 1);
+        assert_eq!(run(&db, r#"find Data.Text.Body where value = "Representation""#).count(), 0);
+        assert_eq!(run(&db, r#"find Data.Text.Selector where value != "Other""#).count(), 1);
+        // Undefined value (Body) does not even match a != comparison: it matches nothing.
+        assert_eq!(run(&db, r#"find Data.Text.Body where value != "Other""#).count(), 0);
+        assert_eq!(run(&db, r#"find Data.Text.Selector where value > "Aaa""#).count(), 1);
+    }
+
+    #[test]
+    fn integer_comparisons() {
+        let mut db = sample();
+        let alarms = db.object_by_name("Alarms").unwrap().id;
+        let handler = db.object_by_name("AlarmHandler").unwrap().id;
+        let rels = db.relationships(alarms);
+        let write = rels
+            .iter()
+            .find(|r| r.record.bound("by") == Some(handler))
+            .unwrap()
+            .record
+            .id;
+        db.set_relationship_attribute(write, "NumberOfWrites", seed_core::Value::Integer(2)).unwrap();
+        // Comparison helpers directly.
+        assert!(compare_value(&seed_core::Value::Integer(2), Comparison::Less, "5"));
+        assert!(compare_value(&seed_core::Value::Integer(7), Comparison::Greater, "5"));
+        assert!(!compare_value(&seed_core::Value::Undefined, Comparison::Equal, "5"));
+        assert!(compare_value(&seed_core::Value::Integer(5), Comparison::NotEqual, "4"));
+    }
+
+    #[test]
+    fn navigation_intersects_with_the_class() {
+        let db = sample();
+        let readers = run(&db, r#"find Action navigate Read.by from "ProcessData""#);
+        assert_eq!(readers.names(), vec!["AlarmHandler", "Display"]);
+        // Navigating to a class that does not contain the targets gives the empty set.
+        let none = run(&db, r#"find Data navigate Read.by from "ProcessData""#);
+        assert_eq!(none.count(), 0);
+        // Access generalizes Read and Write.
+        let all = run(&db, r#"find Action navigate Access.by from "ProcessData""#);
+        assert_eq!(all.count(), 2);
+    }
+
+    #[test]
+    fn incomplete_selection_uses_completeness_analysis() {
+        let db = sample();
+        // Display reads something, AlarmHandler reads and writes: both satisfy Access-by.
+        // The incomplete Data objects are those lacking dependent minimums / covering moves —
+        // in Figure 3, OutputData 'Alarms' is written (ok) and InputData 'ProcessData' is read
+        // (ok), so the `incomplete` filter on Action returns nothing.
+        let q = run(&db, "find Action where incomplete");
+        assert_eq!(q.count(), 0);
+        // A freshly created Action with no Access relationship is incomplete.
+        let mut db = db;
+        db.create_object("Action", "Idle").unwrap();
+        let q = run(&db, "find Action where incomplete");
+        assert_eq!(q.names(), vec!["Idle"]);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let db = sample();
+        assert!(execute(&db, &parse("find Ghost").unwrap()).is_err());
+        assert!(execute(&db, &parse(r#"find Action navigate Access.by from "Ghost""#).unwrap()).is_err());
+        assert!(execute(&db, &parse(r#"find Action navigate Access.ghost from "Alarms""#).unwrap()).is_err());
+        assert!(execute(&db, &parse("find Data where related Ghost.to").unwrap()).is_err());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let db = sample();
+        let objects = run(&db, "find Data");
+        assert!(objects.objects().is_some());
+        assert_eq!(objects.count(), objects.names().len());
+        let count = run(&db, "count Data");
+        assert!(count.objects().is_none());
+        assert!(count.names().is_empty());
+        assert_eq!(count.count(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Tokenizer for the retrieval language.
+
+use crate::error::{QueryError, QueryResult};
+
+/// A token of the retrieval language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare word: keyword, class name, role name (may contain dots and brackets).
+    Word(String),
+    /// Quoted string literal.
+    Literal(String),
+    /// `=`
+    Equal,
+    /// `!=`
+    NotEqual,
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes the query text.
+pub fn tokenize(input: &str) -> QueryResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryError::Parse {
+                        position: i,
+                        message: "unterminated string literal".to_string(),
+                    });
+                }
+                tokens.push(Token::Literal(bytes[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '=' => {
+                tokens.push(Token::Equal);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::NotEqual);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse { position: i, message: "expected '!='".to_string() });
+                }
+            }
+            '<' => {
+                tokens.push(Token::Less);
+                i += 1;
+            }
+            '>' => {
+                tokens.push(Token::Greater);
+                i += 1;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_alphanumeric()
+                        || bytes[j] == '_'
+                        || bytes[j] == '.'
+                        || bytes[j] == '['
+                        || bytes[j] == ']')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Word(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Parse {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_find_query() {
+        let toks = tokenize(r#"find Data where name = "Alarms""#).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("find".into()),
+                Token::Word("Data".into()),
+                Token::Word("where".into()),
+                Token::Word("name".into()),
+                Token::Equal,
+                Token::Literal("Alarms".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_words_and_operators() {
+        let toks = tokenize("find Data.Text.Selector where value != \"x\"").unwrap();
+        assert!(toks.contains(&Token::Word("Data.Text.Selector".into())));
+        assert!(toks.contains(&Token::NotEqual));
+        let toks = tokenize("value < \"5\" value > \"1\"").unwrap();
+        assert!(toks.contains(&Token::Less));
+        assert!(toks.contains(&Token::Greater));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("find Data where name = \"unterminated").is_err());
+        assert!(tokenize("find ? Data").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_eof_only() {
+        assert_eq!(tokenize("  ").unwrap(), vec![Token::Eof]);
+    }
+}

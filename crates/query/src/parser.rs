@@ -1,0 +1,229 @@
+//! Parser for the retrieval language.
+
+use crate::ast::{Comparison, Navigation, Query, Selection};
+use crate::error::{QueryError, QueryResult};
+use crate::lexer::{tokenize, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { position: self.pos, message: message.into() }
+    }
+
+    fn expect_word(&mut self) -> QueryResult<String> {
+        match self.bump() {
+            Token::Word(w) => Ok(w),
+            other => Err(self.error(format!("expected a word, found {other:?}"))),
+        }
+    }
+
+    fn expect_literal(&mut self) -> QueryResult<String> {
+        match self.bump() {
+            Token::Literal(s) => Ok(s),
+            other => Err(self.error(format!("expected a quoted literal, found {other:?}"))),
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Token::Word(w) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_comparison(&mut self) -> QueryResult<Comparison> {
+        match self.bump() {
+            Token::Equal => Ok(Comparison::Equal),
+            Token::NotEqual => Ok(Comparison::NotEqual),
+            Token::Less => Ok(Comparison::Less),
+            Token::Greater => Ok(Comparison::Greater),
+            other => Err(self.error(format!("expected a comparison operator, found {other:?}"))),
+        }
+    }
+
+    fn parse_selection(&mut self) -> QueryResult<Selection> {
+        let word = self.expect_word()?;
+        match word.as_str() {
+            "name" => {
+                if self.eat_word("prefix") {
+                    Ok(Selection::NamePrefix(self.expect_literal()?))
+                } else {
+                    match self.parse_comparison()? {
+                        Comparison::Equal => Ok(Selection::NameEquals(self.expect_literal()?)),
+                        _ => Err(self.error("only '=' and 'prefix' apply to names")),
+                    }
+                }
+            }
+            "value" => {
+                let cmp = self.parse_comparison()?;
+                Ok(Selection::Value(cmp, self.expect_literal()?))
+            }
+            "related" => {
+                let path = self.expect_word()?;
+                let (association, role) = path
+                    .split_once('.')
+                    .ok_or_else(|| self.error("expected <Association>.<role> after 'related'"))?;
+                Ok(Selection::Related { association: association.to_string(), role: role.to_string() })
+            }
+            "incomplete" => Ok(Selection::Incomplete),
+            other => Err(self.error(format!("unknown selection '{other}'"))),
+        }
+    }
+
+    fn parse_body(&mut self) -> QueryResult<(String, bool, Vec<Selection>, Option<Navigation>)> {
+        let exact = self.eat_word("exactly");
+        let class = self.expect_word()?;
+        let mut selections = Vec::new();
+        let mut navigate = None;
+        loop {
+            if self.eat_word("where") {
+                selections.push(self.parse_selection()?);
+                // Allow "and" chaining after a where.
+                while self.eat_word("and") {
+                    selections.push(self.parse_selection()?);
+                }
+            } else if self.eat_word("navigate") {
+                let path = self.expect_word()?;
+                let (association, to_role) = path
+                    .split_once('.')
+                    .ok_or_else(|| self.error("expected <Association>.<role> after 'navigate'"))?;
+                if !self.eat_word("from") {
+                    return Err(self.error("expected 'from' after the navigation path"));
+                }
+                let from_object = self.expect_literal()?;
+                navigate = Some(Navigation {
+                    association: association.to_string(),
+                    to_role: to_role.to_string(),
+                    from_object,
+                });
+            } else {
+                break;
+            }
+        }
+        match self.peek() {
+            Token::Eof => Ok((class, exact, selections, navigate)),
+            other => Err(self.error(format!("unexpected trailing input: {other:?}"))),
+        }
+    }
+}
+
+/// Parses query text into a [`Query`].
+pub fn parse(input: &str) -> QueryResult<Query> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let verb = parser.expect_word()?;
+    match verb.as_str() {
+        "find" => {
+            let (class, exact, selections, navigate) = parser.parse_body()?;
+            Ok(Query::Find { class, exact, selections, navigate })
+        }
+        "count" => {
+            let (class, exact, selections, navigate) = parser.parse_body()?;
+            Ok(Query::Count { class, exact, selections, navigate })
+        }
+        other => Err(QueryError::Parse {
+            position: 0,
+            message: format!("queries start with 'find' or 'count', not '{other}'"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_find() {
+        let q = parse("find Data").unwrap();
+        assert_eq!(
+            q,
+            Query::Find { class: "Data".into(), exact: false, selections: vec![], navigate: None }
+        );
+        let q = parse("find exactly Data").unwrap();
+        assert!(matches!(q, Query::Find { exact: true, .. }));
+        assert!(parse("count Action").unwrap().is_count());
+    }
+
+    #[test]
+    fn parses_selections() {
+        let q = parse(r#"find Thing where name = "Alarms""#).unwrap();
+        match q {
+            Query::Find { selections, .. } => {
+                assert_eq!(selections, vec![Selection::NameEquals("Alarms".into())]);
+            }
+            _ => panic!("wrong query kind"),
+        }
+        let q = parse(r#"find Data where name prefix "Alarm" and value != "x""#).unwrap();
+        match q {
+            Query::Find { selections, .. } => {
+                assert_eq!(selections.len(), 2);
+                assert_eq!(selections[1], Selection::Value(Comparison::NotEqual, "x".into()));
+            }
+            _ => panic!("wrong query kind"),
+        }
+        let q = parse("find Data where related Write.to").unwrap();
+        match q {
+            Query::Find { selections, .. } => {
+                assert_eq!(
+                    selections,
+                    vec![Selection::Related { association: "Write".into(), role: "to".into() }]
+                );
+            }
+            _ => panic!("wrong query kind"),
+        }
+        let q = parse("find Data where incomplete").unwrap();
+        match q {
+            Query::Find { selections, .. } => assert_eq!(selections, vec![Selection::Incomplete]),
+            _ => panic!("wrong query kind"),
+        }
+    }
+
+    #[test]
+    fn parses_navigation() {
+        let q = parse(r#"find Action navigate Access.by from "Alarms""#).unwrap();
+        match q {
+            Query::Find { navigate: Some(nav), .. } => {
+                assert_eq!(nav.association, "Access");
+                assert_eq!(nav.to_role, "by");
+                assert_eq!(nav.from_object, "Alarms");
+            }
+            _ => panic!("wrong query kind"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "destroy Data",
+            "find",
+            "find Data where",
+            "find Data where bogus = \"x\"",
+            "find Data where name > \"x\"",
+            "find Data navigate Access from \"Alarms\"",
+            "find Data navigate Access.by \"Alarms\"",
+            "find Data extra stuff",
+            "find Data where related Access",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Associations (relationship classes) and their roles.
+//!
+//! In Figure 2 of the paper, `Read` relates `Data` and `Action` through the roles `from` and
+//! `by`; the role cardinality `1..*` on `Read from` means that every object of class `Data`
+//! must eventually participate in at least one `Read` relationship (completeness), while a
+//! bounded maximum would be enforced on every update (consistency).  The `Contained`
+//! association carries the `ACYCLIC` attribute and the cardinality `0..1` for the role `in`,
+//! which together impose a tree structure on `Action` objects.
+//!
+//! Associations form their own generalization hierarchy (`Access` ⊒ `Read`, `Write`), the
+//! mechanism SEED uses to admit vague relationship knowledge.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cardinality::Cardinality;
+use crate::ids::{AssociationId, ClassId};
+use crate::procedure::AttachedProcedure;
+
+/// Declaration of an attribute carried by relationships of an association.
+///
+/// Figure 3 of the paper attaches `NumberOfWrites : 1..1` and `ErrorHandling : 0..1
+/// (abort, repeat)` to the `Write` association; the precise final statement "written **twice**,
+/// repeated in case of error" is stored in these attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationshipAttribute {
+    /// Attribute name, e.g. `"NumberOfWrites"`.
+    pub name: String,
+    /// Value domain of the attribute.
+    pub domain: crate::domain::Domain,
+    /// Whether a value must eventually be present (completeness information).
+    pub required: bool,
+}
+
+impl RelationshipAttribute {
+    /// Creates an attribute declaration.
+    pub fn new(name: impl Into<String>, domain: crate::domain::Domain, required: bool) -> Self {
+        Self { name: name.into(), domain, required }
+    }
+}
+
+/// One role of an association.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Role {
+    /// Role name, e.g. `"from"` or `"by"`.
+    pub name: String,
+    /// Class whose instances fill this role.
+    pub class: ClassId,
+    /// Participation cardinality of instances of `class` in relationships of this association.
+    /// Maximum = consistency, minimum = completeness.
+    pub cardinality: Cardinality,
+}
+
+impl Role {
+    /// Creates a role.
+    pub fn new(name: impl Into<String>, class: ClassId, cardinality: Cardinality) -> Self {
+        Self { name: name.into(), class, cardinality }
+    }
+}
+
+/// An association (relationship class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Association {
+    /// Handle of this association within its schema.
+    pub id: AssociationId,
+    /// Association name, e.g. `"Read"`.
+    pub name: String,
+    /// The association's roles (binary in all of the paper's examples, but not restricted).
+    pub roles: Vec<Role>,
+    /// `ACYCLIC` structural constraint: the directed graph formed by the relationship's first
+    /// role → second role pairs must stay acyclic (consistency information).
+    pub acyclic: bool,
+    /// Direct super-association in the generalization hierarchy (`Read` is-a `Access`).
+    pub superassociation: Option<AssociationId>,
+    /// Covering condition: every relationship of this association must eventually be
+    /// specialized into one of its sub-associations (completeness information).
+    pub covering: bool,
+    /// Attached procedures executed when relationships of this association are updated.
+    pub procedures: Vec<AttachedProcedure>,
+    /// Attributes carried by relationships of this association.
+    pub attributes: Vec<RelationshipAttribute>,
+}
+
+impl Association {
+    /// Looks up a role by name.
+    pub fn role(&self, name: &str) -> Option<&Role> {
+        self.roles.iter().find(|r| r.name == name)
+    }
+
+    /// Index of a role by name.
+    pub fn role_index(&self, name: &str) -> Option<usize> {
+        self.roles.iter().position(|r| r.name == name)
+    }
+
+    /// Whether the association is binary (exactly two roles).
+    pub fn is_binary(&self) -> bool {
+        self.roles.len() == 2
+    }
+
+    /// Whether the association specializes another association.
+    pub fn is_specialization(&self) -> bool {
+        self.superassociation.is_some()
+    }
+
+    /// Role names in declaration order.
+    pub fn role_names(&self) -> Vec<&str> {
+        self.roles.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// Looks up a relationship attribute declaration by name.
+    pub fn attribute(&self, name: &str) -> Option<&RelationshipAttribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_assoc() -> Association {
+        Association {
+            id: AssociationId(0),
+            name: "Read".to_string(),
+            roles: vec![
+                Role::new("from", ClassId(0), Cardinality::at_least_one()),
+                Role::new("by", ClassId(1), Cardinality::any()),
+            ],
+            acyclic: false,
+            superassociation: None,
+            covering: false,
+            procedures: Vec::new(),
+            attributes: vec![RelationshipAttribute::new(
+                "NumberOfReads",
+                crate::domain::Domain::Integer,
+                false,
+            )],
+        }
+    }
+
+    #[test]
+    fn role_lookup() {
+        let a = read_assoc();
+        assert!(a.is_binary());
+        assert_eq!(a.role("from").unwrap().class, ClassId(0));
+        assert_eq!(a.role("by").unwrap().class, ClassId(1));
+        assert!(a.role("onto").is_none());
+        assert_eq!(a.role_index("by"), Some(1));
+        assert_eq!(a.role_names(), vec!["from", "by"]);
+    }
+
+    #[test]
+    fn specialization_flag() {
+        let mut a = read_assoc();
+        assert!(!a.is_specialization());
+        a.superassociation = Some(AssociationId(5));
+        assert!(a.is_specialization());
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let a = read_assoc();
+        assert!(a.attribute("NumberOfReads").is_some());
+        assert!(a.attribute("NumberOfWrites").is_none());
+    }
+}

@@ -1,0 +1,384 @@
+//! Fluent construction of schemas, plus the paper's Figure 2 and Figure 3 schemas.
+
+use crate::association::RelationshipAttribute;
+use crate::cardinality::Cardinality;
+use crate::domain::Domain;
+use crate::error::SchemaResult;
+use crate::ids::{AssociationId, ClassId};
+use crate::procedure::AttachedProcedure;
+use crate::schema::Schema;
+
+/// Fluent builder for [`Schema`].
+///
+/// ```
+/// use seed_schema::{SchemaBuilder, Cardinality, Domain};
+///
+/// let schema = SchemaBuilder::new("Spec")
+///     .class("Data", |c| c.dependent("Text", Cardinality::bounded(0, 16).unwrap(), None))
+///     .class("Action", |c| c)
+///     .association("Read", "from", "Data", "1..*", "by", "Action", "0..*", |a| a)
+///     .build()
+///     .unwrap();
+/// assert!(schema.class_by_name("Data.Text").is_ok());
+/// ```
+pub struct SchemaBuilder {
+    schema: Schema,
+    errors: Vec<crate::error::SchemaError>,
+}
+
+/// Scoped builder for one class and its dependent classes.
+pub struct ClassBuilder<'a> {
+    schema: &'a mut Schema,
+    class: ClassId,
+    errors: &'a mut Vec<crate::error::SchemaError>,
+}
+
+/// Scoped builder for one association.
+pub struct AssociationBuilder<'a> {
+    schema: &'a mut Schema,
+    assoc: AssociationId,
+    errors: &'a mut Vec<crate::error::SchemaError>,
+}
+
+impl SchemaBuilder {
+    /// Starts a new schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { schema: Schema::new(name), errors: Vec::new() }
+    }
+
+    /// Adds an independent class and configures it through the closure.
+    pub fn class(
+        mut self,
+        name: &str,
+        configure: impl FnOnce(ClassBuilder<'_>) -> ClassBuilder<'_>,
+    ) -> Self {
+        match self.schema.add_class(name) {
+            Ok(id) => {
+                let cb = ClassBuilder { schema: &mut self.schema, class: id, errors: &mut self.errors };
+                let _ = configure(cb);
+            }
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+
+    /// Adds a class whose instances carry values of `domain`.
+    pub fn value_class(mut self, name: &str, domain: Domain) -> Self {
+        match self.schema.add_class(name) {
+            Ok(id) => {
+                if let Err(e) = self.schema.set_class_domain(id, Some(domain)) {
+                    self.errors.push(e);
+                }
+            }
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+
+    /// Adds a binary association with textual cardinalities and configures it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn association(
+        mut self,
+        name: &str,
+        role_a: &str,
+        class_a: &str,
+        card_a: &str,
+        role_b: &str,
+        class_b: &str,
+        card_b: &str,
+        configure: impl FnOnce(AssociationBuilder<'_>) -> AssociationBuilder<'_>,
+    ) -> Self {
+        let result = (|| -> SchemaResult<AssociationId> {
+            let ca = self.schema.class_id(class_a)?;
+            let cb = self.schema.class_id(class_b)?;
+            let card_a = Cardinality::parse(card_a)?;
+            let card_b = Cardinality::parse(card_b)?;
+            self.schema.add_binary_association(name, (role_a, ca, card_a), (role_b, cb, card_b), false)
+        })();
+        match result {
+            Ok(id) => {
+                let ab = AssociationBuilder { schema: &mut self.schema, assoc: id, errors: &mut self.errors };
+                let _ = configure(ab);
+            }
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+
+    /// Declares a class generalization: every name in `subs` becomes a specialization of `super_name`.
+    pub fn generalize_classes(mut self, super_name: &str, subs: &[&str], covering: bool) -> Self {
+        let result = (|| -> SchemaResult<()> {
+            let sup = self.schema.class_id(super_name)?;
+            for sub in subs {
+                let sub_id = self.schema.class_id(sub)?;
+                self.schema.set_superclass(sub_id, sup)?;
+            }
+            self.schema.set_class_covering(sup, covering)
+        })();
+        if let Err(e) = result {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Declares an association generalization.
+    pub fn generalize_associations(mut self, super_name: &str, subs: &[&str], covering: bool) -> Self {
+        let result = (|| -> SchemaResult<()> {
+            let sup = self.schema.association_id(super_name)?;
+            for sub in subs {
+                let sub_id = self.schema.association_id(sub)?;
+                self.schema.set_superassociation(sub_id, sup)?;
+            }
+            self.schema.set_association_covering(sup, covering)
+        })();
+        if let Err(e) = result {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Finishes the schema, returning the first construction error if any occurred.
+    pub fn build(self) -> SchemaResult<Schema> {
+        match self.errors.into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(self.schema),
+        }
+    }
+}
+
+impl<'a> ClassBuilder<'a> {
+    /// Adds a dependent class (sub-object class) to the class being built.
+    pub fn dependent(self, local_name: &str, occurrence: Cardinality, domain: Option<Domain>) -> Self {
+        match self.schema.add_dependent_class(self.class, local_name, occurrence, domain) {
+            Ok(_) => self,
+            Err(e) => {
+                self.errors.push(e);
+                self
+            }
+        }
+    }
+
+    /// Adds a dependent class and then descends into it to add further dependents.
+    pub fn dependent_with(
+        self,
+        local_name: &str,
+        occurrence: Cardinality,
+        domain: Option<Domain>,
+        configure: impl FnOnce(ClassBuilder<'_>) -> ClassBuilder<'_>,
+    ) -> Self {
+        match self.schema.add_dependent_class(self.class, local_name, occurrence, domain) {
+            Ok(child) => {
+                {
+                    let cb = ClassBuilder { schema: self.schema, class: child, errors: self.errors };
+                    let _ = configure(cb);
+                }
+                self
+            }
+            Err(e) => {
+                self.errors.push(e);
+                self
+            }
+        }
+    }
+
+    /// Gives the class itself a value domain.
+    pub fn domain(self, domain: Domain) -> Self {
+        if let Err(e) = self.schema.set_class_domain(self.class, Some(domain)) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Attaches a procedure to the class.
+    pub fn procedure(self, procedure: AttachedProcedure) -> Self {
+        if let Err(e) = self.schema.attach_class_procedure(self.class, procedure) {
+            self.errors.push(e);
+        }
+        self
+    }
+}
+
+impl<'a> AssociationBuilder<'a> {
+    /// Marks the association ACYCLIC.
+    pub fn acyclic(self) -> Self {
+        if let Err(e) = self.schema.set_association_acyclic(self.assoc, true) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Adds a relationship attribute.
+    pub fn attribute(self, name: &str, domain: Domain, required: bool) -> Self {
+        if let Err(e) = self
+            .schema
+            .add_relationship_attribute(self.assoc, RelationshipAttribute::new(name, domain, required))
+        {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Attaches a procedure to the association.
+    pub fn procedure(self, procedure: AttachedProcedure) -> Self {
+        if let Err(e) = self.schema.attach_association_procedure(self.assoc, procedure) {
+            self.errors.push(e);
+        }
+        self
+    }
+}
+
+// --------------------------------------------------------------------------------------------
+// The paper's schemas
+// --------------------------------------------------------------------------------------------
+
+/// Builds the schema of **Figure 2**: the data model of "a primitive specification system where
+/// actions, data, and data flow may be represented".
+pub fn figure2_schema() -> Schema {
+    let c016 = Cardinality::bounded(0, 16).expect("valid");
+    SchemaBuilder::new("Figure2")
+        .class("Data", |c| {
+            c.dependent_with("Text", c016, None, |t| {
+                t.dependent_with("Body", Cardinality::optional(), None, |b| {
+                    b.dependent("Keywords", Cardinality::any(), Some(Domain::String))
+                        .dependent("Contents", Cardinality::optional(), Some(Domain::Text))
+                })
+                .dependent("Selector", Cardinality::optional(), Some(Domain::String))
+            })
+        })
+        .class("Action", |c| {
+            c.dependent("Description", Cardinality::optional(), Some(Domain::String))
+        })
+        .association("Read", "from", "Data", "1..*", "by", "Action", "0..*", |a| a)
+        .association("Write", "to", "Data", "1..*", "by", "Action", "0..*", |a| a)
+        .association("Contained", "in", "Action", "0..1", "container", "Action", "0..*", |a| {
+            a.acyclic()
+        })
+        .build()
+        .expect("figure 2 schema is statically correct")
+}
+
+/// Builds the schema of **Figure 3**: Figure 2 extended with generalizations of classes and
+/// associations so that vague information can be stored.
+pub fn figure3_schema() -> Schema {
+    let c016 = Cardinality::bounded(0, 16).expect("valid");
+    SchemaBuilder::new("Figure3")
+        .class("Thing", |c| {
+            c.dependent("Revised", Cardinality::optional(), Some(Domain::Date))
+        })
+        .class("Data", |c| {
+            c.dependent_with("Text", c016, None, |t| {
+                t.dependent_with("Body", Cardinality::optional(), None, |b| {
+                    b.dependent("Keywords", Cardinality::any(), Some(Domain::String))
+                        .dependent("Contents", Cardinality::optional(), Some(Domain::Text))
+                })
+                .dependent("Selector", Cardinality::optional(), Some(Domain::String))
+            })
+        })
+        .class("Action", |c| {
+            c.dependent("Description", Cardinality::optional(), Some(Domain::String))
+        })
+        .class("OutputData", |c| c)
+        .class("InputData", |c| c)
+        // Vague category: Access generalizes Read and Write; "the cardinality 1..* of 'Access by'
+        // means that every object of class 'Action' eventually must access at least one object
+        // of class 'Data'", while 'Read by' / 'Write by' are 0..* so either kind satisfies it.
+        .association("Access", "from", "Data", "0..*", "by", "Action", "1..*", |a| a)
+        .association("Read", "from", "InputData", "1..*", "by", "Action", "0..*", |a| a)
+        .association("Write", "to", "OutputData", "1..*", "by", "Action", "0..*", |a| {
+            a.attribute("NumberOfWrites", Domain::Integer, true).attribute(
+                "ErrorHandling",
+                Domain::Enumeration(vec!["abort".to_string(), "repeat".to_string()]),
+                false,
+            )
+        })
+        .association("Contained", "in", "Action", "0..1", "container", "Action", "0..*", |a| {
+            a.acyclic()
+        })
+        .generalize_classes("Thing", &["Data", "Action"], true)
+        .generalize_classes("Data", &["OutputData", "InputData"], false)
+        .generalize_associations("Access", &["Read", "Write"], true)
+        .build()
+        .expect("figure 3 schema is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_has_expected_elements() {
+        let s = figure2_schema();
+        assert_eq!(s.name, "Figure2");
+        for class in ["Data", "Action", "Data.Text", "Data.Text.Body", "Data.Text.Selector",
+                      "Data.Text.Body.Keywords", "Action.Description"] {
+            assert!(s.class_by_name(class).is_ok(), "missing class {class}");
+        }
+        for assoc in ["Read", "Write", "Contained"] {
+            assert!(s.association_by_name(assoc).is_ok(), "missing association {assoc}");
+        }
+        let text = s.class_by_name("Data.Text").unwrap();
+        assert_eq!(text.occurrence, Cardinality::bounded(0, 16).unwrap());
+        let contained = s.association_by_name("Contained").unwrap();
+        assert!(contained.acyclic);
+        assert_eq!(contained.role("in").unwrap().cardinality, Cardinality::optional());
+        let read = s.association_by_name("Read").unwrap();
+        assert_eq!(read.role("from").unwrap().cardinality, Cardinality::at_least_one());
+        assert_eq!(read.role("by").unwrap().cardinality, Cardinality::any());
+    }
+
+    #[test]
+    fn figure3_extends_figure2_with_generalizations() {
+        let s = figure3_schema();
+        let thing = s.class_id("Thing").unwrap();
+        let data = s.class_id("Data").unwrap();
+        let action = s.class_id("Action").unwrap();
+        let output = s.class_id("OutputData").unwrap();
+        assert!(s.class_is_a(data, thing));
+        assert!(s.class_is_a(action, thing));
+        assert!(s.class_is_a(output, data));
+        assert!(s.class_is_a(output, thing));
+        assert!(s.class(thing).unwrap().covering);
+
+        let access = s.association_id("Access").unwrap();
+        let read = s.association_id("Read").unwrap();
+        let write = s.association_id("Write").unwrap();
+        assert!(s.association_is_a(read, access));
+        assert!(s.association_is_a(write, access));
+        assert!(s.association(access).unwrap().covering);
+        assert_eq!(
+            s.association(access).unwrap().role("by").unwrap().cardinality,
+            Cardinality::at_least_one()
+        );
+        let w = s.association(write).unwrap();
+        assert!(w.attribute("NumberOfWrites").is_some());
+        assert!(w.attribute("ErrorHandling").is_some());
+        assert!(w.attribute("ErrorHandling").unwrap().domain.allows_literal("repeat"));
+        // Revised is a dependent of Thing with DATE domain.
+        let revised = s.class_by_name("Thing.Revised").unwrap();
+        assert_eq!(revised.domain, Some(Domain::Date));
+    }
+
+    #[test]
+    fn builder_reports_unknown_class_in_association() {
+        let result = SchemaBuilder::new("Broken")
+            .class("Data", |c| c)
+            .association("Read", "from", "Data", "1..*", "by", "Ghost", "0..*", |a| a)
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn builder_reports_duplicate_class() {
+        let result = SchemaBuilder::new("Broken")
+            .class("Data", |c| c)
+            .class("Data", |c| c)
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn value_class_sets_domain() {
+        let s = SchemaBuilder::new("V").value_class("Note", Domain::Text).build().unwrap();
+        assert_eq!(s.class_by_name("Note").unwrap().domain, Some(Domain::Text));
+    }
+}

@@ -1,0 +1,204 @@
+//! Cardinality ranges (`min .. max`, `*` = unlimited).
+//!
+//! Cardinalities appear in two places in a SEED schema: on dependent classes ("any object of
+//! class `Data` may have from zero up to 16 objects of class `Data.Text`") and on association
+//! roles ("every object of class `Data` must eventually have at least one `Read` relationship").
+//!
+//! Following the paper's partition of schema information, the **maximum** is *consistency*
+//! information (checked on every update) while the **minimum** is *completeness* information
+//! (checked only by explicit completeness analysis).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{SchemaError, SchemaResult};
+
+/// A `min..max` occurrence range; `max == None` means unlimited (`*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cardinality {
+    /// Minimum number of occurrences required for *complete* data.
+    pub min: u32,
+    /// Maximum number of occurrences allowed for *consistent* data (`None` = unlimited).
+    pub max: Option<u32>,
+}
+
+impl Cardinality {
+    /// Creates a cardinality, validating `min <= max`.
+    pub fn new(min: u32, max: Option<u32>) -> SchemaResult<Self> {
+        if let Some(m) = max {
+            if min > m {
+                return Err(SchemaError::InvalidCardinality(format!("{min}..{m}")));
+            }
+        }
+        Ok(Self { min, max })
+    }
+
+    /// `0..*` — anything goes.
+    pub fn any() -> Self {
+        Self { min: 0, max: None }
+    }
+
+    /// `1..*` — at least one required eventually.
+    pub fn at_least_one() -> Self {
+        Self { min: 1, max: None }
+    }
+
+    /// `0..1` — optional, at most one.
+    pub fn optional() -> Self {
+        Self { min: 0, max: Some(1) }
+    }
+
+    /// `1..1` — exactly one.
+    pub fn exactly_one() -> Self {
+        Self { min: 1, max: Some(1) }
+    }
+
+    /// `min..max` with a bounded maximum.
+    pub fn bounded(min: u32, max: u32) -> SchemaResult<Self> {
+        Self::new(min, Some(max))
+    }
+
+    /// Whether `count` occurrences satisfy the **maximum** (consistency check).
+    pub fn allows(&self, count: u32) -> bool {
+        match self.max {
+            Some(m) => count <= m,
+            None => true,
+        }
+    }
+
+    /// Whether `count` occurrences satisfy the **minimum** (completeness check).
+    pub fn satisfied_by(&self, count: u32) -> bool {
+        count >= self.min
+    }
+
+    /// Whether `count` satisfies both bounds.
+    pub fn contains(&self, count: u32) -> bool {
+        self.allows(count) && self.satisfied_by(count)
+    }
+
+    /// Parses the textual form used in the paper's diagrams and our SDL: `"0..16"`, `"1..*"`,
+    /// `"0..1"`, `"*"` (shorthand for `0..*`) or a single number `n` (shorthand for `n..n`).
+    pub fn parse(s: &str) -> SchemaResult<Self> {
+        let s = s.trim();
+        if s == "*" {
+            return Ok(Self::any());
+        }
+        if let Some((lo, hi)) = s.split_once("..") {
+            let min: u32 = lo
+                .trim()
+                .parse()
+                .map_err(|_| SchemaError::InvalidCardinality(s.to_string()))?;
+            let hi = hi.trim();
+            let max = if hi == "*" {
+                None
+            } else {
+                Some(hi.parse::<u32>().map_err(|_| SchemaError::InvalidCardinality(s.to_string()))?)
+            };
+            Self::new(min, max)
+        } else {
+            let n: u32 = s.parse().map_err(|_| SchemaError::InvalidCardinality(s.to_string()))?;
+            Self::new(n, Some(n))
+        }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(m) => write!(f, "{}..{}", self.min, m),
+            None => write!(f, "{}..*", self.min),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_have_expected_bounds() {
+        assert_eq!(Cardinality::any(), Cardinality { min: 0, max: None });
+        assert_eq!(Cardinality::at_least_one(), Cardinality { min: 1, max: None });
+        assert_eq!(Cardinality::optional(), Cardinality { min: 0, max: Some(1) });
+        assert_eq!(Cardinality::exactly_one(), Cardinality { min: 1, max: Some(1) });
+        assert_eq!(Cardinality::bounded(0, 16).unwrap(), Cardinality { min: 0, max: Some(16) });
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert!(Cardinality::new(5, Some(2)).is_err());
+        assert!(Cardinality::bounded(3, 1).is_err());
+    }
+
+    #[test]
+    fn allows_checks_only_maximum() {
+        let c = Cardinality::bounded(1, 3).unwrap();
+        assert!(c.allows(0), "minimum is completeness information, not consistency");
+        assert!(c.allows(3));
+        assert!(!c.allows(4));
+        assert!(Cardinality::at_least_one().allows(1_000_000));
+    }
+
+    #[test]
+    fn satisfied_by_checks_only_minimum() {
+        let c = Cardinality::bounded(2, 5).unwrap();
+        assert!(!c.satisfied_by(1));
+        assert!(c.satisfied_by(2));
+        assert!(c.satisfied_by(100), "satisfied_by ignores the maximum");
+        assert!(c.contains(3));
+        assert!(!c.contains(6));
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn parse_paper_notations() {
+        assert_eq!(Cardinality::parse("0..16").unwrap(), Cardinality::bounded(0, 16).unwrap());
+        assert_eq!(Cardinality::parse("1..*").unwrap(), Cardinality::at_least_one());
+        assert_eq!(Cardinality::parse("0..*").unwrap(), Cardinality::any());
+        assert_eq!(Cardinality::parse("*").unwrap(), Cardinality::any());
+        assert_eq!(Cardinality::parse("1..1").unwrap(), Cardinality::exactly_one());
+        assert_eq!(Cardinality::parse("3").unwrap(), Cardinality::bounded(3, 3).unwrap());
+        assert_eq!(Cardinality::parse(" 0 .. 1 ").unwrap(), Cardinality::optional());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "a..b", "1..", "-1..2", "2..1", "1...3"] {
+            assert!(Cardinality::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for c in [
+            Cardinality::any(),
+            Cardinality::at_least_one(),
+            Cardinality::optional(),
+            Cardinality::exactly_one(),
+            Cardinality::bounded(0, 16).unwrap(),
+            Cardinality::bounded(2, 7).unwrap(),
+        ] {
+            assert_eq!(Cardinality::parse(&c.to_string()).unwrap(), c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn display_parse_roundtrip(min in 0u32..1000, extra in proptest::option::of(0u32..1000)) {
+            let c = Cardinality::new(min, extra.map(|e| min + e)).unwrap();
+            prop_assert_eq!(Cardinality::parse(&c.to_string()).unwrap(), c);
+        }
+
+        #[test]
+        fn contains_is_conjunction(min in 0u32..50, extra in proptest::option::of(0u32..50), n in 0u32..200) {
+            let c = Cardinality::new(min, extra.map(|e| min + e)).unwrap();
+            prop_assert_eq!(c.contains(n), c.allows(n) && c.satisfied_by(n));
+        }
+    }
+}

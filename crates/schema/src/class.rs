@@ -1,0 +1,99 @@
+//! Object classes, including hierarchically structured (dependent) classes.
+//!
+//! A class is identified by its **path name**: independent classes have a simple name
+//! (`Data`), dependent classes are named through their owner (`Data.Text`, `Data.Text.Body`).
+//! Dependent classes carry the cardinality of their occurrence within the owning object
+//! (`Data.Text` has cardinality `0..16` in Figure 2).
+//!
+//! Orthogonally to the *composition* hierarchy, classes participate in a *generalization*
+//! hierarchy (`Data` is-a `Thing`) used for vague data; see [`crate::generalization`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::cardinality::Cardinality;
+use crate::domain::Domain;
+use crate::ids::ClassId;
+use crate::procedure::AttachedProcedure;
+
+/// An object class of a SEED schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectClass {
+    /// Handle of this class within its schema.
+    pub id: ClassId,
+    /// Full path name, e.g. `"Data.Text.Selector"`.
+    pub name: String,
+    /// Owner class for dependent classes (`Data.Text` is owned by `Data`); `None` for
+    /// independent classes.
+    pub owner: Option<ClassId>,
+    /// Occurrence cardinality within the owning object (only meaningful when `owner` is set).
+    /// The maximum is consistency information, the minimum completeness information.
+    pub occurrence: Cardinality,
+    /// Value domain for leaf classes whose instances carry values (`STRING`, `DATE`, ...).
+    pub domain: Option<Domain>,
+    /// Direct superclass in the generalization (is-a) hierarchy, if any.
+    pub superclass: Option<ClassId>,
+    /// Covering condition: if `true`, every instance must *eventually* be specialized into one
+    /// of this class's subclasses (completeness information).
+    pub covering: bool,
+    /// Attached procedures executed when instances of this class are updated.
+    pub procedures: Vec<AttachedProcedure>,
+}
+
+impl ObjectClass {
+    /// Local (last) segment of the path name: `"Selector"` for `"Data.Text.Selector"`.
+    pub fn local_name(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+
+    /// Whether this is a dependent (sub-object) class.
+    pub fn is_dependent(&self) -> bool {
+        self.owner.is_some()
+    }
+
+    /// Whether instances of this class carry a value.
+    pub fn has_value(&self) -> bool {
+        self.domain.is_some()
+    }
+
+    /// Whether this class takes part in a generalization hierarchy as a specialization.
+    pub fn is_specialization(&self) -> bool {
+        self.superclass.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, owner: Option<ClassId>) -> ObjectClass {
+        ObjectClass {
+            id: ClassId(0),
+            name: name.to_string(),
+            owner,
+            occurrence: Cardinality::exactly_one(),
+            domain: None,
+            superclass: None,
+            covering: false,
+            procedures: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn local_name_is_last_segment() {
+        assert_eq!(sample("Data", None).local_name(), "Data");
+        assert_eq!(sample("Data.Text.Selector", Some(ClassId(1))).local_name(), "Selector");
+    }
+
+    #[test]
+    fn dependent_and_value_flags() {
+        let mut c = sample("Data.Text", Some(ClassId(0)));
+        assert!(c.is_dependent());
+        assert!(!c.has_value());
+        assert!(!c.is_specialization());
+        c.domain = Some(Domain::String);
+        c.superclass = Some(ClassId(9));
+        assert!(c.has_value());
+        assert!(c.is_specialization());
+        assert!(!sample("Data", None).is_dependent());
+    }
+}

@@ -1,0 +1,101 @@
+//! Value domains for leaf object classes.
+//!
+//! In the paper's figures, leaf classes such as `Data.Text.Selector` carry `STRING` instances
+//! and `Thing.Revised` carries `DATE` instances.  A domain constrains the values that objects of
+//! such a class may hold; domain conformance is *consistency* information and is checked on
+//! every update.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value domain of a leaf object class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Arbitrary UTF-8 text (the paper's `STRING`).
+    String,
+    /// Signed integers (the paper's `NumberOfWrites` attribute).
+    Integer,
+    /// Floating point numbers.
+    Real,
+    /// Booleans.
+    Boolean,
+    /// Calendar dates, stored as `(year, month, day)` (the paper's `DATE`, e.g. `Revised`).
+    Date,
+    /// One value out of a fixed set of symbolic literals (the paper's `ErrorHandling
+    /// (abort, repeat)` attribute).
+    Enumeration(Vec<String>),
+    /// Free multi-line text bodies; behaves like [`Domain::String`] but signals intent.
+    Text,
+}
+
+impl Domain {
+    /// A short, stable keyword for the domain, as used by the schema definition language.
+    pub fn keyword(&self) -> String {
+        match self {
+            Domain::String => "STRING".to_string(),
+            Domain::Integer => "INTEGER".to_string(),
+            Domain::Real => "REAL".to_string(),
+            Domain::Boolean => "BOOLEAN".to_string(),
+            Domain::Date => "DATE".to_string(),
+            Domain::Text => "TEXT".to_string(),
+            Domain::Enumeration(literals) => format!("ENUM({})", literals.join(", ")),
+        }
+    }
+
+    /// Parses a domain keyword (the inverse of [`Domain::keyword`] for non-enumeration domains).
+    pub fn from_keyword(kw: &str) -> Option<Domain> {
+        match kw.to_ascii_uppercase().as_str() {
+            "STRING" => Some(Domain::String),
+            "INTEGER" | "INT" => Some(Domain::Integer),
+            "REAL" | "FLOAT" => Some(Domain::Real),
+            "BOOLEAN" | "BOOL" => Some(Domain::Boolean),
+            "DATE" => Some(Domain::Date),
+            "TEXT" => Some(Domain::Text),
+            _ => None,
+        }
+    }
+
+    /// Whether the enumeration contains the literal (only meaningful for enumerations).
+    pub fn allows_literal(&self, literal: &str) -> bool {
+        match self {
+            Domain::Enumeration(lits) => lits.iter().any(|l| l == literal),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip_for_simple_domains() {
+        for d in [Domain::String, Domain::Integer, Domain::Real, Domain::Boolean, Domain::Date, Domain::Text] {
+            assert_eq!(Domain::from_keyword(&d.keyword()), Some(d.clone()), "{d}");
+        }
+    }
+
+    #[test]
+    fn keyword_aliases() {
+        assert_eq!(Domain::from_keyword("int"), Some(Domain::Integer));
+        assert_eq!(Domain::from_keyword("bool"), Some(Domain::Boolean));
+        assert_eq!(Domain::from_keyword("float"), Some(Domain::Real));
+        assert_eq!(Domain::from_keyword("nonsense"), None);
+    }
+
+    #[test]
+    fn enumeration_membership() {
+        let d = Domain::Enumeration(vec!["abort".into(), "repeat".into()]);
+        assert!(d.allows_literal("abort"));
+        assert!(d.allows_literal("repeat"));
+        assert!(!d.allows_literal("retry"));
+        assert!(!Domain::String.allows_literal("abort"));
+        assert_eq!(d.keyword(), "ENUM(abort, repeat)");
+    }
+}

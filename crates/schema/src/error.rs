@@ -1,0 +1,72 @@
+//! Error types for schema construction and parsing.
+
+use std::fmt;
+
+/// Result alias used throughout `seed-schema`.
+pub type SchemaResult<T> = Result<T, SchemaError>;
+
+/// Errors raised while building, parsing or querying a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// An association name was declared twice.
+    DuplicateAssociation(String),
+    /// A referenced class does not exist.
+    UnknownClass(String),
+    /// A referenced association does not exist.
+    UnknownAssociation(String),
+    /// A referenced role does not exist on the association.
+    UnknownRole { association: String, role: String },
+    /// A cardinality string or pair could not be interpreted.
+    InvalidCardinality(String),
+    /// A generalization would introduce a cycle (a class cannot be its own ancestor).
+    GeneralizationCycle(String),
+    /// A dependent-class declaration would introduce a cycle.
+    DependencyCycle(String),
+    /// The schema definition language input was malformed.
+    Parse { line: usize, column: usize, message: String },
+    /// Catch-all for invalid schema manipulation.
+    Invalid(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateClass(n) => write!(f, "class '{n}' declared more than once"),
+            SchemaError::DuplicateAssociation(n) => {
+                write!(f, "association '{n}' declared more than once")
+            }
+            SchemaError::UnknownClass(n) => write!(f, "unknown class '{n}'"),
+            SchemaError::UnknownAssociation(n) => write!(f, "unknown association '{n}'"),
+            SchemaError::UnknownRole { association, role } => {
+                write!(f, "association '{association}' has no role '{role}'")
+            }
+            SchemaError::InvalidCardinality(s) => write!(f, "invalid cardinality '{s}'"),
+            SchemaError::GeneralizationCycle(n) => {
+                write!(f, "generalization cycle involving '{n}'")
+            }
+            SchemaError::DependencyCycle(n) => write!(f, "dependent-class cycle involving '{n}'"),
+            SchemaError::Parse { line, column, message } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            SchemaError::Invalid(msg) => write!(f, "invalid schema operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SchemaError::UnknownRole { association: "Read".into(), role: "onto".into() };
+        assert!(e.to_string().contains("Read"));
+        assert!(e.to_string().contains("onto"));
+        let p = SchemaError::Parse { line: 3, column: 14, message: "expected '{'".into() };
+        assert!(p.to_string().contains("3:14"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Queries over generalization hierarchies of classes and associations.
+//!
+//! "Generalization is a well known principle for representing meta-classifications
+//! ('is-a'-relationships).  This principle can be used to define categories in the schema that
+//! allow for dealing with vague data in a well defined manner.  We extend generalization from
+//! object classes also to associations."  (paper, section *Vague data*)
+//!
+//! [`GeneralizationHierarchy`] offers the navigation operations `seed-core` needs for
+//! re-classification: finding the hierarchy an element belongs to, checking whether a move is a
+//! *specialization* (more precise) or a *generalization* (less precise), and computing the
+//! lowest common ancestor of two elements.
+
+use crate::ids::{AssociationId, ClassId};
+use crate::schema::Schema;
+
+/// Direction of a re-classification move within a generalization hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// The target is a (transitive) specialization of the source: knowledge became more precise.
+    Specialize,
+    /// The target is a (transitive) generalization of the source: knowledge became vaguer.
+    Generalize,
+    /// Source and target are in the same hierarchy but on different branches (e.g. moving an
+    /// `Access` relationship mis-classified as `Read` over to `Write`): allowed, because both
+    /// interpretations share a common ancestor that justified storing the item at all.
+    Lateral,
+    /// Source and target share no common ancestor: the move is not a re-classification.
+    Unrelated,
+    /// Source and target are identical.
+    Identity,
+}
+
+/// A read-only view over the generalization structure of a schema.
+pub struct GeneralizationHierarchy<'a> {
+    schema: &'a Schema,
+}
+
+impl<'a> GeneralizationHierarchy<'a> {
+    /// Creates the view.
+    pub fn new(schema: &'a Schema) -> Self {
+        Self { schema }
+    }
+
+    // ----- classes ------------------------------------------------------------------------------
+
+    /// The root (most general class) of the hierarchy `class` belongs to.
+    pub fn class_root(&self, class: ClassId) -> ClassId {
+        *self
+            .schema
+            .class_ancestors(class)
+            .last()
+            .expect("ancestors always include the class itself")
+    }
+
+    /// Depth of `class` below its hierarchy root (root has depth 0).
+    pub fn class_depth(&self, class: ClassId) -> usize {
+        self.schema.class_ancestors(class).len() - 1
+    }
+
+    /// Lowest common ancestor of two classes, if they share one.
+    pub fn class_lca(&self, a: ClassId, b: ClassId) -> Option<ClassId> {
+        let ancestors_a = self.schema.class_ancestors(a);
+        let ancestors_b = self.schema.class_ancestors(b);
+        ancestors_a.into_iter().find(|x| ancestors_b.contains(x))
+    }
+
+    /// Classifies a re-classification move from `from` to `to`.
+    pub fn classify_class_move(&self, from: ClassId, to: ClassId) -> MoveKind {
+        if from == to {
+            MoveKind::Identity
+        } else if self.schema.class_is_a(to, from) {
+            MoveKind::Specialize
+        } else if self.schema.class_is_a(from, to) {
+            MoveKind::Generalize
+        } else if self.class_lca(from, to).is_some() {
+            MoveKind::Lateral
+        } else {
+            MoveKind::Unrelated
+        }
+    }
+
+    /// Leaves (classes with no specializations) below `class`, including `class` itself if it
+    /// has none.  These are the candidates for fully precise classification.
+    pub fn class_leaves(&self, class: ClassId) -> Vec<ClassId> {
+        let mut descendants = self.schema.class_descendants(class);
+        descendants.push(class);
+        descendants
+            .into_iter()
+            .filter(|&c| self.schema.subclasses(c).is_empty())
+            .collect()
+    }
+
+    // ----- associations ---------------------------------------------------------------------------
+
+    /// The root of the hierarchy `assoc` belongs to.
+    pub fn association_root(&self, assoc: AssociationId) -> AssociationId {
+        *self
+            .schema
+            .association_ancestors(assoc)
+            .last()
+            .expect("ancestors always include the association itself")
+    }
+
+    /// Depth of `assoc` below its hierarchy root.
+    pub fn association_depth(&self, assoc: AssociationId) -> usize {
+        self.schema.association_ancestors(assoc).len() - 1
+    }
+
+    /// Lowest common ancestor of two associations, if they share one.
+    pub fn association_lca(&self, a: AssociationId, b: AssociationId) -> Option<AssociationId> {
+        let ancestors_a = self.schema.association_ancestors(a);
+        let ancestors_b = self.schema.association_ancestors(b);
+        ancestors_a.into_iter().find(|x| ancestors_b.contains(x))
+    }
+
+    /// Classifies a re-classification move between associations.
+    pub fn classify_association_move(&self, from: AssociationId, to: AssociationId) -> MoveKind {
+        if from == to {
+            MoveKind::Identity
+        } else if self.schema.association_is_a(to, from) {
+            MoveKind::Specialize
+        } else if self.schema.association_is_a(from, to) {
+            MoveKind::Generalize
+        } else if self.association_lca(from, to).is_some() {
+            MoveKind::Lateral
+        } else {
+            MoveKind::Unrelated
+        }
+    }
+
+    /// Leaves below an association, including the association itself if it has none.
+    pub fn association_leaves(&self, assoc: AssociationId) -> Vec<AssociationId> {
+        let mut descendants = self.schema.association_descendants(assoc);
+        descendants.push(assoc);
+        descendants
+            .into_iter()
+            .filter(|&a| self.schema.subassociations(a).is_empty())
+            .collect()
+    }
+
+    /// Classes that still require specialization under a covering condition: covering classes
+    /// that have at least one subclass (an instance sitting at such a class is *incomplete*).
+    pub fn covering_classes(&self) -> Vec<ClassId> {
+        self.schema
+            .classes()
+            .iter()
+            .filter(|c| c.covering && !self.schema.subclasses(c.id).is_empty())
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Associations that still require specialization under a covering condition.
+    pub fn covering_associations(&self) -> Vec<AssociationId> {
+        self.schema
+            .associations()
+            .iter()
+            .filter(|a| a.covering && !self.schema.subassociations(a.id).is_empty())
+            .map(|a| a.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::figure3_schema;
+
+    #[test]
+    fn figure3_class_hierarchy() {
+        let schema = figure3_schema();
+        let h = GeneralizationHierarchy::new(&schema);
+        let thing = schema.class_id("Thing").unwrap();
+        let data = schema.class_id("Data").unwrap();
+        let action = schema.class_id("Action").unwrap();
+        let output = schema.class_id("OutputData").unwrap();
+        let input = schema.class_id("InputData").unwrap();
+
+        assert_eq!(h.class_root(output), thing);
+        assert_eq!(h.class_root(thing), thing);
+        assert_eq!(h.class_depth(thing), 0);
+        assert_eq!(h.class_depth(data), 1);
+        assert_eq!(h.class_depth(output), 2);
+        assert_eq!(h.class_lca(output, input), Some(data));
+        assert_eq!(h.class_lca(output, action), Some(thing));
+
+        assert_eq!(h.classify_class_move(thing, data), MoveKind::Specialize);
+        assert_eq!(h.classify_class_move(data, thing), MoveKind::Generalize);
+        assert_eq!(h.classify_class_move(output, input), MoveKind::Lateral);
+        assert_eq!(h.classify_class_move(data, data), MoveKind::Identity);
+
+        let leaves = h.class_leaves(data);
+        assert!(leaves.contains(&output) && leaves.contains(&input));
+        assert!(!leaves.contains(&data));
+    }
+
+    #[test]
+    fn figure3_association_hierarchy() {
+        let schema = figure3_schema();
+        let h = GeneralizationHierarchy::new(&schema);
+        let access = schema.association_id("Access").unwrap();
+        let read = schema.association_id("Read").unwrap();
+        let write = schema.association_id("Write").unwrap();
+
+        assert_eq!(h.association_root(read), access);
+        assert_eq!(h.association_depth(read), 1);
+        assert_eq!(h.association_lca(read, write), Some(access));
+        assert_eq!(h.classify_association_move(access, write), MoveKind::Specialize);
+        assert_eq!(h.classify_association_move(write, access), MoveKind::Generalize);
+        assert_eq!(h.classify_association_move(read, write), MoveKind::Lateral);
+        let leaves = h.association_leaves(access);
+        assert_eq!(leaves.len(), 2);
+    }
+
+    #[test]
+    fn unrelated_hierarchies() {
+        let schema = figure3_schema();
+        let h = GeneralizationHierarchy::new(&schema);
+        let thing = schema.class_id("Thing").unwrap();
+        let text = schema.class_id("Data.Text").unwrap();
+        assert_eq!(h.classify_class_move(thing, text), MoveKind::Unrelated);
+        assert_eq!(h.class_lca(thing, text), None);
+        let access = schema.association_id("Access").unwrap();
+        let contained = schema.association_id("Contained").unwrap();
+        assert_eq!(h.classify_association_move(access, contained), MoveKind::Unrelated);
+    }
+
+    #[test]
+    fn covering_elements_reported() {
+        let schema = figure3_schema();
+        let h = GeneralizationHierarchy::new(&schema);
+        let access = schema.association_id("Access").unwrap();
+        assert!(h.covering_associations().contains(&access));
+        // Thing is declared covering in figure3_schema (every Thing must become Data or Action).
+        let thing = schema.class_id("Thing").unwrap();
+        assert!(h.covering_classes().contains(&thing));
+    }
+}

@@ -1,0 +1,84 @@
+//! Typed identifiers for schema elements.
+//!
+//! Classes and associations are referred to by small integer handles inside a [`crate::Schema`];
+//! the newtypes prevent mixing the two id spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle of an object class within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+/// Handle of an association (relationship class) within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AssociationId(pub u32);
+
+impl ClassId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AssociationId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+impl fmt::Display for AssociationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assoc#{}", self.0)
+    }
+}
+
+/// Reference to either a class or an association — generalization hierarchies exist for both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SchemaElementId {
+    /// An object class.
+    Class(ClassId),
+    /// An association.
+    Association(AssociationId),
+}
+
+impl fmt::Display for SchemaElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaElementId::Class(c) => write!(f, "{c}"),
+            SchemaElementId::Association(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(ClassId(1) < ClassId(2));
+        assert_eq!(ClassId(3).index(), 3);
+        assert_eq!(ClassId(3).to_string(), "class#3");
+        assert_eq!(AssociationId(7).to_string(), "assoc#7");
+        assert_eq!(
+            SchemaElementId::Class(ClassId(1)).to_string(),
+            "class#1"
+        );
+    }
+
+    #[test]
+    fn element_ids_distinguish_kinds() {
+        assert_ne!(
+            SchemaElementId::Class(ClassId(0)),
+            SchemaElementId::Association(AssociationId(0))
+        );
+    }
+}

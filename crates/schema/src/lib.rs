@@ -1,0 +1,72 @@
+//! # seed-schema
+//!
+//! Schema subsystem of the SEED reproduction (Glinz & Ludewig, ICDE 1986).
+//!
+//! SEED is based on the entity-relationship approach and extends it with the features a
+//! software-engineering environment needs.  A SEED **schema** (Figure 2 and 3 of the paper)
+//! declares:
+//!
+//! * **object classes**, which may be *hierarchically structured*: a class can have dependent
+//!   sub-classes with cardinalities (e.g. `Data.Text` with cardinality `0..16`), and leaf
+//!   classes carry a value [`Domain`] (e.g. `Data.Text.Selector : STRING`);
+//! * **associations** (relationship classes) with named roles, per-role cardinalities and the
+//!   `ACYCLIC` structural constraint (e.g. `Contained` imposing a tree on `Action`);
+//! * **generalization hierarchies of classes _and_ associations** — the schema-side mechanism
+//!   behind SEED's handling of *vague* information (`Thing` ⊒ `Data`, `Action`;
+//!   `Access` ⊒ `Read`, `Write`), including *covering* conditions;
+//! * **attached procedures** — hooks executed when an item of the schema element is updated,
+//!   used for complex integrity constraints.
+//!
+//! The schema partitions its information into **consistency** information (membership, maximum
+//! cardinalities, ACYCLIC, domains, attached procedures — enforced by `seed-core` on every
+//! update) and **completeness** information (minimum cardinalities, covering conditions —
+//! checked only by explicit analysis operations).  Enforcement lives in `seed-core`.
+//!
+//! Schemas can be built programmatically with [`SchemaBuilder`], parsed from the textual schema
+//! definition language in [`sdl`], validated with [`validate::validate_schema`], and versioned
+//! with [`version::SchemaRegistry`].
+
+pub mod association;
+pub mod builder;
+pub mod cardinality;
+pub mod class;
+pub mod domain;
+pub mod error;
+pub mod generalization;
+pub mod ids;
+pub mod procedure;
+pub mod schema;
+pub mod sdl;
+pub mod validate;
+pub mod version;
+
+pub use association::{Association, RelationshipAttribute, Role};
+pub use builder::{AssociationBuilder, ClassBuilder, SchemaBuilder};
+pub use cardinality::Cardinality;
+pub use class::ObjectClass;
+pub use domain::Domain;
+pub use error::{SchemaError, SchemaResult};
+pub use generalization::GeneralizationHierarchy;
+pub use ids::{AssociationId, ClassId, SchemaElementId};
+pub use procedure::{AttachedProcedure, ProcedureEvent};
+pub use schema::Schema;
+pub use validate::{validate_schema, SchemaViolation};
+pub use version::{SchemaRegistry, SchemaVersionId};
+
+/// Builds the exact schema of **Figure 2** of the paper: classes `Data` (with dependent
+/// `Text`/`Body`/`Selector`) and `Action` (with dependent `Description`), associations
+/// `Read`, `Write` and the ACYCLIC `Contained`.
+///
+/// Used throughout the test-suite, the examples and the benchmarks as the canonical small
+/// specification schema.
+pub fn figure2_schema() -> Schema {
+    builder::figure2_schema()
+}
+
+/// Builds the schema of **Figure 3** of the paper: Figure 2 extended with the generalizations
+/// `Thing` ⊒ {`Data`, `Action`}, `Access` ⊒ {`Read`, `Write`}, the specializations
+/// `InputData`/`OutputData` of `Data`, and the attribute classes `NumberOfWrites`,
+/// `ErrorHandling` and `Revised : DATE`.
+pub fn figure3_schema() -> Schema {
+    builder::figure3_schema()
+}

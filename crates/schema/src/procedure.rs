@@ -1,0 +1,101 @@
+//! Attached procedures.
+//!
+//! "Attached procedures may be attached to any SEED schema element.  They are executed when an
+//! item of the corresponding schema element is updated.  Attached procedures are used to express
+//! complex integrity constraints."  (paper, section *Incomplete data*)
+//!
+//! The schema crate stores the *declaration* of an attached procedure.  Declarative constraint
+//! kinds are interpreted directly by `seed-core`'s consistency checker; [`AttachedProcedure::Named`]
+//! procedures are resolved at run time against the database's procedure registry, which lets an
+//! application (such as the SPADES tool) register arbitrary Rust hooks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kinds of update events that trigger attached procedures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcedureEvent {
+    /// A new item of the schema element was created.
+    Create,
+    /// An existing item was updated (value change, re-classification, role re-binding).
+    Update,
+    /// An item was deleted (logically).
+    Delete,
+}
+
+impl fmt::Display for ProcedureEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcedureEvent::Create => write!(f, "create"),
+            ProcedureEvent::Update => write!(f, "update"),
+            ProcedureEvent::Delete => write!(f, "delete"),
+        }
+    }
+}
+
+/// Declaration of an attached procedure on a schema element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttachedProcedure {
+    /// The item's integer value must lie within the given bounds (inclusive).
+    ValueRange {
+        /// Lower bound, if any.
+        min: Option<i64>,
+        /// Upper bound, if any.
+        max: Option<i64>,
+    },
+    /// The item's string value must not be empty (after trimming whitespace).
+    ValueNotEmpty,
+    /// The item's string value must contain the given substring.
+    ValueContains(String),
+    /// The item's string value must have at most this many characters.
+    MaxLength(usize),
+    /// A named procedure resolved against the database's procedure registry at run time.
+    Named(String),
+}
+
+impl AttachedProcedure {
+    /// Short description used in error messages and reports.
+    pub fn describe(&self) -> String {
+        match self {
+            AttachedProcedure::ValueRange { min, max } => match (min, max) {
+                (Some(lo), Some(hi)) => format!("value must be between {lo} and {hi}"),
+                (Some(lo), None) => format!("value must be at least {lo}"),
+                (None, Some(hi)) => format!("value must be at most {hi}"),
+                (None, None) => "value range (unbounded)".to_string(),
+            },
+            AttachedProcedure::ValueNotEmpty => "value must not be empty".to_string(),
+            AttachedProcedure::ValueContains(s) => format!("value must contain \"{s}\""),
+            AttachedProcedure::MaxLength(n) => format!("value must be at most {n} characters"),
+            AttachedProcedure::Named(name) => format!("attached procedure '{name}'"),
+        }
+    }
+}
+
+impl fmt::Display for AttachedProcedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_mentions_bounds() {
+        let p = AttachedProcedure::ValueRange { min: Some(0), max: Some(10) };
+        assert!(p.describe().contains("0"));
+        assert!(p.describe().contains("10"));
+        assert!(AttachedProcedure::ValueRange { min: Some(2), max: None }.describe().contains("at least 2"));
+        assert!(AttachedProcedure::ValueRange { min: None, max: Some(5) }.describe().contains("at most 5"));
+        assert!(AttachedProcedure::Named("check_deadline".into()).describe().contains("check_deadline"));
+        assert!(AttachedProcedure::MaxLength(80).describe().contains("80"));
+    }
+
+    #[test]
+    fn events_display() {
+        assert_eq!(ProcedureEvent::Create.to_string(), "create");
+        assert_eq!(ProcedureEvent::Update.to_string(), "update");
+        assert_eq!(ProcedureEvent::Delete.to_string(), "delete");
+    }
+}

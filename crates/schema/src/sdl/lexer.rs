@@ -1,0 +1,295 @@
+//! Tokenizer for the schema definition language.
+
+use crate::error::{SchemaError, SchemaResult};
+
+/// Kinds of SDL tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`schema`, `class`, `Data`, ...).
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u32),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `..`
+    DotDot,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::DotDot => write!(f, "'..'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Line the token starts on (1-based).
+    pub line: usize,
+    /// Column the token starts at (1-based).
+    pub column: usize,
+}
+
+/// The SDL tokenizer.
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self { chars: input.chars().peekable(), line: 1, column: 1 }
+    }
+
+    /// Tokenizes the whole input (including a trailing [`TokenKind::Eof`]).
+    pub fn tokenize(mut self) -> SchemaResult<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            let token = self.next_token()?;
+            let done = token.kind == TokenKind::Eof;
+            tokens.push(token);
+            if done {
+                break;
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if let Some(ch) = c {
+            if ch == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn error(&self, message: impl Into<String>) -> SchemaError {
+        SchemaError::Parse { line: self.line, column: self.column, message: message.into() }
+    }
+
+    fn next_token(&mut self) -> SchemaResult<Token> {
+        // Skip whitespace and line comments ("//" and "--").
+        loop {
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Could be a comment "//"; anything else is an error anyway.
+                    self.bump();
+                    if self.chars.peek() == Some(&'/') {
+                        while let Some(&c) = self.chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else {
+                        return Err(self.error("unexpected character '/'"));
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let line = self.line;
+        let column = self.column;
+        let Some(&c) = self.chars.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, line, column });
+        };
+
+        let kind = match c {
+            '{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            '}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            '[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            ']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            '(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            ')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            ':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            ';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            ',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            '*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            '.' => {
+                self.bump();
+                if self.chars.peek() == Some(&'.') {
+                    self.bump();
+                    TokenKind::DotDot
+                } else {
+                    return Err(self.error("expected '..'"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u32 = 0;
+                while let Some(&d) = self.chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add(v))
+                            .ok_or_else(|| self.error("number too large"))?;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Number(n)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = self.chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(ident)
+            }
+            other => return Err(self.error(format!("unexpected character '{other}'"))),
+        };
+        Ok(Token { kind, line, column })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::new(input).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_declaration() {
+        let toks = kinds("class Data : Thing { dependent Text [0..16]; }");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("class".into()),
+                TokenKind::Ident("Data".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("Thing".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("dependent".into()),
+                TokenKind::Ident("Text".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(0),
+                TokenKind::DotDot,
+                TokenKind::Number(16),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_star_cardinality_and_enum() {
+        let toks = kinds("[1..*] ENUM(abort, repeat)");
+        assert!(toks.contains(&TokenKind::Star));
+        assert!(toks.contains(&TokenKind::LParen));
+        assert!(toks.contains(&TokenKind::Comma));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_positions() {
+        let tokens = Lexer::new("// a comment\nclass Data").tokenize().unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Ident("class".into()));
+        assert_eq!(tokens[0].line, 2);
+        assert_eq!(tokens[0].column, 1);
+        assert_eq!(tokens[1].column, 7);
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        assert!(Lexer::new("class @Data").tokenize().is_err());
+        assert!(Lexer::new("a . b").tokenize().is_err(), "single dot is not a token");
+        assert!(Lexer::new("a / b").tokenize().is_err());
+    }
+
+    #[test]
+    fn rejects_huge_numbers() {
+        assert!(Lexer::new("99999999999999999999").tokenize().is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t  "), vec![TokenKind::Eof]);
+    }
+}

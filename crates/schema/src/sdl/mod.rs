@@ -1,0 +1,122 @@
+//! SDL — the schema definition language.
+//!
+//! The paper presents schemas as modified entity-relationship diagrams (Figures 2 and 3).  For a
+//! programmable system we provide an equivalent textual form, so that tools built on SEED can
+//! ship their specification grammar as a file.  Example (a fragment of Figure 3):
+//!
+//! ```text
+//! schema Figure3 {
+//!     class Thing covering {
+//!         dependent Revised [0..1] : DATE;
+//!     }
+//!     class Data : Thing {
+//!         dependent Text [0..16] {
+//!             dependent Selector [0..1] : STRING;
+//!         }
+//!     }
+//!     class Action : Thing;
+//!     association Access covering {
+//!         role from : Data [0..*];
+//!         role by   : Action [1..*];
+//!     }
+//!     association Write : Access {
+//!         role to : Data [1..*];
+//!         role by : Action [0..*];
+//!         attribute NumberOfWrites : INTEGER required;
+//!         attribute ErrorHandling : ENUM(abort, repeat);
+//!     }
+//!     association Contained acyclic {
+//!         role in        : Action [0..1];
+//!         role container : Action [0..*];
+//!     }
+//! }
+//! ```
+//!
+//! [`parse`] turns SDL text into a [`Schema`]; [`print`] renders a schema back to SDL.  The two
+//! are inverse up to formatting (see the round-trip tests).
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse;
+pub use printer::print;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{figure2_schema, figure3_schema};
+    use crate::schema::Schema;
+
+    /// Structural equivalence of two schemas by names (ignores internal id assignment details).
+    fn assert_equivalent(a: &Schema, b: &Schema) {
+        assert_eq!(a.class_count(), b.class_count(), "class counts differ");
+        assert_eq!(a.association_count(), b.association_count(), "association counts differ");
+        for ca in a.classes() {
+            let cb = b.class_by_name(&ca.name).unwrap_or_else(|_| panic!("class {} missing", ca.name));
+            assert_eq!(ca.occurrence, cb.occurrence, "occurrence of {}", ca.name);
+            assert_eq!(ca.domain, cb.domain, "domain of {}", ca.name);
+            assert_eq!(ca.covering, cb.covering, "covering of {}", ca.name);
+            let sup_a = ca.superclass.map(|s| a.class(s).unwrap().name.clone());
+            let sup_b = cb.superclass.map(|s| b.class(s).unwrap().name.clone());
+            assert_eq!(sup_a, sup_b, "superclass of {}", ca.name);
+            let owner_a = ca.owner.map(|s| a.class(s).unwrap().name.clone());
+            let owner_b = cb.owner.map(|s| b.class(s).unwrap().name.clone());
+            assert_eq!(owner_a, owner_b, "owner of {}", ca.name);
+        }
+        for aa in a.associations() {
+            let ab = b
+                .association_by_name(&aa.name)
+                .unwrap_or_else(|_| panic!("association {} missing", aa.name));
+            assert_eq!(aa.acyclic, ab.acyclic, "acyclic of {}", aa.name);
+            assert_eq!(aa.covering, ab.covering, "covering of {}", aa.name);
+            assert_eq!(aa.roles.len(), ab.roles.len(), "role count of {}", aa.name);
+            for ra in &aa.roles {
+                let rb = ab.role(&ra.name).unwrap_or_else(|| panic!("role {} missing", ra.name));
+                assert_eq!(ra.cardinality, rb.cardinality, "cardinality of {}.{}", aa.name, ra.name);
+                assert_eq!(
+                    a.class(ra.class).unwrap().name,
+                    b.class(rb.class).unwrap().name,
+                    "class of {}.{}",
+                    aa.name,
+                    ra.name
+                );
+            }
+            assert_eq!(aa.attributes.len(), ab.attributes.len(), "attributes of {}", aa.name);
+            for attr in &aa.attributes {
+                let other = ab.attribute(&attr.name).unwrap_or_else(|| panic!("attr {} missing", attr.name));
+                assert_eq!(attr.domain, other.domain);
+                assert_eq!(attr.required, other.required);
+            }
+            let sup_a = aa.superassociation.map(|s| a.association(s).unwrap().name.clone());
+            let sup_b = ab.superassociation.map(|s| b.association(s).unwrap().name.clone());
+            assert_eq!(sup_a, sup_b, "superassociation of {}", aa.name);
+        }
+    }
+
+    #[test]
+    fn figure2_roundtrips_through_sdl() {
+        let original = figure2_schema();
+        let text = print(&original);
+        let reparsed = parse(&text).expect("printed SDL must parse");
+        assert_equivalent(&original, &reparsed);
+    }
+
+    #[test]
+    fn figure3_roundtrips_through_sdl() {
+        let original = figure3_schema();
+        let text = print(&original);
+        let reparsed = parse(&text).expect("printed SDL must parse");
+        assert_equivalent(&original, &reparsed);
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable() {
+        let original = figure3_schema();
+        let text1 = print(&original);
+        let schema2 = parse(&text1).unwrap();
+        let text2 = print(&schema2);
+        assert_eq!(text1, text2, "printing must be a fixed point after one round trip");
+    }
+}

@@ -1,0 +1,536 @@
+//! Recursive-descent parser for the schema definition language.
+//!
+//! Parsing is two-phase: the text is first read into a small AST, then the AST is lowered into a
+//! [`Schema`] in dependency order (classes and dependents first, then generalizations, then
+//! associations), so that forward references between classes are allowed.
+
+use crate::association::RelationshipAttribute;
+use crate::cardinality::Cardinality;
+use crate::domain::Domain;
+use crate::error::{SchemaError, SchemaResult};
+use crate::schema::Schema;
+
+use super::lexer::{Lexer, Token, TokenKind};
+
+// --------------------------------------------------------------------------------------------
+// AST
+// --------------------------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct AstSchema {
+    name: String,
+    classes: Vec<AstClass>,
+    associations: Vec<AstAssociation>,
+}
+
+#[derive(Debug)]
+struct AstClass {
+    name: String,
+    superclass: Option<String>,
+    covering: bool,
+    domain: Option<Domain>,
+    dependents: Vec<AstDependent>,
+}
+
+#[derive(Debug)]
+struct AstDependent {
+    local_name: String,
+    occurrence: Cardinality,
+    domain: Option<Domain>,
+    dependents: Vec<AstDependent>,
+}
+
+#[derive(Debug)]
+struct AstAssociation {
+    name: String,
+    superassociation: Option<String>,
+    acyclic: bool,
+    covering: bool,
+    roles: Vec<AstRole>,
+    attributes: Vec<RelationshipAttribute>,
+}
+
+#[derive(Debug)]
+struct AstRole {
+    name: String,
+    class: String,
+    cardinality: Cardinality,
+}
+
+// --------------------------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SchemaError {
+        let t = self.peek();
+        SchemaError::Parse { line: t.line, column: t.column, message: message.into() }
+    }
+
+    fn expect_ident(&mut self) -> SchemaResult<String> {
+        match self.bump().kind {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> SchemaResult<()> {
+        let ident = self.expect_ident()?;
+        if ident == kw {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword '{kw}', found '{ident}'")))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> SchemaResult<()> {
+        let t = self.bump();
+        if &t.kind == kind {
+            Ok(())
+        } else {
+            Err(SchemaError::Parse {
+                line: t.line,
+                column: t.column,
+                message: format!("expected {kind}, found {}", t.kind),
+            })
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    // ----- grammar ------------------------------------------------------------------------------
+
+    fn schema(&mut self) -> SchemaResult<AstSchema> {
+        self.expect_keyword("schema")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut classes = Vec::new();
+        let mut associations = Vec::new();
+        loop {
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            if self.peek_keyword("class") {
+                classes.push(self.class()?);
+            } else if self.peek_keyword("association") {
+                associations.push(self.association()?);
+            } else {
+                return Err(self.error(format!(
+                    "expected 'class', 'association' or '}}', found {}",
+                    self.peek().kind
+                )));
+            }
+        }
+        self.expect(&TokenKind::Eof)?;
+        Ok(AstSchema { name, classes, associations })
+    }
+
+    fn class(&mut self) -> SchemaResult<AstClass> {
+        self.expect_keyword("class")?;
+        let name = self.expect_ident()?;
+        let superclass = if self.eat(&TokenKind::Colon) { Some(self.expect_ident()?) } else { None };
+        let covering = self.eat_keyword("covering");
+        let mut domain = None;
+        let mut dependents = Vec::new();
+        if self.eat(&TokenKind::LBrace) {
+            loop {
+                if self.eat(&TokenKind::RBrace) {
+                    break;
+                }
+                if self.peek_keyword("dependent") {
+                    dependents.push(self.dependent()?);
+                } else if self.eat_keyword("value") {
+                    domain = Some(self.domain()?);
+                    self.expect(&TokenKind::Semicolon)?;
+                } else {
+                    return Err(self.error(format!(
+                        "expected 'dependent', 'value' or '}}', found {}",
+                        self.peek().kind
+                    )));
+                }
+            }
+        } else {
+            self.expect(&TokenKind::Semicolon)?;
+        }
+        Ok(AstClass { name, superclass, covering, domain, dependents })
+    }
+
+    fn dependent(&mut self) -> SchemaResult<AstDependent> {
+        self.expect_keyword("dependent")?;
+        let local_name = self.expect_ident()?;
+        let occurrence = if self.peek().kind == TokenKind::LBracket {
+            self.cardinality()?
+        } else {
+            Cardinality::any()
+        };
+        let mut domain = None;
+        let mut dependents = Vec::new();
+        if self.eat(&TokenKind::Colon) {
+            domain = Some(self.domain()?);
+        }
+        if self.eat(&TokenKind::LBrace) {
+            loop {
+                if self.eat(&TokenKind::RBrace) {
+                    break;
+                }
+                dependents.push(self.dependent()?);
+            }
+        } else {
+            self.expect(&TokenKind::Semicolon)?;
+        }
+        Ok(AstDependent { local_name, occurrence, domain, dependents })
+    }
+
+    fn association(&mut self) -> SchemaResult<AstAssociation> {
+        self.expect_keyword("association")?;
+        let name = self.expect_ident()?;
+        let superassociation =
+            if self.eat(&TokenKind::Colon) { Some(self.expect_ident()?) } else { None };
+        let mut acyclic = false;
+        let mut covering = false;
+        loop {
+            if self.eat_keyword("acyclic") {
+                acyclic = true;
+            } else if self.eat_keyword("covering") {
+                covering = true;
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut roles = Vec::new();
+        let mut attributes = Vec::new();
+        loop {
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            if self.peek_keyword("role") {
+                roles.push(self.role()?);
+            } else if self.peek_keyword("attribute") {
+                attributes.push(self.attribute()?);
+            } else {
+                return Err(self.error(format!(
+                    "expected 'role', 'attribute' or '}}', found {}",
+                    self.peek().kind
+                )));
+            }
+        }
+        Ok(AstAssociation { name, superassociation, acyclic, covering, roles, attributes })
+    }
+
+    fn role(&mut self) -> SchemaResult<AstRole> {
+        self.expect_keyword("role")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let class = self.expect_ident()?;
+        let cardinality = if self.peek().kind == TokenKind::LBracket {
+            self.cardinality()?
+        } else {
+            Cardinality::any()
+        };
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(AstRole { name, class, cardinality })
+    }
+
+    fn attribute(&mut self) -> SchemaResult<RelationshipAttribute> {
+        self.expect_keyword("attribute")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let domain = self.domain()?;
+        let required = self.eat_keyword("required");
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(RelationshipAttribute::new(name, domain, required))
+    }
+
+    fn domain(&mut self) -> SchemaResult<Domain> {
+        let kw = self.expect_ident()?;
+        if kw.eq_ignore_ascii_case("ENUM") {
+            self.expect(&TokenKind::LParen)?;
+            let mut literals = Vec::new();
+            loop {
+                literals.push(self.expect_ident()?);
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(&TokenKind::RParen)?;
+                break;
+            }
+            return Ok(Domain::Enumeration(literals));
+        }
+        Domain::from_keyword(&kw).ok_or_else(|| self.error(format!("unknown domain '{kw}'")))
+    }
+
+    fn cardinality(&mut self) -> SchemaResult<Cardinality> {
+        self.expect(&TokenKind::LBracket)?;
+        let card = if self.eat(&TokenKind::Star) {
+            Cardinality::any()
+        } else {
+            let min = match self.bump().kind {
+                TokenKind::Number(n) => n,
+                other => return Err(self.error(format!("expected number, found {other}"))),
+            };
+            self.expect(&TokenKind::DotDot)?;
+            if self.eat(&TokenKind::Star) {
+                Cardinality::new(min, None).map_err(|_| self.error("invalid cardinality"))?
+            } else {
+                let max = match self.bump().kind {
+                    TokenKind::Number(n) => n,
+                    other => return Err(self.error(format!("expected number or '*', found {other}"))),
+                };
+                Cardinality::new(min, Some(max))
+                    .map_err(|_| self.error(format!("invalid cardinality {min}..{max}")))?
+            }
+        };
+        self.expect(&TokenKind::RBracket)?;
+        Ok(card)
+    }
+}
+
+// --------------------------------------------------------------------------------------------
+// Lowering
+// --------------------------------------------------------------------------------------------
+
+fn lower(ast: AstSchema) -> SchemaResult<Schema> {
+    let mut schema = Schema::new(ast.name);
+
+    // Pass 1: classes and their dependent classes (depth first so path names exist).
+    for class in &ast.classes {
+        let id = schema.add_class(&class.name)?;
+        if let Some(domain) = &class.domain {
+            schema.set_class_domain(id, Some(domain.clone()))?;
+        }
+        for dep in &class.dependents {
+            lower_dependent(&mut schema, id, dep)?;
+        }
+    }
+
+    // Pass 2: class generalizations and covering flags.
+    for class in &ast.classes {
+        let id = schema.class_id(&class.name)?;
+        if let Some(sup) = &class.superclass {
+            let sup_id = schema.class_id(sup)?;
+            schema.set_superclass(id, sup_id)?;
+        }
+        if class.covering {
+            schema.set_class_covering(id, true)?;
+        }
+    }
+
+    // Pass 3: associations.
+    for assoc in &ast.associations {
+        let roles = assoc
+            .roles
+            .iter()
+            .map(|r| {
+                Ok(crate::association::Role::new(
+                    r.name.clone(),
+                    schema.class_id(&r.class)?,
+                    r.cardinality,
+                ))
+            })
+            .collect::<SchemaResult<Vec<_>>>()?;
+        let id = schema.add_association(&assoc.name, roles, assoc.acyclic)?;
+        for attr in &assoc.attributes {
+            schema.add_relationship_attribute(id, attr.clone())?;
+        }
+        if assoc.covering {
+            schema.set_association_covering(id, true)?;
+        }
+    }
+
+    // Pass 4: association generalizations (forward references allowed).
+    for assoc in &ast.associations {
+        if let Some(sup) = &assoc.superassociation {
+            let id = schema.association_id(&assoc.name)?;
+            let sup_id = schema.association_id(sup)?;
+            schema.set_superassociation(id, sup_id)?;
+        }
+    }
+
+    Ok(schema)
+}
+
+fn lower_dependent(
+    schema: &mut Schema,
+    owner: crate::ids::ClassId,
+    dep: &AstDependent,
+) -> SchemaResult<()> {
+    let id = schema.add_dependent_class(owner, &dep.local_name, dep.occurrence, dep.domain.clone())?;
+    for child in &dep.dependents {
+        lower_dependent(schema, id, child)?;
+    }
+    Ok(())
+}
+
+/// Parses SDL text into a [`Schema`].
+pub fn parse(input: &str) -> SchemaResult<Schema> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let ast = parser.schema()?;
+    lower(ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        // The Figure 3 schema, abbreviated.
+        schema Sample {
+            class Thing covering {
+                dependent Revised [0..1] : DATE;
+            }
+            class Data : Thing {
+                dependent Text [0..16] {
+                    dependent Selector [0..1] : STRING;
+                }
+            }
+            class Action : Thing;
+            class OutputData : Data;
+            association Access covering {
+                role from : Data [0..*];
+                role by : Action [1..*];
+            }
+            association Write : Access {
+                role to : OutputData [1..*];
+                role by : Action [0..*];
+                attribute NumberOfWrites : INTEGER required;
+                attribute ErrorHandling : ENUM(abort, repeat);
+            }
+            association Contained acyclic {
+                role in : Action [0..1];
+                role container : Action [0..*];
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_sample_schema() {
+        let schema = parse(SAMPLE).unwrap();
+        assert_eq!(schema.name, "Sample");
+        assert_eq!(schema.class_count(), 7);
+        assert_eq!(schema.association_count(), 3);
+
+        let thing = schema.class_by_name("Thing").unwrap();
+        assert!(thing.covering);
+        let data = schema.class_by_name("Data").unwrap();
+        assert_eq!(
+            data.superclass.map(|s| schema.class(s).unwrap().name.clone()),
+            Some("Thing".to_string())
+        );
+        let text = schema.class_by_name("Data.Text").unwrap();
+        assert_eq!(text.occurrence, Cardinality::bounded(0, 16).unwrap());
+        let selector = schema.class_by_name("Data.Text.Selector").unwrap();
+        assert_eq!(selector.domain, Some(Domain::String));
+
+        let write = schema.association_by_name("Write").unwrap();
+        assert_eq!(
+            write.superassociation.map(|s| schema.association(s).unwrap().name.clone()),
+            Some("Access".to_string())
+        );
+        assert!(write.attribute("NumberOfWrites").unwrap().required);
+        assert!(!write.attribute("ErrorHandling").unwrap().required);
+        let contained = schema.association_by_name("Contained").unwrap();
+        assert!(contained.acyclic);
+        let access = schema.association_by_name("Access").unwrap();
+        assert!(access.covering);
+        assert_eq!(access.role("by").unwrap().cardinality, Cardinality::at_least_one());
+    }
+
+    #[test]
+    fn missing_cardinality_defaults_to_any() {
+        let schema = parse("schema S { class A { dependent X; } class B; association R { role a : A; role b : B; } }").unwrap();
+        assert_eq!(schema.class_by_name("A.X").unwrap().occurrence, Cardinality::any());
+        assert_eq!(
+            schema.association_by_name("R").unwrap().role("a").unwrap().cardinality,
+            Cardinality::any()
+        );
+    }
+
+    #[test]
+    fn unknown_class_in_role_is_an_error() {
+        let err = parse("schema S { class A; association R { role a : A; role b : Ghost; } }");
+        assert!(matches!(err, Err(SchemaError::UnknownClass(_))));
+    }
+
+    #[test]
+    fn unknown_superclass_is_an_error() {
+        let err = parse("schema S { class A : Ghost; }");
+        assert!(matches!(err, Err(SchemaError::UnknownClass(_))));
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let err = parse("schema S { klass A; }");
+        match err {
+            Err(SchemaError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_reference_to_superassociation_allowed() {
+        let schema = parse(
+            "schema S { class A; class B; \
+             association Sub : Super { role a : A; role b : B; } \
+             association Super { role a : A; role b : B; } }",
+        )
+        .unwrap();
+        let sub = schema.association_by_name("Sub").unwrap();
+        assert!(sub.superassociation.is_some());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("schema S { } extra").is_err());
+    }
+
+    #[test]
+    fn class_level_value_domain() {
+        let schema = parse("schema S { class Note { value TEXT; } }").unwrap();
+        assert_eq!(schema.class_by_name("Note").unwrap().domain, Some(Domain::Text));
+    }
+
+    #[test]
+    fn invalid_cardinality_rejected() {
+        assert!(parse("schema S { class A { dependent X [5..2]; } }").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Renders a [`Schema`] back to schema-definition-language text.
+//!
+//! The output parses back to an equivalent schema (see the round-trip tests in
+//! [`super::tests`]), which makes the printer useful for persisting schemas in a readable form
+//! and for diffing schema versions.
+
+use std::fmt::Write as _;
+
+use crate::class::ObjectClass;
+use crate::domain::Domain;
+use crate::ids::ClassId;
+use crate::schema::Schema;
+
+fn domain_text(domain: &Domain) -> String {
+    match domain {
+        Domain::Enumeration(lits) => format!("ENUM({})", lits.join(", ")),
+        other => other.keyword(),
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_dependent(schema: &Schema, class: &ObjectClass, out: &mut String, level: usize) {
+    indent(out, level);
+    let _ = write!(out, "dependent {} [{}]", class.local_name(), class.occurrence);
+    if let Some(domain) = &class.domain {
+        let _ = write!(out, " : {}", domain_text(domain));
+    }
+    let children = schema.dependent_classes(class.id);
+    if children.is_empty() {
+        out.push_str(";\n");
+    } else {
+        out.push_str(" {\n");
+        for child in children {
+            print_dependent(schema, child, out, level + 1);
+        }
+        indent(out, level);
+        out.push_str("}\n");
+    }
+}
+
+fn print_class(schema: &Schema, class: &ObjectClass, out: &mut String) {
+    indent(out, 1);
+    let _ = write!(out, "class {}", class.name);
+    if let Some(sup) = class.superclass {
+        let _ = write!(out, " : {}", schema.class(sup).expect("valid superclass").name);
+    }
+    if class.covering {
+        out.push_str(" covering");
+    }
+    let children = schema.dependent_classes(class.id);
+    if children.is_empty() && class.domain.is_none() {
+        out.push_str(";\n");
+        return;
+    }
+    out.push_str(" {\n");
+    if let Some(domain) = &class.domain {
+        indent(out, 2);
+        let _ = writeln!(out, "value {};", domain_text(domain));
+    }
+    for child in children {
+        print_dependent(schema, child, out, 2);
+    }
+    indent(out, 1);
+    out.push_str("}\n");
+}
+
+/// Renders `schema` as SDL text.
+pub fn print(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schema {} {{", schema.name);
+
+    // Independent classes in declaration order; dependents are nested beneath their owners.
+    for class in schema.classes() {
+        if class.owner.is_none() {
+            print_class(schema, class, &mut out);
+        }
+    }
+
+    for assoc in schema.associations() {
+        indent(&mut out, 1);
+        let _ = write!(out, "association {}", assoc.name);
+        if let Some(sup) = assoc.superassociation {
+            let _ = write!(out, " : {}", schema.association(sup).expect("valid super").name);
+        }
+        if assoc.acyclic {
+            out.push_str(" acyclic");
+        }
+        if assoc.covering {
+            out.push_str(" covering");
+        }
+        out.push_str(" {\n");
+        for role in &assoc.roles {
+            indent(&mut out, 2);
+            let class_name = &schema.class(role.class).expect("valid role class").name;
+            let _ = writeln!(out, "role {} : {} [{}];", role.name, class_name, role.cardinality);
+        }
+        for attr in &assoc.attributes {
+            indent(&mut out, 2);
+            let _ = write!(out, "attribute {} : {}", attr.name, domain_text(&attr.domain));
+            if attr.required {
+                out.push_str(" required");
+            }
+            out.push_str(";\n");
+        }
+        indent(&mut out, 1);
+        out.push_str("}\n");
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[allow(unused_imports)]
+fn _unused(_: ClassId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{figure2_schema, figure3_schema};
+    use crate::sdl::parse;
+
+    #[test]
+    fn printed_figure2_contains_expected_lines() {
+        let text = print(&figure2_schema());
+        assert!(text.contains("schema Figure2 {"));
+        assert!(text.contains("class Data {"));
+        assert!(text.contains("dependent Text [0..16] {"));
+        assert!(text.contains("dependent Selector [0..1] : STRING;"));
+        assert!(text.contains("association Contained acyclic {"));
+        assert!(text.contains("role from : Data [1..*];"));
+    }
+
+    #[test]
+    fn printed_figure3_mentions_generalizations_and_attributes() {
+        let text = print(&figure3_schema());
+        assert!(text.contains("class Data : Thing {"));
+        assert!(text.contains("class Thing covering {"));
+        assert!(text.contains("association Read : Access {"));
+        assert!(text.contains("attribute NumberOfWrites : INTEGER required;"));
+        assert!(text.contains("attribute ErrorHandling : ENUM(abort, repeat);"));
+    }
+
+    #[test]
+    fn printed_output_parses() {
+        for schema in [figure2_schema(), figure3_schema()] {
+            let text = print(&schema);
+            let reparsed = parse(&text).expect("printer output must be parseable");
+            assert_eq!(reparsed.class_count(), schema.class_count());
+            assert_eq!(reparsed.association_count(), schema.association_count());
+        }
+    }
+}

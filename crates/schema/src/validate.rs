@@ -1,0 +1,248 @@
+//! Whole-schema validation.
+//!
+//! The schema construction API already rejects local mistakes (duplicate names, unknown
+//! references, generalization cycles).  [`validate_schema`] performs the global checks that can
+//! only be decided once the schema is complete, returning every violation found rather than
+//! stopping at the first.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::domain::Domain;
+use crate::schema::Schema;
+
+/// A problem found in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaViolation {
+    /// A covering class has no subclasses, so the covering condition can never be met.
+    CoveringWithoutSubclasses { class: String },
+    /// A covering association has no sub-associations.
+    CoveringWithoutSubassociations { association: String },
+    /// A class both carries a value domain and owns dependent classes; the paper's model keeps
+    /// values in leaf classes only.
+    ValueClassWithDependents { class: String },
+    /// An ACYCLIC association is not binary, so the acyclicity check is not well defined.
+    AcyclicNonBinary { association: String },
+    /// An ACYCLIC association whose two roles are typed against unrelated classes cannot form
+    /// cycles by construction; the constraint is almost certainly a mistake.
+    AcyclicOverUnrelatedClasses { association: String },
+    /// An association has fewer than two roles.
+    DegenerateAssociation { association: String },
+    /// Two roles of the same association have the same name.
+    DuplicateRoleNames { association: String, role: String },
+    /// Two relationship attributes of the same association have the same name.
+    DuplicateAttributeNames { association: String, attribute: String },
+    /// An enumeration domain has no literals (no value could ever be stored).
+    EmptyEnumeration { class_or_attribute: String },
+    /// A specialization's owner differs from its superclass's owner; the composition position of
+    /// an object would change when it is re-classified, which SEED does not support.
+    SpecializationChangesOwner { class: String },
+}
+
+impl fmt::Display for SchemaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaViolation::CoveringWithoutSubclasses { class } => {
+                write!(f, "class '{class}' is covering but has no subclasses")
+            }
+            SchemaViolation::CoveringWithoutSubassociations { association } => {
+                write!(f, "association '{association}' is covering but has no sub-associations")
+            }
+            SchemaViolation::ValueClassWithDependents { class } => {
+                write!(f, "class '{class}' has both a value domain and dependent classes")
+            }
+            SchemaViolation::AcyclicNonBinary { association } => {
+                write!(f, "ACYCLIC association '{association}' is not binary")
+            }
+            SchemaViolation::AcyclicOverUnrelatedClasses { association } => {
+                write!(f, "ACYCLIC association '{association}' relates classes that never overlap")
+            }
+            SchemaViolation::DegenerateAssociation { association } => {
+                write!(f, "association '{association}' has fewer than two roles")
+            }
+            SchemaViolation::DuplicateRoleNames { association, role } => {
+                write!(f, "association '{association}' declares role '{role}' more than once")
+            }
+            SchemaViolation::DuplicateAttributeNames { association, attribute } => {
+                write!(f, "association '{association}' declares attribute '{attribute}' more than once")
+            }
+            SchemaViolation::EmptyEnumeration { class_or_attribute } => {
+                write!(f, "enumeration domain of '{class_or_attribute}' has no literals")
+            }
+            SchemaViolation::SpecializationChangesOwner { class } => {
+                write!(f, "specialized class '{class}' has a different owner than its superclass")
+            }
+        }
+    }
+}
+
+/// Validates a schema, returning all violations found (empty = valid).
+pub fn validate_schema(schema: &Schema) -> Vec<SchemaViolation> {
+    let mut violations = Vec::new();
+
+    for class in schema.classes() {
+        if class.covering && schema.subclasses(class.id).is_empty() {
+            violations.push(SchemaViolation::CoveringWithoutSubclasses { class: class.name.clone() });
+        }
+        if class.domain.is_some() && !schema.dependent_classes(class.id).is_empty() {
+            violations.push(SchemaViolation::ValueClassWithDependents { class: class.name.clone() });
+        }
+        if let Some(Domain::Enumeration(lits)) = &class.domain {
+            if lits.is_empty() {
+                violations.push(SchemaViolation::EmptyEnumeration { class_or_attribute: class.name.clone() });
+            }
+        }
+        if let Some(sup) = class.superclass {
+            let sup_owner = schema.class(sup).map(|c| c.owner).unwrap_or(None);
+            if class.owner != sup_owner {
+                violations.push(SchemaViolation::SpecializationChangesOwner { class: class.name.clone() });
+            }
+        }
+    }
+
+    for assoc in schema.associations() {
+        if assoc.roles.len() < 2 {
+            violations.push(SchemaViolation::DegenerateAssociation { association: assoc.name.clone() });
+        }
+        let mut seen_roles = HashSet::new();
+        for role in &assoc.roles {
+            if !seen_roles.insert(role.name.clone()) {
+                violations.push(SchemaViolation::DuplicateRoleNames {
+                    association: assoc.name.clone(),
+                    role: role.name.clone(),
+                });
+            }
+        }
+        let mut seen_attrs = HashSet::new();
+        for attr in &assoc.attributes {
+            if !seen_attrs.insert(attr.name.clone()) {
+                violations.push(SchemaViolation::DuplicateAttributeNames {
+                    association: assoc.name.clone(),
+                    attribute: attr.name.clone(),
+                });
+            }
+            if let Domain::Enumeration(lits) = &attr.domain {
+                if lits.is_empty() {
+                    violations.push(SchemaViolation::EmptyEnumeration {
+                        class_or_attribute: format!("{}.{}", assoc.name, attr.name),
+                    });
+                }
+            }
+        }
+        if assoc.covering && schema.subassociations(assoc.id).is_empty() {
+            violations.push(SchemaViolation::CoveringWithoutSubassociations {
+                association: assoc.name.clone(),
+            });
+        }
+        if assoc.acyclic {
+            if assoc.roles.len() != 2 {
+                violations.push(SchemaViolation::AcyclicNonBinary { association: assoc.name.clone() });
+            } else {
+                let a = assoc.roles[0].class;
+                let b = assoc.roles[1].class;
+                let related = schema.class_is_a(a, b)
+                    || schema.class_is_a(b, a)
+                    || schema
+                        .class_descendants(a)
+                        .iter()
+                        .any(|&d| schema.class_is_a(d, b) || schema.class_is_a(b, d));
+                if !related {
+                    violations.push(SchemaViolation::AcyclicOverUnrelatedClasses {
+                        association: assoc.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{figure2_schema, figure3_schema, SchemaBuilder};
+    use crate::cardinality::Cardinality;
+    use crate::domain::Domain;
+
+    #[test]
+    fn paper_schemas_are_valid() {
+        assert_eq!(validate_schema(&figure2_schema()), Vec::new());
+        assert_eq!(validate_schema(&figure3_schema()), Vec::new());
+    }
+
+    #[test]
+    fn covering_without_subclasses_flagged() {
+        let mut schema = Schema::new("T");
+        let lonely = schema.add_class("Lonely").unwrap();
+        schema.set_class_covering(lonely, true).unwrap();
+        let v = validate_schema(&schema);
+        assert!(v.iter().any(|x| matches!(x, SchemaViolation::CoveringWithoutSubclasses { .. })));
+    }
+
+    #[test]
+    fn value_class_with_dependents_flagged() {
+        let mut schema = Schema::new("T");
+        let c = schema.add_class("Doc").unwrap();
+        schema.set_class_domain(c, Some(Domain::String)).unwrap();
+        schema.add_dependent_class(c, "Part", Cardinality::any(), None).unwrap();
+        let v = validate_schema(&schema);
+        assert!(v.iter().any(|x| matches!(x, SchemaViolation::ValueClassWithDependents { .. })));
+    }
+
+    #[test]
+    fn acyclic_over_unrelated_classes_flagged() {
+        let schema = SchemaBuilder::new("T")
+            .class("A", |c| c)
+            .class("B", |c| c)
+            .association("Link", "x", "A", "0..*", "y", "B", "0..*", |a| a.acyclic())
+            .build()
+            .unwrap();
+        let v = validate_schema(&schema);
+        assert!(v.iter().any(|x| matches!(x, SchemaViolation::AcyclicOverUnrelatedClasses { .. })));
+    }
+
+    #[test]
+    fn duplicate_role_names_flagged() {
+        let mut schema = Schema::new("T");
+        let a = schema.add_class("A").unwrap();
+        schema
+            .add_binary_association(
+                "Self",
+                ("part", a, Cardinality::any()),
+                ("part", a, Cardinality::any()),
+                false,
+            )
+            .unwrap();
+        let v = validate_schema(&schema);
+        assert!(v.iter().any(|x| matches!(x, SchemaViolation::DuplicateRoleNames { .. })));
+    }
+
+    #[test]
+    fn empty_enumeration_flagged() {
+        let mut schema = Schema::new("T");
+        let c = schema.add_class("Status").unwrap();
+        schema.set_class_domain(c, Some(Domain::Enumeration(vec![]))).unwrap();
+        let v = validate_schema(&schema);
+        assert!(v.iter().any(|x| matches!(x, SchemaViolation::EmptyEnumeration { .. })));
+    }
+
+    #[test]
+    fn specialization_changing_owner_flagged() {
+        let mut schema = Schema::new("T");
+        let data = schema.add_class("Data").unwrap();
+        let text = schema.add_dependent_class(data, "Text", Cardinality::any(), None).unwrap();
+        let free = schema.add_class("FreeText").unwrap();
+        schema.set_superclass(free, text).unwrap();
+        let v = validate_schema(&schema);
+        assert!(v.iter().any(|x| matches!(x, SchemaViolation::SpecializationChangesOwner { .. })));
+    }
+
+    #[test]
+    fn violations_have_readable_messages() {
+        let v = SchemaViolation::CoveringWithoutSubclasses { class: "Thing".into() };
+        assert!(v.to_string().contains("Thing"));
+        let v = SchemaViolation::AcyclicNonBinary { association: "Contained".into() };
+        assert!(v.to_string().contains("Contained"));
+    }
+}

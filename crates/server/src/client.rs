@@ -1,0 +1,272 @@
+//! Client-side session: local copies, locally staged updates, check-in.
+//!
+//! "Several clients use the server for retrieval operations, but take local copies for making
+//! updates."  A [`ClientSession`] keeps the copies received at check-out, stages updates
+//! locally, and sends them back as one check-in batch.
+
+use std::collections::HashMap;
+
+use seed_core::{ObjectRecord, Value};
+
+use crate::error::{ServerError, ServerResult};
+use crate::protocol::{CheckoutSet, ClientId, Request, Response, Update};
+use crate::server::ServerHandle;
+
+/// A client session talking to a spawned server thread.
+pub struct ClientSession {
+    handle: ServerHandle,
+    client: ClientId,
+    /// Local copies of checked-out objects, keyed by name.
+    workspace: HashMap<String, ObjectRecord>,
+    /// Updates staged locally, sent at check-in.
+    staged: Vec<Update>,
+}
+
+impl ClientSession {
+    /// Connects a new session to the server.
+    pub fn connect(handle: ServerHandle) -> ServerResult<Self> {
+        let client = handle.connect()?;
+        Ok(Self { handle, client, workspace: HashMap::new(), staged: Vec::new() })
+    }
+
+    /// The server-assigned client id.
+    pub fn id(&self) -> ClientId {
+        self.client
+    }
+
+    /// Number of staged (not yet checked-in) updates.
+    pub fn staged_count(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Objects currently in the local workspace.
+    pub fn workspace_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.workspace.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Reads an object: from the local workspace if checked out, otherwise straight from the
+    /// server (retrieval does not need a copy).
+    pub fn read(&self, name: &str) -> ServerResult<ObjectRecord> {
+        if let Some(copy) = self.workspace.get(name) {
+            return Ok(copy.clone());
+        }
+        self.handle.retrieve(name)
+    }
+
+    /// Checks out objects (taking write locks centrally) and adds their copies to the local
+    /// workspace.
+    pub fn checkout(&mut self, names: &[&str]) -> ServerResult<CheckoutSet> {
+        let response = self.handle.call(Request::Checkout {
+            client: self.client,
+            objects: names.iter().map(|s| s.to_string()).collect(),
+        })?;
+        match response {
+            Response::Checkout(Ok(set)) => {
+                for obj in &set.objects {
+                    self.workspace.insert(obj.name.to_string(), obj.clone());
+                }
+                Ok(set)
+            }
+            Response::Checkout(Err(e)) => Err(e),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Stages a value update on a local copy.
+    pub fn set_value(&mut self, object: &str, value: Value) -> ServerResult<()> {
+        let copy = self
+            .workspace
+            .get_mut(object)
+            .ok_or_else(|| ServerError::NotCheckedOut(object.to_string()))?;
+        copy.value = value.clone();
+        self.staged.push(Update::SetValue { object: object.to_string(), value });
+        Ok(())
+    }
+
+    /// Stages the creation of a new independent object (no lock needed — it does not exist yet).
+    pub fn create_object(&mut self, class: &str, name: &str) {
+        self.staged.push(Update::CreateObject { class: class.to_string(), name: name.to_string() });
+    }
+
+    /// Stages the creation of a dependent object under a checked-out parent.
+    pub fn create_dependent(&mut self, parent: &str, class_local: &str, value: Value) -> ServerResult<()> {
+        if !self.workspace.contains_key(parent) {
+            return Err(ServerError::NotCheckedOut(parent.to_string()));
+        }
+        self.staged.push(Update::CreateDependent {
+            parent: parent.to_string(),
+            class_local: class_local.to_string(),
+            value,
+        });
+        Ok(())
+    }
+
+    /// Stages a re-classification of a checked-out object.
+    pub fn reclassify(&mut self, object: &str, new_class: &str) -> ServerResult<()> {
+        if !self.workspace.contains_key(object) {
+            return Err(ServerError::NotCheckedOut(object.to_string()));
+        }
+        self.staged.push(Update::Reclassify {
+            object: object.to_string(),
+            new_class: new_class.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Stages a relationship creation among checked-out (or newly created) objects.
+    pub fn create_relationship(&mut self, association: &str, bindings: &[(&str, &str)]) {
+        self.staged.push(Update::CreateRelationship {
+            association: association.to_string(),
+            bindings: bindings.iter().map(|(r, o)| (r.to_string(), o.to_string())).collect(),
+        });
+    }
+
+    /// Stages a deletion of a checked-out object.
+    pub fn delete_object(&mut self, object: &str) -> ServerResult<()> {
+        if !self.workspace.contains_key(object) {
+            return Err(ServerError::NotCheckedOut(object.to_string()));
+        }
+        self.staged.push(Update::DeleteObject { object: object.to_string() });
+        Ok(())
+    }
+
+    /// Sends the staged updates as one check-in transaction.  On success the workspace and the
+    /// staged list are cleared (the server released the locks); on failure both are kept so the
+    /// user can amend and retry.
+    pub fn commit(&mut self) -> ServerResult<()> {
+        let response = self.handle.call(Request::Checkin {
+            client: self.client,
+            updates: self.staged.clone(),
+        })?;
+        match response {
+            Response::Ack(Ok(())) => {
+                self.staged.clear();
+                self.workspace.clear();
+                Ok(())
+            }
+            Response::Ack(Err(e)) => Err(e),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Abandons local work: clears the workspace and asks the server to release the locks.
+    pub fn abandon(&mut self) -> ServerResult<()> {
+        self.staged.clear();
+        self.workspace.clear();
+        match self.handle.call(Request::Release { client: self.client })? {
+            Response::Ack(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SeedServer;
+    use seed_core::Database;
+    use seed_schema::figure3_schema;
+
+    fn spawn_server() -> (ServerHandle, std::thread::JoinHandle<SeedServer>) {
+        let mut db = Database::new(figure3_schema());
+        let handler = db.create_object("Action", "AlarmHandler").unwrap();
+        db.create_dependent(handler, "Description", Value::string("Handles alarms")).unwrap();
+        db.create_object("Data", "Alarms").unwrap();
+        SeedServer::new(db).spawn()
+    }
+
+    #[test]
+    fn session_checkout_edit_commit() {
+        let (handle, join) = spawn_server();
+        {
+            let mut session = ClientSession::connect(handle.clone()).unwrap();
+            assert!(session.id() > 0);
+            session.checkout(&["AlarmHandler"]).unwrap();
+            assert_eq!(session.workspace_names().len(), 2);
+            // Local read sees the local copy after a staged edit.
+            session
+                .set_value("AlarmHandler.Description", Value::string("Generates alarms"))
+                .unwrap();
+            assert_eq!(
+                session.read("AlarmHandler.Description").unwrap().value,
+                Value::string("Generates alarms")
+            );
+            // The server still has the old value until commit.
+            assert_eq!(
+                handle.retrieve("AlarmHandler.Description").unwrap().value,
+                Value::string("Handles alarms")
+            );
+            session.create_object("Data", "OperatorAlert");
+            session.create_relationship("Access", &[("from", "OperatorAlert"), ("by", "AlarmHandler")]);
+            assert_eq!(session.staged_count(), 3);
+            session.commit().unwrap();
+            assert_eq!(session.staged_count(), 0);
+            assert_eq!(
+                handle.retrieve("AlarmHandler.Description").unwrap().value,
+                Value::string("Generates alarms")
+            );
+            assert!(handle.retrieve("OperatorAlert").is_ok());
+        }
+        handle.shutdown().unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn conflicting_checkouts_and_abandon() {
+        let (handle, join) = spawn_server();
+        {
+            let mut alice = ClientSession::connect(handle.clone()).unwrap();
+            let mut bob = ClientSession::connect(handle.clone()).unwrap();
+            alice.checkout(&["Alarms"]).unwrap();
+            assert!(matches!(bob.checkout(&["Alarms"]), Err(ServerError::Locked { .. })));
+            // Alice abandons; Bob can now check out and edit.
+            alice.abandon().unwrap();
+            bob.checkout(&["Alarms"]).unwrap();
+            bob.reclassify("Alarms", "OutputData").unwrap();
+            bob.commit().unwrap();
+            let central = handle.retrieve("Alarms").unwrap();
+            // Reads from a fresh session confirm the class change took effect centrally.
+            let session = ClientSession::connect(handle.clone()).unwrap();
+            assert_eq!(session.read("Alarms").unwrap().id, central.id);
+        }
+        handle.shutdown().unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn staging_requires_checkout() {
+        let (handle, join) = spawn_server();
+        {
+            let mut session = ClientSession::connect(handle.clone()).unwrap();
+            assert!(session.set_value("Alarms", Value::Undefined).is_err());
+            assert!(session.reclassify("Alarms", "OutputData").is_err());
+            assert!(session.delete_object("Alarms").is_err());
+            assert!(session.create_dependent("Alarms", "Text", Value::Undefined).is_err());
+        }
+        handle.shutdown().unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn failed_commit_keeps_staged_updates() {
+        let (handle, join) = spawn_server();
+        {
+            let mut session = ClientSession::connect(handle.clone()).unwrap();
+            session.checkout(&["AlarmHandler"]).unwrap();
+            // Invalid value (integer into a STRING domain).
+            session.set_value("AlarmHandler.Description", Value::Integer(7)).unwrap();
+            assert!(session.commit().is_err());
+            assert_eq!(session.staged_count(), 1, "staged updates kept for amendment");
+            // Amend and retry: replace the staged batch by abandoning and redoing it.
+            session.abandon().unwrap();
+            session.checkout(&["AlarmHandler"]).unwrap();
+            session.set_value("AlarmHandler.Description", Value::string("ok")).unwrap();
+            session.commit().unwrap();
+            assert_eq!(handle.retrieve("AlarmHandler.Description").unwrap().value, Value::string("ok"));
+        }
+        handle.shutdown().unwrap();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors of the multi-user extension.
+
+use std::fmt;
+
+/// Result alias for server operations.
+pub type ServerResult<T> = Result<T, ServerError>;
+
+/// Errors raised by the central server or a client session.
+#[derive(Debug)]
+pub enum ServerError {
+    /// An object a client wants to check out is write-locked by another client.
+    Locked {
+        /// Name of the locked object.
+        object: String,
+        /// The client currently holding the lock.
+        holder: u64,
+    },
+    /// A check-in touched an object the client never checked out.
+    NotCheckedOut(String),
+    /// The central database rejected the check-in transaction.
+    Rejected(seed_core::SeedError),
+    /// The requested object or client is unknown.
+    Unknown(String),
+    /// The server thread is gone (channel disconnected).
+    Disconnected,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Locked { object, holder } => {
+                write!(f, "'{object}' is write-locked by client {holder}")
+            }
+            ServerError::NotCheckedOut(name) => {
+                write!(f, "'{name}' was not checked out by this client")
+            }
+            ServerError::Rejected(e) => write!(f, "check-in rejected: {e}"),
+            ServerError::Unknown(what) => write!(f, "unknown: {what}"),
+            ServerError::Disconnected => write!(f, "server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seed_core::SeedError> for ServerError {
+    fn from(e: seed_core::SeedError) -> Self {
+        ServerError::Rejected(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServerError::Locked { object: "Alarms".into(), holder: 3 };
+        assert!(e.to_string().contains("Alarms"));
+        assert!(e.to_string().contains("client 3"));
+        let e: ServerError = seed_core::SeedError::NotFound("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServerError::Disconnected).is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! # seed-server
+//!
+//! The two-level multi-user extension sketched in the paper's *Open problems* section:
+//!
+//! > "One central server runs the complete database and several clients use the server for
+//! > retrieval operations, but take local copies for making updates.  Data that has been copied
+//! > to a client for update has a write lock in the central database.  When a client sends an
+//! > updated copy back to the server, the server puts the modified data into the central
+//! > database in a single transaction.  Versions are kept both locally and globally under
+//! > control of the user and the server, respectively."
+//!
+//! The 1986 authors never built this; we implement it as an in-process simulation — a central
+//! [`SeedServer`] owning one [`seed_core::Database`], clients talking to it either by direct
+//! method call or over crossbeam channels from their own threads ([`server::ServerHandle`]).
+//! The substitution preserves the behaviour of interest (write-lock discipline, single-
+//! transaction check-in, conflict rejection, local + global version control) without requiring
+//! a network substrate.
+
+pub mod client;
+pub mod error;
+pub mod lock;
+pub mod protocol;
+pub mod server;
+
+pub use client::ClientSession;
+pub use error::{ServerError, ServerResult};
+pub use lock::LockTable;
+pub use protocol::{CheckoutSet, ClientId, Request, Response, Update};
+pub use server::{SeedServer, ServerHandle};

@@ -1,0 +1,97 @@
+//! Write-lock table of the central server.
+//!
+//! "Data that has been copied to a client for update has a write lock in the central database."
+//! Locks are per-object and exclusive; a client may re-acquire its own lock (re-checkout).
+
+use std::collections::HashMap;
+
+use seed_core::ObjectId;
+
+use crate::protocol::ClientId;
+
+/// Exclusive write locks keyed by object id.
+#[derive(Debug, Default, Clone)]
+pub struct LockTable {
+    locks: HashMap<ObjectId, ClientId>,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to acquire a write lock for `client`; returns the current holder on conflict.
+    pub fn acquire(&mut self, object: ObjectId, client: ClientId) -> Result<(), ClientId> {
+        match self.locks.get(&object) {
+            Some(holder) if *holder != client => Err(*holder),
+            _ => {
+                self.locks.insert(object, client);
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases a single lock if held by `client`.
+    pub fn release(&mut self, object: ObjectId, client: ClientId) -> bool {
+        if self.locks.get(&object) == Some(&client) {
+            self.locks.remove(&object);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases every lock held by `client`, returning how many were released.
+    pub fn release_all(&mut self, client: ClientId) -> usize {
+        let before = self.locks.len();
+        self.locks.retain(|_, holder| *holder != client);
+        before - self.locks.len()
+    }
+
+    /// The holder of the lock on `object`, if any.
+    pub fn holder(&self, object: ObjectId) -> Option<ClientId> {
+        self.locks.get(&object).copied()
+    }
+
+    /// Whether `client` holds the lock on `object`.
+    pub fn holds(&self, object: ObjectId, client: ClientId) -> bool {
+        self.holder(object) == Some(client)
+    }
+
+    /// Number of locks currently held.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_acquisition_and_release() {
+        let mut table = LockTable::new();
+        let a = ObjectId(1);
+        let b = ObjectId(2);
+        assert!(table.acquire(a, 1).is_ok());
+        assert!(table.acquire(a, 1).is_ok(), "re-acquiring one's own lock is fine");
+        assert_eq!(table.acquire(a, 2), Err(1));
+        assert!(table.acquire(b, 2).is_ok());
+        assert_eq!(table.len(), 2);
+        assert!(table.holds(a, 1));
+        assert!(!table.holds(a, 2));
+        assert_eq!(table.holder(b), Some(2));
+
+        assert!(!table.release(a, 2), "only the holder can release");
+        assert!(table.release(a, 1));
+        assert!(table.acquire(a, 2).is_ok());
+        assert_eq!(table.release_all(2), 2);
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Messages exchanged between clients and the central server.
+//!
+//! Objects are addressed by their hierarchical names, not by internal ids — a client's local
+//! copy and the server's central database do not share id spaces.
+
+use seed_core::{ObjectRecord, RelationshipRecord, Value, VersionId};
+
+/// Identifier the server assigns to a connected client.
+pub type ClientId = u64;
+
+/// An update a client made to its local copy and wants applied centrally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// Create an independent object.
+    CreateObject {
+        /// Class name.
+        class: String,
+        /// Object name.
+        name: String,
+    },
+    /// Create a dependent object under a (checked-out or newly created) parent.
+    CreateDependent {
+        /// Parent object name.
+        parent: String,
+        /// Local name of the dependent class (e.g. `"Text"`).
+        class_local: String,
+        /// Initial value.
+        value: Value,
+    },
+    /// Set the value of an object.
+    SetValue {
+        /// Object name.
+        object: String,
+        /// New value.
+        value: Value,
+    },
+    /// Re-classify an object within its generalization hierarchy.
+    Reclassify {
+        /// Object name.
+        object: String,
+        /// Target class name.
+        new_class: String,
+    },
+    /// Create a relationship; bindings refer to objects by name.
+    CreateRelationship {
+        /// Association name.
+        association: String,
+        /// `(role, object name)` bindings.
+        bindings: Vec<(String, String)>,
+    },
+    /// Delete an object (logically).
+    DeleteObject {
+        /// Object name.
+        object: String,
+    },
+}
+
+impl Update {
+    /// The names of existing objects this update modifies (used for lock validation).
+    /// Creations return the parent (for dependents) or nothing (new independent objects are not
+    /// lockable yet).
+    pub fn touched_objects(&self) -> Vec<&str> {
+        match self {
+            Update::CreateObject { .. } => vec![],
+            Update::CreateDependent { parent, .. } => vec![parent.as_str()],
+            Update::SetValue { object, .. }
+            | Update::Reclassify { object, .. }
+            | Update::DeleteObject { object } => vec![object.as_str()],
+            Update::CreateRelationship { bindings, .. } => {
+                bindings.iter().map(|(_, o)| o.as_str()).collect()
+            }
+        }
+    }
+}
+
+/// The data handed to a client at check-out time: copies of the requested objects (with their
+/// dependent objects) and of the relationships among them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckoutSet {
+    /// Copies of the checked-out objects (roots and their dependents).
+    pub objects: Vec<ObjectRecord>,
+    /// Copies of the relationships among the checked-out objects.
+    pub relationships: Vec<RelationshipRecord>,
+}
+
+impl CheckoutSet {
+    /// Names of the copied objects.
+    pub fn object_names(&self) -> Vec<String> {
+        self.objects.iter().map(|o| o.name.to_string()).collect()
+    }
+
+    /// Number of copied objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the checkout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// A request sent to the server thread.
+#[derive(Debug)]
+pub enum Request {
+    /// Register a new client; the server replies with its [`ClientId`].
+    Connect,
+    /// Check out the named objects (taking write locks).
+    Checkout {
+        /// The requesting client.
+        client: ClientId,
+        /// Root object names to check out.
+        objects: Vec<String>,
+    },
+    /// Check in a batch of updates as a single transaction and release the client's locks.
+    Checkin {
+        /// The requesting client.
+        client: ClientId,
+        /// Updates to apply.
+        updates: Vec<Update>,
+    },
+    /// Release all locks without checking anything in.
+    Release {
+        /// The requesting client.
+        client: ClientId,
+    },
+    /// Read a single object by name (no lock; servers serve retrieval directly).
+    Retrieve {
+        /// Object name.
+        name: String,
+    },
+    /// Ask the server to create a global version snapshot.
+    CreateVersion {
+        /// Comment for the version.
+        comment: String,
+    },
+    /// Shut the server thread down.
+    Shutdown,
+}
+
+/// A reply from the server thread.
+#[derive(Debug)]
+pub enum Response {
+    /// Reply to [`Request::Connect`].
+    Connected(ClientId),
+    /// Reply to [`Request::Checkout`].
+    Checkout(Result<CheckoutSet, crate::error::ServerError>),
+    /// Reply to [`Request::Checkin`] / [`Request::Release`].
+    Ack(Result<(), crate::error::ServerError>),
+    /// Reply to [`Request::Retrieve`].
+    Object(Result<ObjectRecord, crate::error::ServerError>),
+    /// Reply to [`Request::CreateVersion`].
+    Version(Result<VersionId, crate::error::ServerError>),
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_objects_cover_lockable_names() {
+        assert!(Update::CreateObject { class: "Data".into(), name: "X".into() }
+            .touched_objects()
+            .is_empty());
+        assert_eq!(
+            Update::SetValue { object: "Alarms".into(), value: Value::Undefined }.touched_objects(),
+            vec!["Alarms"]
+        );
+        assert_eq!(
+            Update::CreateRelationship {
+                association: "Access".into(),
+                bindings: vec![("from".into(), "Alarms".into()), ("by".into(), "Sensor".into())],
+            }
+            .touched_objects(),
+            vec!["Alarms", "Sensor"]
+        );
+        assert_eq!(
+            Update::CreateDependent {
+                parent: "Alarms".into(),
+                class_local: "Text".into(),
+                value: Value::Undefined
+            }
+            .touched_objects(),
+            vec!["Alarms"]
+        );
+    }
+
+    #[test]
+    fn checkout_set_accessors() {
+        let set = CheckoutSet::default();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(set.object_names().is_empty());
+    }
+}

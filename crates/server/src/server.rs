@@ -1,0 +1,479 @@
+//! The central server: one database, many clients, write locks, single-transaction check-in.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use seed_core::{Database, ObjectId, ObjectRecord, SeedError, Value, VersionId};
+
+use crate::error::{ServerError, ServerResult};
+use crate::lock::LockTable;
+use crate::protocol::{CheckoutSet, ClientId, Request, Response, Update};
+
+/// The central SEED server of the two-level multi-user scheme.
+pub struct SeedServer {
+    db: Mutex<Database>,
+    locks: Mutex<LockTable>,
+    /// Names each client has checked out (lock bookkeeping by name, since clients address
+    /// objects by name).
+    checkouts: Mutex<HashMap<ClientId, Vec<String>>>,
+    next_client: AtomicU64,
+}
+
+impl SeedServer {
+    /// Creates a server around an existing database.
+    pub fn new(db: Database) -> Self {
+        Self {
+            db: Mutex::new(db),
+            locks: Mutex::new(LockTable::new()),
+            checkouts: Mutex::new(HashMap::new()),
+            next_client: AtomicU64::new(1),
+        }
+    }
+
+    /// Registers a client and returns its id.
+    pub fn connect(&self) -> ClientId {
+        self.next_client.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Runs a read-only closure against the central database (retrieval goes straight to the
+    /// server in the paper's sketch).
+    pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.lock())
+    }
+
+    /// Retrieves a copy of an object by name.
+    pub fn retrieve(&self, name: &str) -> ServerResult<ObjectRecord> {
+        self.db
+            .lock()
+            .object_by_name(name)
+            .map_err(|_| ServerError::Unknown(format!("object '{name}'")))
+    }
+
+    /// Number of write locks currently held.
+    pub fn locked_count(&self) -> usize {
+        self.locks.lock().len()
+    }
+
+    /// Checks out the named objects for `client`: takes write locks on them (and their dependent
+    /// objects) and returns copies of the objects plus the relationships among them.
+    pub fn checkout(&self, client: ClientId, names: &[&str]) -> ServerResult<CheckoutSet> {
+        let db = self.db.lock();
+        let mut locks = self.locks.lock();
+
+        // Resolve every requested root and its dependents first, so a conflict acquires nothing.
+        let mut object_ids: Vec<(String, ObjectId)> = Vec::new();
+        let mut records: Vec<ObjectRecord> = Vec::new();
+        for name in names {
+            let root = db
+                .object_by_name(name)
+                .map_err(|_| ServerError::Unknown(format!("object '{name}'")))?;
+            let mut frontier = vec![root.clone()];
+            while let Some(record) = frontier.pop() {
+                object_ids.push((record.name.to_string(), record.id));
+                for child in db.children(record.id) {
+                    if child.inherited_from.is_none() {
+                        frontier.push(child.record.clone());
+                    }
+                }
+                records.push(record);
+            }
+        }
+        // Conflict check before acquisition.
+        for (name, id) in &object_ids {
+            if let Some(holder) = locks.holder(*id) {
+                if holder != client {
+                    return Err(ServerError::Locked { object: name.clone(), holder });
+                }
+            }
+        }
+        for (_, id) in &object_ids {
+            locks
+                .acquire(*id, client)
+                .expect("conflicts were ruled out above");
+        }
+        self.checkouts
+            .lock()
+            .entry(client)
+            .or_default()
+            .extend(object_ids.iter().map(|(n, _)| n.clone()));
+
+        // Relationships among the checked-out objects.
+        let id_set: Vec<ObjectId> = object_ids.iter().map(|(_, id)| *id).collect();
+        let mut relationships = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for id in &id_set {
+            for rel in db.relationships(*id) {
+                if rel.inherited_from.is_none() && seen.insert(rel.record.id) {
+                    relationships.push(rel.record.clone());
+                }
+            }
+        }
+        Ok(CheckoutSet { objects: records, relationships })
+    }
+
+    /// Applies a client's updates as **one** transaction on the central database, then releases
+    /// the client's locks.  If any update fails (consistency violation, lock discipline breach),
+    /// nothing is applied and the locks are kept so the client can fix and retry.
+    pub fn checkin(&self, client: ClientId, updates: &[Update]) -> ServerResult<()> {
+        let mut db = self.db.lock();
+        let locks = self.locks.lock();
+
+        // Lock discipline: every touched existing object must be checked out by this client.
+        for update in updates {
+            for name in update.touched_objects() {
+                if let Ok(obj) = db.object_by_name(name) {
+                    if !locks.holds(obj.id, client) {
+                        return Err(ServerError::NotCheckedOut(name.to_string()));
+                    }
+                }
+            }
+        }
+        drop(locks);
+
+        db.begin_transaction().map_err(ServerError::Rejected)?;
+        let result = Self::apply_updates(&mut db, updates);
+        match result {
+            Ok(()) => {
+                db.commit_transaction().map_err(ServerError::Rejected)?;
+                drop(db);
+                self.release(client);
+                Ok(())
+            }
+            Err(e) => {
+                db.rollback_transaction().map_err(ServerError::Rejected)?;
+                Err(ServerError::Rejected(e))
+            }
+        }
+    }
+
+    fn apply_updates(db: &mut Database, updates: &[Update]) -> Result<(), SeedError> {
+        for update in updates {
+            match update {
+                Update::CreateObject { class, name } => {
+                    db.create_object(class, name)?;
+                }
+                Update::CreateDependent { parent, class_local, value } => {
+                    let parent_id = db.object_by_name(parent)?.id;
+                    db.create_dependent(parent_id, class_local, value.clone())?;
+                }
+                Update::SetValue { object, value } => {
+                    let id = db.object_by_name(object)?.id;
+                    db.set_value(id, value.clone())?;
+                }
+                Update::Reclassify { object, new_class } => {
+                    let id = db.object_by_name(object)?.id;
+                    db.reclassify_object(id, new_class)?;
+                }
+                Update::CreateRelationship { association, bindings } => {
+                    let mut resolved: Vec<(&str, seed_core::ObjectId)> = Vec::new();
+                    for (role, name) in bindings {
+                        resolved.push((role.as_str(), db.object_by_name(name)?.id));
+                    }
+                    db.create_relationship(association, &resolved)?;
+                }
+                Update::DeleteObject { object } => {
+                    let id = db.object_by_name(object)?.id;
+                    db.delete_object(id)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every lock held by `client` (explicit release or after a successful check-in).
+    pub fn release(&self, client: ClientId) -> usize {
+        self.checkouts.lock().remove(&client);
+        self.locks.lock().release_all(client)
+    }
+
+    /// Creates a global version snapshot on the central database.
+    pub fn create_version(&self, comment: &str) -> ServerResult<VersionId> {
+        self.db.lock().create_version(comment).map_err(ServerError::Rejected)
+    }
+
+    /// Spawns a server thread servicing requests over a channel; returns a cloneable handle.
+    pub fn spawn(self) -> (ServerHandle, JoinHandle<SeedServer>) {
+        let server = Arc::new(self);
+        let (tx, rx) = unbounded::<(Request, Sender<Response>)>();
+        let thread_server = server.clone();
+        let join = std::thread::spawn(move || {
+            while let Ok((request, reply)) = rx.recv() {
+                let response = match request {
+                    Request::Connect => Response::Connected(thread_server.connect()),
+                    Request::Checkout { client, objects } => {
+                        let names: Vec<&str> = objects.iter().map(|s| s.as_str()).collect();
+                        Response::Checkout(thread_server.checkout(client, &names))
+                    }
+                    Request::Checkin { client, updates } => {
+                        Response::Ack(thread_server.checkin(client, &updates))
+                    }
+                    Request::Release { client } => {
+                        thread_server.release(client);
+                        Response::Ack(Ok(()))
+                    }
+                    Request::Retrieve { name } => Response::Object(thread_server.retrieve(&name)),
+                    Request::CreateVersion { comment } => {
+                        Response::Version(thread_server.create_version(&comment))
+                    }
+                    Request::Shutdown => {
+                        let _ = reply.send(Response::ShuttingDown);
+                        break;
+                    }
+                };
+                let _ = reply.send(response);
+            }
+            // Hand the server back to the caller when the thread finishes.
+            Arc::try_unwrap(thread_server).unwrap_or_else(|arc| {
+                // A handle still exists; clone the database out so callers can inspect it.
+                SeedServer::new(arc.with_database(|db| {
+                    // Databases are not `Clone`; rebuild from persistence parts is overkill here,
+                    // so return an empty database over the same schema.
+                    Database::new(db.schema().clone())
+                }))
+            })
+        });
+        (ServerHandle { tx: Some(tx) }, join)
+    }
+}
+
+/// A handle to a spawned server thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    tx: Option<Sender<(Request, Sender<Response>)>>,
+}
+
+impl ServerHandle {
+    /// Sends a request and waits for the response.
+    pub fn call(&self, request: Request) -> ServerResult<Response> {
+        let tx = self.tx.as_ref().ok_or(ServerError::Disconnected)?;
+        let (reply_tx, reply_rx) = unbounded();
+        tx.send((request, reply_tx)).map_err(|_| ServerError::Disconnected)?;
+        reply_rx.recv().map_err(|_| ServerError::Disconnected)
+    }
+
+    /// Convenience: registers a client.
+    pub fn connect(&self) -> ServerResult<ClientId> {
+        match self.call(Request::Connect)? {
+            Response::Connected(id) => Ok(id),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Convenience: asks the server thread to stop.
+    pub fn shutdown(&self) -> ServerResult<()> {
+        match self.call(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Convenience: retrieves an object by name.
+    pub fn retrieve(&self, name: &str) -> ServerResult<ObjectRecord> {
+        match self.call(Request::Retrieve { name: name.to_string() })? {
+            Response::Object(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Convenience: sets a value through a one-shot checkout/check-in cycle.
+    pub fn quick_set_value(&self, client: ClientId, object: &str, value: Value) -> ServerResult<()> {
+        match self.call(Request::Checkout { client, objects: vec![object.to_string()] })? {
+            Response::Checkout(Ok(_)) => {}
+            Response::Checkout(Err(e)) => return Err(e),
+            _ => return Err(ServerError::Disconnected),
+        }
+        match self.call(Request::Checkin {
+            client,
+            updates: vec![Update::SetValue { object: object.to_string(), value }],
+        })? {
+            Response::Ack(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_schema::figure3_schema;
+
+    fn server_with_data() -> SeedServer {
+        let mut db = Database::new(figure3_schema());
+        let alarms = db.create_object("Data", "Alarms").unwrap();
+        let sensor = db.create_object("Action", "Sensor").unwrap();
+        db.create_relationship("Access", &[("from", alarms), ("by", sensor)]).unwrap();
+        let handler = db.create_object("Action", "AlarmHandler").unwrap();
+        db.create_dependent(handler, "Description", Value::string("Handles alarms")).unwrap();
+        SeedServer::new(db)
+    }
+
+    #[test]
+    fn checkout_copies_objects_and_takes_locks() {
+        let server = server_with_data();
+        let c1 = server.connect();
+        let c2 = server.connect();
+        assert_ne!(c1, c2);
+
+        let set = server.checkout(c1, &["AlarmHandler"]).unwrap();
+        assert_eq!(set.len(), 2, "root + Description dependent");
+        assert!(set.object_names().contains(&"AlarmHandler.Description".to_string()));
+        assert!(server.locked_count() >= 2);
+
+        // A second client cannot check the same object out...
+        let err = server.checkout(c2, &["AlarmHandler"]).unwrap_err();
+        assert!(matches!(err, ServerError::Locked { .. }));
+        // ...but can check out something else, and can still retrieve (read) anything.
+        assert!(server.checkout(c2, &["Alarms"]).is_ok());
+        assert!(server.retrieve("AlarmHandler").is_ok());
+        assert!(server.retrieve("Ghost").is_err());
+    }
+
+    #[test]
+    fn checkin_applies_updates_in_one_transaction() {
+        let server = server_with_data();
+        let c1 = server.connect();
+        server.checkout(c1, &["AlarmHandler"]).unwrap();
+        server
+            .checkin(
+                c1,
+                &[
+                    Update::SetValue {
+                        object: "AlarmHandler.Description".into(),
+                        value: Value::string("Generates alarms from process data"),
+                    },
+                    Update::CreateObject { class: "Data".into(), name: "OperatorAlert".into() },
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            server.retrieve("AlarmHandler.Description").unwrap().value,
+            Value::string("Generates alarms from process data")
+        );
+        assert!(server.retrieve("OperatorAlert").is_ok());
+        // Locks are released after a successful check-in.
+        assert_eq!(server.locked_count(), 0);
+    }
+
+    #[test]
+    fn failed_checkin_applies_nothing_and_keeps_locks() {
+        let server = server_with_data();
+        let c1 = server.connect();
+        server.checkout(c1, &["AlarmHandler"]).unwrap();
+        let held = server.locked_count();
+        let err = server
+            .checkin(
+                c1,
+                &[
+                    Update::CreateObject { class: "Data".into(), name: "NewData".into() },
+                    // Fails: Description has a STRING domain, an integer is rejected.
+                    Update::SetValue {
+                        object: "AlarmHandler.Description".into(),
+                        value: Value::Integer(42),
+                    },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Rejected(_)));
+        // The single transaction means the first update is rolled back too.
+        assert!(server.retrieve("NewData").is_err());
+        assert_eq!(server.locked_count(), held, "locks kept for retry");
+        // Fixing the batch succeeds.
+        server
+            .checkin(
+                c1,
+                &[Update::SetValue {
+                    object: "AlarmHandler.Description".into(),
+                    value: Value::string("fixed"),
+                }],
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn checkin_requires_prior_checkout() {
+        let server = server_with_data();
+        let c1 = server.connect();
+        let err = server
+            .checkin(
+                c1,
+                &[Update::SetValue { object: "AlarmHandler.Description".into(), value: Value::string("x") }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::NotCheckedOut(_)));
+        // Creating brand-new objects needs no lock.
+        server
+            .checkin(c1, &[Update::CreateObject { class: "Data".into(), name: "Fresh".into() }])
+            .unwrap();
+    }
+
+    #[test]
+    fn release_frees_locks_without_changes() {
+        let server = server_with_data();
+        let c1 = server.connect();
+        let c2 = server.connect();
+        server.checkout(c1, &["Alarms"]).unwrap();
+        assert!(server.checkout(c2, &["Alarms"]).is_err());
+        assert!(server.release(c1) > 0);
+        assert!(server.checkout(c2, &["Alarms"]).is_ok());
+    }
+
+    #[test]
+    fn server_creates_global_versions() {
+        let server = server_with_data();
+        let v = server.create_version("global snapshot").unwrap();
+        assert_eq!(v.to_string(), "1.0");
+        let c1 = server.connect();
+        server.checkout(c1, &["Alarms"]).unwrap();
+        server
+            .checkin(c1, &[Update::Reclassify { object: "Alarms".into(), new_class: "OutputData".into() }])
+            .unwrap();
+        let v2 = server.create_version("after reclassification").unwrap();
+        assert_eq!(v2.to_string(), "2.0");
+        server.with_database(|db| {
+            assert_eq!(db.versions().len(), 2);
+        });
+    }
+
+    #[test]
+    fn threaded_server_serves_concurrent_clients() {
+        let server = server_with_data();
+        let (handle, join) = server.spawn();
+
+        let mut workers = Vec::new();
+        for i in 0..4u64 {
+            let handle = handle.clone();
+            workers.push(std::thread::spawn(move || {
+                let client = handle.connect().unwrap();
+                // Each worker creates its own object and updates it — no conflicts.
+                let name = format!("Worker{i}Data");
+                match handle
+                    .call(Request::Checkin {
+                        client,
+                        updates: vec![Update::CreateObject { class: "Data".into(), name: name.clone() }],
+                    })
+                    .unwrap()
+                {
+                    Response::Ack(result) => result.unwrap(),
+                    other => panic!("unexpected response {other:?}"),
+                }
+                handle.quick_set_value(client, "AlarmHandler.Description", Value::string(format!("by {i}")))
+                    .ok(); // may conflict with another worker holding the lock; that's fine
+                handle.retrieve(&name).unwrap();
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        // All four objects exist centrally.
+        for i in 0..4u64 {
+            assert!(handle.retrieve(&format!("Worker{i}Data")).is_ok());
+        }
+        handle.shutdown().unwrap();
+        let _server_back = join.join().unwrap();
+    }
+}

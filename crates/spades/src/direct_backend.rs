@@ -1,0 +1,217 @@
+//! The pre-SEED SPADES: plain in-memory data structures, no consistency checking, versions as
+//! full copies of the whole specification.
+//!
+//! This backend exists as the comparison baseline for the paper's statement that, on SEED,
+//! "SPADES has become considerably slower, but much more flexible".  It is deliberately naive
+//! in the ways the original tool was: nothing is checked (a flow to a missing element is
+//! silently recorded against nothing, cycles in containment are possible), incompleteness cannot
+//! be analysed, and a checkpoint deep-copies everything.
+
+use std::collections::BTreeMap;
+
+use crate::backend::SpecBackend;
+use crate::error::{SpadesError, SpadesResult};
+use crate::model::{ElementInfo, ElementKind, FlowKind};
+
+#[derive(Debug, Clone)]
+struct Element {
+    kind: ElementKind,
+    description: Option<String>,
+    keywords: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SpecState {
+    elements: BTreeMap<String, Element>,
+    /// (data, action) → kind
+    flows: BTreeMap<(String, String), FlowKind>,
+    /// inner → outer containment
+    containment: BTreeMap<String, String>,
+}
+
+/// The direct (pre-SEED) backend.
+#[derive(Debug, Default)]
+pub struct DirectBackend {
+    state: SpecState,
+    /// Full copies of the state, one per checkpoint — the storage cost SEED's delta versions avoid.
+    checkpoints: Vec<(String, SpecState)>,
+}
+
+impl DirectBackend {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of elements stored across all full-copy checkpoints (storage-cost metric
+    /// used by the version-storage benchmark).
+    pub fn checkpointed_element_count(&self) -> usize {
+        self.checkpoints.iter().map(|(_, s)| s.elements.len() + s.flows.len()).sum()
+    }
+
+    fn element_mut(&mut self, name: &str) -> SpadesResult<&mut Element> {
+        self.state
+            .elements
+            .get_mut(name)
+            .ok_or_else(|| SpadesError::Unknown(name.to_string()))
+    }
+}
+
+impl SpecBackend for DirectBackend {
+    fn backend_name(&self) -> &'static str {
+        "SPADES direct (pre-SEED)"
+    }
+
+    fn add_element(&mut self, name: &str, kind: ElementKind) -> SpadesResult<()> {
+        if self.state.elements.contains_key(name) {
+            return Err(SpadesError::Duplicate(name.to_string()));
+        }
+        self.state.elements.insert(
+            name.to_string(),
+            Element { kind, description: None, keywords: Vec::new() },
+        );
+        Ok(())
+    }
+
+    fn refine_element(&mut self, name: &str, kind: ElementKind) -> SpadesResult<()> {
+        // No checking at all — the pre-SEED tool happily overwrote the kind.
+        self.element_mut(name)?.kind = kind;
+        Ok(())
+    }
+
+    fn add_flow(&mut self, data: &str, action: &str, kind: FlowKind) -> SpadesResult<()> {
+        self.state.flows.insert((data.to_string(), action.to_string()), kind);
+        Ok(())
+    }
+
+    fn refine_flow(&mut self, data: &str, action: &str, kind: FlowKind) -> SpadesResult<()> {
+        match self.state.flows.get_mut(&(data.to_string(), action.to_string())) {
+            Some(existing) => {
+                *existing = kind;
+                Ok(())
+            }
+            None => Err(SpadesError::Unknown(format!("flow between '{data}' and '{action}'"))),
+        }
+    }
+
+    fn set_description(&mut self, name: &str, text: &str) -> SpadesResult<()> {
+        self.element_mut(name)?.description = Some(text.to_string());
+        Ok(())
+    }
+
+    fn add_keyword(&mut self, name: &str, keyword: &str) -> SpadesResult<()> {
+        self.element_mut(name)?.keywords.push(keyword.to_string());
+        Ok(())
+    }
+
+    fn contain(&mut self, inner: &str, outer: &str) -> SpadesResult<()> {
+        // No acyclicity check — that is exactly the kind of error SEED catches and this tool
+        // does not.
+        self.state.containment.insert(inner.to_string(), outer.to_string());
+        Ok(())
+    }
+
+    fn remove_element(&mut self, name: &str) -> SpadesResult<()> {
+        if self.state.elements.remove(name).is_none() {
+            return Err(SpadesError::Unknown(name.to_string()));
+        }
+        self.state.flows.retain(|(d, a), _| d != name && a != name);
+        self.state.containment.retain(|inner, outer| inner != name && outer != name);
+        Ok(())
+    }
+
+    fn element(&self, name: &str) -> SpadesResult<ElementInfo> {
+        let element = self
+            .state
+            .elements
+            .get(name)
+            .ok_or_else(|| SpadesError::Unknown(name.to_string()))?;
+        let mut keywords = element.keywords.clone();
+        keywords.sort();
+        let flows: Vec<(String, FlowKind, String)> = self
+            .state
+            .flows
+            .iter()
+            .filter(|((d, a), _)| d == name || a == name)
+            .map(|((d, a), k)| (d.clone(), *k, a.clone()))
+            .collect();
+        Ok(ElementInfo {
+            name: name.to_string(),
+            kind: element.kind,
+            description: element.description.clone(),
+            keywords,
+            flows,
+        })
+    }
+
+    fn element_names(&self) -> Vec<String> {
+        self.state.elements.keys().cloned().collect()
+    }
+
+    fn flow_count(&self) -> usize {
+        self.state.flows.len()
+    }
+
+    fn incompleteness_findings(&self) -> usize {
+        // The pre-SEED tool has no notion of completeness information.
+        0
+    }
+
+    fn checkpoint(&mut self, comment: &str) -> SpadesResult<String> {
+        self.checkpoints.push((comment.to_string(), self.state.clone()));
+        Ok(format!("copy-{}", self.checkpoints.len()))
+    }
+
+    fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_checking_means_silent_inconsistencies() {
+        let mut backend = DirectBackend::new();
+        backend.add_element("A", ElementKind::Action).unwrap();
+        backend.add_element("B", ElementKind::Action).unwrap();
+        // Cycle goes unnoticed.
+        backend.contain("A", "B").unwrap();
+        backend.contain("B", "A").unwrap();
+        // Flow against a non-existent element goes unnoticed.
+        backend.add_flow("Ghost", "A", FlowKind::Write).unwrap();
+        // Nonsensical refinement goes unnoticed.
+        backend.refine_element("A", ElementKind::OutputData).unwrap();
+        assert_eq!(backend.incompleteness_findings(), 0);
+    }
+
+    #[test]
+    fn checkpoints_are_full_copies() {
+        let mut backend = DirectBackend::new();
+        for i in 0..10 {
+            backend.add_element(&format!("E{i}"), ElementKind::Data).unwrap();
+        }
+        backend.checkpoint("c1").unwrap();
+        backend.add_element("One more", ElementKind::Data).unwrap();
+        backend.checkpoint("c2").unwrap();
+        assert_eq!(backend.checkpoint_count(), 2);
+        // 10 elements in the first copy + 11 in the second: the cost grows with database size,
+        // not with the size of the change — unlike SEED's delta storage.
+        assert_eq!(backend.checkpointed_element_count(), 21);
+    }
+
+    #[test]
+    fn removal_cleans_flows_and_containment() {
+        let mut backend = DirectBackend::new();
+        backend.add_element("Data1", ElementKind::Data).unwrap();
+        backend.add_element("Act1", ElementKind::Action).unwrap();
+        backend.add_flow("Data1", "Act1", FlowKind::Read).unwrap();
+        backend.contain("Act1", "Act1").unwrap();
+        backend.remove_element("Act1").unwrap();
+        assert_eq!(backend.flow_count(), 0);
+        assert!(backend.element("Act1").is_err());
+        assert!(backend.remove_element("Act1").is_err());
+        assert!(backend.refine_flow("Data1", "Act1", FlowKind::Write).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! SPADES tool errors.
+
+use std::fmt;
+
+/// Result alias for tool operations.
+pub type SpadesResult<T> = Result<T, SpadesError>;
+
+/// Errors surfaced by the specification tool.
+#[derive(Debug)]
+pub enum SpadesError {
+    /// The underlying SEED database rejected the operation (consistency violation, unknown
+    /// element, ...).
+    Seed(seed_core::SeedError),
+    /// An element with this name already exists.
+    Duplicate(String),
+    /// The named element does not exist.
+    Unknown(String),
+    /// The requested refinement is not possible (e.g. refining an action into data).
+    InvalidRefinement(String),
+}
+
+impl fmt::Display for SpadesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpadesError::Seed(e) => write!(f, "SEED rejected the operation: {e}"),
+            SpadesError::Duplicate(name) => write!(f, "element '{name}' already exists"),
+            SpadesError::Unknown(name) => write!(f, "no element named '{name}'"),
+            SpadesError::InvalidRefinement(msg) => write!(f, "invalid refinement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpadesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpadesError::Seed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seed_core::SeedError> for SpadesError {
+    fn from(e: seed_core::SeedError) -> Self {
+        SpadesError::Seed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SpadesError = seed_core::SeedError::NotFound("x".into()).into();
+        assert!(e.to_string().contains("SEED"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(SpadesError::Duplicate("Alarms".into()).to_string().contains("Alarms"));
+        assert!(std::error::Error::source(&SpadesError::Unknown("x".into())).is_none());
+    }
+}

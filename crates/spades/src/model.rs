@@ -1,0 +1,133 @@
+//! Tool-level model: the kinds of things a SPADES specification talks about.
+
+use std::fmt;
+
+/// What kind of specification element a name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ElementKind {
+    /// Not yet known whether the element is data or an action (the vague `Thing` of Figure 3).
+    Thing,
+    /// A data element.
+    Data,
+    /// A data element known to be an input.
+    InputData,
+    /// A data element known to be an output.
+    OutputData,
+    /// An action (process, procedure, activity).
+    Action,
+}
+
+impl ElementKind {
+    /// Whether this kind is (a specialization of) data.
+    pub fn is_data(self) -> bool {
+        matches!(self, ElementKind::Data | ElementKind::InputData | ElementKind::OutputData)
+    }
+
+    /// Whether a refinement from `self` to `target` makes the information more precise (or is a
+    /// lateral move within the data family).
+    pub fn can_refine_to(self, target: ElementKind) -> bool {
+        match self {
+            ElementKind::Thing => true,
+            ElementKind::Data => target.is_data(),
+            ElementKind::InputData | ElementKind::OutputData => target.is_data(),
+            ElementKind::Action => target == ElementKind::Action,
+        }
+    }
+
+    /// The SEED class name this kind maps to in the Figure 3 schema.
+    pub fn class_name(self) -> &'static str {
+        match self {
+            ElementKind::Thing => "Thing",
+            ElementKind::Data => "Data",
+            ElementKind::InputData => "InputData",
+            ElementKind::OutputData => "OutputData",
+            ElementKind::Action => "Action",
+        }
+    }
+}
+
+impl fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.class_name())
+    }
+}
+
+/// How precisely a data flow is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowKind {
+    /// "There is a data flow" — direction unknown (the vague `Access` of Figure 3).
+    Access,
+    /// The action reads the data.
+    Read,
+    /// The action writes the data.
+    Write,
+}
+
+impl FlowKind {
+    /// The SEED association name this kind maps to in the Figure 3 schema.
+    pub fn association_name(self) -> &'static str {
+        match self {
+            FlowKind::Access => "Access",
+            FlowKind::Read => "Read",
+            FlowKind::Write => "Write",
+        }
+    }
+
+    /// Whether a flow of this kind may be refined into `target`.
+    pub fn can_refine_to(self, target: FlowKind) -> bool {
+        match self {
+            FlowKind::Access => true,
+            FlowKind::Read | FlowKind::Write => target != FlowKind::Access,
+        }
+    }
+}
+
+impl fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.association_name())
+    }
+}
+
+/// A summary of one specification element, independent of the backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementInfo {
+    /// The element's name.
+    pub name: String,
+    /// Its current kind (possibly still vague).
+    pub kind: ElementKind,
+    /// Free-text description, if any.
+    pub description: Option<String>,
+    /// Keywords attached to the element.
+    pub keywords: Vec<String>,
+    /// Data flows the element participates in, as `(data, kind, action)` triples.
+    pub flows: Vec<(String, FlowKind, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_refinement_rules() {
+        assert!(ElementKind::Thing.can_refine_to(ElementKind::Data));
+        assert!(ElementKind::Thing.can_refine_to(ElementKind::Action));
+        assert!(ElementKind::Data.can_refine_to(ElementKind::OutputData));
+        assert!(ElementKind::OutputData.can_refine_to(ElementKind::InputData), "lateral move allowed");
+        assert!(!ElementKind::Data.can_refine_to(ElementKind::Action));
+        assert!(!ElementKind::Action.can_refine_to(ElementKind::Data));
+        assert!(ElementKind::InputData.is_data());
+        assert!(!ElementKind::Action.is_data());
+        assert_eq!(ElementKind::OutputData.class_name(), "OutputData");
+        assert_eq!(ElementKind::Thing.to_string(), "Thing");
+    }
+
+    #[test]
+    fn flow_refinement_rules() {
+        assert!(FlowKind::Access.can_refine_to(FlowKind::Read));
+        assert!(FlowKind::Access.can_refine_to(FlowKind::Write));
+        assert!(FlowKind::Read.can_refine_to(FlowKind::Write), "lateral correction allowed");
+        assert!(!FlowKind::Write.can_refine_to(FlowKind::Access), "no un-refinement");
+        assert_eq!(FlowKind::Write.association_name(), "Write");
+        assert_eq!(FlowKind::Access.to_string(), "Access");
+    }
+}

@@ -1,0 +1,94 @@
+//! Textual specification reports.
+//!
+//! SPADES is a documentation-centric tool: after a working session the engineer wants a summary
+//! of what the specification contains and where it is still vague or incomplete.  The report
+//! works against any [`SpecBackend`], but only the SEED backend can fill in the incompleteness
+//! section — which is the "much more flexible" half of the paper's concluding sentence.
+
+use std::fmt::Write as _;
+
+use crate::backend::SpecBackend;
+use crate::model::ElementKind;
+
+/// Renders a human-readable report of the whole specification.
+pub fn specification_report(backend: &dyn SpecBackend) -> String {
+    let mut out = String::new();
+    let names = backend.element_names();
+    let _ = writeln!(out, "Specification report ({})", backend.backend_name());
+    let _ = writeln!(out, "=================================================");
+    let _ = writeln!(
+        out,
+        "{} elements, {} data flows, {} checkpoints",
+        names.len(),
+        backend.flow_count(),
+        backend.checkpoint_count()
+    );
+
+    let mut vague = 0usize;
+    let mut undescribed = 0usize;
+    for name in &names {
+        let Ok(info) = backend.element(name) else { continue };
+        if info.kind == ElementKind::Thing {
+            vague += 1;
+        }
+        if info.description.is_none() {
+            undescribed += 1;
+        }
+    }
+    let _ = writeln!(out, "{vague} elements still vague (kind Thing), {undescribed} without description");
+    let findings = backend.incompleteness_findings();
+    let _ = writeln!(out, "{findings} incompleteness finding(s) reported by the backend");
+    let _ = writeln!(out);
+
+    for name in &names {
+        let Ok(info) = backend.element(name) else { continue };
+        let _ = writeln!(out, "{} : {}", info.name, info.kind);
+        if let Some(desc) = &info.description {
+            let _ = writeln!(out, "    \"{desc}\"");
+        }
+        if !info.keywords.is_empty() {
+            let _ = writeln!(out, "    keywords: {}", info.keywords.join(", "));
+        }
+        for (data, kind, action) in &info.flows {
+            let _ = writeln!(out, "    {kind}: {data} -- {action}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct_backend::DirectBackend;
+    use crate::model::FlowKind;
+    use crate::seed_backend::SeedBackend;
+
+    fn build(backend: &mut dyn SpecBackend) {
+        backend.add_element("Alarms", ElementKind::Thing).unwrap();
+        backend.add_element("AlarmHandler", ElementKind::Action).unwrap();
+        backend.set_description("AlarmHandler", "Handles alarms").unwrap();
+        backend.refine_element("Alarms", ElementKind::Data).unwrap();
+        backend.add_flow("Alarms", "AlarmHandler", FlowKind::Access).unwrap();
+        backend.add_keyword("Alarms", "Display").unwrap();
+        backend.checkpoint("1.0").unwrap();
+    }
+
+    #[test]
+    fn report_covers_both_backends() {
+        let mut seed = SeedBackend::new();
+        build(&mut seed);
+        let report = specification_report(&seed);
+        assert!(report.contains("SPADES on SEED"));
+        assert!(report.contains("Alarms : Data"));
+        assert!(report.contains("Handles alarms"));
+        assert!(report.contains("Access: Alarms -- AlarmHandler"));
+        assert!(report.contains("keywords: Display"));
+        assert!(report.contains("incompleteness finding"));
+
+        let mut direct = DirectBackend::new();
+        build(&mut direct);
+        let report = specification_report(&direct);
+        assert!(report.contains("pre-SEED"));
+        assert!(report.contains("0 incompleteness finding(s)"));
+    }
+}

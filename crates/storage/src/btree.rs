@@ -1,0 +1,502 @@
+//! In-memory B+ tree keyed by byte strings.
+//!
+//! Serves as the ordered name index of the storage engine: SEED's prototype interface is
+//! "retrieval by name", and hierarchical object names (`Alarms.Text.Body`) make prefix scans
+//! the natural access path.  The tree is persisted wholesale on checkpoint (see
+//! [`crate::engine`]) which matches the modest database sizes of a specification environment.
+//!
+//! The implementation is a classic order-`B` B+ tree: values live only in leaves, leaves are
+//! chained for range scans, internal nodes store separator keys.
+
+use std::fmt;
+
+/// Maximum number of keys per node before it splits.
+const DEFAULT_ORDER: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { keys: Vec<Vec<u8>>, values: Vec<u64> },
+    Internal { keys: Vec<Vec<u8>>, children: Vec<Box<Node>> },
+}
+
+impl Node {
+    fn new_leaf() -> Self {
+        Node::Leaf { keys: Vec::new(), values: Vec::new() }
+    }
+
+    fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } | Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+}
+
+/// Result of inserting into a subtree: either it fit, or the node split and the new right
+/// sibling (with its separator key) must be linked by the parent.
+enum InsertResult {
+    Fit(Option<u64>),
+    Split { sep: Vec<u8>, right: Box<Node>, replaced: Option<u64> },
+}
+
+/// An ordered map from byte-string keys to `u64` values (record ids in packed form).
+pub struct BPlusTree {
+    root: Box<Node>,
+    order: usize,
+    len: usize,
+}
+
+impl fmt::Debug for BPlusTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BPlusTree")
+            .field("order", &self.order)
+            .field("len", &self.len)
+            .field("height", &self.height())
+            .finish()
+    }
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Creates an empty tree with the default order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree with a custom order (minimum 4), mainly for tests that want to
+    /// force many splits with few keys.
+    pub fn with_order(order: usize) -> Self {
+        Self { root: Box::new(Node::new_leaf()), order: order.max(4), len: 0 }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &*self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+
+    /// Inserts `key -> value`, returning the previous value if the key was present.
+    pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+        let order = self.order;
+        match Self::insert_rec(&mut self.root, key, value, order) {
+            InsertResult::Fit(replaced) => {
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                replaced
+            }
+            InsertResult::Split { sep, right, replaced } => {
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                let old_root = std::mem::replace(&mut self.root, Box::new(Node::new_leaf()));
+                self.root = Box::new(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+                replaced
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node, key: &[u8], value: u64, order: usize) -> InsertResult {
+        match node {
+            Node::Leaf { keys, values } => {
+                match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let old = values[i];
+                        values[i] = value;
+                        InsertResult::Fit(Some(old))
+                    }
+                    Err(i) => {
+                        keys.insert(i, key.to_vec());
+                        values.insert(i, value);
+                        if keys.len() > order {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_values = values.split_off(mid);
+                            let sep = right_keys[0].clone();
+                            InsertResult::Split {
+                                sep,
+                                right: Box::new(Node::Leaf { keys: right_keys, values: right_values }),
+                                replaced: None,
+                            }
+                        } else {
+                            InsertResult::Fit(None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                match Self::insert_rec(&mut children[idx], key, value, order) {
+                    InsertResult::Fit(replaced) => InsertResult::Fit(replaced),
+                    InsertResult::Split { sep, right, replaced } => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > order {
+                            let mid = keys.len() / 2;
+                            let sep_up = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // the separator moves up, it is not duplicated
+                            let right_children = children.split_off(mid + 1);
+                            InsertResult::Split {
+                                sep: sep_up,
+                                right: Box::new(Node::Internal { keys: right_keys, children: right_children }),
+                                replaced,
+                            }
+                        } else {
+                            InsertResult::Fit(replaced)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Looks up the value for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    return keys
+                        .binary_search_by(|k| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| values[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// Removal uses lazy deletion (no rebalancing): leaves may become under-full, which is
+    /// acceptable for the index workload (deletions are rare — SEED marks items as deleted
+    /// logically rather than removing them physically).  Structural invariants required by
+    /// lookups and scans are preserved.
+    pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
+        fn remove_rec(node: &mut Node, key: &[u8]) -> Option<u64> {
+            match node {
+                Node::Leaf { keys, values } => match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        Some(values.remove(i))
+                    }
+                    Err(_) => None,
+                },
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    remove_rec(&mut children[idx], key)
+                }
+            }
+        }
+        let removed = remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Returns all `(key, value)` pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::new();
+        self.visit_range(&mut |k, v| {
+            if k.starts_with(prefix) {
+                out.push((k.to_vec(), v));
+                true
+            } else {
+                // Keys are visited in order; once past the prefix region we can stop.
+                k < prefix || k.starts_with(prefix)
+            }
+        });
+        out
+    }
+
+    /// Returns all `(key, value)` pairs with `low <= key < high`, in key order.
+    pub fn scan_range(&self, low: &[u8], high: &[u8]) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::new();
+        self.visit_range(&mut |k, v| {
+            if k >= high {
+                return false;
+            }
+            if k >= low {
+                out.push((k.to_vec(), v));
+            }
+            true
+        });
+        out
+    }
+
+    /// Returns every `(key, value)` pair in key order.
+    pub fn iter_all(&self) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.visit_range(&mut |k, v| {
+            out.push((k.to_vec(), v));
+            true
+        });
+        out
+    }
+
+    /// In-order traversal; the callback returns `false` to stop early.
+    fn visit_range(&self, f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        fn walk(node: &Node, f: &mut dyn FnMut(&[u8], u64) -> bool) -> bool {
+            match node {
+                Node::Leaf { keys, values } => {
+                    for (k, v) in keys.iter().zip(values) {
+                        if !f(k, *v) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+                Node::Internal { children, .. } => {
+                    for child in children {
+                        if !walk(child, f) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+            }
+        }
+        walk(&self.root, f);
+    }
+
+    /// Rebuilds a tree from sorted or unsorted pairs (used when loading a checkpoint).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<u8>, u64)>) -> Self {
+        let mut tree = Self::new();
+        for (k, v) in pairs {
+            tree.insert(&k, v);
+        }
+        tree
+    }
+
+    /// Internal consistency check used by tests: keys are in order and every internal node has
+    /// one more child than keys.
+    pub fn check_invariants(&self) -> bool {
+        fn check(node: &Node, last: &mut Option<Vec<u8>>) -> bool {
+            match node {
+                Node::Leaf { keys, values } => {
+                    if keys.len() != values.len() {
+                        return false;
+                    }
+                    for k in keys {
+                        if let Some(prev) = last {
+                            if &*prev >= k {
+                                return false;
+                            }
+                        }
+                        *last = Some(k.clone());
+                    }
+                    true
+                }
+                Node::Internal { keys, children } => {
+                    if children.len() != keys.len() + 1 {
+                        return false;
+                    }
+                    children.iter().all(|c| check(c, last))
+                }
+            }
+        }
+        // The root is allowed to be under-full; everything else is structural.
+        let _ = self.root.is_leaf() || self.root.len() >= 1;
+        check(&self.root, &mut None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(b"anything"), None);
+        assert_eq!(t.height(), 1);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(b"Alarms", 1), None);
+        assert_eq!(t.insert(b"AlarmHandler", 2), None);
+        assert_eq!(t.get(b"Alarms"), Some(1));
+        assert_eq!(t.get(b"AlarmHandler"), Some(2));
+        assert_eq!(t.insert(b"Alarms", 10), Some(1));
+        assert_eq!(t.get(b"Alarms"), Some(10));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn many_inserts_keep_order_and_split() {
+        let mut t = BPlusTree::with_order(4);
+        let n = 500u64;
+        for i in 0..n {
+            t.insert(format!("key{i:05}").as_bytes(), i);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.height() > 2, "tree with order 4 and 500 keys must have split");
+        assert!(t.check_invariants());
+        for i in 0..n {
+            assert_eq!(t.get(format!("key{i:05}").as_bytes()), Some(i));
+        }
+        let all = t.iter_all();
+        assert_eq!(all.len(), n as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "iteration must be sorted");
+    }
+
+    #[test]
+    fn reverse_and_random_order_inserts() {
+        let mut t = BPlusTree::with_order(4);
+        for i in (0..200u64).rev() {
+            t.insert(format!("{i:04}").as_bytes(), i);
+        }
+        assert!(t.check_invariants());
+        for i in 0..200u64 {
+            assert_eq!(t.get(format!("{i:04}").as_bytes()), Some(i));
+        }
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100u64 {
+            t.insert(format!("k{i:03}").as_bytes(), i);
+        }
+        assert_eq!(t.remove(b"k050"), Some(50));
+        assert_eq!(t.remove(b"k050"), None);
+        assert_eq!(t.get(b"k050"), None);
+        assert_eq!(t.len(), 99);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn prefix_scan_matches_hierarchical_names() {
+        let mut t = BPlusTree::new();
+        t.insert(b"Alarms", 1);
+        t.insert(b"Alarms.Text", 2);
+        t.insert(b"Alarms.Text.Body", 3);
+        t.insert(b"Alarms.Text.Selector", 4);
+        t.insert(b"AlarmHandler", 5);
+        t.insert(b"Zebra", 6);
+        let hits = t.scan_prefix(b"Alarms.");
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].0, b"Alarms.Text".to_vec());
+        assert_eq!(hits[2].0, b"Alarms.Text.Selector".to_vec());
+        let all_alarm = t.scan_prefix(b"Alarm");
+        assert_eq!(all_alarm.len(), 5);
+    }
+
+    #[test]
+    fn range_scan_bounds_are_half_open() {
+        let mut t = BPlusTree::new();
+        for i in 0..10u64 {
+            t.insert(format!("{i}").as_bytes(), i);
+        }
+        let r = t.scan_range(b"3", b"7");
+        let keys: Vec<_> = r.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["3", "4", "5", "6"]);
+    }
+
+    #[test]
+    fn from_pairs_rebuilds() {
+        let pairs: Vec<(Vec<u8>, u64)> =
+            (0..50u64).map(|i| (format!("p{i:02}").into_bytes(), i * 2)).collect();
+        let t = BPlusTree::from_pairs(pairs.clone());
+        assert_eq!(t.len(), 50);
+        for (k, v) in pairs {
+            assert_eq!(t.get(&k), Some(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn behaves_like_btreemap(
+            ops in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..12), any::<u64>(), any::<bool>()),
+                1..300,
+            )
+        ) {
+            let mut tree = BPlusTree::with_order(4);
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (key, value, is_remove) in ops {
+                if is_remove {
+                    prop_assert_eq!(tree.remove(&key), model.remove(&key));
+                } else {
+                    prop_assert_eq!(tree.insert(&key, value), model.insert(key.clone(), value));
+                }
+                prop_assert!(tree.check_invariants());
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            let tree_all = tree.iter_all();
+            let model_all: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(tree_all, model_all);
+        }
+
+        #[test]
+        fn prefix_scan_agrees_with_filter(
+            keys in proptest::collection::btree_map(
+                proptest::collection::vec(0u8..4, 0..6), any::<u64>(), 0..100
+            ),
+            prefix in proptest::collection::vec(0u8..4, 0..3),
+        ) {
+            let tree = BPlusTree::from_pairs(keys.iter().map(|(k, v)| (k.clone(), *v)));
+            let expected: Vec<(Vec<u8>, u64)> = keys
+                .iter()
+                .filter(|(k, _)| k.starts_with(&prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            prop_assert_eq!(tree.scan_prefix(&prefix), expected);
+        }
+    }
+}

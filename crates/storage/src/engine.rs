@@ -1,0 +1,662 @@
+//! The storage engine: a durable, transactional key/value store.
+//!
+//! `seed-core` persists objects, relationships, version deltas and the schema catalog as
+//! key/value pairs with hierarchical keys (`obj/<id>`, `rel/<id>`, `ver/<id>/...`).  The engine
+//! provides:
+//!
+//! * durable `put`/`get`/`delete` with write-ahead logging,
+//! * transactions (`begin`/`commit`/`abort`) — a crash before commit leaves no trace,
+//! * ordered prefix scans through the B+ tree name index,
+//! * checkpointing (flush pages, persist the index, truncate the WAL),
+//! * recovery on open (replay committed WAL records on top of the last checkpoint).
+//!
+//! Data layout: each key/value pair is one heap-file record `key_len | key | value`.  The index
+//! maps key → packed [`RecordId`].  On checkpoint, the index and the list of heap pages are
+//! written to a catalog page (page 0 of the page store).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::btree::BPlusTree;
+use crate::buffer::BufferPool;
+use crate::codec::{Decoder, Encoder};
+use crate::error::{StorageError, StorageResult};
+use crate::heapfile::{HeapFile, RecordId};
+use crate::page::PageId;
+use crate::pagestore::{FilePageStore, MemoryPageStore, PageStore};
+use crate::wal::{replay_committed, LogRecord, WriteAheadLog};
+
+/// Configuration for opening a [`StorageEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of pages the buffer pool may keep resident.
+    pub buffer_pool_pages: usize,
+    /// Whether every commit forces the WAL to disk (`true` = durability on commit).
+    pub sync_on_commit: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { buffer_pool_pages: 256, sync_on_commit: true }
+    }
+}
+
+/// Identifier of an open transaction.
+pub type TxnId = u64;
+
+struct EngineInner {
+    index: BPlusTree,
+    heap: HeapFile,
+    /// Pending (uncommitted) effects per transaction: key -> Some(value) for put, None for delete.
+    pending: HashMap<TxnId, Vec<(Vec<u8>, Option<Vec<u8>>)>>,
+    closed: bool,
+}
+
+/// A durable key/value storage engine with WAL-based recovery.
+pub struct StorageEngine {
+    pool: Arc<BufferPool>,
+    wal: WriteAheadLog,
+    inner: Mutex<EngineInner>,
+    next_txn: AtomicU64,
+    config: EngineConfig,
+    /// Path of the database directory (None for in-memory engines).
+    path: Option<PathBuf>,
+}
+
+impl StorageEngine {
+    /// Opens an ephemeral in-memory engine.
+    pub fn in_memory() -> StorageResult<Self> {
+        Self::build(Arc::new(MemoryPageStore::new()), WriteAheadLog::in_memory(), None, EngineConfig::default())
+    }
+
+    /// Opens (or creates) a durable engine in directory `dir` using default configuration.
+    pub fn open(dir: impl AsRef<Path>) -> StorageResult<Self> {
+        Self::open_with(dir, EngineConfig::default())
+    }
+
+    /// Opens (or creates) a durable engine in directory `dir`.
+    pub fn open_with(dir: impl AsRef<Path>, config: EngineConfig) -> StorageResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let store = Arc::new(FilePageStore::open(dir.join("pages.db"))?);
+        let wal = WriteAheadLog::open(dir.join("wal.log"))?;
+        Self::build(store, wal, Some(dir), config)
+    }
+
+    fn build(
+        store: Arc<dyn PageStore>,
+        wal: WriteAheadLog,
+        path: Option<PathBuf>,
+        config: EngineConfig,
+    ) -> StorageResult<Self> {
+        let pool = Arc::new(BufferPool::new(store.clone(), config.buffer_pool_pages)?);
+        // Page 0 is reserved for the catalog (index checkpoint).  Allocate it on first open.
+        if store.num_pages() == 0 {
+            let id = pool.allocate_page()?;
+            debug_assert_eq!(id, 0);
+            pool.flush_all()?;
+        }
+        let (index, heap) = Self::load_checkpoint(&pool)?;
+        let engine = Self {
+            pool,
+            wal,
+            inner: Mutex::new(EngineInner { index, heap, pending: HashMap::new(), closed: false }),
+            next_txn: AtomicU64::new(1),
+            config,
+            path,
+        };
+        engine.recover()?;
+        Ok(engine)
+    }
+
+    /// Directory of a durable engine, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The buffer pool (exposed for benchmarks and statistics).
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    // ----- catalog (checkpoint) persistence ---------------------------------------------------
+
+    /// Serializes the index and the heap page list into page 0.  Large catalogs spill into
+    /// continuation records on the same chain of catalog pages.
+    fn write_checkpoint(&self, inner: &EngineInner) -> StorageResult<()> {
+        let mut enc = Encoder::new();
+        let pages = inner.heap.pages();
+        enc.put_varint(pages.len() as u64);
+        for p in &pages {
+            enc.put_u64(*p);
+        }
+        let entries = inner.index.iter_all();
+        enc.put_varint(entries.len() as u64);
+        for (k, v) in &entries {
+            enc.put_bytes(k);
+            enc.put_u64(*v);
+        }
+        let payload = enc.finish();
+        // The catalog is stored outside the slotted-page machinery: it is written to a dedicated
+        // side file for durable engines, or kept in page 0's record 0 when it fits.
+        match &self.path {
+            Some(dir) => {
+                let tmp = dir.join("catalog.tmp");
+                let fin = dir.join("catalog.db");
+                std::fs::write(&tmp, &payload)?;
+                std::fs::rename(&tmp, &fin)?;
+            }
+            None => {
+                // In-memory engines do not need a durable catalog.
+            }
+        }
+        Ok(())
+    }
+
+    fn load_checkpoint(pool: &Arc<BufferPool>) -> StorageResult<(BPlusTree, HeapFile)> {
+        // For durable engines the catalog lives in `catalog.db` next to the page file.  We find
+        // the path through the page store; in-memory stores start empty.
+        // (The pool does not expose the path, so durable catalogs are loaded in `recover` via
+        //  `reload_catalog`.)
+        Ok((BPlusTree::new(), HeapFile::new(pool.clone())))
+    }
+
+    fn reload_catalog(&self) -> StorageResult<()> {
+        let Some(dir) = &self.path else { return Ok(()) };
+        let catalog_path = dir.join("catalog.db");
+        if !catalog_path.exists() {
+            return Ok(());
+        }
+        let payload = std::fs::read(&catalog_path)?;
+        let mut dec = Decoder::new(&payload);
+        let n_pages = dec.get_varint()? as usize;
+        let mut pages: Vec<PageId> = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            pages.push(dec.get_u64()?);
+        }
+        let n_entries = dec.get_varint()? as usize;
+        let mut tree = BPlusTree::new();
+        for _ in 0..n_entries {
+            let k = dec.get_bytes()?.to_vec();
+            let v = dec.get_u64()?;
+            tree.insert(&k, v);
+        }
+        let heap = HeapFile::attach(self.pool.clone(), pages)?;
+        let mut inner = self.inner.lock();
+        inner.index = tree;
+        inner.heap = heap;
+        Ok(())
+    }
+
+    // ----- recovery ----------------------------------------------------------------------------
+
+    /// Replays committed WAL records over the checkpointed state.
+    fn recover(&self) -> StorageResult<()> {
+        self.reload_catalog()?;
+        let records = self.wal.read_all()?;
+        if records.is_empty() {
+            return Ok(());
+        }
+        let effects = replay_committed(&records);
+        let mut inner = self.inner.lock();
+        for (key, value) in effects {
+            match value {
+                Some(v) => Self::apply_put(&mut inner, &key, &v)?,
+                None => Self::apply_delete(&mut inner, &key)?,
+            }
+        }
+        // Track transaction ids so new transactions do not collide with logged ones.
+        let max_txn = records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Begin { txn }
+                | LogRecord::Commit { txn }
+                | LogRecord::Abort { txn }
+                | LogRecord::Put { txn, .. }
+                | LogRecord::Delete { txn, .. } => Some(*txn),
+                LogRecord::Checkpoint { .. } => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.next_txn.store(max_txn + 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    // ----- low-level application of effects ----------------------------------------------------
+
+    fn encode_record(key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(key.len() + value.len() + 8);
+        e.put_bytes(key).put_bytes(value);
+        e.finish()
+    }
+
+    fn apply_put(inner: &mut EngineInner, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        let record = Self::encode_record(key, value);
+        match inner.index.get(key) {
+            Some(packed) => {
+                let rid = RecordId::from_u64(packed);
+                let new_rid = inner.heap.update(rid, &record)?;
+                if new_rid != rid {
+                    inner.index.insert(key, new_rid.to_u64());
+                }
+            }
+            None => {
+                let rid = inner.heap.insert(&record)?;
+                inner.index.insert(key, rid.to_u64());
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_delete(inner: &mut EngineInner, key: &[u8]) -> StorageResult<()> {
+        if let Some(packed) = inner.index.remove(key) {
+            inner.heap.delete(RecordId::from_u64(packed))?;
+        }
+        Ok(())
+    }
+
+    // ----- public non-transactional API (auto-commit) ------------------------------------------
+
+    /// Stores `value` under `key` in its own transaction.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        let txn = self.begin()?;
+        self.txn_put(txn, key, value)?;
+        self.commit(txn)
+    }
+
+    /// Deletes `key` in its own transaction.
+    pub fn delete(&self, key: &[u8]) -> StorageResult<()> {
+        let txn = self.begin()?;
+        self.txn_delete(txn, key)?;
+        self.commit(txn)
+    }
+
+    /// Reads the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        let inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        let Some(packed) = inner.index.get(key) else { return Ok(None) };
+        let record = inner.heap.get(RecordId::from_u64(packed))?;
+        let mut dec = Decoder::new(&record);
+        let stored_key = dec.get_bytes()?;
+        if stored_key != key {
+            return Err(StorageError::Corrupt(format!(
+                "index points at record with different key ({} vs {})",
+                String::from_utf8_lossy(stored_key),
+                String::from_utf8_lossy(key)
+            )));
+        }
+        Ok(Some(dec.get_bytes()?.to_vec()))
+    }
+
+    /// Whether `key` exists.
+    pub fn contains(&self, key: &[u8]) -> StorageResult<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Returns all `(key, value)` pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        let mut out = Vec::new();
+        for (key, packed) in inner.index.scan_prefix(prefix) {
+            let record = inner.heap.get(RecordId::from_u64(packed))?;
+            let mut dec = Decoder::new(&record);
+            let _k = dec.get_bytes()?;
+            out.push((key, dec.get_bytes()?.to_vec()));
+        }
+        Ok(out)
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// Whether the engine stores no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ----- transactions -------------------------------------------------------------------------
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> StorageResult<TxnId> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        let txn = self.next_txn.fetch_add(1, Ordering::SeqCst);
+        self.wal.append(&LogRecord::Begin { txn })?;
+        inner.pending.insert(txn, Vec::new());
+        Ok(txn)
+    }
+
+    /// Buffers a put inside transaction `txn`.
+    pub fn txn_put(&self, txn: TxnId, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        self.wal.append(&LogRecord::Put { txn, key: key.to_vec(), value: value.to_vec() })?;
+        inner
+            .pending
+            .get_mut(&txn)
+            .ok_or_else(|| StorageError::InvalidArgument(format!("unknown transaction {txn}")))?
+            .push((key.to_vec(), Some(value.to_vec())));
+        Ok(())
+    }
+
+    /// Buffers a delete inside transaction `txn`.
+    pub fn txn_delete(&self, txn: TxnId, key: &[u8]) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        self.wal.append(&LogRecord::Delete { txn, key: key.to_vec() })?;
+        inner
+            .pending
+            .get_mut(&txn)
+            .ok_or_else(|| StorageError::InvalidArgument(format!("unknown transaction {txn}")))?
+            .push((key.to_vec(), None));
+        Ok(())
+    }
+
+    /// Reads a key as seen by transaction `txn` (its own writes win over the committed state).
+    pub fn txn_get(&self, txn: TxnId, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        {
+            let inner = self.inner.lock();
+            if let Some(effects) = inner.pending.get(&txn) {
+                // The latest buffered effect for this key, if any, wins.
+                if let Some((_, v)) = effects.iter().rev().find(|(k, _)| k == key) {
+                    return Ok(v.clone());
+                }
+            }
+        }
+        self.get(key)
+    }
+
+    /// Commits transaction `txn`: logs the commit record, forces the WAL (if configured) and
+    /// applies the buffered effects to the heap and index.
+    pub fn commit(&self, txn: TxnId) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        let effects = inner
+            .pending
+            .remove(&txn)
+            .ok_or_else(|| StorageError::InvalidArgument(format!("unknown transaction {txn}")))?;
+        self.wal.append(&LogRecord::Commit { txn })?;
+        if self.config.sync_on_commit {
+            self.wal.sync()?;
+        }
+        for (key, value) in effects {
+            match value {
+                Some(v) => Self::apply_put(&mut inner, &key, &v)?,
+                None => Self::apply_delete(&mut inner, &key)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Aborts transaction `txn`, discarding its buffered effects.
+    pub fn abort(&self, txn: TxnId) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        inner
+            .pending
+            .remove(&txn)
+            .ok_or_else(|| StorageError::InvalidArgument(format!("unknown transaction {txn}")))?;
+        self.wal.append(&LogRecord::Abort { txn })?;
+        Ok(())
+    }
+
+    // ----- checkpoint / close -------------------------------------------------------------------
+
+    /// Flushes dirty pages, persists the catalog and truncates the WAL.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        let inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        self.pool.flush_all()?;
+        self.write_checkpoint(&inner)?;
+        self.wal.append(&LogRecord::Checkpoint { up_to: self.wal.next_lsn() })?;
+        self.wal.sync()?;
+        self.wal.truncate()?;
+        Ok(())
+    }
+
+    /// Checkpoints and marks the engine closed; further operations fail with
+    /// [`StorageError::Closed`].
+    pub fn close(&self) -> StorageResult<()> {
+        self.checkpoint()?;
+        self.inner.lock().closed = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("seed-engine-test-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_put_get_delete() {
+        let engine = StorageEngine::in_memory().unwrap();
+        assert!(engine.is_empty());
+        engine.put(b"obj/Alarms", b"data object").unwrap();
+        engine.put(b"obj/AlarmHandler", b"action object").unwrap();
+        assert_eq!(engine.get(b"obj/Alarms").unwrap().unwrap(), b"data object");
+        assert_eq!(engine.len(), 2);
+        engine.delete(b"obj/Alarms").unwrap();
+        assert_eq!(engine.get(b"obj/Alarms").unwrap(), None);
+        assert!(!engine.contains(b"obj/Alarms").unwrap());
+        assert!(engine.contains(b"obj/AlarmHandler").unwrap());
+    }
+
+    #[test]
+    fn overwrite_updates_value() {
+        let engine = StorageEngine::in_memory().unwrap();
+        engine.put(b"k", b"v1").unwrap();
+        engine.put(b"k", b"a much longer value than before so the record grows").unwrap();
+        assert_eq!(
+            engine.get(b"k").unwrap().unwrap(),
+            b"a much longer value than before so the record grows"
+        );
+        assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_orders_keys() {
+        let engine = StorageEngine::in_memory().unwrap();
+        engine.put(b"rel/2", b"two").unwrap();
+        engine.put(b"obj/1", b"one").unwrap();
+        engine.put(b"obj/3", b"three").unwrap();
+        engine.put(b"obj/2", b"two").unwrap();
+        let objs = engine.scan_prefix(b"obj/").unwrap();
+        assert_eq!(objs.len(), 3);
+        assert_eq!(objs[0].0, b"obj/1".to_vec());
+        assert_eq!(objs[2].0, b"obj/3".to_vec());
+    }
+
+    #[test]
+    fn transaction_isolation_until_commit() {
+        let engine = StorageEngine::in_memory().unwrap();
+        let txn = engine.begin().unwrap();
+        engine.txn_put(txn, b"k", b"pending").unwrap();
+        // Not visible to plain reads before commit.
+        assert_eq!(engine.get(b"k").unwrap(), None);
+        // Visible to the transaction itself.
+        assert_eq!(engine.txn_get(txn, b"k").unwrap().unwrap(), b"pending");
+        engine.commit(txn).unwrap();
+        assert_eq!(engine.get(b"k").unwrap().unwrap(), b"pending");
+    }
+
+    #[test]
+    fn abort_discards_effects() {
+        let engine = StorageEngine::in_memory().unwrap();
+        engine.put(b"stable", b"1").unwrap();
+        let txn = engine.begin().unwrap();
+        engine.txn_put(txn, b"volatile", b"x").unwrap();
+        engine.txn_delete(txn, b"stable").unwrap();
+        engine.abort(txn).unwrap();
+        assert_eq!(engine.get(b"volatile").unwrap(), None);
+        assert_eq!(engine.get(b"stable").unwrap().unwrap(), b"1");
+        // The aborted transaction can no longer be used.
+        assert!(engine.txn_put(txn, b"volatile", b"y").is_err());
+    }
+
+    #[test]
+    fn durable_engine_recovers_after_reopen() {
+        let dir = temp_dir("recover");
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            engine.put(b"obj/Alarms", b"alarm data").unwrap();
+            engine.put(b"obj/Sensor", b"sensor action").unwrap();
+            engine.delete(b"obj/Sensor").unwrap();
+            // No checkpoint: recovery must come from the WAL alone.
+        }
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            assert_eq!(engine.get(b"obj/Alarms").unwrap().unwrap(), b"alarm data");
+            assert_eq!(engine.get(b"obj/Sensor").unwrap(), None);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_engine_recovers_from_checkpoint_plus_wal() {
+        let dir = temp_dir("checkpoint");
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            for i in 0..100u32 {
+                engine.put(format!("key/{i:03}").as_bytes(), format!("value {i}").as_bytes()).unwrap();
+            }
+            engine.checkpoint().unwrap();
+            // Post-checkpoint mutations only in the WAL.
+            engine.put(b"key/100", b"after checkpoint").unwrap();
+            engine.delete(b"key/000").unwrap();
+        }
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            assert_eq!(engine.get(b"key/001").unwrap().unwrap(), b"value 1");
+            assert_eq!(engine.get(b"key/100").unwrap().unwrap(), b"after checkpoint");
+            assert_eq!(engine.get(b"key/000").unwrap(), None);
+            assert_eq!(engine.len(), 100);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_not_recovered() {
+        let dir = temp_dir("uncommitted");
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            engine.put(b"committed", b"yes").unwrap();
+            let txn = engine.begin().unwrap();
+            engine.txn_put(txn, b"uncommitted", b"no").unwrap();
+            // Simulated crash: engine dropped without commit.
+        }
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            assert_eq!(engine.get(b"committed").unwrap().unwrap(), b"yes");
+            assert_eq!(engine.get(b"uncommitted").unwrap(), None);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn closed_engine_rejects_operations() {
+        let engine = StorageEngine::in_memory().unwrap();
+        engine.put(b"a", b"1").unwrap();
+        engine.close().unwrap();
+        assert!(matches!(engine.put(b"b", b"2"), Err(StorageError::Closed)));
+        assert!(matches!(engine.get(b"a"), Err(StorageError::Closed)));
+        assert!(matches!(engine.begin(), Err(StorageError::Closed)));
+    }
+
+    #[test]
+    fn unknown_transaction_rejected() {
+        let engine = StorageEngine::in_memory().unwrap();
+        assert!(engine.commit(999).is_err());
+        assert!(engine.abort(999).is_err());
+        assert!(engine.txn_put(999, b"k", b"v").is_err());
+    }
+
+    #[test]
+    fn many_keys_round_trip_through_checkpoint() {
+        let dir = temp_dir("many");
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            for i in 0..2000u32 {
+                engine
+                    .put(format!("obj/{i:05}").as_bytes(), vec![(i % 251) as u8; 64].as_slice())
+                    .unwrap();
+            }
+            engine.checkpoint().unwrap();
+        }
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            assert_eq!(engine.len(), 2000);
+            assert_eq!(engine.get(b"obj/01999").unwrap().unwrap(), vec![(1999 % 251) as u8; 64]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn engine_matches_btreemap_model(
+            ops in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..16),
+                 proptest::collection::vec(any::<u8>(), 0..64),
+                 any::<bool>()),
+                1..120,
+            )
+        ) {
+            let engine = StorageEngine::in_memory().unwrap();
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for (key, value, is_delete) in ops {
+                if is_delete {
+                    engine.delete(&key).unwrap();
+                    model.remove(&key);
+                } else {
+                    engine.put(&key, &value).unwrap();
+                    model.insert(key.clone(), value);
+                }
+            }
+            prop_assert_eq!(engine.len(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(engine.get(k).unwrap().unwrap(), v.clone());
+            }
+            let scanned = engine.scan_prefix(b"").unwrap();
+            let expected: Vec<(Vec<u8>, Vec<u8>)> = model.into_iter().collect();
+            prop_assert_eq!(scanned, expected);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all storage-layer modules.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout `seed-storage`.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure (file-backed page store or WAL).
+    Io(io::Error),
+    /// A page id referred to a page that does not exist in the store.
+    PageNotFound(u64),
+    /// A record id referred to a slot that does not exist or was deleted.
+    RecordNotFound { page: u64, slot: u16 },
+    /// A record was too large to fit into a single page.
+    RecordTooLarge { size: usize, max: usize },
+    /// The requested page has no room for the record and could not be compacted enough.
+    PageFull { page: u64, needed: usize, free: usize },
+    /// Malformed bytes encountered while decoding (corrupt page, WAL frame, or value).
+    Corrupt(String),
+    /// The write-ahead log contained a frame whose checksum did not match.
+    ChecksumMismatch { lsn: u64 },
+    /// The buffer pool could not evict a page because every frame is pinned.
+    NoEvictablePage,
+    /// A key was not found in an index.
+    KeyNotFound,
+    /// The engine was asked to operate after being closed.
+    Closed,
+    /// Catch-all for invalid arguments (zero-sized pool, bad configuration, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::PageNotFound(p) => write!(f, "page {p} not found"),
+            StorageError::RecordNotFound { page, slot } => {
+                write!(f, "record not found (page {page}, slot {slot})")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum of {max} bytes")
+            }
+            StorageError::PageFull { page, needed, free } => {
+                write!(f, "page {page} full: needed {needed} bytes, only {free} free")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::ChecksumMismatch { lsn } => {
+                write!(f, "checksum mismatch in WAL frame at lsn {lsn}")
+            }
+            StorageError::NoEvictablePage => write!(f, "buffer pool exhausted: all pages pinned"),
+            StorageError::KeyNotFound => write!(f, "key not found"),
+            StorageError::Closed => write!(f, "storage engine is closed"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = StorageError::RecordNotFound { page: 3, slot: 7 };
+        assert!(e.to_string().contains("page 3"));
+        assert!(e.to_string().contains("slot 7"));
+
+        let e = StorageError::PageFull { page: 1, needed: 100, free: 10 };
+        assert!(e.to_string().contains("needed 100"));
+    }
+
+    #[test]
+    fn io_error_converts_and_links_source() {
+        let ioe = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: StorageError = ioe.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        assert!(std::error::Error::source(&StorageError::KeyNotFound).is_none());
+    }
+}

@@ -1,0 +1,354 @@
+//! Record-level heap storage over the buffer pool.
+//!
+//! A [`HeapFile`] stores variable-length records and hands out stable [`RecordId`]s
+//! (`page`, `slot`).  A simple in-memory free-space map steers inserts towards pages with room.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{PageId, MAX_RECORD_SIZE};
+
+/// Stable address of a record inside a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Creates a record id from its parts.
+    pub fn new(page: PageId, slot: u16) -> Self {
+        Self { page, slot }
+    }
+
+    /// Packs the record id into a `u64` (page in the high 48 bits, slot in the low 16).
+    pub fn to_u64(self) -> u64 {
+        (self.page << 16) | u64::from(self.slot)
+    }
+
+    /// Reverses [`RecordId::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        Self { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// A heap file of variable-length records.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    /// Pages owned by this heap file together with their last known free space.
+    free_space: Mutex<BTreeMap<PageId, usize>>,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file on top of `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        Self { pool, free_space: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Re-attaches a heap file to pages that already exist (used after recovery): the caller
+    /// supplies the page ids that belong to this file.
+    pub fn attach(pool: Arc<BufferPool>, pages: impl IntoIterator<Item = PageId>) -> StorageResult<Self> {
+        let file = Self::new(pool);
+        {
+            let mut fs = file.free_space.lock();
+            for id in pages {
+                let free = file.pool.with_page(id, |p| p.free_space())?;
+                fs.insert(id, free);
+            }
+        }
+        Ok(file)
+    }
+
+    /// The buffer pool this heap file uses.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Pages currently owned by the heap file, in allocation order.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.free_space.lock().keys().copied().collect()
+    }
+
+    /// Inserts a record and returns its id.
+    pub fn insert(&self, record: &[u8]) -> StorageResult<RecordId> {
+        if record.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD_SIZE });
+        }
+        // Find a page with enough room (slot + record), otherwise allocate a new one.
+        let candidate = {
+            let fs = self.free_space.lock();
+            fs.iter()
+                .find(|(_, &free)| free >= record.len() + crate::page::SLOT_SIZE)
+                .map(|(&id, _)| id)
+        };
+        let page_id = match candidate {
+            Some(id) => id,
+            None => {
+                let id = self.pool.allocate_page()?;
+                self.free_space.lock().insert(id, crate::page::PAGE_SIZE - crate::page::PAGE_HEADER_SIZE);
+                id
+            }
+        };
+        let (slot, free) = self.pool.with_page_mut(page_id, |page| {
+            let slot = page.insert(record)?;
+            Ok::<_, StorageError>((slot, page.free_space()))
+        })??;
+        self.free_space.lock().insert(page_id, free);
+        Ok(RecordId::new(page_id, slot))
+    }
+
+    /// Reads the record at `id`.
+    pub fn get(&self, id: RecordId) -> StorageResult<Vec<u8>> {
+        self.pool.with_page(id.page, |page| page.get(id.slot).map(|r| r.to_vec()))?
+    }
+
+    /// Updates the record at `id` in place.  If the new value no longer fits in its page the
+    /// record is deleted and re-inserted, and the **new** record id is returned; otherwise the
+    /// original id is returned unchanged.
+    pub fn update(&self, id: RecordId, record: &[u8]) -> StorageResult<RecordId> {
+        if record.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD_SIZE });
+        }
+        let result = self.pool.with_page_mut(id.page, |page| {
+            let r = page.update(id.slot, record);
+            (r, page.free_space())
+        })?;
+        match result {
+            (Ok(()), free) => {
+                self.free_space.lock().insert(id.page, free);
+                Ok(id)
+            }
+            (Err(StorageError::PageFull { .. }), _) => {
+                // Move the record to another page.
+                self.delete(id)?;
+                self.insert(record)
+            }
+            (Err(e), _) => Err(e),
+        }
+    }
+
+    /// Deletes the record at `id`.
+    pub fn delete(&self, id: RecordId) -> StorageResult<()> {
+        let free = self.pool.with_page_mut(id.page, |page| {
+            page.delete(id.slot)?;
+            Ok::<_, StorageError>(page.free_space() + page.reclaimable_space())
+        })??;
+        self.free_space.lock().insert(id.page, free);
+        Ok(())
+    }
+
+    /// Returns every `(RecordId, record)` pair in the heap file.
+    pub fn scan(&self) -> StorageResult<Vec<(RecordId, Vec<u8>)>> {
+        let pages = self.pages();
+        let mut out = Vec::new();
+        for page_id in pages {
+            let mut page_records = self.pool.with_page(page_id, |page| {
+                page.records()
+                    .map(|(slot, rec)| (RecordId::new(page_id, slot), rec.to_vec()))
+                    .collect::<Vec<_>>()
+            })?;
+            out.append(&mut page_records);
+        }
+        Ok(out)
+    }
+
+    /// Number of live records across all pages.
+    pub fn record_count(&self) -> StorageResult<usize> {
+        let pages = self.pages();
+        let mut n = 0;
+        for page_id in pages {
+            n += self.pool.with_page(page_id, |page| page.live_record_count())?;
+        }
+        Ok(n)
+    }
+
+    /// Flushes all pages of the heap file through the buffer pool.
+    pub fn flush(&self) -> StorageResult<()> {
+        self.pool.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::pagestore::MemoryPageStore;
+
+    fn heap() -> HeapFile {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemoryPageStore::new()), 8).unwrap());
+        HeapFile::new(pool)
+    }
+
+    #[test]
+    fn record_id_u64_roundtrip() {
+        let id = RecordId::new(123_456, 789);
+        assert_eq!(RecordId::from_u64(id.to_u64()), id);
+        assert_eq!(id.to_string(), "123456:789");
+    }
+
+    #[test]
+    fn insert_get_update_delete() {
+        let heap = heap();
+        let id = heap.insert(b"first").unwrap();
+        assert_eq!(heap.get(id).unwrap(), b"first");
+
+        let id2 = heap.update(id, b"second").unwrap();
+        assert_eq!(id2, id, "in-place update keeps the record id");
+        assert_eq!(heap.get(id).unwrap(), b"second");
+
+        heap.delete(id).unwrap();
+        assert!(heap.get(id).is_err());
+        assert_eq!(heap.record_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn records_spill_to_new_pages() {
+        let heap = heap();
+        let rec = vec![1u8; 3000];
+        let mut ids = Vec::new();
+        for _ in 0..10 {
+            ids.push(heap.insert(&rec).unwrap());
+        }
+        assert!(heap.pages().len() >= 4, "3000-byte records should span multiple pages");
+        for id in &ids {
+            assert_eq!(heap.get(*id).unwrap().len(), 3000);
+        }
+        assert_eq!(heap.record_count().unwrap(), 10);
+    }
+
+    #[test]
+    fn growing_update_moves_record_when_page_is_full() {
+        let heap = heap();
+        // Fill a page almost completely.
+        let big = vec![0u8; 3900];
+        let a = heap.insert(&big).unwrap();
+        let b = heap.insert(&big).unwrap();
+        assert_eq!(a.page, b.page);
+        // Growing `a` beyond the remaining space forces a move.
+        let bigger = vec![1u8; 5000];
+        let a2 = heap.update(a, &bigger).unwrap();
+        assert_eq!(heap.get(a2).unwrap(), bigger);
+        assert_ne!(a2.page, a.page);
+        // The other record is untouched.
+        assert_eq!(heap.get(b).unwrap(), big);
+    }
+
+    #[test]
+    fn scan_returns_everything() {
+        let heap = heap();
+        let mut expected = Vec::new();
+        for i in 0..50u32 {
+            let rec = i.to_le_bytes().to_vec();
+            let id = heap.insert(&rec).unwrap();
+            expected.push((id, rec));
+        }
+        let mut scanned = heap.scan().unwrap();
+        scanned.sort();
+        expected.sort();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let heap = heap();
+        assert!(heap.insert(&vec![0u8; MAX_RECORD_SIZE + 1]).is_err());
+        let id = heap.insert(b"small").unwrap();
+        assert!(heap.update(id, &vec![0u8; MAX_RECORD_SIZE + 1]).is_err());
+    }
+
+    #[test]
+    fn attach_recovers_free_space_map() {
+        let store = Arc::new(MemoryPageStore::new());
+        let pool = Arc::new(BufferPool::new(store.clone(), 8).unwrap());
+        let heap = HeapFile::new(pool.clone());
+        let id = heap.insert(b"persisted record").unwrap();
+        heap.flush().unwrap();
+        let pages = heap.pages();
+        drop(heap);
+
+        let heap2 = HeapFile::attach(pool, pages).unwrap();
+        assert_eq!(heap2.get(id).unwrap(), b"persisted record");
+        // And we can keep inserting into the recovered file.
+        let id2 = heap2.insert(b"post-recovery").unwrap();
+        assert_eq!(heap2.get(id2).unwrap(), b"post-recovery");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::pagestore::MemoryPageStore;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>),
+        Update(usize, Vec<u8>),
+        Delete(usize),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..512).prop_map(Op::Insert),
+            (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..512))
+                .prop_map(|(i, d)| Op::Update(i, d)),
+            any::<usize>().prop_map(Op::Delete),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn heapfile_matches_model(ops in proptest::collection::vec(op(), 1..80)) {
+            let pool = Arc::new(BufferPool::new(Arc::new(MemoryPageStore::new()), 4).unwrap());
+            let heap = HeapFile::new(pool);
+            let mut model: HashMap<RecordId, Vec<u8>> = HashMap::new();
+            let mut live: Vec<RecordId> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(data) => {
+                        let id = heap.insert(&data).unwrap();
+                        model.insert(id, data);
+                        live.push(id);
+                    }
+                    Op::Update(i, data) => {
+                        if live.is_empty() { continue; }
+                        let id = live[i % live.len()];
+                        if model.contains_key(&id) {
+                            let new_id = heap.update(id, &data).unwrap();
+                            model.remove(&id);
+                            model.insert(new_id, data);
+                            if new_id != id { live.push(new_id); }
+                        }
+                    }
+                    Op::Delete(i) => {
+                        if live.is_empty() { continue; }
+                        let id = live[i % live.len()];
+                        if model.remove(&id).is_some() {
+                            heap.delete(id).unwrap();
+                        }
+                    }
+                }
+            }
+            // Final state must agree record-by-record and in total count.
+            for (id, data) in &model {
+                prop_assert_eq!(heap.get(*id).unwrap(), data.clone());
+            }
+            prop_assert_eq!(heap.record_count().unwrap(), model.len());
+        }
+    }
+}

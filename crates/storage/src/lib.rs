@@ -1,0 +1,39 @@
+//! # seed-storage
+//!
+//! Storage substrate for the SEED DBMS reproduction (Glinz & Ludewig, ICDE 1986).
+//!
+//! The 1986 SEED prototype was "implemented in a straightforward manner, deriving the
+//! implementation concepts from the model".  A DBMS of that era nonetheless needs a record
+//! store; this crate provides the persistent machinery the upper layers sit on:
+//!
+//! * [`page`] — fixed-size slotted pages holding variable-length records,
+//! * [`pagestore`] — page-granular I/O backends (in-memory and file-backed),
+//! * [`buffer`] — an LRU buffer pool mediating page access,
+//! * [`heapfile`] — record-level storage with stable [`RecordId`]s and free-space tracking,
+//! * [`wal`] — a write-ahead log with CRC-protected frames and redo recovery,
+//! * [`btree`] — an ordered in-memory B+ tree used for the name index, persisted on checkpoint,
+//! * [`engine`] — a small key/value storage engine tying the pieces together.
+//!
+//! The engine exposes exactly what `seed-core` needs: durable `put`/`get`/`delete`/`scan_prefix`
+//! over byte keys plus checkpoint/recovery.  Higher-level notions (objects, relationships,
+//! versions, patterns) live in `seed-core`.
+
+pub mod buffer;
+pub mod codec;
+pub mod engine;
+pub mod error;
+pub mod heapfile;
+pub mod page;
+pub mod pagestore;
+pub mod btree;
+pub mod wal;
+
+pub use buffer::BufferPool;
+pub use codec::{Decoder, Encoder};
+pub use engine::{EngineConfig, StorageEngine};
+pub use error::{StorageError, StorageResult};
+pub use heapfile::{HeapFile, RecordId};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pagestore::{FilePageStore, MemoryPageStore, PageStore};
+pub use btree::BPlusTree;
+pub use wal::{LogRecord, Lsn, WriteAheadLog};

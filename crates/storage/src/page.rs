@@ -1,0 +1,526 @@
+//! Fixed-size slotted pages.
+//!
+//! A page stores variable-length records behind a slot directory so that records can be moved
+//! during compaction without invalidating their slot numbers.  Layout (offsets in bytes):
+//!
+//! ```text
+//! 0..8    page id
+//! 8..16   page LSN (last WAL record that touched this page)
+//! 16..18  slot count
+//! 18..20  free-space pointer (offset of the first free byte after the slot directory grows up,
+//!         record heap grows down from PAGE_SIZE)
+//! 20..24  reserved
+//! 24..    slot directory: 4 bytes per slot (u16 offset, u16 length); offset 0 means "deleted"
+//! ...     free space
+//! ...PAGE_SIZE  record heap (grows downward)
+//! ```
+
+use crate::error::{StorageError, StorageResult};
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Size of the fixed page header.
+pub const PAGE_HEADER_SIZE: usize = 24;
+
+/// Bytes used by one slot directory entry.
+pub const SLOT_SIZE: usize = 4;
+
+/// Largest record that can be stored in a single page.
+pub const MAX_RECORD_SIZE: usize = PAGE_SIZE - PAGE_HEADER_SIZE - SLOT_SIZE;
+
+/// Identifier of a page within a page store.
+pub type PageId = u64;
+
+/// A single fixed-size page with a slotted record layout.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("id", &self.id())
+            .field("lsn", &self.lsn())
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl Page {
+    /// Creates an empty, formatted page with the given id.
+    pub fn new(id: PageId) -> Self {
+        let mut page = Self { data: Box::new([0u8; PAGE_SIZE]) };
+        page.set_id(id);
+        page.set_lsn(0);
+        page.set_slot_count(0);
+        page.set_heap_start(PAGE_SIZE as u16);
+        page
+    }
+
+    /// Reconstructs a page from raw bytes (e.g. read from disk).
+    pub fn from_bytes(bytes: &[u8]) -> StorageResult<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "page must be {PAGE_SIZE} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data.copy_from_slice(bytes);
+        let page = Self { data };
+        // Sanity-check the header so corrupt pages are detected at read time.
+        let slots = page.slot_count() as usize;
+        if PAGE_HEADER_SIZE + slots * SLOT_SIZE > PAGE_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "slot count {slots} does not fit into a page"
+            )));
+        }
+        if (page.heap_start() as usize) > PAGE_SIZE {
+            return Err(StorageError::Corrupt("heap start beyond page end".to_string()));
+        }
+        Ok(page)
+    }
+
+    /// Raw bytes of the page.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data[..]
+    }
+
+    fn read_u64(&self, at: usize) -> u64 {
+        u64::from_le_bytes(self.data[at..at + 8].try_into().expect("fixed slice"))
+    }
+
+    fn write_u64(&mut self, at: usize, v: u64) {
+        self.data[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes(self.data[at..at + 2].try_into().expect("fixed slice"))
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Page id stored in the header.
+    pub fn id(&self) -> PageId {
+        self.read_u64(0)
+    }
+
+    fn set_id(&mut self, id: PageId) {
+        self.write_u64(0, id);
+    }
+
+    /// LSN of the last WAL record applied to this page.
+    pub fn lsn(&self) -> u64 {
+        self.read_u64(8)
+    }
+
+    /// Updates the page LSN.
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.write_u64(8, lsn);
+    }
+
+    /// Number of slots in the slot directory (including deleted ones).
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(16)
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.write_u16(16, n);
+    }
+
+    fn heap_start(&self) -> u16 {
+        self.read_u16(18)
+    }
+
+    fn set_heap_start(&mut self, v: u16) {
+        self.write_u16(18, v);
+    }
+
+    fn slot_dir_end(&self) -> usize {
+        PAGE_HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE
+    }
+
+    fn slot_entry(&self, slot: u16) -> (u16, u16) {
+        let at = PAGE_HEADER_SIZE + slot as usize * SLOT_SIZE;
+        (self.read_u16(at), self.read_u16(at + 2))
+    }
+
+    fn set_slot_entry(&mut self, slot: u16, offset: u16, len: u16) {
+        let at = PAGE_HEADER_SIZE + slot as usize * SLOT_SIZE;
+        self.write_u16(at, offset);
+        self.write_u16(at + 2, len);
+    }
+
+    /// Contiguous free bytes between the slot directory and the record heap.
+    pub fn free_space(&self) -> usize {
+        self.heap_start() as usize - self.slot_dir_end()
+    }
+
+    /// Free bytes that would become available after compaction (includes holes left by
+    /// deleted or shrunk records).
+    pub fn reclaimable_space(&self) -> usize {
+        let live: usize = self.live_slots().map(|(_, len)| len as usize).sum();
+        PAGE_SIZE - self.slot_dir_end() - live
+    }
+
+    /// Number of live (non-deleted) records in the page.
+    pub fn live_record_count(&self) -> usize {
+        self.live_slots().count()
+    }
+
+    fn live_slots(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        (0..self.slot_count()).filter_map(move |s| {
+            let (off, len) = self.slot_entry(s);
+            if off == 0 {
+                None
+            } else {
+                Some((s, len))
+            }
+        })
+    }
+
+    /// Inserts a record, returning its slot number.
+    ///
+    /// Compacts the page first if the contiguous free region is too small but enough
+    /// reclaimable space exists.
+    pub fn insert(&mut self, record: &[u8]) -> StorageResult<u16> {
+        if record.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD_SIZE });
+        }
+        let needed = record.len() + SLOT_SIZE;
+        if self.free_space() < needed {
+            if self.reclaimable_space() >= needed {
+                self.compact();
+            }
+            if self.free_space() < needed {
+                return Err(StorageError::PageFull {
+                    page: self.id(),
+                    needed,
+                    free: self.free_space(),
+                });
+            }
+        }
+        // Reuse a deleted slot if one exists, otherwise append a new one.
+        let slot = (0..self.slot_count())
+            .find(|&s| self.slot_entry(s).0 == 0)
+            .unwrap_or_else(|| {
+                let s = self.slot_count();
+                self.set_slot_count(s + 1);
+                self.set_slot_entry(s, 0, 0);
+                s
+            });
+        // After possibly growing the directory the free space may have shrunk by SLOT_SIZE;
+        // re-check before writing the payload.
+        if self.free_space() < record.len() {
+            self.compact();
+            if self.free_space() < record.len() {
+                return Err(StorageError::PageFull {
+                    page: self.id(),
+                    needed: record.len(),
+                    free: self.free_space(),
+                });
+            }
+        }
+        let new_heap = self.heap_start() as usize - record.len();
+        self.data[new_heap..new_heap + record.len()].copy_from_slice(record);
+        self.set_heap_start(new_heap as u16);
+        self.set_slot_entry(slot, new_heap as u16, record.len() as u16);
+        Ok(slot)
+    }
+
+    /// Returns the record stored in `slot`.
+    pub fn get(&self, slot: u16) -> StorageResult<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::RecordNotFound { page: self.id(), slot });
+        }
+        let (off, len) = self.slot_entry(slot);
+        if off == 0 {
+            return Err(StorageError::RecordNotFound { page: self.id(), slot });
+        }
+        Ok(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Deletes the record in `slot`, leaving the slot reusable.
+    pub fn delete(&mut self, slot: u16) -> StorageResult<()> {
+        if slot >= self.slot_count() || self.slot_entry(slot).0 == 0 {
+            return Err(StorageError::RecordNotFound { page: self.id(), slot });
+        }
+        self.set_slot_entry(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Replaces the record in `slot` with `record`, compacting or failing if it does not fit.
+    pub fn update(&mut self, slot: u16, record: &[u8]) -> StorageResult<()> {
+        if slot >= self.slot_count() || self.slot_entry(slot).0 == 0 {
+            return Err(StorageError::RecordNotFound { page: self.id(), slot });
+        }
+        if record.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD_SIZE });
+        }
+        let (off, len) = self.slot_entry(slot);
+        if record.len() <= len as usize {
+            // Overwrite in place; the tail of the old record becomes a hole reclaimed later.
+            let off = off as usize;
+            self.data[off..off + record.len()].copy_from_slice(record);
+            self.set_slot_entry(slot, off as u16, record.len() as u16);
+            return Ok(());
+        }
+        // Need a fresh area: logically delete, then insert into the same slot.
+        self.set_slot_entry(slot, 0, 0);
+        if self.free_space() < record.len() {
+            if self.reclaimable_space() >= record.len() {
+                self.compact();
+            }
+            if self.free_space() < record.len() {
+                // Restore the old entry so the caller still sees the previous value.
+                self.set_slot_entry(slot, off, len);
+                return Err(StorageError::PageFull {
+                    page: self.id(),
+                    needed: record.len(),
+                    free: self.free_space(),
+                });
+            }
+        }
+        let new_heap = self.heap_start() as usize - record.len();
+        self.data[new_heap..new_heap + record.len()].copy_from_slice(record);
+        self.set_heap_start(new_heap as u16);
+        self.set_slot_entry(slot, new_heap as u16, record.len() as u16);
+        Ok(())
+    }
+
+    /// Iterates over `(slot, record)` pairs for live records.
+    pub fn records(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| {
+            let (off, len) = self.slot_entry(s);
+            if off == 0 {
+                None
+            } else {
+                Some((s, &self.data[off as usize..off as usize + len as usize]))
+            }
+        })
+    }
+
+    /// Rewrites the record heap to remove holes left by deletions and shrinking updates.
+    pub fn compact(&mut self) {
+        let live: Vec<(u16, Vec<u8>)> = self
+            .records()
+            .map(|(slot, rec)| (slot, rec.to_vec()))
+            .collect();
+        // Clear the heap and re-insert from the top.
+        let mut heap = PAGE_SIZE;
+        for (slot, rec) in &live {
+            heap -= rec.len();
+            self.data[heap..heap + rec.len()].copy_from_slice(rec);
+            self.set_slot_entry(*slot, heap as u16, rec.len() as u16);
+        }
+        self.set_heap_start(heap as u16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_empty() {
+        let p = Page::new(7);
+        assert_eq!(p.id(), 7);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.live_record_count(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - PAGE_HEADER_SIZE);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = Page::new(1);
+        let s1 = p.insert(b"hello").unwrap();
+        let s2 = p.insert(b"world!").unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(p.get(s1).unwrap(), b"hello");
+        assert_eq!(p.get(s2).unwrap(), b"world!");
+        assert_eq!(p.live_record_count(), 2);
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut p = Page::new(1);
+        let s1 = p.insert(b"alpha").unwrap();
+        let _s2 = p.insert(b"beta").unwrap();
+        p.delete(s1).unwrap();
+        assert!(p.get(s1).is_err());
+        let s3 = p.insert(b"gamma").unwrap();
+        assert_eq!(s3, s1, "deleted slot should be reused");
+        assert_eq!(p.get(s3).unwrap(), b"gamma");
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = Page::new(1);
+        let s = p.insert(b"short").unwrap();
+        p.update(s, b"tiny").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"tiny");
+        p.update(s, b"a considerably longer record body").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"a considerably longer record body");
+    }
+
+    #[test]
+    fn record_too_large_rejected() {
+        let mut p = Page::new(1);
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(p.insert(&huge), Err(StorageError::RecordTooLarge { .. })));
+    }
+
+    #[test]
+    fn page_fills_up_then_rejects() {
+        let mut p = Page::new(1);
+        let rec = vec![0xAAu8; 1000];
+        let mut inserted = 0;
+        loop {
+            match p.insert(&rec) {
+                Ok(_) => inserted += 1,
+                Err(StorageError::PageFull { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(inserted >= 7, "expected at least 7 x 1000-byte records, got {inserted}");
+        assert_eq!(p.live_record_count(), inserted);
+    }
+
+    #[test]
+    fn compaction_reclaims_deleted_space() {
+        let mut p = Page::new(1);
+        let rec = vec![0x55u8; 1500];
+        let mut slots = Vec::new();
+        while let Ok(s) = p.insert(&rec) {
+            slots.push(s);
+        }
+        // Delete every other record, then insert a large record that only fits after compaction.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s).unwrap();
+        }
+        let big = vec![0x77u8; 2000];
+        let s = p.insert(&big).expect("compaction should make room");
+        assert_eq!(p.get(s).unwrap(), &big[..]);
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut p = Page::new(1);
+        let s1 = p.insert(b"one").unwrap();
+        let s2 = p.insert(b"two").unwrap();
+        let s3 = p.insert(b"three").unwrap();
+        p.delete(s2).unwrap();
+        p.compact();
+        assert_eq!(p.get(s1).unwrap(), b"one");
+        assert_eq!(p.get(s3).unwrap(), b"three");
+        assert!(p.get(s2).is_err());
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let mut p = Page::new(42);
+        p.insert(b"persisted").unwrap();
+        p.set_lsn(99);
+        let bytes = p.as_bytes().to_vec();
+        let q = Page::from_bytes(&bytes).unwrap();
+        assert_eq!(q.id(), 42);
+        assert_eq!(q.lsn(), 99);
+        assert_eq!(q.get(0).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrong_length_and_corrupt_header() {
+        assert!(Page::from_bytes(&[0u8; 10]).is_err());
+        let mut bytes = vec![0u8; PAGE_SIZE];
+        // Absurd slot count.
+        bytes[16] = 0xFF;
+        bytes[17] = 0xFF;
+        assert!(Page::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn get_on_out_of_range_slot_errors() {
+        let p = Page::new(1);
+        assert!(p.get(0).is_err());
+        assert!(p.get(100).is_err());
+    }
+
+    #[test]
+    fn update_missing_slot_errors() {
+        let mut p = Page::new(1);
+        assert!(p.update(0, b"x").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Operations mirror a model HashMap<slot, Vec<u8>>; the page must agree with the model.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>),
+        Delete(usize),
+        Update(usize, Vec<u8>),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..300).prop_map(Op::Insert),
+            any::<usize>().prop_map(Op::Delete),
+            (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..300))
+                .prop_map(|(i, d)| Op::Update(i, d)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let mut page = Page::new(1);
+            let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+            let mut known_slots: Vec<u16> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(data) => {
+                        if let Ok(slot) = page.insert(&data) {
+                            model.insert(slot, data);
+                            if !known_slots.contains(&slot) {
+                                known_slots.push(slot);
+                            }
+                        }
+                    }
+                    Op::Delete(i) => {
+                        if known_slots.is_empty() { continue; }
+                        let slot = known_slots[i % known_slots.len()];
+                        let in_model = model.remove(&slot).is_some();
+                        let res = page.delete(slot);
+                        prop_assert_eq!(res.is_ok(), in_model);
+                    }
+                    Op::Update(i, data) => {
+                        if known_slots.is_empty() { continue; }
+                        let slot = known_slots[i % known_slots.len()];
+                        if model.contains_key(&slot) {
+                            if page.update(slot, &data).is_ok() {
+                                model.insert(slot, data);
+                            }
+                        } else {
+                            prop_assert!(page.update(slot, &data).is_err());
+                        }
+                    }
+                }
+                // Invariant: every model entry is readable and equal.
+                for (slot, data) in &model {
+                    prop_assert_eq!(page.get(*slot).unwrap(), data.as_slice());
+                }
+                prop_assert_eq!(page.live_record_count(), model.len());
+            }
+        }
+    }
+}

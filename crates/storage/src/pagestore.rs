@@ -1,0 +1,226 @@
+//! Page-granular storage backends.
+//!
+//! A [`PageStore`] reads and writes whole pages identified by [`PageId`].  Two implementations
+//! are provided: an in-memory store for tests and ephemeral databases, and a file-backed store
+//! for durable databases.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Abstraction over a place pages can be stored.
+pub trait PageStore: Send + Sync {
+    /// Reads the page with the given id.
+    fn read_page(&self, id: PageId) -> StorageResult<Page>;
+
+    /// Writes (creates or overwrites) the page.
+    fn write_page(&self, page: &Page) -> StorageResult<()>;
+
+    /// Allocates a new page id and materializes an empty page for it.
+    fn allocate_page(&self) -> StorageResult<PageId>;
+
+    /// Number of pages currently allocated.
+    fn num_pages(&self) -> u64;
+
+    /// Flushes buffered writes to durable storage (no-op for memory stores).
+    fn sync(&self) -> StorageResult<()>;
+}
+
+/// In-memory page store backed by a vector of pages.
+#[derive(Default)]
+pub struct MemoryPageStore {
+    pages: Mutex<Vec<Option<Page>>>,
+}
+
+impl MemoryPageStore {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemoryPageStore {
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        let pages = self.pages.lock();
+        pages
+            .get(id as usize)
+            .and_then(|p| p.clone())
+            .ok_or(StorageError::PageNotFound(id))
+    }
+
+    fn write_page(&self, page: &Page) -> StorageResult<()> {
+        let mut pages = self.pages.lock();
+        let idx = page.id() as usize;
+        if idx >= pages.len() {
+            return Err(StorageError::PageNotFound(page.id()));
+        }
+        pages[idx] = Some(page.clone());
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> StorageResult<PageId> {
+        let mut pages = self.pages.lock();
+        let id = pages.len() as PageId;
+        pages.push(Some(Page::new(id)));
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+/// File-backed page store: page `i` lives at byte offset `i * PAGE_SIZE`.
+pub struct FilePageStore {
+    file: Mutex<File>,
+    path: PathBuf,
+    next_page: AtomicU64,
+}
+
+impl FilePageStore {
+    /// Opens (or creates) a page file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "page file {} has length {len} which is not a multiple of the page size",
+                path.display()
+            )));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            path,
+            next_page: AtomicU64::new(len / PAGE_SIZE as u64),
+        })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        if id >= self.next_page.load(Ordering::SeqCst) {
+            return Err(StorageError::PageNotFound(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.read_exact(&mut buf)?;
+        Page::from_bytes(&buf)
+    }
+
+    fn write_page(&self, page: &Page) -> StorageResult<()> {
+        if page.id() >= self.next_page.load(Ordering::SeqCst) {
+            return Err(StorageError::PageNotFound(page.id()));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(page.id() * PAGE_SIZE as u64))?;
+        file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> StorageResult<PageId> {
+        let id = self.next_page.fetch_add(1, Ordering::SeqCst);
+        let page = Page::new(id);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(page.as_bytes())?;
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.next_page.load(Ordering::SeqCst)
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn PageStore) {
+        assert_eq!(store.num_pages(), 0);
+        let p0 = store.allocate_page().unwrap();
+        let p1 = store.allocate_page().unwrap();
+        assert_eq!(p0, 0);
+        assert_eq!(p1, 1);
+        assert_eq!(store.num_pages(), 2);
+
+        let mut page = store.read_page(p1).unwrap();
+        let slot = page.insert(b"record body").unwrap();
+        store.write_page(&page).unwrap();
+
+        let reread = store.read_page(p1).unwrap();
+        assert_eq!(reread.get(slot).unwrap(), b"record body");
+
+        assert!(store.read_page(99).is_err());
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn memory_store_basic() {
+        let store = MemoryPageStore::new();
+        exercise(&store);
+    }
+
+    #[test]
+    fn memory_store_write_unallocated_page_errors() {
+        let store = MemoryPageStore::new();
+        let page = Page::new(5);
+        assert!(store.write_page(&page).is_err());
+    }
+
+    #[test]
+    fn file_store_basic() {
+        let dir = std::env::temp_dir().join(format!("seed-storage-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("basic.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FilePageStore::open(&path).unwrap();
+            exercise(&store);
+        }
+        // Re-open: the data must still be there.
+        {
+            let store = FilePageStore::open(&path).unwrap();
+            assert_eq!(store.num_pages(), 2);
+            let page = store.read_page(1).unwrap();
+            assert_eq!(page.get(0).unwrap(), b"record body");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_store_rejects_truncated_file() {
+        let dir = std::env::temp_dir().join(format!("seed-storage-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.pages");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(FilePageStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 4 of the paper, executable: versions 1.0, 2.0 and Current of the AlarmHandler
+//! structure, reconstructed views, history navigation and an alternative.
+//!
+//! Run with `cargo run --example design_versions`.
+
+use seed_core::{Database, NameSegment, Value, VersionId};
+use seed_schema::figure3_schema;
+
+fn show(db: &Database, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- {label} ------------------------------------------------");
+    match db.object_by_name("AlarmHandler.Description") {
+        Ok(desc) => println!("AlarmHandler.Description = {}", desc.value),
+        Err(_) => println!("AlarmHandler.Description does not exist in this version"),
+    }
+    match db.object_by_name("AlarmHandler.Revised") {
+        Ok(rev) => println!("AlarmHandler.Revised     = {}", rev.value),
+        Err(_) => println!("AlarmHandler.Revised     does not exist in this version"),
+    }
+    match db.object_by_name("OperatorAlert") {
+        Ok(_) => println!("OperatorAlert exists"),
+        Err(_) => println!("OperatorAlert does not exist in this version"),
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new(figure3_schema());
+
+    // Version 1.0: AlarmHandler "Handles alarms", revised 1985.
+    let handler = db.create_object("Action", "AlarmHandler")?;
+    let desc = db.create_dependent_named(
+        handler,
+        "Description",
+        NameSegment::plain("Description"),
+        Value::string("Handles alarms"),
+    )?;
+    let revised = db.create_dependent_named(
+        handler,
+        "Revised",
+        NameSegment::plain("Revised"),
+        Value::date(1985, 6, 1).unwrap(),
+    )?;
+    let process = db.create_object("InputData", "ProcessData")?;
+    db.create_relationship("Read", &[("from", process), ("by", handler)])?;
+    let v10 = db.create_version("document finished")?;
+    println!("created version {v10}");
+
+    // Version 2.0: the description is revised.
+    db.set_value(desc, Value::string("Handles alarms derived from ProcessData"))?;
+    db.set_value(revised, Value::date(1985, 11, 20).unwrap())?;
+    let v20 = db.create_version("after review")?;
+    println!("created version {v20}");
+
+    // Current: further work, a new object appears (like Figure 4b's richer current state).
+    db.set_value(desc, Value::string("Generates alarms from process data, triggers Operator Alert"))?;
+    db.set_value(revised, Value::date(1986, 2, 5).unwrap())?;
+    db.create_object("Action", "OperatorAlert")?;
+
+    // The three views of Figure 4: Current (4b), 2.0 and 1.0 (4c).
+    show(&db, "Current version (Figure 4b)")?;
+    db.select_version(Some(v20.clone()))?;
+    show(&db, "Version 2.0")?;
+    db.select_version(Some(v10.clone()))?;
+    show(&db, "Version 1.0 (Figure 4c)")?;
+    db.select_version(None)?;
+
+    // History retrieval: "find all versions of object 'AlarmHandler', beginning with version 2.0".
+    println!("--- history of AlarmHandler.Description, beginning with 2.0 ---");
+    for (version, record) in db.versions_of_object(desc, Some(&VersionId::parse("2.0")?)) {
+        println!("  {version}: {}", record.value);
+    }
+    println!();
+
+    // Alternatives: branch from 1.0, explore, file it as 1.0.1, return to the current version.
+    println!("--- exploring an alternative based on 1.0 -------------------");
+    db.checkout_alternative(v10.clone())?;
+    db.set_value(desc, Value::string("Alternative: alarms handled by a dedicated coprocessor"))?;
+    let alt = db.create_version("coprocessor alternative")?;
+    db.return_to_current()?;
+    println!("alternative filed as {alt}; current work is untouched:");
+    show(&db, "Current version after the excursion")?;
+
+    println!("version tree:");
+    for info in db.versions() {
+        let parent = info.parent.as_ref().map(|p| p.to_string()).unwrap_or_else(|| "-".into());
+        println!("  {}  (parent {}, {} changed items) {}", info.id, parent, info.delta_size, info.comment);
+    }
+    Ok(())
+}

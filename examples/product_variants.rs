@@ -1,0 +1,88 @@
+//! Figure 5 of the paper, executable: patterns, inheritance, and a variants family.
+//!
+//! "An example of variants is a set of system configurations that share most of the software
+//! modules, but differ in some hardware dependent modules."  The common part is connected to
+//! pattern objects by pattern relationships; every variant inherits those patterns and therefore
+//! has the same relationships to the common part.
+//!
+//! Run with `cargo run --example product_variants`.
+
+use seed_core::{Database, Value, VariantFamily};
+use seed_schema::{Cardinality, SchemaBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small configuration-management schema: modules, configurations, and a 'Uses'
+    // relationship between configurations and modules.
+    let schema = SchemaBuilder::new("Configurations")
+        .class("Module", |c| {
+            c.dependent("Deadline", Cardinality::optional(), Some(seed_schema::Domain::String))
+        })
+        .class("Configuration", |c| c)
+        .association("Uses", "component", "Module", "0..*", "in", "Configuration", "0..*", |a| a)
+        .build()?;
+    let mut db = Database::new(schema);
+
+    // The common part: modules every configuration shares.
+    let kernel = db.create_object("Module", "Kernel")?;
+    let scheduler = db.create_object("Module", "Scheduler")?;
+
+    // Pattern objects PO1/PO2 stand for "whatever configuration inherits me"; the pattern
+    // relationships PR1/PR2 connect them to the common part.
+    let po1 = db.create_pattern_object("Configuration", "PO1")?;
+    let po2 = db.create_pattern_object("Configuration", "PO2")?;
+    db.create_pattern_relationship("Uses", &[("component", kernel), ("in", po1)])?;
+    db.create_pattern_relationship("Uses", &[("component", scheduler), ("in", po2)])?;
+
+    // Variant parts: two hardware-specific configurations; both inherit the patterns.
+    let variant_a = db.create_object("Configuration", "ConfigVAX")?;
+    let variant_b = db.create_object("Configuration", "ConfigM68k")?;
+    for v in [variant_a, variant_b] {
+        db.inherit_pattern(v, po1)?;
+        db.inherit_pattern(v, po2)?;
+    }
+    // Each variant also has its own hardware-dependent module.
+    let vax_driver = db.create_object("Module", "VaxDriver")?;
+    let m68k_driver = db.create_object("Module", "M68kDriver")?;
+    db.create_relationship("Uses", &[("component", vax_driver), ("in", variant_a)])?;
+    db.create_relationship("Uses", &[("component", m68k_driver), ("in", variant_b)])?;
+
+    let mut family = VariantFamily::new("AlarmSystemConfigurations");
+    family.common_part.extend([kernel, scheduler]);
+    family.patterns.extend([po1, po2]);
+    family.variants.insert("VAX".into(), vec![variant_a]);
+    family.variants.insert("M68k".into(), vec![variant_b]);
+    assert!(family.check_uniform_inheritance(db.store()).is_empty());
+
+    for (variant, id) in [("ConfigVAX", variant_a), ("ConfigM68k", variant_b)] {
+        println!("{variant} uses:");
+        for module in db.related(id, "Uses", "in", "component")? {
+            println!("    {}", module.name);
+        }
+    }
+
+    // "pattern information cannot be updated in the context of the inheritors, but only in the
+    // pattern itself.  Conversely, any update of a pattern automatically propagates."
+    println!();
+    println!("--- pattern semantics ---------------------------------------");
+    let pr1 = db.relationships(variant_a).into_iter().find(|r| r.is_inherited()).unwrap().record.id;
+    match db.assert_updatable_in_context(variant_a, pr1) {
+        Err(e) => println!("updating inherited information in ConfigVAX is rejected: {e}"),
+        Ok(()) => println!("BUG: inherited information was updatable"),
+    }
+
+    // A shared deadline managed through a pattern: changing the pattern changes every inheritor.
+    let deadline_pattern = db.create_pattern_object("Module", "StandardDeadline")?;
+    db.create_dependent(deadline_pattern, "Deadline", Value::string("1986-06-30"))?;
+    db.inherit_pattern(vax_driver, deadline_pattern)?;
+    db.inherit_pattern(m68k_driver, deadline_pattern)?;
+    for driver in [vax_driver, m68k_driver] {
+        let children = db.children(driver);
+        let inherited_deadline = children
+            .iter()
+            .find(|c| c.inherited_from.is_some())
+            .map(|c| c.record.value.clone())
+            .unwrap_or(Value::Undefined);
+        println!("{} deadline (inherited): {}", db.object(driver)?.name, inherited_deadline);
+    }
+    Ok(())
+}

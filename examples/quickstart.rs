@@ -1,0 +1,51 @@
+//! Quickstart: define a schema, store vague information, make it precise, version it, query it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use seed_core::{Database, Value};
+use seed_query::run as query;
+use seed_schema::{figure3_schema, validate_schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A schema: here the paper's Figure 3 schema (Thing ⊒ Data/Action, Access ⊒ Read/Write).
+    let schema = figure3_schema();
+    assert!(validate_schema(&schema).is_empty());
+    println!("schema '{}' with {} classes and {} associations",
+        schema.name, schema.class_count(), schema.association_count());
+
+    // 2. A database over that schema.
+    let mut db = Database::new(schema);
+
+    // 3. Vague information first: "there is a thing called Alarms".
+    let alarms = db.create_object("Thing", "Alarms")?;
+    let sensor = db.create_object("Action", "Sensor")?;
+    println!("created {} objects", db.object_count());
+
+    // 4. Knowledge becomes more precise: Alarms is data, accessed by Sensor.
+    db.reclassify_object(alarms, "Data")?;
+    let access = db.create_relationship("Access", &[("from", alarms), ("by", sensor)])?;
+
+    // 5. Fully precise: an output, written twice, writing repeated on error.
+    db.reclassify_object(alarms, "OutputData")?;
+    db.reclassify_relationship(access, "Write")?;
+    db.set_relationship_attribute(access, "NumberOfWrites", Value::Integer(2))?;
+    db.set_relationship_attribute(access, "ErrorHandling", Value::symbol("repeat"))?;
+
+    // 6. Consistency is enforced on every update; completeness only on demand.
+    let report = db.completeness_report();
+    println!("completeness analysis: {} finding(s)", report.len());
+
+    // 7. Preserve the state as version 1.0, keep working, compare later.
+    let v1 = db.create_version("first cut")?;
+    let desc = db.create_dependent(sensor, "Description", Value::string("Polls the sensors"))?;
+    println!("current description: {}", db.value(desc));
+    println!("stored versions: {:?}",
+        db.versions().iter().map(|v| v.id.to_string()).collect::<Vec<_>>());
+
+    // 8. Retrieval: by name (the prototype's interface) or with the query language extension.
+    println!("by name: {}", db.object_by_name("Alarms")?.name);
+    let writers = query(&db, r#"find Action navigate Write.by from "Alarms""#)?;
+    println!("who writes Alarms? {:?}", writers.names());
+    let _ = v1;
+    Ok(())
+}

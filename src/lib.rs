@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the SEED workspace (see individual crates).
+pub use seed_core as core;
+pub use seed_query as query;
+pub use seed_schema as schema;
+pub use seed_server as server;
+pub use seed_storage as storage;
+pub use spades;
+

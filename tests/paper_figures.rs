@@ -1,0 +1,255 @@
+//! Integration tests reproducing the structural figures of the paper (Figures 1–5) through the
+//! public API of the workspace crates.
+
+use seed_core::{Database, NameSegment, Value, VariantFamily, VersionId};
+use seed_schema::{figure2_schema, figure3_schema, validate_schema, Cardinality};
+
+/// Figure 1: the sample object-relationship structure, stored under the Figure 2 schema.
+#[test]
+fn figure1_sample_structure() {
+    let mut db = Database::new(figure2_schema());
+
+    let alarms = db.create_object("Data", "Alarms").unwrap();
+    let handler = db.create_object("Action", "AlarmHandler").unwrap();
+    let read = db.create_relationship("Read", &[("from", alarms), ("by", handler)]).unwrap();
+
+    let text = db
+        .create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)
+        .unwrap();
+    let body = db
+        .create_dependent_named(text, "Body", NameSegment::plain("Body"), Value::Undefined)
+        .unwrap();
+    db.create_dependent_named(
+        body,
+        "Contents",
+        NameSegment::plain("Contents"),
+        Value::text("Alarms are represented in an alarm display matrix"),
+    )
+    .unwrap();
+    let selector = db
+        .create_dependent_named(
+            text,
+            "Selector",
+            NameSegment::plain("Selector"),
+            Value::string("Representation"),
+        )
+        .unwrap();
+    let kw0 = db.create_dependent(body, "Keywords", Value::string("Alarmhandling")).unwrap();
+    let kw1 = db.create_dependent(body, "Keywords", Value::string("Display")).unwrap();
+
+    // The names of the paper's explanation: 'Alarms.Text', 'Alarms.Text.Selector' with value
+    // "Representation", 'Alarms.Text.Body.Keywords[1]' with value "Display".
+    assert_eq!(db.object(text).unwrap().name.to_string(), "Alarms.Text");
+    assert_eq!(db.object(selector).unwrap().name.to_string(), "Alarms.Text.Selector");
+    assert_eq!(db.object(selector).unwrap().value, Value::string("Representation"));
+    assert_eq!(db.object(kw0).unwrap().name.to_string(), "Alarms.Text.Body.Keywords[0]");
+    assert_eq!(db.object(kw1).unwrap().name.to_string(), "Alarms.Text.Body.Keywords[1]");
+    assert_eq!(db.object(kw1).unwrap().value, Value::string("Display"));
+
+    // The relationship relates the two objects in roles 'from' and 'by'.
+    let rel = db.relationship(read).unwrap();
+    assert_eq!(rel.bound("from"), Some(alarms));
+    assert_eq!(rel.bound("by"), Some(handler));
+
+    // Retrieval by name works for every item of the figure.
+    for name in [
+        "Alarms",
+        "AlarmHandler",
+        "Alarms.Text",
+        "Alarms.Text.Body",
+        "Alarms.Text.Selector",
+        "Alarms.Text.Body.Keywords[0]",
+        "Alarms.Text.Body.Keywords[1]",
+    ] {
+        assert!(db.object_by_name(name).is_ok(), "missing {name}");
+    }
+    // Navigation from the figure: who reads 'Alarms'?
+    let readers = db.related(alarms, "Read", "from", "by").unwrap();
+    assert_eq!(readers.len(), 1);
+    assert_eq!(readers[0].id, handler);
+}
+
+/// Figure 2: the sample schema — structure and constraint semantics.
+#[test]
+fn figure2_schema_constraints() {
+    let schema = figure2_schema();
+    assert!(validate_schema(&schema).is_empty());
+
+    // 'Data.Text' has cardinality 0..16.
+    assert_eq!(
+        schema.class_by_name("Data.Text").unwrap().occurrence,
+        Cardinality::bounded(0, 16).unwrap()
+    );
+    // 'Read from' is 1..*, 'Read by' is 0..*.
+    let read = schema.association_by_name("Read").unwrap();
+    assert_eq!(read.role("from").unwrap().cardinality, Cardinality::at_least_one());
+    assert_eq!(read.role("by").unwrap().cardinality, Cardinality::any());
+    // 'Contained' is ACYCLIC with 0..1 for role 'in'.
+    let contained = schema.association_by_name("Contained").unwrap();
+    assert!(contained.acyclic);
+    assert_eq!(contained.role("in").unwrap().cardinality, Cardinality::optional());
+
+    // The paper's two examples of what the plain Figure 2 schema *cannot* express:
+    let mut db = Database::new(schema);
+    let alarms = db.create_object("Data", "Alarms").unwrap();
+    let handler = db.create_object("Action", "AlarmHandler").unwrap();
+    // (1) "We cannot store the information that there is a dataflow from 'AlarmHandler' to
+    //     'Alarms' unless we precisely know whether it is a read or a write" — there simply is
+    //     no 'Access' association in this schema.
+    assert!(db.create_relationship("Access", &[("from", alarms), ("by", handler)]).is_err());
+    // (2) Entering 'Alarms' without Read/Write relationships is possible *because* minimum
+    //     cardinalities are completeness information — but the completeness analysis reports it.
+    let report = db.completeness_report();
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.subject() == "Alarms"));
+    // The 17th Text sub-object is rejected (maximum cardinality = consistency information).
+    for _ in 0..16 {
+        db.create_dependent(alarms, "Text", Value::Undefined).unwrap();
+    }
+    assert!(db.create_dependent(alarms, "Text", Value::Undefined).is_err());
+}
+
+/// Figure 3: generalization of classes and associations, and the vague-to-precise workflow.
+#[test]
+fn figure3_vague_information_workflow() {
+    let schema = figure3_schema();
+    assert!(validate_schema(&schema).is_empty());
+    let mut db = Database::new(schema);
+
+    // Now the vague statement *can* be stored.
+    let alarms = db.create_object("Thing", "Alarms").unwrap();
+    let sensor = db.create_object("Action", "Sensor").unwrap();
+    // Step-by-step refinement.
+    db.reclassify_object(alarms, "Data").unwrap();
+    let access = db.create_relationship("Access", &[("from", alarms), ("by", sensor)]).unwrap();
+    db.reclassify_object(alarms, "OutputData").unwrap();
+    db.reclassify_relationship(access, "Write").unwrap();
+    db.set_relationship_attribute(access, "NumberOfWrites", Value::Integer(2)).unwrap();
+    db.set_relationship_attribute(access, "ErrorHandling", Value::symbol("repeat")).unwrap();
+
+    let rel = db.relationship(access).unwrap();
+    assert_eq!(db.schema().association(rel.association).unwrap().name, "Write");
+    assert_eq!(rel.attributes.get("NumberOfWrites"), Some(&Value::Integer(2)));
+    assert_eq!(rel.attributes.get("ErrorHandling"), Some(&Value::symbol("repeat")));
+
+    // "the cardinality 1..* of 'Access by' means that every object of class 'Action' eventually
+    // must access at least one object of class 'Data'.  However, the cardinality 0..* of 'Read
+    // by' and 'Write by' allows either a write or a read access to satisfy this condition."
+    let report = db.completeness_report();
+    assert!(!report.findings.iter().any(|f| f.subject() == "Sensor"),
+        "the Write relationship satisfies Sensor's Access obligation: {report}");
+    // An Action with no access at all is incomplete.
+    db.create_object("Action", "Idle").unwrap();
+    let report = db.completeness_report();
+    assert!(report.findings.iter().any(|f| f.subject() == "Idle"));
+
+    // Un-refinement (making information vaguer again) also works: Write -> Access.
+    db.reclassify_relationship(access, "Access").unwrap();
+    let rel = db.relationship(access).unwrap();
+    assert_eq!(db.schema().association(rel.association).unwrap().name, "Access");
+}
+
+/// Figure 4: versions 1.0, 2.0 and Current with per-version views and delta storage.
+#[test]
+fn figure4_versions_and_views() {
+    let mut db = Database::new(figure3_schema());
+
+    let handler = db.create_object("Action", "AlarmHandler").unwrap();
+    let desc = db
+        .create_dependent_named(
+            handler,
+            "Description",
+            NameSegment::plain("Description"),
+            Value::string("Handles alarms"),
+        )
+        .unwrap();
+    let v10 = db.create_version("1.0").unwrap();
+    assert_eq!(v10, VersionId::parse("1.0").unwrap());
+
+    db.set_value(desc, Value::string("Handles alarms derived from ProcessData")).unwrap();
+    let v20 = db.create_version("2.0").unwrap();
+    assert_eq!(v20, VersionId::parse("2.0").unwrap());
+    // Delta storage: version 2.0 recorded only the changed item, not the whole database.
+    assert_eq!(db.version_info(&v20).unwrap().delta_size, 1);
+
+    db.set_value(
+        desc,
+        Value::string("Generates alarms from process data, triggers Operator Alert"),
+    )
+    .unwrap();
+
+    // Figure 4b: the current version.
+    assert_eq!(
+        db.object(desc).unwrap().value,
+        Value::string("Generates alarms from process data, triggers Operator Alert")
+    );
+    // Figure 4c: version 1.0.
+    db.select_version(Some(v10.clone())).unwrap();
+    assert_eq!(db.object(desc).unwrap().value, Value::string("Handles alarms"));
+    // Versions cannot be modified.
+    assert!(db.set_value(desc, Value::string("tamper")).is_err());
+    db.select_version(None).unwrap();
+
+    // History navigation: all versions of the description beginning with 2.0.
+    let history = db.versions_of_object(desc, Some(&v20));
+    assert_eq!(history.len(), 1);
+    assert_eq!(history[0].1.value, Value::string("Handles alarms derived from ProcessData"));
+
+    // Alternatives branch below their base version.
+    db.checkout_alternative(v10.clone()).unwrap();
+    db.set_value(desc, Value::string("Alternative wording")).unwrap();
+    let alt = db.create_version("alternative").unwrap();
+    assert_eq!(alt, VersionId::parse("1.0.1").unwrap());
+    db.return_to_current().unwrap();
+    assert_eq!(db.version_info(&alt).unwrap().parent, Some(v10));
+}
+
+/// Figure 5: variants defined by means of patterns.
+#[test]
+fn figure5_variants_through_patterns() {
+    let mut db = Database::new(figure3_schema());
+
+    // Common part and the two pattern connection points.
+    let common = db.create_object("Action", "CommonPart").unwrap();
+    let po1 = db.create_pattern_object("Data", "PO1").unwrap();
+    let po2 = db.create_pattern_object("Data", "PO2").unwrap();
+    let pr1 = db.create_pattern_relationship("Access", &[("from", po1), ("by", common)]).unwrap();
+    let pr2 = db.create_pattern_relationship("Access", &[("from", po2), ("by", common)]).unwrap();
+
+    // Patterns are invisible to retrieval and not counted by the completeness analysis.
+    assert!(db.object_by_name("PO1").is_err());
+    assert_eq!(db.objects_of_class("Data", true).unwrap().len(), 0);
+
+    // Variant parts A and B inherit both patterns.
+    let variant_a = db.create_object("Data", "VariantPartA").unwrap();
+    let variant_b = db.create_object("Data", "VariantPartB").unwrap();
+    for v in [variant_a, variant_b] {
+        db.inherit_pattern(v, po1).unwrap();
+        db.inherit_pattern(v, po2).unwrap();
+    }
+
+    let mut family = VariantFamily::new("Figure5");
+    family.common_part.push(common);
+    family.patterns.extend([po1, po2]);
+    family.variants.insert("A".into(), vec![variant_a]);
+    family.variants.insert("B".into(), vec![variant_b]);
+    assert!(family.check_uniform_inheritance(db.store()).is_empty());
+
+    // Both variants have inherited relationships to the common part.
+    for v in [variant_a, variant_b] {
+        let rels = db.relationships(v);
+        assert_eq!(rels.len(), 2);
+        assert!(rels.iter().all(|r| r.is_inherited()));
+        assert!(rels.iter().all(|r| r.record.involves(common)));
+        // Updating the inherited information in the variant's context is rejected.
+        assert!(db.assert_updatable_in_context(v, rels[0].record.id).is_err());
+    }
+    // Updating the pattern propagates: delete PR2 in the pattern, both variants lose it.
+    db.delete_relationship(pr2).unwrap();
+    for v in [variant_a, variant_b] {
+        assert_eq!(db.relationships(v).len(), 1);
+    }
+    let _ = pr1;
+}
