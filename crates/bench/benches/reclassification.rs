@@ -19,7 +19,8 @@ fn object_reclassification(c: &mut Criterion) {
                     let data = db.create_object("Data", "Subject").unwrap();
                     for i in 0..rels {
                         let action = db.create_object("Action", &format!("A{i:03}")).unwrap();
-                        db.create_relationship("Access", &[("from", data), ("by", action)]).unwrap();
+                        db.create_relationship("Access", &[("from", data), ("by", action)])
+                            .unwrap();
                     }
                     (db, data)
                 },

@@ -24,8 +24,12 @@ fn page_and_wal(c: &mut Criterion) {
         b.iter(|| {
             let wal = WriteAheadLog::in_memory();
             for i in 0..100u64 {
-                wal.append(&LogRecord::Put { txn: 1, key: i.to_le_bytes().to_vec(), value: vec![0u8; 64] })
-                    .unwrap();
+                wal.append(&LogRecord::Put {
+                    txn: 1,
+                    key: i.to_le_bytes().to_vec(),
+                    value: vec![0u8; 64],
+                })
+                .unwrap();
             }
             wal.next_lsn()
         })

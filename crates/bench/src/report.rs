@@ -31,10 +31,7 @@ pub fn e1_spades_overhead(scale: usize) {
     row(
         "E1",
         &format!("SPADES workload ({} ops): SEED vs direct", workload.len()),
-        format!(
-            "direct {:>8.2?}  seed {:>8.2?}  slowdown {slowdown:.1}x",
-            direct_time, seed_time
-        ),
+        format!("direct {:>8.2?}  seed {:>8.2?}  slowdown {slowdown:.1}x", direct_time, seed_time),
     );
     // Flexibility half of the claim: only SEED can analyse incompleteness.
     let mut seed = spades::SeedBackend::new();
@@ -66,7 +63,9 @@ pub fn e3_version_storage(objects: usize, versions: usize, changes_per_version: 
     let db = scenarios::versioned_database(objects, versions, changes_per_version);
     let delta_snapshots = db.version_manager().stored_snapshot_count();
     let full_copy_items = (0..versions)
-        .map(|v| db.object_count() + db.relationship_count() - (versions - 1 - v) * changes_per_version)
+        .map(|v| {
+            db.object_count() + db.relationship_count() - (versions - 1 - v) * changes_per_version
+        })
         .sum::<usize>();
     let (view_time, _) = time(|| db.version_manager().view(&VersionId::initial()).unwrap());
     row(
@@ -94,7 +93,9 @@ pub fn e4_pattern_propagation(inheritors: usize) {
     row(
         "E4",
         &format!("pattern update + materialized read across {inheritors} inheritors"),
-        format!("update {update_time:.2?}; read {read_time:.2?} ({total} inherited relationships seen)"),
+        format!(
+            "update {update_time:.2?}; read {read_time:.2?} ({total} inherited relationships seen)"
+        ),
     );
 }
 
@@ -199,7 +200,7 @@ pub fn e8_multiuser(clients: usize, rounds: usize) {
                             .checkin(
                                 client,
                                 &[Update::SetValue {
-                                    object: format!("{target}"),
+                                    object: target.to_string(),
                                     value: Value::Undefined,
                                 }],
                             )
@@ -224,7 +225,9 @@ pub fn e8_multiuser(clients: usize, rounds: usize) {
 
 /// Runs every experiment with report-sized parameters and prints the table.
 pub fn run_report() {
-    println!("SEED reproduction — evaluation report (quick timers; see benches/ for Criterion runs)");
+    println!(
+        "SEED reproduction — evaluation report (quick timers; see benches/ for Criterion runs)"
+    );
     println!("{}", "-".repeat(110));
     e1_spades_overhead(120);
     e2_consistency_overhead(120);

@@ -106,12 +106,8 @@ pub fn run_on_direct(workload: &Workload) -> usize {
 /// each round and snapshotting after each; returns the database.
 pub fn versioned_database(objects: usize, versions: usize, changes_per_version: usize) -> Database {
     let mut db = populated_database(objects);
-    let ids: Vec<ObjectId> = db
-        .objects_of_class("Data", true)
-        .unwrap()
-        .into_iter()
-        .map(|o| o.id)
-        .collect();
+    let ids: Vec<ObjectId> =
+        db.objects_of_class("Data", true).unwrap().into_iter().map(|o| o.id).collect();
     for v in 0..versions {
         for c in 0..changes_per_version.min(ids.len()) {
             let id = ids[(v * changes_per_version + c) % ids.len()];

@@ -1,0 +1,52 @@
+//! Offline stand-in for the parts of `crossbeam` the workspace uses: the `channel` module.
+//!
+//! Backed by [`std::sync::mpsc`], whose `Sender`/`Receiver`/`send`/`recv` signatures match the
+//! crossbeam ones for the mpsc usage pattern in `seed-server` (cloneable senders, a single
+//! receiving server thread, per-request reply channels).  Crossbeam's mpmc extensions
+//! (cloneable receivers, `select!`) are intentionally not provided; adding a use of them is the
+//! signal to restore the crates.io dependency in the root `Cargo.toml`.
+
+pub mod channel {
+    //! Multi-producer channels with the `crossbeam_channel` API shape.
+
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Creates an unbounded channel, like `crossbeam_channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fan_in_and_reply() {
+        let (tx, rx) = unbounded::<(u32, std::sync::mpsc::Sender<u32>)>();
+        let server = std::thread::spawn(move || {
+            while let Ok((n, reply)) = rx.recv() {
+                if n == 0 {
+                    break;
+                }
+                reply.send(n * 2).unwrap();
+            }
+        });
+        let mut workers = Vec::new();
+        for i in 1..=4u32 {
+            let tx = tx.clone();
+            workers.push(std::thread::spawn(move || {
+                let (rtx, rrx) = unbounded();
+                tx.send((i, rtx)).unwrap();
+                rrx.recv().unwrap()
+            }));
+        }
+        let mut results: Vec<u32> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(results, vec![2, 4, 6, 8]);
+        let (rtx, _rrx) = unbounded();
+        tx.send((0, rtx)).unwrap();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,648 @@
+//! Offline stand-in for `proptest`: property tests as deterministic random-case sweeps.
+//!
+//! Supports the API surface the workspace's `mod proptests` blocks use — the [`proptest!`]
+//! macro (with `#![proptest_config]`), [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`],
+//! `any::<T>()`, integer-range and regex-literal strategies, tuples, [`Strategy::prop_map`],
+//! [`prop_oneof!`], [`collection::vec`], [`collection::btree_map`] and [`option::of`].
+//!
+//! Differences from the real crate: no shrinking (a failure reports the full generated inputs
+//! instead of a minimal counterexample), no persistence of failing seeds (generation is
+//! deterministic per test name, so every failure reproduces by re-running the test), and only
+//! the regex subset that appears in the workspace (`.`, `[a-z]` classes, `*`, `+`, `?`,
+//! `{m,n}`).  Restoring crates.io proptest is a one-line change in the root `Cargo.toml`.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a), so each test gets its own
+    /// reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: hash ^ 0x5EED_1986_0000_0000 }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from a `usize` range.
+    pub fn in_range(&mut self, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`, like `proptest`'s `prop_map`.
+    fn prop_map<T: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Self { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`, like `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + draw) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------------------------
+// Regex-literal string strategies.
+
+/// One atom of the supported regex subset plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct RegexPiece {
+    /// Inclusive code-point ranges the atom may produce.
+    choices: Vec<(u32, u32)>,
+    min: u32,
+    max: u32,
+}
+
+fn char_class(pattern: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(u32, u32)> {
+    let mut choices = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        match pattern.next() {
+            None => panic!("unterminated character class in regex strategy"),
+            Some(']') => break,
+            Some('-') if pending.is_some() && pattern.peek() != Some(&']') => {
+                let lo = pending.take().unwrap();
+                let hi = pattern.next().unwrap();
+                choices.push((lo as u32, hi as u32));
+            }
+            Some(c) => {
+                if let Some(prev) = pending.replace(c) {
+                    choices.push((prev as u32, prev as u32));
+                }
+            }
+        }
+    }
+    if let Some(prev) = pending {
+        choices.push((prev as u32, prev as u32));
+    }
+    choices
+}
+
+fn parse_regex(pattern: &str) -> Vec<RegexPiece> {
+    // `.` means "any char"; approximated by printable ASCII plus a few multi-byte
+    // code points so UTF-8 handling gets exercised.
+    const ANY: &[(u32, u32)] = &[
+        (0x20, 0x7E),
+        (0x20, 0x7E),
+        (0x20, 0x7E),
+        (0xC0, 0xFF),
+        (0x3B1, 0x3C9),
+        (0x1F600, 0x1F64F),
+    ];
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '.' => ANY.to_vec(),
+            '[' => char_class(&mut chars),
+            '\\' => {
+                let escaped = chars.next().expect("dangling escape in regex strategy");
+                vec![(escaped as u32, escaped as u32)]
+            }
+            other => vec![(other as u32, other as u32)],
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} bound"),
+                        hi.trim().parse().expect("bad {m,n} bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} bound");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(RegexPiece { choices, min, max });
+    }
+    pieces
+}
+
+fn sample_char(rng: &mut TestRng, choices: &[(u32, u32)]) -> char {
+    loop {
+        let (lo, hi) = choices[rng.below(choices.len() as u64) as usize];
+        let point = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+        if let Some(c) = char::from_u32(point) {
+            return c;
+        }
+    }
+}
+
+/// String-literal patterns act as regex strategies, like in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_regex(self) {
+            let count = piece.min + rng.below(u64::from(piece.max - piece.min + 1)) as u32;
+            for _ in 0..count {
+                out.push(sample_char(rng, &piece.choices));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Collection and option combinators.
+
+pub mod collection {
+    //! Strategies for collections, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.in_range(&self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generates a `BTreeMap` whose size falls in `size` (best effort: duplicate keys
+    /// collapse, so a cramped key space may produce fewer entries).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.in_range(&self.size);
+            let mut map = BTreeMap::new();
+            for _ in 0..target.saturating_mul(4) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`, mirroring `proptest::option`.
+
+    use super::{Strategy, TestRng};
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` roughly three times out of four, like real proptest's default.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Configuration and macros.
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// running the body over deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                let __inputs = ::std::format!(concat!($("  ", stringify!($arg), " = {:?}\n"),+), $(&$arg),+);
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__message) = __outcome {
+                    ::std::panic!(
+                        "property {} failed at case {}/{}: {}\ninputs:\n{}",
+                        stringify!($name), __case + 1, __config.cases, __message, __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Uniform random choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not panicking) so the
+/// harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn regex_strategies_honor_their_pattern() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..200 {
+            let ident = Strategy::generate(&"[A-Za-z][A-Za-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&ident.chars().count()), "bad length: {ident:?}");
+            let mut chars = ident.chars();
+            assert!(chars.next().unwrap().is_ascii_alphabetic());
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+
+            let short = Strategy::generate(&".{0,12}", &mut rng);
+            assert!(short.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_combinators_generate_in_bounds() {
+        let mut rng = TestRng::from_name("combinators");
+        let strategy = (0u32..10, crate::option::of(5u64..6));
+        for _ in 0..100 {
+            let (a, b) = Strategy::generate(&strategy, &mut rng);
+            assert!(a < 10);
+            assert!(b.is_none() || b == Some(5));
+        }
+        for _ in 0..50 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let m = Strategy::generate(
+                &crate::collection::btree_map(0u32..1000, any::<bool>(), 0..8),
+                &mut rng,
+            );
+            assert!(m.len() < 8);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_alternatives() {
+        let mut rng = TestRng::from_name("oneof");
+        let strategy = prop_oneof![
+            (0u8..1).prop_map(|_| "left".to_string()),
+            (0u8..1).prop_map(|_| "right".to_string()),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(Strategy::generate(&strategy, &mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, label in "[a-z]{1,4}") {
+            prop_assert!(x < 100);
+            prop_assert_eq!(label.len(), label.chars().count());
+            prop_assert_ne!(label.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failing_property failed at case 1/")]
+    fn failures_report_inputs() {
+        // No #[test] on the inner fn: it is invoked by hand right below.
+        proptest! {
+            fn failing_property(x in 0u32..10) {
+                prop_assert!(x > 1000, "x was {}", x);
+            }
+        }
+        failing_property();
+    }
+}

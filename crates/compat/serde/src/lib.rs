@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names and the derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(Serialize, Deserialize)]` compile
+//! without network access.  SEED's persistence uses the explicit binary codec in
+//! `seed-storage` instead of serde, so nothing in the workspace calls serde methods or
+//! requires these traits as bounds; the derives are kept as forward-looking annotations.
+//! Restoring the real crates.io `serde` is a one-line change in the root `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the offline stand-in).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the offline stand-in).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The real crate generates `Serialize`/`Deserialize` implementations from the type
+//! definition.  SEED's own persistence goes through `seed-storage`'s hand-written binary
+//! `Encoder`/`Decoder` (`crates/storage/src/codec.rs`), so the derives on schema and core
+//! types are forward-looking annotations, not load-bearing: no code in the workspace requires a
+//! `Serialize`/`Deserialize` *bound* or calls a serde method.  The stand-in therefore accepts
+//! the derive syntactically and emits nothing, keeping the annotations compiling offline until
+//! the crates.io dependency is restored (a one-line change in the root `Cargo.toml`).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -102,20 +102,36 @@ impl Incompleteness {
 impl fmt::Display for Incompleteness {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Incompleteness::MissingRelationships { object_name, association, role, required, actual, .. } => {
+            Incompleteness::MissingRelationships {
+                object_name,
+                association,
+                role,
+                required,
+                actual,
+                ..
+            } => {
                 write!(
                     f,
                     "'{object_name}' needs at least {required} '{association}' relationship(s) as '{role}' (has {actual})"
                 )
             }
-            Incompleteness::MissingDependents { object_name, dependent_class, required, actual, .. } => {
+            Incompleteness::MissingDependents {
+                object_name,
+                dependent_class,
+                required,
+                actual,
+                ..
+            } => {
                 write!(
                     f,
                     "'{object_name}' needs at least {required} dependent(s) of class '{dependent_class}' (has {actual})"
                 )
             }
             Incompleteness::UnspecializedObject { object_name, class, .. } => {
-                write!(f, "'{object_name}' must eventually be specialized below covering class '{class}'")
+                write!(
+                    f,
+                    "'{object_name}' must eventually be specialized below covering class '{class}'"
+                )
             }
             Incompleteness::UnspecializedRelationship { relationship, association } => {
                 write!(f, "relationship {relationship} must eventually be specialized below covering association '{association}'")
@@ -287,11 +303,8 @@ pub fn analyze(schema: &Schema, store: &DataStore) -> CompletenessReport {
                 if !attr.required {
                     continue;
                 }
-                let present = rel
-                    .attributes
-                    .get(&attr.name)
-                    .map(|v| !v.is_undefined())
-                    .unwrap_or(false);
+                let present =
+                    rel.attributes.get(&attr.name).map(|v| !v.is_undefined()).unwrap_or(false);
                 if !present {
                     findings.push(Incompleteness::MissingAttribute {
                         relationship: rel.id,
@@ -332,7 +345,11 @@ mod tests {
             id
         }
 
-        fn add_relationship(&mut self, assoc: &str, bindings: Vec<(&str, ObjectId)>) -> RelationshipId {
+        fn add_relationship(
+            &mut self,
+            assoc: &str,
+            bindings: Vec<(&str, ObjectId)>,
+        ) -> RelationshipId {
             let assoc = self.schema.association_id(assoc).unwrap();
             let id = self.store.allocate_relationship_id();
             self.store.insert_relationship(RelationshipRecord::new(
@@ -358,10 +375,9 @@ mod tests {
         let alarms = fx.add_object("Alarms", "Thing");
         let report = analyze(&fx.schema, &fx.store);
         // Thing is covering, so 'Alarms' must be specialized eventually.
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, Incompleteness::UnspecializedObject { object, .. } if *object == alarms)));
+        assert!(report.findings.iter().any(
+            |f| matches!(f, Incompleteness::UnspecializedObject { object, .. } if *object == alarms)
+        ));
         // Specialize to Data: the covering finding disappears, but Data's role minima appear.
         let data = fx.schema.class_id("Data").unwrap();
         fx.store.update_object(alarms, |o| o.class = data);
@@ -443,7 +459,9 @@ mod tests {
         // A Write relationship without the required NumberOfWrites attribute.
         fx.add_relationship("Write", vec![("to", alarms), ("by", sensor)]);
         let report = analyze(&fx.schema, &fx.store);
-        assert!(report.findings.iter().any(|f| matches!(f, Incompleteness::UndefinedValue { object, .. } if *object == sel_id)));
+        assert!(report.findings.iter().any(
+            |f| matches!(f, Incompleteness::UndefinedValue { object, .. } if *object == sel_id)
+        ));
         assert!(report.findings.iter().any(|f| matches!(
             f,
             Incompleteness::MissingAttribute { attribute, .. } if attribute == "NumberOfWrites"
@@ -455,8 +473,14 @@ mod tests {
             r.attributes.insert("NumberOfWrites".into(), Value::Integer(2));
         });
         let report = analyze(&fx.schema, &fx.store);
-        assert!(!report.findings.iter().any(|f| matches!(f, Incompleteness::UndefinedValue { .. })));
-        assert!(!report.findings.iter().any(|f| matches!(f, Incompleteness::MissingAttribute { .. })));
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Incompleteness::UndefinedValue { .. })));
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Incompleteness::MissingAttribute { .. })));
     }
 
     #[test]

@@ -147,7 +147,11 @@ pub struct ConsistencyChecker<'a> {
 
 impl<'a> ConsistencyChecker<'a> {
     /// Creates a checker over the given schema, store and procedure registry.
-    pub fn new(schema: &'a Schema, store: &'a DataStore, procedures: &'a ProcedureRegistry) -> Self {
+    pub fn new(
+        schema: &'a Schema,
+        store: &'a DataStore,
+        procedures: &'a ProcedureRegistry,
+    ) -> Self {
         Self { schema, store, procedures }
     }
 
@@ -156,10 +160,7 @@ impl<'a> ConsistencyChecker<'a> {
     }
 
     fn assoc_name(&self, assoc: AssociationId) -> String {
-        self.schema
-            .association(assoc)
-            .map(|a| a.name.clone())
-            .unwrap_or_else(|_| assoc.to_string())
+        self.schema.association(assoc).map(|a| a.name.clone()).unwrap_or_else(|_| assoc.to_string())
     }
 
     // ----- attached procedures ---------------------------------------------------------------------
@@ -177,7 +178,9 @@ impl<'a> ConsistencyChecker<'a> {
             let failed: Option<String> = match proc {
                 AttachedProcedure::ValueRange { min, max } => match value {
                     Some(Value::Integer(i)) => {
-                        if min.map(|lo| *i < lo).unwrap_or(false) || max.map(|hi| *i > hi).unwrap_or(false) {
+                        if min.map(|lo| *i < lo).unwrap_or(false)
+                            || max.map(|hi| *i > hi).unwrap_or(false)
+                        {
                             Some(proc.describe())
                         } else {
                             None
@@ -330,12 +333,21 @@ impl<'a> ConsistencyChecker<'a> {
     }
 
     /// Checks a value update of an existing object.
-    pub fn check_value_update(&self, object: &ObjectRecord, value: &Value) -> Vec<ConsistencyViolation> {
+    pub fn check_value_update(
+        &self,
+        object: &ObjectRecord,
+        value: &Value,
+    ) -> Vec<ConsistencyViolation> {
         if object.is_pattern {
             return Vec::new();
         }
         let mut violations = Vec::new();
-        self.check_value_against_class(object.class, value, &object.name.to_string(), &mut violations);
+        self.check_value_against_class(
+            object.class,
+            value,
+            &object.name.to_string(),
+            &mut violations,
+        );
         if let Ok(class_def) = self.schema.class(object.class) {
             self.run_procedures(
                 &class_def.procedures,
@@ -488,7 +500,8 @@ impl<'a> ConsistencyChecker<'a> {
             // Relationships counting towards this ancestor: every live, non-pattern relationship
             // whose association is the ancestor or one of its descendants.
             let mut members: Vec<&RelationshipRecord> = Vec::new();
-            let mut hierarchy: Vec<AssociationId> = self.schema.association_descendants(ancestor_id);
+            let mut hierarchy: Vec<AssociationId> =
+                self.schema.association_descendants(ancestor_id);
             hierarchy.push(ancestor_id);
             for assoc in hierarchy {
                 members.extend(
@@ -502,8 +515,7 @@ impl<'a> ConsistencyChecker<'a> {
                 let Some(max) = ancestor_role.cardinality.max else { continue };
                 // The binding in the *new* relationship at this role position.
                 let Some(own_role) = assoc_def.roles.get(idx) else { continue };
-                let Some((_, bound_obj)) =
-                    bindings.iter().find(|(r, _)| r == &own_role.name)
+                let Some((_, bound_obj)) = bindings.iter().find(|(r, _)| r == &own_role.name)
                 else {
                     continue;
                 };
@@ -567,14 +579,17 @@ impl<'a> ConsistencyChecker<'a> {
             }
             // Build the edge set of the whole hierarchy and look for a path to_obj ↝ from_obj.
             let mut edges: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
-            let mut hierarchy: Vec<AssociationId> = self.schema.association_descendants(ancestor_id);
+            let mut hierarchy: Vec<AssociationId> =
+                self.schema.association_descendants(ancestor_id);
             hierarchy.push(ancestor_id);
             for assoc in hierarchy {
                 for rel in self.store.association_extent(assoc) {
                     if rel.is_pattern || Some(rel.id) == exclude {
                         continue;
                     }
-                    if let (Some((_, a)), Some((_, b))) = (rel.bindings.first(), rel.bindings.get(1)) {
+                    if let (Some((_, a)), Some((_, b))) =
+                        (rel.bindings.first(), rel.bindings.get(1))
+                    {
                         edges.entry(*a).or_default().push(*b);
                     }
                 }
@@ -665,14 +680,22 @@ impl<'a> ConsistencyChecker<'a> {
                 });
                 return violations;
             }
-            MoveKind::Identity | MoveKind::Specialize | MoveKind::Generalize | MoveKind::Lateral => {}
+            MoveKind::Identity
+            | MoveKind::Specialize
+            | MoveKind::Generalize
+            | MoveKind::Lateral => {}
         }
         if object.is_pattern {
             return violations;
         }
 
         // The value must conform to the new class.
-        self.check_value_against_class(new_class, &object.value, &object.name.to_string(), &mut violations);
+        self.check_value_against_class(
+            new_class,
+            &object.value,
+            &object.name.to_string(),
+            &mut violations,
+        );
 
         // Dependent children must still hang off a legal owner class.
         for child in self.store.children_of(object.id) {
@@ -742,15 +765,14 @@ impl<'a> ConsistencyChecker<'a> {
         let mut violations = Vec::new();
         let hierarchy = GeneralizationHierarchy::new(self.schema);
         use seed_schema::generalization::MoveKind;
-        match hierarchy.classify_association_move(relationship.association, new_association) {
-            MoveKind::Unrelated => {
-                violations.push(ConsistencyViolation::UnrelatedReclassification {
-                    from: self.assoc_name(relationship.association),
-                    to: self.assoc_name(new_association),
-                });
-                return violations;
-            }
-            _ => {}
+        if hierarchy.classify_association_move(relationship.association, new_association)
+            == MoveKind::Unrelated
+        {
+            violations.push(ConsistencyViolation::UnrelatedReclassification {
+                from: self.assoc_name(relationship.association),
+                to: self.assoc_name(new_association),
+            });
+            return violations;
         }
         if relationship.is_pattern {
             return violations;
@@ -804,7 +826,11 @@ mod tests {
 
     impl Fixture {
         fn new() -> Self {
-            Self { schema: figure3_schema(), store: DataStore::new(), procedures: ProcedureRegistry::new() }
+            Self {
+                schema: figure3_schema(),
+                store: DataStore::new(),
+                procedures: ProcedureRegistry::new(),
+            }
         }
 
         fn checker(&self) -> ConsistencyChecker<'_> {
@@ -818,7 +844,11 @@ mod tests {
             id
         }
 
-        fn add_relationship(&mut self, assoc: &str, bindings: Vec<(&str, ObjectId)>) -> RelationshipId {
+        fn add_relationship(
+            &mut self,
+            assoc: &str,
+            bindings: Vec<(&str, ObjectId)>,
+        ) -> RelationshipId {
             let assoc = self.schema.association_id(assoc).unwrap();
             let id = self.store.allocate_relationship_id();
             self.store.insert_relationship(RelationshipRecord::new(
@@ -836,7 +866,9 @@ mod tests {
         let _ = fx.add_object("Sensor", "Action");
         let checker = fx.checker();
         let data = fx.schema.class_id("Data").unwrap();
-        assert!(checker.check_new_object(data, None, &Value::Undefined, "Alarms", false).is_empty());
+        assert!(checker
+            .check_new_object(data, None, &Value::Undefined, "Alarms", false)
+            .is_empty());
     }
 
     #[test]
@@ -851,7 +883,8 @@ mod tests {
             .check_new_object(text, Some(alarms), &Value::Undefined, "Alarms.Text", false)
             .is_empty());
         // Wrong parent class.
-        let v = checker.check_new_object(text, Some(sensor), &Value::Undefined, "Sensor.Text", false);
+        let v =
+            checker.check_new_object(text, Some(sensor), &Value::Undefined, "Sensor.Text", false);
         assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::WrongParentClass { .. })));
         // Missing parent.
         let v = checker.check_new_object(text, None, &Value::Undefined, "Text", false);
@@ -881,7 +914,13 @@ mod tests {
             });
         }
         let checker = fx.checker();
-        let v = checker.check_new_object(text, Some(alarms), &Value::Undefined, "Alarms.Text[16]", false);
+        let v = checker.check_new_object(
+            text,
+            Some(alarms),
+            &Value::Undefined,
+            "Alarms.Text[16]",
+            false,
+        );
         assert!(v.iter().any(|x| matches!(
             x,
             ConsistencyViolation::OccurrenceExceeded { max: 16, attempted: 17, .. }
@@ -940,7 +979,9 @@ mod tests {
             None,
         );
         assert_eq!(
-            v.iter().filter(|x| matches!(x, ConsistencyViolation::RoleClassMismatch { .. })).count(),
+            v.iter()
+                .filter(|x| matches!(x, ConsistencyViolation::RoleClassMismatch { .. }))
+                .count(),
             2
         );
         // Missing binding.
@@ -1164,7 +1205,9 @@ mod tests {
             assert!(checker.check_reclassify_object(obj, data).is_empty());
             // Thing -> Data.Text is unrelated.
             let v = checker.check_reclassify_object(obj, text_class);
-            assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::UnrelatedReclassification { .. })));
+            assert!(v
+                .iter()
+                .any(|x| matches!(x, ConsistencyViolation::UnrelatedReclassification { .. })));
         }
         // Now make Alarms a Data with an Access relationship from Sensor, then try to make it an
         // Action: lateral move, but the Access `from` role requires Data.
@@ -1174,9 +1217,10 @@ mod tests {
             let checker = fx.checker();
             let obj = fx.store.object(alarms).unwrap();
             let v = checker.check_reclassify_object(obj, action);
-            assert!(v
-                .iter()
-                .any(|x| matches!(x, ConsistencyViolation::ReclassificationBreaksStructure { .. })));
+            assert!(v.iter().any(|x| matches!(
+                x,
+                ConsistencyViolation::ReclassificationBreaksStructure { .. }
+            )));
             // Data -> OutputData is fine.
             assert!(checker.check_reclassify_object(obj, output).is_empty());
         }
@@ -1199,7 +1243,9 @@ mod tests {
             assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::RoleClassMismatch { .. })));
             // Access -> Contained is unrelated.
             let v = checker.check_reclassify_relationship(rel, contained);
-            assert!(v.iter().any(|x| matches!(x, ConsistencyViolation::UnrelatedReclassification { .. })));
+            assert!(v
+                .iter()
+                .any(|x| matches!(x, ConsistencyViolation::UnrelatedReclassification { .. })));
         }
         // Specialize Alarms to OutputData; now Access -> Write succeeds, Read still fails.
         let output = fx.schema.class_id("OutputData").unwrap();

@@ -111,7 +111,10 @@ impl Database {
     /// Registers a named attached procedure.
     pub fn register_procedure<F>(&mut self, name: impl Into<String>, f: F)
     where
-        F: Fn(&crate::procedures::ProcedureContext<'_>) -> Result<(), String> + Send + Sync + 'static,
+        F: Fn(&crate::procedures::ProcedureContext<'_>) -> Result<(), String>
+            + Send
+            + Sync
+            + 'static,
     {
         self.procedures.register(name, f);
     }
@@ -216,9 +219,7 @@ impl Database {
     }
 
     fn live_object(&self, id: ObjectId) -> SeedResult<&ObjectRecord> {
-        self.store
-            .live_object(id)
-            .ok_or_else(|| SeedError::NotFound(format!("object {id}")))
+        self.store.live_object(id).ok_or_else(|| SeedError::NotFound(format!("object {id}")))
     }
 
     fn live_relationship(&self, id: RelationshipId) -> SeedResult<&RelationshipRecord> {
@@ -397,7 +398,8 @@ impl Database {
         let record = self.live_object(object)?;
         if !record.is_independent() {
             return Err(SeedError::Invalid(
-                "dependent objects are named through their parent and cannot be renamed directly".to_string(),
+                "dependent objects are named through their parent and cannot be renamed directly"
+                    .to_string(),
             ));
         }
         let parsed = ObjectName::parse(new_name)?;
@@ -613,16 +615,11 @@ impl Database {
         self.mutation_allowed()?;
         let pattern_record = self.live_object(pattern)?;
         if !pattern_record.is_pattern {
-            return Err(SeedError::Pattern(format!(
-                "'{}' is not a pattern",
-                pattern_record.name
-            )));
+            return Err(SeedError::Pattern(format!("'{}' is not a pattern", pattern_record.name)));
         }
         let inheritor_record = self.live_object(inheritor)?;
         if inheritor_record.is_pattern {
-            return Err(SeedError::Pattern(
-                "patterns cannot inherit other patterns".to_string(),
-            ));
+            return Err(SeedError::Pattern("patterns cannot inherit other patterns".to_string()));
         }
         // Consistency of the materialized view: every pattern relationship, seen with the
         // inheritor substituted, must be a legal relationship.
@@ -654,9 +651,7 @@ impl Database {
     pub fn uninherit_pattern(&mut self, inheritor: ObjectId, pattern: ObjectId) -> SeedResult<()> {
         self.mutation_allowed()?;
         if !self.store.remove_inherits(inheritor, pattern) {
-            return Err(SeedError::Pattern(format!(
-                "{inheritor} does not inherit {pattern}"
-            )));
+            return Err(SeedError::Pattern(format!("{inheritor} does not inherit {pattern}")));
         }
         self.record_undo(UndoEntry::InheritsRemoved { inheritor, pattern });
         Ok(())
@@ -680,7 +675,9 @@ impl Database {
         context: ObjectId,
         relationship: RelationshipId,
     ) -> SeedResult<()> {
-        if let Some(pattern) = pattern::is_inherited_relationship(&self.store, context, relationship) {
+        if let Some(pattern) =
+            pattern::is_inherited_relationship(&self.store, context, relationship)
+        {
             let inheritor_name = self
                 .store
                 .object(context)
@@ -785,12 +782,12 @@ impl Database {
         let schema = self.schemas.current();
         let association = schema.association_id(association_name)?;
         let assoc_def = schema.association(association)?;
-        let from_index = assoc_def
-            .role_index(from_role)
-            .ok_or_else(|| SeedError::NotFound(format!("role '{from_role}' of '{association_name}'")))?;
-        let to_index = assoc_def
-            .role_index(to_role)
-            .ok_or_else(|| SeedError::NotFound(format!("role '{to_role}' of '{association_name}'")))?;
+        let from_index = assoc_def.role_index(from_role).ok_or_else(|| {
+            SeedError::NotFound(format!("role '{from_role}' of '{association_name}'"))
+        })?;
+        let to_index = assoc_def.role_index(to_role).ok_or_else(|| {
+            SeedError::NotFound(format!("role '{to_role}' of '{association_name}'"))
+        })?;
         let mut hierarchy = schema.association_descendants(association);
         hierarchy.push(association);
         let store = self.read_store();
@@ -868,14 +865,15 @@ impl Database {
         if !self.transition_rules.is_empty() {
             if let Some(parent_id) = &parent {
                 let previous = self.versions.view(parent_id)?;
-                let violations =
-                    check_transition(&self.transition_rules, self.schemas.current(), &previous, &self.store);
+                let violations = check_transition(
+                    &self.transition_rules,
+                    self.schemas.current(),
+                    &previous,
+                    &self.store,
+                );
                 if !violations.is_empty() {
-                    let text = violations
-                        .iter()
-                        .map(|v| v.to_string())
-                        .collect::<Vec<_>>()
-                        .join("; ");
+                    let text =
+                        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ");
                     return Err(SeedError::TransitionRejected(text));
                 }
             }
@@ -995,7 +993,9 @@ impl Database {
 
     // ----- persistence plumbing (used by crate::persist) ------------------------------------------------------------
 
-    pub(crate) fn parts(&self) -> (&SchemaRegistry, &DataStore, &VersionManager, &[TransitionRule]) {
+    pub(crate) fn parts(
+        &self,
+    ) -> (&SchemaRegistry, &DataStore, &VersionManager, &[TransitionRule]) {
         (&self.schemas, &self.store, &self.versions, &self.transition_rules)
     }
 
@@ -1058,7 +1058,8 @@ mod tests {
         let kw1 = db.create_dependent(body, "Keywords", Value::string("Display")).unwrap();
         assert_eq!(db.object(kw0).unwrap().name.to_string(), "Alarms.Text.Body.Keywords[0]");
         assert_eq!(db.object(kw1).unwrap().name.to_string(), "Alarms.Text.Body.Keywords[1]");
-        let selector = db.create_dependent(text, "Selector", Value::string("Representation")).unwrap();
+        let selector =
+            db.create_dependent(text, "Selector", Value::string("Representation")).unwrap();
         assert_eq!(db.object(selector).unwrap().name.to_string(), "Alarms.Text.Selector");
         // Children listing.
         assert_eq!(db.children(text).len(), 2);
@@ -1071,7 +1072,10 @@ mod tests {
         let mut db = db3();
         let alarms = db.create_object("Data", "Alarms").unwrap();
         // Value on a class without domain.
-        assert!(matches!(db.set_value(alarms, Value::string("x")), Err(SeedError::Inconsistent(_))));
+        assert!(matches!(
+            db.set_value(alarms, Value::string("x")),
+            Err(SeedError::Inconsistent(_))
+        ));
         // Read requires InputData.
         let sensor = db.create_object("Action", "Sensor").unwrap();
         assert!(db.create_relationship("Read", &[("from", alarms), ("by", sensor)]).is_err());
@@ -1126,7 +1130,9 @@ mod tests {
     fn delete_cascades_to_dependents_and_relationships() {
         let mut db = db3();
         let alarms = db.create_object("Data", "Alarms").unwrap();
-        let text = db.create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined).unwrap();
+        let text = db
+            .create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)
+            .unwrap();
         let sensor = db.create_object("Action", "Sensor").unwrap();
         let rel = db.create_relationship("Access", &[("from", alarms), ("by", sensor)]).unwrap();
         db.delete_object(alarms).unwrap();
@@ -1169,7 +1175,9 @@ mod tests {
     fn rename_propagates_to_dependents() {
         let mut db = db3();
         let alarms = db.create_object("Data", "Alarms").unwrap();
-        let text = db.create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined).unwrap();
+        let text = db
+            .create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)
+            .unwrap();
         db.rename_object(alarms, "AlarmMatrix").unwrap();
         assert_eq!(db.object(text).unwrap().name.to_string(), "AlarmMatrix.Text");
         assert!(db.object_by_name("Alarms").is_err());
@@ -1183,7 +1191,12 @@ mod tests {
         let mut db = db3();
         let handler = db.create_object("Action", "AlarmHandler").unwrap();
         let desc = db
-            .create_dependent_named(handler, "Description", NameSegment::plain("Description"), Value::string("Handles alarms"))
+            .create_dependent_named(
+                handler,
+                "Description",
+                NameSegment::plain("Description"),
+                Value::string("Handles alarms"),
+            )
             .unwrap();
         let v10 = db.create_version("first release").unwrap();
         assert_eq!(v10.to_string(), "1.0");
@@ -1192,8 +1205,11 @@ mod tests {
         let v20 = db.create_version("second release").unwrap();
         assert_eq!(v20.to_string(), "2.0");
 
-        db.set_value(desc, Value::string("Generates alarms from process data, triggers Operator Alert"))
-            .unwrap();
+        db.set_value(
+            desc,
+            Value::string("Generates alarms from process data, triggers Operator Alert"),
+        )
+        .unwrap();
 
         // Current sees the newest text; selected versions see their own.
         assert_eq!(
@@ -1204,7 +1220,10 @@ mod tests {
         assert_eq!(db.object(desc).unwrap().value, Value::string("Handles alarms"));
         assert_eq!(db.selected_version().unwrap().to_string(), "1.0");
         // Historical versions are read-only.
-        assert!(matches!(db.set_value(desc, Value::string("x")), Err(SeedError::ReadOnlyVersion(_))));
+        assert!(matches!(
+            db.set_value(desc, Value::string("x")),
+            Err(SeedError::ReadOnlyVersion(_))
+        ));
         db.select_version(None).unwrap();
 
         // History retrieval beginning with 2.0.
@@ -1260,7 +1279,9 @@ mod tests {
         // A pattern Data object related to a common Action.
         let manager = db.create_object("Action", "Manager").unwrap();
         let pattern = db.create_pattern_object("Data", "StandardInput").unwrap();
-        let pr = db.create_pattern_relationship("Access", &[("from", pattern), ("by", manager)]).unwrap();
+        let pr = db
+            .create_pattern_relationship("Access", &[("from", pattern), ("by", manager)])
+            .unwrap();
         // Patterns are invisible to ordinary retrieval.
         assert!(db.object_by_name("StandardInput").is_err());
         assert!(db.any_object_by_name("StandardInput").is_ok());
@@ -1313,11 +1334,16 @@ mod tests {
     fn find_by_value_ignores_undefined() {
         let mut db = Database::new(figure2_schema());
         let alarms = db.create_object("Data", "Alarms").unwrap();
-        let text = db.create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined).unwrap();
+        let text = db
+            .create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)
+            .unwrap();
         let sel = db.create_dependent(text, "Selector", Value::string("Representation")).unwrap();
-        let body = db.create_dependent_named(text, "Body", NameSegment::plain("Body"), Value::Undefined).unwrap();
+        let body = db
+            .create_dependent_named(text, "Body", NameSegment::plain("Body"), Value::Undefined)
+            .unwrap();
         let _kw = db.create_dependent(body, "Keywords", Value::Undefined).unwrap();
-        let hits = db.find_by_value("Data.Text.Selector", &Value::string("Representation")).unwrap();
+        let hits =
+            db.find_by_value("Data.Text.Selector", &Value::string("Representation")).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id, sel);
         // Undefined matches nothing, in both directions.

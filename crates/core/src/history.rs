@@ -44,7 +44,9 @@ impl fmt::Display for TransitionRule {
             TransitionRule::MonotonicValue { class } => {
                 write!(f, "values of '{class}' must not decrease")
             }
-            TransitionRule::MustDiffer => write!(f, "successor version must differ from its parent"),
+            TransitionRule::MustDiffer => {
+                write!(f, "successor version must differ from its parent")
+            }
         }
     }
 }
@@ -70,9 +72,10 @@ fn value_order(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
     match (a, b) {
         (Value::Integer(x), Value::Integer(y)) => Some(x.cmp(y)),
         (Value::Real(x), Value::Real(y)) => x.partial_cmp(y),
-        (Value::Date { year: y1, month: m1, day: d1 }, Value::Date { year: y2, month: m2, day: d2 }) => {
-            Some((y1, m1, d1).cmp(&(y2, m2, d2)))
-        }
+        (
+            Value::Date { year: y1, month: m1, day: d1 },
+            Value::Date { year: y2, month: m2, day: d2 },
+        ) => Some((y1, m1, d1).cmp(&(y2, m2, d2))),
         (Value::String(x), Value::String(y)) | (Value::Text(x), Value::Text(y)) => Some(x.cmp(y)),
         (Value::Undefined, _) | (_, Value::Undefined) => Some(Ordering::Equal),
         _ => None,
@@ -92,10 +95,7 @@ pub fn check_transition(
         match rule {
             TransitionRule::NoDeletions => {
                 for obj in previous.visible_objects() {
-                    let still_there = next
-                        .object(obj.id)
-                        .map(|o| !o.deleted)
-                        .unwrap_or(false);
+                    let still_there = next.object(obj.id).map(|o| !o.deleted).unwrap_or(false);
                     if !still_there {
                         violations.push(TransitionViolation {
                             rule: rule.clone(),
@@ -130,7 +130,9 @@ pub fn check_transition(
                         if new_obj.deleted {
                             continue;
                         }
-                        if let Some(std::cmp::Ordering::Less) = value_order(&new_obj.value, &obj.value) {
+                        if let Some(std::cmp::Ordering::Less) =
+                            value_order(&new_obj.value, &obj.value)
+                        {
                             violations.push(TransitionViolation {
                                 rule: rule.clone(),
                                 message: format!(
@@ -183,7 +185,8 @@ mod tests {
         assert!(v[0].message.contains("Dropped"));
         assert!(v[0].to_string().contains("no deletions"));
         // Keeping everything passes.
-        let v = check_transition(&[TransitionRule::NoDeletions], &schema, &previous, &previous.clone());
+        let v =
+            check_transition(&[TransitionRule::NoDeletions], &schema, &previous, &previous.clone());
         assert!(v.is_empty());
         let _ = a;
     }

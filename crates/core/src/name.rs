@@ -3,7 +3,7 @@
 //! "The name of a dependent object is composed of the name of its parent and of its role in the
 //! context of the parent object.  Thus, (3) is the object 'Alarms.Text' consisting of objects
 //! 'Alarms.Text.Body' and 'Alarms.Text.Selector'. (...) (4) is a dependent object with name
-//! 'Alarms.Text.Body.Keywords[1]'."  (paper, explanation of Figure 1)
+//! 'Alarms.Text.Body.Keywords\[1\]'."  (paper, explanation of Figure 1)
 
 use std::fmt;
 
@@ -79,9 +79,9 @@ impl ObjectName {
                 }
                 let name = &part[..open];
                 let idx_str = &part[open + 1..part.len() - 1];
-                let index: u32 = idx_str
-                    .parse()
-                    .map_err(|_| SeedError::Invalid(format!("invalid index '{idx_str}' in '{part}'")))?;
+                let index: u32 = idx_str.parse().map_err(|_| {
+                    SeedError::Invalid(format!("invalid index '{idx_str}' in '{part}'"))
+                })?;
                 if name.is_empty() {
                     return Err(SeedError::Invalid(format!("missing segment name in '{part}'")));
                 }

@@ -52,7 +52,10 @@ pub struct MaterializedChild {
 /// Computes the relationships visible in `object`'s context: its own live, non-pattern
 /// relationships plus every relationship of every pattern it inherits, with the pattern
 /// substituted by the inheritor in the bindings.
-pub fn materialized_relationships(store: &DataStore, object: ObjectId) -> Vec<MaterializedRelationship> {
+pub fn materialized_relationships(
+    store: &DataStore,
+    object: ObjectId,
+) -> Vec<MaterializedRelationship> {
     let mut out = Vec::new();
     for rel in store.relationships_of(object) {
         if rel.is_visible() {
@@ -112,17 +115,15 @@ pub fn effective_value(store: &DataStore, object: ObjectId) -> Value {
 
 /// Whether `relationship` is inherited (rather than owned) in the context of `object`:
 /// i.e. it is a relationship of one of the patterns `object` inherits.
-pub fn is_inherited_relationship(store: &DataStore, object: ObjectId, relationship: RelationshipId) -> Option<ObjectId> {
-    for pattern in store.inherited_patterns(object) {
-        if store
-            .relationships_of(pattern)
-            .iter()
-            .any(|r| r.id == relationship)
-        {
-            return Some(pattern);
-        }
-    }
-    None
+pub fn is_inherited_relationship(
+    store: &DataStore,
+    object: ObjectId,
+    relationship: RelationshipId,
+) -> Option<ObjectId> {
+    store
+        .inherited_patterns(object)
+        .into_iter()
+        .find(|&pattern| store.relationships_of(pattern).iter().any(|r| r.id == relationship))
 }
 
 /// Description of a variants family built with patterns (Figure 5 of the paper).
@@ -148,7 +149,12 @@ pub struct VariantFamily {
 impl VariantFamily {
     /// Creates an empty family description.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), common_part: Vec::new(), patterns: Vec::new(), variants: BTreeMap::new() }
+        Self {
+            name: name.into(),
+            common_part: Vec::new(),
+            patterns: Vec::new(),
+            variants: BTreeMap::new(),
+        }
     }
 
     /// Objects of a named variant.
@@ -164,7 +170,10 @@ impl VariantFamily {
     /// Verifies the defining property of a variants family: every variant part object inherits
     /// every pattern, so all variants share the same (inherited) relationships to the common
     /// part.  Returns the list of `(variant, object, missing pattern)` triples that break it.
-    pub fn check_uniform_inheritance(&self, store: &DataStore) -> Vec<(String, ObjectId, ObjectId)> {
+    pub fn check_uniform_inheritance(
+        &self,
+        store: &DataStore,
+    ) -> Vec<(String, ObjectId, ObjectId)> {
         let mut problems = Vec::new();
         for (variant_name, members) in &self.variants {
             for member in members {
@@ -316,7 +325,10 @@ mod tests {
         // The common part itself does not see the variants through retrieval of its own
         // (non-pattern) relationships.
         let common_rels = materialized_relationships(&store, common);
-        assert!(common_rels.is_empty(), "pattern relationships are invisible in the common part's own context");
+        assert!(
+            common_rels.is_empty(),
+            "pattern relationships are invisible in the common part's own context"
+        );
     }
 
     #[test]

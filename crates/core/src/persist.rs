@@ -593,9 +593,9 @@ pub fn save(db: &Database, engine: &StorageEngine) -> SeedResult<()> {
 /// Loads a database from an open storage engine.
 pub fn load(engine: &StorageEngine) -> SeedResult<Database> {
     let get = |key: &[u8]| -> SeedResult<Vec<u8>> {
-        engine
-            .get(key)?
-            .ok_or_else(|| SeedError::NotFound(format!("missing key {}", String::from_utf8_lossy(key))))
+        engine.get(key)?.ok_or_else(|| {
+            SeedError::NotFound(format!("missing key {}", String::from_utf8_lossy(key)))
+        })
     };
 
     // Schema registry.
@@ -732,7 +732,10 @@ mod tests {
             .create_relationship_with_attributes(
                 "Write",
                 &[("to", alarms), ("by", sensor)],
-                &[("NumberOfWrites", Value::Integer(2)), ("ErrorHandling", Value::symbol("repeat"))],
+                &[
+                    ("NumberOfWrites", Value::Integer(2)),
+                    ("ErrorHandling", Value::symbol("repeat")),
+                ],
             )
             .unwrap();
         let text = db

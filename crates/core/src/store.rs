@@ -367,11 +367,8 @@ impl DataStore {
 
     /// Removes an inherits link.
     pub fn remove_inherits(&mut self, inheritor: ObjectId, pattern: ObjectId) -> bool {
-        let removed = self
-            .inherits
-            .get_mut(&inheritor)
-            .map(|s| s.remove(&pattern))
-            .unwrap_or(false);
+        let removed =
+            self.inherits.get_mut(&inheritor).map(|s| s.remove(&pattern)).unwrap_or(false);
         if removed {
             if let Some(s) = self.inheritors.get_mut(&pattern) {
                 s.remove(&inheritor);
@@ -421,8 +418,8 @@ impl DataStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Value;
     use crate::name::ObjectName;
+    use crate::value::Value;
 
     fn obj(store: &mut DataStore, name: &str, class: u32) -> ObjectId {
         let id = store.allocate_object_id();

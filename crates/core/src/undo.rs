@@ -110,7 +110,12 @@ mod tests {
 
         // Pre-existing object whose value the transaction changes.
         let existing = store.allocate_object_id();
-        store.insert_object(ObjectRecord::new(existing, ClassId(0), ObjectName::root("Kept"), None));
+        store.insert_object(ObjectRecord::new(
+            existing,
+            ClassId(0),
+            ObjectName::root("Kept"),
+            None,
+        ));
         let before = store.object(existing).unwrap().clone();
         log.push(UndoEntry::ObjectChanged(Box::new(before)));
         store.update_object(existing, |o| o.value = Value::string("modified"));

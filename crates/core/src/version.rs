@@ -114,9 +114,7 @@ impl VersionManager {
 
     /// Metadata of a version.
     pub fn info(&self, id: &VersionId) -> SeedResult<&VersionInfo> {
-        self.versions
-            .get(id)
-            .ok_or_else(|| SeedError::Version(format!("unknown version {id}")))
+        self.versions.get(id).ok_or_else(|| SeedError::Version(format!("unknown version {id}")))
     }
 
     /// All versions in id order.
@@ -232,12 +230,13 @@ impl VersionManager {
     /// History navigation: "find all versions of object 'AlarmHandler', beginning with version
     /// 2.0".  Returns `(version, snapshot)` pairs for every version ≥ `from` in which the item
     /// was recorded, in version order.
-    pub fn versions_of_item(&self, item: ItemId, from: Option<&VersionId>) -> Vec<(&VersionId, &ItemSnapshot)> {
+    pub fn versions_of_item(
+        &self,
+        item: ItemId,
+        from: Option<&VersionId>,
+    ) -> Vec<(&VersionId, &ItemSnapshot)> {
         let Some(history) = self.histories.get(&item) else { return Vec::new() };
-        history
-            .iter()
-            .filter(|(v, _)| from.map(|f| *v >= f).unwrap_or(true))
-            .collect()
+        history.iter().filter(|(v, _)| from.map(|f| *v >= f).unwrap_or(true)).collect()
     }
 
     /// Total number of item snapshots stored across all versions (the cost of delta storage;
@@ -256,7 +255,8 @@ impl VersionManager {
     #[allow(clippy::type_complexity)]
     pub fn export_state(
         &self,
-    ) -> (Vec<VersionInfo>, Vec<(ItemId, Vec<(VersionId, ItemSnapshot)>)>, Option<VersionId>, u64) {
+    ) -> (Vec<VersionInfo>, Vec<(ItemId, Vec<(VersionId, ItemSnapshot)>)>, Option<VersionId>, u64)
+    {
         let versions = self.versions.values().cloned().collect();
         let mut histories: Vec<(ItemId, Vec<(VersionId, ItemSnapshot)>)> = self
             .histories
@@ -327,7 +327,13 @@ mod tests {
         assert!(vm.create_version(v10.clone(), None, schema_v1(), "", &mut store).is_err());
         let orphan_parent = VersionId::parse("9.0").unwrap();
         assert!(vm
-            .create_version(VersionId::parse("2.0").unwrap(), Some(orphan_parent), schema_v1(), "", &mut store)
+            .create_version(
+                VersionId::parse("2.0").unwrap(),
+                Some(orphan_parent),
+                schema_v1(),
+                "",
+                &mut store
+            )
             .is_err());
     }
 
@@ -344,9 +350,8 @@ mod tests {
         // Change only A, create 2.0: the delta must contain exactly one item.
         store.update_object(a, |o| o.value = Value::string("changed"));
         let v20 = VersionId::parse("2.0").unwrap();
-        let info = vm
-            .create_version(v20.clone(), Some(v10.clone()), schema_v1(), "", &mut store)
-            .unwrap();
+        let info =
+            vm.create_version(v20.clone(), Some(v10.clone()), schema_v1(), "", &mut store).unwrap();
         assert_eq!(info.delta_size, 1);
         assert_eq!(vm.stored_snapshot_count(), 3);
     }
@@ -360,7 +365,9 @@ mod tests {
         let v10 = VersionId::initial();
         vm.create_version(v10.clone(), None, schema_v1(), "", &mut store).unwrap();
 
-        store.update_object(a, |o| o.value = Value::string("Handles alarms derived from ProcessData"));
+        store.update_object(a, |o| {
+            o.value = Value::string("Handles alarms derived from ProcessData")
+        });
         let b = add_object(&mut store, "OperatorAlert");
         let v20 = VersionId::parse("2.0").unwrap();
         vm.create_version(v20.clone(), Some(v10.clone()), schema_v1(), "", &mut store).unwrap();
@@ -419,12 +426,18 @@ mod tests {
         let v20 = VersionId::parse("2.0").unwrap();
         vm.create_version(v20.clone(), Some(v10.clone()), schema_v1(), "", &mut store).unwrap();
 
-        assert_eq!(vm.view(&v10).unwrap().object_by_name("Design").unwrap().value, Value::string("v1"));
+        assert_eq!(
+            vm.view(&v10).unwrap().object_by_name("Design").unwrap().value,
+            Value::string("v1")
+        );
         assert_eq!(
             vm.view(&v101).unwrap().object_by_name("Design").unwrap().value,
             Value::string("alternative")
         );
-        assert_eq!(vm.view(&v20).unwrap().object_by_name("Design").unwrap().value, Value::string("v2"));
+        assert_eq!(
+            vm.view(&v20).unwrap().object_by_name("Design").unwrap().value,
+            Value::string("v2")
+        );
         // Version tree structure.
         assert_eq!(vm.children(&v10).len(), 2);
         assert_eq!(vm.roots().len(), 1);
@@ -441,13 +454,20 @@ mod tests {
         for (i, text) in ["second", "third", "fourth"].iter().enumerate() {
             store.update_object(a, |o| o.value = Value::string(*text));
             let vid = VersionId::parse(&format!("{}.0", i + 2)).unwrap();
-            vm.create_version(vid, Some(vm.last_created().unwrap().clone()), schema_v1(), "", &mut store)
-                .unwrap();
+            vm.create_version(
+                vid,
+                Some(vm.last_created().unwrap().clone()),
+                schema_v1(),
+                "",
+                &mut store,
+            )
+            .unwrap();
         }
         let all = vm.versions_of_item(ItemId::Object(a), None);
         assert_eq!(all.len(), 4);
         // "find all versions of object 'AlarmHandler', beginning with version 2.0"
-        let from20 = vm.versions_of_item(ItemId::Object(a), Some(&VersionId::parse("2.0").unwrap()));
+        let from20 =
+            vm.versions_of_item(ItemId::Object(a), Some(&VersionId::parse("2.0").unwrap()));
         assert_eq!(from20.len(), 3);
         assert_eq!(from20[0].0.to_string(), "2.0");
         assert_eq!(vm.versions_of_item(ItemId::Object(ObjectId(99)), None).len(), 0);
@@ -472,7 +492,10 @@ mod tests {
         assert_eq!(vm.version_count(), 2);
         assert!(vm.view(&v20).is_err());
         // 3.0 still has its own snapshot of X.
-        assert_eq!(vm.view(&v30).unwrap().object_by_name("X").unwrap().value, Value::string("3.0 state"));
+        assert_eq!(
+            vm.view(&v30).unwrap().object_by_name("X").unwrap().value,
+            Value::string("3.0 state")
+        );
         assert!(vm.delete_version(&v20).is_err());
     }
 

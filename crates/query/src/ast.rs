@@ -100,7 +100,12 @@ mod tests {
         };
         assert_eq!(q.class(), "Data");
         assert!(!q.is_count());
-        let c = Query::Count { class: "Action".into(), exact: true, selections: vec![], navigate: None };
+        let c = Query::Count {
+            class: "Action".into(),
+            exact: true,
+            selections: vec![],
+            navigate: None,
+        };
         assert!(c.is_count());
         assert_eq!(c.class(), "Action");
     }

@@ -69,7 +69,11 @@ fn compare_value(value: &Value, op: Comparison, literal: &str) -> bool {
     }
 }
 
-fn apply_navigation(db: &Database, nav: &Navigation, class_set: &ObjectSet) -> QueryResult<ObjectSet> {
+fn apply_navigation(
+    db: &Database,
+    nav: &Navigation,
+    class_set: &ObjectSet,
+) -> QueryResult<ObjectSet> {
     let start = db
         .object_by_name(&nav.from_object)
         .map_err(|_| QueryError::Unknown(format!("object '{}'", nav.from_object)))?;
@@ -79,20 +83,22 @@ fn apply_navigation(db: &Database, nav: &Navigation, class_set: &ObjectSet) -> Q
         .map_err(|_| QueryError::Unknown(format!("association '{}'", nav.association)))?;
     // Navigate from the start object's role (any role that is not the target role works for the
     // binary associations of the paper; we pick the first non-target role).
-    let from_role = association
-        .roles
-        .iter()
-        .map(|r| r.name.as_str())
-        .find(|r| *r != nav.to_role)
-        .ok_or_else(|| QueryError::Unknown(format!("role '{}' of '{}'", nav.to_role, nav.association)))?;
+    let from_role =
+        association.roles.iter().map(|r| r.name.as_str()).find(|r| *r != nav.to_role).ok_or_else(
+            || QueryError::Unknown(format!("role '{}' of '{}'", nav.to_role, nav.association)),
+        )?;
     if association.role(&nav.to_role).is_none() {
         return Err(QueryError::Unknown(format!(
             "role '{}' of '{}'",
             nav.to_role, nav.association
         )));
     }
-    let reached = ObjectSet::from_records(vec![db.object(start.id)?])
-        .navigate(db, &nav.association, from_role, &nav.to_role)?;
+    let reached = ObjectSet::from_records(vec![db.object(start.id)?]).navigate(
+        db,
+        &nav.association,
+        from_role,
+        &nav.to_role,
+    )?;
     Ok(reached.intersect(class_set))
 }
 
@@ -120,7 +126,7 @@ fn apply_selection(db: &Database, selection: &Selection, set: ObjectSet) -> Quer
         }
         Selection::Incomplete => {
             let report = db.completeness_report();
-            set.select(|o| report.for_subject(&o.name.to_string()).iter().count() > 0)
+            set.select(|o| !report.for_subject(&o.name.to_string()).is_empty())
         }
     })
 }
@@ -195,7 +201,10 @@ mod tests {
     #[test]
     fn value_comparisons_skip_undefined() {
         let db = sample();
-        assert_eq!(run(&db, r#"find Data.Text.Selector where value = "Representation""#).count(), 1);
+        assert_eq!(
+            run(&db, r#"find Data.Text.Selector where value = "Representation""#).count(),
+            1
+        );
         assert_eq!(run(&db, r#"find Data.Text.Body where value = "Representation""#).count(), 0);
         assert_eq!(run(&db, r#"find Data.Text.Selector where value != "Other""#).count(), 1);
         // Undefined value (Body) does not even match a != comparison: it matches nothing.
@@ -209,13 +218,9 @@ mod tests {
         let alarms = db.object_by_name("Alarms").unwrap().id;
         let handler = db.object_by_name("AlarmHandler").unwrap().id;
         let rels = db.relationships(alarms);
-        let write = rels
-            .iter()
-            .find(|r| r.record.bound("by") == Some(handler))
-            .unwrap()
-            .record
-            .id;
-        db.set_relationship_attribute(write, "NumberOfWrites", seed_core::Value::Integer(2)).unwrap();
+        let write = rels.iter().find(|r| r.record.bound("by") == Some(handler)).unwrap().record.id;
+        db.set_relationship_attribute(write, "NumberOfWrites", seed_core::Value::Integer(2))
+            .unwrap();
         // Comparison helpers directly.
         assert!(compare_value(&seed_core::Value::Integer(2), Comparison::Less, "5"));
         assert!(compare_value(&seed_core::Value::Integer(7), Comparison::Greater, "5"));
@@ -256,8 +261,13 @@ mod tests {
     fn unknown_names_error() {
         let db = sample();
         assert!(execute(&db, &parse("find Ghost").unwrap()).is_err());
-        assert!(execute(&db, &parse(r#"find Action navigate Access.by from "Ghost""#).unwrap()).is_err());
-        assert!(execute(&db, &parse(r#"find Action navigate Access.ghost from "Alarms""#).unwrap()).is_err());
+        assert!(execute(&db, &parse(r#"find Action navigate Access.by from "Ghost""#).unwrap())
+            .is_err());
+        assert!(execute(
+            &db,
+            &parse(r#"find Action navigate Access.ghost from "Alarms""#).unwrap()
+        )
+        .is_err());
         assert!(execute(&db, &parse("find Data where related Ghost.to").unwrap()).is_err());
     }
 

@@ -57,7 +57,10 @@ pub fn tokenize(input: &str) -> QueryResult<Vec<Token>> {
                     tokens.push(Token::NotEqual);
                     i += 2;
                 } else {
-                    return Err(QueryError::Parse { position: i, message: "expected '!='".to_string() });
+                    return Err(QueryError::Parse {
+                        position: i,
+                        message: "expected '!='".to_string(),
+                    });
                 }
             }
             '<' => {

@@ -81,7 +81,10 @@ impl Parser {
                 let (association, role) = path
                     .split_once('.')
                     .ok_or_else(|| self.error("expected <Association>.<role> after 'related'"))?;
-                Ok(Selection::Related { association: association.to_string(), role: role.to_string() })
+                Ok(Selection::Related {
+                    association: association.to_string(),
+                    role: role.to_string(),
+                })
             }
             "incomplete" => Ok(Selection::Incomplete),
             other => Err(self.error(format!("unknown selection '{other}'"))),

@@ -54,7 +54,8 @@ impl SchemaBuilder {
     ) -> Self {
         match self.schema.add_class(name) {
             Ok(id) => {
-                let cb = ClassBuilder { schema: &mut self.schema, class: id, errors: &mut self.errors };
+                let cb =
+                    ClassBuilder { schema: &mut self.schema, class: id, errors: &mut self.errors };
                 let _ = configure(cb);
             }
             Err(e) => self.errors.push(e),
@@ -93,11 +94,20 @@ impl SchemaBuilder {
             let cb = self.schema.class_id(class_b)?;
             let card_a = Cardinality::parse(card_a)?;
             let card_b = Cardinality::parse(card_b)?;
-            self.schema.add_binary_association(name, (role_a, ca, card_a), (role_b, cb, card_b), false)
+            self.schema.add_binary_association(
+                name,
+                (role_a, ca, card_a),
+                (role_b, cb, card_b),
+                false,
+            )
         })();
         match result {
             Ok(id) => {
-                let ab = AssociationBuilder { schema: &mut self.schema, assoc: id, errors: &mut self.errors };
+                let ab = AssociationBuilder {
+                    schema: &mut self.schema,
+                    assoc: id,
+                    errors: &mut self.errors,
+                };
                 let _ = configure(ab);
             }
             Err(e) => self.errors.push(e),
@@ -122,7 +132,12 @@ impl SchemaBuilder {
     }
 
     /// Declares an association generalization.
-    pub fn generalize_associations(mut self, super_name: &str, subs: &[&str], covering: bool) -> Self {
+    pub fn generalize_associations(
+        mut self,
+        super_name: &str,
+        subs: &[&str],
+        covering: bool,
+    ) -> Self {
         let result = (|| -> SchemaResult<()> {
             let sup = self.schema.association_id(super_name)?;
             for sub in subs {
@@ -148,7 +163,12 @@ impl SchemaBuilder {
 
 impl<'a> ClassBuilder<'a> {
     /// Adds a dependent class (sub-object class) to the class being built.
-    pub fn dependent(self, local_name: &str, occurrence: Cardinality, domain: Option<Domain>) -> Self {
+    pub fn dependent(
+        self,
+        local_name: &str,
+        occurrence: Cardinality,
+        domain: Option<Domain>,
+    ) -> Self {
         match self.schema.add_dependent_class(self.class, local_name, occurrence, domain) {
             Ok(_) => self,
             Err(e) => {
@@ -169,7 +189,8 @@ impl<'a> ClassBuilder<'a> {
         match self.schema.add_dependent_class(self.class, local_name, occurrence, domain) {
             Ok(child) => {
                 {
-                    let cb = ClassBuilder { schema: self.schema, class: child, errors: self.errors };
+                    let cb =
+                        ClassBuilder { schema: self.schema, class: child, errors: self.errors };
                     let _ = configure(cb);
                 }
                 self
@@ -209,10 +230,10 @@ impl<'a> AssociationBuilder<'a> {
 
     /// Adds a relationship attribute.
     pub fn attribute(self, name: &str, domain: Domain, required: bool) -> Self {
-        if let Err(e) = self
-            .schema
-            .add_relationship_attribute(self.assoc, RelationshipAttribute::new(name, domain, required))
-        {
+        if let Err(e) = self.schema.add_relationship_attribute(
+            self.assoc,
+            RelationshipAttribute::new(name, domain, required),
+        ) {
             self.errors.push(e);
         }
         self
@@ -239,10 +260,17 @@ pub fn figure2_schema() -> Schema {
         .class("Data", |c| {
             c.dependent_with("Text", c016, None, |t| {
                 t.dependent_with("Body", Cardinality::optional(), None, |b| {
-                    b.dependent("Keywords", Cardinality::any(), Some(Domain::String))
-                        .dependent("Contents", Cardinality::optional(), Some(Domain::Text))
+                    b.dependent("Keywords", Cardinality::any(), Some(Domain::String)).dependent(
+                        "Contents",
+                        Cardinality::optional(),
+                        Some(Domain::Text),
+                    )
                 })
-                .dependent("Selector", Cardinality::optional(), Some(Domain::String))
+                .dependent(
+                    "Selector",
+                    Cardinality::optional(),
+                    Some(Domain::String),
+                )
             })
         })
         .class("Action", |c| {
@@ -262,16 +290,21 @@ pub fn figure2_schema() -> Schema {
 pub fn figure3_schema() -> Schema {
     let c016 = Cardinality::bounded(0, 16).expect("valid");
     SchemaBuilder::new("Figure3")
-        .class("Thing", |c| {
-            c.dependent("Revised", Cardinality::optional(), Some(Domain::Date))
-        })
+        .class("Thing", |c| c.dependent("Revised", Cardinality::optional(), Some(Domain::Date)))
         .class("Data", |c| {
             c.dependent_with("Text", c016, None, |t| {
                 t.dependent_with("Body", Cardinality::optional(), None, |b| {
-                    b.dependent("Keywords", Cardinality::any(), Some(Domain::String))
-                        .dependent("Contents", Cardinality::optional(), Some(Domain::Text))
+                    b.dependent("Keywords", Cardinality::any(), Some(Domain::String)).dependent(
+                        "Contents",
+                        Cardinality::optional(),
+                        Some(Domain::Text),
+                    )
                 })
-                .dependent("Selector", Cardinality::optional(), Some(Domain::String))
+                .dependent(
+                    "Selector",
+                    Cardinality::optional(),
+                    Some(Domain::String),
+                )
             })
         })
         .class("Action", |c| {
@@ -309,8 +342,15 @@ mod tests {
     fn figure2_has_expected_elements() {
         let s = figure2_schema();
         assert_eq!(s.name, "Figure2");
-        for class in ["Data", "Action", "Data.Text", "Data.Text.Body", "Data.Text.Selector",
-                      "Data.Text.Body.Keywords", "Action.Description"] {
+        for class in [
+            "Data",
+            "Action",
+            "Data.Text",
+            "Data.Text.Body",
+            "Data.Text.Selector",
+            "Data.Text.Body.Keywords",
+            "Action.Description",
+        ] {
             assert!(s.class_by_name(class).is_ok(), "missing class {class}");
         }
         for assoc in ["Read", "Write", "Contained"] {
@@ -369,10 +409,7 @@ mod tests {
 
     #[test]
     fn builder_reports_duplicate_class() {
-        let result = SchemaBuilder::new("Broken")
-            .class("Data", |c| c)
-            .class("Data", |c| c)
-            .build();
+        let result = SchemaBuilder::new("Broken").class("Data", |c| c).class("Data", |c| c).build();
         assert!(result.is_err());
     }
 

@@ -84,15 +84,16 @@ impl Cardinality {
             return Ok(Self::any());
         }
         if let Some((lo, hi)) = s.split_once("..") {
-            let min: u32 = lo
-                .trim()
-                .parse()
-                .map_err(|_| SchemaError::InvalidCardinality(s.to_string()))?;
+            let min: u32 =
+                lo.trim().parse().map_err(|_| SchemaError::InvalidCardinality(s.to_string()))?;
             let hi = hi.trim();
             let max = if hi == "*" {
                 None
             } else {
-                Some(hi.parse::<u32>().map_err(|_| SchemaError::InvalidCardinality(s.to_string()))?)
+                Some(
+                    hi.parse::<u32>()
+                        .map_err(|_| SchemaError::InvalidCardinality(s.to_string()))?,
+                )
             };
             Self::new(min, max)
         } else {

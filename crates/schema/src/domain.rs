@@ -76,7 +76,14 @@ mod tests {
 
     #[test]
     fn keyword_roundtrip_for_simple_domains() {
-        for d in [Domain::String, Domain::Integer, Domain::Real, Domain::Boolean, Domain::Date, Domain::Text] {
+        for d in [
+            Domain::String,
+            Domain::Integer,
+            Domain::Real,
+            Domain::Boolean,
+            Domain::Date,
+            Domain::Text,
+        ] {
             assert_eq!(Domain::from_keyword(&d.keyword()), Some(d.clone()), "{d}");
         }
     }

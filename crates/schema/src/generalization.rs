@@ -84,10 +84,7 @@ impl<'a> GeneralizationHierarchy<'a> {
     pub fn class_leaves(&self, class: ClassId) -> Vec<ClassId> {
         let mut descendants = self.schema.class_descendants(class);
         descendants.push(class);
-        descendants
-            .into_iter()
-            .filter(|&c| self.schema.subclasses(c).is_empty())
-            .collect()
+        descendants.into_iter().filter(|&c| self.schema.subclasses(c).is_empty()).collect()
     }
 
     // ----- associations ---------------------------------------------------------------------------
@@ -132,10 +129,7 @@ impl<'a> GeneralizationHierarchy<'a> {
     pub fn association_leaves(&self, assoc: AssociationId) -> Vec<AssociationId> {
         let mut descendants = self.schema.association_descendants(assoc);
         descendants.push(assoc);
-        descendants
-            .into_iter()
-            .filter(|&a| self.schema.subassociations(a).is_empty())
-            .collect()
+        descendants.into_iter().filter(|&a| self.schema.subassociations(a).is_empty()).collect()
     }
 
     /// Classes that still require specialization under a covering condition: covering classes

@@ -68,10 +68,7 @@ mod tests {
         assert_eq!(ClassId(3).index(), 3);
         assert_eq!(ClassId(3).to_string(), "class#3");
         assert_eq!(AssociationId(7).to_string(), "assoc#7");
-        assert_eq!(
-            SchemaElementId::Class(ClassId(1)).to_string(),
-            "class#1"
-        );
+        assert_eq!(SchemaElementId::Class(ClassId(1)).to_string(), "class#1");
     }
 
     #[test]

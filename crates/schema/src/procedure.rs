@@ -86,9 +86,15 @@ mod tests {
         let p = AttachedProcedure::ValueRange { min: Some(0), max: Some(10) };
         assert!(p.describe().contains("0"));
         assert!(p.describe().contains("10"));
-        assert!(AttachedProcedure::ValueRange { min: Some(2), max: None }.describe().contains("at least 2"));
-        assert!(AttachedProcedure::ValueRange { min: None, max: Some(5) }.describe().contains("at most 5"));
-        assert!(AttachedProcedure::Named("check_deadline".into()).describe().contains("check_deadline"));
+        assert!(AttachedProcedure::ValueRange { min: Some(2), max: None }
+            .describe()
+            .contains("at least 2"));
+        assert!(AttachedProcedure::ValueRange { min: None, max: Some(5) }
+            .describe()
+            .contains("at most 5"));
+        assert!(AttachedProcedure::Named("check_deadline".into())
+            .describe()
+            .contains("check_deadline"));
         assert!(AttachedProcedure::MaxLength(80).describe().contains("80"));
     }
 

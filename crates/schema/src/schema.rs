@@ -99,10 +99,7 @@ impl Schema {
     ) -> SchemaResult<AssociationId> {
         self.add_association(
             name,
-            vec![
-                Role::new(role_a.0, role_a.1, role_a.2),
-                Role::new(role_b.0, role_b.1, role_b.2),
-            ],
+            vec![Role::new(role_a.0, role_a.1, role_a.2), Role::new(role_b.0, role_b.1, role_b.2)],
             acyclic,
         )
     }
@@ -171,9 +168,7 @@ impl Schema {
         let mut cursor = Some(superassoc);
         while let Some(a) = cursor {
             if a == sub {
-                return Err(SchemaError::GeneralizationCycle(
-                    self.association(sub)?.name.clone(),
-                ));
+                return Err(SchemaError::GeneralizationCycle(self.association(sub)?.name.clone()));
             }
             cursor = self.association(a)?.superassociation;
         }
@@ -188,7 +183,11 @@ impl Schema {
     }
 
     /// Sets or clears the ACYCLIC structural constraint on an association.
-    pub fn set_association_acyclic(&mut self, assoc: AssociationId, acyclic: bool) -> SchemaResult<()> {
+    pub fn set_association_acyclic(
+        &mut self,
+        assoc: AssociationId,
+        acyclic: bool,
+    ) -> SchemaResult<()> {
         self.association_mut(assoc)?.acyclic = acyclic;
         Ok(())
     }
@@ -233,15 +232,11 @@ impl Schema {
 
     /// Looks up a class by id.
     pub fn class(&self, id: ClassId) -> SchemaResult<&ObjectClass> {
-        self.classes
-            .get(id.index())
-            .ok_or_else(|| SchemaError::UnknownClass(id.to_string()))
+        self.classes.get(id.index()).ok_or_else(|| SchemaError::UnknownClass(id.to_string()))
     }
 
     fn class_mut(&mut self, id: ClassId) -> SchemaResult<&mut ObjectClass> {
-        self.classes
-            .get_mut(id.index())
-            .ok_or_else(|| SchemaError::UnknownClass(id.to_string()))
+        self.classes.get_mut(id.index()).ok_or_else(|| SchemaError::UnknownClass(id.to_string()))
     }
 
     /// Looks up a class by full path name.
@@ -520,14 +515,8 @@ mod tests {
         let (mut s, data, _) = two_class_schema();
         let thing = s.add_class("Thing").unwrap();
         s.set_superclass(data, thing).unwrap();
-        assert!(matches!(
-            s.set_superclass(thing, data),
-            Err(SchemaError::GeneralizationCycle(_))
-        ));
-        assert!(matches!(
-            s.set_superclass(data, data),
-            Err(SchemaError::GeneralizationCycle(_))
-        ));
+        assert!(matches!(s.set_superclass(thing, data), Err(SchemaError::GeneralizationCycle(_))));
+        assert!(matches!(s.set_superclass(data, data), Err(SchemaError::GeneralizationCycle(_))));
     }
 
     #[test]

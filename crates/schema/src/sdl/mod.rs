@@ -32,8 +32,8 @@
 //! }
 //! ```
 //!
-//! [`parse`] turns SDL text into a [`Schema`]; [`print`] renders a schema back to SDL.  The two
-//! are inverse up to formatting (see the round-trip tests).
+//! [`parse`] turns SDL text into a [`Schema`](crate::Schema); [`print()`] renders a schema
+//! back to SDL.  The two are inverse up to formatting (see the round-trip tests).
 
 mod lexer;
 mod parser;
@@ -54,7 +54,8 @@ mod tests {
         assert_eq!(a.class_count(), b.class_count(), "class counts differ");
         assert_eq!(a.association_count(), b.association_count(), "association counts differ");
         for ca in a.classes() {
-            let cb = b.class_by_name(&ca.name).unwrap_or_else(|_| panic!("class {} missing", ca.name));
+            let cb =
+                b.class_by_name(&ca.name).unwrap_or_else(|_| panic!("class {} missing", ca.name));
             assert_eq!(ca.occurrence, cb.occurrence, "occurrence of {}", ca.name);
             assert_eq!(ca.domain, cb.domain, "domain of {}", ca.name);
             assert_eq!(ca.covering, cb.covering, "covering of {}", ca.name);
@@ -74,7 +75,11 @@ mod tests {
             assert_eq!(aa.roles.len(), ab.roles.len(), "role count of {}", aa.name);
             for ra in &aa.roles {
                 let rb = ab.role(&ra.name).unwrap_or_else(|| panic!("role {} missing", ra.name));
-                assert_eq!(ra.cardinality, rb.cardinality, "cardinality of {}.{}", aa.name, ra.name);
+                assert_eq!(
+                    ra.cardinality, rb.cardinality,
+                    "cardinality of {}.{}",
+                    aa.name, ra.name
+                );
                 assert_eq!(
                     a.class(ra.class).unwrap().name,
                     b.class(rb.class).unwrap().name,
@@ -85,7 +90,9 @@ mod tests {
             }
             assert_eq!(aa.attributes.len(), ab.attributes.len(), "attributes of {}", aa.name);
             for attr in &aa.attributes {
-                let other = ab.attribute(&attr.name).unwrap_or_else(|| panic!("attr {} missing", attr.name));
+                let other = ab
+                    .attribute(&attr.name)
+                    .unwrap_or_else(|| panic!("attr {} missing", attr.name));
                 assert_eq!(attr.domain, other.domain);
                 assert_eq!(attr.required, other.required);
             }

@@ -166,7 +166,8 @@ impl Parser {
     fn class(&mut self) -> SchemaResult<AstClass> {
         self.expect_keyword("class")?;
         let name = self.expect_ident()?;
-        let superclass = if self.eat(&TokenKind::Colon) { Some(self.expect_ident()?) } else { None };
+        let superclass =
+            if self.eat(&TokenKind::Colon) { Some(self.expect_ident()?) } else { None };
         let covering = self.eat_keyword("covering");
         let mut domain = None;
         let mut dependents = Vec::new();
@@ -313,7 +314,9 @@ impl Parser {
             } else {
                 let max = match self.bump().kind {
                     TokenKind::Number(n) => n,
-                    other => return Err(self.error(format!("expected number or '*', found {other}"))),
+                    other => {
+                        return Err(self.error(format!("expected number or '*', found {other}")))
+                    }
                 };
                 Cardinality::new(min, Some(max))
                     .map_err(|_| self.error(format!("invalid cardinality {min}..{max}")))?
@@ -393,7 +396,8 @@ fn lower_dependent(
     owner: crate::ids::ClassId,
     dep: &AstDependent,
 ) -> SchemaResult<()> {
-    let id = schema.add_dependent_class(owner, &dep.local_name, dep.occurrence, dep.domain.clone())?;
+    let id =
+        schema.add_dependent_class(owner, &dep.local_name, dep.occurrence, dep.domain.clone())?;
     for child in &dep.dependents {
         lower_dependent(schema, id, child)?;
     }

@@ -64,7 +64,10 @@ impl fmt::Display for SchemaViolation {
                 write!(f, "association '{association}' declares role '{role}' more than once")
             }
             SchemaViolation::DuplicateAttributeNames { association, attribute } => {
-                write!(f, "association '{association}' declares attribute '{attribute}' more than once")
+                write!(
+                    f,
+                    "association '{association}' declares attribute '{attribute}' more than once"
+                )
             }
             SchemaViolation::EmptyEnumeration { class_or_attribute } => {
                 write!(f, "enumeration domain of '{class_or_attribute}' has no literals")
@@ -82,27 +85,34 @@ pub fn validate_schema(schema: &Schema) -> Vec<SchemaViolation> {
 
     for class in schema.classes() {
         if class.covering && schema.subclasses(class.id).is_empty() {
-            violations.push(SchemaViolation::CoveringWithoutSubclasses { class: class.name.clone() });
+            violations
+                .push(SchemaViolation::CoveringWithoutSubclasses { class: class.name.clone() });
         }
         if class.domain.is_some() && !schema.dependent_classes(class.id).is_empty() {
-            violations.push(SchemaViolation::ValueClassWithDependents { class: class.name.clone() });
+            violations
+                .push(SchemaViolation::ValueClassWithDependents { class: class.name.clone() });
         }
         if let Some(Domain::Enumeration(lits)) = &class.domain {
             if lits.is_empty() {
-                violations.push(SchemaViolation::EmptyEnumeration { class_or_attribute: class.name.clone() });
+                violations.push(SchemaViolation::EmptyEnumeration {
+                    class_or_attribute: class.name.clone(),
+                });
             }
         }
         if let Some(sup) = class.superclass {
             let sup_owner = schema.class(sup).map(|c| c.owner).unwrap_or(None);
             if class.owner != sup_owner {
-                violations.push(SchemaViolation::SpecializationChangesOwner { class: class.name.clone() });
+                violations.push(SchemaViolation::SpecializationChangesOwner {
+                    class: class.name.clone(),
+                });
             }
         }
     }
 
     for assoc in schema.associations() {
         if assoc.roles.len() < 2 {
-            violations.push(SchemaViolation::DegenerateAssociation { association: assoc.name.clone() });
+            violations
+                .push(SchemaViolation::DegenerateAssociation { association: assoc.name.clone() });
         }
         let mut seen_roles = HashSet::new();
         for role in &assoc.roles {
@@ -136,7 +146,8 @@ pub fn validate_schema(schema: &Schema) -> Vec<SchemaViolation> {
         }
         if assoc.acyclic {
             if assoc.roles.len() != 2 {
-                violations.push(SchemaViolation::AcyclicNonBinary { association: assoc.name.clone() });
+                violations
+                    .push(SchemaViolation::AcyclicNonBinary { association: assoc.name.clone() });
             } else {
                 let a = assoc.roles[0].class;
                 let b = assoc.roles[1].class;

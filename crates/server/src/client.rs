@@ -91,7 +91,12 @@ impl ClientSession {
     }
 
     /// Stages the creation of a dependent object under a checked-out parent.
-    pub fn create_dependent(&mut self, parent: &str, class_local: &str, value: Value) -> ServerResult<()> {
+    pub fn create_dependent(
+        &mut self,
+        parent: &str,
+        class_local: &str,
+        value: Value,
+    ) -> ServerResult<()> {
         if !self.workspace.contains_key(parent) {
             return Err(ServerError::NotCheckedOut(parent.to_string()));
         }
@@ -136,10 +141,9 @@ impl ClientSession {
     /// staged list are cleared (the server released the locks); on failure both are kept so the
     /// user can amend and retry.
     pub fn commit(&mut self) -> ServerResult<()> {
-        let response = self.handle.call(Request::Checkin {
-            client: self.client,
-            updates: self.staged.clone(),
-        })?;
+        let response = self
+            .handle
+            .call(Request::Checkin { client: self.client, updates: self.staged.clone() })?;
         match response {
             Response::Ack(Ok(())) => {
                 self.staged.clear();
@@ -199,7 +203,10 @@ mod tests {
                 Value::string("Handles alarms")
             );
             session.create_object("Data", "OperatorAlert");
-            session.create_relationship("Access", &[("from", "OperatorAlert"), ("by", "AlarmHandler")]);
+            session.create_relationship(
+                "Access",
+                &[("from", "OperatorAlert"), ("by", "AlarmHandler")],
+            );
             assert_eq!(session.staged_count(), 3);
             session.commit().unwrap();
             assert_eq!(session.staged_count(), 0);
@@ -264,7 +271,10 @@ mod tests {
             session.checkout(&["AlarmHandler"]).unwrap();
             session.set_value("AlarmHandler.Description", Value::string("ok")).unwrap();
             session.commit().unwrap();
-            assert_eq!(handle.retrieve("AlarmHandler.Description").unwrap().value, Value::string("ok"));
+            assert_eq!(
+                handle.retrieve("AlarmHandler.Description").unwrap().value,
+                Value::string("ok")
+            );
         }
         handle.shutdown().unwrap();
         join.join().unwrap();

@@ -92,9 +92,7 @@ impl SeedServer {
             }
         }
         for (_, id) in &object_ids {
-            locks
-                .acquire(*id, client)
-                .expect("conflicts were ruled out above");
+            locks.acquire(*id, client).expect("conflicts were ruled out above");
         }
         self.checkouts
             .lock()
@@ -281,7 +279,12 @@ impl ServerHandle {
     }
 
     /// Convenience: sets a value through a one-shot checkout/check-in cycle.
-    pub fn quick_set_value(&self, client: ClientId, object: &str, value: Value) -> ServerResult<()> {
+    pub fn quick_set_value(
+        &self,
+        client: ClientId,
+        object: &str,
+        value: Value,
+    ) -> ServerResult<()> {
         match self.call(Request::Checkout { client, objects: vec![object.to_string()] })? {
             Response::Checkout(Ok(_)) => {}
             Response::Checkout(Err(e)) => return Err(e),
@@ -401,7 +404,10 @@ mod tests {
         let err = server
             .checkin(
                 c1,
-                &[Update::SetValue { object: "AlarmHandler.Description".into(), value: Value::string("x") }],
+                &[Update::SetValue {
+                    object: "AlarmHandler.Description".into(),
+                    value: Value::string("x"),
+                }],
             )
             .unwrap_err();
         assert!(matches!(err, ServerError::NotCheckedOut(_)));
@@ -430,7 +436,10 @@ mod tests {
         let c1 = server.connect();
         server.checkout(c1, &["Alarms"]).unwrap();
         server
-            .checkin(c1, &[Update::Reclassify { object: "Alarms".into(), new_class: "OutputData".into() }])
+            .checkin(
+                c1,
+                &[Update::Reclassify { object: "Alarms".into(), new_class: "OutputData".into() }],
+            )
             .unwrap();
         let v2 = server.create_version("after reclassification").unwrap();
         assert_eq!(v2.to_string(), "2.0");
@@ -454,14 +463,22 @@ mod tests {
                 match handle
                     .call(Request::Checkin {
                         client,
-                        updates: vec![Update::CreateObject { class: "Data".into(), name: name.clone() }],
+                        updates: vec![Update::CreateObject {
+                            class: "Data".into(),
+                            name: name.clone(),
+                        }],
                     })
                     .unwrap()
                 {
                     Response::Ack(result) => result.unwrap(),
                     other => panic!("unexpected response {other:?}"),
                 }
-                handle.quick_set_value(client, "AlarmHandler.Description", Value::string(format!("by {i}")))
+                handle
+                    .quick_set_value(
+                        client,
+                        "AlarmHandler.Description",
+                        Value::string(format!("by {i}")),
+                    )
                     .ok(); // may conflict with another worker holding the lock; that's fine
                 handle.retrieve(&name).unwrap();
             }));

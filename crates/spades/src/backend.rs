@@ -85,7 +85,10 @@ mod tests {
         let info = backend.element("Alarms").unwrap();
         assert_eq!(info.kind, ElementKind::OutputData);
         assert_eq!(info.keywords, vec!["Alarmhandling", "Display"]);
-        assert!(info.flows.iter().any(|(d, k, a)| d == "Alarms" && *k == FlowKind::Write && a == "AlarmHandler"));
+        assert!(info
+            .flows
+            .iter()
+            .any(|(d, k, a)| d == "Alarms" && *k == FlowKind::Write && a == "AlarmHandler"));
         let handler = backend.element("AlarmHandler").unwrap();
         assert_eq!(handler.description.as_deref(), Some("Handles alarms"));
         assert_eq!(handler.kind, ElementKind::Action);

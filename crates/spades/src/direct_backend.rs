@@ -50,10 +50,7 @@ impl DirectBackend {
     }
 
     fn element_mut(&mut self, name: &str) -> SpadesResult<&mut Element> {
-        self.state
-            .elements
-            .get_mut(name)
-            .ok_or_else(|| SpadesError::Unknown(name.to_string()))
+        self.state.elements.get_mut(name).ok_or_else(|| SpadesError::Unknown(name.to_string()))
     }
 }
 
@@ -66,10 +63,9 @@ impl SpecBackend for DirectBackend {
         if self.state.elements.contains_key(name) {
             return Err(SpadesError::Duplicate(name.to_string()));
         }
-        self.state.elements.insert(
-            name.to_string(),
-            Element { kind, description: None, keywords: Vec::new() },
-        );
+        self.state
+            .elements
+            .insert(name.to_string(), Element { kind, description: None, keywords: Vec::new() });
         Ok(())
     }
 
@@ -121,11 +117,8 @@ impl SpecBackend for DirectBackend {
     }
 
     fn element(&self, name: &str) -> SpadesResult<ElementInfo> {
-        let element = self
-            .state
-            .elements
-            .get(name)
-            .ok_or_else(|| SpadesError::Unknown(name.to_string()))?;
+        let element =
+            self.state.elements.get(name).ok_or_else(|| SpadesError::Unknown(name.to_string()))?;
         let mut keywords = element.keywords.clone();
         keywords.sort();
         let flows: Vec<(String, FlowKind, String)> = self

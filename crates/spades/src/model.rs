@@ -112,7 +112,10 @@ mod tests {
         assert!(ElementKind::Thing.can_refine_to(ElementKind::Data));
         assert!(ElementKind::Thing.can_refine_to(ElementKind::Action));
         assert!(ElementKind::Data.can_refine_to(ElementKind::OutputData));
-        assert!(ElementKind::OutputData.can_refine_to(ElementKind::InputData), "lateral move allowed");
+        assert!(
+            ElementKind::OutputData.can_refine_to(ElementKind::InputData),
+            "lateral move allowed"
+        );
         assert!(!ElementKind::Data.can_refine_to(ElementKind::Action));
         assert!(!ElementKind::Action.can_refine_to(ElementKind::Data));
         assert!(ElementKind::InputData.is_data());

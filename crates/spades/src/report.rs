@@ -35,7 +35,10 @@ pub fn specification_report(backend: &dyn SpecBackend) -> String {
             undescribed += 1;
         }
     }
-    let _ = writeln!(out, "{vague} elements still vague (kind Thing), {undescribed} without description");
+    let _ = writeln!(
+        out,
+        "{vague} elements still vague (kind Thing), {undescribed} without description"
+    );
     let findings = backend.incompleteness_findings();
     let _ = writeln!(out, "{findings} incompleteness finding(s) reported by the backend");
     let _ = writeln!(out);

@@ -76,7 +76,11 @@ impl SeedBackend {
     }
 
     /// Finds the relationship representing the flow between `data` and `action`, if any.
-    fn flow_relationship(&self, data: ObjectId, action: ObjectId) -> Option<seed_core::RelationshipId> {
+    fn flow_relationship(
+        &self,
+        data: ObjectId,
+        action: ObjectId,
+    ) -> Option<seed_core::RelationshipId> {
         let schema = self.db.schema();
         let access = schema.association_id("Access").ok()?;
         let mut hierarchy = schema.association_descendants(access);
@@ -194,8 +198,12 @@ impl SpecBackend for SeedBackend {
                     )?;
                 } else {
                     let text_obj = self.db.create_dependent(id, "Text", Value::Undefined)?;
-                    let body =
-                        self.db.create_dependent_named(text_obj, "Body", NameSegment::plain("Body"), Value::Undefined)?;
+                    let body = self.db.create_dependent_named(
+                        text_obj,
+                        "Body",
+                        NameSegment::plain("Body"),
+                        Value::Undefined,
+                    )?;
                     self.db.create_dependent_named(
                         body,
                         "Contents",
@@ -219,7 +227,12 @@ impl SpecBackend for SeedBackend {
             .find(|c| c.name.leaf().name == "Text" || c.name.leaf().name.starts_with("Text["))
         {
             Some(t) => t.id,
-            None => self.db.create_dependent_named(id, "Text", NameSegment::plain("Text"), Value::Undefined)?,
+            None => self.db.create_dependent_named(
+                id,
+                "Text",
+                NameSegment::plain("Text"),
+                Value::Undefined,
+            )?,
         };
         let body = match self
             .db
@@ -229,7 +242,12 @@ impl SpecBackend for SeedBackend {
             .find(|c| c.name.leaf().name == "Body")
         {
             Some(b) => b.id,
-            None => self.db.create_dependent_named(text, "Body", NameSegment::plain("Body"), Value::Undefined)?,
+            None => self.db.create_dependent_named(
+                text,
+                "Body",
+                NameSegment::plain("Body"),
+                Value::Undefined,
+            )?,
         };
         self.db.create_dependent(body, "Keywords", Value::string(keyword))?;
         Ok(())
@@ -271,7 +289,8 @@ impl SpecBackend for SeedBackend {
             .collect();
         keywords.sort();
         let schema = self.db.schema();
-        let access = schema.association_id("Access").map_err(|e| SpadesError::Seed(SeedError::Schema(e)))?;
+        let access =
+            schema.association_id("Access").map_err(|e| SpadesError::Seed(SeedError::Schema(e)))?;
         let mut hierarchy = schema.association_descendants(access);
         hierarchy.push(access);
         let mut flows = Vec::new();
@@ -376,11 +395,16 @@ mod tests {
     fn descriptions_keywords_and_reports() {
         let mut backend = SeedBackend::new();
         backend.add_element("Alarms", ElementKind::Data).unwrap();
-        backend.set_description("Alarms", "Alarms are represented in an alarm display matrix").unwrap();
+        backend
+            .set_description("Alarms", "Alarms are represented in an alarm display matrix")
+            .unwrap();
         backend.add_keyword("Alarms", "Alarmhandling").unwrap();
         backend.add_keyword("Alarms", "Display").unwrap();
         let info = backend.element("Alarms").unwrap();
-        assert_eq!(info.description.as_deref(), Some("Alarms are represented in an alarm display matrix"));
+        assert_eq!(
+            info.description.as_deref(),
+            Some("Alarms are represented in an alarm display matrix")
+        );
         assert_eq!(info.keywords.len(), 2);
         // Updating the description of an action replaces the value in place.
         backend.add_element("Sensor", ElementKind::Action).unwrap();

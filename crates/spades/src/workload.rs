@@ -121,8 +121,10 @@ impl Workload {
     pub fn generate(config: &WorkloadConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut ops = Vec::new();
-        let data_names: Vec<String> = (0..config.data_elements).map(|i| format!("Data{i:03}")).collect();
-        let action_names: Vec<String> = (0..config.actions).map(|i| format!("Action{i:03}")).collect();
+        let data_names: Vec<String> =
+            (0..config.data_elements).map(|i| format!("Data{i:03}")).collect();
+        let action_names: Vec<String> =
+            (0..config.actions).map(|i| format!("Action{i:03}")).collect();
 
         // Phase 1: elements enter the specification, some of them vaguely.
         let mut vague: Vec<(String, ElementKind)> = Vec::new();
@@ -181,7 +183,8 @@ impl Workload {
                 flows.push((data.clone(), action.clone()));
             }
         }
-        let mut direction: std::collections::HashMap<String, FlowKind> = std::collections::HashMap::new();
+        let mut direction: std::collections::HashMap<String, FlowKind> =
+            std::collections::HashMap::new();
         for (data, action) in &flows {
             if !rng.gen_bool(0.5) {
                 continue;
@@ -196,8 +199,11 @@ impl Workload {
             // Reads need InputData, writes need OutputData: refine the element first so the
             // sequence is valid on the checked backend too (re-refining to the same kind is a
             // no-op for SEED).
-            let target =
-                if kind == FlowKind::Read { ElementKind::InputData } else { ElementKind::OutputData };
+            let target = if kind == FlowKind::Read {
+                ElementKind::InputData
+            } else {
+                ElementKind::OutputData
+            };
             ops.push(SpecOp::RefineElement { name: data.clone(), kind: target });
             ops.push(SpecOp::RefineFlow { data: data.clone(), action: action.clone(), kind });
         }
@@ -209,8 +215,9 @@ impl Workload {
         }
 
         // Interleave checkpoints.
-        if config.checkpoint_every > 0 {
-            let mut with_checkpoints = Vec::with_capacity(ops.len() + ops.len() / config.checkpoint_every + 1);
+        // `checked_div` is `None` exactly when `checkpoint_every` is 0, i.e. "never checkpoint".
+        if let Some(checkpoints) = ops.len().checked_div(config.checkpoint_every) {
+            let mut with_checkpoints = Vec::with_capacity(ops.len() + checkpoints + 1);
             for (i, op) in ops.into_iter().enumerate() {
                 with_checkpoints.push(op);
                 if (i + 1) % config.checkpoint_every == 0 {
@@ -247,7 +254,9 @@ impl Workload {
                 SpecOp::AddElement { name, kind } => backend.add_element(name, *kind),
                 SpecOp::RefineElement { name, kind } => backend.refine_element(name, *kind),
                 SpecOp::AddFlow { data, action, kind } => backend.add_flow(data, action, *kind),
-                SpecOp::RefineFlow { data, action, kind } => backend.refine_flow(data, action, *kind),
+                SpecOp::RefineFlow { data, action, kind } => {
+                    backend.refine_flow(data, action, *kind)
+                }
                 SpecOp::SetDescription { name, text } => backend.set_description(name, text),
                 SpecOp::AddKeyword { name, keyword } => backend.add_keyword(name, keyword),
                 SpecOp::Contain { inner, outer } => backend.contain(inner, outer),
@@ -295,7 +304,10 @@ mod tests {
         let mut seed = SeedBackend::new();
         let rejected_seed = workload.apply(&mut seed);
         // The generator emits consistent sequences, so SEED accepts them all too.
-        assert_eq!(rejected_seed, 0, "SEED rejected {rejected_seed} operations of a valid sequence");
+        assert_eq!(
+            rejected_seed, 0,
+            "SEED rejected {rejected_seed} operations of a valid sequence"
+        );
 
         // Both tools end up with the same number of elements.
         assert_eq!(direct.element_names().len(), 15 + 8);
@@ -309,7 +321,12 @@ mod tests {
 
     #[test]
     fn checkpoints_can_be_disabled() {
-        let config = WorkloadConfig { data_elements: 5, actions: 2, checkpoint_every: 0, ..WorkloadConfig::default() };
+        let config = WorkloadConfig {
+            data_elements: 5,
+            actions: 2,
+            checkpoint_every: 0,
+            ..WorkloadConfig::default()
+        };
         let workload = Workload::generate(&config);
         assert!(!workload.ops.iter().any(|op| matches!(op, SpecOp::Checkpoint { .. })));
     }

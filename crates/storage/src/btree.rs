@@ -16,7 +16,7 @@ const DEFAULT_ORDER: usize = 32;
 #[derive(Debug, Clone)]
 enum Node {
     Leaf { keys: Vec<Vec<u8>>, values: Vec<u64> },
-    Internal { keys: Vec<Vec<u8>>, children: Vec<Box<Node>> },
+    Internal { keys: Vec<Vec<u8>>, children: Vec<Node> },
 }
 
 impl Node {
@@ -113,7 +113,7 @@ impl BPlusTree {
                     self.len += 1;
                 }
                 let old_root = std::mem::replace(&mut self.root, Box::new(Node::new_leaf()));
-                self.root = Box::new(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+                *self.root = Node::Internal { keys: vec![sep], children: vec![*old_root, *right] };
                 replaced
             }
         }
@@ -121,32 +121,30 @@ impl BPlusTree {
 
     fn insert_rec(node: &mut Node, key: &[u8], value: u64, order: usize) -> InsertResult {
         match node {
-            Node::Leaf { keys, values } => {
-                match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
-                    Ok(i) => {
-                        let old = values[i];
-                        values[i] = value;
-                        InsertResult::Fit(Some(old))
-                    }
-                    Err(i) => {
-                        keys.insert(i, key.to_vec());
-                        values.insert(i, value);
-                        if keys.len() > order {
-                            let mid = keys.len() / 2;
-                            let right_keys = keys.split_off(mid);
-                            let right_values = values.split_off(mid);
-                            let sep = right_keys[0].clone();
-                            InsertResult::Split {
-                                sep,
-                                right: Box::new(Node::Leaf { keys: right_keys, values: right_values }),
-                                replaced: None,
-                            }
-                        } else {
-                            InsertResult::Fit(None)
+            Node::Leaf { keys, values } => match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                Ok(i) => {
+                    let old = values[i];
+                    values[i] = value;
+                    InsertResult::Fit(Some(old))
+                }
+                Err(i) => {
+                    keys.insert(i, key.to_vec());
+                    values.insert(i, value);
+                    if keys.len() > order {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_values = values.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        InsertResult::Split {
+                            sep,
+                            right: Box::new(Node::Leaf { keys: right_keys, values: right_values }),
+                            replaced: None,
                         }
+                    } else {
+                        InsertResult::Fit(None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
                     Ok(i) => i + 1,
@@ -156,7 +154,7 @@ impl BPlusTree {
                     InsertResult::Fit(replaced) => InsertResult::Fit(replaced),
                     InsertResult::Split { sep, right, replaced } => {
                         keys.insert(idx, sep);
-                        children.insert(idx + 1, right);
+                        children.insert(idx + 1, *right);
                         if keys.len() > order {
                             let mid = keys.len() / 2;
                             let sep_up = keys[mid].clone();
@@ -165,7 +163,10 @@ impl BPlusTree {
                             let right_children = children.split_off(mid + 1);
                             InsertResult::Split {
                                 sep: sep_up,
-                                right: Box::new(Node::Internal { keys: right_keys, children: right_children }),
+                                right: Box::new(Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
                                 replaced,
                             }
                         } else {
@@ -213,13 +214,15 @@ impl BPlusTree {
     pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
         fn remove_rec(node: &mut Node, key: &[u8]) -> Option<u64> {
             match node {
-                Node::Leaf { keys, values } => match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
-                    Ok(i) => {
-                        keys.remove(i);
-                        Some(values.remove(i))
+                Node::Leaf { keys, values } => {
+                    match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            keys.remove(i);
+                            Some(values.remove(i))
+                        }
+                        Err(_) => None,
                     }
-                    Err(_) => None,
-                },
+                }
                 Node::Internal { keys, children } => {
                     let idx = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
                         Ok(i) => i + 1,

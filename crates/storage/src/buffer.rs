@@ -88,10 +88,9 @@ impl BufferPool {
         Self::make_room(&mut inner, &self.store)?;
         inner.tick += 1;
         let tick = inner.tick;
-        inner.frames.insert(
-            id,
-            Frame { page: Page::new(id), dirty: true, pins: 0, last_used: tick },
-        );
+        inner
+            .frames
+            .insert(id, Frame { page: Page::new(id), dirty: true, pins: 0, last_used: tick });
         Ok(id)
     }
 
@@ -104,11 +103,7 @@ impl BufferPool {
     }
 
     /// Runs `f` with mutable access to the page and marks it dirty.
-    pub fn with_page_mut<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&mut Page) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         self.ensure_resident(&mut inner, id)?;
         let frame = inner.frames.get_mut(&id).expect("just made resident");
@@ -127,10 +122,7 @@ impl BufferPool {
     /// Releases a pin previously taken with [`BufferPool::pin`].
     pub fn unpin(&self, id: PageId) -> StorageResult<()> {
         let mut inner = self.inner.lock();
-        let frame = inner
-            .frames
-            .get_mut(&id)
-            .ok_or(StorageError::PageNotFound(id))?;
+        let frame = inner.frames.get_mut(&id).ok_or(StorageError::PageNotFound(id))?;
         if frame.pins == 0 {
             return Err(StorageError::InvalidArgument(format!("page {id} is not pinned")));
         }
@@ -141,12 +133,8 @@ impl BufferPool {
     /// Writes every dirty resident page back to the store and syncs it.
     pub fn flush_all(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
-        let dirty_ids: Vec<PageId> = inner
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(id, _)| *id)
-            .collect();
+        let dirty_ids: Vec<PageId> =
+            inner.frames.iter().filter(|(_, f)| f.dirty).map(|(id, _)| *id).collect();
         for id in dirty_ids {
             let frame = inner.frames.get_mut(&id).expect("listed above");
             self.store.write_page(&frame.page)?;

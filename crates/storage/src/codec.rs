@@ -301,17 +301,7 @@ mod tests {
 
     #[test]
     fn roundtrip_varint_boundaries() {
-        let values = [
-            0u64,
-            1,
-            127,
-            128,
-            255,
-            16_383,
-            16_384,
-            u32::MAX as u64,
-            u64::MAX,
-        ];
+        let values = [0u64, 1, 127, 128, 255, 16_383, 16_384, u32::MAX as u64, u64::MAX];
         for &v in &values {
             let mut e = Encoder::new();
             e.put_varint(v);
@@ -325,7 +315,11 @@ mod tests {
     #[test]
     fn roundtrip_strings_and_bytes() {
         let mut e = Encoder::new();
-        e.put_str("AlarmHandler").put_bytes(b"\x00\x01\x02").put_str("").put_opt_u64(Some(9)).put_opt_u64(None);
+        e.put_str("AlarmHandler")
+            .put_bytes(b"\x00\x01\x02")
+            .put_str("")
+            .put_opt_u64(Some(9))
+            .put_opt_u64(None);
         let bytes = e.finish();
         let mut d = Decoder::new(&bytes);
         assert_eq!(d.get_str().unwrap(), "AlarmHandler");

@@ -52,7 +52,7 @@ struct EngineInner {
     index: BPlusTree,
     heap: HeapFile,
     /// Pending (uncommitted) effects per transaction: key -> Some(value) for put, None for delete.
-    pending: HashMap<TxnId, Vec<(Vec<u8>, Option<Vec<u8>>)>>,
+    pending: HashMap<TxnId, Vec<crate::wal::KeyEffect>>,
     closed: bool,
 }
 
@@ -70,7 +70,12 @@ pub struct StorageEngine {
 impl StorageEngine {
     /// Opens an ephemeral in-memory engine.
     pub fn in_memory() -> StorageResult<Self> {
-        Self::build(Arc::new(MemoryPageStore::new()), WriteAheadLog::in_memory(), None, EngineConfig::default())
+        Self::build(
+            Arc::new(MemoryPageStore::new()),
+            WriteAheadLog::in_memory(),
+            None,
+            EngineConfig::default(),
+        )
     }
 
     /// Opens (or creates) a durable engine in directory `dir` using default configuration.
@@ -452,8 +457,8 @@ mod tests {
     use super::*;
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("seed-engine-test-{}-{}", std::process::id(), name));
+        let dir =
+            std::env::temp_dir().join(format!("seed-engine-test-{}-{}", std::process::id(), name));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -548,7 +553,9 @@ mod tests {
         {
             let engine = StorageEngine::open(&dir).unwrap();
             for i in 0..100u32 {
-                engine.put(format!("key/{i:03}").as_bytes(), format!("value {i}").as_bytes()).unwrap();
+                engine
+                    .put(format!("key/{i:03}").as_bytes(), format!("value {i}").as_bytes())
+                    .unwrap();
             }
             engine.checkpoint().unwrap();
             // Post-checkpoint mutations only in the WAL.

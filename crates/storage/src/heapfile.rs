@@ -59,7 +59,10 @@ impl HeapFile {
 
     /// Re-attaches a heap file to pages that already exist (used after recovery): the caller
     /// supplies the page ids that belong to this file.
-    pub fn attach(pool: Arc<BufferPool>, pages: impl IntoIterator<Item = PageId>) -> StorageResult<Self> {
+    pub fn attach(
+        pool: Arc<BufferPool>,
+        pages: impl IntoIterator<Item = PageId>,
+    ) -> StorageResult<Self> {
         let file = Self::new(pool);
         {
             let mut fs = file.free_space.lock();
@@ -97,7 +100,9 @@ impl HeapFile {
             Some(id) => id,
             None => {
                 let id = self.pool.allocate_page()?;
-                self.free_space.lock().insert(id, crate::page::PAGE_SIZE - crate::page::PAGE_HEADER_SIZE);
+                self.free_space
+                    .lock()
+                    .insert(id, crate::page::PAGE_SIZE - crate::page::PAGE_HEADER_SIZE);
                 id
             }
         };

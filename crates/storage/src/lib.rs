@@ -18,6 +18,7 @@
 //! over byte keys plus checkpoint/recovery.  Higher-level notions (objects, relationships,
 //! versions, patterns) live in `seed-core`.
 
+pub mod btree;
 pub mod buffer;
 pub mod codec;
 pub mod engine;
@@ -25,9 +26,9 @@ pub mod error;
 pub mod heapfile;
 pub mod page;
 pub mod pagestore;
-pub mod btree;
 pub mod wal;
 
+pub use btree::BPlusTree;
 pub use buffer::BufferPool;
 pub use codec::{Decoder, Encoder};
 pub use engine::{EngineConfig, StorageEngine};
@@ -35,5 +36,4 @@ pub use error::{StorageError, StorageResult};
 pub use heapfile::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagestore::{FilePageStore, MemoryPageStore, PageStore};
-pub use btree::BPlusTree;
 pub use wal::{LogRecord, Lsn, WriteAheadLog};

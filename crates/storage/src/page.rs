@@ -206,9 +206,8 @@ impl Page {
             }
         }
         // Reuse a deleted slot if one exists, otherwise append a new one.
-        let slot = (0..self.slot_count())
-            .find(|&s| self.slot_entry(s).0 == 0)
-            .unwrap_or_else(|| {
+        let slot =
+            (0..self.slot_count()).find(|&s| self.slot_entry(s).0 == 0).unwrap_or_else(|| {
                 let s = self.slot_count();
                 self.set_slot_count(s + 1);
                 self.set_slot_entry(s, 0, 0);
@@ -307,10 +306,8 @@ impl Page {
 
     /// Rewrites the record heap to remove holes left by deletions and shrinking updates.
     pub fn compact(&mut self) {
-        let live: Vec<(u16, Vec<u8>)> = self
-            .records()
-            .map(|(slot, rec)| (slot, rec.to_vec()))
-            .collect();
+        let live: Vec<(u16, Vec<u8>)> =
+            self.records().map(|(slot, rec)| (slot, rec.to_vec())).collect();
         // Clear the heap and re-insert from the top.
         let mut heap = PAGE_SIZE;
         for (slot, rec) in &live {
@@ -506,9 +503,9 @@ mod proptests {
                     Op::Update(i, data) => {
                         if known_slots.is_empty() { continue; }
                         let slot = known_slots[i % known_slots.len()];
-                        if model.contains_key(&slot) {
+                        if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(slot) {
                             if page.update(slot, &data).is_ok() {
-                                model.insert(slot, data);
+                                e.insert(data);
                             }
                         } else {
                             prop_assert!(page.update(slot, &data).is_err());

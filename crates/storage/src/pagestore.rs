@@ -48,10 +48,7 @@ impl MemoryPageStore {
 impl PageStore for MemoryPageStore {
     fn read_page(&self, id: PageId) -> StorageResult<Page> {
         let pages = self.pages.lock();
-        pages
-            .get(id as usize)
-            .and_then(|p| p.clone())
-            .ok_or(StorageError::PageNotFound(id))
+        pages.get(id as usize).and_then(|p| p.clone()).ok_or(StorageError::PageNotFound(id))
     }
 
     fn write_page(&self, page: &Page) -> StorageResult<()> {
@@ -91,12 +88,8 @@ impl FilePageStore {
     /// Opens (or creates) a page file at `path`.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(StorageError::Corrupt(format!(
@@ -104,11 +97,7 @@ impl FilePageStore {
                 path.display()
             )));
         }
-        Ok(Self {
-            file: Mutex::new(file),
-            path,
-            next_page: AtomicU64::new(len / PAGE_SIZE as u64),
-        })
+        Ok(Self { file: Mutex::new(file), path, next_page: AtomicU64::new(len / PAGE_SIZE as u64) })
     }
 
     /// Path of the underlying file.

@@ -83,11 +83,11 @@ impl LogRecord {
                 key: d.get_bytes()?.to_vec(),
                 value: d.get_bytes()?.to_vec(),
             },
-            Self::TAG_DELETE => LogRecord::Delete { txn: d.get_u64()?, key: d.get_bytes()?.to_vec() },
-            Self::TAG_CHECKPOINT => LogRecord::Checkpoint { up_to: d.get_u64()? },
-            other => {
-                return Err(StorageError::Corrupt(format!("unknown WAL record tag {other}")))
+            Self::TAG_DELETE => {
+                LogRecord::Delete { txn: d.get_u64()?, key: d.get_bytes()?.to_vec() }
             }
+            Self::TAG_CHECKPOINT => LogRecord::Checkpoint { up_to: d.get_u64()? },
+            other => return Err(StorageError::Corrupt(format!("unknown WAL record tag {other}"))),
         };
         Ok(rec)
     }
@@ -113,15 +113,9 @@ impl WriteAheadLog {
     /// Opens (or creates) a log file at `path`.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)?;
-        let wal = Self {
-            backend: Mutex::new(WalBackend::File { file, path }),
-            next_lsn: Mutex::new(1),
-        };
+        let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
+        let wal =
+            Self { backend: Mutex::new(WalBackend::File { file, path }), next_lsn: Mutex::new(1) };
         // Establish the next LSN by scanning existing frames.
         let existing = wal.read_all()?;
         *wal.next_lsn.lock() = existing.len() as Lsn + 1;
@@ -212,11 +206,8 @@ impl WriteAheadLog {
             WalBackend::Memory(buf) => buf.clear(),
             WalBackend::File { file, path } => {
                 file.sync_data()?;
-                let new_file = OpenOptions::new()
-                    .read(true)
-                    .write(true)
-                    .truncate(true)
-                    .open(&*path)?;
+                let new_file =
+                    OpenOptions::new().read(true).write(true).truncate(true).open(&*path)?;
                 new_file.sync_data()?;
                 // Re-open in append mode to keep the invariant that writes go to the end.
                 *file = OpenOptions::new().read(true).append(true).open(&*path)?;
@@ -236,15 +227,18 @@ impl WriteAheadLog {
     }
 }
 
+/// One logged effect on a key: `Some(value)` for a put, `None` for a delete.
+pub type KeyEffect = (Vec<u8>, Option<Vec<u8>>);
+
 /// Replays a log into the set of committed key/value effects.
 ///
 /// Effects of transactions without a `Commit` record are discarded, matching the paper's
 /// requirement that the database "permanently ensures consistency": only complete, checked
 /// transactions become visible.
-pub fn replay_committed(records: &[(Lsn, LogRecord)]) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+pub fn replay_committed(records: &[(Lsn, LogRecord)]) -> Vec<KeyEffect> {
     use std::collections::HashMap;
-    let mut pending: HashMap<u64, Vec<(Vec<u8>, Option<Vec<u8>>)>> = HashMap::new();
-    let mut committed: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
+    let mut pending: HashMap<u64, Vec<KeyEffect>> = HashMap::new();
+    let mut committed: Vec<KeyEffect> = Vec::new();
     for (_, rec) in records {
         match rec {
             LogRecord::Begin { txn } => {
@@ -433,7 +427,11 @@ mod proptests {
             any::<u64>().prop_map(|txn| LogRecord::Begin { txn }),
             any::<u64>().prop_map(|txn| LogRecord::Commit { txn }),
             any::<u64>().prop_map(|txn| LogRecord::Abort { txn }),
-            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64), proptest::collection::vec(any::<u8>(), 0..64))
+            (
+                any::<u64>(),
+                proptest::collection::vec(any::<u8>(), 0..64),
+                proptest::collection::vec(any::<u8>(), 0..64)
+            )
                 .prop_map(|(txn, key, value)| LogRecord::Put { txn, key, value }),
             (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
                 .prop_map(|(txn, key)| LogRecord::Delete { txn, key }),

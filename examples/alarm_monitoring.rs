@@ -27,8 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.create_relationship("Read", &[("from", alarms), ("by", handler)])?;
 
     // Item (3): the dependent object 'Alarms.Text' with Body and Selector.
-    let text = db.create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)?;
-    let body = db.create_dependent_named(text, "Body", NameSegment::plain("Body"), Value::Undefined)?;
+    let text =
+        db.create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)?;
+    let body =
+        db.create_dependent_named(text, "Body", NameSegment::plain("Body"), Value::Undefined)?;
     db.create_dependent_named(
         body,
         "Contents",
@@ -47,14 +49,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- Figure 1 object-relationship structure -----------------");
     for object in db.objects_with_name_prefix("Alarm") {
-        let value = if object.value.is_undefined() { String::new() } else { format!(" = {}", object.value) };
+        let value = if object.value.is_undefined() {
+            String::new()
+        } else {
+            format!(" = {}", object.value)
+        };
         println!("{}{}", object.name, value);
     }
     println!();
     println!("relationships of 'Alarms':");
     for rel in db.relationships(alarms) {
         let assoc = db.schema().association(rel.record.association)?.name.clone();
-        let by = rel.record.bound("by").and_then(|id| db.object(id).ok()).map(|o| o.name.to_string());
+        let by =
+            rel.record.bound("by").and_then(|id| db.object(id).ok()).map(|o| o.name.to_string());
         println!("  {assoc} by {}", by.unwrap_or_default());
     }
 

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("created version {v20}");
 
     // Current: further work, a new object appears (like Figure 4b's richer current state).
-    db.set_value(desc, Value::string("Generates alarms from process data, triggers Operator Alert"))?;
+    db.set_value(
+        desc,
+        Value::string("Generates alarms from process data, triggers Operator Alert"),
+    )?;
     db.set_value(revised, Value::date(1986, 2, 5).unwrap())?;
     db.create_object("Action", "OperatorAlert")?;
 
@@ -84,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("version tree:");
     for info in db.versions() {
         let parent = info.parent.as_ref().map(|p| p.to_string()).unwrap_or_else(|| "-".into());
-        println!("  {}  (parent {}, {} changed items) {}", info.id, parent, info.delta_size, info.comment);
+        println!(
+            "  {}  (parent {}, {} changed items) {}",
+            info.id, parent, info.delta_size, info.comment
+        );
     }
     Ok(())
 }

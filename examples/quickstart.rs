@@ -10,8 +10,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A schema: here the paper's Figure 3 schema (Thing ⊒ Data/Action, Access ⊒ Read/Write).
     let schema = figure3_schema();
     assert!(validate_schema(&schema).is_empty());
-    println!("schema '{}' with {} classes and {} associations",
-        schema.name, schema.class_count(), schema.association_count());
+    println!(
+        "schema '{}' with {} classes and {} associations",
+        schema.name,
+        schema.class_count(),
+        schema.association_count()
+    );
 
     // 2. A database over that schema.
     let mut db = Database::new(schema);
@@ -39,8 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v1 = db.create_version("first cut")?;
     let desc = db.create_dependent(sensor, "Description", Value::string("Polls the sensors"))?;
     println!("current description: {}", db.value(desc));
-    println!("stored versions: {:?}",
-        db.versions().iter().map(|v| v.id.to_string()).collect::<Vec<_>>());
+    println!(
+        "stored versions: {:?}",
+        db.versions().iter().map(|v| v.id.to_string()).collect::<Vec<_>>()
+    );
 
     // 8. Retrieval: by name (the prototype's interface) or with the query language extension.
     println!("by name: {}", db.object_by_name("Alarms")?.name);

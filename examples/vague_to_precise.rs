@@ -14,7 +14,11 @@ fn describe(db: &Database, name: &str) -> String {
     let class = db.schema().class(object.class).map(|c| c.name.clone()).unwrap_or_default();
     let mut lines = vec![format!("'{name}' is a {class}")];
     for rel in db.relationships(object.id) {
-        let assoc = db.schema().association(rel.record.association).map(|a| a.name.clone()).unwrap_or_default();
+        let assoc = db
+            .schema()
+            .association(rel.record.association)
+            .map(|a| a.name.clone())
+            .unwrap_or_default();
         let partner = rel
             .record
             .bindings
@@ -25,7 +29,8 @@ fn describe(db: &Database, name: &str) -> String {
             .unwrap_or_default();
         let attrs: Vec<String> =
             rel.record.attributes.iter().map(|(k, v)| format!("{k}={v}")).collect();
-        let attr_text = if attrs.is_empty() { String::new() } else { format!(" ({})", attrs.join(", ")) };
+        let attr_text =
+            if attrs.is_empty() { String::new() } else { format!(" ({})", attrs.join(", ")) };
         lines.push(format!("    {assoc} with {partner}{attr_text}"));
     }
     lines.join("\n")

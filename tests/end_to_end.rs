@@ -102,7 +102,8 @@ fn transition_rules_guard_releases() {
     db.add_transition_rule(TransitionRule::MonotonicValue { class: "Thing.Revised".into() });
 
     let handler = db.create_object("Action", "AlarmHandler").unwrap();
-    let revised = db.create_dependent(handler, "Revised", Value::date(1985, 6, 1).unwrap()).unwrap();
+    let revised =
+        db.create_dependent(handler, "Revised", Value::date(1985, 6, 1).unwrap()).unwrap();
     db.create_version("1.0").unwrap();
 
     // Moving the revision date backwards is rejected at version-creation time.

@@ -46,7 +46,10 @@ fn checkout_checkin_cycle_against_populated_database() {
                 Update::CreateObject { class: "Action".into(), name: "Archiver".into() },
                 Update::CreateRelationship {
                     association: "Access".into(),
-                    bindings: vec![("from".into(), "Data000".into()), ("by".into(), "Archiver".into())],
+                    bindings: vec![
+                        ("from".into(), "Data000".into()),
+                        ("by".into(), "Archiver".into()),
+                    ],
                 },
             ],
         )
@@ -85,9 +88,7 @@ fn concurrent_sessions_build_disjoint_subsystems() {
 
             // Then each worker updates its own data element under a lock.
             session.checkout(&[data.as_str()]).unwrap();
-            session
-                .create_dependent(&data, "Text", Value::Undefined)
-                .unwrap();
+            session.create_dependent(&data, "Text", Value::Undefined).unwrap();
             session.commit().unwrap();
         }));
     }

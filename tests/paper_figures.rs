@@ -100,10 +100,7 @@ fn figure2_schema_constraints() {
     // (2) Entering 'Alarms' without Read/Write relationships is possible *because* minimum
     //     cardinalities are completeness information — but the completeness analysis reports it.
     let report = db.completeness_report();
-    assert!(report
-        .findings
-        .iter()
-        .any(|f| f.subject() == "Alarms"));
+    assert!(report.findings.iter().any(|f| f.subject() == "Alarms"));
     // The 17th Text sub-object is rejected (maximum cardinality = consistency information).
     for _ in 0..16 {
         db.create_dependent(alarms, "Text", Value::Undefined).unwrap();
@@ -138,8 +135,10 @@ fn figure3_vague_information_workflow() {
     // must access at least one object of class 'Data'.  However, the cardinality 0..* of 'Read
     // by' and 'Write by' allows either a write or a read access to satisfy this condition."
     let report = db.completeness_report();
-    assert!(!report.findings.iter().any(|f| f.subject() == "Sensor"),
-        "the Write relationship satisfies Sensor's Access obligation: {report}");
+    assert!(
+        !report.findings.iter().any(|f| f.subject() == "Sensor"),
+        "the Write relationship satisfies Sensor's Access obligation: {report}"
+    );
     // An Action with no access at all is incomplete.
     db.create_object("Action", "Idle").unwrap();
     let report = db.completeness_report();
