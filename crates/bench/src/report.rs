@@ -223,6 +223,37 @@ pub fn e8_multiuser(clients: usize, rounds: usize) {
     );
 }
 
+/// E9 — the planner's indexed access paths vs. the full-scan fallback, swept over size.
+pub fn e9_indexed_retrieval(sizes: &[usize]) {
+    for &n in sizes {
+        let db = scenarios::valued_database(n);
+        let point = seed_query::parse(&format!("count Item where value = \"{}\"", n / 2)).unwrap();
+        let reps = 200usize;
+        let (indexed, hits) = time(|| {
+            let mut hits = 0usize;
+            for _ in 0..reps {
+                hits = seed_query::execute(&db, &point).unwrap().count();
+            }
+            hits
+        });
+        let (scanned, _) = time(|| {
+            for _ in 0..reps {
+                seed_query::execute_scan(&db, &point).unwrap().count();
+            }
+        });
+        let speedup = scanned.as_secs_f64() / indexed.as_secs_f64().max(f64::EPSILON);
+        row(
+            "E9",
+            &format!("indexed point query vs full scan, {n} objects ({hits} hit)"),
+            format!(
+                "indexed {:.2} µs  scan {:.2} µs  speedup {speedup:.0}x",
+                indexed.as_micros() as f64 / reps as f64,
+                scanned.as_micros() as f64 / reps as f64
+            ),
+        );
+    }
+}
+
 /// Runs every experiment with report-sized parameters and prints the table.
 pub fn run_report() {
     println!(
@@ -237,6 +268,7 @@ pub fn run_report() {
     e6_retrieval(2000);
     e7_storage_engine(5000);
     e8_multiuser(8, 25);
+    e9_indexed_retrieval(&[1_000, 10_000]);
     println!("{}", "-".repeat(110));
 }
 
@@ -255,5 +287,6 @@ mod tests {
         e6_retrieval(10);
         e7_storage_engine(50);
         e8_multiuser(2, 2);
+        e9_indexed_retrieval(&[20]);
     }
 }

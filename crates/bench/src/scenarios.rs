@@ -1,7 +1,7 @@
 //! Shared benchmark scenarios: databases and workloads of controlled size.
 
 use seed_core::{Database, ObjectId, RelationshipId, Value};
-use seed_schema::{figure3_schema, Cardinality, Schema, SchemaBuilder};
+use seed_schema::{figure3_schema, Cardinality, Domain, Schema, SchemaBuilder};
 use spades::{DirectBackend, SeedBackend, Workload, WorkloadConfig};
 
 /// Builds a Figure-3 database with `n` data elements, `n / 2` actions and one Access
@@ -36,6 +36,22 @@ pub fn vague_database(n: usize) -> (Database, Vec<ObjectId>, Vec<RelationshipId>
         rels.push(db.create_relationship("Access", &[("from", id), ("by", action)]).unwrap());
     }
     (db, objects, rels)
+}
+
+/// Builds a database of `n` value-carrying `Item` objects (`Item000000` = 0, `Item000001` = 1,
+/// ...) over a minimal schema, used by E9 to compare the planner's indexed access paths with
+/// the full-scan fallback on value-equality and range queries.
+pub fn valued_database(n: usize) -> Database {
+    let schema = SchemaBuilder::new("Valued")
+        .value_class("Item", Domain::Integer)
+        .build()
+        .expect("valued schema is statically correct");
+    let mut db = Database::new(schema);
+    for i in 0..n {
+        db.create_object_with_value("Item", &format!("Item{i:06}"), Value::Integer(i as i64))
+            .unwrap();
+    }
+    db
 }
 
 /// A schema whose classes carry `width` associations each — used to sweep consistency-checking
@@ -139,6 +155,10 @@ mod tests {
 
         let schema = wide_schema(4);
         assert_eq!(schema.association_count(), 4);
+
+        let db = valued_database(16);
+        assert_eq!(db.object_count(), 16);
+        assert_eq!(seed_query::run(&db, r#"count Item where value = "7""#).unwrap().count(), 1);
 
         let (db, pattern, inheritors) = pattern_with_inheritors(7);
         assert_eq!(inheritors.len(), 7);

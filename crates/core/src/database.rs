@@ -16,6 +16,7 @@ use crate::consistency::ConsistencyChecker;
 use crate::error::{SeedError, SeedResult};
 use crate::history::{check_transition, TransitionRule};
 use crate::ident::{ItemId, ObjectId, RelationshipId, VersionId};
+use crate::index::ValueOp;
 use crate::name::{NameSegment, ObjectName};
 use crate::object::ObjectRecord;
 use crate::pattern::{self, MaterializedChild, MaterializedRelationship};
@@ -738,15 +739,9 @@ impl Database {
         class_name: &str,
         include_specializations: bool,
     ) -> SeedResult<Vec<ObjectRecord>> {
-        let schema = self.schemas.current();
-        let class = schema.class_id(class_name)?;
-        let mut classes = vec![class];
-        if include_specializations {
-            classes.extend(schema.class_descendants(class));
-        }
         let store = self.read_store();
         let mut out = Vec::new();
-        for c in classes {
+        for c in self.class_hierarchy(class_name, include_specializations)? {
             out.extend(store.extent(c).into_iter().filter(|o| !o.is_pattern).cloned());
         }
         out.sort_by_key(|o| o.id);
@@ -821,7 +816,8 @@ impl Database {
     }
 
     /// Visible objects whose name starts with `prefix` (dependent objects of `Alarms` via
-    /// `"Alarms."`, for instance).
+    /// `"Alarms."`, for instance).  Served by the ordered name index: a range scan, not a full
+    /// scan, so the cost is `O(log n + hits)`.  Results come back in name order.
     pub fn objects_with_name_prefix(&self, prefix: &str) -> Vec<ObjectRecord> {
         self.read_store()
             .objects_with_name_prefix(prefix)
@@ -829,6 +825,98 @@ impl Database {
             .filter(|o| !o.is_pattern)
             .cloned()
             .collect()
+    }
+
+    /// Upper bound on the number of objects [`Database::objects_with_name_prefix`] would return
+    /// (name-index entries with the prefix; patterns not yet filtered).  Used by the query
+    /// planner as the cardinality estimate of a prefix range scan; counting early-exits at
+    /// `cap` (the competing scan cost), so a wide prefix never walks the whole index at plan
+    /// time.
+    pub fn name_prefix_estimate(&self, prefix: &str, cap: usize) -> usize {
+        self.read_store().name_prefix_count(prefix, cap)
+    }
+
+    /// Visible objects of a class (and, with `include_specializations`, its subclasses) whose
+    /// value satisfies `op` against a query literal, resolved through the secondary value index
+    /// (see [`crate::index`]).  Point probes cost `O(log n)` per class in the hierarchy instead
+    /// of the `O(n)` extent scan; the comparison semantics are identical to the scan path
+    /// (undefined values match nothing).  Results are sorted by object id.
+    pub fn objects_by_value(
+        &self,
+        class_name: &str,
+        include_specializations: bool,
+        op: ValueOp,
+        literal: &str,
+    ) -> SeedResult<Vec<ObjectRecord>> {
+        let store = self.read_store();
+        let mut out = Vec::new();
+        for c in self.class_hierarchy(class_name, include_specializations)? {
+            out.extend(
+                store
+                    .objects_by_value(c, op, literal)
+                    .into_iter()
+                    .filter(|o| !o.is_pattern)
+                    .cloned(),
+            );
+        }
+        out.sort_by_key(|o| o.id);
+        Ok(out)
+    }
+
+    /// Number of index entries [`Database::objects_by_value`] would resolve (patterns not yet
+    /// filtered) — the planner's cardinality estimate for a value probe or range scan.
+    /// Counting early-exits at `cap` (the competing scan cost): once the index path is at
+    /// least that expensive its exact cost no longer matters, which bounds plan-time work.
+    pub fn value_index_estimate(
+        &self,
+        class_name: &str,
+        include_specializations: bool,
+        op: ValueOp,
+        literal: &str,
+        cap: usize,
+    ) -> SeedResult<usize> {
+        let store = self.read_store();
+        let mut total = 0usize;
+        for c in self.class_hierarchy(class_name, include_specializations)? {
+            total += store.value_estimate(c, op, literal, cap.saturating_sub(total));
+            if total >= cap {
+                return Ok(cap);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Number of live objects in the extent of a class (and optionally its subclasses),
+    /// patterns included — the planner's cost proxy for a full extent scan.
+    pub fn class_extent_estimate(
+        &self,
+        class_name: &str,
+        include_specializations: bool,
+    ) -> SeedResult<usize> {
+        let store = self.read_store();
+        Ok(self
+            .class_hierarchy(class_name, include_specializations)?
+            .into_iter()
+            .map(|c| store.extent_size(c))
+            .sum())
+    }
+
+    /// The class ids a class-ranged retrieval covers: the class itself plus, when requested,
+    /// all its specializations.  This is the single source of truth for "which classes does a
+    /// query over `class_name` range over" — the query layer's access paths use it so the
+    /// indexed and scan pipelines can never disagree on hierarchy semantics.
+    pub fn class_hierarchy(
+        &self,
+        class_name: &str,
+        include_specializations: bool,
+    ) -> SeedResult<Vec<ClassId>> {
+        let schema = self.schemas.current();
+        let class = schema.class_id(class_name)?;
+        let mut classes = vec![class];
+        if include_specializations {
+            classes.extend(schema.class_descendants(class));
+        }
+        Ok(classes)
     }
 
     /// Runs the completeness analysis on the read context.
@@ -1351,6 +1439,75 @@ mod tests {
         assert!(db.find_by_value("Data.Text.Selector", &Value::Undefined).unwrap().is_empty());
         // Prefix retrieval.
         assert_eq!(db.objects_with_name_prefix("Alarms.").len(), 4);
+    }
+
+    #[test]
+    fn value_index_retrieval_spans_hierarchies_versions_and_undo() {
+        let mut db = db3();
+        let alarms = db.create_object("OutputData", "Alarms").unwrap();
+        let text = db
+            .create_dependent_named(alarms, "Text", NameSegment::plain("Text"), Value::Undefined)
+            .unwrap();
+        let sel = db.create_dependent(text, "Selector", Value::string("Representation")).unwrap();
+        // Indexed equality retrieval agrees with the scan-based find_by_value.
+        let hits =
+            db.objects_by_value("Data.Text.Selector", true, ValueOp::Eq, "Representation").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, sel);
+        assert_eq!(
+            db.value_index_estimate("Data.Text.Selector", true, ValueOp::Eq, "Representation", 99)
+                .unwrap(),
+            1
+        );
+        assert_eq!(db.class_extent_estimate("Data", true).unwrap(), 1);
+        assert_eq!(db.name_prefix_estimate("Alarms.", 99), 2);
+        assert_eq!(db.name_prefix_estimate("Alarms.", 1), 1, "counting stops at the cap");
+        assert!(db.objects_by_value("Ghost", true, ValueOp::Eq, "x").is_err());
+
+        // Undefined values are invisible to the index.
+        assert!(db
+            .objects_by_value("Data.Text", true, ValueOp::Eq, "<undefined>")
+            .unwrap()
+            .is_empty());
+
+        // The index follows transactions: a rolled-back update leaves no trace.
+        db.begin_transaction().unwrap();
+        db.set_value(sel, Value::string("Contents")).unwrap();
+        assert_eq!(
+            db.objects_by_value("Data.Text.Selector", true, ValueOp::Eq, "Contents").unwrap().len(),
+            1
+        );
+        db.rollback_transaction().unwrap();
+        assert!(db
+            .objects_by_value("Data.Text.Selector", true, ValueOp::Eq, "Contents")
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.objects_by_value("Data.Text.Selector", true, ValueOp::Eq, "Representation")
+                .unwrap()
+                .len(),
+            1
+        );
+
+        // Version views rebuild the index, so historical retrieval is indexed too.
+        let v1 = db.create_version("with Representation").unwrap();
+        db.set_value(sel, Value::string("Contents")).unwrap();
+        db.select_version(Some(v1)).unwrap();
+        assert_eq!(
+            db.objects_by_value("Data.Text.Selector", true, ValueOp::Eq, "Representation")
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(db
+            .objects_by_value("Data.Text.Selector", true, ValueOp::Eq, "Contents")
+            .unwrap()
+            .is_empty());
+        db.select_version(None).unwrap();
+        assert_eq!(
+            db.objects_by_value("Data.Text.Selector", true, ValueOp::Eq, "Contents").unwrap().len(),
+            1
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * **Incomplete information** through the split of schema information into *consistency*
 //!   rules (checked on every update — [`consistency`]) and *completeness* rules (checked only by
 //!   explicit analysis — [`completeness`]);
+//! * **Secondary attribute indexes** — ordered per-class value indexes maintained on every
+//!   update, the access paths behind `seed-query`'s cost-aware planner ([`index`]);
 //! * **Attached procedures** for complex integrity constraints ([`procedures`]);
 //! * **Versions and alternatives** with decimal identifiers, delta storage, tombstones and
 //!   per-version views ([`version`]), plus history-sensitive transition rules ([`history`]);
@@ -51,6 +53,7 @@ pub mod database;
 pub mod error;
 pub mod history;
 pub mod ident;
+pub mod index;
 pub mod name;
 pub mod object;
 pub mod pattern;
@@ -68,6 +71,7 @@ pub use database::Database;
 pub use error::{SeedError, SeedResult};
 pub use history::{TransitionRule, TransitionViolation};
 pub use ident::{ItemId, ObjectId, RelationshipId, VersionId};
+pub use index::{AttributeIndex, IndexKey, ValueOp};
 pub use name::{NameSegment, ObjectName};
 pub use object::ObjectRecord;
 pub use pattern::{MaterializedChild, MaterializedRelationship, VariantFamily};

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use seed_schema::{AssociationId, ClassId};
 
 use crate::ident::{ItemId, ObjectId, RelationshipId};
+use crate::index::{AttributeIndex, IndexKey, ValueOp};
 use crate::object::ObjectRecord;
 use crate::relationship::RelationshipRecord;
 
@@ -26,6 +27,9 @@ pub struct DataStore {
     relationships: HashMap<RelationshipId, RelationshipRecord>,
     /// name (string form) → object id, for *live* (possibly pattern) objects.
     name_index: BTreeMap<String, ObjectId>,
+    /// class → ordered value index over live objects (patterns included; retrieval filters
+    /// them).  Derived data, kept in lock-step by every insert/update/remove below.
+    value_index: AttributeIndex,
     /// class → live object ids (patterns included; retrieval filters them).
     class_extent: HashMap<ClassId, HashSet<ObjectId>>,
     /// association → live relationship ids.
@@ -102,8 +106,15 @@ impl DataStore {
     /// Inserts a new object record.
     pub fn insert_object(&mut self, record: ObjectRecord) {
         let id = record.id;
-        self.name_index.insert(record.name.to_string(), id);
-        self.class_extent.entry(record.class).or_default().insert(id);
+        if !record.deleted {
+            // Version views and persistence replay tombstoned records through here too; only
+            // live records enter the live indexes.  (A replayed tombstone must never shadow a
+            // live object's name-index entry, and the planner's extent estimates count these
+            // sets.)
+            self.name_index.insert(record.name.to_string(), id);
+            self.class_extent.entry(record.class).or_default().insert(id);
+            self.value_index.insert(record.class, &record.value, id);
+        }
         if let Some(parent) = record.parent {
             self.children.entry(parent).or_default().push(id);
         }
@@ -139,10 +150,12 @@ impl DataStore {
         let Some(record) = self.objects.get_mut(&id) else { return false };
         let old_name = record.name.to_string();
         let old_class = record.class;
+        let old_key = IndexKey::of(&record.value);
         let was_deleted = record.deleted;
         f(record);
         let new_name = record.name.to_string();
         let new_class = record.class;
+        let new_key = IndexKey::of(&record.value);
         let now_deleted = record.deleted;
 
         if old_name != new_name || (!was_deleted && now_deleted) {
@@ -159,6 +172,18 @@ impl DataStore {
                 self.class_extent.entry(new_class).or_default().insert(id);
             }
         }
+        if old_class != new_class || old_key != new_key || now_deleted != was_deleted {
+            if !was_deleted {
+                if let Some(key) = old_key {
+                    self.value_index.remove_key(old_class, &key, id);
+                }
+            }
+            if !now_deleted {
+                if let Some(key) = new_key {
+                    self.value_index.insert_key(new_class, key, id);
+                }
+            }
+        }
         self.mark_dirty(ItemId::Object(id));
         true
     }
@@ -172,7 +197,12 @@ impl DataStore {
     /// creation inside an aborted transaction — versioned data is never removed physically.
     pub fn remove_object(&mut self, id: ObjectId) -> Option<ObjectRecord> {
         let record = self.objects.remove(&id)?;
-        self.name_index.remove(&record.name.to_string());
+        if !record.deleted {
+            // Tombstoned records left the live indexes when they were tombstoned; touching the
+            // name index here could otherwise evict a live object that has reused the name.
+            self.name_index.remove(&record.name.to_string());
+            self.value_index.remove(record.class, &record.value, id);
+        }
         if let Some(ext) = self.class_extent.get_mut(&record.class) {
             ext.remove(&id);
         }
@@ -262,14 +292,62 @@ impl DataStore {
             .collect()
     }
 
+    /// Number of name-index entries starting with `prefix`, counted with an early-exit budget
+    /// of `cap` (the planner's cardinality estimate for a prefix range scan; a wide prefix
+    /// stops counting at the competing scan cost instead of walking the whole index).
+    pub fn name_prefix_count(&self, prefix: &str, cap: usize) -> usize {
+        self.name_index
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .take(cap)
+            .count()
+    }
+
+    // ----- secondary value index ------------------------------------------------------------------
+
+    /// Live objects of exactly `class` whose value satisfies `op` against the query literal,
+    /// resolved through the secondary value index (in ascending id order; patterns included).
+    pub fn objects_by_value(
+        &self,
+        class: ClassId,
+        op: ValueOp,
+        literal: &str,
+    ) -> Vec<&ObjectRecord> {
+        self.value_index
+            .matching(class, op, literal)
+            .into_iter()
+            .filter_map(|id| self.live_object(id))
+            .collect()
+    }
+
+    /// Number of index matches [`DataStore::objects_by_value`] would resolve, counted with an
+    /// early-exit budget of `cap` (see [`AttributeIndex::estimate_up_to`]).
+    pub fn value_estimate(&self, class: ClassId, op: ValueOp, literal: &str, cap: usize) -> usize {
+        self.value_index.estimate_up_to(class, op, literal, cap)
+    }
+
+    /// Number of live objects of exactly `class` (patterns included) — the planner's scan-cost
+    /// proxy, read off the class extent without touching records.
+    pub fn extent_size(&self, class: ClassId) -> usize {
+        self.class_extent.get(&class).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Read access to the secondary value index.
+    pub fn value_index(&self) -> &AttributeIndex {
+        &self.value_index
+    }
+
     // ----- relationships ---------------------------------------------------------------------------
 
     /// Inserts a new relationship record.
     pub fn insert_relationship(&mut self, record: RelationshipRecord) {
         let id = record.id;
-        self.association_extent.entry(record.association).or_default().insert(id);
-        for (_, obj) in &record.bindings {
-            self.adjacency.entry(*obj).or_default().insert(id);
+        if !record.deleted {
+            // Same rule as insert_object: replayed tombstones stay out of the live indexes.
+            self.association_extent.entry(record.association).or_default().insert(id);
+            for (_, obj) in &record.bindings {
+                self.adjacency.entry(*obj).or_default().insert(id);
+            }
         }
         self.next_relationship = self.next_relationship.max(id.0);
         self.relationships.insert(id, record);
@@ -533,6 +611,82 @@ mod tests {
         assert!(store.remove_inherits(a, pattern));
         assert!(!store.remove_inherits(a, pattern));
         assert_eq!(store.inheritors_of(pattern), vec![b]);
+    }
+
+    #[test]
+    fn value_index_follows_every_mutation_path() {
+        let mut store = DataStore::new();
+        let a = obj(&mut store, "A", 0);
+        let b = obj(&mut store, "B", 0);
+        store.update_object(a, |o| o.value = Value::Integer(7));
+        store.update_object(b, |o| o.value = Value::string("x"));
+        assert_eq!(store.objects_by_value(ClassId(0), ValueOp::Eq, "7")[0].id, a);
+        assert_eq!(store.value_estimate(ClassId(0), ValueOp::Eq, "x", usize::MAX), 1);
+        assert_eq!(store.extent_size(ClassId(0)), 2);
+
+        // Value change re-keys.
+        store.update_object(a, |o| o.value = Value::Integer(9));
+        assert!(store.objects_by_value(ClassId(0), ValueOp::Eq, "7").is_empty());
+        assert_eq!(store.objects_by_value(ClassId(0), ValueOp::Greater, "8")[0].id, a);
+
+        // Re-classification moves the entry between per-class trees.
+        store.update_object(a, |o| o.class = ClassId(3));
+        assert!(store.objects_by_value(ClassId(0), ValueOp::Eq, "9").is_empty());
+        assert_eq!(store.objects_by_value(ClassId(3), ValueOp::Eq, "9")[0].id, a);
+
+        // Tombstoning removes; restoring a live record (undo) re-adds.
+        store.tombstone_object(a);
+        assert!(store.objects_by_value(ClassId(3), ValueOp::Eq, "9").is_empty());
+        store.update_object(a, |o| o.deleted = false);
+        assert_eq!(store.objects_by_value(ClassId(3), ValueOp::Eq, "9")[0].id, a);
+
+        // Physical removal (transaction rollback) drops the entry.
+        store.remove_object(b);
+        assert!(store.objects_by_value(ClassId(0), ValueOp::Eq, "x").is_empty());
+        assert_eq!(store.value_index().entry_count(ClassId(0)), 0);
+    }
+
+    #[test]
+    fn deleted_records_are_never_indexed_on_insert() {
+        // Version views and persistence replay deleted snapshots through insert_object (in
+        // arbitrary order): they must stay out of every live index — in particular a replayed
+        // tombstone must not shadow a live object's name-index entry or inflate the planner's
+        // extent estimates.
+        let mut store = DataStore::new();
+        let live = obj(&mut store, "X", 0);
+        let dead = store.allocate_object_id();
+        let mut record = ObjectRecord::new(dead, ClassId(0), ObjectName::root("X"), None);
+        record.value = Value::Integer(1);
+        record.deleted = true;
+        store.insert_object(record);
+        assert_eq!(store.object_by_name("X").unwrap().id, live, "tombstone must not shadow");
+        assert_eq!(store.extent_size(ClassId(0)), 1);
+        assert!(store.objects_by_value(ClassId(0), ValueOp::Eq, "1").is_empty());
+        assert_eq!(store.value_index().entry_count(ClassId(0)), 0);
+
+        // Same rule for relationships.
+        let rid = store.allocate_relationship_id();
+        let mut rel = RelationshipRecord::new(rid, AssociationId(0), vec![("a".into(), live)]);
+        rel.deleted = true;
+        store.insert_relationship(rel);
+        assert!(store.association_extent(AssociationId(0)).is_empty());
+        assert!(store.relationships_of(live).is_empty());
+        assert!(store.relationship(rid).is_some(), "record itself is kept for views");
+    }
+
+    #[test]
+    fn name_prefix_count_matches_scan() {
+        let mut store = DataStore::new();
+        obj(&mut store, "Alarms", 0);
+        obj(&mut store, "AlarmHandler", 1);
+        obj(&mut store, "Sensor", 2);
+        assert_eq!(store.name_prefix_count("Alarm", usize::MAX), 2);
+        assert_eq!(
+            store.name_prefix_count("Alarm", usize::MAX),
+            store.objects_with_name_prefix("Alarm").len()
+        );
+        assert_eq!(store.name_prefix_count("Alarm", 1), 1, "counting stops at the cap");
+        assert_eq!(store.name_prefix_count("Z", usize::MAX), 0);
     }
 
     #[test]

@@ -54,9 +54,13 @@ impl ObjectSet {
         self.objects.values().collect()
     }
 
-    /// The object names, in object-id order.
+    /// The object names, in sorted (lexicographic) order — deterministic regardless of the
+    /// store's iteration order or the objects' creation order, unlike [`ObjectSet::records`]
+    /// which keeps id order.
     pub fn names(&self) -> Vec<String> {
-        self.objects.values().map(|o| o.name.to_string()).collect()
+        let mut names: Vec<String> = self.objects.values().map(|o| o.name.to_string()).collect();
+        names.sort();
+        names
     }
 
     /// Keeps only the objects satisfying `predicate` (selection σ).

@@ -59,6 +59,9 @@ pub enum Query {
         /// Optional navigation step.
         navigate: Option<Navigation>,
     },
+    /// `explain find ...` / `explain count ...` — instead of executing, return the physical
+    /// plan the planner would run (access path, residual filters, estimates).
+    Explain(Box<Query>),
 }
 
 /// A navigation step: start from a named object and follow an association role.
@@ -73,16 +76,26 @@ pub struct Navigation {
 }
 
 impl Query {
-    /// The class the query ranges over.
+    /// The class the query ranges over (transparent through `explain`).
     pub fn class(&self) -> &str {
         match self {
             Query::Find { class, .. } | Query::Count { class, .. } => class,
+            Query::Explain(inner) => inner.class(),
         }
     }
 
-    /// Whether this is a `count` query.
+    /// Whether this is a `count` query (transparent through `explain`).
     pub fn is_count(&self) -> bool {
-        matches!(self, Query::Count { .. })
+        match self {
+            Query::Count { .. } => true,
+            Query::Explain(inner) => inner.is_count(),
+            Query::Find { .. } => false,
+        }
+    }
+
+    /// Whether this is an `explain` query.
+    pub fn is_explain(&self) -> bool {
+        matches!(self, Query::Explain(_))
     }
 }
 
@@ -108,5 +121,9 @@ mod tests {
         };
         assert!(c.is_count());
         assert_eq!(c.class(), "Action");
+        let e = Query::Explain(Box::new(c));
+        assert!(e.is_explain());
+        assert!(e.is_count());
+        assert_eq!(e.class(), "Action");
     }
 }

@@ -1,34 +1,47 @@
-//! Query execution against a [`Database`].
+//! Query execution: plans are run against a [`Database`]; a scan-only fallback doubles as the
+//! semantic oracle.
+//!
+//! [`execute`] lowers the query through [`crate::planner::plan`] and runs the resulting
+//! physical plan with [`run_plan`]; [`execute_scan`] is the original full-extent scan pipeline,
+//! kept as the fallback path and as the reference the property tests compare indexed execution
+//! against (both must return identical result sets for every query).
 
-use seed_core::{Database, Value};
+use std::collections::HashSet;
+
+use seed_core::{Database, Value, ValueOp};
+use seed_schema::ClassId;
 
 use crate::algebra::ObjectSet;
 use crate::ast::{Comparison, Navigation, Query, Selection};
 use crate::error::{QueryError, QueryResult};
+use crate::planner::{plan, AccessPath, Plan};
 
-/// The result of executing a query: either a set of objects or a count.
+/// The result of executing a query: a set of objects, a count, or a rendered plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutcome {
     /// The objects matching a `find` query.
     Objects(ObjectSet),
     /// The cardinality returned by a `count` query.
     Count(usize),
+    /// The rendered physical plan returned by an `explain` query.
+    Plan(String),
 }
 
 impl QueryOutcome {
-    /// The number of matching objects (for both kinds of outcome).
+    /// The number of matching objects (zero for `explain` outcomes).
     pub fn count(&self) -> usize {
         match self {
             QueryOutcome::Objects(set) => set.len(),
             QueryOutcome::Count(n) => *n,
+            QueryOutcome::Plan(_) => 0,
         }
     }
 
-    /// The matching object names (empty for `count` outcomes).
+    /// The matching object names in sorted order (empty for `count` and `explain` outcomes).
     pub fn names(&self) -> Vec<String> {
         match self {
             QueryOutcome::Objects(set) => set.names(),
-            QueryOutcome::Count(_) => Vec::new(),
+            QueryOutcome::Count(_) | QueryOutcome::Plan(_) => Vec::new(),
         }
     }
 
@@ -36,7 +49,15 @@ impl QueryOutcome {
     pub fn objects(&self) -> Option<&ObjectSet> {
         match self {
             QueryOutcome::Objects(set) => Some(set),
-            QueryOutcome::Count(_) => None,
+            QueryOutcome::Count(_) | QueryOutcome::Plan(_) => None,
+        }
+    }
+
+    /// The rendered plan, if this is an `explain` outcome.
+    pub fn plan(&self) -> Option<&str> {
+        match self {
+            QueryOutcome::Plan(text) => Some(text),
+            QueryOutcome::Objects(_) | QueryOutcome::Count(_) => None,
         }
     }
 }
@@ -131,9 +152,23 @@ fn apply_selection(db: &Database, selection: &Selection, set: ObjectSet) -> Quer
     })
 }
 
-/// Executes a parsed query.
+/// Executes a parsed query through the cost-aware planner: the query is lowered onto the
+/// cheapest access path ([`crate::planner::plan`]) and the plan is run with [`run_plan`].
+/// `explain` queries return the rendered plan instead of executing it.
 pub fn execute(db: &Database, query: &Query) -> QueryResult<QueryOutcome> {
+    if let Query::Explain(inner) = query {
+        return Ok(QueryOutcome::Plan(plan(db, inner)?.render()));
+    }
+    run_plan(db, &plan(db, query)?)
+}
+
+/// Executes a parsed query with the original full-extent scan pipeline, bypassing the planner.
+/// This is the fallback path and the semantic oracle: for every query, `execute_scan` and
+/// [`execute`] return the same result set (pinned by the crate's property tests).  `explain`
+/// queries still return the plan — there is no "scanned explain".
+pub fn execute_scan(db: &Database, query: &Query) -> QueryResult<QueryOutcome> {
     let (class, exact, selections, navigate, is_count) = match query {
+        Query::Explain(_) => return execute(db, query),
         Query::Find { class, exact, selections, navigate } => {
             (class, *exact, selections, navigate, false)
         }
@@ -152,6 +187,69 @@ pub fn execute(db: &Database, query: &Query) -> QueryResult<QueryOutcome> {
         set = apply_selection(db, selection, set)?;
     }
     Ok(if is_count { QueryOutcome::Count(set.len()) } else { QueryOutcome::Objects(set) })
+}
+
+/// The class ids a query's class ranges over (the class plus its specializations unless
+/// `exactly` was given) — used to filter name-index hits down to the queried extent.  Resolved
+/// through [`Database::class_hierarchy`], the same source of truth the value/scan paths use.
+fn class_filter(db: &Database, class: &str, exact: bool) -> QueryResult<HashSet<ClassId>> {
+    Ok(db
+        .class_hierarchy(class, !exact)
+        .map_err(|_| QueryError::Unknown(format!("class '{class}'")))?
+        .into_iter()
+        .collect())
+}
+
+/// Runs a physical plan: materialises the access path, applies the navigation step and the
+/// residual selections, and shapes the outcome.
+pub fn run_plan(db: &Database, plan: &Plan) -> QueryResult<QueryOutcome> {
+    let mut set = match &plan.access {
+        AccessPath::ClassScan { .. } => {
+            let records = db
+                .objects_of_class(&plan.class, !plan.exact)
+                .map_err(|_| QueryError::Unknown(format!("class '{}'", plan.class)))?;
+            ObjectSet::from_records(records)
+        }
+        // Name-index paths return objects of any class, so these two arms filter the hits down
+        // to the queried extent (the other arms resolve the hierarchy internally).
+        AccessPath::ByName { name } => {
+            let classes = class_filter(db, &plan.class, plan.exact)?;
+            match db.object_by_name(name) {
+                Ok(record) if classes.contains(&record.class) => ObjectSet::from_records([record]),
+                _ => ObjectSet::new(),
+            }
+        }
+        AccessPath::ByNamePrefix { prefix, .. } => {
+            let classes = class_filter(db, &plan.class, plan.exact)?;
+            ObjectSet::from_records(
+                db.objects_with_name_prefix(prefix)
+                    .into_iter()
+                    .filter(|o| classes.contains(&o.class)),
+            )
+        }
+        AccessPath::ByValue { op, literal, .. } => {
+            let vop = match op {
+                Comparison::Equal => ValueOp::Eq,
+                Comparison::Less => ValueOp::Less,
+                Comparison::Greater => ValueOp::Greater,
+                // The planner never emits a `!=` access path.
+                Comparison::NotEqual => {
+                    return Err(QueryError::Unknown("access path for '!='".to_string()))
+                }
+            };
+            let records = db
+                .objects_by_value(&plan.class, !plan.exact, vop, literal)
+                .map_err(|_| QueryError::Unknown(format!("class '{}'", plan.class)))?;
+            ObjectSet::from_records(records)
+        }
+    };
+    if let Some(nav) = &plan.navigate {
+        set = apply_navigation(db, nav, &set)?;
+    }
+    for selection in plan.residual() {
+        set = apply_selection(db, selection, set)?;
+    }
+    Ok(if plan.is_count { QueryOutcome::Count(set.len()) } else { QueryOutcome::Objects(set) })
 }
 
 #[cfg(test)]
@@ -276,10 +374,100 @@ mod tests {
         let db = sample();
         let objects = run(&db, "find Data");
         assert!(objects.objects().is_some());
+        assert!(objects.plan().is_none());
         assert_eq!(objects.count(), objects.names().len());
         let count = run(&db, "count Data");
         assert!(count.objects().is_none());
         assert!(count.names().is_empty());
         assert_eq!(count.count(), 2);
+        let explained = run(&db, "explain find Data");
+        assert!(explained.plan().is_some());
+        assert!(explained.objects().is_none());
+        assert_eq!(explained.count(), 0);
+        assert!(explained.names().is_empty());
+    }
+
+    #[test]
+    fn indexed_execution_agrees_with_the_scan_fallback() {
+        let db = sample();
+        for q in [
+            "find Thing",
+            "count Data",
+            "count exactly Data",
+            r#"find Thing where name = "Alarms""#,
+            r#"find Data where name prefix "Alarm""#,
+            r#"find Data.Text.Selector where value = "Representation""#,
+            r#"find Data.Text.Selector where value != "Other""#,
+            r#"find Data.Text.Selector where value > "Aaa""#,
+            r#"find Data.Text.Selector where value < "Zzz""#,
+            r#"find Data where name prefix "Alarm" and related Write.to"#,
+            r#"find Action navigate Read.by from "ProcessData""#,
+            "find Action where incomplete",
+        ] {
+            let query = parse(q).unwrap();
+            let indexed = execute(&db, &query).unwrap();
+            let scanned = execute_scan(&db, &query).unwrap();
+            assert_eq!(indexed.names(), scanned.names(), "{q}");
+            assert_eq!(indexed.count(), scanned.count(), "{q}");
+        }
+        // Both paths report the same errors.
+        for q in ["find Ghost", r#"find Action navigate Ghost.by from "Alarms""#] {
+            let query = parse(q).unwrap();
+            assert!(execute(&db, &query).is_err(), "{q}");
+            assert!(execute_scan(&db, &query).is_err(), "{q}");
+        }
+    }
+
+    #[test]
+    fn names_are_sorted_regardless_of_creation_and_id_order() {
+        // Created in reverse alphabetical order, so id order != name order.
+        let mut db = Database::new(seed_schema::figure3_schema());
+        for name in ["Zeta", "Mu", "Alpha"] {
+            db.create_object("Data", name).unwrap();
+        }
+        // Both execution paths return sorted names.
+        for exec_fn in [execute, execute_scan] {
+            let outcome = exec_fn(&db, &parse("find Data").unwrap()).unwrap();
+            assert_eq!(outcome.names(), vec!["Alpha", "Mu", "Zeta"]);
+            let outcome =
+                exec_fn(&db, &parse(r#"find Data where name prefix """#).unwrap()).unwrap();
+            assert_eq!(outcome.names(), vec!["Alpha", "Mu", "Zeta"]);
+        }
+        // The database-level prefix scan is deterministic (name order) too.
+        let names: Vec<String> =
+            db.objects_with_name_prefix("").iter().map(|o| o.name.to_string()).collect();
+        assert_eq!(names, vec!["Alpha", "Mu", "Zeta"]);
+    }
+
+    #[test]
+    fn every_query_form_explains_its_access_path() {
+        let mut db = sample();
+        // Widen the Selector extent so the index paths are genuinely cheaper than the scan.
+        for i in 0..8 {
+            let d = db.create_object("InputData", &format!("Bulk{i}")).unwrap();
+            let t = db.create_dependent(d, "Text", seed_core::Value::Undefined).unwrap();
+            db.create_dependent(t, "Selector", seed_core::Value::string(format!("V{i}"))).unwrap();
+        }
+        let expectations = [
+            ("explain find Data", "scan extent"),
+            ("explain find exactly Data", "scan extent"),
+            (r#"explain find Thing where name = "Alarms""#, "probe name index"),
+            (r#"explain find Data where name prefix "Alarm""#, "range scan name index"),
+            (
+                r#"explain find Data.Text.Selector where value = "Representation""#,
+                "probe value index",
+            ),
+            (r#"explain find Data.Text.Selector where value > "V3""#, "range scan value index"),
+            (r#"explain find Data.Text.Selector where value != "Aaa""#, "scan extent"),
+            (r#"explain find Action navigate Access.by from "Alarms""#, "join    navigate"),
+            ("explain find Data where related Write.to", "filter  related Write.to"),
+            ("explain find Action where incomplete", "filter  incomplete"),
+            ("explain count Data", "output  count"),
+        ];
+        for (q, needle) in expectations {
+            let outcome = run(&db, q);
+            let plan = outcome.plan().unwrap_or_else(|| panic!("{q} returned no plan"));
+            assert!(plan.contains(needle), "{q}\nexpected {needle:?} in:\n{plan}");
+        }
     }
 }

@@ -20,9 +20,35 @@
 //! find Action navigate Access.by from "Alarms"  -- objects reached from 'Alarms' via role 'by'
 //! find Data where incomplete                  -- objects with completeness findings
 //! count Data                                  -- cardinality instead of the set
+//! explain find Data where name prefix "Alarm" -- the physical plan instead of the result
 //! ```
 //!
-//! [`parse`] produces a [`Query`]; [`execute`] runs it against a [`seed_core::Database`].
+//! ## Pipeline
+//!
+//! [`parse`] produces a [`Query`] AST; [`plan`] lowers it through the algebra onto the cheapest
+//! physical access path (name-index probe, name-prefix range scan, value-index probe/range
+//! scan, or the full extent scan) using simple cardinality estimates; [`execute`] runs the
+//! plan.  The scan-only pipeline survives as [`exec::execute_scan`], the fallback path and the
+//! oracle the property tests compare indexed execution against.  The full contract — grammar,
+//! index-selection rules, `explain` format — is specified in `docs/QUERY.md`.
+//!
+//! ```
+//! use seed_core::Database;
+//! use seed_schema::figure3_schema;
+//!
+//! let mut db = Database::new(figure3_schema());
+//! let alarms = db.create_object("OutputData", "Alarms").unwrap();
+//! let handler = db.create_object("Action", "AlarmHandler").unwrap();
+//! db.create_relationship("Write", &[("to", alarms), ("by", handler)]).unwrap();
+//!
+//! // Retrieval: `run` parses and executes in one call.
+//! let writers = seed_query::run(&db, r#"find Action navigate Write.by from "Alarms""#).unwrap();
+//! assert_eq!(writers.names(), vec!["AlarmHandler"]);
+//!
+//! // `explain` shows the access path the planner chose (a name-index probe here).
+//! let explained = seed_query::run(&db, r#"explain find Thing where name = "Alarms""#).unwrap();
+//! assert!(explained.plan().unwrap().contains("probe name index"));
+//! ```
 
 pub mod algebra;
 pub mod ast;
@@ -30,14 +56,28 @@ pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod planner;
+
+#[cfg(test)]
+mod proptests;
 
 pub use algebra::ObjectSet;
 pub use ast::{Comparison, Query, Selection};
 pub use error::{QueryError, QueryResult};
-pub use exec::{execute, QueryOutcome};
+pub use exec::{execute, execute_scan, QueryOutcome};
 pub use parser::parse;
+pub use planner::{plan, AccessPath, Plan};
 
 /// Parses and executes a query in one call.
+///
+/// ```
+/// use seed_core::Database;
+/// use seed_schema::figure3_schema;
+///
+/// let mut db = Database::new(figure3_schema());
+/// db.create_object("InputData", "ProcessData").unwrap();
+/// assert_eq!(seed_query::run(&db, "count Data").unwrap().count(), 1);
+/// ```
 pub fn run(db: &seed_core::Database, text: &str) -> QueryResult<QueryOutcome> {
     let query = parse(text)?;
     execute(db, &query)

@@ -128,25 +128,33 @@ impl Parser {
     }
 }
 
-/// Parses query text into a [`Query`].
+/// Parses query text into a [`Query`].  A leading `explain` wraps the query in
+/// [`Query::Explain`], asking for the physical plan instead of the result.
 pub fn parse(input: &str) -> QueryResult<Query> {
     let tokens = tokenize(input)?;
     let mut parser = Parser { tokens, pos: 0 };
-    let verb = parser.expect_word()?;
-    match verb.as_str() {
+    let mut verb = parser.expect_word()?;
+    let explain = verb == "explain";
+    if explain {
+        verb = parser.expect_word()?;
+    }
+    let query = match verb.as_str() {
         "find" => {
             let (class, exact, selections, navigate) = parser.parse_body()?;
-            Ok(Query::Find { class, exact, selections, navigate })
+            Query::Find { class, exact, selections, navigate }
         }
         "count" => {
             let (class, exact, selections, navigate) = parser.parse_body()?;
-            Ok(Query::Count { class, exact, selections, navigate })
+            Query::Count { class, exact, selections, navigate }
         }
-        other => Err(QueryError::Parse {
-            position: 0,
-            message: format!("queries start with 'find' or 'count', not '{other}'"),
-        }),
-    }
+        other => {
+            return Err(QueryError::Parse {
+                position: 0,
+                message: format!("queries start with 'find' or 'count', not '{other}'"),
+            })
+        }
+    };
+    Ok(if explain { Query::Explain(Box::new(query)) } else { query })
 }
 
 #[cfg(test)]
@@ -213,6 +221,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_explain() {
+        let q = parse(r#"explain find Data where name prefix "Alarm""#).unwrap();
+        assert!(q.is_explain());
+        assert_eq!(q.class(), "Data");
+        match q {
+            Query::Explain(inner) => assert!(matches!(*inner, Query::Find { .. })),
+            _ => panic!("wrong query kind"),
+        }
+        assert!(parse("explain count Action").unwrap().is_count());
+    }
+
+    #[test]
     fn rejects_malformed_queries() {
         for bad in [
             "",
@@ -225,6 +245,8 @@ mod tests {
             "find Data navigate Access.by \"Alarms\"",
             "find Data extra stuff",
             "find Data where related Access",
+            "explain",
+            "explain explain find Data",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

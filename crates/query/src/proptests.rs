@@ -1,0 +1,146 @@
+//! Property tests: indexed execution and the scan fallback are the same function.
+//!
+//! For random schemas (random specialization hierarchies with random value domains), random
+//! populations (objects, values, relationships) and random queries over every selection form,
+//! [`execute`] (planner + index access paths) and [`execute_scan`] (the original full-extent
+//! pipeline) must return identical result sets — and fail on identical inputs.  This is the
+//! contract that lets the planner switch access paths freely (see `docs/QUERY.md`).
+
+use proptest::prelude::*;
+use seed_core::{Database, Value};
+use seed_schema::{Domain, SchemaBuilder};
+
+use crate::ast::{Comparison, Navigation, Query, Selection};
+use crate::exec::{execute, execute_scan};
+
+/// Builds a schema with `domains.len()` specializations of a common `Root` class (`C0`, `C1`,
+/// ... with an Integer or String domain each) and one `Link` association over `Root`.
+fn random_schema(domains: &[bool]) -> seed_schema::Schema {
+    let mut builder = SchemaBuilder::new("Random").class("Root", |c| c);
+    for (i, integer) in domains.iter().enumerate() {
+        let domain = if *integer { Domain::Integer } else { Domain::String };
+        builder = builder.value_class(&format!("C{i}"), domain);
+    }
+    builder = builder.association("Link", "a", "Root", "0..*", "b", "Root", "0..*", |a| a);
+    let subs: Vec<String> = (0..domains.len()).map(|i| format!("C{i}")).collect();
+    let sub_refs: Vec<&str> = subs.iter().map(String::as_str).collect();
+    builder.generalize_classes("Root", &sub_refs, false).build().expect("generated schema is valid")
+}
+
+type ObjectSpec = (u8, String, u8, i64, String);
+type QuerySpec = ((u8, u8, bool, u8), (u8, i64, String, u8));
+
+fn build_database(
+    domains: &[bool],
+    objects: &[ObjectSpec],
+    links: &[(u8, u8)],
+) -> (Database, Vec<seed_core::ObjectId>) {
+    let mut db = Database::new(random_schema(domains));
+    let mut created = Vec::new();
+    for (class_pick, name, value_pick, int_value, str_value) in objects {
+        let class_index = *class_pick as usize % (domains.len() + 1);
+        let (class, value) = if class_index == 0 {
+            ("Root".to_string(), Value::Undefined)
+        } else {
+            let class = format!("C{}", class_index - 1);
+            let value = match value_pick % 3 {
+                0 => Value::Undefined,
+                _ if domains[class_index - 1] => Value::Integer(*int_value),
+                _ => Value::string(str_value.clone()),
+            };
+            (class, value)
+        };
+        // Duplicate names are rejected by the database; that is part of the model, not a
+        // failure of the generator.
+        if let Ok(id) = db.create_object_with_value(&class, name, value) {
+            created.push(id);
+        }
+    }
+    for (a, b) in links {
+        if created.is_empty() {
+            break;
+        }
+        let from = created[*a as usize % created.len()];
+        let to = created[*b as usize % created.len()];
+        let _ = db.create_relationship("Link", &[("a", from), ("b", to)]);
+    }
+    (db, created)
+}
+
+fn build_query(domains: &[bool], spec: &QuerySpec) -> Query {
+    let ((form, class_pick, exact, sel_kind), (op_pick, int_lit, str_lit, nav_pick)) = spec;
+    let class_index = *class_pick as usize % (domains.len() + 1);
+    let class = if class_index == 0 { "Root".to_string() } else { format!("C{}", class_index - 1) };
+    let op = match op_pick % 4 {
+        0 => Comparison::Equal,
+        1 => Comparison::NotEqual,
+        2 => Comparison::Less,
+        _ => Comparison::Greater,
+    };
+    let selections = match sel_kind % 8 {
+        0 => vec![],
+        1 => vec![Selection::NameEquals(str_lit.clone())],
+        2 => vec![Selection::NamePrefix(str_lit.clone())],
+        3 => vec![Selection::Value(op, int_lit.to_string())],
+        4 => vec![Selection::Value(op, str_lit.clone())],
+        5 => vec![Selection::Related { association: "Link".into(), role: "a".into() }],
+        6 => vec![Selection::Related { association: "Link".into(), role: "b".into() }],
+        _ => vec![
+            Selection::Value(op, int_lit.to_string()),
+            Selection::NamePrefix(str_lit.chars().take(1).collect()),
+        ],
+    };
+    let navigate = (nav_pick % 3 == 0).then(|| Navigation {
+        association: "Link".into(),
+        to_role: "b".into(),
+        from_object: str_lit.clone(),
+    });
+    if *form % 2 == 0 {
+        Query::Find { class, exact: *exact, selections, navigate }
+    } else {
+        Query::Count { class, exact: *exact, selections, navigate }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn indexed_and_scan_execution_are_identical(
+        domains in proptest::collection::vec(any::<bool>(), 1..4),
+        objects in proptest::collection::vec(
+            (0u8..8, "[A-D][a-e]{0,2}", 0u8..3, -3i64..6, "[a-e]{0,2}"),
+            0..30,
+        ),
+        links in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..12),
+        queries in proptest::collection::vec(
+            ((0u8..2, 0u8..8, any::<bool>(), 0u8..8), (0u8..4, -4i64..7, "[A-Da-e]{0,3}", 0u8..3)),
+            1..12,
+        ),
+    ) {
+        let (db, _) = build_database(&domains, &objects, &links);
+        for spec in &queries {
+            let query = build_query(&domains, spec);
+            let indexed = execute(&db, &query);
+            let scanned = execute_scan(&db, &query);
+            match (&indexed, &scanned) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert!(
+                        a.names() == b.names() && a.count() == b.count(),
+                        "paths disagree on {:?}: indexed {:?} vs scan {:?}",
+                        query, a, b
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "paths disagree on {:?}: indexed {:?} vs scan {:?}",
+                    query, indexed, scanned
+                ),
+            }
+            // `explain` must render a plan for every well-classed query.
+            let explained = execute(&db, &Query::Explain(Box::new(query.clone())));
+            prop_assert!(explained.is_ok(), "explain failed for {:?}", query);
+            prop_assert!(explained.unwrap().plan().is_some());
+        }
+    }
+}

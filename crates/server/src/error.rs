@@ -21,6 +21,8 @@ pub enum ServerError {
     Rejected(seed_core::SeedError),
     /// The requested object or client is unknown.
     Unknown(String),
+    /// A retrieval-language query failed to parse or execute.
+    Query(String),
     /// The server thread is gone (channel disconnected).
     Disconnected,
 }
@@ -36,6 +38,7 @@ impl fmt::Display for ServerError {
             }
             ServerError::Rejected(e) => write!(f, "check-in rejected: {e}"),
             ServerError::Unknown(what) => write!(f, "unknown: {what}"),
+            ServerError::Query(message) => write!(f, "query failed: {message}"),
             ServerError::Disconnected => write!(f, "server disconnected"),
         }
     }

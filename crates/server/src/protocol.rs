@@ -100,6 +100,18 @@ impl CheckoutSet {
     }
 }
 
+/// The answer to a [`Request::Query`]: the matching names (sorted), the cardinality, and — for
+/// `explain` queries — the rendered physical plan instead of a result set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryAnswer {
+    /// Names of the matching objects (empty for `count` and `explain` queries).
+    pub names: Vec<String>,
+    /// Number of matching objects (zero for `explain` queries).
+    pub count: usize,
+    /// The rendered plan, when the query was an `explain`.
+    pub plan: Option<String>,
+}
+
 /// A request sent to the server thread.
 #[derive(Debug)]
 pub enum Request {
@@ -129,6 +141,12 @@ pub enum Request {
         /// Object name.
         name: String,
     },
+    /// Evaluate a retrieval-language query (or an `explain`) on the central database (no lock;
+    /// retrieval goes straight to the server).
+    Query {
+        /// The query text, e.g. `find Data where name prefix "Alarm"` or `explain count Data`.
+        text: String,
+    },
     /// Ask the server to create a global version snapshot.
     CreateVersion {
         /// Comment for the version.
@@ -149,6 +167,8 @@ pub enum Response {
     Ack(Result<(), crate::error::ServerError>),
     /// Reply to [`Request::Retrieve`].
     Object(Result<ObjectRecord, crate::error::ServerError>),
+    /// Reply to [`Request::Query`].
+    Answer(Result<QueryAnswer, crate::error::ServerError>),
     /// Reply to [`Request::CreateVersion`].
     Version(Result<VersionId, crate::error::ServerError>),
     /// Reply to [`Request::Shutdown`].

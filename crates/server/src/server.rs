@@ -12,7 +12,7 @@ use seed_core::{Database, ObjectId, ObjectRecord, SeedError, Value, VersionId};
 
 use crate::error::{ServerError, ServerResult};
 use crate::lock::LockTable;
-use crate::protocol::{CheckoutSet, ClientId, Request, Response, Update};
+use crate::protocol::{CheckoutSet, ClientId, QueryAnswer, Request, Response, Update};
 
 /// The central SEED server of the two-level multi-user scheme.
 pub struct SeedServer {
@@ -57,6 +57,29 @@ impl SeedServer {
     /// Number of write locks currently held.
     pub fn locked_count(&self) -> usize {
         self.locks.lock().len()
+    }
+
+    /// Evaluates a retrieval-language query (`find` / `count`, or `explain` for the physical
+    /// plan) on the central database.  Queries take no locks: retrieval is served directly by
+    /// the server, and the planner's indexed access paths keep it cheap under load.
+    pub fn query(&self, text: &str) -> ServerResult<QueryAnswer> {
+        let db = self.db.lock();
+        let outcome = seed_query::run(&db, text).map_err(|e| ServerError::Query(e.to_string()))?;
+        Ok(QueryAnswer {
+            names: outcome.names(),
+            count: outcome.count(),
+            plan: outcome.plan().map(str::to_string),
+        })
+    }
+
+    /// Convenience: the rendered physical plan for a query (prepends `explain` when absent).
+    pub fn explain(&self, text: &str) -> ServerResult<String> {
+        let text = text.trim();
+        let explained =
+            if text.starts_with("explain") { text.to_string() } else { format!("explain {text}") };
+        self.query(&explained)?.plan.ok_or_else(|| {
+            ServerError::Query("explain produced no plan (not a find/count query?)".to_string())
+        })
     }
 
     /// Checks out the named objects for `client`: takes write locks on them (and their dependent
@@ -215,6 +238,7 @@ impl SeedServer {
                         Response::Ack(Ok(()))
                     }
                     Request::Retrieve { name } => Response::Object(thread_server.retrieve(&name)),
+                    Request::Query { text } => Response::Answer(thread_server.query(&text)),
                     Request::CreateVersion { comment } => {
                         Response::Version(thread_server.create_version(&comment))
                     }
@@ -274,6 +298,14 @@ impl ServerHandle {
     pub fn retrieve(&self, name: &str) -> ServerResult<ObjectRecord> {
         match self.call(Request::Retrieve { name: name.to_string() })? {
             Response::Object(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Convenience: evaluates a query (or an `explain`) on the central database.
+    pub fn query(&self, text: &str) -> ServerResult<QueryAnswer> {
+        match self.call(Request::Query { text: text.to_string() })? {
+            Response::Answer(result) => result,
             _ => Err(ServerError::Disconnected),
         }
     }
@@ -446,6 +478,37 @@ mod tests {
         server.with_database(|db| {
             assert_eq!(db.versions().len(), 2);
         });
+    }
+
+    #[test]
+    fn queries_and_explain_are_served_centrally() {
+        let server = server_with_data();
+        // Retrieval-language queries run without locks.
+        let answer = server.query(r#"find Data where name prefix "Alarm""#).unwrap();
+        assert_eq!(answer.names, vec!["Alarms"]);
+        assert_eq!(answer.count, 1);
+        assert!(answer.plan.is_none());
+        let answer = server.query("count Action").unwrap();
+        assert_eq!(answer.count, 2);
+        assert!(answer.names.is_empty());
+        // Explain returns the physical plan, with or without the explicit keyword.
+        let plan = server.explain(r#"find Thing where name = "Alarms""#).unwrap();
+        assert!(plan.contains("probe name index"), "got: {plan}");
+        let answer = server.query("explain count Data").unwrap();
+        assert!(answer.plan.unwrap().contains("output  count"));
+        // Errors are reported, not panicked.
+        assert!(matches!(server.query("bogus"), Err(ServerError::Query(_))));
+        assert!(matches!(server.query("find Ghost"), Err(ServerError::Query(_))));
+
+        // The same surface over the threaded protocol.
+        let (handle, join) = server.spawn();
+        let answer = handle.query(r#"find Data where name prefix "Alarm""#).unwrap();
+        assert_eq!(answer.names, vec!["Alarms"]);
+        let answer = handle.query(r#"explain find Data where name prefix "Alarm""#).unwrap();
+        assert!(answer.plan.is_some());
+        assert!(handle.query("bogus").is_err());
+        handle.shutdown().unwrap();
+        join.join().unwrap();
     }
 
     #[test]

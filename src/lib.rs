@@ -7,7 +7,8 @@
 //! * [`storage`] — pages, buffer pool, heap files, WAL, B+ tree, key/value engine;
 //! * [`schema`] — classes, associations, generalization, SDL, validation, versioning;
 //! * [`core`] — the DBMS: objects, relationships, consistency/completeness, versions, patterns;
-//! * [`query`] — the `find …` retrieval language and entity-relationship algebra;
+//! * [`query`] — the `find …` retrieval language, entity-relationship algebra and the
+//!   cost-aware planner with indexed access paths and `explain` (contract: `docs/QUERY.md`);
 //! * [`server`] — the two-level multi-user extension (check-out/check-in, write locks);
 //! * [`spades`] — the miniature SPADES specification tool, SEED's example application.
 //!
