@@ -15,5 +15,5 @@
 pub mod report;
 pub mod scenarios;
 
-pub use report::run_report;
+pub use report::{run_report, run_report_mode, ExperimentMetrics};
 pub use scenarios::*;

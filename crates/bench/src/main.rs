@@ -1,7 +1,10 @@
-//! Prints the quick evaluation report (one row per experiment in `EXPERIMENTS.md`).
+//! Prints the quick evaluation report (one row per experiment in `EXPERIMENTS.md`) and writes
+//! the machine-readable `BENCH.json` next to it.
 //!
-//! Run with `cargo run -p seed-bench --release`.
+//! Run with `cargo run -p seed-bench --release`; pass `--smoke` for the small-parameter variant
+//! CI runs (seconds instead of minutes, same metrics).
 
 fn main() {
-    seed_bench::run_report();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    seed_bench::run_report_mode(smoke);
 }

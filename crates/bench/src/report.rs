@@ -1,6 +1,10 @@
 //! The quick evaluation report: one row per experiment of `EXPERIMENTS.md`, measured with plain
 //! timers (run `cargo run -p seed-bench --release`).  The Criterion benches in `benches/`
 //! measure the same scenarios with proper statistics.
+//!
+//! Next to the human-readable table, [`run_report_mode`] writes **`BENCH.json`** — a
+//! machine-readable map of experiment id → named metrics — so the performance trajectory can be
+//! tracked across PRs (CI uploads the file as an artifact from the `--smoke` run).
 
 use std::time::{Duration, Instant};
 
@@ -11,6 +15,26 @@ use seed_storage::StorageEngine;
 use spades::{DirectBackend, SpecBackend};
 
 use crate::scenarios;
+
+/// Machine-readable result of one experiment: its stable id and named numeric metrics.
+pub struct ExperimentMetrics {
+    /// Stable experiment id (`E1` … `E10`).
+    pub id: &'static str,
+    /// Named metrics, in presentation order.  Times are microseconds unless the name says
+    /// otherwise; `*_x` values are ratios.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl ExperimentMetrics {
+    fn new(id: &'static str, metrics: &[(&str, f64)]) -> Self {
+        Self { id, metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect() }
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+}
 
 fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
     let start = Instant::now();
@@ -23,7 +47,7 @@ fn row(id: &str, what: &str, measurement: String) {
 }
 
 /// E1 — SPADES on SEED vs. the direct pre-SEED implementation.
-pub fn e1_spades_overhead(scale: usize) {
+pub fn e1_spades_overhead(scale: usize) -> ExperimentMetrics {
     let workload = scenarios::spades_workload(scale);
     let (direct_time, _) = time(|| scenarios::run_on_direct(&workload));
     let (seed_time, _) = time(|| scenarios::run_on_seed(&workload, true));
@@ -43,10 +67,20 @@ pub fn e1_spades_overhead(scale: usize) {
         "  flexibility: incompleteness findings (SEED vs direct)",
         format!("{} vs {}", seed.incompleteness_findings(), direct.incompleteness_findings()),
     );
+    ExperimentMetrics::new(
+        "E1",
+        &[
+            ("direct_us", direct_time.as_secs_f64() * 1e6),
+            ("seed_us", seed_time.as_secs_f64() * 1e6),
+            ("slowdown_x", slowdown),
+            ("seed_findings", seed.incompleteness_findings() as f64),
+            ("direct_findings", direct.incompleteness_findings() as f64),
+        ],
+    )
 }
 
 /// E2 — cost of consistency checking on every update.
-pub fn e2_consistency_overhead(scale: usize) {
+pub fn e2_consistency_overhead(scale: usize) -> ExperimentMetrics {
     let workload = scenarios::spades_workload(scale);
     let (with_checks, _) = time(|| scenarios::run_on_seed(&workload, true));
     let (without_checks, _) = time(|| scenarios::run_on_seed(&workload, false));
@@ -56,10 +90,22 @@ pub fn e2_consistency_overhead(scale: usize) {
         &format!("consistency checking on vs off ({} ops)", workload.len()),
         format!("on {with_checks:>8.2?}  off {without_checks:>8.2?}  overhead {factor:.2}x"),
     );
+    ExperimentMetrics::new(
+        "E2",
+        &[
+            ("on_us", with_checks.as_secs_f64() * 1e6),
+            ("off_us", without_checks.as_secs_f64() * 1e6),
+            ("overhead_x", factor),
+        ],
+    )
 }
 
 /// E3 — delta-based version storage vs. full copies.
-pub fn e3_version_storage(objects: usize, versions: usize, changes_per_version: usize) {
+pub fn e3_version_storage(
+    objects: usize,
+    versions: usize,
+    changes_per_version: usize,
+) -> ExperimentMetrics {
     let db = scenarios::versioned_database(objects, versions, changes_per_version);
     let delta_snapshots = db.version_manager().stored_snapshot_count();
     let full_copy_items = (0..versions)
@@ -75,10 +121,18 @@ pub fn e3_version_storage(objects: usize, versions: usize, changes_per_version: 
             "delta stores {delta_snapshots} item snapshots vs ~{full_copy_items} for full copies; view(1.0) in {view_time:.2?}"
         ),
     );
+    ExperimentMetrics::new(
+        "E3",
+        &[
+            ("delta_snapshots", delta_snapshots as f64),
+            ("full_copy_items", full_copy_items as f64),
+            ("view_us", view_time.as_secs_f64() * 1e6),
+        ],
+    )
 }
 
 /// E4 — pattern update propagation cost vs. number of inheritors.
-pub fn e4_pattern_propagation(inheritors: usize) {
+pub fn e4_pattern_propagation(inheritors: usize) -> ExperimentMetrics {
     let (mut db, pattern, members) = scenarios::pattern_with_inheritors(inheritors);
     let (update_time, _) = time(|| {
         db.mark_pattern(pattern).unwrap(); // no-op update touching the pattern
@@ -97,10 +151,18 @@ pub fn e4_pattern_propagation(inheritors: usize) {
             "update {update_time:.2?}; read {read_time:.2?} ({total} inherited relationships seen)"
         ),
     );
+    ExperimentMetrics::new(
+        "E4",
+        &[
+            ("update_us", update_time.as_secs_f64() * 1e6),
+            ("read_us", read_time.as_secs_f64() * 1e6),
+            ("inherited_seen", total as f64),
+        ],
+    )
 }
 
 /// E5 — re-classification latency (the vague-to-precise step).
-pub fn e5_reclassification(n: usize) {
+pub fn e5_reclassification(n: usize) -> ExperimentMetrics {
     let (mut db, objects, rels) = scenarios::vague_database(n);
     let (object_time, _) = time(|| {
         for id in &objects {
@@ -123,10 +185,17 @@ pub fn e5_reclassification(n: usize) {
             rel_time.as_micros() as f64 / n as f64
         ),
     );
+    ExperimentMetrics::new(
+        "E5",
+        &[
+            ("object_each_us", object_time.as_micros() as f64 / n as f64),
+            ("relationship_each_us", rel_time.as_micros() as f64 / n as f64),
+        ],
+    )
 }
 
 /// E6 — retrieval by name vs. database size.
-pub fn e6_retrieval(n: usize) {
+pub fn e6_retrieval(n: usize) -> ExperimentMetrics {
     let db = scenarios::populated_database(n);
     let lookups = 10_000usize;
     let (by_name, _) = time(|| {
@@ -144,10 +213,18 @@ pub fn e6_retrieval(n: usize) {
             by_name.as_micros() as f64 / lookups as f64
         ),
     );
+    ExperimentMetrics::new(
+        "E6",
+        &[
+            ("lookup_each_us", by_name.as_micros() as f64 / lookups as f64),
+            ("prefix_scan_us", by_prefix.as_secs_f64() * 1e6),
+            ("prefix_hits", hits as f64),
+        ],
+    )
 }
 
 /// E7 — storage engine micro-benchmarks.
-pub fn e7_storage_engine(n: usize) {
+pub fn e7_storage_engine(n: usize) -> ExperimentMetrics {
     let engine = StorageEngine::in_memory().unwrap();
     let value = vec![0xA5u8; 256];
     let (write_time, _) = time(|| {
@@ -179,10 +256,18 @@ pub fn e7_storage_engine(n: usize) {
             "memory put {write_time:.2?}, get {read_time:.2?}; durable txn+checkpoint {durable_write:.2?}"
         ),
     );
+    ExperimentMetrics::new(
+        "E7",
+        &[
+            ("mem_put_us", write_time.as_secs_f64() * 1e6),
+            ("mem_get_us", read_time.as_secs_f64() * 1e6),
+            ("durable_txn_checkpoint_us", durable_write.as_secs_f64() * 1e6),
+        ],
+    )
 }
 
 /// E8 — multi-user check-out / check-in throughput.
-pub fn e8_multiuser(clients: usize, rounds: usize) {
+pub fn e8_multiuser(clients: usize, rounds: usize) -> ExperimentMetrics {
     let mut db = Database::new(figure3_schema());
     for i in 0..clients {
         db.create_object("Data", &format!("Shared{i:03}")).unwrap();
@@ -221,10 +306,19 @@ pub fn e8_multiuser(clients: usize, rounds: usize) {
             elapsed.as_micros() as f64 / total as f64
         ),
     );
+    ExperimentMetrics::new(
+        "E8",
+        &[
+            ("cycles", total as f64),
+            ("cycle_each_us", elapsed.as_micros() as f64 / total as f64),
+            ("conflicts", conflicts as f64),
+        ],
+    )
 }
 
 /// E9 — the planner's indexed access paths vs. the full-scan fallback, swept over size.
-pub fn e9_indexed_retrieval(sizes: &[usize]) {
+pub fn e9_indexed_retrieval(sizes: &[usize]) -> ExperimentMetrics {
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     for &n in sizes {
         let db = scenarios::valued_database(n);
         let point = seed_query::parse(&format!("count Item where value = \"{}\"", n / 2)).unwrap();
@@ -251,25 +345,160 @@ pub fn e9_indexed_retrieval(sizes: &[usize]) {
                 scanned.as_micros() as f64 / reps as f64
             ),
         );
+        // Keys carry the swept size so any number of slots stays collision-free in BENCH.json.
+        metrics.push((format!("indexed_us_{n}"), indexed.as_micros() as f64 / reps as f64));
+        metrics.push((format!("scan_us_{n}"), scanned.as_micros() as f64 / reps as f64));
+        metrics.push((format!("speedup_x_{n}"), speedup));
     }
+    ExperimentMetrics { id: "E9", metrics }
 }
 
-/// Runs every experiment with report-sized parameters and prints the table.
-pub fn run_report() {
+/// E10 — incremental durability: per-item write-through commits vs whole-database snapshot
+/// saves, and recovery time vs WAL length.
+///
+/// The acceptance bar of the durability refactor: at `objects` database size, the durable cost
+/// of committing **one** object mutation must be O(delta) — at least 50× cheaper than a full
+/// [`Database::save_to_dir`] snapshot of the same database.
+pub fn e10_durable_throughput(objects: usize, probe_commits: usize) -> ExperimentMetrics {
+    let base = std::env::temp_dir().join(format!("seed-bench-e10-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let durable_dir = base.join("durable");
+    let snapshot_dir = base.join("snapshot");
+
+    let mut db = Database::create_durable(&durable_dir, figure3_schema()).unwrap();
+    // Bulk-load the fixture inside one transaction: one group commit, one WAL sync.
+    db.begin_transaction().unwrap();
+    let mut ids = Vec::with_capacity(objects);
+    for i in 0..objects {
+        ids.push(db.create_object("Data", &format!("Data{i:06}")).unwrap());
+    }
+    db.commit_transaction().unwrap();
+    db.checkpoint().unwrap();
+
+    // Write-through: auto-committed single-object mutations (each is its own storage
+    // transaction with one batched WAL write + sync).
+    let (wt, _) = time(|| {
+        for k in 0..probe_commits {
+            db.set_value(ids[k % ids.len()], Value::Undefined).unwrap();
+        }
+    });
+    let write_through_us = wt.as_secs_f64() * 1e6 / probe_commits as f64;
+
+    // Snapshot baseline: one full save of the same database.
+    let (snap, _) = time(|| db.save_to_dir(&snapshot_dir).unwrap());
+    let snapshot_us = snap.as_secs_f64() * 1e6;
+    let speedup = snapshot_us / write_through_us.max(f64::EPSILON);
+
+    // Recovery time vs WAL length: reopen right after a checkpoint (short WAL), then again
+    // with `probe_commits` commits in the WAL.
+    db.checkpoint().unwrap();
+    drop(db);
+    let (recovery_short, db) = time(|| Database::open_durable(&durable_dir).unwrap());
+    let mut db = db;
+    for k in 0..probe_commits {
+        db.set_value(ids[k % ids.len()], Value::Undefined).unwrap();
+    }
+    let wal_bytes = db.durability_status().unwrap().wal_bytes;
+    drop(db);
+    let (recovery_long, _db) = time(|| Database::open_durable(&durable_dir).unwrap());
+
+    row(
+        "E10",
+        &format!("durable write-through vs snapshot save, {objects} objects"),
+        format!(
+            "commit {write_through_us:.1} µs vs save {:.1} ms ({speedup:.0}x); recovery {:.1} ms, +{probe_commits} WAL commits ({wal_bytes} B): {:.1} ms",
+            snapshot_us / 1e3,
+            recovery_short.as_secs_f64() * 1e3,
+            recovery_long.as_secs_f64() * 1e3
+        ),
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    ExperimentMetrics::new(
+        "E10",
+        &[
+            ("objects", objects as f64),
+            ("write_through_commit_us", write_through_us),
+            ("snapshot_save_us", snapshot_us),
+            ("speedup_x", speedup),
+            ("recovery_after_checkpoint_us", recovery_short.as_secs_f64() * 1e6),
+            ("recovery_with_wal_us", recovery_long.as_secs_f64() * 1e6),
+            ("wal_bytes_at_reopen", wal_bytes as f64),
+        ],
+    )
+}
+
+/// Renders the collected metrics as a JSON document (`experiment id → {metric: value}`).
+pub fn render_bench_json(results: &[ExperimentMetrics], smoke: bool) -> String {
+    fn number(v: f64) -> String {
+        if v.is_finite() {
+            // Trim to a sane precision; metric values are timings and counts.
+            let s = format!("{v:.3}");
+            s.trim_end_matches('0').trim_end_matches('.').to_string()
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"seed-bench/1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"experiments\": {\n");
+    for (i, result) in results.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{", result.id));
+        for (j, (name, value)) in result.metrics.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {}", number(*value)));
+        }
+        out.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Runs every experiment and prints the table.  `smoke` uses small parameters (CI-friendly:
+/// seconds, not minutes) — the metrics are still real measurements, just noisier.
+/// Next to the table, writes `BENCH.json` into the current directory.
+pub fn run_report_mode(smoke: bool) {
     println!(
         "SEED reproduction — evaluation report (quick timers; see benches/ for Criterion runs)"
     );
     println!("{}", "-".repeat(110));
-    e1_spades_overhead(120);
-    e2_consistency_overhead(120);
-    e3_version_storage(200, 10, 5);
-    e4_pattern_propagation(500);
-    e5_reclassification(500);
-    e6_retrieval(2000);
-    e7_storage_engine(5000);
-    e8_multiuser(8, 25);
-    e9_indexed_retrieval(&[1_000, 10_000]);
+    let mut results = Vec::new();
+    if smoke {
+        results.push(e1_spades_overhead(20));
+        results.push(e2_consistency_overhead(20));
+        results.push(e3_version_storage(40, 4, 3));
+        results.push(e4_pattern_propagation(50));
+        results.push(e5_reclassification(50));
+        results.push(e6_retrieval(200));
+        results.push(e7_storage_engine(500));
+        results.push(e8_multiuser(4, 5));
+        results.push(e9_indexed_retrieval(&[200, 1_000]));
+        results.push(e10_durable_throughput(1_000, 50));
+    } else {
+        results.push(e1_spades_overhead(120));
+        results.push(e2_consistency_overhead(120));
+        results.push(e3_version_storage(200, 10, 5));
+        results.push(e4_pattern_propagation(500));
+        results.push(e5_reclassification(500));
+        results.push(e6_retrieval(2000));
+        results.push(e7_storage_engine(5000));
+        results.push(e8_multiuser(8, 25));
+        results.push(e9_indexed_retrieval(&[1_000, 10_000]));
+        results.push(e10_durable_throughput(10_000, 100));
+    }
     println!("{}", "-".repeat(110));
+    let json = render_bench_json(&results, smoke);
+    match std::fs::write("BENCH.json", &json) {
+        Ok(()) => println!("machine-readable metrics written to BENCH.json"),
+        Err(e) => eprintln!("could not write BENCH.json: {e}"),
+    }
+}
+
+/// Runs every experiment with report-sized parameters and prints the table (plus `BENCH.json`).
+pub fn run_report() {
+    run_report_mode(false);
 }
 
 #[cfg(test)]
@@ -288,5 +517,41 @@ mod tests {
         e7_storage_engine(50);
         e8_multiuser(2, 2);
         e9_indexed_retrieval(&[20]);
+        e10_durable_throughput(50, 5);
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_keyed_by_experiment() {
+        let results = vec![
+            ExperimentMetrics::new("E1", &[("a_us", 1.5), ("b_x", 2.0)]),
+            ExperimentMetrics::new("E10", &[("speedup_x", 120.25)]),
+        ];
+        let json = render_bench_json(&results, true);
+        let value = serde_json::from_str(&json).expect("BENCH.json must parse");
+        let experiments = value.get("experiments").expect("experiments key");
+        let e1 = experiments.get("E1").expect("E1 entry");
+        assert_eq!(e1.get("a_us").and_then(|v| v.as_f64()), Some(1.5));
+        assert_eq!(
+            experiments.get("E10").and_then(|e| e.get("speedup_x")).and_then(|v| v.as_f64()),
+            Some(120.25)
+        );
+    }
+
+    /// The acceptance criterion of the durability refactor, at its stated scale: at 10k
+    /// objects, committing one object mutation must be at least 50× cheaper than a full
+    /// snapshot save (write-through is sync-bound and flat; the snapshot grows with the
+    /// database).  A wall-clock ratio is only meaningful on the optimized build, so the hard
+    /// bar is ignored under debug builds (CI's bench-smoke job runs it with `--release`); the
+    /// structural O(delta) property is asserted unconditionally by
+    /// `seed-core::durability::tests::per_commit_durable_cost_is_o_delta`.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "timing bar is only meaningful in release builds")]
+    fn e10_write_through_beats_snapshot_by_50x_at_scale() {
+        let result = e10_durable_throughput(10_000, 20);
+        let speedup = result.get("speedup_x").expect("metric present");
+        assert!(
+            speedup >= 50.0,
+            "write-through commit must be >= 50x cheaper than snapshot save, got {speedup}x"
+        );
     }
 }

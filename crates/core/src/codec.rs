@@ -1,0 +1,859 @@
+//! Per-item binary codec and the keyed on-disk layout.
+//!
+//! Every piece of database state maps onto its **own** storage key, so that a committed
+//! mutation can be made durable by writing only the records it touched (see
+//! [`crate::durability`]).  The key space:
+//!
+//! | key                    | value                                            |
+//! |------------------------|--------------------------------------------------|
+//! | `meta`                 | format tag, id floors, current schema version, transition rules, version sequence |
+//! | `o/<id:016x>`          | one [`ObjectRecord`] plus the patterns it inherits |
+//! | `r/<id:016x>`          | one [`RelationshipRecord`]                       |
+//! | `s/<svid:08x>`         | one published [`Schema`] version                 |
+//! | `vi/<vid>`             | one version's metadata ([`VersionInfo`])         |
+//! | `v/<vid>/o<id:016x>`   | an object's delta snapshot recorded at version `vid` |
+//! | `v/<vid>/r<id:016x>`   | a relationship's delta snapshot recorded at `vid` |
+//! | `d/o<id:016x>` etc.    | presence marker: the item is dirty (changed since the last version snapshot) |
+//!
+//! Ids are zero-padded hexadecimal so that lexicographic key order equals numeric id order and
+//! prefix/range scans (`o/`, `v/1.0/`, ...) retrieve exactly one kind of record.  All values go
+//! through the storage crate's explicit little-endian codec; nothing here touches serde.
+//!
+//! The legacy whole-database blob layout (`seed/schema`, `seed/objects`, ...) lives in
+//! [`crate::persist`] and shares these record encoders; [`crate::durability`] migrates blob
+//! databases to this layout on open.
+
+use seed_schema::{
+    AssociationId, AttachedProcedure, Cardinality, ClassId, Domain, RelationshipAttribute, Role,
+    Schema, SchemaVersionId,
+};
+use seed_storage::{Decoder, Encoder};
+
+use crate::error::{SeedError, SeedResult};
+use crate::history::TransitionRule;
+use crate::ident::{ItemId, ObjectId, RelationshipId, VersionId};
+use crate::name::ObjectName;
+use crate::object::ObjectRecord;
+use crate::relationship::RelationshipRecord;
+use crate::value::Value;
+use crate::version::{ItemSnapshot, VersionInfo};
+
+/// Version tag written into the `meta` record; bump on incompatible layout changes.
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+/// The key of the meta record.
+pub(crate) const KEY_META: &[u8] = b"meta";
+
+// --------------------------------------------------------------------------------------------
+// Key construction and parsing
+// --------------------------------------------------------------------------------------------
+
+/// Key prefixes of the per-item layout (each names one kind of record).
+pub(crate) const PREFIX_OBJECT: &[u8] = b"o/";
+pub(crate) const PREFIX_RELATIONSHIP: &[u8] = b"r/";
+pub(crate) const PREFIX_SCHEMA: &[u8] = b"s/";
+pub(crate) const PREFIX_VERSION_INFO: &[u8] = b"vi/";
+pub(crate) const PREFIX_VERSION_DELTA: &[u8] = b"v/";
+pub(crate) const PREFIX_DIRTY: &[u8] = b"d/";
+
+/// `o/<id:016x>`
+pub(crate) fn object_key(id: ObjectId) -> Vec<u8> {
+    format!("o/{:016x}", id.0).into_bytes()
+}
+
+/// `r/<id:016x>`
+pub(crate) fn relationship_key(id: RelationshipId) -> Vec<u8> {
+    format!("r/{:016x}", id.0).into_bytes()
+}
+
+/// `s/<svid:08x>`
+pub(crate) fn schema_key(id: SchemaVersionId) -> Vec<u8> {
+    format!("s/{:08x}", id.0).into_bytes()
+}
+
+/// `vi/<vid>`
+pub(crate) fn version_info_key(id: &VersionId) -> Vec<u8> {
+    format!("vi/{id}").into_bytes()
+}
+
+fn item_suffix(item: ItemId) -> String {
+    match item {
+        ItemId::Object(o) => format!("o{:016x}", o.0),
+        ItemId::Relationship(r) => format!("r{:016x}", r.0),
+    }
+}
+
+fn parse_item_suffix(s: &str) -> SeedResult<ItemId> {
+    let bad = || SeedError::Invalid(format!("malformed item key suffix '{s}'"));
+    let (tag, hex) = s.split_at(1.min(s.len()));
+    let id = u64::from_str_radix(hex, 16).map_err(|_| bad())?;
+    match tag {
+        "o" => Ok(ItemId::Object(ObjectId(id))),
+        "r" => Ok(ItemId::Relationship(RelationshipId(id))),
+        _ => Err(bad()),
+    }
+}
+
+/// `v/<vid>/<item-suffix>`
+pub(crate) fn version_delta_key(vid: &VersionId, item: ItemId) -> Vec<u8> {
+    format!("v/{vid}/{}", item_suffix(item)).into_bytes()
+}
+
+/// The prefix under which all delta snapshots of version `vid` live.
+pub(crate) fn version_delta_prefix(vid: &VersionId) -> Vec<u8> {
+    format!("v/{vid}/").into_bytes()
+}
+
+/// Parses a `v/<vid>/<item>` key back into its version id and item.
+pub(crate) fn parse_version_delta_key(key: &[u8]) -> SeedResult<(VersionId, ItemId)> {
+    let text = std::str::from_utf8(key)
+        .map_err(|_| SeedError::Invalid("version delta key is not UTF-8".to_string()))?;
+    let rest = text
+        .strip_prefix("v/")
+        .ok_or_else(|| SeedError::Invalid(format!("not a version delta key: '{text}'")))?;
+    let (vid, item) = rest
+        .rsplit_once('/')
+        .ok_or_else(|| SeedError::Invalid(format!("malformed version delta key: '{text}'")))?;
+    Ok((VersionId::parse(vid)?, parse_item_suffix(item)?))
+}
+
+/// `d/<item-suffix>` — the dirty-set presence marker for one item.
+pub(crate) fn dirty_key(item: ItemId) -> Vec<u8> {
+    format!("d/{}", item_suffix(item)).into_bytes()
+}
+
+/// Parses a `d/<item>` key back into the dirty item.
+pub(crate) fn parse_dirty_key(key: &[u8]) -> SeedResult<ItemId> {
+    let text = std::str::from_utf8(key)
+        .map_err(|_| SeedError::Invalid("dirty key is not UTF-8".to_string()))?;
+    let rest = text
+        .strip_prefix("d/")
+        .ok_or_else(|| SeedError::Invalid(format!("not a dirty key: '{text}'")))?;
+    parse_item_suffix(rest)
+}
+
+// --------------------------------------------------------------------------------------------
+// Value encoding
+// --------------------------------------------------------------------------------------------
+
+pub(crate) fn encode_value(e: &mut Encoder, v: &Value) {
+    match v {
+        Value::String(s) => {
+            e.put_u8(0).put_str(s);
+        }
+        Value::Integer(i) => {
+            e.put_u8(1).put_i64(*i);
+        }
+        Value::Real(r) => {
+            e.put_u8(2).put_f64(*r);
+        }
+        Value::Boolean(b) => {
+            e.put_u8(3).put_bool(*b);
+        }
+        Value::Date { year, month, day } => {
+            e.put_u8(4).put_i64(*year as i64).put_u8(*month).put_u8(*day);
+        }
+        Value::Symbol(s) => {
+            e.put_u8(5).put_str(s);
+        }
+        Value::Text(s) => {
+            e.put_u8(6).put_str(s);
+        }
+        Value::Undefined => {
+            e.put_u8(7);
+        }
+    }
+}
+
+pub(crate) fn decode_value(d: &mut Decoder<'_>) -> SeedResult<Value> {
+    Ok(match d.get_u8()? {
+        0 => Value::String(d.get_str()?.to_string()),
+        1 => Value::Integer(d.get_i64()?),
+        2 => Value::Real(d.get_f64()?),
+        3 => Value::Boolean(d.get_bool()?),
+        4 => Value::Date { year: d.get_i64()? as i32, month: d.get_u8()?, day: d.get_u8()? },
+        5 => Value::Symbol(d.get_str()?.to_string()),
+        6 => Value::Text(d.get_str()?.to_string()),
+        7 => Value::Undefined,
+        other => return Err(SeedError::Invalid(format!("unknown value tag {other}"))),
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Domain / cardinality / procedure encoding
+// --------------------------------------------------------------------------------------------
+
+pub(crate) fn encode_domain(e: &mut Encoder, d: &Domain) {
+    match d {
+        Domain::String => {
+            e.put_u8(0);
+        }
+        Domain::Integer => {
+            e.put_u8(1);
+        }
+        Domain::Real => {
+            e.put_u8(2);
+        }
+        Domain::Boolean => {
+            e.put_u8(3);
+        }
+        Domain::Date => {
+            e.put_u8(4);
+        }
+        Domain::Text => {
+            e.put_u8(5);
+        }
+        Domain::Enumeration(lits) => {
+            e.put_u8(6).put_varint(lits.len() as u64);
+            for lit in lits {
+                e.put_str(lit);
+            }
+        }
+    }
+}
+
+pub(crate) fn decode_domain(d: &mut Decoder<'_>) -> SeedResult<Domain> {
+    Ok(match d.get_u8()? {
+        0 => Domain::String,
+        1 => Domain::Integer,
+        2 => Domain::Real,
+        3 => Domain::Boolean,
+        4 => Domain::Date,
+        5 => Domain::Text,
+        6 => {
+            let n = d.get_varint()? as usize;
+            let mut lits = Vec::with_capacity(n);
+            for _ in 0..n {
+                lits.push(d.get_str()?.to_string());
+            }
+            Domain::Enumeration(lits)
+        }
+        other => return Err(SeedError::Invalid(format!("unknown domain tag {other}"))),
+    })
+}
+
+pub(crate) fn encode_cardinality(e: &mut Encoder, c: &Cardinality) {
+    e.put_u32(c.min);
+    match c.max {
+        Some(m) => {
+            e.put_bool(true).put_u32(m);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+}
+
+pub(crate) fn decode_cardinality(d: &mut Decoder<'_>) -> SeedResult<Cardinality> {
+    let min = d.get_u32()?;
+    let max = if d.get_bool()? { Some(d.get_u32()?) } else { None };
+    Cardinality::new(min, max).map_err(SeedError::from)
+}
+
+pub(crate) fn encode_procedure(e: &mut Encoder, p: &AttachedProcedure) {
+    match p {
+        AttachedProcedure::ValueRange { min, max } => {
+            e.put_u8(0);
+            match min {
+                Some(v) => {
+                    e.put_bool(true).put_i64(*v);
+                }
+                None => {
+                    e.put_bool(false);
+                }
+            }
+            match max {
+                Some(v) => {
+                    e.put_bool(true).put_i64(*v);
+                }
+                None => {
+                    e.put_bool(false);
+                }
+            }
+        }
+        AttachedProcedure::ValueNotEmpty => {
+            e.put_u8(1);
+        }
+        AttachedProcedure::ValueContains(s) => {
+            e.put_u8(2).put_str(s);
+        }
+        AttachedProcedure::MaxLength(n) => {
+            e.put_u8(3).put_varint(*n as u64);
+        }
+        AttachedProcedure::Named(s) => {
+            e.put_u8(4).put_str(s);
+        }
+    }
+}
+
+pub(crate) fn decode_procedure(d: &mut Decoder<'_>) -> SeedResult<AttachedProcedure> {
+    Ok(match d.get_u8()? {
+        0 => {
+            let min = if d.get_bool()? { Some(d.get_i64()?) } else { None };
+            let max = if d.get_bool()? { Some(d.get_i64()?) } else { None };
+            AttachedProcedure::ValueRange { min, max }
+        }
+        1 => AttachedProcedure::ValueNotEmpty,
+        2 => AttachedProcedure::ValueContains(d.get_str()?.to_string()),
+        3 => AttachedProcedure::MaxLength(d.get_varint()? as usize),
+        4 => AttachedProcedure::Named(d.get_str()?.to_string()),
+        other => return Err(SeedError::Invalid(format!("unknown procedure tag {other}"))),
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Schema encoding
+// --------------------------------------------------------------------------------------------
+
+pub(crate) fn encode_schema(e: &mut Encoder, schema: &Schema) {
+    e.put_str(&schema.name);
+    e.put_varint(schema.class_count() as u64);
+    for class in schema.classes() {
+        e.put_str(&class.name);
+        match class.owner {
+            Some(o) => {
+                e.put_bool(true).put_u32(o.0);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        encode_cardinality(e, &class.occurrence);
+        match &class.domain {
+            Some(d) => {
+                e.put_bool(true);
+                encode_domain(e, d);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        match class.superclass {
+            Some(s) => {
+                e.put_bool(true).put_u32(s.0);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        e.put_bool(class.covering);
+        e.put_varint(class.procedures.len() as u64);
+        for p in &class.procedures {
+            encode_procedure(e, p);
+        }
+    }
+    e.put_varint(schema.association_count() as u64);
+    for assoc in schema.associations() {
+        e.put_str(&assoc.name);
+        e.put_varint(assoc.roles.len() as u64);
+        for role in &assoc.roles {
+            e.put_str(&role.name).put_u32(role.class.0);
+            encode_cardinality(e, &role.cardinality);
+        }
+        e.put_bool(assoc.acyclic);
+        match assoc.superassociation {
+            Some(s) => {
+                e.put_bool(true).put_u32(s.0);
+            }
+            None => {
+                e.put_bool(false);
+            }
+        }
+        e.put_bool(assoc.covering);
+        e.put_varint(assoc.procedures.len() as u64);
+        for p in &assoc.procedures {
+            encode_procedure(e, p);
+        }
+        e.put_varint(assoc.attributes.len() as u64);
+        for attr in &assoc.attributes {
+            e.put_str(&attr.name);
+            encode_domain(e, &attr.domain);
+            e.put_bool(attr.required);
+        }
+    }
+}
+
+pub(crate) fn decode_schema(d: &mut Decoder<'_>) -> SeedResult<Schema> {
+    let name = d.get_str()?.to_string();
+    let mut schema = Schema::new(name);
+    let class_count = d.get_varint()? as usize;
+    struct PendingClass {
+        superclass: Option<u32>,
+        covering: bool,
+        procedures: Vec<AttachedProcedure>,
+    }
+    let mut pending_classes = Vec::with_capacity(class_count);
+    for _ in 0..class_count {
+        let name = d.get_str()?.to_string();
+        let owner = if d.get_bool()? { Some(ClassId(d.get_u32()?)) } else { None };
+        let occurrence = decode_cardinality(d)?;
+        let domain = if d.get_bool()? { Some(decode_domain(d)?) } else { None };
+        let superclass = if d.get_bool()? { Some(d.get_u32()?) } else { None };
+        let covering = d.get_bool()?;
+        let proc_count = d.get_varint()? as usize;
+        let mut procedures = Vec::with_capacity(proc_count);
+        for _ in 0..proc_count {
+            procedures.push(decode_procedure(d)?);
+        }
+        // Classes are encoded in id order, so re-adding them in order reproduces the ids.
+        schema.add_class_full(name, owner, occurrence, domain)?;
+        pending_classes.push(PendingClass { superclass, covering, procedures });
+    }
+    for (idx, pending) in pending_classes.into_iter().enumerate() {
+        let id = ClassId(idx as u32);
+        if let Some(sup) = pending.superclass {
+            schema.set_superclass(id, ClassId(sup))?;
+        }
+        if pending.covering {
+            schema.set_class_covering(id, true)?;
+        }
+        for p in pending.procedures {
+            schema.attach_class_procedure(id, p)?;
+        }
+    }
+
+    let assoc_count = d.get_varint()? as usize;
+    struct PendingAssoc {
+        superassociation: Option<u32>,
+        covering: bool,
+        procedures: Vec<AttachedProcedure>,
+        attributes: Vec<RelationshipAttribute>,
+    }
+    let mut pending_assocs = Vec::with_capacity(assoc_count);
+    for _ in 0..assoc_count {
+        let name = d.get_str()?.to_string();
+        let role_count = d.get_varint()? as usize;
+        let mut roles = Vec::with_capacity(role_count);
+        for _ in 0..role_count {
+            let role_name = d.get_str()?.to_string();
+            let class = ClassId(d.get_u32()?);
+            let cardinality = decode_cardinality(d)?;
+            roles.push(Role::new(role_name, class, cardinality));
+        }
+        let acyclic = d.get_bool()?;
+        let superassociation = if d.get_bool()? { Some(d.get_u32()?) } else { None };
+        let covering = d.get_bool()?;
+        let proc_count = d.get_varint()? as usize;
+        let mut procedures = Vec::with_capacity(proc_count);
+        for _ in 0..proc_count {
+            procedures.push(decode_procedure(d)?);
+        }
+        let attr_count = d.get_varint()? as usize;
+        let mut attributes = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            let attr_name = d.get_str()?.to_string();
+            let domain = decode_domain(d)?;
+            let required = d.get_bool()?;
+            attributes.push(RelationshipAttribute::new(attr_name, domain, required));
+        }
+        schema.add_association(name, roles, acyclic)?;
+        pending_assocs.push(PendingAssoc { superassociation, covering, procedures, attributes });
+    }
+    for (idx, pending) in pending_assocs.into_iter().enumerate() {
+        let id = AssociationId(idx as u32);
+        if let Some(sup) = pending.superassociation {
+            schema.set_superassociation(id, AssociationId(sup))?;
+        }
+        if pending.covering {
+            schema.set_association_covering(id, true)?;
+        }
+        for p in pending.procedures {
+            schema.attach_association_procedure(id, p)?;
+        }
+        for attr in pending.attributes {
+            schema.add_relationship_attribute(id, attr)?;
+        }
+    }
+    Ok(schema)
+}
+
+/// Encodes one schema version as a standalone `s/<svid>` record.
+pub(crate) fn encode_schema_entry(schema: &Schema) -> Vec<u8> {
+    let mut e = Encoder::new();
+    encode_schema(&mut e, schema);
+    e.finish()
+}
+
+/// Decodes a standalone `s/<svid>` record.
+pub(crate) fn decode_schema_entry(bytes: &[u8]) -> SeedResult<Schema> {
+    let mut d = Decoder::new(bytes);
+    decode_schema(&mut d)
+}
+
+// --------------------------------------------------------------------------------------------
+// Record encoding
+// --------------------------------------------------------------------------------------------
+
+pub(crate) fn encode_object(e: &mut Encoder, o: &ObjectRecord) {
+    e.put_u64(o.id.0).put_u32(o.class.0).put_str(&o.name.to_string());
+    match o.parent {
+        Some(p) => {
+            e.put_bool(true).put_u64(p.0);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+    encode_value(e, &o.value);
+    e.put_bool(o.is_pattern).put_bool(o.deleted);
+}
+
+pub(crate) fn decode_object(d: &mut Decoder<'_>) -> SeedResult<ObjectRecord> {
+    let id = ObjectId(d.get_u64()?);
+    let class = ClassId(d.get_u32()?);
+    let name = ObjectName::parse(d.get_str()?)?;
+    let parent = if d.get_bool()? { Some(ObjectId(d.get_u64()?)) } else { None };
+    let value = decode_value(d)?;
+    let is_pattern = d.get_bool()?;
+    let deleted = d.get_bool()?;
+    Ok(ObjectRecord { id, class, name, parent, value, is_pattern, deleted })
+}
+
+pub(crate) fn encode_relationship(e: &mut Encoder, r: &RelationshipRecord) {
+    e.put_u64(r.id.0).put_u32(r.association.0);
+    e.put_varint(r.bindings.len() as u64);
+    for (role, obj) in &r.bindings {
+        e.put_str(role).put_u64(obj.0);
+    }
+    e.put_varint(r.attributes.len() as u64);
+    for (name, value) in &r.attributes {
+        e.put_str(name);
+        encode_value(e, value);
+    }
+    e.put_bool(r.is_pattern).put_bool(r.deleted);
+}
+
+pub(crate) fn decode_relationship(d: &mut Decoder<'_>) -> SeedResult<RelationshipRecord> {
+    let id = RelationshipId(d.get_u64()?);
+    let association = AssociationId(d.get_u32()?);
+    let binding_count = d.get_varint()? as usize;
+    let mut bindings = Vec::with_capacity(binding_count);
+    for _ in 0..binding_count {
+        let role = d.get_str()?.to_string();
+        let obj = ObjectId(d.get_u64()?);
+        bindings.push((role, obj));
+    }
+    let attr_count = d.get_varint()? as usize;
+    let mut record = RelationshipRecord::new(id, association, bindings);
+    for _ in 0..attr_count {
+        let name = d.get_str()?.to_string();
+        let value = decode_value(d)?;
+        record.attributes.insert(name, value);
+    }
+    record.is_pattern = d.get_bool()?;
+    record.deleted = d.get_bool()?;
+    Ok(record)
+}
+
+/// Encodes one `o/<id>` record: the object plus the patterns it inherits (the inherits-links
+/// travel with the inheritor so that a pattern-inheritance change re-writes exactly one key).
+pub(crate) fn encode_object_entry(o: &ObjectRecord, inherits: &[ObjectId]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    encode_object(&mut e, o);
+    e.put_varint(inherits.len() as u64);
+    for p in inherits {
+        e.put_u64(p.0);
+    }
+    e.finish()
+}
+
+/// Decodes an `o/<id>` record into the object and its inherited patterns.
+pub(crate) fn decode_object_entry(bytes: &[u8]) -> SeedResult<(ObjectRecord, Vec<ObjectId>)> {
+    let mut d = Decoder::new(bytes);
+    let record = decode_object(&mut d)?;
+    let n = d.get_varint()? as usize;
+    let mut inherits = Vec::with_capacity(n);
+    for _ in 0..n {
+        inherits.push(ObjectId(d.get_u64()?));
+    }
+    Ok((record, inherits))
+}
+
+/// Encodes one `r/<id>` record.
+pub(crate) fn encode_relationship_entry(r: &RelationshipRecord) -> Vec<u8> {
+    let mut e = Encoder::new();
+    encode_relationship(&mut e, r);
+    e.finish()
+}
+
+/// Decodes an `r/<id>` record.
+pub(crate) fn decode_relationship_entry(bytes: &[u8]) -> SeedResult<RelationshipRecord> {
+    let mut d = Decoder::new(bytes);
+    decode_relationship(&mut d)
+}
+
+pub(crate) fn encode_item_id(e: &mut Encoder, item: &ItemId) {
+    match item {
+        ItemId::Object(o) => {
+            e.put_u8(0).put_u64(o.0);
+        }
+        ItemId::Relationship(r) => {
+            e.put_u8(1).put_u64(r.0);
+        }
+    }
+}
+
+pub(crate) fn decode_item_id(d: &mut Decoder<'_>) -> SeedResult<ItemId> {
+    Ok(match d.get_u8()? {
+        0 => ItemId::Object(ObjectId(d.get_u64()?)),
+        1 => ItemId::Relationship(RelationshipId(d.get_u64()?)),
+        other => return Err(SeedError::Invalid(format!("unknown item tag {other}"))),
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Version records
+// --------------------------------------------------------------------------------------------
+
+/// Encodes one `v/<vid>/<item>` delta snapshot.
+pub(crate) fn encode_snapshot(snapshot: &ItemSnapshot) -> Vec<u8> {
+    let mut e = Encoder::new();
+    match snapshot {
+        ItemSnapshot::Object(o) => {
+            e.put_u8(0);
+            encode_object(&mut e, o);
+        }
+        ItemSnapshot::Relationship(r) => {
+            e.put_u8(1);
+            encode_relationship(&mut e, r);
+        }
+    }
+    e.finish()
+}
+
+/// Decodes a `v/<vid>/<item>` delta snapshot.
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> SeedResult<ItemSnapshot> {
+    let mut d = Decoder::new(bytes);
+    Ok(match d.get_u8()? {
+        0 => ItemSnapshot::Object(decode_object(&mut d)?),
+        1 => ItemSnapshot::Relationship(decode_relationship(&mut d)?),
+        other => return Err(SeedError::Invalid(format!("unknown snapshot tag {other}"))),
+    })
+}
+
+/// Encodes one `vi/<vid>` version-metadata record.
+pub(crate) fn encode_version_info(info: &VersionInfo) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str(&info.id.to_string());
+    match &info.parent {
+        Some(p) => {
+            e.put_bool(true).put_str(&p.to_string());
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+    e.put_u32(info.schema_version.0);
+    e.put_str(&info.comment);
+    e.put_u64(info.seq);
+    e.put_varint(info.delta_size as u64);
+    e.finish()
+}
+
+/// Decodes a `vi/<vid>` record.
+pub(crate) fn decode_version_info(bytes: &[u8]) -> SeedResult<VersionInfo> {
+    let mut d = Decoder::new(bytes);
+    let id = VersionId::parse(d.get_str()?)?;
+    let parent = if d.get_bool()? { Some(VersionId::parse(d.get_str()?)?) } else { None };
+    let schema_version = SchemaVersionId(d.get_u32()?);
+    let comment = d.get_str()?.to_string();
+    let seq = d.get_u64()?;
+    let delta_size = d.get_varint()? as usize;
+    Ok(VersionInfo { id, parent, schema_version, comment, seq, delta_size })
+}
+
+// --------------------------------------------------------------------------------------------
+// Transition rules and the meta record
+// --------------------------------------------------------------------------------------------
+
+pub(crate) fn encode_transition_rule(e: &mut Encoder, rule: &TransitionRule) {
+    match rule {
+        TransitionRule::NoDeletions => {
+            e.put_u8(0);
+        }
+        TransitionRule::FrozenValues { class } => {
+            e.put_u8(1).put_str(class);
+        }
+        TransitionRule::MonotonicValue { class } => {
+            e.put_u8(2).put_str(class);
+        }
+        TransitionRule::MustDiffer => {
+            e.put_u8(3);
+        }
+    }
+}
+
+pub(crate) fn decode_transition_rule(d: &mut Decoder<'_>) -> SeedResult<TransitionRule> {
+    Ok(match d.get_u8()? {
+        0 => TransitionRule::NoDeletions,
+        1 => TransitionRule::FrozenValues { class: d.get_str()?.to_string() },
+        2 => TransitionRule::MonotonicValue { class: d.get_str()?.to_string() },
+        3 => TransitionRule::MustDiffer,
+        other => return Err(SeedError::Invalid(format!("unknown transition-rule tag {other}"))),
+    })
+}
+
+/// The small `meta` record: everything that is neither an item, a schema version nor a version
+/// delta.  Rewritten on every durable commit (it is a few dozen bytes), which is what keeps the
+/// id floors and the version sequence crash-consistent.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MetaRecord {
+    pub format: u32,
+    pub object_floor: u64,
+    pub relationship_floor: u64,
+    pub current_schema: SchemaVersionId,
+    pub rules: Vec<TransitionRule>,
+    pub last_created: Option<VersionId>,
+    pub version_seq: u64,
+}
+
+pub(crate) fn encode_meta(meta: &MetaRecord) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(meta.format);
+    e.put_u64(meta.object_floor).put_u64(meta.relationship_floor);
+    e.put_u32(meta.current_schema.0);
+    e.put_varint(meta.rules.len() as u64);
+    for rule in &meta.rules {
+        encode_transition_rule(&mut e, rule);
+    }
+    match &meta.last_created {
+        Some(v) => {
+            e.put_bool(true).put_str(&v.to_string());
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+    e.put_u64(meta.version_seq);
+    e.finish()
+}
+
+pub(crate) fn decode_meta(bytes: &[u8]) -> SeedResult<MetaRecord> {
+    let mut d = Decoder::new(bytes);
+    let format = d.get_u32()?;
+    if format != FORMAT_VERSION {
+        return Err(SeedError::Invalid(format!(
+            "unsupported database format {format} (this build reads format {FORMAT_VERSION})"
+        )));
+    }
+    let object_floor = d.get_u64()?;
+    let relationship_floor = d.get_u64()?;
+    let current_schema = SchemaVersionId(d.get_u32()?);
+    let rule_count = d.get_varint()? as usize;
+    let mut rules = Vec::with_capacity(rule_count);
+    for _ in 0..rule_count {
+        rules.push(decode_transition_rule(&mut d)?);
+    }
+    let last_created = if d.get_bool()? { Some(VersionId::parse(d.get_str()?)?) } else { None };
+    let version_seq = d.get_u64()?;
+    Ok(MetaRecord {
+        format,
+        object_floor,
+        relationship_floor,
+        current_schema,
+        rules,
+        last_created,
+        version_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_schema::figure3_schema;
+
+    #[test]
+    fn schema_roundtrips_through_binary_encoding() {
+        let schema = figure3_schema();
+        let bytes = encode_schema_entry(&schema);
+        assert_eq!(decode_schema_entry(&bytes).unwrap(), schema);
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let values = vec![
+            Value::string("Alarms"),
+            Value::Integer(-9),
+            Value::Real(2.5),
+            Value::Boolean(true),
+            Value::date(1986, 2, 5).unwrap(),
+            Value::symbol("repeat"),
+            Value::text("long body"),
+            Value::Undefined,
+        ];
+        for v in values {
+            let mut e = Encoder::new();
+            encode_value(&mut e, &v);
+            let bytes = e.finish();
+            let mut d = Decoder::new(&bytes);
+            assert_eq!(decode_value(&mut d).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn object_entry_roundtrips_with_inherits_links() {
+        let mut record =
+            ObjectRecord::new(ObjectId(7), ClassId(2), ObjectName::parse("Alarms").unwrap(), None);
+        record.value = Value::string("x");
+        record.is_pattern = false;
+        let inherits = vec![ObjectId(3), ObjectId(9)];
+        let bytes = encode_object_entry(&record, &inherits);
+        let (decoded, links) = decode_object_entry(&bytes).unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(links, inherits);
+    }
+
+    #[test]
+    fn keys_sort_by_id_and_parse_back() {
+        assert!(object_key(ObjectId(2)) < object_key(ObjectId(10)));
+        assert!(object_key(ObjectId(255)) < object_key(ObjectId(256)));
+        let vid = VersionId::parse("1.0.2").unwrap();
+        let key = version_delta_key(&vid, ItemId::Object(ObjectId(77)));
+        assert!(key.starts_with(&version_delta_prefix(&vid)));
+        let (back_vid, back_item) = parse_version_delta_key(&key).unwrap();
+        assert_eq!(back_vid, vid);
+        assert_eq!(back_item, ItemId::Object(ObjectId(77)));
+        let rkey = version_delta_key(&vid, ItemId::Relationship(RelationshipId(5)));
+        assert_eq!(
+            parse_version_delta_key(&rkey).unwrap().1,
+            ItemId::Relationship(RelationshipId(5))
+        );
+        let dkey = dirty_key(ItemId::Relationship(RelationshipId(12)));
+        assert_eq!(parse_dirty_key(&dkey).unwrap(), ItemId::Relationship(RelationshipId(12)));
+        assert!(parse_dirty_key(b"d/x123").is_err());
+        assert!(parse_version_delta_key(b"v/not-a-key").is_err());
+    }
+
+    #[test]
+    fn version_info_roundtrips() {
+        let info = VersionInfo {
+            id: VersionId::parse("2.0").unwrap(),
+            parent: Some(VersionId::parse("1.0").unwrap()),
+            schema_version: SchemaVersionId(3),
+            comment: "second release".to_string(),
+            seq: 9,
+            delta_size: 4,
+        };
+        assert_eq!(decode_version_info(&encode_version_info(&info)).unwrap(), info);
+    }
+
+    #[test]
+    fn meta_roundtrips_and_rejects_unknown_format() {
+        let meta = MetaRecord {
+            format: FORMAT_VERSION,
+            object_floor: 42,
+            relationship_floor: 17,
+            current_schema: SchemaVersionId(2),
+            rules: vec![
+                TransitionRule::NoDeletions,
+                TransitionRule::FrozenValues { class: "Data".to_string() },
+            ],
+            last_created: Some(VersionId::parse("3.0").unwrap()),
+            version_seq: 11,
+        };
+        assert_eq!(decode_meta(&encode_meta(&meta)).unwrap(), meta);
+        let mut bad = meta.clone();
+        bad.format = FORMAT_VERSION + 1;
+        assert!(decode_meta(&encode_meta(&bad)).is_err());
+    }
+}

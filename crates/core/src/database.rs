@@ -11,8 +11,10 @@ use std::path::Path;
 
 use seed_schema::{ClassId, Schema, SchemaRegistry, SchemaVersionId};
 
+use crate::codec;
 use crate::completeness::{self, CompletenessReport};
 use crate::consistency::ConsistencyChecker;
+use crate::durability::{self, Durability, DurabilityStatus};
 use crate::error::{SeedError, SeedResult};
 use crate::history::{check_transition, TransitionRule};
 use crate::ident::{ItemId, ObjectId, RelationshipId, VersionId};
@@ -50,6 +52,8 @@ pub struct Database {
     txn: Option<UndoLog>,
     transition_rules: Vec<TransitionRule>,
     consistency_checking: bool,
+    /// Write-through persistence handle (`None` for purely in-memory databases).
+    durability: Option<Durability>,
 }
 
 impl std::fmt::Debug for Database {
@@ -78,6 +82,7 @@ impl Database {
             txn: None,
             transition_rules: Vec::new(),
             consistency_checking: true,
+            durability: None,
         }
     }
 
@@ -87,9 +92,229 @@ impl Database {
     }
 
     /// Persists the database (schema registry, data, versions) to a directory through the
-    /// `seed-storage` engine.
+    /// `seed-storage` engine as a whole-database snapshot.
+    ///
+    /// This is the legacy O(database) export path; a database opened with
+    /// [`Database::open_durable`] persists every committed mutation incrementally instead.
     pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> SeedResult<()> {
         crate::persist::save_dir(self, dir)
+    }
+
+    // ----- write-through durability -----------------------------------------------------------
+
+    /// Opens a durable database: every committed mutation is written through to storage as
+    /// per-item records, and the directory's WAL recovers the committed state after a crash
+    /// (see [`crate::durability`] for the contract).
+    ///
+    /// Databases saved with the legacy blob layout ([`Database::save_to_dir`]) are detected and
+    /// migrated to the per-item layout on open.
+    pub fn open_durable(dir: impl AsRef<Path>) -> SeedResult<Self> {
+        let dir = dir.as_ref();
+        let engine = durability::open_engine(dir)?;
+        let mut db = if durability::is_legacy_layout(&engine)? {
+            durability::migrate_legacy(&engine)?
+        } else if durability::is_keyed_layout(&engine)? {
+            durability::load_keyed(&engine)?
+        } else {
+            return Err(SeedError::NotFound(format!(
+                "no SEED database in '{}' (use Database::create_durable to start one)",
+                dir.display()
+            )));
+        };
+        db.attach_durability(engine);
+        Ok(db)
+    }
+
+    /// Creates a fresh durable database over `schema` in `dir` (which must not already hold
+    /// one), committing the schema and meta records immediately.
+    pub fn create_durable(dir: impl AsRef<Path>, schema: Schema) -> SeedResult<Self> {
+        let dir = dir.as_ref();
+        let engine = durability::open_engine(dir)?;
+        if durability::is_legacy_layout(&engine)? || durability::is_keyed_layout(&engine)? {
+            return Err(SeedError::Invalid(format!(
+                "'{}' already holds a SEED database; use Database::open_durable",
+                dir.display()
+            )));
+        }
+        let mut db = Database::new(schema);
+        let txn = engine.begin()?;
+        durability::write_full(&db, &engine, txn)?;
+        engine.commit(txn)?;
+        db.attach_durability(engine);
+        Ok(db)
+    }
+
+    fn attach_durability(&mut self, engine: seed_storage::StorageEngine) {
+        self.store.set_journal(true);
+        let _ = self.store.take_changed();
+        self.durability = Some(Durability { engine, txn: None });
+    }
+
+    /// Whether this database writes mutations through to durable storage.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Directory of the durable storage, if any.
+    pub fn durable_path(&self) -> Option<&Path> {
+        self.durability.as_ref().and_then(|d| d.engine.path())
+    }
+
+    /// Storage-level status of a durable database (WAL size, key count) — `None` when the
+    /// database is in-memory.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        self.durability.as_ref().map(|d| DurabilityStatus {
+            path: d.engine.path().map(|p| p.to_path_buf()).unwrap_or_default(),
+            wal_bytes: d.engine.wal_size_bytes().unwrap_or(0),
+            keys: d.engine.len(),
+        })
+    }
+
+    /// Checkpoints the durable storage (flush pages, persist the catalog, truncate the WAL).
+    /// The engine also checkpoints automatically once its WAL outgrows the configured
+    /// threshold; this call is for explicit quiesce points (e.g. before a backup).
+    pub fn checkpoint(&self) -> SeedResult<()> {
+        match &self.durability {
+            Some(d) => {
+                d.engine.checkpoint()?;
+                Ok(())
+            }
+            None => {
+                Err(SeedError::Invalid("database is not durable; nothing to checkpoint".into()))
+            }
+        }
+    }
+
+    /// Write-through: drains the store's change journal and stages the touched records into the
+    /// mirrored storage transaction (committing immediately when no explicit transaction is
+    /// open).  No-op for in-memory databases and while working on an alternative (the
+    /// alternative store is scratch state; only its version snapshots persist).
+    fn persist_changes(&mut self) -> SeedResult<()> {
+        if self.durability.is_none() || self.alternative.is_some() {
+            return Ok(());
+        }
+        let changed = self.store.take_changed();
+        if changed.is_empty() {
+            return Ok(());
+        }
+        let result = self.stage_and_commit_changes(&changed);
+        if result.is_err() {
+            // The in-memory mutation stands, so the items must stay queued: a later successful
+            // commit (or an explicit retry) re-stages them instead of silently dropping them
+            // from durability.
+            self.store.requeue_changed(&changed);
+        }
+        result
+    }
+
+    fn stage_and_commit_changes(&mut self, changed: &[ItemId]) -> SeedResult<()> {
+        let dur = self.durability.as_ref().expect("caller checked");
+        let (txn, auto) = dur.stage_txn()?;
+        for item in changed {
+            durability::stage_item(&dur.engine, txn, &self.store, *item)?;
+        }
+        durability::stage_meta(
+            &dur.engine,
+            txn,
+            &self.schemas,
+            &self.store,
+            &self.versions,
+            &self.transition_rules,
+        )?;
+        if auto {
+            dur.engine.commit(txn)?;
+        }
+        Ok(())
+    }
+
+    /// Stages only the meta record (id floors, rules, version bookkeeping).
+    fn persist_meta(&mut self) -> SeedResult<()> {
+        let Some(dur) = self.durability.as_ref() else { return Ok(()) };
+        let (txn, auto) = dur.stage_txn()?;
+        durability::stage_meta(
+            &dur.engine,
+            txn,
+            &self.schemas,
+            &self.store,
+            &self.versions,
+            &self.transition_rules,
+        )?;
+        if auto {
+            dur.engine.commit(txn)?;
+        }
+        Ok(())
+    }
+
+    /// Stages a freshly created version: its delta snapshots, its metadata record, the drained
+    /// dirty markers and the updated meta, in one commit.
+    fn persist_version_created(&mut self, id: &VersionId, delta: &[ItemId]) -> SeedResult<()> {
+        let in_alternative = self.alternative.is_some();
+        let Some(dur) = self.durability.as_ref() else { return Ok(()) };
+        let (txn, auto) = dur.stage_txn()?;
+        for item in delta {
+            let snapshot = match *item {
+                ItemId::Object(oid) => {
+                    self.store.object(oid).cloned().map(crate::version::ItemSnapshot::Object)
+                }
+                ItemId::Relationship(rid) => self
+                    .store
+                    .relationship(rid)
+                    .cloned()
+                    .map(crate::version::ItemSnapshot::Relationship),
+            };
+            if let Some(snapshot) = snapshot {
+                dur.engine.txn_put(
+                    txn,
+                    &codec::version_delta_key(id, *item),
+                    &codec::encode_snapshot(&snapshot),
+                )?;
+            }
+            if !in_alternative {
+                // The on-disk dirty markers mirror the main store's dirty set; an alternative
+                // drains its own scratch dirty set, which never had markers.
+                dur.engine.txn_delete(txn, &codec::dirty_key(*item))?;
+            }
+        }
+        let info = self.versions.info(id)?;
+        dur.engine.txn_put(txn, &codec::version_info_key(id), &codec::encode_version_info(info))?;
+        durability::stage_meta(
+            &dur.engine,
+            txn,
+            &self.schemas,
+            &self.store,
+            &self.versions,
+            &self.transition_rules,
+        )?;
+        if auto {
+            dur.engine.commit(txn)?;
+        }
+        Ok(())
+    }
+
+    /// Stages a version deletion: drop its metadata record and every delta snapshot under its
+    /// `v/<vid>/` prefix, plus the updated meta.
+    ///
+    /// Like schema publication, version deletion is not transactional (the version is gone from
+    /// memory immediately and the undo log cannot restore it), so the deletes commit in their
+    /// own storage transaction even while an explicit transaction is open — otherwise a later
+    /// rollback would abort them and the deleted version would resurrect on reopen.
+    fn persist_version_deleted(&mut self, id: &VersionId) -> SeedResult<()> {
+        let Some(dur) = self.durability.as_ref() else { return Ok(()) };
+        let txn = dur.engine.begin()?;
+        dur.engine.txn_delete(txn, &codec::version_info_key(id))?;
+        for (key, _) in dur.engine.scan_prefix(&codec::version_delta_prefix(id))? {
+            dur.engine.txn_delete(txn, &key)?;
+        }
+        durability::stage_meta(
+            &dur.engine,
+            txn,
+            &self.schemas,
+            &self.store,
+            &self.versions,
+            &self.transition_rules,
+        )?;
+        dur.engine.commit(txn)?;
+        Ok(())
     }
 
     // ----- accessors ------------------------------------------------------------------------------
@@ -104,9 +329,34 @@ impl Database {
         &self.schemas
     }
 
-    /// Publishes a new schema version; it becomes current.
-    pub fn publish_schema(&mut self, schema: Schema) -> SchemaVersionId {
-        self.schemas.publish(schema)
+    /// Publishes a new schema version; it becomes current (and, on a durable database, is
+    /// committed as its own `s/<svid>` record).
+    ///
+    /// Schema publication is **not transactional**: the undo log does not cover it, so on a
+    /// durable database the record commits in its own storage transaction even while an
+    /// explicit transaction is open — otherwise a later rollback would abort the `s/<svid>`
+    /// record while the in-memory registry (and the re-committed meta) still reference it,
+    /// leaving the directory unopenable.
+    pub fn publish_schema(&mut self, schema: Schema) -> SeedResult<SchemaVersionId> {
+        let id = self.schemas.publish(schema);
+        if let Some(dur) = self.durability.as_ref() {
+            let txn = dur.engine.begin()?;
+            dur.engine.txn_put(
+                txn,
+                &codec::schema_key(id),
+                &codec::encode_schema_entry(self.schemas.get(id)?),
+            )?;
+            durability::stage_meta(
+                &dur.engine,
+                txn,
+                &self.schemas,
+                &self.store,
+                &self.versions,
+                &self.transition_rules,
+            )?;
+            dur.engine.commit(txn)?;
+        }
+        Ok(id)
     }
 
     /// Registers a named attached procedure.
@@ -131,9 +381,11 @@ impl Database {
         self.consistency_checking
     }
 
-    /// Adds a history-sensitive consistency rule checked on every version creation.
-    pub fn add_transition_rule(&mut self, rule: TransitionRule) {
+    /// Adds a history-sensitive consistency rule checked on every version creation.  Rules are
+    /// part of the durable meta record, so on a durable database this commits.
+    pub fn add_transition_rule(&mut self, rule: TransitionRule) -> SeedResult<()> {
         self.transition_rules.push(rule);
+        self.persist_meta()
     }
 
     /// The registered transition rules.
@@ -232,27 +484,73 @@ impl Database {
     // ----- transactions ------------------------------------------------------------------------------
 
     /// Begins a transaction.  All subsequent updates are undone by [`Database::rollback_transaction`].
+    /// On a durable database, a storage transaction is opened in lockstep: staged per-item
+    /// records become durable only at [`Database::commit_transaction`].
     pub fn begin_transaction(&mut self) -> SeedResult<()> {
         if self.txn.is_some() {
             return Err(SeedError::Transaction("a transaction is already active".to_string()));
+        }
+        if self.alternative.is_none() {
+            if let Some(dur) = self.durability.as_mut() {
+                dur.txn = Some(dur.engine.begin()?);
+            }
         }
         self.txn = Some(UndoLog::new());
         Ok(())
     }
 
-    /// Commits the active transaction (updates were applied and checked as they happened).
+    /// Commits the active transaction (updates were applied and checked as they happened; on a
+    /// durable database the mirrored storage transaction commits now, making every staged
+    /// per-item record durable with a single WAL sync).
     pub fn commit_transaction(&mut self) -> SeedResult<()> {
         match self.txn.take() {
-            Some(_) => Ok(()),
+            Some(_) => {
+                if let Some(dur) = self.durability.as_ref() {
+                    if let Some(txn) = dur.txn {
+                        // Re-stage meta as the transaction's last effect: a non-transactional
+                        // side-commit inside the transaction (publish_schema, delete_version)
+                        // wrote a fresher meta that a copy staged earlier in this transaction
+                        // would otherwise overwrite.
+                        durability::stage_meta(
+                            &dur.engine,
+                            txn,
+                            &self.schemas,
+                            &self.store,
+                            &self.versions,
+                            &self.transition_rules,
+                        )?;
+                    }
+                }
+                if let Some(dur) = self.durability.as_mut() {
+                    if let Some(txn) = dur.txn.take() {
+                        dur.engine.commit(txn)?;
+                    }
+                }
+                Ok(())
+            }
             None => Err(SeedError::Transaction("no active transaction".to_string())),
         }
     }
 
-    /// Rolls back the active transaction, undoing every update made since it began.
+    /// Rolls back the active transaction, undoing every update made since it began.  On a
+    /// durable database the mirrored storage transaction aborts in lockstep, so nothing staged
+    /// since [`Database::begin_transaction`] reaches storage (or the WAL).
     pub fn rollback_transaction(&mut self) -> SeedResult<()> {
         match self.txn.take() {
             Some(log) => {
                 log.rollback(&mut self.store);
+                if let Some(dur) = self.durability.as_mut() {
+                    if let Some(txn) = dur.txn.take() {
+                        dur.engine.abort(txn)?;
+                    }
+                }
+                // The undo replay re-marked the restored items in the change journal, but their
+                // durable state already equals the restored (pre-transaction) state.
+                let _ = self.store.take_changed();
+                // The aborted storage transaction also discarded its meta writes; re-commit the
+                // meta record so the durable id floors match the in-memory counters (ids
+                // allocated by the rolled-back transaction stay burned).
+                self.persist_meta()?;
                 Ok(())
             }
             None => Err(SeedError::Transaction("no active transaction".to_string())),
@@ -311,6 +609,7 @@ impl Database {
         record.is_pattern = is_pattern;
         self.store.insert_object(record);
         self.record_undo(UndoEntry::ObjectCreated(id));
+        self.persist_changes()?;
         Ok(id)
     }
 
@@ -364,6 +663,7 @@ impl Database {
         record.is_pattern = is_pattern;
         self.store.insert_object(record);
         self.record_undo(UndoEntry::ObjectCreated(id));
+        self.persist_changes()?;
         Ok(id)
     }
 
@@ -390,6 +690,7 @@ impl Database {
         self.enforce(|| self.checker().check_value_update(record, &value))?;
         self.record_object_change(object);
         self.store.update_object(object, |o| o.value = value);
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -423,6 +724,7 @@ impl Database {
             let renamed = new_name.to_string();
             self.store.update_object(id, |o| o.name = o.name.with_root_renamed(renamed));
         }
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -450,6 +752,7 @@ impl Database {
             self.record_object_change(id);
             self.store.tombstone_object(id);
         }
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -465,6 +768,7 @@ impl Database {
         self.enforce(|| self.checker().check_reclassify_object(record, new_class))?;
         self.record_object_change(object);
         self.store.update_object(object, |o| o.class = new_class);
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -531,6 +835,7 @@ impl Database {
         record.is_pattern = is_pattern;
         self.store.insert_relationship(record);
         self.record_undo(UndoEntry::RelationshipCreated(id));
+        self.persist_changes()?;
         Ok(id)
     }
 
@@ -549,6 +854,7 @@ impl Database {
         self.store.update_relationship(relationship, |r| {
             r.attributes.insert(attribute, value);
         });
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -584,6 +890,7 @@ impl Database {
                 }
             }
         });
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -593,6 +900,7 @@ impl Database {
         self.live_relationship(relationship)?;
         self.record_relationship_change(relationship);
         self.store.tombstone_relationship(relationship);
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -604,6 +912,7 @@ impl Database {
         self.live_object(object)?;
         self.record_object_change(object);
         self.store.update_object(object, |o| o.is_pattern = true);
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -645,6 +954,7 @@ impl Database {
         }
         self.store.add_inherits(inheritor, pattern);
         self.record_undo(UndoEntry::InheritsAdded { inheritor, pattern });
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -655,6 +965,7 @@ impl Database {
             return Err(SeedError::Pattern(format!("{inheritor} does not inherit {pattern}")));
         }
         self.record_undo(UndoEntry::InheritsRemoved { inheritor, pattern });
+        self.persist_changes()?;
         Ok(())
     }
 
@@ -966,13 +1277,25 @@ impl Database {
                 }
             }
         }
+        // The delta the snapshot will record is the current dirty set; capture it before the
+        // version manager drains it, so the durable `v/<vid>/…` records match exactly.
+        let delta: Option<Vec<ItemId>> = if self.durability.is_some() {
+            let mut d: Vec<ItemId> = self.store.dirty_items().iter().copied().collect();
+            d.sort();
+            Some(d)
+        } else {
+            None
+        };
         self.versions.create_version(
-            id,
+            id.clone(),
             parent,
             self.schemas.current_id(),
             comment,
             &mut self.store,
         )?;
+        if let Some(delta) = delta {
+            self.persist_version_created(&id, &delta)?;
+        }
         Ok(())
     }
 
@@ -1007,14 +1330,15 @@ impl Database {
         self.versions.info(id)
     }
 
-    /// Deletes a stored version.
+    /// Deletes a stored version (and, on a durable database, its `vi/` and `v/` records).
     pub fn delete_version(&mut self, id: &VersionId) -> SeedResult<()> {
         if self.selected_version.as_ref() == Some(id) {
             return Err(SeedError::Version(
                 "cannot delete the version currently selected for retrieval".to_string(),
             ));
         }
-        self.versions.delete_version(id)
+        self.versions.delete_version(id)?;
+        self.persist_version_deleted(id)
     }
 
     /// History retrieval: all stored versions of an object, optionally "beginning with version
@@ -1070,6 +1394,15 @@ impl Database {
     /// Ends work on an alternative and restores the original current state ("the original
     /// current version is selected again").  Unsaved changes to the alternative are discarded.
     pub fn return_to_current(&mut self) -> SeedResult<()> {
+        if self.txn.is_some() {
+            // Mirrors the guard in checkout_alternative: letting a transaction begun in the
+            // alternative span the store swap would roll back against the wrong store — and,
+            // on a durable database, auto-commit mainline mutations with no storage
+            // transaction to abort.
+            return Err(SeedError::Transaction(
+                "finish the active transaction before returning to the current version".to_string(),
+            ));
+        }
         match self.alternative.take() {
             Some(alt) => {
                 self.store = alt.stashed;
@@ -1104,6 +1437,7 @@ impl Database {
             txn: None,
             transition_rules,
             consistency_checking: true,
+            durability: None,
         }
     }
 }
@@ -1351,7 +1685,7 @@ mod tests {
     #[test]
     fn transition_rules_guard_version_creation() {
         let mut db = db3();
-        db.add_transition_rule(TransitionRule::NoDeletions);
+        db.add_transition_rule(TransitionRule::NoDeletions).unwrap();
         let alarms = db.create_object("Data", "Alarms").unwrap();
         db.create_version("1.0").unwrap();
         db.delete_object(alarms).unwrap();

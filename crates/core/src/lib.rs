@@ -22,8 +22,9 @@
 //!   per-version views ([`version`]), plus history-sensitive transition rules ([`history`]);
 //! * **Patterns and variants** with inherits-relationships, automatic propagation and
 //!   immutability in the inheritor's context ([`pattern`]);
-//! * a **procedural operational interface** ([`database::Database`]) and durable persistence
-//!   through the storage engine ([`persist`]).
+//! * a **procedural operational interface** ([`database::Database`]) with **incremental
+//!   durability**: per-item write-through persistence over the storage engine's WAL
+//!   ([`durability`], [`codec`]), plus legacy whole-database snapshots ([`persist`]).
 //!
 //! ## Quick start
 //!
@@ -47,9 +48,11 @@
 //! assert_eq!(v1.to_string(), "1.0");
 //! ```
 
+pub mod codec;
 pub mod completeness;
 pub mod consistency;
 pub mod database;
+pub mod durability;
 pub mod error;
 pub mod history;
 pub mod ident;
@@ -68,6 +71,7 @@ pub mod version;
 pub use completeness::{CompletenessReport, Incompleteness};
 pub use consistency::{ConsistencyChecker, ConsistencyViolation};
 pub use database::Database;
+pub use durability::DurabilityStatus;
 pub use error::{SeedError, SeedResult};
 pub use history::{TransitionRule, TransitionViolation};
 pub use ident::{ItemId, ObjectId, RelationshipId, VersionId};

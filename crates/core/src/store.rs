@@ -44,6 +44,11 @@ pub struct DataStore {
     inheritors: HashMap<ObjectId, HashSet<ObjectId>>,
     /// Items changed since the last version snapshot (drives delta version storage).
     dirty: HashSet<ItemId>,
+    /// Items changed since the durability layer last flushed (drives per-item write-through;
+    /// only populated while `journal` is on, so non-durable databases pay nothing).
+    changed: HashSet<ItemId>,
+    /// Whether the change journal is recording (enabled by `Database::open_durable`).
+    journal: bool,
     next_object: u64,
     next_relationship: u64,
 }
@@ -94,11 +99,42 @@ impl DataStore {
 
     fn mark_dirty(&mut self, item: ItemId) {
         self.dirty.insert(item);
+        if self.journal {
+            self.changed.insert(item);
+        }
     }
 
     /// Marks a set of items dirty (used when restoring a persisted dirty set).
     pub fn mark_dirty_bulk(&mut self, items: &[ItemId]) {
         self.dirty.extend(items.iter().copied());
+    }
+
+    // ----- change journal (write-through durability) -----------------------------------------------
+
+    /// Turns the change journal on or off.  While on, every mutation records the touched item in
+    /// a second set drained by [`DataStore::take_changed`] — the unit of work of the per-item
+    /// write-through persistence layer.
+    pub fn set_journal(&mut self, enabled: bool) {
+        self.journal = enabled;
+        if !enabled {
+            self.changed.clear();
+        }
+    }
+
+    /// Drains the change journal, returning the items touched since the last drain in sorted
+    /// order (deterministic storage-transaction layout).
+    pub fn take_changed(&mut self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self.changed.drain().collect();
+        items.sort();
+        items
+    }
+
+    /// Puts drained items back into the change journal — used when staging them to storage
+    /// failed after the drain, so a later commit retries instead of silently dropping them.
+    pub fn requeue_changed(&mut self, items: &[ItemId]) {
+        if self.journal {
+            self.changed.extend(items.iter().copied());
+        }
     }
 
     // ----- objects --------------------------------------------------------------------------------
@@ -214,6 +250,9 @@ impl DataStore {
         self.children.remove(&id);
         self.adjacency.remove(&id);
         self.dirty.remove(&ItemId::Object(id));
+        if self.journal {
+            self.changed.insert(ItemId::Object(id));
+        }
         // Drop any inherits links touching the object.
         if let Some(patterns) = self.inherits.remove(&id) {
             for p in patterns {
@@ -244,6 +283,9 @@ impl DataStore {
             }
         }
         self.dirty.remove(&ItemId::Relationship(id));
+        if self.journal {
+            self.changed.insert(ItemId::Relationship(id));
+        }
         Some(record)
     }
 
@@ -595,6 +637,31 @@ mod tests {
         assert!(store.dirty_items().is_empty());
         store.update_object(alarms, |o| o.value = Value::string("x"));
         assert!(store.dirty_items().contains(&ItemId::Object(alarms)));
+    }
+
+    #[test]
+    fn change_journal_drains_requeues_and_stays_off_by_default() {
+        let mut store = DataStore::new();
+        obj(&mut store, "NotJournaled", 0);
+        assert!(store.take_changed().is_empty(), "journal off by default");
+
+        store.set_journal(true);
+        let a = obj(&mut store, "A", 0);
+        store.update_object(a, |o| o.value = Value::Integer(1));
+        let drained = store.take_changed();
+        assert_eq!(drained, vec![ItemId::Object(a)], "deduplicated and sorted");
+        assert!(store.take_changed().is_empty(), "drain empties the journal");
+        // A failed staging attempt puts drained items back for the next commit.
+        store.requeue_changed(&drained);
+        assert_eq!(store.take_changed(), drained);
+        // Physical removal is journaled too (the durable key must be deleted).
+        store.remove_object(a);
+        assert_eq!(store.take_changed(), vec![ItemId::Object(a)]);
+        // Disabling the journal clears it.
+        let b = obj(&mut store, "B", 0);
+        store.update_object(b, |o| o.value = Value::Integer(2));
+        store.set_journal(false);
+        assert!(store.take_changed().is_empty());
     }
 
     #[test]

@@ -250,6 +250,12 @@ impl VersionManager {
         self.versions.len()
     }
 
+    /// The creation sequence counter (strictly increasing across version creations; persisted by
+    /// the durability layer so that sequence numbers survive restarts).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Exports the manager's full state for persistence: version metadata, per-item histories,
     /// the last-created version and the sequence counter.
     #[allow(clippy::type_complexity)]

@@ -25,5 +25,7 @@ pub mod server;
 pub use client::ClientSession;
 pub use error::{ServerError, ServerResult};
 pub use lock::LockTable;
-pub use protocol::{CheckoutSet, ClientId, QueryAnswer, Request, Response, Update};
+pub use protocol::{
+    CheckoutSet, ClientId, PersistenceStatus, QueryAnswer, Request, Response, Update,
+};
 pub use server::{SeedServer, ServerHandle};

@@ -112,6 +112,25 @@ pub struct QueryAnswer {
     pub plan: Option<String>,
 }
 
+/// The durability state of the central database, as reported over the protocol.  After a
+/// server restart, the counts tell a client exactly what restart recovery reconstructed from
+/// the write-through records and the storage WAL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PersistenceStatus {
+    /// Whether the central database writes mutations through to durable storage.
+    pub durable: bool,
+    /// Directory of the durable storage, when durable.
+    pub path: Option<String>,
+    /// Bytes currently in the storage WAL (recovery replay work is proportional to this).
+    pub wal_bytes: u64,
+    /// Live, visible objects in the central database.
+    pub objects: usize,
+    /// Live, visible relationships in the central database.
+    pub relationships: usize,
+    /// Stored versions.
+    pub versions: usize,
+}
+
 /// A request sent to the server thread.
 #[derive(Debug)]
 pub enum Request {
@@ -152,6 +171,11 @@ pub enum Request {
         /// Comment for the version.
         comment: String,
     },
+    /// Ask for the durability state of the central database (exposes restart recovery: after a
+    /// reopen, the reply reports what was reconstructed from the per-item records and the WAL).
+    Persistence,
+    /// Ask the server to checkpoint its durable storage (flush pages, truncate the WAL).
+    Checkpoint,
     /// Shut the server thread down.
     Shutdown,
 }
@@ -171,6 +195,8 @@ pub enum Response {
     Answer(Result<QueryAnswer, crate::error::ServerError>),
     /// Reply to [`Request::CreateVersion`].
     Version(Result<VersionId, crate::error::ServerError>),
+    /// Reply to [`Request::Persistence`].
+    Persistence(PersistenceStatus),
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
 }

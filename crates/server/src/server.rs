@@ -12,7 +12,9 @@ use seed_core::{Database, ObjectId, ObjectRecord, SeedError, Value, VersionId};
 
 use crate::error::{ServerError, ServerResult};
 use crate::lock::LockTable;
-use crate::protocol::{CheckoutSet, ClientId, QueryAnswer, Request, Response, Update};
+use crate::protocol::{
+    CheckoutSet, ClientId, PersistenceStatus, QueryAnswer, Request, Response, Update,
+};
 
 /// The central SEED server of the two-level multi-user scheme.
 pub struct SeedServer {
@@ -33,6 +35,45 @@ impl SeedServer {
             checkouts: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(1),
         }
+    }
+
+    /// Opens a server over a **durable** database in `dir` (running restart recovery if the
+    /// previous process crashed).  Every check-in commits as exactly one storage transaction:
+    /// the per-item records staged by the batch's updates become durable with a single WAL
+    /// sync, or not at all.
+    pub fn open_durable(dir: impl AsRef<std::path::Path>) -> ServerResult<Self> {
+        let db = Database::open_durable(dir).map_err(ServerError::Rejected)?;
+        Ok(Self::new(db))
+    }
+
+    /// Creates a server over a fresh durable database in `dir`.
+    pub fn create_durable(
+        dir: impl AsRef<std::path::Path>,
+        schema: seed_schema::Schema,
+    ) -> ServerResult<Self> {
+        let db = Database::create_durable(dir, schema).map_err(ServerError::Rejected)?;
+        Ok(Self::new(db))
+    }
+
+    /// The durability state of the central database.  After [`SeedServer::open_durable`], the
+    /// counts report what restart recovery reconstructed — this is how recovery is observable
+    /// over the protocol ([`Request::Persistence`]).
+    pub fn persistence_status(&self) -> PersistenceStatus {
+        let db = self.db.lock();
+        let status = db.durability_status();
+        PersistenceStatus {
+            durable: status.is_some(),
+            path: status.as_ref().map(|s| s.path.display().to_string()),
+            wal_bytes: status.as_ref().map(|s| s.wal_bytes).unwrap_or(0),
+            objects: db.object_count(),
+            relationships: db.relationship_count(),
+            versions: db.versions().len(),
+        }
+    }
+
+    /// Checkpoints the durable storage (errors when the database is in-memory).
+    pub fn checkpoint(&self) -> ServerResult<()> {
+        self.db.lock().checkpoint().map_err(ServerError::Rejected)
     }
 
     /// Registers a client and returns its id.
@@ -242,6 +283,10 @@ impl SeedServer {
                     Request::CreateVersion { comment } => {
                         Response::Version(thread_server.create_version(&comment))
                     }
+                    Request::Persistence => {
+                        Response::Persistence(thread_server.persistence_status())
+                    }
+                    Request::Checkpoint => Response::Ack(thread_server.checkpoint()),
                     Request::Shutdown => {
                         let _ = reply.send(Response::ShuttingDown);
                         break;
@@ -306,6 +351,14 @@ impl ServerHandle {
     pub fn query(&self, text: &str) -> ServerResult<QueryAnswer> {
         match self.call(Request::Query { text: text.to_string() })? {
             Response::Answer(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Convenience: the durability state of the central database.
+    pub fn persistence(&self) -> ServerResult<PersistenceStatus> {
+        match self.call(Request::Persistence)? {
+            Response::Persistence(status) => Ok(status),
             _ => Err(ServerError::Disconnected),
         }
     }
@@ -509,6 +562,83 @@ mod tests {
         assert!(handle.query("bogus").is_err());
         handle.shutdown().unwrap();
         join.join().unwrap();
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("seed-server-durable-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_server_checkin_is_one_storage_transaction_and_recovers() {
+        let dir = temp_dir("checkin");
+        {
+            let server = SeedServer::create_durable(&dir, figure3_schema()).unwrap();
+            let status = server.persistence_status();
+            assert!(status.durable);
+            assert_eq!(status.objects, 0);
+            let c1 = server.connect();
+            // A successful check-in commits the whole batch as one storage transaction.
+            server
+                .checkin(
+                    c1,
+                    &[
+                        Update::CreateObject { class: "Data".into(), name: "Alarms".into() },
+                        Update::CreateObject { class: "Action".into(), name: "Sensor".into() },
+                        Update::CreateRelationship {
+                            association: "Access".into(),
+                            bindings: vec![
+                                ("from".into(), "Alarms".into()),
+                                ("by".into(), "Sensor".into()),
+                            ],
+                        },
+                    ],
+                )
+                .unwrap();
+            // A rejected check-in leaves no durable trace (its storage transaction aborts).
+            let err = server
+                .checkin(
+                    c1,
+                    &[
+                        Update::CreateObject { class: "Data".into(), name: "Ghost".into() },
+                        Update::CreateObject { class: "Nonsense".into(), name: "X".into() },
+                    ],
+                )
+                .unwrap_err();
+            assert!(matches!(err, ServerError::Rejected(_)));
+            server.create_version("global snapshot").unwrap();
+            // Crash: server dropped without checkpoint or close.
+        }
+        // Restart recovery, observable over the protocol.
+        let server = SeedServer::open_durable(&dir).unwrap();
+        let (handle, join) = server.spawn();
+        let status = handle.persistence().unwrap();
+        assert!(status.durable);
+        assert_eq!(status.objects, 2, "committed check-in recovered");
+        assert_eq!(status.relationships, 1);
+        assert_eq!(status.versions, 1);
+        assert!(handle.retrieve("Alarms").is_ok());
+        assert!(handle.retrieve("Ghost").is_err(), "rejected check-in left no trace");
+        // Checkpoint over the protocol truncates the WAL.
+        match handle.call(Request::Checkpoint).unwrap() {
+            Response::Ack(result) => result.unwrap(),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(handle.persistence().unwrap().wal_bytes, 0);
+        handle.shutdown().unwrap();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_server_reports_non_durable_and_rejects_checkpoint() {
+        let server = server_with_data();
+        let status = server.persistence_status();
+        assert!(!status.durable);
+        assert_eq!(status.path, None);
+        assert!(server.checkpoint().is_err());
     }
 
     #[test]

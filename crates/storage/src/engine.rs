@@ -5,9 +5,12 @@
 //! provides:
 //!
 //! * durable `put`/`get`/`delete` with write-ahead logging,
-//! * transactions (`begin`/`commit`/`abort`) — a crash before commit leaves no trace,
-//! * ordered prefix scans through the B+ tree name index,
-//! * checkpointing (flush pages, persist the index, truncate the WAL),
+//! * transactions (`begin`/`commit`/`abort`) with **group commit**: effects are buffered and
+//!   written to the WAL as one contiguous batch with a single sync at commit time, so a crash
+//!   before commit leaves no trace and a transaction's durability cost is O(1) syncs,
+//! * ordered prefix and range scans through the B+ tree name index,
+//! * checkpointing (flush pages, persist the index, truncate the WAL), either explicit or
+//!   automatic once the WAL outgrows [`EngineConfig::checkpoint_wal_bytes`],
 //! * recovery on open (replay committed WAL records on top of the last checkpoint).
 //!
 //! Data layout: each key/value pair is one heap-file record `key_len | key | value`.  The index
@@ -37,11 +40,19 @@ pub struct EngineConfig {
     pub buffer_pool_pages: usize,
     /// Whether every commit forces the WAL to disk (`true` = durability on commit).
     pub sync_on_commit: bool,
+    /// Checkpoint automatically once the WAL grows past this many bytes (`None` = only on
+    /// explicit [`StorageEngine::checkpoint`] calls).  Bounding the WAL bounds recovery time:
+    /// replay work on open is proportional to the log, not to the database.
+    pub checkpoint_wal_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { buffer_pool_pages: 256, sync_on_commit: true }
+        Self {
+            buffer_pool_pages: 256,
+            sync_on_commit: true,
+            checkpoint_wal_bytes: Some(4 * 1024 * 1024),
+        }
     }
 }
 
@@ -311,8 +322,25 @@ impl StorageEngine {
         if inner.closed {
             return Err(StorageError::Closed);
         }
-        let mut out = Vec::new();
-        for (key, packed) in inner.index.scan_prefix(prefix) {
+        Self::resolve_entries(&inner, inner.index.scan_prefix(prefix))
+    }
+
+    /// Returns all `(key, value)` pairs with `low <= key < high`, in key order (the ordered
+    /// range scan backing keyed database loads).
+    pub fn scan_range(&self, low: &[u8], high: &[u8]) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        Self::resolve_entries(&inner, inner.index.scan_range(low, high))
+    }
+
+    fn resolve_entries(
+        inner: &EngineInner,
+        entries: Vec<(Vec<u8>, u64)>,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, packed) in entries {
             let record = inner.heap.get(RecordId::from_u64(packed))?;
             let mut dec = Decoder::new(&record);
             let _k = dec.get_bytes()?;
@@ -333,14 +361,16 @@ impl StorageEngine {
 
     // ----- transactions -------------------------------------------------------------------------
 
-    /// Begins a transaction.
+    /// Begins a transaction.  Nothing reaches the WAL until commit: the transaction's effects
+    /// are buffered and logged as one contiguous batch (group commit), so a transaction costs a
+    /// single backend write and a single sync regardless of how many keys it touches — and an
+    /// abort (or crash) before commit leaves no trace in the log at all.
     pub fn begin(&self) -> StorageResult<TxnId> {
         let mut inner = self.inner.lock();
         if inner.closed {
             return Err(StorageError::Closed);
         }
         let txn = self.next_txn.fetch_add(1, Ordering::SeqCst);
-        self.wal.append(&LogRecord::Begin { txn })?;
         inner.pending.insert(txn, Vec::new());
         Ok(txn)
     }
@@ -351,7 +381,6 @@ impl StorageEngine {
         if inner.closed {
             return Err(StorageError::Closed);
         }
-        self.wal.append(&LogRecord::Put { txn, key: key.to_vec(), value: value.to_vec() })?;
         inner
             .pending
             .get_mut(&txn)
@@ -366,7 +395,6 @@ impl StorageEngine {
         if inner.closed {
             return Err(StorageError::Closed);
         }
-        self.wal.append(&LogRecord::Delete { txn, key: key.to_vec() })?;
         inner
             .pending
             .get_mut(&txn)
@@ -389,31 +417,53 @@ impl StorageEngine {
         self.get(key)
     }
 
-    /// Commits transaction `txn`: logs the commit record, forces the WAL (if configured) and
-    /// applies the buffered effects to the heap and index.
+    /// Commits transaction `txn`: writes the transaction's `Begin`/effect/`Commit` frames to the
+    /// WAL as one batch, forces the WAL once (if configured), and applies the buffered effects
+    /// to the heap and index.  When the WAL has grown past the configured threshold, a
+    /// checkpoint runs afterwards to bound recovery time.
     pub fn commit(&self, txn: TxnId) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.closed {
-            return Err(StorageError::Closed);
-        }
-        let effects = inner
-            .pending
-            .remove(&txn)
-            .ok_or_else(|| StorageError::InvalidArgument(format!("unknown transaction {txn}")))?;
-        self.wal.append(&LogRecord::Commit { txn })?;
-        if self.config.sync_on_commit {
-            self.wal.sync()?;
-        }
-        for (key, value) in effects {
-            match value {
-                Some(v) => Self::apply_put(&mut inner, &key, &v)?,
-                None => Self::apply_delete(&mut inner, &key)?,
+        let wal_bytes = {
+            let mut inner = self.inner.lock();
+            if inner.closed {
+                return Err(StorageError::Closed);
+            }
+            let effects = inner.pending.remove(&txn).ok_or_else(|| {
+                StorageError::InvalidArgument(format!("unknown transaction {txn}"))
+            })?;
+            let mut records = Vec::with_capacity(effects.len() + 2);
+            records.push(LogRecord::Begin { txn });
+            for (key, value) in &effects {
+                records.push(match value {
+                    Some(v) => LogRecord::Put { txn, key: key.clone(), value: v.clone() },
+                    None => LogRecord::Delete { txn, key: key.clone() },
+                });
+            }
+            records.push(LogRecord::Commit { txn });
+            self.wal.append_batch(&records)?;
+            if self.config.sync_on_commit {
+                self.wal.sync()?;
+            }
+            for (key, value) in effects {
+                match value {
+                    Some(v) => Self::apply_put(&mut inner, &key, &v)?,
+                    None => Self::apply_delete(&mut inner, &key)?,
+                }
+            }
+            self.wal.size_bytes()?
+        };
+        if let Some(threshold) = self.config.checkpoint_wal_bytes {
+            if wal_bytes >= threshold {
+                // Best-effort: the transaction is already durable and applied, so a checkpoint
+                // failure here (I/O error, concurrent close) must not be reported as a commit
+                // failure — it only delays WAL truncation, and the next commit retries.
+                let _ = self.checkpoint();
             }
         }
         Ok(())
     }
 
-    /// Aborts transaction `txn`, discarding its buffered effects.
+    /// Aborts transaction `txn`, discarding its buffered effects.  Nothing of the transaction
+    /// was logged, so the abort costs no I/O.
     pub fn abort(&self, txn: TxnId) -> StorageResult<()> {
         let mut inner = self.inner.lock();
         if inner.closed {
@@ -423,11 +473,15 @@ impl StorageEngine {
             .pending
             .remove(&txn)
             .ok_or_else(|| StorageError::InvalidArgument(format!("unknown transaction {txn}")))?;
-        self.wal.append(&LogRecord::Abort { txn })?;
         Ok(())
     }
 
     // ----- checkpoint / close -------------------------------------------------------------------
+
+    /// Bytes currently held by the WAL (recovery replay work is proportional to this).
+    pub fn wal_size_bytes(&self) -> StorageResult<u64> {
+        self.wal.size_bytes()
+    }
 
     /// Flushes dirty pages, persists the catalog and truncates the WAL.
     pub fn checkpoint(&self) -> StorageResult<()> {
@@ -606,6 +660,63 @@ mod tests {
         assert!(engine.commit(999).is_err());
         assert!(engine.abort(999).is_err());
         assert!(engine.txn_put(999, b"k", b"v").is_err());
+    }
+
+    #[test]
+    fn scan_range_returns_half_open_interval() {
+        let engine = StorageEngine::in_memory().unwrap();
+        for key in ["o/1", "o/2", "o/3", "r/1", "v/1"] {
+            engine.put(key.as_bytes(), key.as_bytes()).unwrap();
+        }
+        let hits = engine.scan_range(b"o/", b"o/\xff").unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].0, b"o/1".to_vec());
+        assert_eq!(hits[2].0, b"o/3".to_vec());
+        let hits = engine.scan_range(b"o/2", b"r/2").unwrap();
+        assert_eq!(
+            hits.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![b"o/2".to_vec(), b"o/3".to_vec(), b"r/1".to_vec()]
+        );
+        assert!(engine.scan_range(b"z", b"zz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn wal_growth_triggers_automatic_checkpoint() {
+        let dir = temp_dir("auto-checkpoint");
+        {
+            let config =
+                EngineConfig { checkpoint_wal_bytes: Some(512), ..EngineConfig::default() };
+            let engine = StorageEngine::open_with(&dir, config).unwrap();
+            for i in 0..32u32 {
+                engine.put(format!("k/{i:03}").as_bytes(), &[0xAB; 64]).unwrap();
+            }
+            // Each put is ~90 bytes of WAL, so the 512-byte threshold has fired several times.
+            assert!(
+                engine.wal_size_bytes().unwrap() < 512,
+                "WAL stays bounded by the checkpoint policy"
+            );
+            // No explicit checkpoint/close: recovery must come from catalog + short WAL.
+        }
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            assert_eq!(engine.len(), 32);
+            assert_eq!(engine.get(b"k/031").unwrap().unwrap(), vec![0xAB; 64]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_transactions_write_no_wal_frames() {
+        let engine = StorageEngine::in_memory().unwrap();
+        let txn = engine.begin().unwrap();
+        engine.txn_put(txn, b"k", b"v").unwrap();
+        engine.abort(txn).unwrap();
+        assert_eq!(engine.wal_size_bytes().unwrap(), 0, "abort leaves no trace in the log");
+        let txn = engine.begin().unwrap();
+        engine.txn_put(txn, b"k", b"v").unwrap();
+        assert_eq!(engine.wal_size_bytes().unwrap(), 0, "effects are buffered until commit");
+        engine.commit(txn).unwrap();
+        assert!(engine.wal_size_bytes().unwrap() > 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod wal;
 pub use btree::BPlusTree;
 pub use buffer::BufferPool;
 pub use codec::{Decoder, Encoder};
-pub use engine::{EngineConfig, StorageEngine};
+pub use engine::{EngineConfig, StorageEngine, TxnId};
 pub use error::{StorageError, StorageResult};
 pub use heapfile::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};

@@ -111,35 +111,66 @@ impl WriteAheadLog {
     }
 
     /// Opens (or creates) a log file at `path`.
+    ///
+    /// A torn frame at the tail (a write interrupted by a crash) is physically truncated away,
+    /// so that subsequent appends continue the valid prefix instead of landing behind garbage
+    /// that every later recovery would stop at.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
         let wal =
             Self { backend: Mutex::new(WalBackend::File { file, path }), next_lsn: Mutex::new(1) };
-        // Establish the next LSN by scanning existing frames.
-        let existing = wal.read_all()?;
+        let (existing, valid_len) = {
+            let mut backend = wal.backend.lock();
+            let WalBackend::File { file, .. } = &mut *backend else { unreachable!() };
+            file.seek(SeekFrom::Start(0))?;
+            let mut raw = Vec::new();
+            file.read_to_end(&mut raw)?;
+            let (records, valid_len) = Self::parse_frames(&raw)?;
+            if (valid_len as u64) < raw.len() as u64 {
+                file.set_len(valid_len as u64)?;
+                file.sync_data()?;
+            }
+            file.seek(SeekFrom::End(0))?;
+            (records, valid_len)
+        };
+        let _ = valid_len;
         *wal.next_lsn.lock() = existing.len() as Lsn + 1;
         Ok(wal)
     }
 
-    /// Appends a record, returning its LSN.  The append is buffered; call [`WriteAheadLog::sync`]
-    /// to make it durable.
-    pub fn append(&self, record: &LogRecord) -> StorageResult<Lsn> {
+    fn frame_bytes(record: &LogRecord) -> Vec<u8> {
         let payload = record.encode();
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        frame
+    }
 
+    /// Appends a record, returning its LSN.  The append is buffered; call [`WriteAheadLog::sync`]
+    /// to make it durable.
+    pub fn append(&self, record: &LogRecord) -> StorageResult<Lsn> {
+        self.append_batch(std::slice::from_ref(record))
+    }
+
+    /// Appends a batch of records with **one** backend write (the group-commit primitive: a
+    /// committing transaction hands its `Begin`/`Put`/`Delete`/`Commit` frames over in a single
+    /// contiguous write, then syncs once).  Returns the LSN of the first record.
+    pub fn append_batch(&self, records: &[LogRecord]) -> StorageResult<Lsn> {
+        let mut frames = Vec::new();
+        for record in records {
+            frames.extend_from_slice(&Self::frame_bytes(record));
+        }
         let mut backend = self.backend.lock();
         match &mut *backend {
-            WalBackend::Memory(buf) => buf.extend_from_slice(&frame),
-            WalBackend::File { file, .. } => file.write_all(&frame)?,
+            WalBackend::Memory(buf) => buf.extend_from_slice(&frames),
+            WalBackend::File { file, .. } => file.write_all(&frames)?,
         }
         let mut lsn = self.next_lsn.lock();
-        let this = *lsn;
-        *lsn += 1;
-        Ok(this)
+        let first = *lsn;
+        *lsn += records.len() as Lsn;
+        Ok(first)
     }
 
     /// Forces appended records to durable storage.
@@ -158,8 +189,12 @@ impl WriteAheadLog {
 
     /// Reads every valid record from the beginning of the log.
     ///
-    /// Stops silently at the first truncated frame (a torn write at the tail), and returns an
-    /// error for a frame whose checksum does not match (corruption in the durable prefix).
+    /// Stops silently at the first truncated or checksum-failing frame — the standard WAL
+    /// recovery rule.  A crash can tear the final (multi-frame, multi-sector) group-commit
+    /// batch anywhere, including out of order: a frame in the middle of the batch may be torn
+    /// while bytes of later frames exist after it.  Any frame past the first invalid one was
+    /// therefore never acknowledged (its batch's sync cannot have returned), so recovery keeps
+    /// the valid prefix and discards the rest instead of refusing to open.
     pub fn read_all(&self) -> StorageResult<Vec<(Lsn, LogRecord)>> {
         let raw = {
             let mut backend = self.backend.lock();
@@ -174,10 +209,12 @@ impl WriteAheadLog {
                 }
             }
         };
-        Self::parse_frames(&raw)
+        Ok(Self::parse_frames(&raw)?.0)
     }
 
-    fn parse_frames(raw: &[u8]) -> StorageResult<Vec<(Lsn, LogRecord)>> {
+    /// Parses raw log bytes into records plus the byte length of the valid prefix (everything
+    /// after that offset is a torn tail the caller may truncate away).
+    fn parse_frames(raw: &[u8]) -> StorageResult<(Vec<(Lsn, LogRecord)>, usize)> {
         let mut out = Vec::new();
         let mut pos = 0usize;
         let mut lsn: Lsn = 1;
@@ -190,13 +227,15 @@ impl WriteAheadLog {
             }
             let payload = &raw[pos + 8..pos + 8 + len];
             if crc32(payload) != crc {
-                return Err(StorageError::ChecksumMismatch { lsn });
+                // Invalid frame: the tail of a torn (possibly out-of-order) batch write.
+                // Everything from here on was never acknowledged; stop cleanly.
+                break;
             }
             out.push((lsn, LogRecord::decode(payload)?));
             pos += 8 + len;
             lsn += 1;
         }
-        Ok(out)
+        Ok((out, pos))
     }
 
     /// Truncates the log (used after a checkpoint has made its contents redundant).
@@ -351,28 +390,152 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_frame_in_prefix_is_an_error() {
-        let path = temp_path("corrupt.wal");
+    fn truncation_mid_frame_recovers_committed_prefix() {
+        let path = temp_path("midframe.wal");
+        let _ = std::fs::remove_file(&path);
+        let committed_len;
+        {
+            let wal = WriteAheadLog::open(&path).unwrap();
+            wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+            wal.append(&LogRecord::Put { txn: 1, key: b"a".to_vec(), value: b"1".to_vec() })
+                .unwrap();
+            wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
+            wal.sync().unwrap();
+            committed_len = wal.size_bytes().unwrap();
+            // A second transaction whose frames the crash will cut in half.
+            wal.append(&LogRecord::Begin { txn: 2 }).unwrap();
+            wal.append(&LogRecord::Put { txn: 2, key: b"b".to_vec(), value: b"2".to_vec() })
+                .unwrap();
+            wal.append(&LogRecord::Commit { txn: 2 }).unwrap();
+            wal.sync().unwrap();
+        }
+        // Crash mid-frame: cut the file a few bytes into the torn region.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..(committed_len as usize + 5)]).unwrap();
+
+        let wal = WriteAheadLog::open(&path).unwrap();
+        let records: Vec<LogRecord> = wal.read_all().unwrap().into_iter().map(|(_, r)| r).collect();
+        assert_eq!(
+            records,
+            vec![
+                LogRecord::Begin { txn: 1 },
+                LogRecord::Put { txn: 1, key: b"a".to_vec(), value: b"1".to_vec() },
+                LogRecord::Commit { txn: 1 },
+            ],
+            "recovery stops at the last valid committed frame"
+        );
+        let effects = replay_committed(&wal.read_all().unwrap());
+        assert_eq!(effects, vec![(b"a".to_vec(), Some(b"1".to_vec()))]);
+        // The torn bytes were physically truncated, so new appends extend the valid prefix.
+        assert_eq!(wal.size_bytes().unwrap(), committed_len);
+        wal.append(&LogRecord::Begin { txn: 3 }).unwrap();
+        wal.append(&LogRecord::Commit { txn: 3 }).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let wal = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 5, "appends after a torn tail stay readable");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_inside_uncommitted_transaction_is_dropped() {
+        let path = temp_path("torn-uncommitted.wal");
         let _ = std::fs::remove_file(&path);
         {
             let wal = WriteAheadLog::open(&path).unwrap();
+            wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+            wal.append(&LogRecord::Put { txn: 1, key: b"k".to_vec(), value: b"v".to_vec() })
+                .unwrap();
+            wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
+            // Uncommitted transaction, then the crash tears its last frame.
+            wal.append(&LogRecord::Begin { txn: 2 }).unwrap();
+            wal.append(&LogRecord::Put { txn: 2, key: b"x".to_vec(), value: b"y".to_vec() })
+                .unwrap();
+            wal.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let wal = WriteAheadLog::open(&path).unwrap();
+        let records = wal.read_all().unwrap();
+        assert_eq!(records.len(), 4, "only the torn frame is dropped");
+        let effects = replay_committed(&records);
+        assert_eq!(effects, vec![(b"k".to_vec(), Some(b"v".to_vec()))]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn partially_overwritten_final_frame_is_treated_as_torn() {
+        let path = temp_path("partial-final.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = WriteAheadLog::open(&path).unwrap();
+            wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
+            wal.append(&LogRecord::Put { txn: 2, key: b"k".to_vec(), value: b"v".to_vec() })
+                .unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a byte inside the LAST frame's payload: a torn (partially written) tail frame,
+        // not interior corruption — recovery must stop cleanly before it.
+        {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let n = bytes.len();
+            bytes[n - 2] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let wal = WriteAheadLog::open(&path).unwrap();
+        let records = wal.read_all().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1, LogRecord::Commit { txn: 1 });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_batch_is_one_contiguous_write() {
+        let wal = WriteAheadLog::in_memory();
+        let first = wal
+            .append_batch(&[
+                LogRecord::Begin { txn: 9 },
+                LogRecord::Put { txn: 9, key: b"k".to_vec(), value: b"v".to_vec() },
+                LogRecord::Commit { txn: 9 },
+            ])
+            .unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(wal.next_lsn(), 4);
+        let records: Vec<LogRecord> = wal.read_all().unwrap().into_iter().map(|(_, r)| r).collect();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2], LogRecord::Commit { txn: 9 });
+    }
+
+    #[test]
+    fn invalid_frame_truncates_log_from_there() {
+        // Standard WAL recovery rule: everything past the first invalid frame was never
+        // acknowledged (its batch's sync cannot have returned), so recovery keeps the valid
+        // prefix and discards the rest rather than refusing to open.
+        let path = temp_path("corrupt.wal");
+        let _ = std::fs::remove_file(&path);
+        let first_frame_len;
+        {
+            let wal = WriteAheadLog::open(&path).unwrap();
+            wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+            first_frame_len = wal.size_bytes().unwrap();
             wal.append(&LogRecord::Put { txn: 1, key: b"key".to_vec(), value: b"value".to_vec() })
                 .unwrap();
             wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
             wal.sync().unwrap();
         }
-        // Flip a byte inside the first frame's payload.
+        // Tear the middle frame (out-of-order batch persistence): bytes of the final frame
+        // still exist after the invalid one.
         {
             let mut bytes = std::fs::read(&path).unwrap();
-            bytes[10] ^= 0xFF;
+            bytes[first_frame_len as usize + 10] ^= 0xFF;
             std::fs::write(&path, &bytes).unwrap();
         }
-        let wal = WriteAheadLog::open(&path);
-        // Either open fails (it scans) or read_all fails; both signal corruption.
-        match wal {
-            Ok(w) => assert!(w.read_all().is_err()),
-            Err(e) => assert!(matches!(e, StorageError::ChecksumMismatch { .. })),
-        }
+        let wal = WriteAheadLog::open(&path).unwrap();
+        let records = wal.read_all().unwrap();
+        assert_eq!(records.len(), 1, "valid prefix kept, torn batch discarded");
+        assert_eq!(records[0].1, LogRecord::Begin { txn: 1 });
+        assert_eq!(wal.size_bytes().unwrap(), first_frame_len, "torn bytes truncated on open");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -36,7 +36,7 @@ fn sdl_schema_persistence_and_query() {
     assert!(seed_schema::validate_schema(&schema).is_empty());
 
     let mut db = Database::new(schema);
-    db.add_transition_rule(TransitionRule::NoDeletions);
+    db.add_transition_rule(TransitionRule::NoDeletions).unwrap();
 
     let spec = db.create_object("Document", "RequirementsSpec").unwrap();
     let design = db.create_object("Document", "DesignSpec").unwrap();
@@ -98,8 +98,9 @@ fn sdl_schema_persistence_and_query() {
 #[test]
 fn transition_rules_guard_releases() {
     let mut db = Database::new(seed_schema::figure3_schema());
-    db.add_transition_rule(TransitionRule::NoDeletions);
-    db.add_transition_rule(TransitionRule::MonotonicValue { class: "Thing.Revised".into() });
+    db.add_transition_rule(TransitionRule::NoDeletions).unwrap();
+    db.add_transition_rule(TransitionRule::MonotonicValue { class: "Thing.Revised".into() })
+        .unwrap();
 
     let handler = db.create_object("Action", "AlarmHandler").unwrap();
     let revised =
@@ -164,4 +165,54 @@ fn queries_respect_selected_versions() {
     assert_eq!(query(&db, "count Data").unwrap().count(), 1);
     db.select_version(None).unwrap();
     assert_eq!(query(&db, "count Data").unwrap().count(), 2);
+}
+
+/// Incremental durability end-to-end: an SDL-defined schema drives a durable database whose
+/// committed mutations survive a crash (engine dropped without checkpoint), the recovered
+/// database answers queries through the rebuilt indexes, and a legacy snapshot directory is
+/// migrated to the per-item layout on durable open.
+#[test]
+fn durable_database_survives_crash_and_answers_queries() {
+    let dir = std::env::temp_dir().join(format!("seed-e2e-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut db = Database::create_durable(&dir, seed_schema::figure3_schema()).unwrap();
+    let alarms = db.create_object("Thing", "Alarms").unwrap();
+    let sensor = db.create_object("Action", "Sensor").unwrap();
+    db.reclassify_object(alarms, "OutputData").unwrap();
+    let rel = db.create_relationship("Write", &[("to", alarms), ("by", sensor)]).unwrap();
+    db.set_relationship_attribute(rel, "NumberOfWrites", Value::Integer(2)).unwrap();
+    db.create_version("baseline").unwrap();
+    // A server-style batch: one explicit transaction, one storage commit.
+    db.begin_transaction().unwrap();
+    db.create_object("Data", "Report").unwrap();
+    db.create_object("Action", "Display").unwrap();
+    db.commit_transaction().unwrap();
+    // A rolled-back transaction leaves no durable trace.
+    db.begin_transaction().unwrap();
+    db.create_object("Data", "Discarded").unwrap();
+    db.rollback_transaction().unwrap();
+    drop(db); // crash: no checkpoint, no close
+
+    let recovered = Database::open_durable(&dir).unwrap();
+    assert_eq!(recovered.object_count(), 4);
+    assert!(recovered.object_by_name("Discarded").is_err());
+    assert_eq!(query(&recovered, "count Data").unwrap().count(), 2);
+    assert_eq!(
+        query(&recovered, r#"find Thing where name prefix "Alarm""#).unwrap().names(),
+        vec!["Alarms"]
+    );
+    assert_eq!(recovered.versions().len(), 1);
+
+    // Legacy snapshot directories migrate on durable open.
+    let legacy_dir =
+        std::env::temp_dir().join(format!("seed-e2e-durable-legacy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&legacy_dir);
+    recovered.save_to_dir(&legacy_dir).unwrap();
+    let migrated = Database::open_durable(&legacy_dir).unwrap();
+    assert_eq!(migrated.object_count(), recovered.object_count());
+    assert_eq!(query(&migrated, "count Data").unwrap().count(), 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&legacy_dir);
 }
