@@ -1,0 +1,50 @@
+//! E11 — the network frontend: remote read throughput over loopback as the number of
+//! concurrent TCP clients grows, against the single-client baseline.
+//!
+//! Each iteration runs a fixed batch of `retrieve` round-trips spread across the clients; the
+//! interesting number is how the per-iteration time shrinks (or at least holds) as clients are
+//! added — reads proceed in parallel on the server's read–write lock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seed_bench::populated_database;
+use seed_net::{RemoteClient, SeedNetServer};
+use seed_server::SeedServer;
+
+const OBJECTS: usize = 500;
+const OPS_PER_ITER: usize = 400;
+
+fn remote_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_remote_reads");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for clients in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, &clients| {
+            let server =
+                SeedNetServer::bind(SeedServer::new(populated_database(OBJECTS)), "127.0.0.1:0")
+                    .expect("bind loopback");
+            let addr = server.local_addr();
+            b.iter(|| {
+                let ops_each = OPS_PER_ITER / clients;
+                let workers: Vec<_> = (0..clients)
+                    .map(|w| {
+                        std::thread::spawn(move || {
+                            let mut client = RemoteClient::connect(addr).expect("connect");
+                            for i in 0..ops_each {
+                                let name = format!("Data{:05}", (w * 131 + i) % OBJECTS);
+                                client.retrieve(&name).expect("retrieve");
+                            }
+                            ops_each
+                        })
+                    })
+                    .collect();
+                workers.into_iter().map(|w| w.join().expect("worker")).sum::<usize>()
+            });
+            server.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, remote_reads);
+criterion_main!(benches);

@@ -18,7 +18,7 @@ use crate::scenarios;
 
 /// Machine-readable result of one experiment: its stable id and named numeric metrics.
 pub struct ExperimentMetrics {
-    /// Stable experiment id (`E1` … `E10`).
+    /// Stable experiment id (`E1` … `E11`).
     pub id: &'static str,
     /// Named metrics, in presentation order.  Times are microseconds unless the name says
     /// otherwise; `*_x` values are ratios.
@@ -427,6 +427,101 @@ pub fn e10_durable_throughput(objects: usize, probe_commits: usize) -> Experimen
     )
 }
 
+/// E11 — the network frontend: aggregate read throughput and tail latency with N concurrent
+/// TCP clients vs. a single client, over loopback.
+///
+/// The acceptance bar of the `seed-net` subsystem: with ≥ 4 concurrent clients, aggregate read
+/// throughput must rise **above** the single-client baseline — i.e. the read–write refactor of
+/// the central server really lets sessions proceed in parallel instead of serializing on one
+/// database mutex (a single blocking client is latency-bound; extra connections must add
+/// throughput until the server is CPU-bound).
+pub fn e11_net_throughput(
+    objects: usize,
+    clients: usize,
+    ops_per_client: usize,
+) -> ExperimentMetrics {
+    use seed_net::{RemoteClient, SeedNetServer};
+
+    fn run_clients(
+        addr: std::net::SocketAddr,
+        clients: usize,
+        ops_per_client: usize,
+        objects: usize,
+    ) -> (f64, Vec<Duration>) {
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients + 1));
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut client = RemoteClient::connect(addr).expect("connect");
+                    let mut latencies = Vec::with_capacity(ops_per_client);
+                    barrier.wait();
+                    for i in 0..ops_per_client {
+                        let name = format!("Data{:05}", (c * 7919 + i) % objects);
+                        let start = Instant::now();
+                        client.retrieve(&name).expect("retrieve");
+                        latencies.push(start.elapsed());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let mut latencies = Vec::with_capacity(clients * ops_per_client);
+        for worker in workers {
+            latencies.extend(worker.join().expect("client thread"));
+        }
+        let wall = start.elapsed();
+        let ops_per_s = (clients * ops_per_client) as f64 / wall.as_secs_f64().max(f64::EPSILON);
+        (ops_per_s, latencies)
+    }
+
+    fn percentile(latencies: &mut [Duration], p: f64) -> f64 {
+        latencies.sort();
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p) as usize).min(latencies.len() - 1);
+        latencies[idx].as_secs_f64() * 1e6
+    }
+
+    let db = scenarios::populated_database(objects);
+    let net = SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").expect("bind loopback");
+    let addr = net.local_addr();
+
+    let (single_ops_per_s, mut single_lat) = run_clients(addr, 1, ops_per_client, objects);
+    let (aggregate_ops_per_s, mut multi_lat) = run_clients(addr, clients, ops_per_client, objects);
+    net.shutdown();
+
+    let scaling = aggregate_ops_per_s / single_ops_per_s.max(f64::EPSILON);
+    let single_p50 = percentile(&mut single_lat, 0.50);
+    let p50 = percentile(&mut multi_lat, 0.50);
+    let p99 = percentile(&mut multi_lat, 0.99);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    row(
+        "E11",
+        &format!("net: {clients} TCP clients x {ops_per_client} reads vs 1 client, {objects} objects"),
+        format!(
+            "1 client {single_ops_per_s:.0} op/s; {clients} clients {aggregate_ops_per_s:.0} op/s ({scaling:.1}x on {cores} cores); p50 {p50:.0} µs, p99 {p99:.0} µs"
+        ),
+    );
+    ExperimentMetrics::new(
+        "E11",
+        &[
+            ("clients", clients as f64),
+            ("ops_per_client", ops_per_client as f64),
+            ("cores", cores as f64),
+            ("single_ops_per_s", single_ops_per_s),
+            ("aggregate_ops_per_s", aggregate_ops_per_s),
+            ("scaling_x", scaling),
+            ("single_p50_us", single_p50),
+            ("p50_us", p50),
+            ("p99_us", p99),
+        ],
+    )
+}
+
 /// Renders the collected metrics as a JSON document (`experiment id → {metric: value}`).
 pub fn render_bench_json(results: &[ExperimentMetrics], smoke: bool) -> String {
     fn number(v: f64) -> String {
@@ -476,6 +571,7 @@ pub fn run_report_mode(smoke: bool) {
         results.push(e8_multiuser(4, 5));
         results.push(e9_indexed_retrieval(&[200, 1_000]));
         results.push(e10_durable_throughput(1_000, 50));
+        results.push(e11_net_throughput(200, 4, 250));
     } else {
         results.push(e1_spades_overhead(120));
         results.push(e2_consistency_overhead(120));
@@ -487,6 +583,7 @@ pub fn run_report_mode(smoke: bool) {
         results.push(e8_multiuser(8, 25));
         results.push(e9_indexed_retrieval(&[1_000, 10_000]));
         results.push(e10_durable_throughput(10_000, 100));
+        results.push(e11_net_throughput(1_000, 8, 2_000));
     }
     println!("{}", "-".repeat(110));
     let json = render_bench_json(&results, smoke);
@@ -518,6 +615,7 @@ mod tests {
         e8_multiuser(2, 2);
         e9_indexed_retrieval(&[20]);
         e10_durable_throughput(50, 5);
+        e11_net_throughput(20, 2, 10);
     }
 
     #[test]
@@ -544,6 +642,28 @@ mod tests {
     /// bar is ignored under debug builds (CI's bench-smoke job runs it with `--release`); the
     /// structural O(delta) property is asserted unconditionally by
     /// `seed-core::durability::tests::per_commit_durable_cost_is_o_delta`.
+    /// The acceptance criterion of the network subsystem: with 4 concurrent TCP clients,
+    /// aggregate read throughput must exceed the single-client baseline (reads proceed in
+    /// parallel on the server's read–write lock; a lone blocking client is latency-bound).
+    /// Scheduling-sensitive, so asserted only on the optimized build (CI's net job runs it
+    /// with `--release`); on a single-core host the server is CPU-bound and aggregate scaling
+    /// is physically impossible, so the bar is enforced only where parallelism exists.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scaling bar is only meaningful in release builds")]
+    fn e11_concurrent_clients_scale_read_throughput() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores < 2 {
+            eprintln!("skipping the scaling bar: only {cores} core(s) available");
+            return;
+        }
+        let result = e11_net_throughput(500, 4, 1_500);
+        let scaling = result.get("scaling_x").expect("metric present");
+        assert!(
+            scaling > 1.0,
+            "4 concurrent clients must beat the single-client baseline, got {scaling}x on {cores} cores"
+        );
+    }
+
     #[test]
     #[cfg_attr(debug_assertions, ignore = "timing bar is only meaningful in release builds")]
     fn e10_write_through_beats_snapshot_by_50x_at_scale() {

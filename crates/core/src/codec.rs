@@ -136,7 +136,9 @@ pub(crate) fn parse_dirty_key(key: &[u8]) -> SeedResult<ItemId> {
 // Value encoding
 // --------------------------------------------------------------------------------------------
 
-pub(crate) fn encode_value(e: &mut Encoder, v: &Value) {
+/// Encodes one [`Value`] (tag byte + payload).  Public because the network layer (`seed-net`)
+/// reuses the per-item encodings as its wire representation.
+pub fn encode_value(e: &mut Encoder, v: &Value) {
     match v {
         Value::String(s) => {
             e.put_u8(0).put_str(s);
@@ -165,7 +167,8 @@ pub(crate) fn encode_value(e: &mut Encoder, v: &Value) {
     }
 }
 
-pub(crate) fn decode_value(d: &mut Decoder<'_>) -> SeedResult<Value> {
+/// Decodes one [`Value`] written by [`encode_value`].
+pub fn decode_value(d: &mut Decoder<'_>) -> SeedResult<Value> {
     Ok(match d.get_u8()? {
         0 => Value::String(d.get_str()?.to_string()),
         1 => Value::Integer(d.get_i64()?),
@@ -484,7 +487,9 @@ pub(crate) fn decode_schema_entry(bytes: &[u8]) -> SeedResult<Schema> {
 // Record encoding
 // --------------------------------------------------------------------------------------------
 
-pub(crate) fn encode_object(e: &mut Encoder, o: &ObjectRecord) {
+/// Encodes one [`ObjectRecord`] (without inherits-links; the `o/<id>` storage record adds
+/// those).  Public for reuse by the network wire format.
+pub fn encode_object(e: &mut Encoder, o: &ObjectRecord) {
     e.put_u64(o.id.0).put_u32(o.class.0).put_str(&o.name.to_string());
     match o.parent {
         Some(p) => {
@@ -498,7 +503,8 @@ pub(crate) fn encode_object(e: &mut Encoder, o: &ObjectRecord) {
     e.put_bool(o.is_pattern).put_bool(o.deleted);
 }
 
-pub(crate) fn decode_object(d: &mut Decoder<'_>) -> SeedResult<ObjectRecord> {
+/// Decodes one [`ObjectRecord`] written by [`encode_object`].
+pub fn decode_object(d: &mut Decoder<'_>) -> SeedResult<ObjectRecord> {
     let id = ObjectId(d.get_u64()?);
     let class = ClassId(d.get_u32()?);
     let name = ObjectName::parse(d.get_str()?)?;
@@ -509,7 +515,8 @@ pub(crate) fn decode_object(d: &mut Decoder<'_>) -> SeedResult<ObjectRecord> {
     Ok(ObjectRecord { id, class, name, parent, value, is_pattern, deleted })
 }
 
-pub(crate) fn encode_relationship(e: &mut Encoder, r: &RelationshipRecord) {
+/// Encodes one [`RelationshipRecord`].  Public for reuse by the network wire format.
+pub fn encode_relationship(e: &mut Encoder, r: &RelationshipRecord) {
     e.put_u64(r.id.0).put_u32(r.association.0);
     e.put_varint(r.bindings.len() as u64);
     for (role, obj) in &r.bindings {
@@ -523,7 +530,8 @@ pub(crate) fn encode_relationship(e: &mut Encoder, r: &RelationshipRecord) {
     e.put_bool(r.is_pattern).put_bool(r.deleted);
 }
 
-pub(crate) fn decode_relationship(d: &mut Decoder<'_>) -> SeedResult<RelationshipRecord> {
+/// Decodes one [`RelationshipRecord`] written by [`encode_relationship`].
+pub fn decode_relationship(d: &mut Decoder<'_>) -> SeedResult<RelationshipRecord> {
     let id = RelationshipId(d.get_u64()?);
     let association = AssociationId(d.get_u32()?);
     let binding_count = d.get_varint()? as usize;

@@ -1,0 +1,269 @@
+//! The blocking remote client: the workstation side of the two-level scheme, over TCP.
+//!
+//! [`RemoteClient`] exposes the same checkout / check-in / query surface as the in-process
+//! server API, so application code (the SPADES tool, the examples) runs unmodified over
+//! loopback or a real network.  The client id is assigned by the server at handshake and bound
+//! to the connection — it is filled in automatically on every lock-table request.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use seed_core::{ObjectRecord, Value, VersionId};
+use seed_server::{
+    CheckoutSet, ClientId, PersistenceStatus, QueryAnswer, RelationshipInfo, Request, Response,
+    SchemaSummary, ServerError, ServerResult, Update,
+};
+
+use crate::codec::{decode_response, encode_request};
+use crate::wire::{read_frame, write_frame, FrameKind, Hello, Welcome};
+
+/// A blocking connection to a [`crate::SeedNetServer`].
+pub struct RemoteClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    client: ClientId,
+    version: u16,
+    banner: String,
+    schema: Option<SchemaSummary>,
+}
+
+fn transport(e: impl std::fmt::Display) -> ServerError {
+    ServerError::Transport(e.to_string())
+}
+
+impl RemoteClient {
+    /// Connects and performs the handshake (protocol version negotiation, client id
+    /// assignment).
+    pub fn connect(addr: impl ToSocketAddrs) -> ServerResult<Self> {
+        Self::connect_as(addr, "seed-net client")
+    }
+
+    /// Like [`RemoteClient::connect`], with an explicit agent string for the server's logs.
+    pub fn connect_as(addr: impl ToSocketAddrs, agent: &str) -> ServerResult<Self> {
+        let stream = TcpStream::connect(addr).map_err(transport)?;
+        stream.set_nodelay(true).map_err(transport)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(transport)?);
+        let mut writer = BufWriter::new(stream);
+        write_frame(&mut writer, FrameKind::Hello, &Hello::current(agent).encode())
+            .map_err(ServerError::from)?;
+        let frame = read_frame(&mut reader).map_err(ServerError::from)?;
+        match frame.kind {
+            FrameKind::Welcome => {
+                let welcome = Welcome::decode(&frame.payload).map_err(ServerError::from)?;
+                Ok(Self {
+                    reader,
+                    writer,
+                    client: welcome.client_id,
+                    version: welcome.version,
+                    banner: welcome.banner,
+                    schema: None,
+                })
+            }
+            FrameKind::Reject => {
+                Err(ServerError::Protocol(String::from_utf8_lossy(&frame.payload).into_owned()))
+            }
+            other => Err(ServerError::Protocol(format!(
+                "handshake expected welcome or reject, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The client id this connection is bound to.
+    pub fn id(&self) -> ClientId {
+        self.client
+    }
+
+    /// The negotiated protocol version.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
+    /// The server's handshake banner.
+    pub fn server_banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Sends one request and waits for the server's reply.  A [`Response::Error`] reply (the
+    /// server rejected the frame as such) is surfaced as the contained error.
+    pub fn call(&mut self, request: Request) -> ServerResult<Response> {
+        write_frame(&mut self.writer, FrameKind::Request, &encode_request(&request))
+            .map_err(ServerError::from)?;
+        let frame = read_frame(&mut self.reader).map_err(ServerError::from)?;
+        match frame.kind {
+            FrameKind::Response => match decode_response(&frame.payload)? {
+                Response::Error(e) => Err(e),
+                response => Ok(response),
+            },
+            FrameKind::Reject => {
+                Err(ServerError::Protocol(String::from_utf8_lossy(&frame.payload).into_owned()))
+            }
+            other => Err(ServerError::Protocol(format!("unexpected {other:?} frame"))),
+        }
+    }
+
+    /// Checks out the named objects, taking central write locks for this client.
+    pub fn checkout(&mut self, names: &[&str]) -> ServerResult<CheckoutSet> {
+        let request = Request::Checkout {
+            client: self.client,
+            objects: names.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.call(request)? {
+            Response::Checkout(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Checks a batch of updates in as one central transaction, releasing this client's locks
+    /// on success.
+    pub fn checkin(&mut self, updates: Vec<Update>) -> ServerResult<()> {
+        match self.call(Request::Checkin { client: self.client, updates })? {
+            Response::Ack(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Releases all of this client's locks without checking anything in.
+    pub fn release(&mut self) -> ServerResult<()> {
+        match self.call(Request::Release { client: self.client })? {
+            Response::Ack(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Retrieves one object by name.
+    pub fn retrieve(&mut self, name: &str) -> ServerResult<ObjectRecord> {
+        match self.call(Request::Retrieve { name: name.to_string() })? {
+            Response::Object(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Evaluates a retrieval-language query (or an `explain`).
+    pub fn query(&mut self, text: &str) -> ServerResult<QueryAnswer> {
+        match self.call(Request::Query { text: text.to_string() })? {
+            Response::Answer(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// The rendered physical plan for a query (prepends `explain` when absent).
+    pub fn explain(&mut self, text: &str) -> ServerResult<String> {
+        let text = text.trim();
+        let explained =
+            if text.starts_with("explain") { text.to_string() } else { format!("explain {text}") };
+        self.query(&explained)?.plan.ok_or_else(|| {
+            ServerError::Query("explain produced no plan (not a find/count query?)".to_string())
+        })
+    }
+
+    /// Creates a global version snapshot on the central database.
+    pub fn create_version(&mut self, comment: &str) -> ServerResult<VersionId> {
+        match self.call(Request::CreateVersion { comment: comment.to_string() })? {
+            Response::Version(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// The durability state of the central database.
+    pub fn persistence(&mut self) -> ServerResult<PersistenceStatus> {
+        match self.call(Request::Persistence)? {
+            Response::Persistence(status) => Ok(status),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Asks the server to checkpoint its durable storage.
+    pub fn checkpoint(&mut self) -> ServerResult<()> {
+        match self.call(Request::Checkpoint)? {
+            Response::Ack(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// A structural summary of the server's schema (fetched once, then cached).
+    pub fn schema(&mut self) -> ServerResult<SchemaSummary> {
+        if let Some(schema) = &self.schema {
+            return Ok(schema.clone());
+        }
+        match self.call(Request::Schema)? {
+            Response::Schema(summary) => {
+                self.schema = Some(summary.clone());
+                Ok(summary)
+            }
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// The (materialized) children of an object.
+    pub fn children(&mut self, name: &str) -> ServerResult<Vec<ObjectRecord>> {
+        match self.call(Request::Children { name: name.to_string() })? {
+            Response::Objects(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// All objects whose hierarchical name starts with `prefix`.
+    pub fn objects_with_prefix(&mut self, prefix: &str) -> ServerResult<Vec<ObjectRecord>> {
+        match self.call(Request::Prefix { prefix: prefix.to_string() })? {
+            Response::Objects(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// The relationships an object participates in, rendered by name.
+    pub fn relationships_of(&mut self, name: &str) -> ServerResult<Vec<RelationshipInfo>> {
+        match self.call(Request::RelationshipsOf { name: name.to_string() })? {
+            Response::Relationships(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// The extent of a class by name.
+    pub fn objects_of_class(
+        &mut self,
+        class: &str,
+        transitive: bool,
+    ) -> ServerResult<Vec<ObjectRecord>> {
+        let request = Request::ObjectsOfClass { class: class.to_string(), transitive };
+        match self.call(request)? {
+            Response::Objects(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Counts the live relationships of an association (optionally with specializations).
+    pub fn relationship_count(
+        &mut self,
+        association: &str,
+        transitive: bool,
+    ) -> ServerResult<usize> {
+        let request =
+            Request::RelationshipCount { association: association.to_string(), transitive };
+        match self.call(request)? {
+            Response::Count(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Number of completeness findings on the central database.
+    pub fn completeness_count(&mut self) -> ServerResult<usize> {
+        match self.call(Request::Completeness)? {
+            Response::Count(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Convenience: sets a value through a one-shot checkout/check-in cycle.
+    pub fn quick_set_value(&mut self, object: &str, value: Value) -> ServerResult<()> {
+        self.checkout(&[object])?;
+        self.checkin(vec![Update::SetValue { object: object.to_string(), value }])
+    }
+
+    /// Closes the session politely (the server releases this client's locks either way).
+    pub fn close(mut self) -> ServerResult<()> {
+        match self.call(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! Binary encoding of the protocol messages ([`Request`] / [`Response`]) for the wire.
+//!
+//! The encoders reuse the storage crate's explicit little-endian primitives and `seed-core`'s
+//! per-item record codecs, so an [`seed_core::ObjectRecord`] has exactly one binary shape in
+//! the whole system — on disk and on the wire.
+//!
+//! Every message is self-delimiting inside its frame; decoding checks that the payload is
+//! consumed exactly.  Malformed payloads (unknown tags, truncation, trailing bytes) produce
+//! [`WireError::Recoverable`] — never a panic — so the server can answer with a protocol error
+//! and keep the connection.
+//!
+//! Server errors travel structurally: every [`ServerError`] variant round-trips, and within
+//! [`ServerError::Rejected`] every string-carrying [`SeedError`] variant round-trips too.  The
+//! three variants wrapping foreign error types (`Schema`, `Storage`, `Inconsistent`) are sent
+//! as their display string and decode as [`SeedError::Invalid`] — the text survives, the
+//! structure does not (clients react to *which* server error occurred, not to schema
+//! internals).
+
+use seed_core::codec::{
+    decode_object, decode_relationship, decode_value, encode_object, encode_relationship,
+    encode_value,
+};
+use seed_core::{SeedError, VersionId};
+use seed_server::{
+    AssociationSummary, CheckoutSet, ClassSummary, PersistenceStatus, QueryAnswer,
+    RelationshipInfo, Request, Response, SchemaSummary, ServerError, Update,
+};
+use seed_storage::{Decoder, Encoder};
+
+use crate::error::{WireError, WireResult};
+
+fn put_opt_u32(e: &mut Encoder, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            e.put_bool(true).put_u32(x);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+}
+
+fn get_opt_u32(d: &mut Decoder<'_>) -> WireResult<Option<u32>> {
+    Ok(if d.get_bool()? { Some(d.get_u32()?) } else { None })
+}
+
+fn put_opt_str(e: &mut Encoder, v: Option<&str>) {
+    match v {
+        Some(s) => {
+            e.put_bool(true).put_str(s);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
+}
+
+fn get_opt_string(d: &mut Decoder<'_>) -> WireResult<Option<String>> {
+    Ok(if d.get_bool()? { Some(d.get_str()?.to_string()) } else { None })
+}
+
+fn put_string_pairs(e: &mut Encoder, pairs: &[(String, String)]) {
+    e.put_varint(pairs.len() as u64);
+    for (a, b) in pairs {
+        e.put_str(a).put_str(b);
+    }
+}
+
+fn get_string_pairs(d: &mut Decoder<'_>) -> WireResult<Vec<(String, String)>> {
+    let n = d.get_varint()? as usize;
+    let mut pairs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        pairs.push((d.get_str()?.to_string(), d.get_str()?.to_string()));
+    }
+    Ok(pairs)
+}
+
+fn bad_tag(what: &str, tag: u8) -> WireError {
+    WireError::Recoverable(format!("unknown {what} tag {tag}"))
+}
+
+// --------------------------------------------------------------------------------------------
+// Errors
+// --------------------------------------------------------------------------------------------
+
+fn encode_seed_error(e: &mut Encoder, err: &SeedError) {
+    match err {
+        SeedError::NotFound(s) => {
+            e.put_u8(0).put_str(s);
+        }
+        SeedError::DuplicateName(s) => {
+            e.put_u8(1).put_str(s);
+        }
+        SeedError::DomainMismatch { expected, found } => {
+            e.put_u8(2).put_str(expected).put_str(found);
+        }
+        SeedError::Version(s) => {
+            e.put_u8(3).put_str(s);
+        }
+        SeedError::TransitionRejected(s) => {
+            e.put_u8(4).put_str(s);
+        }
+        SeedError::Pattern(s) => {
+            e.put_u8(5).put_str(s);
+        }
+        SeedError::Transaction(s) => {
+            e.put_u8(6).put_str(s);
+        }
+        SeedError::Reclassification(s) => {
+            e.put_u8(7).put_str(s);
+        }
+        SeedError::ReadOnlyVersion(s) => {
+            e.put_u8(8).put_str(s);
+        }
+        SeedError::Invalid(s) => {
+            e.put_u8(9).put_str(s);
+        }
+        // Foreign-typed variants: ship the rendered text (see module docs).
+        SeedError::Schema(_) | SeedError::Storage(_) | SeedError::Inconsistent(_) => {
+            e.put_u8(10).put_str(&err.to_string());
+        }
+    }
+}
+
+fn decode_seed_error(d: &mut Decoder<'_>) -> WireResult<SeedError> {
+    Ok(match d.get_u8()? {
+        0 => SeedError::NotFound(d.get_str()?.to_string()),
+        1 => SeedError::DuplicateName(d.get_str()?.to_string()),
+        2 => SeedError::DomainMismatch {
+            expected: d.get_str()?.to_string(),
+            found: d.get_str()?.to_string(),
+        },
+        3 => SeedError::Version(d.get_str()?.to_string()),
+        4 => SeedError::TransitionRejected(d.get_str()?.to_string()),
+        5 => SeedError::Pattern(d.get_str()?.to_string()),
+        6 => SeedError::Transaction(d.get_str()?.to_string()),
+        7 => SeedError::Reclassification(d.get_str()?.to_string()),
+        8 => SeedError::ReadOnlyVersion(d.get_str()?.to_string()),
+        9 => SeedError::Invalid(d.get_str()?.to_string()),
+        10 => SeedError::Invalid(d.get_str()?.to_string()),
+        other => return Err(bad_tag("seed error", other)),
+    })
+}
+
+fn encode_server_error(e: &mut Encoder, err: &ServerError) {
+    match err {
+        ServerError::Locked { object, holder } => {
+            e.put_u8(0).put_str(object).put_u64(*holder);
+        }
+        ServerError::NotCheckedOut(s) => {
+            e.put_u8(1).put_str(s);
+        }
+        ServerError::Rejected(inner) => {
+            e.put_u8(2);
+            encode_seed_error(e, inner);
+        }
+        ServerError::Unknown(s) => {
+            e.put_u8(3).put_str(s);
+        }
+        ServerError::Query(s) => {
+            e.put_u8(4).put_str(s);
+        }
+        ServerError::Disconnected => {
+            e.put_u8(5);
+        }
+        ServerError::Transport(s) => {
+            e.put_u8(6).put_str(s);
+        }
+        ServerError::Protocol(s) => {
+            e.put_u8(7).put_str(s);
+        }
+    }
+}
+
+fn decode_server_error(d: &mut Decoder<'_>) -> WireResult<ServerError> {
+    Ok(match d.get_u8()? {
+        0 => ServerError::Locked { object: d.get_str()?.to_string(), holder: d.get_u64()? },
+        1 => ServerError::NotCheckedOut(d.get_str()?.to_string()),
+        2 => ServerError::Rejected(decode_seed_error(d)?),
+        3 => ServerError::Unknown(d.get_str()?.to_string()),
+        4 => ServerError::Query(d.get_str()?.to_string()),
+        5 => ServerError::Disconnected,
+        6 => ServerError::Transport(d.get_str()?.to_string()),
+        7 => ServerError::Protocol(d.get_str()?.to_string()),
+        other => return Err(bad_tag("server error", other)),
+    })
+}
+
+fn put_result<T>(
+    e: &mut Encoder,
+    r: &Result<T, ServerError>,
+    mut put_ok: impl FnMut(&mut Encoder, &T),
+) {
+    match r {
+        Ok(v) => {
+            e.put_bool(true);
+            put_ok(e, v);
+        }
+        Err(err) => {
+            e.put_bool(false);
+            encode_server_error(e, err);
+        }
+    }
+}
+
+fn get_result<T>(
+    d: &mut Decoder<'_>,
+    mut get_ok: impl FnMut(&mut Decoder<'_>) -> WireResult<T>,
+) -> WireResult<Result<T, ServerError>> {
+    if d.get_bool()? {
+        Ok(Ok(get_ok(d)?))
+    } else {
+        Ok(Err(decode_server_error(d)?))
+    }
+}
+
+// --------------------------------------------------------------------------------------------
+// Updates
+// --------------------------------------------------------------------------------------------
+
+fn encode_update(e: &mut Encoder, update: &Update) {
+    match update {
+        Update::CreateObject { class, name } => {
+            e.put_u8(0).put_str(class).put_str(name);
+        }
+        Update::CreateDependent { parent, class_local, value } => {
+            e.put_u8(1).put_str(parent).put_str(class_local);
+            encode_value(e, value);
+        }
+        Update::CreateDependentNamed { parent, class_local, name, value } => {
+            e.put_u8(2).put_str(parent).put_str(class_local).put_str(name);
+            encode_value(e, value);
+        }
+        Update::SetValue { object, value } => {
+            e.put_u8(3).put_str(object);
+            encode_value(e, value);
+        }
+        Update::Reclassify { object, new_class } => {
+            e.put_u8(4).put_str(object).put_str(new_class);
+        }
+        Update::CreateRelationship { association, bindings } => {
+            e.put_u8(5).put_str(association);
+            put_string_pairs(e, bindings);
+        }
+        Update::ReclassifyRelationship { association, bindings, new_association } => {
+            e.put_u8(6).put_str(association);
+            put_string_pairs(e, bindings);
+            e.put_str(new_association);
+        }
+        Update::DeleteObject { object } => {
+            e.put_u8(7).put_str(object);
+        }
+    }
+}
+
+fn decode_update(d: &mut Decoder<'_>) -> WireResult<Update> {
+    Ok(match d.get_u8()? {
+        0 => {
+            Update::CreateObject { class: d.get_str()?.to_string(), name: d.get_str()?.to_string() }
+        }
+        1 => Update::CreateDependent {
+            parent: d.get_str()?.to_string(),
+            class_local: d.get_str()?.to_string(),
+            value: decode_value(d)?,
+        },
+        2 => Update::CreateDependentNamed {
+            parent: d.get_str()?.to_string(),
+            class_local: d.get_str()?.to_string(),
+            name: d.get_str()?.to_string(),
+            value: decode_value(d)?,
+        },
+        3 => Update::SetValue { object: d.get_str()?.to_string(), value: decode_value(d)? },
+        4 => Update::Reclassify {
+            object: d.get_str()?.to_string(),
+            new_class: d.get_str()?.to_string(),
+        },
+        5 => Update::CreateRelationship {
+            association: d.get_str()?.to_string(),
+            bindings: get_string_pairs(d)?,
+        },
+        6 => Update::ReclassifyRelationship {
+            association: d.get_str()?.to_string(),
+            bindings: get_string_pairs(d)?,
+            new_association: d.get_str()?.to_string(),
+        },
+        7 => Update::DeleteObject { object: d.get_str()?.to_string() },
+        other => return Err(bad_tag("update", other)),
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Payload structs
+// --------------------------------------------------------------------------------------------
+
+fn encode_checkout_set(e: &mut Encoder, set: &CheckoutSet) {
+    e.put_varint(set.objects.len() as u64);
+    for o in &set.objects {
+        encode_object(e, o);
+    }
+    e.put_varint(set.relationships.len() as u64);
+    for r in &set.relationships {
+        encode_relationship(e, r);
+    }
+}
+
+fn decode_checkout_set(d: &mut Decoder<'_>) -> WireResult<CheckoutSet> {
+    let n = d.get_varint()? as usize;
+    let mut objects = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        objects.push(decode_object(d)?);
+    }
+    let n = d.get_varint()? as usize;
+    let mut relationships = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        relationships.push(decode_relationship(d)?);
+    }
+    Ok(CheckoutSet { objects, relationships })
+}
+
+fn encode_query_answer(e: &mut Encoder, a: &QueryAnswer) {
+    e.put_varint(a.names.len() as u64);
+    for name in &a.names {
+        e.put_str(name);
+    }
+    e.put_varint(a.count as u64);
+    put_opt_str(e, a.plan.as_deref());
+}
+
+fn decode_query_answer(d: &mut Decoder<'_>) -> WireResult<QueryAnswer> {
+    let n = d.get_varint()? as usize;
+    let mut names = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        names.push(d.get_str()?.to_string());
+    }
+    let count = d.get_varint()? as usize;
+    let plan = get_opt_string(d)?;
+    Ok(QueryAnswer { names, count, plan })
+}
+
+fn encode_persistence_status(e: &mut Encoder, s: &PersistenceStatus) {
+    e.put_bool(s.durable);
+    put_opt_str(e, s.path.as_deref());
+    e.put_u64(s.wal_bytes);
+    e.put_varint(s.objects as u64);
+    e.put_varint(s.relationships as u64);
+    e.put_varint(s.versions as u64);
+}
+
+fn decode_persistence_status(d: &mut Decoder<'_>) -> WireResult<PersistenceStatus> {
+    Ok(PersistenceStatus {
+        durable: d.get_bool()?,
+        path: get_opt_string(d)?,
+        wal_bytes: d.get_u64()?,
+        objects: d.get_varint()? as usize,
+        relationships: d.get_varint()? as usize,
+        versions: d.get_varint()? as usize,
+    })
+}
+
+fn encode_schema_summary(e: &mut Encoder, s: &SchemaSummary) {
+    e.put_str(&s.name);
+    e.put_varint(s.classes.len() as u64);
+    for c in &s.classes {
+        e.put_str(&c.name);
+        put_opt_u32(e, c.owner);
+        put_opt_u32(e, c.superclass);
+        put_opt_u32(e, c.occurrence_max);
+    }
+    e.put_varint(s.associations.len() as u64);
+    for a in &s.associations {
+        e.put_str(&a.name);
+        put_opt_u32(e, a.superassociation);
+        e.put_varint(a.roles.len() as u64);
+        for role in &a.roles {
+            e.put_str(role);
+        }
+    }
+}
+
+fn decode_schema_summary(d: &mut Decoder<'_>) -> WireResult<SchemaSummary> {
+    let name = d.get_str()?.to_string();
+    let n = d.get_varint()? as usize;
+    let mut classes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        classes.push(ClassSummary {
+            name: d.get_str()?.to_string(),
+            owner: get_opt_u32(d)?,
+            superclass: get_opt_u32(d)?,
+            occurrence_max: get_opt_u32(d)?,
+        });
+    }
+    let n = d.get_varint()? as usize;
+    let mut associations = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = d.get_str()?.to_string();
+        let superassociation = get_opt_u32(d)?;
+        let role_count = d.get_varint()? as usize;
+        let mut roles = Vec::with_capacity(role_count.min(1024));
+        for _ in 0..role_count {
+            roles.push(d.get_str()?.to_string());
+        }
+        associations.push(AssociationSummary { name, superassociation, roles });
+    }
+    Ok(SchemaSummary { name, classes, associations })
+}
+
+fn encode_relationship_info(e: &mut Encoder, info: &RelationshipInfo) {
+    e.put_str(&info.association);
+    put_string_pairs(e, &info.bindings);
+    e.put_bool(info.inherited);
+}
+
+fn decode_relationship_info(d: &mut Decoder<'_>) -> WireResult<RelationshipInfo> {
+    Ok(RelationshipInfo {
+        association: d.get_str()?.to_string(),
+        bindings: get_string_pairs(d)?,
+        inherited: d.get_bool()?,
+    })
+}
+
+// --------------------------------------------------------------------------------------------
+// Requests
+// --------------------------------------------------------------------------------------------
+
+/// Encodes one request into a frame payload.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut e = Encoder::new();
+    match request {
+        Request::Connect => {
+            e.put_u8(0);
+        }
+        Request::Checkout { client, objects } => {
+            e.put_u8(1).put_u64(*client).put_varint(objects.len() as u64);
+            for name in objects {
+                e.put_str(name);
+            }
+        }
+        Request::Checkin { client, updates } => {
+            e.put_u8(2).put_u64(*client).put_varint(updates.len() as u64);
+            for update in updates {
+                encode_update(&mut e, update);
+            }
+        }
+        Request::Release { client } => {
+            e.put_u8(3).put_u64(*client);
+        }
+        Request::Retrieve { name } => {
+            e.put_u8(4).put_str(name);
+        }
+        Request::Query { text } => {
+            e.put_u8(5).put_str(text);
+        }
+        Request::CreateVersion { comment } => {
+            e.put_u8(6).put_str(comment);
+        }
+        Request::Persistence => {
+            e.put_u8(7);
+        }
+        Request::Checkpoint => {
+            e.put_u8(8);
+        }
+        Request::Schema => {
+            e.put_u8(9);
+        }
+        Request::Children { name } => {
+            e.put_u8(10).put_str(name);
+        }
+        Request::Prefix { prefix } => {
+            e.put_u8(11).put_str(prefix);
+        }
+        Request::RelationshipsOf { name } => {
+            e.put_u8(12).put_str(name);
+        }
+        Request::ObjectsOfClass { class, transitive } => {
+            e.put_u8(13).put_str(class).put_bool(*transitive);
+        }
+        Request::RelationshipCount { association, transitive } => {
+            e.put_u8(14).put_str(association).put_bool(*transitive);
+        }
+        Request::Completeness => {
+            e.put_u8(15);
+        }
+        Request::Shutdown => {
+            e.put_u8(16);
+        }
+    }
+    e.finish()
+}
+
+/// Decodes one request from a frame payload.
+pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
+    let mut d = Decoder::new(bytes);
+    let request = match d.get_u8()? {
+        0 => Request::Connect,
+        1 => {
+            let client = d.get_u64()?;
+            let n = d.get_varint()? as usize;
+            let mut objects = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                objects.push(d.get_str()?.to_string());
+            }
+            Request::Checkout { client, objects }
+        }
+        2 => {
+            let client = d.get_u64()?;
+            let n = d.get_varint()? as usize;
+            let mut updates = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                updates.push(decode_update(&mut d)?);
+            }
+            Request::Checkin { client, updates }
+        }
+        3 => Request::Release { client: d.get_u64()? },
+        4 => Request::Retrieve { name: d.get_str()?.to_string() },
+        5 => Request::Query { text: d.get_str()?.to_string() },
+        6 => Request::CreateVersion { comment: d.get_str()?.to_string() },
+        7 => Request::Persistence,
+        8 => Request::Checkpoint,
+        9 => Request::Schema,
+        10 => Request::Children { name: d.get_str()?.to_string() },
+        11 => Request::Prefix { prefix: d.get_str()?.to_string() },
+        12 => Request::RelationshipsOf { name: d.get_str()?.to_string() },
+        13 => {
+            Request::ObjectsOfClass { class: d.get_str()?.to_string(), transitive: d.get_bool()? }
+        }
+        14 => Request::RelationshipCount {
+            association: d.get_str()?.to_string(),
+            transitive: d.get_bool()?,
+        },
+        15 => Request::Completeness,
+        16 => Request::Shutdown,
+        other => return Err(bad_tag("request", other)),
+    };
+    if !d.is_exhausted() {
+        return Err(WireError::Recoverable(format!(
+            "{} trailing bytes after request",
+            d.remaining()
+        )));
+    }
+    Ok(request)
+}
+
+// --------------------------------------------------------------------------------------------
+// Responses
+// --------------------------------------------------------------------------------------------
+
+fn encode_records(e: &mut Encoder, records: &[seed_core::ObjectRecord]) {
+    e.put_varint(records.len() as u64);
+    for r in records {
+        encode_object(e, r);
+    }
+}
+
+fn decode_records(d: &mut Decoder<'_>) -> WireResult<Vec<seed_core::ObjectRecord>> {
+    let n = d.get_varint()? as usize;
+    let mut records = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        records.push(decode_object(d)?);
+    }
+    Ok(records)
+}
+
+/// Encodes one response into a frame payload.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut e = Encoder::new();
+    match response {
+        Response::Connected(id) => {
+            e.put_u8(0).put_u64(*id);
+        }
+        Response::Checkout(result) => {
+            e.put_u8(1);
+            put_result(&mut e, result, encode_checkout_set);
+        }
+        Response::Ack(result) => {
+            e.put_u8(2);
+            put_result(&mut e, result, |_, ()| {});
+        }
+        Response::Object(result) => {
+            e.put_u8(3);
+            put_result(&mut e, result, encode_object);
+        }
+        Response::Answer(result) => {
+            e.put_u8(4);
+            put_result(&mut e, result, encode_query_answer);
+        }
+        Response::Version(result) => {
+            e.put_u8(5);
+            put_result(&mut e, result, |e, v: &VersionId| {
+                e.put_str(&v.to_string());
+            });
+        }
+        Response::Persistence(status) => {
+            e.put_u8(6);
+            encode_persistence_status(&mut e, status);
+        }
+        Response::Schema(summary) => {
+            e.put_u8(7);
+            encode_schema_summary(&mut e, summary);
+        }
+        Response::Objects(result) => {
+            e.put_u8(8);
+            put_result(&mut e, result, |e, records: &Vec<_>| encode_records(e, records));
+        }
+        Response::Relationships(result) => {
+            e.put_u8(9);
+            put_result(&mut e, result, |e, infos: &Vec<RelationshipInfo>| {
+                e.put_varint(infos.len() as u64);
+                for info in infos {
+                    encode_relationship_info(e, info);
+                }
+            });
+        }
+        Response::Count(result) => {
+            e.put_u8(10);
+            put_result(&mut e, result, |e, n: &usize| {
+                e.put_varint(*n as u64);
+            });
+        }
+        Response::Error(err) => {
+            e.put_u8(11);
+            encode_server_error(&mut e, err);
+        }
+        Response::ShuttingDown => {
+            e.put_u8(12);
+        }
+    }
+    e.finish()
+}
+
+/// Decodes one response from a frame payload.
+pub fn decode_response(bytes: &[u8]) -> WireResult<Response> {
+    let mut d = Decoder::new(bytes);
+    let response = match d.get_u8()? {
+        0 => Response::Connected(d.get_u64()?),
+        1 => Response::Checkout(get_result(&mut d, decode_checkout_set)?),
+        2 => Response::Ack(get_result(&mut d, |_| Ok(()))?),
+        3 => Response::Object(get_result(&mut d, |d| Ok(decode_object(d)?))?),
+        4 => Response::Answer(get_result(&mut d, decode_query_answer)?),
+        5 => Response::Version(get_result(&mut d, |d| {
+            VersionId::parse(d.get_str()?).map_err(WireError::from)
+        })?),
+        6 => Response::Persistence(decode_persistence_status(&mut d)?),
+        7 => Response::Schema(decode_schema_summary(&mut d)?),
+        8 => Response::Objects(get_result(&mut d, decode_records)?),
+        9 => Response::Relationships(get_result(&mut d, |d| {
+            let n = d.get_varint()? as usize;
+            let mut infos = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                infos.push(decode_relationship_info(d)?);
+            }
+            Ok(infos)
+        })?),
+        10 => Response::Count(get_result(&mut d, |d| Ok(d.get_varint()? as usize))?),
+        11 => Response::Error(decode_server_error(&mut d)?),
+        12 => Response::ShuttingDown,
+        other => return Err(bad_tag("response", other)),
+    };
+    if !d.is_exhausted() {
+        return Err(WireError::Recoverable(format!(
+            "{} trailing bytes after response",
+            d.remaining()
+        )));
+    }
+    Ok(response)
+}

@@ -1,0 +1,100 @@
+//! Errors of the wire layer.
+//!
+//! The split that matters operationally is **fatal vs. recoverable**: a fatal error means the
+//! byte stream can no longer be trusted (bad magic, an insane length, the socket died) and the
+//! connection must close; a recoverable error means one frame was bad but its boundary was
+//! still found (checksum mismatch, malformed payload), so the server can answer with a protocol
+//! error and keep the connection.
+
+use std::fmt;
+use std::io;
+
+use seed_server::ServerError;
+
+/// Result alias for wire operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// A failure while framing, checking or decoding wire traffic.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes clean EOF, reported as `UnexpectedEof`).
+    Io(io::Error),
+    /// The stream is desynchronized or the peer spoke a different protocol; the connection
+    /// cannot be salvaged.
+    Fatal(String),
+    /// One frame was rejected (bad checksum, malformed payload), but the frame boundary was
+    /// intact — the connection may continue.
+    Recoverable(String),
+}
+
+impl WireError {
+    /// Whether the connection can keep going after this error.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, WireError::Recoverable(_))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Fatal(msg) => write!(f, "fatal wire error: {msg}"),
+            WireError::Recoverable(msg) => write!(f, "bad frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<seed_storage::StorageError> for WireError {
+    // Decoder underruns and corrupt tags surface as storage errors; on the wire they mean a
+    // malformed (but cleanly delimited) payload.
+    fn from(e: seed_storage::StorageError) -> Self {
+        WireError::Recoverable(e.to_string())
+    }
+}
+
+impl From<seed_core::SeedError> for WireError {
+    fn from(e: seed_core::SeedError) -> Self {
+        WireError::Recoverable(e.to_string())
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ServerError::Transport(io.to_string()),
+            WireError::Fatal(msg) | WireError::Recoverable(msg) => ServerError::Protocol(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_conversions() {
+        assert!(WireError::Recoverable("x".into()).is_recoverable());
+        assert!(!WireError::Fatal("x".into()).is_recoverable());
+        let e: WireError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(ServerError::from(e), ServerError::Transport(_)));
+        let e: WireError = seed_storage::StorageError::Corrupt("bad".into()).into();
+        assert!(e.is_recoverable());
+        assert!(matches!(ServerError::from(e), ServerError::Protocol(_)));
+        assert!(WireError::Fatal("desync".into()).to_string().contains("desync"));
+    }
+}

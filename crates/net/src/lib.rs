@@ -1,0 +1,53 @@
+//! # seed-net
+//!
+//! The network frontend of the SEED reproduction — what turns the in-process two-level scheme
+//! of `seed-server` into an actual client/server DBMS:
+//!
+//! * [`wire`] — a versioned, length-prefixed binary frame format with per-frame CRC-32
+//!   checksums and a handshake that negotiates the protocol version;
+//! * [`codec`] — the binary encoding of the existing [`seed_server::Request`] /
+//!   [`seed_server::Response`] protocol (reusing `seed-core`'s record codecs, so records have
+//!   one binary shape on disk and on the wire);
+//! * [`server`] — [`SeedNetServer`], a multi-threaded TCP server running one session per
+//!   connection over a shared [`seed_server::SeedServer`]; sessions are identity-bound (a
+//!   connection can only act for the client id assigned at handshake) and a client's write
+//!   locks are released on disconnect or after an idle timeout — the paper's crash-recovery
+//!   rule for checked-out data;
+//! * [`client`] — [`RemoteClient`], a blocking client exposing the same checkout / check-in /
+//!   query surface as the in-process API, so applications (the SPADES tool, the examples) run
+//!   unmodified over loopback.
+//!
+//! ```no_run
+//! use seed_core::Database;
+//! use seed_net::{RemoteClient, SeedNetServer};
+//! use seed_schema::figure3_schema;
+//! use seed_server::SeedServer;
+//!
+//! let server = SeedNetServer::bind(
+//!     SeedServer::new(Database::new(figure3_schema())),
+//!     "127.0.0.1:0",
+//! )
+//! .unwrap();
+//! let mut client = RemoteClient::connect(server.local_addr()).unwrap();
+//! client.checkin(vec![seed_server::Update::CreateObject {
+//!     class: "Data".into(),
+//!     name: "Alarms".into(),
+//! }])
+//! .unwrap();
+//! assert_eq!(client.retrieve("Alarms").unwrap().name.to_string(), "Alarms");
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod server;
+pub mod wire;
+
+pub use client::RemoteClient;
+pub use error::{WireError, WireResult};
+pub use server::{NetServerConfig, SeedNetServer};
+pub use wire::{FrameKind, Hello, Welcome, MAX_FRAME_LEN, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
+
+#[cfg(test)]
+mod proptests;

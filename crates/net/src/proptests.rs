@@ -1,0 +1,407 @@
+//! Property tests of the wire codec: every [`Request`] / [`Response`] variant round-trips
+//! through encode → frame → read → decode, and truncated or corrupted frames error — they
+//! never panic and never decode to a different message.
+//!
+//! `Request`/`Response` carry error types without `PartialEq`, so equality is checked on the
+//! `Debug` rendering (which covers every field).
+
+use proptest::prelude::*;
+use seed_core::{NameSegment, ObjectName, ObjectRecord, RelationshipRecord, SeedError, Value};
+use seed_schema::{AssociationId, ClassId};
+use seed_server::{
+    AssociationSummary, CheckoutSet, ClassSummary, PersistenceStatus, QueryAnswer,
+    RelationshipInfo, Request, Response, SchemaSummary, ServerError, Update,
+};
+
+use crate::codec::{decode_request, decode_response, encode_request, encode_response};
+use crate::wire::{read_frame, write_frame, FrameKind};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-z0-9]{0,6}"
+}
+
+fn free_text() -> impl Strategy<Value = String> {
+    ".{0,12}"
+}
+
+fn object_name() -> BoxedStrategy<ObjectName> {
+    (ident(), proptest::collection::vec((ident(), proptest::option::of(0u32..40)), 0..3))
+        .prop_map(|(root, tail)| {
+            let mut segments = vec![NameSegment::plain(root)];
+            for (name, index) in tail {
+                segments.push(match index {
+                    Some(i) => NameSegment::indexed(name, i),
+                    None => NameSegment::plain(name),
+                });
+            }
+            ObjectName::from_segments(segments).expect("generated names are non-empty")
+        })
+        .boxed()
+}
+
+fn value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        free_text().prop_map(Value::String),
+        any::<i64>().prop_map(Value::Integer),
+        any::<i64>().prop_map(|i| Value::Real(i as f64 / 8.0)),
+        any::<bool>().prop_map(Value::Boolean),
+        (any::<i32>(), 1u8..13, 1u8..29).prop_map(|(year, month, day)| Value::Date {
+            year,
+            month,
+            day
+        }),
+        ident().prop_map(Value::Symbol),
+        free_text().prop_map(Value::Text),
+        any::<bool>().prop_map(|_| Value::Undefined),
+    ]
+    .boxed()
+}
+
+fn object_record() -> BoxedStrategy<ObjectRecord> {
+    (
+        (any::<u64>(), any::<u32>(), object_name(), proptest::option::of(any::<u64>())),
+        (value(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|((id, class, name, parent), (value, is_pattern, deleted))| {
+            let mut record = ObjectRecord::new(
+                seed_core::ObjectId(id),
+                ClassId(class),
+                name,
+                parent.map(seed_core::ObjectId),
+            );
+            record.value = value;
+            record.is_pattern = is_pattern;
+            record.deleted = deleted;
+            record
+        })
+        .boxed()
+}
+
+fn relationship_record() -> BoxedStrategy<RelationshipRecord> {
+    (
+        (any::<u64>(), any::<u32>()),
+        proptest::collection::vec((ident(), any::<u64>()), 0..4),
+        proptest::collection::vec((ident(), value()), 0..3),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|((id, assoc), bindings, attributes, (is_pattern, deleted))| {
+            let bindings = bindings.into_iter().map(|(r, o)| (r, seed_core::ObjectId(o))).collect();
+            let mut record = RelationshipRecord::new(
+                seed_core::RelationshipId(id),
+                AssociationId(assoc),
+                bindings,
+            );
+            for (name, value) in attributes {
+                record.attributes.insert(name, value);
+            }
+            record.is_pattern = is_pattern;
+            record.deleted = deleted;
+            record
+        })
+        .boxed()
+}
+
+fn string_pairs() -> BoxedStrategy<Vec<(String, String)>> {
+    proptest::collection::vec((ident(), ident()), 0..4).boxed()
+}
+
+fn update() -> BoxedStrategy<Update> {
+    prop_oneof![
+        (ident(), ident()).prop_map(|(class, name)| Update::CreateObject { class, name }),
+        (ident(), ident(), value()).prop_map(|(parent, class_local, value)| {
+            Update::CreateDependent { parent, class_local, value }
+        }),
+        (ident(), ident(), ident(), value()).prop_map(|(parent, class_local, name, value)| {
+            Update::CreateDependentNamed { parent, class_local, name, value }
+        }),
+        (ident(), value()).prop_map(|(object, value)| Update::SetValue { object, value }),
+        (ident(), ident()).prop_map(|(object, new_class)| Update::Reclassify { object, new_class }),
+        (ident(), string_pairs()).prop_map(|(association, bindings)| Update::CreateRelationship {
+            association,
+            bindings
+        }),
+        (ident(), string_pairs(), ident()).prop_map(|(association, bindings, new_association)| {
+            Update::ReclassifyRelationship { association, bindings, new_association }
+        }),
+        ident().prop_map(|object| Update::DeleteObject { object }),
+    ]
+    .boxed()
+}
+
+/// Every wire-representable [`SeedError`] (the string-carrying variants; the foreign-typed ones
+/// normalize to `Invalid`, covered by a unit test in `tests`).
+fn seed_error() -> BoxedStrategy<SeedError> {
+    prop_oneof![
+        free_text().prop_map(SeedError::NotFound),
+        free_text().prop_map(SeedError::DuplicateName),
+        (free_text(), free_text())
+            .prop_map(|(expected, found)| SeedError::DomainMismatch { expected, found }),
+        free_text().prop_map(SeedError::Version),
+        free_text().prop_map(SeedError::TransitionRejected),
+        free_text().prop_map(SeedError::Pattern),
+        free_text().prop_map(SeedError::Transaction),
+        free_text().prop_map(SeedError::Reclassification),
+        free_text().prop_map(SeedError::ReadOnlyVersion),
+        free_text().prop_map(SeedError::Invalid),
+    ]
+    .boxed()
+}
+
+fn server_error() -> BoxedStrategy<ServerError> {
+    prop_oneof![
+        (ident(), any::<u64>()).prop_map(|(object, holder)| ServerError::Locked { object, holder }),
+        ident().prop_map(ServerError::NotCheckedOut),
+        seed_error().prop_map(ServerError::Rejected),
+        free_text().prop_map(ServerError::Unknown),
+        free_text().prop_map(ServerError::Query),
+        any::<bool>().prop_map(|_| ServerError::Disconnected),
+        free_text().prop_map(ServerError::Transport),
+        free_text().prop_map(ServerError::Protocol),
+    ]
+    .boxed()
+}
+
+fn result_of<T: std::fmt::Debug + 'static>(
+    ok: BoxedStrategy<T>,
+) -> BoxedStrategy<Result<T, ServerError>> {
+    prop_oneof![ok.prop_map(Ok), server_error().prop_map(Err)].boxed()
+}
+
+fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        any::<bool>().prop_map(|_| Request::Connect),
+        (any::<u64>(), proptest::collection::vec(ident(), 0..4))
+            .prop_map(|(client, objects)| Request::Checkout { client, objects }),
+        (any::<u64>(), proptest::collection::vec(update(), 0..4))
+            .prop_map(|(client, updates)| Request::Checkin { client, updates }),
+        any::<u64>().prop_map(|client| Request::Release { client }),
+        ident().prop_map(|name| Request::Retrieve { name }),
+        free_text().prop_map(|text| Request::Query { text }),
+        free_text().prop_map(|comment| Request::CreateVersion { comment }),
+        any::<bool>().prop_map(|_| Request::Persistence),
+        any::<bool>().prop_map(|_| Request::Checkpoint),
+        any::<bool>().prop_map(|_| Request::Schema),
+        ident().prop_map(|name| Request::Children { name }),
+        free_text().prop_map(|prefix| Request::Prefix { prefix }),
+        ident().prop_map(|name| Request::RelationshipsOf { name }),
+        (ident(), any::<bool>())
+            .prop_map(|(class, transitive)| Request::ObjectsOfClass { class, transitive }),
+        (ident(), any::<bool>()).prop_map(|(association, transitive)| {
+            Request::RelationshipCount { association, transitive }
+        }),
+        any::<bool>().prop_map(|_| Request::Completeness),
+        any::<bool>().prop_map(|_| Request::Shutdown),
+    ]
+    .boxed()
+}
+
+fn checkout_set() -> BoxedStrategy<CheckoutSet> {
+    (
+        proptest::collection::vec(object_record(), 0..3),
+        proptest::collection::vec(relationship_record(), 0..3),
+    )
+        .prop_map(|(objects, relationships)| CheckoutSet { objects, relationships })
+        .boxed()
+}
+
+fn schema_summary() -> BoxedStrategy<SchemaSummary> {
+    (
+        ident(),
+        proptest::collection::vec(
+            (
+                (ident(), proptest::option::of(any::<u32>())),
+                (proptest::option::of(any::<u32>()), proptest::option::of(any::<u32>())),
+            ),
+            0..4,
+        ),
+        proptest::collection::vec(
+            (
+                (ident(), proptest::option::of(any::<u32>())),
+                proptest::collection::vec(ident(), 0..3),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(name, classes, associations)| SchemaSummary {
+            name,
+            classes: classes
+                .into_iter()
+                .map(|((name, owner), (superclass, occurrence_max))| ClassSummary {
+                    name,
+                    owner,
+                    superclass,
+                    occurrence_max,
+                })
+                .collect(),
+            associations: associations
+                .into_iter()
+                .map(|((name, superassociation), roles)| AssociationSummary {
+                    name,
+                    superassociation,
+                    roles,
+                })
+                .collect(),
+        })
+        .boxed()
+}
+
+fn response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        any::<u64>().prop_map(Response::Connected),
+        result_of(checkout_set()).prop_map(Response::Checkout),
+        result_of(any::<bool>().prop_map(|_| ()).boxed()).prop_map(Response::Ack),
+        result_of(object_record()).prop_map(Response::Object),
+        result_of(
+            (
+                proptest::collection::vec(ident(), 0..4),
+                0usize..1000,
+                proptest::option::of(free_text()),
+            )
+                .prop_map(|(names, count, plan)| QueryAnswer { names, count, plan })
+                .boxed()
+        )
+        .prop_map(Response::Answer),
+        result_of(
+            proptest::collection::vec(1u32..9, 1..4)
+                .prop_map(|parts| {
+                    let rendered =
+                        parts.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(".");
+                    seed_core::VersionId::parse(&format!("{rendered}.0"))
+                        .or_else(|_| seed_core::VersionId::parse("1.0"))
+                        .expect("fallback version id parses")
+                })
+                .boxed()
+        )
+        .prop_map(Response::Version),
+        (
+            (any::<bool>(), proptest::option::of(free_text()), any::<u64>()),
+            (0usize..10_000, 0usize..10_000, 0usize..1000),
+        )
+            .prop_map(
+                |((durable, path, wal_bytes), (objects, relationships, versions))| {
+                    Response::Persistence(PersistenceStatus {
+                        durable,
+                        path,
+                        wal_bytes,
+                        objects,
+                        relationships,
+                        versions,
+                    })
+                }
+            ),
+        schema_summary().prop_map(Response::Schema),
+        result_of(proptest::collection::vec(object_record(), 0..3).boxed())
+            .prop_map(Response::Objects),
+        result_of(
+            proptest::collection::vec(
+                (ident(), string_pairs(), any::<bool>()).prop_map(
+                    |(association, bindings, inherited)| RelationshipInfo {
+                        association,
+                        bindings,
+                        inherited,
+                    }
+                ),
+                0..3,
+            )
+            .boxed()
+        )
+        .prop_map(Response::Relationships),
+        result_of((0usize..100_000).boxed()).prop_map(Response::Count),
+        server_error().prop_map(Response::Error),
+        any::<bool>().prop_map(|_| Response::ShuttingDown),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip_through_frames(request in request()) {
+        let payload = encode_request(&request);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, &payload).unwrap();
+        let frame = read_frame(&mut std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(frame.kind, FrameKind::Request);
+        let decoded = decode_request(&frame.payload).unwrap();
+        prop_assert_eq!(format!("{decoded:?}"), format!("{request:?}"));
+    }
+
+    #[test]
+    fn responses_roundtrip_through_frames(response in response()) {
+        let payload = encode_response(&response);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Response, &payload).unwrap();
+        let frame = read_frame(&mut std::io::Cursor::new(buf)).unwrap();
+        let decoded = decode_response(&frame.payload).unwrap();
+        prop_assert_eq!(format!("{decoded:?}"), format!("{response:?}"));
+    }
+
+    #[test]
+    fn truncated_request_payloads_error_never_panic(request in request(), cut in any::<usize>()) {
+        let payload = encode_request(&request);
+        if payload.len() > 1 {
+            let cut = 1 + cut % (payload.len() - 1);
+            // Either a clean error, or (for list-carrying messages) a shorter valid prefix —
+            // but never a panic.
+            let _ = decode_request(&payload[..cut]);
+        }
+        // Empty payloads are always an error.
+        prop_assert!(decode_request(&[]).is_err());
+    }
+
+    #[test]
+    fn corrupted_response_payloads_error_never_panic(
+        response in response(),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let payload = encode_response(&response);
+        if !payload.is_empty() {
+            let mut corrupted = payload.clone();
+            let idx = idx % corrupted.len();
+            corrupted[idx] ^= 1 << bit;
+            // May decode to a different-but-valid message (the frame CRC is the integrity
+            // layer, exercised in wire.rs); must never panic.
+            let _ = decode_response(&corrupted);
+        }
+        prop_assert!(decode_response(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected(tag in 17u8..255, garbage in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut request_payload = vec![tag];
+        request_payload.extend_from_slice(&garbage);
+        prop_assert!(decode_request(&request_payload).is_err());
+        let mut response_payload = vec![tag.max(13)];
+        response_payload.extend_from_slice(&garbage);
+        prop_assert!(decode_response(&response_payload).is_err());
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn foreign_seed_errors_normalize_to_invalid_with_text_preserved() {
+        let schema_err = SeedError::Schema(seed_schema::SchemaError::UnknownClass("X".into()));
+        let rendered = schema_err.to_string();
+        let response = Response::Error(ServerError::Rejected(schema_err));
+        let decoded = decode_response(&encode_response(&response)).unwrap();
+        match decoded {
+            Response::Error(ServerError::Rejected(SeedError::Invalid(msg))) => {
+                assert_eq!(msg, rendered, "display text must survive the wire");
+            }
+            other => panic!("unexpected decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Connect);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+        let mut payload = encode_response(&Response::ShuttingDown);
+        payload.push(0);
+        assert!(decode_response(&payload).is_err());
+    }
+}

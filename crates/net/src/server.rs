@@ -1,0 +1,603 @@
+//! The concurrent TCP frontend: one session thread per connection over a shared
+//! [`SeedServer`].
+//!
+//! Each connection is handshaken onto its own [`ClientId`]; the session enforces that identity
+//! on every lock-table request (a peer cannot act for another connection's client), and when
+//! the connection closes — cleanly or not — the client's write locks and checkout bookkeeping
+//! are released, the paper's crash-recovery rule for checked-out data.  A background reaper
+//! additionally reclaims the locks of clients that stay connected but fall silent beyond the
+//! configured idle timeout.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use seed_server::{ClientId, Request, Response, SeedServer, ServerError};
+
+use crate::codec::{decode_request, encode_response};
+use crate::error::WireError;
+use crate::wire::{negotiate, read_frame, write_frame, FrameKind, Hello, Welcome};
+
+/// Tuning knobs of the TCP frontend.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Reclaim the locks of clients idle longer than this (`None` disables the reaper; the
+    /// disconnect path still releases locks when a connection closes).
+    pub idle_timeout: Option<Duration>,
+    /// How often the reaper checks for idle clients.
+    pub reaper_interval: Duration,
+    /// Free-form server identification sent in the handshake.
+    pub banner: String,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            idle_timeout: None,
+            reaper_interval: Duration::from_millis(200),
+            banner: format!("seed-net/{}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// A running TCP server around a shared [`SeedServer`].
+pub struct SeedNetServer {
+    core: Arc<SeedServer>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    reaper_thread: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl SeedNetServer {
+    /// Binds with default configuration.  Use `"127.0.0.1:0"` to let the OS pick a port (see
+    /// [`SeedNetServer::local_addr`]).
+    pub fn bind(server: SeedServer, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::with_config(server, addr, NetServerConfig::default())
+    }
+
+    /// Binds a listener and starts the accept loop (and the idle reaper, when configured).
+    pub fn with_config(
+        server: SeedServer,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let core = Arc::new(server);
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let core = core.clone();
+            let stop = stop.clone();
+            let sessions = sessions.clone();
+            let banner = config.banner.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let core = core.clone();
+                    let stop = stop.clone();
+                    let banner = banner.clone();
+                    let handle =
+                        std::thread::spawn(move || serve_connection(&core, stream, &stop, &banner));
+                    let mut sessions = sessions.lock();
+                    sessions.retain(|h| !h.is_finished());
+                    sessions.push(handle);
+                }
+            })
+        };
+
+        let reaper_thread = config.idle_timeout.map(|timeout| {
+            let core = core.clone();
+            let stop = stop.clone();
+            let interval = config.reaper_interval;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    core.reclaim_idle(timeout);
+                }
+            })
+        });
+
+        Ok(Self { core, addr, stop, accept_thread: Some(accept_thread), reaper_thread, sessions })
+    }
+
+    /// The address the server listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared central server (for in-process inspection next to remote clients).
+    pub fn core(&self) -> Arc<SeedServer> {
+        self.core.clone()
+    }
+
+    /// Stops accepting, waits for the accept loop, the reaper and every live session to finish.
+    /// Sessions notice the stop flag at their next read-timeout tick.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.  An unspecified bind address
+        // (0.0.0.0 / ::) is not connectable on all platforms — wake via loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.reaper_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut self.sessions.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SeedNetServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// How often a blocked session read wakes up to check the stop flag.
+const SESSION_POLL: Duration = Duration::from_millis(100);
+
+/// Upper bound on a blocked frame write.  A peer that stops draining its socket would
+/// otherwise park the session thread in `write_all` forever (the stop flag only unblocks
+/// reads) and hang server shutdown.
+const SESSION_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a fresh connection may take to complete the handshake.  Without a deadline, a peer
+/// that connects and never sends its hello would park a session thread for the server's whole
+/// lifetime — and the idle reaper cannot reclaim it, because no client id exists yet.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A reader that turns the socket's read timeout into stop-flag polling **without losing
+/// partial progress**: `read` retries on `WouldBlock`/`TimedOut` until at least one byte
+/// arrives, the server is stopping, or the optional deadline (pre-handshake only) passes.
+/// `Read::read_exact` on top of this never observes a timeout mid-frame, so a frame split
+/// across poll ticks (slow or fragmented link) is reassembled instead of desynchronizing the
+/// stream.
+struct PollRead<'a> {
+    inner: TcpStream,
+    stop: &'a AtomicBool,
+    deadline: Option<std::time::Instant>,
+}
+
+impl std::io::Read for PollRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "server shutting down",
+                        ));
+                    }
+                    if self.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "handshake deadline passed",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, banner: &str) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(SESSION_POLL));
+    let _ = stream.set_write_timeout(Some(SESSION_WRITE_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => PollRead {
+            inner: s,
+            stop,
+            deadline: Some(std::time::Instant::now() + HANDSHAKE_TIMEOUT),
+        },
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream.try_clone().expect("second clone after first"));
+
+    // Handshake: Hello in, Welcome (or Reject) out.
+    let client = match handshake(core, &mut reader, &mut writer, banner) {
+        Some(client) => client,
+        None => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    // Handshaken sessions may idle between frames as long as they like (the reaper governs
+    // their locks); only the handshake itself is deadlined.
+    reader.get_mut().deadline = None;
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(WireError::Recoverable(msg)) => {
+                // The frame boundary held: reject the frame, keep the connection.
+                let response = Response::Error(ServerError::Protocol(msg));
+                if write_frame(&mut writer, FrameKind::Response, &encode_response(&response))
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // desync, dead socket, or server shutdown
+        };
+        if frame.kind != FrameKind::Request {
+            let response = Response::Error(ServerError::Protocol(format!(
+                "expected a request frame, got {:?}",
+                frame.kind
+            )));
+            if write_frame(&mut writer, FrameKind::Response, &encode_response(&response)).is_err() {
+                break;
+            }
+            continue;
+        }
+        let request = match decode_request(&frame.payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let response = Response::Error(ServerError::from(e));
+                if write_frame(&mut writer, FrameKind::Response, &encode_response(&response))
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        // Per-connection identity: lock-table requests may only act for the client id bound to
+        // this connection at handshake.
+        if let Some(claimed) = request.client_id() {
+            if claimed != client {
+                let response = Response::Error(ServerError::Protocol(format!(
+                    "request claims client {claimed}, but this connection is client {client}"
+                )));
+                if write_frame(&mut writer, FrameKind::Response, &encode_response(&response))
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        }
+        // Identity is assigned at handshake, one per connection; serving Connect here would
+        // mint session entries nothing ever cleans up.
+        if matches!(request, Request::Connect) {
+            let response = Response::Error(ServerError::Protocol(
+                "client identity is assigned at handshake; open a new connection instead"
+                    .to_string(),
+            ));
+            if write_frame(&mut writer, FrameKind::Response, &encode_response(&response)).is_err() {
+                break;
+            }
+            continue;
+        }
+        core.touch(client);
+        let closing = matches!(request, Request::Shutdown);
+        let response = core.handle(request);
+        if write_frame(&mut writer, FrameKind::Response, &encode_response(&response)).is_err() {
+            break;
+        }
+        if closing {
+            break;
+        }
+    }
+
+    // The crash-recovery rule: whatever this client still had checked out comes back.
+    core.disconnect(client);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handshake(
+    core: &SeedServer,
+    reader: &mut impl std::io::Read,
+    writer: &mut impl std::io::Write,
+    banner: &str,
+) -> Option<ClientId> {
+    let Ok(frame) = read_frame(reader) else { return None };
+    if frame.kind != FrameKind::Hello {
+        let _ = write_frame(writer, FrameKind::Reject, b"handshake must start with a hello frame");
+        return None;
+    }
+    let hello = match Hello::decode(&frame.payload) {
+        Ok(hello) => hello,
+        Err(e) => {
+            let _ = write_frame(writer, FrameKind::Reject, e.to_string().as_bytes());
+            return None;
+        }
+    };
+    let version = match negotiate(&hello) {
+        Ok(version) => version,
+        Err(reason) => {
+            let _ = write_frame(writer, FrameKind::Reject, reason.as_bytes());
+            return None;
+        }
+    };
+    let client = core.connect();
+    let welcome = Welcome { version, client_id: client, banner: banner.to_string() };
+    if write_frame(writer, FrameKind::Welcome, &welcome.encode()).is_err() {
+        core.disconnect(client);
+        return None;
+    }
+    Some(client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RemoteClient;
+    use crate::wire::{Hello, PROTOCOL_VERSION};
+    use seed_core::{Database, Value};
+    use seed_schema::figure3_schema;
+    use seed_server::Update;
+
+    fn start_server() -> SeedNetServer {
+        let mut db = Database::new(figure3_schema());
+        let alarms = db.create_object("Data", "Alarms").unwrap();
+        let sensor = db.create_object("Action", "Sensor").unwrap();
+        db.create_relationship("Access", &[("from", alarms), ("by", sensor)]).unwrap();
+        let handler = db.create_object("Action", "AlarmHandler").unwrap();
+        db.create_dependent(handler, "Description", Value::string("Handles alarms")).unwrap();
+        SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn handshake_and_full_request_surface_over_loopback() {
+        let server = start_server();
+        let mut client = RemoteClient::connect(server.local_addr()).unwrap();
+        assert!(client.id() > 0);
+        assert_eq!(client.protocol_version(), PROTOCOL_VERSION);
+        assert!(client.server_banner().starts_with("seed-net/"));
+
+        // Reads.
+        assert_eq!(client.retrieve("Alarms").unwrap().name.to_string(), "Alarms");
+        assert!(matches!(client.retrieve("Ghost"), Err(ServerError::Unknown(_))));
+        let answer = client.query(r#"find Data where name prefix "Alarm""#).unwrap();
+        assert_eq!(answer.names, vec!["Alarms"]);
+        assert!(client.explain("count Data").unwrap().contains("count"));
+        assert!(matches!(client.query("bogus"), Err(ServerError::Query(_))));
+        let schema = client.schema().unwrap();
+        assert_eq!(schema.name, "Figure3");
+        assert!(schema.class_id("Data").is_some());
+        assert_eq!(client.children("AlarmHandler").unwrap().len(), 1);
+        assert_eq!(client.objects_of_class("Action", true).unwrap().len(), 2);
+        assert_eq!(client.relationship_count("Access", true).unwrap(), 1);
+        let rels = client.relationships_of("Alarms").unwrap();
+        assert_eq!(rels.len(), 1);
+        assert!(rels[0].involves("Sensor"));
+        assert!(client.completeness_count().unwrap() > 0);
+        assert!(!client.objects_with_prefix("Alarm").unwrap().is_empty());
+        assert!(!client.persistence().unwrap().durable);
+
+        // Checkout / check-in cycle.
+        let set = client.checkout(&["AlarmHandler"]).unwrap();
+        assert_eq!(set.len(), 2, "root + Description dependent");
+        client
+            .checkin(vec![Update::SetValue {
+                object: "AlarmHandler.Description".into(),
+                value: Value::string("updated over TCP"),
+            }])
+            .unwrap();
+        assert_eq!(
+            client.retrieve("AlarmHandler.Description").unwrap().value,
+            Value::string("updated over TCP")
+        );
+        client.create_version("over the wire").unwrap();
+        assert_eq!(client.persistence().unwrap().versions, 1);
+        client.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_clients_race_exactly_one_wins_and_loser_learns_the_holder() {
+        let server = start_server();
+        let addr = server.local_addr();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut client = RemoteClient::connect(addr).unwrap();
+                    barrier.wait();
+                    let outcome = client.checkout(&["Alarms"]).map(|_| client.id());
+                    (client, outcome)
+                })
+            })
+            .collect();
+        let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        let winners: Vec<u64> =
+            results.iter().filter_map(|(_, o)| o.as_ref().ok().copied()).collect();
+        assert_eq!(winners.len(), 1, "exactly one checkout must win");
+        let loser_error = results
+            .iter()
+            .find_map(|(_, o)| o.as_ref().err())
+            .expect("exactly one checkout must lose");
+        match loser_error {
+            ServerError::Locked { object, holder } => {
+                assert_eq!(object, "Alarms");
+                assert_eq!(*holder, winners[0], "the loser learns who holds the lock");
+            }
+            other => panic!("loser expected Locked, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnect_releases_the_clients_locks() {
+        let server = start_server();
+        let addr = server.local_addr();
+        let core = server.core();
+        {
+            let mut client = RemoteClient::connect(addr).unwrap();
+            client.checkout(&["Alarms"]).unwrap();
+            assert!(core.locked_count() > 0);
+            // Dropped without release or close: the TCP connection dies with it.
+        }
+        // The session thread notices EOF and runs the crash-recovery rule.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while core.locked_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(core.locked_count(), 0, "disconnect must release the client's locks");
+        let mut next = RemoteClient::connect(addr).unwrap();
+        next.checkout(&["Alarms"]).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_clients_are_reaped_on_timeout() {
+        let mut db = Database::new(figure3_schema());
+        db.create_object("Data", "Alarms").unwrap();
+        let config = NetServerConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            reaper_interval: Duration::from_millis(20),
+            ..NetServerConfig::default()
+        };
+        let server =
+            SeedNetServer::with_config(SeedServer::new(db), "127.0.0.1:0", config).unwrap();
+        let core = server.core();
+        let mut sleeper = RemoteClient::connect(server.local_addr()).unwrap();
+        sleeper.checkout(&["Alarms"]).unwrap();
+        assert!(core.locked_count() > 0);
+        // The client keeps its TCP connection but falls silent; the reaper reclaims its locks.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while core.locked_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(core.locked_count(), 0, "idle locks must be reclaimed");
+        let mut other = RemoteClient::connect(server.local_addr()).unwrap();
+        other.checkout(&["Alarms"]).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn identity_is_enforced_per_connection() {
+        let server = start_server();
+        let mut alice = RemoteClient::connect(server.local_addr()).unwrap();
+        let mut mallory = RemoteClient::connect(server.local_addr()).unwrap();
+        alice.checkout(&["Alarms"]).unwrap();
+        // Mallory forges requests with Alice's client id: the session rejects them outright.
+        let forged = Request::Release { client: alice.id() };
+        assert!(matches!(mallory.call(forged), Err(ServerError::Protocol(_))));
+        let forged = Request::Checkin {
+            client: alice.id(),
+            updates: vec![Update::SetValue { object: "Alarms".into(), value: Value::Undefined }],
+        };
+        assert!(matches!(mallory.call(forged), Err(ServerError::Protocol(_))));
+        // Alice is unaffected.
+        assert!(server.core().locked_count() > 0);
+        alice.release().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_without_losing_the_connection() {
+        use std::io::Write as _;
+        let server = start_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        write_frame(&mut writer, FrameKind::Hello, &Hello::current("raw").encode()).unwrap();
+        let welcome = read_frame(&mut reader).unwrap();
+        assert_eq!(welcome.kind, FrameKind::Welcome);
+
+        // A frame with a valid header but garbage payload: rejected, connection lives.
+        write_frame(&mut writer, FrameKind::Request, &[0xFF, 0xEE, 0xDD]).unwrap();
+        let reply = read_frame(&mut reader).unwrap();
+        assert_eq!(reply.kind, FrameKind::Response);
+        assert!(matches!(
+            crate::codec::decode_response(&reply.payload).unwrap(),
+            Response::Error(ServerError::Protocol(_))
+        ));
+
+        // A corrupted checksum: rejected, connection lives.
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            FrameKind::Request,
+            &crate::codec::encode_request(&Request::Persistence),
+        )
+        .unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        writer.write_all(&buf).unwrap();
+        writer.flush().unwrap();
+        let reply = read_frame(&mut reader).unwrap();
+        assert!(matches!(
+            crate::codec::decode_response(&reply.payload).unwrap(),
+            Response::Error(ServerError::Protocol(_))
+        ));
+
+        // A hello frame mid-session is also a protocol error, not a hangup.
+        write_frame(&mut writer, FrameKind::Hello, &Hello::current("again").encode()).unwrap();
+        let reply = read_frame(&mut reader).unwrap();
+        assert!(matches!(
+            crate::codec::decode_response(&reply.payload).unwrap(),
+            Response::Error(ServerError::Protocol(_))
+        ));
+
+        // After all that abuse, a well-formed request still works.
+        write_frame(
+            &mut writer,
+            FrameKind::Request,
+            &crate::codec::encode_request(&Request::Persistence),
+        )
+        .unwrap();
+        let reply = read_frame(&mut reader).unwrap();
+        assert!(matches!(
+            crate::codec::decode_response(&reply.payload).unwrap(),
+            Response::Persistence(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn incompatible_versions_are_rejected_at_handshake() {
+        let server = start_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        let future = Hello {
+            min_version: PROTOCOL_VERSION + 1,
+            max_version: PROTOCOL_VERSION + 2,
+            agent: "from the future".into(),
+        };
+        write_frame(&mut writer, FrameKind::Hello, &future.encode()).unwrap();
+        let reply = read_frame(&mut reader).unwrap();
+        assert_eq!(reply.kind, FrameKind::Reject);
+        assert!(String::from_utf8_lossy(&reply.payload).contains("no common protocol version"));
+        server.shutdown();
+    }
+}

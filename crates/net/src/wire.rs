@@ -1,0 +1,317 @@
+//! Frame layout and handshake records of the SEED wire protocol.
+//!
+//! Every message travels in one frame:
+//!
+//! ```text
+//! +----------+------+-------------+-------------+-----------+
+//! | magic    | kind | payload len | payload crc | payload   |
+//! | "SEWP" 4 | u8 1 | u32 LE    4 | u32 LE    4 | len bytes |
+//! +----------+------+-------------+-------------+-----------+
+//! ```
+//!
+//! The length prefix delimits frames, the CRC-32 (same polynomial as the storage WAL) protects
+//! the payload, and the magic re-anchors the reader: a frame whose header parses but whose
+//! checksum or payload is bad is **recoverable** — exactly `len` bytes were consumed, the next
+//! frame starts cleanly, and the server answers with a protocol error instead of dropping the
+//! connection.  A bad magic or an oversized length means the stream is desynchronized, which is
+//! fatal.
+//!
+//! Connections open with a handshake: the client sends [`Hello`] (the protocol version range it
+//! speaks), the server answers [`Welcome`] (the negotiated version plus the client id this
+//! connection is bound to) or a [`FrameKind::Reject`] frame with a reason, then closes.
+
+use std::io::{Read, Write};
+
+use seed_storage::codec::crc32;
+use seed_storage::{Decoder, Encoder};
+
+use crate::error::{WireError, WireResult};
+
+/// Frame magic: "SEED wire protocol".
+pub const MAGIC: [u8; 4] = *b"SEWP";
+
+/// Oldest protocol version this build still speaks.
+pub const PROTOCOL_VERSION_MIN: u16 = 1;
+
+/// Newest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload; larger lengths are treated as stream desync.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: handshake opener.
+    Hello,
+    /// Server → client: handshake acceptance.
+    Welcome,
+    /// Client → server: one encoded [`seed_server::Request`].
+    Request,
+    /// Server → client: one encoded [`seed_server::Response`].
+    Response,
+    /// Server → client: the connection is being refused or abandoned (reason in the payload).
+    Reject,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Welcome => 2,
+            FrameKind::Request => 3,
+            FrameKind::Response => 4,
+            FrameKind::Reject => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Welcome,
+            3 => FrameKind::Request,
+            4 => FrameKind::Response,
+            5 => FrameKind::Reject,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// The checked payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame (header, checksum, payload) to `w`.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> WireResult<()> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(WireError::Fatal(format!(
+            "refusing to send a {} byte frame (max {MAX_FRAME_LEN})",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 13];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = kind.to_u8();
+    header[5..9].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[9..13].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, verifying magic, kind, length and checksum.
+///
+/// Errors are classified for the session loop: [`WireError::Recoverable`] means the frame
+/// boundary was found and consumed (keep the connection), anything else means desync or a dead
+/// socket (close it).
+pub fn read_frame(r: &mut impl Read) -> WireResult<Frame> {
+    let mut header = [0u8; 13];
+    r.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(WireError::Fatal(format!(
+            "bad frame magic {:02x?} (stream desynchronized or not a SEED peer)",
+            &header[..4]
+        )));
+    }
+    let kind = FrameKind::from_u8(header[4])
+        .ok_or_else(|| WireError::Fatal(format!("unknown frame kind {}", header[4])))?;
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Fatal(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+    }
+    let expected_crc = u32::from_le_bytes([header[9], header[10], header[11], header[12]]);
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != expected_crc {
+        return Err(WireError::Recoverable(format!(
+            "frame checksum mismatch ({} byte payload)",
+            payload.len()
+        )));
+    }
+    Ok(Frame { kind, payload })
+}
+
+/// The client's handshake opener.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Oldest protocol version the client speaks.
+    pub min_version: u16,
+    /// Newest protocol version the client speaks.
+    pub max_version: u16,
+    /// Free-form client software identification (for server logs).
+    pub agent: String,
+}
+
+impl Hello {
+    /// The hello this build sends.
+    pub fn current(agent: impl Into<String>) -> Self {
+        Self {
+            min_version: PROTOCOL_VERSION_MIN,
+            max_version: PROTOCOL_VERSION,
+            agent: agent.into(),
+        }
+    }
+
+    /// Encodes the hello payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u16(self.min_version).put_u16(self.max_version).put_str(&self.agent);
+        e.finish()
+    }
+
+    /// Decodes a hello payload.
+    pub fn decode(bytes: &[u8]) -> WireResult<Self> {
+        let mut d = Decoder::new(bytes);
+        let min_version = d.get_u16()?;
+        let max_version = d.get_u16()?;
+        let agent = d.get_str()?.to_string();
+        Ok(Self { min_version, max_version, agent })
+    }
+}
+
+/// The server's handshake acceptance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Welcome {
+    /// The negotiated protocol version (both peers must use it from here on).
+    pub version: u16,
+    /// The client id this connection is bound to; the lock table knows the client by this id,
+    /// and the server refuses requests claiming any other id.
+    pub client_id: u64,
+    /// Free-form server identification.
+    pub banner: String,
+}
+
+impl Welcome {
+    /// Encodes the welcome payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u16(self.version).put_u64(self.client_id).put_str(&self.banner);
+        e.finish()
+    }
+
+    /// Decodes a welcome payload.
+    pub fn decode(bytes: &[u8]) -> WireResult<Self> {
+        let mut d = Decoder::new(bytes);
+        let version = d.get_u16()?;
+        let client_id = d.get_u64()?;
+        let banner = d.get_str()?.to_string();
+        Ok(Self { version, client_id, banner })
+    }
+}
+
+/// Picks the protocol version for a client's [`Hello`], or explains why there is none.
+pub fn negotiate(hello: &Hello) -> Result<u16, String> {
+    if hello.min_version > hello.max_version {
+        return Err(format!(
+            "client version range {}..={} is empty",
+            hello.min_version, hello.max_version
+        ));
+    }
+    let candidate = hello.max_version.min(PROTOCOL_VERSION);
+    if candidate < hello.min_version || candidate < PROTOCOL_VERSION_MIN {
+        return Err(format!(
+            "no common protocol version: client speaks {}..={}, server speaks {}..={}",
+            hello.min_version, hello.max_version, PROTOCOL_VERSION_MIN, PROTOCOL_VERSION
+        ));
+    }
+    Ok(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"hello").unwrap();
+        write_frame(&mut buf, FrameKind::Response, b"").unwrap();
+        let mut cursor = Cursor::new(buf);
+        let first = read_frame(&mut cursor).unwrap();
+        assert_eq!(first.kind, FrameKind::Request);
+        assert_eq!(first.payload, b"hello");
+        let second = read_frame(&mut cursor).unwrap();
+        assert_eq!(second.kind, FrameKind::Response);
+        assert!(second.payload.is_empty());
+        // Clean EOF after the last frame.
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn corrupted_payload_is_recoverable_and_resynchronizes() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"damaged").unwrap();
+        write_frame(&mut buf, FrameKind::Request, b"intact").unwrap();
+        buf[14] ^= 0xFF; // flip a byte inside the first payload
+        let mut cursor = Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.is_recoverable(), "checksum failure must keep the connection: {err}");
+        // The reader consumed exactly the damaged frame; the next one parses.
+        assert_eq!(read_frame(&mut cursor).unwrap().payload, b"intact");
+    }
+
+    #[test]
+    fn bad_magic_and_oversize_are_fatal() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(WireError::Fatal(_))));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[5..9].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(WireError::Fatal(_))));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[4] = 99; // unknown frame kind
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(WireError::Fatal(_))));
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"truncate me").unwrap();
+        for cut in 0..buf.len() {
+            let mut cursor = Cursor::new(buf[..cut].to_vec());
+            assert!(read_frame(&mut cursor).is_err(), "cut at {cut} must error, not panic");
+        }
+    }
+
+    #[test]
+    fn handshake_records_roundtrip() {
+        let hello = Hello::current("test-agent");
+        assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+        let welcome = Welcome { version: 1, client_id: 42, banner: "seed-net".into() };
+        assert_eq!(Welcome::decode(&welcome.encode()).unwrap(), welcome);
+        assert!(Hello::decode(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn version_negotiation() {
+        assert_eq!(negotiate(&Hello::current("t")).unwrap(), PROTOCOL_VERSION);
+        // A newer client that still speaks our version gets our version.
+        let newer = Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION + 5,
+            agent: String::new(),
+        };
+        assert_eq!(negotiate(&newer).unwrap(), PROTOCOL_VERSION);
+        // A client that requires only future versions is refused.
+        let future = Hello {
+            min_version: PROTOCOL_VERSION + 1,
+            max_version: PROTOCOL_VERSION + 2,
+            agent: String::new(),
+        };
+        assert!(negotiate(&future).is_err());
+        let empty = Hello { min_version: 3, max_version: 2, agent: String::new() };
+        assert!(negotiate(&empty).is_err());
+    }
+}

@@ -25,6 +25,11 @@ pub enum ServerError {
     Query(String),
     /// The server thread is gone (channel disconnected).
     Disconnected,
+    /// The network transport failed (connection refused, reset, closed mid-reply).
+    Transport(String),
+    /// The peer violated the wire protocol (handshake failure, malformed frame, a request
+    /// claiming another connection's client identity).
+    Protocol(String),
 }
 
 impl fmt::Display for ServerError {
@@ -40,6 +45,8 @@ impl fmt::Display for ServerError {
             ServerError::Unknown(what) => write!(f, "unknown: {what}"),
             ServerError::Query(message) => write!(f, "query failed: {message}"),
             ServerError::Disconnected => write!(f, "server disconnected"),
+            ServerError::Transport(message) => write!(f, "transport failed: {message}"),
+            ServerError::Protocol(message) => write!(f, "protocol violation: {message}"),
         }
     }
 }

@@ -26,6 +26,7 @@ pub use client::ClientSession;
 pub use error::{ServerError, ServerResult};
 pub use lock::LockTable;
 pub use protocol::{
-    CheckoutSet, ClientId, PersistenceStatus, QueryAnswer, Request, Response, Update,
+    AssociationSummary, CheckoutSet, ClassSummary, ClientId, PersistenceStatus, QueryAnswer,
+    RelationshipInfo, Request, Response, SchemaSummary, Update,
 };
 pub use server::{SeedServer, ServerHandle};

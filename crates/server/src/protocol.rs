@@ -27,6 +27,18 @@ pub enum Update {
         /// Initial value.
         value: Value,
     },
+    /// Create a dependent object with an explicit (un-indexed) name segment — the remote
+    /// counterpart of [`seed_core::Database::create_dependent_named`] with a plain segment.
+    CreateDependentNamed {
+        /// Parent object name.
+        parent: String,
+        /// Local name of the dependent class (e.g. `"Body"`).
+        class_local: String,
+        /// The plain segment name to use (usually equal to `class_local`).
+        name: String,
+        /// Initial value.
+        value: Value,
+    },
     /// Set the value of an object.
     SetValue {
         /// Object name.
@@ -48,6 +60,18 @@ pub enum Update {
         /// `(role, object name)` bindings.
         bindings: Vec<(String, String)>,
     },
+    /// Re-classify an existing relationship within its association hierarchy.  The relationship
+    /// is addressed structurally — by its current association and its `(role, object name)`
+    /// bindings — because relationships have no names and clients do not share the server's id
+    /// space.
+    ReclassifyRelationship {
+        /// Current association name.
+        association: String,
+        /// `(role, object name)` bindings identifying the relationship.
+        bindings: Vec<(String, String)>,
+        /// Target association name.
+        new_association: String,
+    },
     /// Delete an object (logically).
     DeleteObject {
         /// Object name.
@@ -62,11 +86,13 @@ impl Update {
     pub fn touched_objects(&self) -> Vec<&str> {
         match self {
             Update::CreateObject { .. } => vec![],
-            Update::CreateDependent { parent, .. } => vec![parent.as_str()],
+            Update::CreateDependent { parent, .. }
+            | Update::CreateDependentNamed { parent, .. } => vec![parent.as_str()],
             Update::SetValue { object, .. }
             | Update::Reclassify { object, .. }
             | Update::DeleteObject { object } => vec![object.as_str()],
-            Update::CreateRelationship { bindings, .. } => {
+            Update::CreateRelationship { bindings, .. }
+            | Update::ReclassifyRelationship { bindings, .. } => {
                 bindings.iter().map(|(_, o)| o.as_str()).collect()
             }
         }
@@ -131,6 +157,132 @@ pub struct PersistenceStatus {
     pub versions: usize,
 }
 
+/// Summary of one class, as shipped to remote clients ([`SchemaSummary`]).  Ids are the raw
+/// `ClassId` numbers of the server's schema; the vector index in [`SchemaSummary::classes`]
+/// equals the id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassSummary {
+    /// Class name (local name for dependent classes).
+    pub name: String,
+    /// Owning class id, for dependent classes.
+    pub owner: Option<u32>,
+    /// Superclass id in the generalization hierarchy.
+    pub superclass: Option<u32>,
+    /// Maximum occurrence of dependents per parent (`None` = unbounded).  `Some(1)` means
+    /// dependents of this class get plain (un-indexed) name segments.
+    pub occurrence_max: Option<u32>,
+}
+
+/// Summary of one association for remote clients; the vector index in
+/// [`SchemaSummary::associations`] equals the `AssociationId` number.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AssociationSummary {
+    /// Association name.
+    pub name: String,
+    /// Superassociation id in the generalization hierarchy.
+    pub superassociation: Option<u32>,
+    /// Role names, in declaration order.
+    pub roles: Vec<String>,
+}
+
+/// A structural summary of the server's current schema — enough for a remote client to
+/// interpret the class ids inside [`seed_core::ObjectRecord`]s, resolve dependent classes and
+/// walk association hierarchies without holding a full [`seed_schema::Schema`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemaSummary {
+    /// Schema name.
+    pub name: String,
+    /// Classes, indexed by class id.
+    pub classes: Vec<ClassSummary>,
+    /// Associations, indexed by association id.
+    pub associations: Vec<AssociationSummary>,
+}
+
+impl SchemaSummary {
+    /// The name of the class with the given id.
+    pub fn class_name(&self, id: u32) -> Option<&str> {
+        self.classes.get(id as usize).map(|c| c.name.as_str())
+    }
+
+    /// The id of the top-level (un-owned) class with the given name.
+    pub fn class_id(&self, name: &str) -> Option<u32> {
+        self.classes.iter().position(|c| c.owner.is_none() && c.name == name).map(|i| i as u32)
+    }
+
+    /// Resolves a dependent class by its local name in the context of `parent_class`, walking
+    /// the parent's superclass chain like the server does.
+    pub fn dependent_class(&self, parent_class: u32, local: &str) -> Option<u32> {
+        let mut current = Some(parent_class);
+        while let Some(owner) = current {
+            if let Some(found) =
+                self.classes.iter().position(|c| c.owner == Some(owner) && c.name == local)
+            {
+                return Some(found as u32);
+            }
+            current = self.classes.get(owner as usize).and_then(|c| c.superclass);
+        }
+        None
+    }
+
+    /// The id of the association with the given name.
+    pub fn association_id(&self, name: &str) -> Option<u32> {
+        self.associations.iter().position(|a| a.name == name).map(|i| i as u32)
+    }
+
+    /// The association with the given name.
+    pub fn association(&self, name: &str) -> Option<&AssociationSummary> {
+        self.associations.iter().find(|a| a.name == name)
+    }
+
+    /// The names of `name`'s association hierarchy: the association itself plus every
+    /// (transitive) specialization.
+    pub fn association_hierarchy(&self, name: &str) -> Vec<String> {
+        let Some(root) = self.association_id(name) else { return Vec::new() };
+        let mut members = vec![root];
+        // Fixpoint over the superassociation links (hierarchies are shallow).
+        loop {
+            let before = members.len();
+            for (i, assoc) in self.associations.iter().enumerate() {
+                let i = i as u32;
+                if members.contains(&i) {
+                    continue;
+                }
+                if let Some(sup) = assoc.superassociation {
+                    if members.contains(&sup) {
+                        members.push(i);
+                    }
+                }
+            }
+            if members.len() == before {
+                break;
+            }
+        }
+        members
+            .into_iter()
+            .filter_map(|i| self.associations.get(i as usize).map(|a| a.name.clone()))
+            .collect()
+    }
+}
+
+/// One relationship of an object, rendered for a remote client: the association by name and the
+/// bindings as `(role, object name)` pairs (clients do not share the server's id space).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelationshipInfo {
+    /// Association name.
+    pub association: String,
+    /// `(role, object name)` bindings, in declaration order.
+    pub bindings: Vec<(String, String)>,
+    /// Whether the relationship is inherited from a pattern (rather than the object's own).
+    pub inherited: bool,
+}
+
+impl RelationshipInfo {
+    /// Whether the relationship binds an object with the given name (in any role).
+    pub fn involves(&self, object: &str) -> bool {
+        self.bindings.iter().any(|(_, o)| o == object)
+    }
+}
+
 /// A request sent to the server thread.
 #[derive(Debug)]
 pub enum Request {
@@ -176,8 +328,58 @@ pub enum Request {
     Persistence,
     /// Ask the server to checkpoint its durable storage (flush pages, truncate the WAL).
     Checkpoint,
-    /// Shut the server thread down.
+    /// Ask for a structural summary of the current schema (class/association names, hierarchy
+    /// links, role names) so the client can interpret records locally.
+    Schema,
+    /// Read the (materialized) children of an object by name.
+    Children {
+        /// Parent object name.
+        name: String,
+    },
+    /// Read all objects whose hierarchical name starts with a prefix.
+    Prefix {
+        /// The name prefix, e.g. `"Alarms.Text"`.
+        prefix: String,
+    },
+    /// Read the relationships an object participates in, rendered by name
+    /// ([`RelationshipInfo`]).
+    RelationshipsOf {
+        /// Object name.
+        name: String,
+    },
+    /// Read the extent of a class by name.
+    ObjectsOfClass {
+        /// Class name.
+        class: String,
+        /// Whether to include subclasses.
+        transitive: bool,
+    },
+    /// Count the live relationships of an association (optionally including its
+    /// specializations).
+    RelationshipCount {
+        /// Association name.
+        association: String,
+        /// Whether to include specializations of the association.
+        transitive: bool,
+    },
+    /// Run the completeness analysis and report the number of findings.
+    Completeness,
+    /// Shut the server thread down (over TCP: close this session).
     Shutdown,
+}
+
+impl Request {
+    /// The client this request claims to act for, when the operation is identity-bound (lock
+    /// table operations).  The network server uses this to enforce per-connection identity: a
+    /// session may only act for the client id assigned at handshake.
+    pub fn client_id(&self) -> Option<ClientId> {
+        match self {
+            Request::Checkout { client, .. }
+            | Request::Checkin { client, .. }
+            | Request::Release { client } => Some(*client),
+            _ => None,
+        }
+    }
 }
 
 /// A reply from the server thread.
@@ -197,6 +399,17 @@ pub enum Response {
     Version(Result<VersionId, crate::error::ServerError>),
     /// Reply to [`Request::Persistence`].
     Persistence(PersistenceStatus),
+    /// Reply to [`Request::Schema`].
+    Schema(SchemaSummary),
+    /// Reply to [`Request::Children`] / [`Request::Prefix`] / [`Request::ObjectsOfClass`].
+    Objects(Result<Vec<ObjectRecord>, crate::error::ServerError>),
+    /// Reply to [`Request::RelationshipsOf`].
+    Relationships(Result<Vec<RelationshipInfo>, crate::error::ServerError>),
+    /// Reply to [`Request::RelationshipCount`] / [`Request::Completeness`].
+    Count(Result<usize, crate::error::ServerError>),
+    /// A request-independent failure: the server could not act on the frame at all (malformed
+    /// payload, identity violation).  The connection stays open.
+    Error(crate::error::ServerError),
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
 }

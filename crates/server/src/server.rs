@@ -4,25 +4,35 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use seed_core::{Database, ObjectId, ObjectRecord, SeedError, Value, VersionId};
+use seed_core::{Database, NameSegment, ObjectId, ObjectRecord, SeedError, Value, VersionId};
 
 use crate::error::{ServerError, ServerResult};
 use crate::lock::LockTable;
 use crate::protocol::{
-    CheckoutSet, ClientId, PersistenceStatus, QueryAnswer, Request, Response, Update,
+    AssociationSummary, CheckoutSet, ClassSummary, ClientId, PersistenceStatus, QueryAnswer,
+    RelationshipInfo, Request, Response, SchemaSummary, Update,
 };
 
 /// The central SEED server of the two-level multi-user scheme.
+///
+/// The database sits behind a read–write lock: retrieval, queries and check-outs (which only
+/// read the database and mutate the lock table) proceed in parallel with each other; only a
+/// check-in — the single transaction that applies a client's updates — takes the write side.
+/// This is what makes the TCP frontend (`seed-net`) actually concurrent.
 pub struct SeedServer {
-    db: Mutex<Database>,
+    db: RwLock<Database>,
     locks: Mutex<LockTable>,
     /// Names each client has checked out (lock bookkeeping by name, since clients address
     /// objects by name).
     checkouts: Mutex<HashMap<ClientId, Vec<String>>>,
+    /// Last activity per connected client, for idle-lock reclamation (the paper's crash
+    /// recovery rule: a vanished client's checked-out data must come back).
+    sessions: Mutex<HashMap<ClientId, Instant>>,
     next_client: AtomicU64,
 }
 
@@ -30,9 +40,10 @@ impl SeedServer {
     /// Creates a server around an existing database.
     pub fn new(db: Database) -> Self {
         Self {
-            db: Mutex::new(db),
+            db: RwLock::new(db),
             locks: Mutex::new(LockTable::new()),
             checkouts: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(1),
         }
     }
@@ -59,7 +70,7 @@ impl SeedServer {
     /// counts report what restart recovery reconstructed — this is how recovery is observable
     /// over the protocol ([`Request::Persistence`]).
     pub fn persistence_status(&self) -> PersistenceStatus {
-        let db = self.db.lock();
+        let db = self.db.read();
         let status = db.durability_status();
         PersistenceStatus {
             durable: status.is_some(),
@@ -73,24 +84,78 @@ impl SeedServer {
 
     /// Checkpoints the durable storage (errors when the database is in-memory).
     pub fn checkpoint(&self) -> ServerResult<()> {
-        self.db.lock().checkpoint().map_err(ServerError::Rejected)
+        self.db.write().checkpoint().map_err(ServerError::Rejected)
     }
 
     /// Registers a client and returns its id.
     pub fn connect(&self) -> ClientId {
-        self.next_client.fetch_add(1, Ordering::SeqCst)
+        let client = self.next_client.fetch_add(1, Ordering::SeqCst);
+        self.sessions.lock().insert(client, Instant::now());
+        client
+    }
+
+    /// Records activity for `client` (connect-on-first-use for clients created before the
+    /// session tracking existed).
+    pub fn touch(&self, client: ClientId) {
+        self.sessions.lock().insert(client, Instant::now());
+    }
+
+    /// Number of clients with a tracked session.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Detaches a client: releases all its locks and forgets its session.  The network layer
+    /// calls this when a connection closes — the paper's crash-recovery rule for checked-out
+    /// data.  Returns the number of locks released.
+    pub fn disconnect(&self, client: ClientId) -> usize {
+        self.sessions.lock().remove(&client);
+        self.release(client)
+    }
+
+    /// Reclaims the locks of every client whose last activity is older than `max_idle` and that
+    /// still holds checked-out data, and prunes the session entries of lock-free idle clients
+    /// (so stale ids never accumulate).  Returns the ids whose locks were reclaimed.  This is
+    /// the timeout path for clients that vanished without the transport noticing (crashed
+    /// workstation, dead TCP peer): their write locks and checkout bookkeeping must not leak
+    /// forever.
+    pub fn reclaim_idle(&self, max_idle: Duration) -> Vec<ClientId> {
+        let now = Instant::now();
+        // Hold the sessions map for the whole sweep: `touch` (the first thing checkout/checkin
+        // do) blocks on it, so no client can slip a fresh checkout between the staleness check
+        // and the release and have its just-acquired locks revoked.
+        let mut sessions = self.sessions.lock();
+        let stale: Vec<ClientId> = sessions
+            .iter()
+            .filter(|(_, last)| now.duration_since(**last) >= max_idle)
+            .map(|(client, _)| *client)
+            .collect();
+        let mut reclaimed = Vec::new();
+        for client in stale {
+            sessions.remove(&client);
+            // Sequential (never nested) checkout-table and lock-table accesses, matching the
+            // lock order everywhere else.
+            let had_checkouts = self.checkouts.lock().remove(&client).is_some();
+            let released = self.locks.lock().release_all(client);
+            if had_checkouts || released > 0 {
+                reclaimed.push(client);
+            }
+            // Idle clients without checked-out data just lose their session entry (activity
+            // re-registers it) and are not reported as reclaimed.
+        }
+        reclaimed
     }
 
     /// Runs a read-only closure against the central database (retrieval goes straight to the
     /// server in the paper's sketch).
     pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.db.lock())
+        f(&self.db.read())
     }
 
     /// Retrieves a copy of an object by name.
     pub fn retrieve(&self, name: &str) -> ServerResult<ObjectRecord> {
         self.db
-            .lock()
+            .read()
             .object_by_name(name)
             .map_err(|_| ServerError::Unknown(format!("object '{name}'")))
     }
@@ -100,11 +165,118 @@ impl SeedServer {
         self.locks.lock().len()
     }
 
+    /// A structural summary of the current schema for remote clients.
+    pub fn schema_summary(&self) -> SchemaSummary {
+        let db = self.db.read();
+        let schema = db.schema();
+        SchemaSummary {
+            name: schema.name.clone(),
+            classes: schema
+                .classes()
+                .iter()
+                .map(|c| ClassSummary {
+                    // Local names: "Text", not "Data.Text" — clients resolve dependents by the
+                    // local name in the context of an owner class.
+                    name: c.local_name().to_string(),
+                    owner: c.owner.map(|o| o.0),
+                    superclass: c.superclass.map(|s| s.0),
+                    occurrence_max: c.occurrence.max,
+                })
+                .collect(),
+            associations: schema
+                .associations()
+                .iter()
+                .map(|a| AssociationSummary {
+                    name: a.name.clone(),
+                    superassociation: a.superassociation.map(|s| s.0),
+                    roles: a.roles.iter().map(|r| r.name.clone()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The (materialized) children of an object, by name.
+    pub fn children_of(&self, name: &str) -> ServerResult<Vec<ObjectRecord>> {
+        let db = self.db.read();
+        let root = db
+            .object_by_name(name)
+            .map_err(|_| ServerError::Unknown(format!("object '{name}'")))?;
+        Ok(db.children(root.id).into_iter().map(|c| c.record).collect())
+    }
+
+    /// All objects whose hierarchical name starts with `prefix`.
+    pub fn objects_with_prefix(&self, prefix: &str) -> Vec<ObjectRecord> {
+        self.db.read().objects_with_name_prefix(prefix)
+    }
+
+    /// The relationships an object participates in, rendered by name for remote clients.
+    pub fn relationships_of(&self, name: &str) -> ServerResult<Vec<RelationshipInfo>> {
+        let db = self.db.read();
+        let root = db
+            .object_by_name(name)
+            .map_err(|_| ServerError::Unknown(format!("object '{name}'")))?;
+        let schema = db.schema();
+        let mut infos = Vec::new();
+        for rel in db.relationships(root.id) {
+            let association = schema
+                .association(rel.record.association)
+                .map(|a| a.name.clone())
+                .map_err(|e| ServerError::Rejected(SeedError::Schema(e)))?;
+            let mut bindings = Vec::with_capacity(rel.record.bindings.len());
+            for (role, obj) in &rel.record.bindings {
+                let object_name =
+                    db.object(*obj).map(|o| o.name.to_string()).map_err(ServerError::Rejected)?;
+                bindings.push((role.clone(), object_name));
+            }
+            infos.push(RelationshipInfo {
+                association,
+                bindings,
+                inherited: rel.inherited_from.is_some(),
+            });
+        }
+        Ok(infos)
+    }
+
+    /// The extent of a class by name (optionally including subclasses).
+    pub fn objects_of_class(
+        &self,
+        class: &str,
+        transitive: bool,
+    ) -> ServerResult<Vec<ObjectRecord>> {
+        self.db.read().objects_of_class(class, transitive).map_err(ServerError::Rejected)
+    }
+
+    /// Counts the live relationships of `association` (optionally including specializations).
+    pub fn relationship_count_in(
+        &self,
+        association: &str,
+        transitive: bool,
+    ) -> ServerResult<usize> {
+        let db = self.db.read();
+        let schema = db.schema();
+        let root = schema
+            .association_id(association)
+            .map_err(|e| ServerError::Rejected(SeedError::Schema(e)))?;
+        let mut hierarchy =
+            if transitive { schema.association_descendants(root) } else { Vec::new() };
+        hierarchy.push(root);
+        Ok(db
+            .store()
+            .all_relationships()
+            .filter(|r| r.is_visible() && hierarchy.contains(&r.association))
+            .count())
+    }
+
+    /// Runs the completeness analysis and returns the number of findings.
+    pub fn completeness_count(&self) -> usize {
+        self.db.read().completeness_report().len()
+    }
+
     /// Evaluates a retrieval-language query (`find` / `count`, or `explain` for the physical
     /// plan) on the central database.  Queries take no locks: retrieval is served directly by
     /// the server, and the planner's indexed access paths keep it cheap under load.
     pub fn query(&self, text: &str) -> ServerResult<QueryAnswer> {
-        let db = self.db.lock();
+        let db = self.db.read();
         let outcome = seed_query::run(&db, text).map_err(|e| ServerError::Query(e.to_string()))?;
         Ok(QueryAnswer {
             names: outcome.names(),
@@ -126,7 +298,8 @@ impl SeedServer {
     /// Checks out the named objects for `client`: takes write locks on them (and their dependent
     /// objects) and returns copies of the objects plus the relationships among them.
     pub fn checkout(&self, client: ClientId, names: &[&str]) -> ServerResult<CheckoutSet> {
-        let db = self.db.lock();
+        self.touch(client);
+        let db = self.db.read();
         let mut locks = self.locks.lock();
 
         // Resolve every requested root and its dependents first, so a conflict acquires nothing.
@@ -182,7 +355,8 @@ impl SeedServer {
     /// the client's locks.  If any update fails (consistency violation, lock discipline breach),
     /// nothing is applied and the locks are kept so the client can fix and retry.
     pub fn checkin(&self, client: ClientId, updates: &[Update]) -> ServerResult<()> {
-        let mut db = self.db.lock();
+        self.touch(client);
+        let mut db = self.db.write();
         let locks = self.locks.lock();
 
         // Lock discipline: every touched existing object must be checked out by this client.
@@ -223,6 +397,15 @@ impl SeedServer {
                     let parent_id = db.object_by_name(parent)?.id;
                     db.create_dependent(parent_id, class_local, value.clone())?;
                 }
+                Update::CreateDependentNamed { parent, class_local, name, value } => {
+                    let parent_id = db.object_by_name(parent)?.id;
+                    db.create_dependent_named(
+                        parent_id,
+                        class_local,
+                        NameSegment::plain(name.clone()),
+                        value.clone(),
+                    )?;
+                }
                 Update::SetValue { object, value } => {
                     let id = db.object_by_name(object)?.id;
                     db.set_value(id, value.clone())?;
@@ -238,6 +421,10 @@ impl SeedServer {
                     }
                     db.create_relationship(association, &resolved)?;
                 }
+                Update::ReclassifyRelationship { association, bindings, new_association } => {
+                    let rel = Self::resolve_relationship(db, association, bindings)?;
+                    db.reclassify_relationship(rel, new_association)?;
+                }
                 Update::DeleteObject { object } => {
                     let id = db.object_by_name(object)?.id;
                     db.delete_object(id)?;
@@ -245,6 +432,49 @@ impl SeedServer {
             }
         }
         Ok(())
+    }
+
+    /// Finds the live, own relationship with the given association whose bindings map the given
+    /// roles to the given object names (structural addressing — clients do not know server ids).
+    fn resolve_relationship(
+        db: &Database,
+        association: &str,
+        bindings: &[(String, String)],
+    ) -> Result<seed_core::RelationshipId, SeedError> {
+        let describe = || {
+            format!(
+                "relationship {association}({})",
+                bindings.iter().map(|(r, o)| format!("{r}: {o}")).collect::<Vec<_>>().join(", ")
+            )
+        };
+        let (_, anchor_name) = bindings
+            .first()
+            .ok_or_else(|| SeedError::Invalid("relationship address needs bindings".into()))?;
+        let anchor = db.object_by_name(anchor_name)?.id;
+        let assoc_id = db.schema().association_id(association)?;
+        for rel in db.relationships(anchor) {
+            if rel.inherited_from.is_some() || rel.record.association != assoc_id {
+                continue;
+            }
+            // The address must cover the whole binding set — matched from the relationship's
+            // side, so neither a subset address nor one padded with duplicate pairs can pick a
+            // relationship whose other participants (and their locks) it never named.
+            if rel.record.bindings.len() != bindings.len() {
+                continue;
+            }
+            let matches = rel.record.bindings.iter().all(|(r, o)| {
+                db.object(*o)
+                    .map(|rec| {
+                        let bound_name = rec.name.to_string();
+                        bindings.iter().any(|(role, name)| role == r && *name == bound_name)
+                    })
+                    .unwrap_or(false)
+            });
+            if matches {
+                return Ok(rel.record.id);
+            }
+        }
+        Err(SeedError::NotFound(describe()))
     }
 
     /// Releases every lock held by `client` (explicit release or after a successful check-in).
@@ -255,7 +485,46 @@ impl SeedServer {
 
     /// Creates a global version snapshot on the central database.
     pub fn create_version(&self, comment: &str) -> ServerResult<VersionId> {
-        self.db.lock().create_version(comment).map_err(ServerError::Rejected)
+        self.db.write().create_version(comment).map_err(ServerError::Rejected)
+    }
+
+    /// Dispatches one protocol request to the corresponding server operation.
+    ///
+    /// [`Request::Shutdown`] is transport-scoped (stop the server thread, close the TCP
+    /// session) and is answered with [`Response::ShuttingDown`] — the caller decides what
+    /// "shutting down" means for its transport.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Connect => Response::Connected(self.connect()),
+            Request::Checkout { client, objects } => {
+                let names: Vec<&str> = objects.iter().map(|s| s.as_str()).collect();
+                Response::Checkout(self.checkout(client, &names))
+            }
+            Request::Checkin { client, updates } => Response::Ack(self.checkin(client, &updates)),
+            Request::Release { client } => {
+                self.release(client);
+                Response::Ack(Ok(()))
+            }
+            Request::Retrieve { name } => Response::Object(self.retrieve(&name)),
+            Request::Query { text } => Response::Answer(self.query(&text)),
+            Request::CreateVersion { comment } => Response::Version(self.create_version(&comment)),
+            Request::Persistence => Response::Persistence(self.persistence_status()),
+            Request::Checkpoint => Response::Ack(self.checkpoint()),
+            Request::Schema => Response::Schema(self.schema_summary()),
+            Request::Children { name } => Response::Objects(self.children_of(&name)),
+            Request::Prefix { prefix } => Response::Objects(Ok(self.objects_with_prefix(&prefix))),
+            Request::RelationshipsOf { name } => {
+                Response::Relationships(self.relationships_of(&name))
+            }
+            Request::ObjectsOfClass { class, transitive } => {
+                Response::Objects(self.objects_of_class(&class, transitive))
+            }
+            Request::RelationshipCount { association, transitive } => {
+                Response::Count(self.relationship_count_in(&association, transitive))
+            }
+            Request::Completeness => Response::Count(Ok(self.completeness_count())),
+            Request::Shutdown => Response::ShuttingDown,
+        }
     }
 
     /// Spawns a server thread servicing requests over a channel; returns a cloneable handle.
@@ -265,34 +534,12 @@ impl SeedServer {
         let thread_server = server.clone();
         let join = std::thread::spawn(move || {
             while let Ok((request, reply)) = rx.recv() {
-                let response = match request {
-                    Request::Connect => Response::Connected(thread_server.connect()),
-                    Request::Checkout { client, objects } => {
-                        let names: Vec<&str> = objects.iter().map(|s| s.as_str()).collect();
-                        Response::Checkout(thread_server.checkout(client, &names))
-                    }
-                    Request::Checkin { client, updates } => {
-                        Response::Ack(thread_server.checkin(client, &updates))
-                    }
-                    Request::Release { client } => {
-                        thread_server.release(client);
-                        Response::Ack(Ok(()))
-                    }
-                    Request::Retrieve { name } => Response::Object(thread_server.retrieve(&name)),
-                    Request::Query { text } => Response::Answer(thread_server.query(&text)),
-                    Request::CreateVersion { comment } => {
-                        Response::Version(thread_server.create_version(&comment))
-                    }
-                    Request::Persistence => {
-                        Response::Persistence(thread_server.persistence_status())
-                    }
-                    Request::Checkpoint => Response::Ack(thread_server.checkpoint()),
-                    Request::Shutdown => {
-                        let _ = reply.send(Response::ShuttingDown);
-                        break;
-                    }
-                };
+                let shutdown = matches!(request, Request::Shutdown);
+                let response = thread_server.handle(request);
                 let _ = reply.send(response);
+                if shutdown {
+                    break;
+                }
             }
             // Hand the server back to the caller when the thread finishes.
             Arc::try_unwrap(thread_server).unwrap_or_else(|arc| {
@@ -639,6 +886,209 @@ mod tests {
         assert!(!status.durable);
         assert_eq!(status.path, None);
         assert!(server.checkpoint().is_err());
+    }
+
+    #[test]
+    fn idle_locks_are_reclaimed_and_disconnect_releases() {
+        let server = server_with_data();
+        let c1 = server.connect();
+        let sessions_before = server.session_count();
+        server.checkout(c1, &["Alarms"]).unwrap();
+        assert!(server.locked_count() > 0);
+        // Recent activity: nothing is reclaimed.
+        assert!(server.reclaim_idle(Duration::from_secs(3600)).is_empty());
+        // Zero tolerance: the client counts as vanished and its locks come back.
+        assert_eq!(server.reclaim_idle(Duration::ZERO), vec![c1]);
+        assert_eq!(server.locked_count(), 0);
+        assert_eq!(server.session_count(), sessions_before - 1);
+        // A client without checked-out data is never reclaimed, no matter how idle.
+        let c2 = server.connect();
+        assert!(server.reclaim_idle(Duration::ZERO).is_empty());
+        // The reclaimed client can come back: activity re-registers its session.
+        server.checkout(c1, &["Alarms"]).unwrap();
+        assert!(server.checkout(c2, &["Alarms"]).is_err());
+        // Disconnect (the transport's close path) releases everything at once.
+        assert!(server.disconnect(c1) > 0);
+        assert!(server.checkout(c2, &["Alarms"]).is_ok());
+    }
+
+    #[test]
+    fn structural_updates_cover_named_dependents_and_relationship_reclassification() {
+        let server = server_with_data();
+        let c1 = server.connect();
+        server.checkout(c1, &["Alarms", "Sensor"]).unwrap();
+        // Remote-style check-in: re-classify the object, then the Access relationship to Write,
+        // addressing the relationship structurally by association + named bindings.
+        server
+            .checkin(
+                c1,
+                &[
+                    Update::Reclassify { object: "Alarms".into(), new_class: "OutputData".into() },
+                    Update::ReclassifyRelationship {
+                        association: "Access".into(),
+                        bindings: vec![
+                            ("from".into(), "Alarms".into()),
+                            ("by".into(), "Sensor".into()),
+                        ],
+                        new_association: "Write".into(),
+                    },
+                ],
+            )
+            .unwrap();
+        let rels = server.relationships_of("Alarms").unwrap();
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].association, "Write");
+        assert!(rels[0].involves("Sensor"));
+        assert!(!rels[0].inherited);
+
+        // An explicit plain segment name lands byte-for-byte.
+        server.checkout(c1, &["Sensor"]).unwrap();
+        server
+            .checkin(
+                c1,
+                &[Update::CreateDependentNamed {
+                    parent: "Sensor".into(),
+                    class_local: "Description".into(),
+                    name: "Description".into(),
+                    value: Value::string("reads process data"),
+                }],
+            )
+            .unwrap();
+        assert_eq!(
+            server.retrieve("Sensor.Description").unwrap().value,
+            Value::string("reads process data")
+        );
+        // Addressing a relationship that does not exist fails cleanly.
+        server.checkout(c1, &["Alarms", "Sensor"]).unwrap();
+        let err = server
+            .checkin(
+                c1,
+                &[Update::ReclassifyRelationship {
+                    association: "Read".into(),
+                    bindings: vec![
+                        ("from".into(), "Alarms".into()),
+                        ("by".into(), "Sensor".into()),
+                    ],
+                    new_association: "Write".into(),
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Rejected(_)));
+        // A partial address (a strict subset of the bindings) is rejected, never matched
+        // against "whichever relationship comes first".
+        let err = server
+            .checkin(
+                c1,
+                &[Update::ReclassifyRelationship {
+                    association: "Write".into(),
+                    bindings: vec![("to".into(), "Alarms".into())],
+                    new_association: "Access".into(),
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Rejected(SeedError::NotFound(_))));
+        // Padding the address with duplicate pairs cannot fake full coverage either (that
+        // would let a client touch a relationship whose other participant it never locked).
+        let err = server
+            .checkin(
+                c1,
+                &[Update::ReclassifyRelationship {
+                    association: "Write".into(),
+                    bindings: vec![("to".into(), "Alarms".into()), ("to".into(), "Alarms".into())],
+                    new_association: "Access".into(),
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Rejected(SeedError::NotFound(_))));
+    }
+
+    #[test]
+    fn read_surface_serves_schema_children_and_counts() {
+        let server = server_with_data();
+        let schema = server.schema_summary();
+        assert_eq!(schema.name, "Figure3");
+        assert!(schema.class_id("Data").is_some());
+        assert!(schema.class_name(0).is_some());
+        let hierarchy = server.schema_summary().association_hierarchy("Access");
+        assert!(hierarchy.contains(&"Access".to_string()));
+        assert!(hierarchy.contains(&"Read".to_string()));
+        assert!(hierarchy.contains(&"Write".to_string()));
+        assert_eq!(schema.association("Access").unwrap().roles[0], "from");
+
+        let children = server.children_of("AlarmHandler").unwrap();
+        assert_eq!(children.len(), 1);
+        assert_eq!(children[0].name.to_string(), "AlarmHandler.Description");
+        assert!(server.children_of("Ghost").is_err());
+
+        let prefixed = server.objects_with_prefix("Alarm");
+        assert!(prefixed.len() >= 3, "Alarms, AlarmHandler, AlarmHandler.Description");
+
+        let actions = server.objects_of_class("Action", true).unwrap();
+        assert_eq!(actions.len(), 2);
+        assert!(server.objects_of_class("Nonsense", true).is_err());
+
+        assert_eq!(server.relationship_count_in("Access", true).unwrap(), 1);
+        assert!(server.relationship_count_in("Nonsense", true).is_err());
+        // The populated fixture is deliberately incomplete (e.g. undescribed data).
+        assert!(server.completeness_count() > 0);
+    }
+
+    #[test]
+    fn reads_are_never_torn_by_concurrent_checkins() {
+        // The RwLock refactor's contract: one read (one closure, one query) sees the database
+        // either before or after a whole check-in, never in between.
+        let mut db = Database::new(figure3_schema());
+        for name in ["Left", "Right"] {
+            let id = db.create_object("Action", name).unwrap();
+            db.create_dependent(id, "Description", Value::string("round 0")).unwrap();
+        }
+        let server = Arc::new(SeedServer::new(db));
+
+        let writer = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let client = server.connect();
+                for round in 1..=50u32 {
+                    server.checkout(client, &["Left", "Right"]).unwrap();
+                    server
+                        .checkin(
+                            client,
+                            &[
+                                Update::SetValue {
+                                    object: "Left.Description".into(),
+                                    value: Value::string(format!("round {round}")),
+                                },
+                                Update::SetValue {
+                                    object: "Right.Description".into(),
+                                    value: Value::string(format!("round {round}")),
+                                },
+                            ],
+                        )
+                        .unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let (left, right) = server.with_database(|db| {
+                            (
+                                db.object_by_name("Left.Description").unwrap().value.clone(),
+                                db.object_by_name("Right.Description").unwrap().value.clone(),
+                            )
+                        });
+                        assert_eq!(left, right, "a read observed half a check-in");
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(server.retrieve("Left.Description").unwrap().value, Value::string("round 50"));
     }
 
     #[test]

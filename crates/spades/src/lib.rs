@@ -20,11 +20,16 @@
 //!
 //!    The benchmark `spades_overhead` drives both with the same [`workload`] and reports the
 //!    slowdown factor.
+//!
+//! Since the network layer exists, the tool also runs in the paper's *deployed* two-level
+//! shape: [`RemoteBackend`] is the same tool API over a `seed-net` [`seed_net::RemoteClient`],
+//! talking checkout / check-in to a central server over TCP (see `examples/net_demo.rs`).
 
 pub mod backend;
 pub mod direct_backend;
 pub mod error;
 pub mod model;
+pub mod remote_backend;
 pub mod report;
 pub mod seed_backend;
 pub mod workload;
@@ -33,6 +38,7 @@ pub use backend::SpecBackend;
 pub use direct_backend::DirectBackend;
 pub use error::{SpadesError, SpadesResult};
 pub use model::{ElementInfo, ElementKind, FlowKind};
+pub use remote_backend::RemoteBackend;
 pub use report::specification_report;
 pub use seed_backend::SeedBackend;
 pub use workload::{SpecOp, Workload, WorkloadConfig};

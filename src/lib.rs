@@ -10,6 +10,8 @@
 //! * [`query`] — the `find …` retrieval language, entity-relationship algebra and the
 //!   cost-aware planner with indexed access paths and `explain` (contract: `docs/QUERY.md`);
 //! * [`server`] — the two-level multi-user extension (check-out/check-in, write locks);
+//! * [`net`] — the network frontend: versioned binary wire protocol, concurrent TCP server,
+//!   blocking remote client (contract: `docs/ARCHITECTURE.md` §2.7);
 //! * [`spades`] — the miniature SPADES specification tool, SEED's example application.
 //!
 //! # Example
@@ -36,6 +38,7 @@
 //! ```
 
 pub use seed_core as core;
+pub use seed_net as net;
 pub use seed_query as query;
 pub use seed_schema as schema;
 pub use seed_server as server;
