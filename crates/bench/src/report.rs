@@ -18,7 +18,7 @@ use crate::scenarios;
 
 /// Machine-readable result of one experiment: its stable id and named numeric metrics.
 pub struct ExperimentMetrics {
-    /// Stable experiment id (`E1` … `E11`).
+    /// Stable experiment id (`E1` … `E12`).
     pub id: &'static str,
     /// Named metrics, in presentation order.  Times are microseconds unless the name says
     /// otherwise; `*_x` values are ratios.
@@ -44,6 +44,16 @@ fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
 
 fn row(id: &str, what: &str, measurement: String) {
     println!("{id:<4} {what:<58} {measurement}");
+}
+
+/// The `p`-quantile of a latency sample, in microseconds (sorts in place).
+fn percentile(latencies: &mut [Duration], p: f64) -> f64 {
+    latencies.sort();
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let idx = ((latencies.len() as f64 * p) as usize).min(latencies.len() - 1);
+    latencies[idx].as_secs_f64() * 1e6
 }
 
 /// E1 — SPADES on SEED vs. the direct pre-SEED implementation.
@@ -477,15 +487,6 @@ pub fn e11_net_throughput(
         (ops_per_s, latencies)
     }
 
-    fn percentile(latencies: &mut [Duration], p: f64) -> f64 {
-        latencies.sort();
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies.len() as f64 * p) as usize).min(latencies.len() - 1);
-        latencies[idx].as_secs_f64() * 1e6
-    }
-
     let db = scenarios::populated_database(objects);
     let net = SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").expect("bind loopback");
     let addr = net.local_addr();
@@ -518,6 +519,151 @@ pub fn e11_net_throughput(
             ("single_p50_us", single_p50),
             ("p50_us", p50),
             ("p99_us", p99),
+        ],
+    )
+}
+
+/// E12 — WAL-shipping replication: aggregate read throughput of 1 primary + N read replicas
+/// vs. the primary alone, plus replication lag, over loopback.
+///
+/// The acceptance bar of the replication subsystem: with 2 replicas on a multi-core host,
+/// aggregate read ops/s through the read-preferred client (reads fanned across the replicas)
+/// must rise **above** the same clients hammering the primary alone — each replica serves reads
+/// from its own database behind its own read–write lock, so the topology adds capacity instead
+/// of queueing on one node.  Replication lag is measured per check-in: the time from a
+/// committed write on the primary until **every** replica has durably applied it.
+pub fn e12_replicated_read_throughput(
+    objects: usize,
+    clients: usize,
+    ops_per_client: usize,
+    burst: usize,
+) -> ExperimentMetrics {
+    use seed_net::{RemoteClient, ReplicaNode, SeedNetServer};
+
+    const REPLICAS: usize = 2;
+
+    /// `clients` threads, each doing `ops` name retrievals; `replicas` empty = primary only.
+    fn run_read_clients(
+        primary: std::net::SocketAddr,
+        replicas: &[std::net::SocketAddr],
+        clients: usize,
+        ops: usize,
+        objects: usize,
+    ) -> f64 {
+        let replicas = replicas.to_vec();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients + 1));
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = barrier.clone();
+                let replicas = replicas.clone();
+                std::thread::spawn(move || {
+                    let mut client =
+                        RemoteClient::connect_read_preferred(primary, &replicas).expect("connect");
+                    barrier.wait();
+                    for i in 0..ops {
+                        let name = format!("Data{:05}", (c * 7919 + i) % objects);
+                        client.retrieve(&name).expect("retrieve");
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for worker in workers {
+            worker.join().expect("client thread");
+        }
+        (clients * ops) as f64 / start.elapsed().as_secs_f64().max(f64::EPSILON)
+    }
+
+    let base = std::env::temp_dir().join(format!("seed-bench-e12-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // A durable primary (replication ships its WAL), populated in one bulk transaction.
+    let mut db = Database::create_durable(base.join("primary"), figure3_schema()).unwrap();
+    db.begin_transaction().unwrap();
+    let mut actions = Vec::new();
+    for i in 0..(objects / 2).max(1) {
+        actions.push(db.create_object("Action", &format!("Action{i:05}")).unwrap());
+    }
+    for i in 0..objects {
+        let data = db.create_object("Data", &format!("Data{i:05}")).unwrap();
+        db.create_relationship("Access", &[("from", data), ("by", actions[i % actions.len()])])
+            .unwrap();
+    }
+    db.commit_transaction().unwrap();
+    let net = SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").expect("bind primary");
+    let addr = net.local_addr();
+    let core = net.core();
+    let primary_lsn = || core.with_database(|db| db.durable_lsn().unwrap_or(0));
+
+    let replicas: Vec<ReplicaNode> = (0..REPLICAS)
+        .map(|i| {
+            ReplicaNode::start(base.join(format!("replica{i}")), addr, "127.0.0.1:0")
+                .expect("start replica")
+        })
+        .collect();
+    let target = primary_lsn();
+    for replica in &replicas {
+        assert!(replica.wait_for_lsn(target, Duration::from_secs(60)), "initial sync timed out");
+    }
+    let replica_addrs: Vec<_> = replicas.iter().map(|r| r.local_addr()).collect();
+
+    // Read throughput: the same client fleet against the primary alone, then fanned out.
+    let primary_ops_per_s = run_read_clients(addr, &[], clients, ops_per_client, objects);
+    let replicated_ops_per_s =
+        run_read_clients(addr, &replica_addrs, clients, ops_per_client, objects);
+    let scaling = replicated_ops_per_s / primary_ops_per_s.max(f64::EPSILON);
+
+    // Replication lag: commit on the primary, stopwatch until every replica applied it.
+    let mut writer = RemoteClient::connect(addr).expect("writer");
+    let mut lags = Vec::with_capacity(burst);
+    for k in 0..burst {
+        writer
+            .checkin(vec![Update::CreateObject {
+                class: "Data".into(),
+                name: format!("LagProbe{k:04}"),
+            }])
+            .expect("checkin");
+        let target = primary_lsn();
+        let start = Instant::now();
+        for replica in &replicas {
+            assert!(replica.wait_for_lsn(target, Duration::from_secs(60)), "lag probe timed out");
+        }
+        lags.push(start.elapsed());
+    }
+    let lag_p50 = percentile(&mut lags, 0.50);
+    let lag_p99 = percentile(&mut lags, 0.99);
+
+    for replica in replicas {
+        replica.shutdown();
+    }
+    net.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    row(
+        "E12",
+        &format!(
+            "replication: {clients} clients x {ops_per_client} reads, 1 primary + {REPLICAS} replicas, {objects} objects"
+        ),
+        format!(
+            "primary alone {primary_ops_per_s:.0} op/s; + replicas {replicated_ops_per_s:.0} op/s ({scaling:.1}x on {cores} cores); lag p50 {:.1} ms, p99 {:.1} ms over {burst} check-ins",
+            lag_p50 / 1e3,
+            lag_p99 / 1e3
+        ),
+    );
+    ExperimentMetrics::new(
+        "E12",
+        &[
+            ("replicas", REPLICAS as f64),
+            ("clients", clients as f64),
+            ("ops_per_client", ops_per_client as f64),
+            ("cores", cores as f64),
+            ("primary_ops_per_s", primary_ops_per_s),
+            ("replicated_ops_per_s", replicated_ops_per_s),
+            ("scaling_x", scaling),
+            ("lag_p50_us", lag_p50),
+            ("lag_p99_us", lag_p99),
         ],
     )
 }
@@ -572,6 +718,7 @@ pub fn run_report_mode(smoke: bool) {
         results.push(e9_indexed_retrieval(&[200, 1_000]));
         results.push(e10_durable_throughput(1_000, 50));
         results.push(e11_net_throughput(200, 4, 250));
+        results.push(e12_replicated_read_throughput(200, 4, 200, 10));
     } else {
         results.push(e1_spades_overhead(120));
         results.push(e2_consistency_overhead(120));
@@ -584,6 +731,7 @@ pub fn run_report_mode(smoke: bool) {
         results.push(e9_indexed_retrieval(&[1_000, 10_000]));
         results.push(e10_durable_throughput(10_000, 100));
         results.push(e11_net_throughput(1_000, 8, 2_000));
+        results.push(e12_replicated_read_throughput(1_000, 8, 1_000, 30));
     }
     println!("{}", "-".repeat(110));
     let json = render_bench_json(&results, smoke);
@@ -616,6 +764,7 @@ mod tests {
         e9_indexed_retrieval(&[20]);
         e10_durable_throughput(50, 5);
         e11_net_throughput(20, 2, 10);
+        e12_replicated_read_throughput(20, 2, 10, 2);
     }
 
     #[test]
@@ -661,6 +810,28 @@ mod tests {
         assert!(
             scaling > 1.0,
             "4 concurrent clients must beat the single-client baseline, got {scaling}x on {cores} cores"
+        );
+    }
+
+    /// The acceptance criterion of the replication subsystem: with 2 read replicas, the same
+    /// client fleet must push more aggregate reads per second through the read-preferred fanout
+    /// than against the primary alone (each replica answers from its own database behind its
+    /// own lock, so the topology adds serving capacity).  Scheduling-sensitive, so asserted
+    /// only on optimized builds and only where parallelism exists (CI's replication job runs it
+    /// with `--release`; a 1-core host is CPU-bound across all three processes' threads).
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scaling bar is only meaningful in release builds")]
+    fn e12_read_replicas_scale_read_throughput() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores < 2 {
+            eprintln!("skipping the replication scaling bar: only {cores} core(s) available");
+            return;
+        }
+        let result = e12_replicated_read_throughput(500, 4, 1_500, 5);
+        let scaling = result.get("scaling_x").expect("metric present");
+        assert!(
+            scaling > 1.0,
+            "2 read replicas must beat the primary-alone baseline, got {scaling}x on {cores} cores"
         );
     }
 

@@ -170,6 +170,37 @@ impl Database {
         })
     }
 
+    // ----- replication feed (the primary side of WAL shipping) --------------------------------
+
+    /// The absolute, checkpoint-stable LSN of the last committed storage record — what a fully
+    /// caught-up replica has applied.  `None` for in-memory databases (nothing to replicate).
+    pub fn durable_lsn(&self) -> Option<seed_storage::Lsn> {
+        self.durability.as_ref().map(|d| d.engine.durable_lsn())
+    }
+
+    /// The storage WAL tail from LSN `from` (inclusive): the committed records a replica at
+    /// position `from - 1` still needs, or [`seed_storage::WalTail::Truncated`] when a
+    /// checkpoint already truncated them away (the replica must then resync from
+    /// [`Database::replication_snapshot`]).  Errors for in-memory databases.
+    pub fn wal_tail(&self, from: seed_storage::Lsn) -> SeedResult<seed_storage::WalTail> {
+        let dur = self.durability.as_ref().ok_or_else(|| {
+            SeedError::Invalid("in-memory database has no WAL to replicate from".to_string())
+        })?;
+        Ok(dur.engine.wal_tail(from)?)
+    }
+
+    /// Every committed per-item `(key, value)` record plus the LSN the snapshot corresponds to
+    /// — the full-resync payload for a replica whose cursor fell behind a checkpoint.  Errors
+    /// for in-memory databases.
+    pub fn replication_snapshot(
+        &self,
+    ) -> SeedResult<(seed_storage::engine::KeySpaceDump, seed_storage::Lsn)> {
+        let dur = self.durability.as_ref().ok_or_else(|| {
+            SeedError::Invalid("in-memory database has no state to replicate".to_string())
+        })?;
+        Ok(dur.engine.snapshot_with_lsn()?)
+    }
+
     /// Checkpoints the durable storage (flush pages, persist the catalog, truncate the WAL).
     /// The engine also checkpoints automatically once its WAL outgrows the configured
     /// threshold; this call is for explicit quiesce points (e.g. before a backup).

@@ -63,6 +63,7 @@ pub mod pattern;
 pub mod persist;
 pub mod procedures;
 pub mod relationship;
+pub mod replica;
 pub mod store;
 pub mod undo;
 pub mod value;
@@ -81,6 +82,7 @@ pub use object::ObjectRecord;
 pub use pattern::{MaterializedChild, MaterializedRelationship, VariantFamily};
 pub use procedures::{ProcedureContext, ProcedureRegistry};
 pub use relationship::RelationshipRecord;
+pub use replica::ReplicaStore;
 pub use store::DataStore;
 pub use value::Value;
 pub use version::{ItemSnapshot, VersionInfo, VersionManager};

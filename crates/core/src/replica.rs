@@ -1,0 +1,327 @@
+//! The replica side of WAL-shipping replication: a durable store rebuilt from a primary's
+//! shipped log records.
+//!
+//! A [`ReplicaStore`] owns its **own** storage engine (its own pages, WAL and checkpoints) and
+//! applies batches of the primary's [`LogRecord`]s through the same machinery PR 3's restart
+//! recovery uses: [`replay_committed`] reduces a batch to committed key effects, the effects
+//! commit as **one** local storage transaction together with the new cursor position, and
+//! [`ReplicaStore::load`] rebuilds a serving [`Database`] with the keyed range scans and index
+//! rebuild of [`crate::durability`].  Because the applied-LSN cursor rides in the same
+//! transaction as the effects it covers, a crash mid-batch loses the whole batch or nothing:
+//! on reopen the replica resumes from its last durable LSN and re-requests exactly the records
+//! it lost.
+//!
+//! Two batch shapes exist (see `docs/PROTOCOL.md` for the wire contract):
+//!
+//! * **incremental** — the primary's WAL tail since the replica's cursor; applied on top of the
+//!   current keys;
+//! * **reset** — a full keyed snapshot (shipped when the replica's cursor fell behind a primary
+//!   checkpoint, or when the replica is empty and the primary's WAL no longer reaches back to
+//!   LSN 1); the store's keys are cleared and rebuilt in the same transaction.
+//!
+//! The store never mutates through [`Database`] paths — replicas are read-only by construction;
+//! the serving database they load is plain in-memory state that the next applied batch
+//! replaces.
+
+use std::path::Path;
+
+use seed_storage::wal::replay_committed;
+use seed_storage::{LogRecord, Lsn, StorageEngine};
+
+use crate::codec;
+use crate::database::Database;
+use crate::durability;
+use crate::error::{SeedError, SeedResult};
+
+/// Key holding the replica's durable cursor: the last primary LSN whose effects are committed
+/// locally.  Outside every per-item prefix (`o/`, `r/`, `s/`, `vi/`, `v/`, `d/`, `meta`), so
+/// the keyed loader never sees it.
+const KEY_APPLIED: &[u8] = b"repl/applied";
+
+/// A replica's durable store: the local mirror of a primary's per-item key space plus the
+/// cursor of how far into the primary's WAL that mirror reaches.
+pub struct ReplicaStore {
+    engine: StorageEngine,
+    applied: Lsn,
+}
+
+impl ReplicaStore {
+    /// Opens (or creates) a replica store in `dir`, running the engine's normal restart
+    /// recovery.  A fresh directory starts at cursor 0 — the first subscription asks the
+    /// primary for everything.
+    pub fn open(dir: impl AsRef<Path>) -> SeedResult<Self> {
+        let engine = StorageEngine::open(dir)?;
+        let applied = engine
+            .get(KEY_APPLIED)?
+            .and_then(|bytes| bytes.try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0);
+        Ok(Self { engine, applied })
+    }
+
+    /// The last primary LSN whose effects are durable locally (0 = nothing applied yet).
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied
+    }
+
+    /// Whether at least one batch carrying the primary's `meta` record has been applied — i.e.
+    /// whether [`ReplicaStore::load`] can produce a database.
+    pub fn is_initialized(&self) -> SeedResult<bool> {
+        Ok(self.engine.contains(codec::KEY_META)?)
+    }
+
+    /// Directory of the store.
+    pub fn path(&self) -> Option<&Path> {
+        self.engine.path()
+    }
+
+    /// Bytes currently in the replica's own WAL (bounded by the engine's auto-checkpoint).
+    pub fn wal_bytes(&self) -> u64 {
+        self.engine.wal_size_bytes().unwrap_or(0)
+    }
+
+    /// Applies one shipped batch as **one** local storage transaction: the committed key
+    /// effects of `records` (uncommitted transactions are discarded, exactly as restart
+    /// recovery would) plus the new cursor `up_to`.  With `reset`, every existing key is
+    /// deleted first — the snapshot-resync path — in the same transaction, so a crash
+    /// mid-resync leaves the old state intact.
+    pub fn apply(&mut self, records: &[LogRecord], up_to: Lsn, reset: bool) -> SeedResult<()> {
+        let numbered: Vec<(Lsn, LogRecord)> =
+            records.iter().cloned().enumerate().map(|(i, r)| (i as Lsn + 1, r)).collect();
+        let effects = replay_committed(&numbered);
+        let txn = self.engine.begin()?;
+        if reset {
+            for (key, _) in self.engine.scan_prefix(b"")? {
+                self.engine.txn_delete(txn, &key)?;
+            }
+        }
+        for (key, value) in &effects {
+            match value {
+                Some(v) => self.engine.txn_put(txn, key, v)?,
+                None => self.engine.txn_delete(txn, key)?,
+            }
+        }
+        self.engine.txn_put(txn, KEY_APPLIED, &up_to.to_le_bytes())?;
+        self.engine.commit(txn)?;
+        self.applied = up_to;
+        Ok(())
+    }
+
+    /// Rebuilds a serving [`Database`] from the store — the PR 3 recovery path: one keyed range
+    /// scan per record kind, then an in-memory index rebuild.  The returned database is plain
+    /// in-memory state (replicas never write through it); call again after applying a batch.
+    pub fn load(&self) -> SeedResult<Database> {
+        if !self.is_initialized()? {
+            return Err(SeedError::NotFound(
+                "replica store holds no database yet (no batch applied)".to_string(),
+            ));
+        }
+        durability::load_keyed(&self.engine)
+    }
+
+    /// Checkpoints the replica's own engine (flush pages, truncate its local WAL).  The engine
+    /// also does this automatically past its WAL threshold; replication correctness does not
+    /// depend on it — the cursor lives in the keyed state, not the local WAL.
+    pub fn checkpoint(&self) -> SeedResult<()> {
+        Ok(self.engine.checkpoint()?)
+    }
+}
+
+impl std::fmt::Debug for ReplicaStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaStore")
+            .field("path", &self.engine.path())
+            .field("applied", &self.applied)
+            .finish()
+    }
+}
+
+/// Builds the reset-batch record list from a primary snapshot: one synthetic committed
+/// transaction (`Begin`, one `Put` per key, `Commit`) that rebuilds the whole key space.  Kept
+/// next to [`ReplicaStore::apply`] so the two sides of the snapshot contract stay in one file.
+pub fn snapshot_records(pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Vec<LogRecord> {
+    let mut records = Vec::with_capacity(pairs.len() + 2);
+    records.push(LogRecord::Begin { txn: 0 });
+    for (key, value) in pairs {
+        records.push(LogRecord::Put { txn: 0, key, value });
+    }
+    records.push(LogRecord::Commit { txn: 0 });
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durability::test_support::{assert_same_state, temp_dir};
+    use crate::value::Value;
+    use seed_schema::figure3_schema;
+    use seed_storage::WalTail;
+
+    fn tail_records(db: &Database, from: Lsn) -> (Vec<LogRecord>, Lsn) {
+        match db.wal_tail(from).unwrap() {
+            WalTail::Records(recs) => {
+                let up_to = recs.last().map(|(l, _)| *l).unwrap_or(from - 1);
+                (recs.into_iter().map(|(_, r)| r).collect(), up_to)
+            }
+            WalTail::Truncated { .. } => panic!("tail unexpectedly truncated"),
+        }
+    }
+
+    #[test]
+    fn incremental_shipping_converges_to_the_primary_state() {
+        let primary_dir = temp_dir("repl-primary");
+        let replica_dir = temp_dir("repl-replica");
+        let mut primary = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+        let alarms = primary.create_object("Data", "Alarms").unwrap();
+        let sensor = primary.create_object("Action", "Sensor").unwrap();
+        primary.create_relationship("Access", &[("from", alarms), ("by", sensor)]).unwrap();
+
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        assert_eq!(replica.applied_lsn(), 0);
+        assert!(!replica.is_initialized().unwrap());
+        assert!(replica.load().is_err(), "no batch applied yet");
+
+        // First batch: the whole WAL from LSN 1 (the primary never checkpointed).
+        let (records, up_to) = tail_records(&primary, 1);
+        replica.apply(&records, up_to, false).unwrap();
+        assert_eq!(replica.applied_lsn(), up_to);
+        assert_same_state(&replica.load().unwrap(), &primary, true);
+
+        // Incremental batch on top: only the new records ship.
+        let desc = primary.create_dependent(sensor, "Description", Value::string("v1")).unwrap();
+        primary.set_value(desc, Value::string("v2")).unwrap();
+        let (records, new_up_to) = tail_records(&primary, up_to + 1);
+        assert!(!records.is_empty());
+        replica.apply(&records, new_up_to, false).unwrap();
+        assert_same_state(&replica.load().unwrap(), &primary, true);
+
+        // Cursor is durable: reopening the store resumes where it left off.
+        drop(replica);
+        let replica = ReplicaStore::open(&replica_dir).unwrap();
+        assert_eq!(replica.applied_lsn(), new_up_to);
+        assert_same_state(&replica.load().unwrap(), &primary, true);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    #[test]
+    fn checkpoint_truncation_forces_a_snapshot_resync_that_converges() {
+        let primary_dir = temp_dir("repl-ckpt-primary");
+        let replica_dir = temp_dir("repl-ckpt-replica");
+        let mut primary = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+        primary.create_object("Data", "Before").unwrap();
+        // The checkpoint truncates the WAL: LSN 1 is gone, an empty replica cannot catch up
+        // incrementally.
+        primary.checkpoint().unwrap();
+        primary.create_object("Data", "After").unwrap();
+
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        match primary.wal_tail(replica.applied_lsn() + 1).unwrap() {
+            WalTail::Truncated { oldest } => assert!(oldest > 1),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // Resync from the snapshot, as the primary's session loop would.
+        let (pairs, lsn) = primary.replication_snapshot().unwrap();
+        replica.apply(&snapshot_records(pairs), lsn, true).unwrap();
+        assert_eq!(replica.applied_lsn(), lsn);
+        assert_same_state(&replica.load().unwrap(), &primary, true);
+
+        // And incremental shipping continues cleanly after the reset.
+        primary.create_object("Action", "Later").unwrap();
+        let (records, up_to) = tail_records(&primary, lsn + 1);
+        replica.apply(&records, up_to, false).unwrap();
+        assert_same_state(&replica.load().unwrap(), &primary, true);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    #[test]
+    fn reset_clears_stale_keys_the_snapshot_no_longer_contains() {
+        let primary_dir = temp_dir("repl-reset-primary");
+        let replica_dir = temp_dir("repl-reset-replica");
+        let mut primary = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+        let doomed = primary.create_object("Data", "Doomed").unwrap();
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        let (records, up_to) = tail_records(&primary, 1);
+        replica.apply(&records, up_to, false).unwrap();
+        assert!(replica.load().unwrap().object_by_name("Doomed").is_ok());
+
+        // The primary physically removes the object's key space... (delete marks it deleted;
+        // exercise the reset path with a checkpoint + fresh snapshot instead).
+        primary.delete_object(doomed).unwrap();
+        primary.checkpoint().unwrap();
+        let (pairs, lsn) = primary.replication_snapshot().unwrap();
+        replica.apply(&snapshot_records(pairs), lsn, true).unwrap();
+        assert_same_state(&replica.load().unwrap(), &primary, true);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    /// The satellite crash test: a replica killed mid-`LogBatch` apply loses the whole batch
+    /// (its local transaction never committed), reopens at its last durable LSN, re-requests
+    /// the lost records and converges to the primary's keyed-scan state.
+    #[test]
+    fn crash_mid_batch_resumes_from_last_durable_lsn_and_converges() {
+        let primary_dir = temp_dir("repl-crash-primary");
+        let replica_dir = temp_dir("repl-crash-replica");
+        let mut primary = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+        primary.create_object("Data", "Stable").unwrap();
+
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        let (records, batch1_lsn) = tail_records(&primary, 1);
+        replica.apply(&records, batch1_lsn, false).unwrap();
+        drop(replica);
+
+        // Batch 2 exists on the primary...
+        primary.create_object("Data", "InFlight").unwrap();
+        let (batch2, batch2_lsn) = tail_records(&primary, batch1_lsn + 1);
+
+        // ...and the replica crashes mid-apply: its local group-commit write is torn.  Simulate
+        // by applying the batch and then tearing the tail of the replica's own WAL — the
+        // batch's single commit frame never became fully durable.
+        {
+            let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+            replica.apply(&batch2, batch2_lsn, false).unwrap();
+        }
+        let wal_path = replica_dir.join("wal.log");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+
+        // Reopen: the torn batch is gone in full, the cursor is back at batch 1.
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        assert_eq!(
+            replica.applied_lsn(),
+            batch1_lsn,
+            "the torn batch must roll back atomically, cursor included"
+        );
+        assert!(replica.load().unwrap().object_by_name("InFlight").is_err());
+
+        // Re-request from the durable cursor and converge.
+        let (records, up_to) = tail_records(&primary, replica.applied_lsn() + 1);
+        replica.apply(&records, up_to, false).unwrap();
+        assert_eq!(up_to, batch2_lsn);
+        assert_same_state(&replica.load().unwrap(), &primary, true);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    #[test]
+    fn versions_and_schema_ship_like_any_other_record() {
+        let primary_dir = temp_dir("repl-versions-primary");
+        let replica_dir = temp_dir("repl-versions-replica");
+        let mut primary = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+        let handler = primary.create_object("Action", "AlarmHandler").unwrap();
+        let desc = primary.create_dependent(handler, "Description", Value::string("v1")).unwrap();
+        let v1 = primary.create_version("first").unwrap();
+        primary.set_value(desc, Value::string("v2")).unwrap();
+
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        let (records, up_to) = tail_records(&primary, 1);
+        replica.apply(&records, up_to, false).unwrap();
+        let mut loaded = replica.load().unwrap();
+        assert_eq!(loaded.versions().len(), 1);
+        loaded.select_version(Some(v1)).unwrap();
+        assert_eq!(loaded.object(desc).unwrap().value, Value::string("v1"));
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+}

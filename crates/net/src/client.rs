@@ -266,4 +266,159 @@ impl RemoteClient {
             _ => Err(ServerError::Disconnected),
         }
     }
+
+    /// Connects a topology-aware client: writes go to the `primary`, reads fan out across the
+    /// `replicas` round-robin (falling back to the primary when a replica connection fails
+    /// mid-call, or when `replicas` is empty).  This is how an application points itself at a
+    /// replicated deployment — see `docs/OPERATIONS.md`.
+    pub fn connect_read_preferred(
+        primary: impl ToSocketAddrs,
+        replicas: &[impl ToSocketAddrs],
+    ) -> ServerResult<ReadPreferredClient> {
+        let primary = RemoteClient::connect_as(primary, "seed-net read-preferred (primary)")?;
+        let mut replica_clients = Vec::with_capacity(replicas.len());
+        for replica in replicas {
+            replica_clients
+                .push(RemoteClient::connect_as(replica, "seed-net read-preferred (replica)")?);
+        }
+        Ok(ReadPreferredClient { primary, replicas: replica_clients, cursor: 0 })
+    }
+}
+
+/// A client over a replicated deployment: one write connection to the primary, one read
+/// connection per replica.  Every read round-robins across the replicas (a replica answers the
+/// full read surface with the same bytes as the primary once caught up); every write — and any
+/// read whose replica connection died mid-call — goes to the primary.
+pub struct ReadPreferredClient {
+    primary: RemoteClient,
+    replicas: Vec<RemoteClient>,
+    cursor: usize,
+}
+
+impl ReadPreferredClient {
+    /// The write-side (primary) client, for the full checkout / check-in surface.
+    pub fn primary(&mut self) -> &mut RemoteClient {
+        &mut self.primary
+    }
+
+    /// Number of replica connections reads fan out across.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Runs one read against the next replica in the rotation, falling back to the primary on
+    /// transport failure (a dead replica must degrade the topology, not the application).
+    fn read<R>(
+        &mut self,
+        mut op: impl FnMut(&mut RemoteClient) -> ServerResult<R>,
+    ) -> ServerResult<R> {
+        if self.replicas.is_empty() {
+            return op(&mut self.primary);
+        }
+        let pick = self.cursor % self.replicas.len();
+        self.cursor = self.cursor.wrapping_add(1);
+        match op(&mut self.replicas[pick]) {
+            Err(ServerError::Transport(_)) => op(&mut self.primary),
+            outcome => outcome,
+        }
+    }
+
+    /// Retrieves one object by name, from a replica.
+    pub fn retrieve(&mut self, name: &str) -> ServerResult<ObjectRecord> {
+        self.read(|c| c.retrieve(name))
+    }
+
+    /// Evaluates a retrieval-language query (or an `explain`), on a replica.
+    pub fn query(&mut self, text: &str) -> ServerResult<QueryAnswer> {
+        self.read(|c| c.query(text))
+    }
+
+    /// A structural summary of the schema, from a replica.
+    pub fn schema(&mut self) -> ServerResult<SchemaSummary> {
+        self.read(|c| c.schema())
+    }
+
+    /// The (materialized) children of an object, from a replica.
+    pub fn children(&mut self, name: &str) -> ServerResult<Vec<ObjectRecord>> {
+        self.read(|c| c.children(name))
+    }
+
+    /// All objects whose hierarchical name starts with `prefix`, from a replica.
+    pub fn objects_with_prefix(&mut self, prefix: &str) -> ServerResult<Vec<ObjectRecord>> {
+        self.read(|c| c.objects_with_prefix(prefix))
+    }
+
+    /// The relationships an object participates in, from a replica.
+    pub fn relationships_of(&mut self, name: &str) -> ServerResult<Vec<RelationshipInfo>> {
+        self.read(|c| c.relationships_of(name))
+    }
+
+    /// The extent of a class by name, from a replica.
+    pub fn objects_of_class(
+        &mut self,
+        class: &str,
+        transitive: bool,
+    ) -> ServerResult<Vec<ObjectRecord>> {
+        self.read(|c| c.objects_of_class(class, transitive))
+    }
+
+    /// Live relationship count of an association, from a replica.
+    pub fn relationship_count(
+        &mut self,
+        association: &str,
+        transitive: bool,
+    ) -> ServerResult<usize> {
+        self.read(|c| c.relationship_count(association, transitive))
+    }
+
+    /// Number of completeness findings, from a replica.
+    pub fn completeness_count(&mut self) -> ServerResult<usize> {
+        self.read(|c| c.completeness_count())
+    }
+
+    /// The **primary's** durability and replication status (authoritative for the deployment).
+    pub fn persistence(&mut self) -> ServerResult<PersistenceStatus> {
+        self.primary.persistence()
+    }
+
+    /// Checks out the named objects on the primary.
+    pub fn checkout(&mut self, names: &[&str]) -> ServerResult<CheckoutSet> {
+        self.primary.checkout(names)
+    }
+
+    /// Checks a batch of updates in on the primary.
+    pub fn checkin(&mut self, updates: Vec<Update>) -> ServerResult<()> {
+        self.primary.checkin(updates)
+    }
+
+    /// Releases the primary-side locks without checking anything in.
+    pub fn release(&mut self) -> ServerResult<()> {
+        self.primary.release()
+    }
+
+    /// Creates a global version snapshot on the primary.
+    pub fn create_version(&mut self, comment: &str) -> ServerResult<VersionId> {
+        self.primary.create_version(comment)
+    }
+
+    /// Convenience: sets a value through a one-shot checkout/check-in cycle on the primary.
+    pub fn quick_set_value(&mut self, object: &str, value: Value) -> ServerResult<()> {
+        self.primary.quick_set_value(object, value)
+    }
+
+    /// Closes every connection politely.  Every close is attempted even when one fails (a
+    /// replica that already died must not leave the primary session to linger until EOF
+    /// detection); the first error is reported.
+    pub fn close(self) -> ServerResult<()> {
+        let mut first_error = None;
+        for replica in self.replicas {
+            if let Err(e) = replica.close() {
+                first_error.get_or_insert(e);
+            }
+        }
+        match self.primary.close() {
+            Err(e) => Err(first_error.unwrap_or(e)),
+            Ok(()) => first_error.map_or(Ok(()), Err),
+        }
+    }
 }

@@ -23,7 +23,8 @@ use seed_core::codec::{
 use seed_core::{SeedError, VersionId};
 use seed_server::{
     AssociationSummary, CheckoutSet, ClassSummary, PersistenceStatus, QueryAnswer,
-    RelationshipInfo, Request, Response, SchemaSummary, ServerError, Update,
+    RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary,
+    ServerError, Update,
 };
 use seed_storage::{Decoder, Encoder};
 
@@ -142,7 +143,16 @@ fn decode_seed_error(d: &mut Decoder<'_>) -> WireResult<SeedError> {
     })
 }
 
-fn encode_server_error(e: &mut Encoder, err: &ServerError) {
+fn encode_server_error(e: &mut Encoder, err: &ServerError, version: u16) {
+    // Tag 8 (`ReadOnlyReplica`) exists only from v2 on; for a v1 peer the redirect degrades to
+    // a `Protocol` error whose text still names the primary (the peer can't follow a structured
+    // redirect it cannot decode, but it must not be desynchronized by an unknown tag).
+    if version < 2 {
+        if let ServerError::ReadOnlyReplica { .. } = err {
+            e.put_u8(7).put_str(&err.to_string());
+            return;
+        }
+    }
     match err {
         ServerError::Locked { object, holder } => {
             e.put_u8(0).put_str(object).put_u64(*holder);
@@ -169,6 +179,9 @@ fn encode_server_error(e: &mut Encoder, err: &ServerError) {
         ServerError::Protocol(s) => {
             e.put_u8(7).put_str(s);
         }
+        ServerError::ReadOnlyReplica { primary } => {
+            e.put_u8(8).put_str(primary);
+        }
     }
 }
 
@@ -182,6 +195,7 @@ fn decode_server_error(d: &mut Decoder<'_>) -> WireResult<ServerError> {
         5 => ServerError::Disconnected,
         6 => ServerError::Transport(d.get_str()?.to_string()),
         7 => ServerError::Protocol(d.get_str()?.to_string()),
+        8 => ServerError::ReadOnlyReplica { primary: d.get_str()?.to_string() },
         other => return Err(bad_tag("server error", other)),
     })
 }
@@ -189,6 +203,7 @@ fn decode_server_error(d: &mut Decoder<'_>) -> WireResult<ServerError> {
 fn put_result<T>(
     e: &mut Encoder,
     r: &Result<T, ServerError>,
+    version: u16,
     mut put_ok: impl FnMut(&mut Encoder, &T),
 ) {
     match r {
@@ -198,7 +213,7 @@ fn put_result<T>(
         }
         Err(err) => {
             e.put_bool(false);
-            encode_server_error(e, err);
+            encode_server_error(e, err, version);
         }
     }
 }
@@ -337,13 +352,34 @@ fn decode_query_answer(d: &mut Decoder<'_>) -> WireResult<QueryAnswer> {
     Ok(QueryAnswer { names, count, plan })
 }
 
-fn encode_persistence_status(e: &mut Encoder, s: &PersistenceStatus) {
+fn encode_persistence_status(e: &mut Encoder, s: &PersistenceStatus, version: u16) {
     e.put_bool(s.durable);
     put_opt_str(e, s.path.as_deref());
     e.put_u64(s.wal_bytes);
     e.put_varint(s.objects as u64);
     e.put_varint(s.relationships as u64);
     e.put_varint(s.versions as u64);
+    if version < 2 {
+        // The replication block was added in v2; a v1 peer's decoder reads exactly the six
+        // fields above and rejects trailing bytes.
+        return;
+    }
+    match &s.replication {
+        Some(r) => {
+            e.put_bool(true)
+                .put_u8(match r.role {
+                    ReplicationRole::Primary => 0,
+                    ReplicationRole::Replica => 1,
+                })
+                .put_u64(r.applied_lsn)
+                .put_u64(r.primary_lsn)
+                .put_u32(r.subscribers)
+                .put_u64(r.min_acked_lsn);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
 }
 
 fn decode_persistence_status(d: &mut Decoder<'_>) -> WireResult<PersistenceStatus> {
@@ -354,6 +390,23 @@ fn decode_persistence_status(d: &mut Decoder<'_>) -> WireResult<PersistenceStatu
         objects: d.get_varint()? as usize,
         relationships: d.get_varint()? as usize,
         versions: d.get_varint()? as usize,
+        // The replication block is absent on v1 sessions (and the status is the payload's last
+        // field), so exhaustion here means "no block", not truncation.
+        replication: if d.is_exhausted() || !d.get_bool()? {
+            None
+        } else {
+            Some(ReplicationStatus {
+                role: match d.get_u8()? {
+                    0 => ReplicationRole::Primary,
+                    1 => ReplicationRole::Replica,
+                    other => return Err(bad_tag("replication role", other)),
+                },
+                applied_lsn: d.get_u64()?,
+                primary_lsn: d.get_u64()?,
+                subscribers: d.get_u32()?,
+                min_acked_lsn: d.get_u64()?,
+            })
+        },
     })
 }
 
@@ -560,8 +613,16 @@ fn decode_records(d: &mut Decoder<'_>) -> WireResult<Vec<seed_core::ObjectRecord
     Ok(records)
 }
 
-/// Encodes one response into a frame payload.
+/// Encodes one response into a frame payload, at the newest protocol version.
 pub fn encode_response(response: &Response) -> Vec<u8> {
+    encode_response_versioned(response, crate::wire::PROTOCOL_VERSION)
+}
+
+/// Encodes one response for a session that negotiated `version`.  v1 sessions never see the
+/// v2 additions: the replication block of the persistence status is omitted and the
+/// `ReadOnlyReplica` error degrades to a `Protocol` error — a v1 frame stays byte-identical to
+/// what a v1 build would have produced (`docs/PROTOCOL.md` §5).
+pub fn encode_response_versioned(response: &Response, version: u16) -> Vec<u8> {
     let mut e = Encoder::new();
     match response {
         Response::Connected(id) => {
@@ -569,29 +630,29 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         }
         Response::Checkout(result) => {
             e.put_u8(1);
-            put_result(&mut e, result, encode_checkout_set);
+            put_result(&mut e, result, version, encode_checkout_set);
         }
         Response::Ack(result) => {
             e.put_u8(2);
-            put_result(&mut e, result, |_, ()| {});
+            put_result(&mut e, result, version, |_, ()| {});
         }
         Response::Object(result) => {
             e.put_u8(3);
-            put_result(&mut e, result, encode_object);
+            put_result(&mut e, result, version, encode_object);
         }
         Response::Answer(result) => {
             e.put_u8(4);
-            put_result(&mut e, result, encode_query_answer);
+            put_result(&mut e, result, version, encode_query_answer);
         }
         Response::Version(result) => {
             e.put_u8(5);
-            put_result(&mut e, result, |e, v: &VersionId| {
+            put_result(&mut e, result, version, |e, v: &VersionId| {
                 e.put_str(&v.to_string());
             });
         }
         Response::Persistence(status) => {
             e.put_u8(6);
-            encode_persistence_status(&mut e, status);
+            encode_persistence_status(&mut e, status, version);
         }
         Response::Schema(summary) => {
             e.put_u8(7);
@@ -599,11 +660,11 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         }
         Response::Objects(result) => {
             e.put_u8(8);
-            put_result(&mut e, result, |e, records: &Vec<_>| encode_records(e, records));
+            put_result(&mut e, result, version, |e, records: &Vec<_>| encode_records(e, records));
         }
         Response::Relationships(result) => {
             e.put_u8(9);
-            put_result(&mut e, result, |e, infos: &Vec<RelationshipInfo>| {
+            put_result(&mut e, result, version, |e, infos: &Vec<RelationshipInfo>| {
                 e.put_varint(infos.len() as u64);
                 for info in infos {
                     encode_relationship_info(e, info);
@@ -612,13 +673,13 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         }
         Response::Count(result) => {
             e.put_u8(10);
-            put_result(&mut e, result, |e, n: &usize| {
+            put_result(&mut e, result, version, |e, n: &usize| {
                 e.put_varint(*n as u64);
             });
         }
         Response::Error(err) => {
             e.put_u8(11);
-            encode_server_error(&mut e, err);
+            encode_server_error(&mut e, err, version);
         }
         Response::ShuttingDown => {
             e.put_u8(12);

@@ -15,7 +15,12 @@
 //!   rule for checked-out data;
 //! * [`client`] — [`RemoteClient`], a blocking client exposing the same checkout / check-in /
 //!   query surface as the in-process API, so applications (the SPADES tool, the examples) run
-//!   unmodified over loopback.
+//!   unmodified over loopback — plus [`ReadPreferredClient`], which fans reads out across
+//!   replicas and sends writes to the primary;
+//! * [`replication`] — [`ReplicaNode`], a read-only replica: it subscribes to a primary's WAL
+//!   stream (protocol v2 `Subscribe` / `LogBatch` / `Ack` frames), applies batches into its own
+//!   durable [`seed_core::ReplicaStore`] and serves the full read surface on its own listener.
+//!   `docs/PROTOCOL.md` pins the wire contract; `docs/OPERATIONS.md` is the runbook.
 //!
 //! ```no_run
 //! use seed_core::Database;
@@ -41,13 +46,18 @@
 pub mod client;
 pub mod codec;
 pub mod error;
+pub mod replication;
 pub mod server;
 pub mod wire;
 
-pub use client::RemoteClient;
+pub use client::{ReadPreferredClient, RemoteClient};
 pub use error::{WireError, WireResult};
+pub use replication::{ReplicaConfig, ReplicaNode};
 pub use server::{NetServerConfig, SeedNetServer};
-pub use wire::{FrameKind, Hello, Welcome, MAX_FRAME_LEN, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
+pub use wire::{
+    Ack, FrameKind, HandshakeRole, Hello, LogBatch, Subscribe, Welcome, MAX_FRAME_LEN,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
+};
 
 #[cfg(test)]
 mod proptests;

@@ -10,7 +10,8 @@ use seed_core::{NameSegment, ObjectName, ObjectRecord, RelationshipRecord, SeedE
 use seed_schema::{AssociationId, ClassId};
 use seed_server::{
     AssociationSummary, CheckoutSet, ClassSummary, PersistenceStatus, QueryAnswer,
-    RelationshipInfo, Request, Response, SchemaSummary, ServerError, Update,
+    RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary,
+    ServerError, Update,
 };
 
 use crate::codec::{decode_request, decode_response, encode_request, encode_response};
@@ -157,8 +158,23 @@ fn server_error() -> BoxedStrategy<ServerError> {
         any::<bool>().prop_map(|_| ServerError::Disconnected),
         free_text().prop_map(ServerError::Transport),
         free_text().prop_map(ServerError::Protocol),
+        free_text().prop_map(|primary| ServerError::ReadOnlyReplica { primary }),
     ]
     .boxed()
+}
+
+fn replication_status() -> BoxedStrategy<ReplicationStatus> {
+    (any::<bool>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>())
+        .prop_map(|(replica, applied_lsn, primary_lsn, subscribers, min_acked_lsn)| {
+            ReplicationStatus {
+                role: if replica { ReplicationRole::Replica } else { ReplicationRole::Primary },
+                applied_lsn,
+                primary_lsn,
+                subscribers,
+                min_acked_lsn,
+            }
+        })
+        .boxed()
 }
 
 fn result_of<T: std::fmt::Debug + 'static>(
@@ -276,9 +292,10 @@ fn response() -> BoxedStrategy<Response> {
         (
             (any::<bool>(), proptest::option::of(free_text()), any::<u64>()),
             (0usize..10_000, 0usize..10_000, 0usize..1000),
+            proptest::option::of(replication_status()),
         )
             .prop_map(
-                |((durable, path, wal_bytes), (objects, relationships, versions))| {
+                |((durable, path, wal_bytes), (objects, relationships, versions), replication)| {
                     Response::Persistence(PersistenceStatus {
                         durable,
                         path,
@@ -286,6 +303,7 @@ fn response() -> BoxedStrategy<Response> {
                         objects,
                         relationships,
                         versions,
+                        replication,
                     })
                 }
             ),

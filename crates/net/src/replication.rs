@@ -1,0 +1,639 @@
+//! The replica side of WAL-shipping replication over `seed-net`.
+//!
+//! A [`ReplicaNode`] is a complete read-only SEED node: it opens (or resumes) a durable
+//! [`ReplicaStore`] in its own directory, subscribes to a primary's replication stream
+//! (handshake with [`crate::wire::HandshakeRole::Replica`], one [`Subscribe`] frame), applies
+//! every [`LogBatch`] through the PR 3 recovery path, and serves the **full
+//! read surface** (`Query`, `Schema`, `Children`, `Prefix`, `ObjectsOfClass`, `Completeness`,
+//! `Retrieve`, …) on its own TCP listener — while checkouts, check-ins and version creation
+//! answer `ServerError::ReadOnlyReplica` carrying the primary's address.
+//!
+//! Lifecycle:
+//!
+//! 1. **Initial sync** — `start` blocks until the first batch is applied (the primary answers a
+//!    subscribe immediately, with a snapshot reset batch when the replica's cursor fell behind
+//!    the primary's WAL), so the node never listens before it has a database to serve.
+//! 2. **Streaming** — a background thread applies batches, swaps the freshly loaded database
+//!    into the serving core under the write lock (a read sees whole batches, never halves),
+//!    and acknowledges each batch once it is durable locally.
+//! 3. **Reconnect** — a dropped primary connection is retried with a fixed backoff, resuming
+//!    from the replica's durable cursor; a crash mid-batch loses that batch atomically and it
+//!    is simply shipped again.
+//!
+//! `docs/OPERATIONS.md` is the runbook for running these in production.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use seed_core::ReplicaStore;
+use seed_server::{SeedServer, ServerError, ServerResult};
+
+use crate::server::{NetServerConfig, SeedNetServer};
+use crate::wire::{read_frame, write_frame, Ack, FrameKind, Hello, LogBatch, Subscribe, Welcome};
+
+/// Tuning knobs of a replica node.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Free-form agent string sent to the primary in the handshake.
+    pub agent: String,
+    /// Delay between reconnection attempts after the primary connection drops.
+    pub reconnect_backoff: Duration,
+    /// Upper bound on connect + handshake + first batch; a primary that accepts the TCP
+    /// connection but never answers fails `ReplicaNode::start` instead of hanging it.
+    pub connect_timeout: Duration,
+    /// Configuration of the replica's own read-serving TCP frontend.
+    pub net: NetServerConfig,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            agent: format!("seed-replica/{}", env!("CARGO_PKG_VERSION")),
+            reconnect_backoff: Duration::from_millis(200),
+            connect_timeout: Duration::from_secs(10),
+            net: NetServerConfig::default(),
+        }
+    }
+}
+
+/// Progress counters shared between the apply thread and the node handle.
+struct Progress {
+    applied: AtomicU64,
+    primary_lsn: AtomicU64,
+}
+
+/// One connection to the primary's replication stream.
+struct Feed {
+    stream: TcpStream,
+    /// Armed during connect/handshake/initial batch so a peer that accepts the TCP connection
+    /// but never answers cannot block forever; cleared once the stream is live.
+    deadline: Option<std::time::Instant>,
+}
+
+/// How often a blocked feed read wakes up to check the stop flag.
+const FEED_POLL: Duration = Duration::from_millis(50);
+
+impl Feed {
+    /// Connects, handshakes as a replica and subscribes from `from_lsn`.  Everything up to
+    /// (and including) the first frame read is bounded by `timeout`.
+    fn open(
+        primary: SocketAddr,
+        agent: &str,
+        from_lsn: u64,
+        timeout: Duration,
+    ) -> ServerResult<Self> {
+        let transport = |e: std::io::Error| ServerError::Transport(e.to_string());
+        let stream = TcpStream::connect_timeout(&primary, timeout).map_err(transport)?;
+        stream.set_nodelay(true).map_err(transport)?;
+        stream.set_read_timeout(Some(FEED_POLL)).map_err(transport)?;
+        let mut feed = Self { stream, deadline: Some(std::time::Instant::now() + timeout) };
+        write_frame(&mut feed.stream, FrameKind::Hello, &Hello::replica(agent).encode())?;
+        let frame = feed.read_frame_blocking(&AtomicBool::new(false))?;
+        match frame.kind {
+            FrameKind::Welcome => {
+                Welcome::decode(&frame.payload)?;
+            }
+            FrameKind::Reject => {
+                return Err(ServerError::Protocol(
+                    String::from_utf8_lossy(&frame.payload).into_owned(),
+                ));
+            }
+            other => {
+                return Err(ServerError::Protocol(format!(
+                    "replica handshake expected welcome or reject, got {other:?}"
+                )));
+            }
+        }
+        write_frame(&mut feed.stream, FrameKind::Subscribe, &Subscribe { from_lsn }.encode())?;
+        Ok(feed)
+    }
+
+    /// Reads one frame, turning read timeouts into stop-flag polls (a mid-frame timeout keeps
+    /// accumulating bytes; see the server-side `PollRead` for the same idea).
+    fn read_frame_blocking(&mut self, stop: &AtomicBool) -> ServerResult<crate::wire::Frame> {
+        struct PollStream<'a> {
+            inner: &'a TcpStream,
+            stop: &'a AtomicBool,
+            deadline: Option<std::time::Instant>,
+        }
+        impl std::io::Read for PollStream<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                loop {
+                    match std::io::Read::read(&mut self.inner, buf) {
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            if self.stop.load(Ordering::SeqCst) {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::ConnectionAborted,
+                                    "replica shutting down",
+                                ));
+                            }
+                            if self.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::TimedOut,
+                                    "primary did not answer within the connect timeout",
+                                ));
+                            }
+                        }
+                        other => return other,
+                    }
+                }
+            }
+        }
+        read_frame(&mut PollStream { inner: &self.stream, stop, deadline: self.deadline })
+            .map_err(ServerError::from)
+    }
+
+    /// Waits for the next log batch (Reject ends the stream with its reason).
+    fn next_batch(&mut self, stop: &AtomicBool) -> ServerResult<LogBatch> {
+        let frame = self.read_frame_blocking(stop)?;
+        match frame.kind {
+            FrameKind::LogBatch => Ok(LogBatch::decode(&frame.payload)?),
+            FrameKind::Reject => {
+                Err(ServerError::Protocol(String::from_utf8_lossy(&frame.payload).into_owned()))
+            }
+            other => Err(ServerError::Protocol(format!("expected a log batch, got {other:?}"))),
+        }
+    }
+
+    /// Acknowledges local durability up to `applied_lsn`.
+    fn ack(&mut self, applied_lsn: u64) -> ServerResult<()> {
+        write_frame(&mut self.stream, FrameKind::Ack, &Ack { applied_lsn }.encode())?;
+        Ok(())
+    }
+}
+
+/// A running read-only replica: replication stream in, read-serving TCP listener out.
+pub struct ReplicaNode {
+    net: Option<SeedNetServer>,
+    core: Arc<SeedServer>,
+    stop: Arc<AtomicBool>,
+    progress: Arc<Progress>,
+    apply_thread: Option<JoinHandle<()>>,
+}
+
+impl ReplicaNode {
+    /// Starts a replica with default configuration: store in `dir`, stream from `primary`,
+    /// reads served on `listen` (use `"127.0.0.1:0"` to let the OS pick a port).  Blocks until
+    /// the initial sync is applied — when this returns, the node answers reads.
+    pub fn start(
+        dir: impl AsRef<std::path::Path>,
+        primary: impl ToSocketAddrs,
+        listen: impl ToSocketAddrs,
+    ) -> ServerResult<Self> {
+        Self::with_config(dir, primary, listen, ReplicaConfig::default())
+    }
+
+    /// Like [`ReplicaNode::start`], with explicit tuning.
+    pub fn with_config(
+        dir: impl AsRef<std::path::Path>,
+        primary: impl ToSocketAddrs,
+        listen: impl ToSocketAddrs,
+        config: ReplicaConfig,
+    ) -> ServerResult<Self> {
+        let transport = |e: std::io::Error| ServerError::Transport(e.to_string());
+        let primary =
+            primary.to_socket_addrs().map_err(transport)?.next().ok_or_else(|| {
+                ServerError::Transport("primary address resolves to nothing".into())
+            })?;
+        let mut store = ReplicaStore::open(dir).map_err(ServerError::Rejected)?;
+
+        // Initial sync: subscribe from the durable cursor and apply the first batch — the
+        // primary answers immediately (snapshot reset when our cursor fell behind its WAL).
+        let never_stop = AtomicBool::new(false);
+        let mut feed =
+            Feed::open(primary, &config.agent, store.applied_lsn() + 1, config.connect_timeout)?;
+        let batch = feed.next_batch(&never_stop)?;
+        feed.deadline = None; // the stream is live; only shutdown unblocks it from here on
+        store.apply(&batch.records, batch.last_lsn, batch.reset).map_err(ServerError::Rejected)?;
+        feed.ack(store.applied_lsn())?;
+        let db = store.load().map_err(ServerError::Rejected)?;
+
+        let server = SeedServer::new(db);
+        server.set_read_only(primary.to_string());
+        server.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
+        let net = SeedNetServer::with_config(server, listen, config.net.clone())
+            .map_err(|e| ServerError::Transport(e.to_string()))?;
+        let core = net.core();
+        let stop = Arc::new(AtomicBool::new(false));
+        let progress = Arc::new(Progress {
+            applied: AtomicU64::new(store.applied_lsn()),
+            primary_lsn: AtomicU64::new(batch.primary_lsn),
+        });
+
+        let apply_thread = {
+            let core = core.clone();
+            let stop = stop.clone();
+            let progress = progress.clone();
+            let agent = config.agent.clone();
+            let backoff = config.reconnect_backoff;
+            let connect_timeout = config.connect_timeout;
+            std::thread::spawn(move || {
+                let mut feed = Some(feed);
+                while !stop.load(Ordering::SeqCst) {
+                    // (Re-)establish the stream from the durable cursor.
+                    let mut live = match feed.take() {
+                        Some(live) => live,
+                        None => match Feed::open(
+                            primary,
+                            &agent,
+                            store.applied_lsn() + 1,
+                            connect_timeout,
+                        ) {
+                            Ok(live) => live,
+                            Err(_) => {
+                                std::thread::sleep(backoff);
+                                continue;
+                            }
+                        },
+                    };
+                    // Drain batches until the connection drops or the node stops.
+                    while let Ok(batch) = live.next_batch(&stop) {
+                        live.deadline = None;
+                        // Heartbeats (no records, nothing new) only refresh the observed
+                        // primary position — no cursor write, no fsync, no database rebuild.
+                        if batch.records.is_empty()
+                            && !batch.reset
+                            && batch.last_lsn <= store.applied_lsn()
+                        {
+                            core.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
+                            progress.primary_lsn.store(batch.primary_lsn, Ordering::SeqCst);
+                            if live.ack(store.applied_lsn()).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        let applied =
+                            store.apply(&batch.records, batch.last_lsn, batch.reset).is_ok();
+                        if !applied || live.ack(store.applied_lsn()).is_err() {
+                            break;
+                        }
+                        // Swap the freshly rebuilt database in; readers see whole batches.
+                        match store.load() {
+                            Ok(db) => core.replace_database(db),
+                            Err(_) => break,
+                        }
+                        core.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
+                        progress.applied.store(store.applied_lsn(), Ordering::SeqCst);
+                        progress.primary_lsn.store(batch.primary_lsn, Ordering::SeqCst);
+                    }
+                    if !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            })
+        };
+
+        Ok(Self { net: Some(net), core, stop, progress, apply_thread: Some(apply_thread) })
+    }
+
+    /// The address this replica serves reads on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.net.as_ref().expect("listener lives until shutdown").local_addr()
+    }
+
+    /// The replica's serving core (for in-process inspection and tests).
+    pub fn core(&self) -> Arc<SeedServer> {
+        self.core.clone()
+    }
+
+    /// Last primary LSN applied durably on this replica.
+    pub fn applied_lsn(&self) -> u64 {
+        self.progress.applied.load(Ordering::SeqCst)
+    }
+
+    /// The primary's end of log as last observed (heartbeats keep this fresh when idle).
+    pub fn primary_lsn(&self) -> u64 {
+        self.progress.primary_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Polls until this replica has applied at least `lsn` (true) or `timeout` passes (false).
+    pub fn wait_for_lsn(&self, lsn: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.applied_lsn() < lsn {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Stops the stream and the read listener, waiting for both threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(handle) = self.apply_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(net) = self.net.take() {
+            net.shutdown();
+        }
+    }
+}
+
+impl Drop for ReplicaNode {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RemoteClient;
+    use crate::wire::Subscribe;
+    use seed_core::Database;
+    use seed_schema::figure3_schema;
+    use seed_server::{ReplicationRole, Update};
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU64;
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir()
+            .join(format!("seed-net-replication-{}-{name}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_primary(dir: &std::path::Path) -> SeedNetServer {
+        let db = Database::create_durable(dir, figure3_schema()).unwrap();
+        SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").unwrap()
+    }
+
+    fn primary_lsn(net: &SeedNetServer) -> u64 {
+        net.core().with_database(|db| db.durable_lsn().unwrap())
+    }
+
+    #[test]
+    fn replicas_converge_serve_reads_and_redirect_writes() {
+        let primary_dir = temp_dir("conv-primary");
+        let replica_dirs = [temp_dir("conv-r1"), temp_dir("conv-r2")];
+        let primary = durable_primary(&primary_dir);
+        let addr = primary.local_addr();
+
+        // Writes land on the primary before and after the replicas subscribe.
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "Early".into() }])
+            .unwrap();
+        let replicas: Vec<ReplicaNode> = replica_dirs
+            .iter()
+            .map(|dir| ReplicaNode::start(dir, addr, "127.0.0.1:0").unwrap())
+            .collect();
+        writer
+            .checkin(vec![
+                Update::CreateObject { class: "Data".into(), name: "Alarms".into() },
+                Update::CreateObject { class: "Action".into(), name: "Sensor".into() },
+                Update::CreateRelationship {
+                    association: "Access".into(),
+                    bindings: vec![
+                        ("from".into(), "Alarms".into()),
+                        ("by".into(), "Sensor".into()),
+                    ],
+                },
+            ])
+            .unwrap();
+        let target = primary_lsn(&primary);
+        for replica in &replicas {
+            assert!(replica.wait_for_lsn(target, Duration::from_secs(10)), "replica lagged out");
+        }
+
+        // Every replica answers the read surface with the primary's answers.
+        let mut primary_client = RemoteClient::connect(addr).unwrap();
+        let expected = primary_client.query("find Data").unwrap();
+        for replica in &replicas {
+            let mut client = RemoteClient::connect(replica.local_addr()).unwrap();
+            assert_eq!(client.query("find Data").unwrap(), expected);
+            assert_eq!(client.retrieve("Early").unwrap().name.to_string(), "Early");
+            assert_eq!(client.objects_of_class("Action", true).unwrap().len(), 1);
+            assert_eq!(client.relationship_count("Access", true).unwrap(), 1);
+            assert!(client.schema().unwrap().class_id("Data").is_some());
+            // Writes are redirected to the primary, with its address in the error.
+            match client.checkout(&["Alarms"]).unwrap_err() {
+                ServerError::ReadOnlyReplica { primary } => {
+                    assert_eq!(primary, addr.to_string());
+                }
+                other => panic!("expected a redirect, got {other:?}"),
+            }
+            // Replication progress is observable over the wire.
+            let status = client.persistence().unwrap().replication.expect("replica status");
+            assert_eq!(status.role, ReplicationRole::Replica);
+            assert_eq!(status.lag(), 0, "caught-up replica reports zero lag");
+        }
+        // The primary reports its subscribers.
+        let status = primary_client.persistence().unwrap().replication.expect("primary status");
+        assert_eq!(status.role, ReplicationRole::Primary);
+        assert_eq!(status.subscribers, 2);
+
+        // The read-preferred client fans reads across replicas and writes to the primary.
+        let replica_addrs: Vec<_> = replicas.iter().map(|r| r.local_addr()).collect();
+        let mut fanout = RemoteClient::connect_read_preferred(addr, &replica_addrs).unwrap();
+        assert_eq!(fanout.replica_count(), 2);
+        fanout
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "ViaFanout".into() }])
+            .unwrap();
+        let target = primary_lsn(&primary);
+        for replica in &replicas {
+            assert!(replica.wait_for_lsn(target, Duration::from_secs(10)));
+        }
+        for _ in 0..4 {
+            assert_eq!(fanout.retrieve("ViaFanout").unwrap().name.to_string(), "ViaFanout");
+        }
+        fanout.close().unwrap();
+
+        for replica in replicas {
+            replica.shutdown();
+        }
+        primary.shutdown();
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        for dir in replica_dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn replica_restart_across_primary_checkpoint_resyncs_from_snapshot() {
+        let primary_dir = temp_dir("ckpt-primary");
+        let replica_dir = temp_dir("ckpt-replica");
+        let primary = durable_primary(&primary_dir);
+        let addr = primary.local_addr();
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "First".into() }])
+            .unwrap();
+
+        // A replica syncs, then goes away.
+        let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+        let stale_cursor = replica.applied_lsn();
+        replica.shutdown();
+
+        // While it is away, the primary commits more and checkpoints — the WAL the replica
+        // would need is truncated (mid-stream truncation from the replica's point of view).
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "WhileAway".into() }])
+            .unwrap();
+        writer.checkpoint().unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "AfterCkpt".into() }])
+            .unwrap();
+
+        // The restarted replica's cursor predates the WAL base: the primary ships a reset
+        // snapshot and the replica converges anyway.
+        let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+        assert!(replica.applied_lsn() > stale_cursor);
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+        let mut client = RemoteClient::connect(replica.local_addr()).unwrap();
+        for name in ["First", "WhileAway", "AfterCkpt"] {
+            assert_eq!(client.retrieve(name).unwrap().name.to_string(), name);
+        }
+        assert_eq!(client.query("count Data").unwrap().count, 3);
+        replica.shutdown();
+        primary.shutdown();
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    #[test]
+    fn replica_reconnects_after_losing_the_primary() {
+        let primary_dir = temp_dir("reconnect-primary");
+        let replica_dir = temp_dir("reconnect-replica");
+        let primary = durable_primary(&primary_dir);
+        let addr = primary.local_addr();
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "BeforeLoss".into() }])
+            .unwrap();
+        let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+
+        // The primary restarts on the same durable directory and the same port.
+        primary.shutdown();
+        let db = Database::open_durable(&primary_dir).unwrap();
+        let primary = SeedNetServer::bind(SeedServer::new(db), addr).unwrap();
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "AfterLoss".into() }])
+            .unwrap();
+
+        // The replica's reconnect loop picks the stream back up from its durable cursor.
+        assert!(
+            replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)),
+            "replica must reconnect and catch up"
+        );
+        let mut client = RemoteClient::connect(replica.local_addr()).unwrap();
+        assert!(client.retrieve("BeforeLoss").is_ok());
+        assert!(client.retrieve("AfterLoss").is_ok());
+        replica.shutdown();
+        primary.shutdown();
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    #[test]
+    fn replica_ahead_of_a_shorter_log_rebinds_downwards_instead_of_looping() {
+        // A replica synced far into primary A must be able to follow a primary whose log is
+        // *shorter* (restored from backup / recreated): the reset snapshot rebinds the cursor
+        // downwards via the ack, and the stream converges instead of re-shipping the snapshot
+        // forever.
+        let old_primary_dir = temp_dir("rebind-old-primary");
+        let new_primary_dir = temp_dir("rebind-new-primary");
+        let replica_dir = temp_dir("rebind-replica");
+        let primary = durable_primary(&old_primary_dir);
+        let addr = primary.local_addr();
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        for i in 0..10 {
+            writer
+                .checkin(vec![Update::CreateObject {
+                    class: "Data".into(),
+                    name: format!("Old{i}"),
+                }])
+                .unwrap();
+        }
+        let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+        let high_cursor = replica.applied_lsn();
+        replica.shutdown();
+        primary.shutdown();
+
+        // A brand-new primary on the same address, with a much shorter log.
+        let db = Database::create_durable(&new_primary_dir, figure3_schema()).unwrap();
+        let primary = SeedNetServer::bind(SeedServer::new(db), addr).unwrap();
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "Fresh".into() }])
+            .unwrap();
+        let target = primary_lsn(&primary);
+        assert!(target < high_cursor, "the new log must really be shorter");
+
+        let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+        assert!(replica.applied_lsn() <= target, "the cursor rebound downwards");
+        let mut reader = RemoteClient::connect(replica.local_addr()).unwrap();
+        assert!(reader.retrieve("Fresh").is_ok());
+        assert!(reader.retrieve("Old0").is_err(), "old-log state was reset away");
+        // And the stream keeps converging afterwards (it is not stuck in a snapshot loop).
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "After".into() }])
+            .unwrap();
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+        assert!(reader.retrieve("After").is_ok());
+        replica.shutdown();
+        primary.shutdown();
+        for dir in [&old_primary_dir, &new_primary_dir, &replica_dir] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn subscribing_to_an_in_memory_primary_is_rejected() {
+        let primary =
+            SeedNetServer::bind(SeedServer::new(Database::new(figure3_schema())), "127.0.0.1:0")
+                .unwrap();
+        let err = Feed::open(primary.local_addr(), "test", 1, Duration::from_secs(5))
+            .and_then(|mut feed| feed.next_batch(&AtomicBool::new(false)))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("in-memory"),
+            "expected the in-memory rejection, got: {err}"
+        );
+        primary.shutdown();
+    }
+
+    #[test]
+    fn a_plain_client_may_not_send_replication_frames() {
+        let dir = temp_dir("plain-client");
+        let primary = durable_primary(&dir);
+        let stream = TcpStream::connect(primary.local_addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        write_frame(&mut writer, FrameKind::Hello, &Hello::current("raw").encode()).unwrap();
+        assert_eq!(read_frame(&mut reader).unwrap().kind, FrameKind::Welcome);
+        // A client-role session sending Subscribe gets a protocol error, not a stream.
+        write_frame(&mut writer, FrameKind::Subscribe, &Subscribe { from_lsn: 1 }.encode())
+            .unwrap();
+        let reply = read_frame(&mut reader).unwrap();
+        assert_eq!(reply.kind, FrameKind::Response);
+        assert!(matches!(
+            crate::codec::decode_response(&reply.payload).unwrap(),
+            seed_server::Response::Error(ServerError::Protocol(_))
+        ));
+        primary.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

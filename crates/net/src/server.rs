@@ -18,9 +18,12 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use seed_server::{ClientId, Request, Response, SeedServer, ServerError};
 
-use crate::codec::{decode_request, encode_response};
+use crate::codec::{decode_request, encode_response_versioned};
 use crate::error::WireError;
-use crate::wire::{negotiate, read_frame, write_frame, FrameKind, Hello, Welcome};
+use crate::wire::{
+    negotiate, read_frame, write_frame, Ack, FrameKind, HandshakeRole, Hello, LogBatch, Subscribe,
+    Welcome,
+};
 
 /// Tuning knobs of the TCP frontend.
 #[derive(Debug, Clone)]
@@ -32,6 +35,11 @@ pub struct NetServerConfig {
     pub reaper_interval: Duration,
     /// Free-form server identification sent in the handshake.
     pub banner: String,
+    /// How often a replication session polls the WAL for news to ship.
+    pub replication_poll: Duration,
+    /// Longest a replication session stays silent: an empty heartbeat batch ships after this,
+    /// so replicas can track the primary's end of log (and their lag) through idle periods.
+    pub replication_heartbeat: Duration,
 }
 
 impl Default for NetServerConfig {
@@ -40,6 +48,8 @@ impl Default for NetServerConfig {
             idle_timeout: None,
             reaper_interval: Duration::from_millis(200),
             banner: format!("seed-net/{}", env!("CARGO_PKG_VERSION")),
+            replication_poll: Duration::from_millis(10),
+            replication_heartbeat: Duration::from_secs(1),
         }
     }
 }
@@ -77,7 +87,7 @@ impl SeedNetServer {
             let core = core.clone();
             let stop = stop.clone();
             let sessions = sessions.clone();
-            let banner = config.banner.clone();
+            let config = Arc::new(config.clone());
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
@@ -86,9 +96,9 @@ impl SeedNetServer {
                     let Ok(stream) = stream else { continue };
                     let core = core.clone();
                     let stop = stop.clone();
-                    let banner = banner.clone();
+                    let config = config.clone();
                     let handle =
-                        std::thread::spawn(move || serve_connection(&core, stream, &stop, &banner));
+                        std::thread::spawn(move || serve_connection(&core, stream, &stop, &config));
                     let mut sessions = sessions.lock();
                     sessions.retain(|h| !h.is_finished());
                     sessions.push(handle);
@@ -214,7 +224,12 @@ impl std::io::Read for PollRead<'_> {
     }
 }
 
-fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, banner: &str) {
+fn serve_connection(
+    core: &SeedServer,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    config: &NetServerConfig,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(SESSION_POLL));
     let _ = stream.set_write_timeout(Some(SESSION_WRITE_TIMEOUT));
@@ -229,8 +244,8 @@ fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, ban
     let mut writer = BufWriter::new(stream.try_clone().expect("second clone after first"));
 
     // Handshake: Hello in, Welcome (or Reject) out.
-    let client = match handshake(core, &mut reader, &mut writer, banner) {
-        Some(client) => client,
+    let (client, role, version) = match handshake(core, &mut reader, &mut writer, &config.banner) {
+        Some(outcome) => outcome,
         None => {
             let _ = stream.shutdown(Shutdown::Both);
             return;
@@ -240,14 +255,26 @@ fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, ban
     // their locks); only the handshake itself is deadlined.
     reader.get_mut().deadline = None;
 
+    if role == HandshakeRole::Replica {
+        serve_replica(core, &mut reader, &mut writer, stop, client, config);
+        core.forget_replica(client);
+        core.disconnect(client);
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(frame) => frame,
             Err(WireError::Recoverable(msg)) => {
                 // The frame boundary held: reject the frame, keep the connection.
                 let response = Response::Error(ServerError::Protocol(msg));
-                if write_frame(&mut writer, FrameKind::Response, &encode_response(&response))
-                    .is_err()
+                if write_frame(
+                    &mut writer,
+                    FrameKind::Response,
+                    &encode_response_versioned(&response, version),
+                )
+                .is_err()
                 {
                     break;
                 }
@@ -260,7 +287,13 @@ fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, ban
                 "expected a request frame, got {:?}",
                 frame.kind
             )));
-            if write_frame(&mut writer, FrameKind::Response, &encode_response(&response)).is_err() {
+            if write_frame(
+                &mut writer,
+                FrameKind::Response,
+                &encode_response_versioned(&response, version),
+            )
+            .is_err()
+            {
                 break;
             }
             continue;
@@ -269,8 +302,12 @@ fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, ban
             Ok(request) => request,
             Err(e) => {
                 let response = Response::Error(ServerError::from(e));
-                if write_frame(&mut writer, FrameKind::Response, &encode_response(&response))
-                    .is_err()
+                if write_frame(
+                    &mut writer,
+                    FrameKind::Response,
+                    &encode_response_versioned(&response, version),
+                )
+                .is_err()
                 {
                     break;
                 }
@@ -284,8 +321,12 @@ fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, ban
                 let response = Response::Error(ServerError::Protocol(format!(
                     "request claims client {claimed}, but this connection is client {client}"
                 )));
-                if write_frame(&mut writer, FrameKind::Response, &encode_response(&response))
-                    .is_err()
+                if write_frame(
+                    &mut writer,
+                    FrameKind::Response,
+                    &encode_response_versioned(&response, version),
+                )
+                .is_err()
                 {
                     break;
                 }
@@ -299,7 +340,13 @@ fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, ban
                 "client identity is assigned at handshake; open a new connection instead"
                     .to_string(),
             ));
-            if write_frame(&mut writer, FrameKind::Response, &encode_response(&response)).is_err() {
+            if write_frame(
+                &mut writer,
+                FrameKind::Response,
+                &encode_response_versioned(&response, version),
+            )
+            .is_err()
+            {
                 break;
             }
             continue;
@@ -307,7 +354,13 @@ fn serve_connection(core: &SeedServer, stream: TcpStream, stop: &AtomicBool, ban
         core.touch(client);
         let closing = matches!(request, Request::Shutdown);
         let response = core.handle(request);
-        if write_frame(&mut writer, FrameKind::Response, &encode_response(&response)).is_err() {
+        if write_frame(
+            &mut writer,
+            FrameKind::Response,
+            &encode_response_versioned(&response, version),
+        )
+        .is_err()
+        {
             break;
         }
         if closing {
@@ -325,7 +378,7 @@ fn handshake(
     reader: &mut impl std::io::Read,
     writer: &mut impl std::io::Write,
     banner: &str,
-) -> Option<ClientId> {
+) -> Option<(ClientId, HandshakeRole, u16)> {
     let Ok(frame) = read_frame(reader) else { return None };
     if frame.kind != FrameKind::Hello {
         let _ = write_frame(writer, FrameKind::Reject, b"handshake must start with a hello frame");
@@ -345,13 +398,140 @@ fn handshake(
             return None;
         }
     };
+    // The replication kinds exist only from v2 on; a v1-negotiated replica could never speak
+    // its own stream.
+    if hello.role == HandshakeRole::Replica && version < 2 {
+        let _ = write_frame(writer, FrameKind::Reject, b"replication requires protocol v2");
+        return None;
+    }
     let client = core.connect();
     let welcome = Welcome { version, client_id: client, banner: banner.to_string() };
     if write_frame(writer, FrameKind::Welcome, &welcome.encode()).is_err() {
         core.disconnect(client);
         return None;
     }
-    Some(client)
+    Some((client, hello.role, version))
+}
+
+/// One replication session on the primary: consume the replica's [`Subscribe`], then alternate
+/// [`LogBatch`] out / [`Ack`] in until the peer leaves or the server stops.
+///
+/// The cursor is driven by the **acks** (`next = acked + 1`), so a batch the replica never made
+/// durable is simply cut again.  The first batch after the subscribe ships immediately even
+/// when empty — it synchronizes the replica's view of the primary's end of log — and idle
+/// periods are bridged by heartbeat batches ([`NetServerConfig::replication_heartbeat`]).  A
+/// cursor the WAL no longer covers (the replica slept across a checkpoint truncation, or its
+/// store belongs to a different log) is answered with a full-snapshot reset batch.
+fn serve_replica(
+    core: &SeedServer,
+    reader: &mut impl std::io::Read,
+    writer: &mut impl std::io::Write,
+    stop: &AtomicBool,
+    client: ClientId,
+    config: &NetServerConfig,
+) {
+    let subscribe = match read_frame(reader) {
+        Ok(frame) if frame.kind == FrameKind::Subscribe => {
+            match Subscribe::decode(&frame.payload) {
+                Ok(subscribe) => subscribe,
+                Err(e) => {
+                    let _ = write_frame(writer, FrameKind::Reject, e.to_string().as_bytes());
+                    return;
+                }
+            }
+        }
+        Ok(_) => {
+            let _ = write_frame(
+                writer,
+                FrameKind::Reject,
+                b"a replica session must open with a subscribe frame",
+            );
+            return;
+        }
+        Err(_) => return,
+    };
+    let mut next = subscribe.from_lsn.max(1);
+    let mut answer_now = true; // the subscribe (and every ack) deserves a prompt position sync
+    let mut last_sent = std::time::Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        // Caught-up check first: the durable LSN is a counter read, so an idle poll tick never
+        // touches the WAL file (reading the tail re-parses the log from disk).
+        let Some(durable) = core.with_database(|db| db.durable_lsn()) else {
+            let _ = write_frame(
+                writer,
+                FrameKind::Reject,
+                b"this primary serves an in-memory database; nothing to replicate",
+            );
+            return;
+        };
+        let batch = if durable + 1 == next {
+            if !answer_now && last_sent.elapsed() < config.replication_heartbeat {
+                std::thread::sleep(config.replication_poll);
+                continue;
+            }
+            // Heartbeat (or the immediate answer to the subscribe): nothing to ship, just the
+            // primary's position.
+            LogBatch {
+                reset: false,
+                first_lsn: 0,
+                last_lsn: next - 1,
+                primary_lsn: durable,
+                records: Vec::new(),
+            }
+        } else {
+            match core.with_database(|db| db.wal_tail(next)) {
+                Err(_) => return,
+                Ok(seed_storage::WalTail::Truncated { .. }) => {
+                    // The WAL no longer reaches back to the replica's cursor: resync from a
+                    // full keyed snapshot (one synthetic committed transaction, reset
+                    // semantics).
+                    let Ok((pairs, lsn)) = core.with_database(|db| db.replication_snapshot())
+                    else {
+                        return;
+                    };
+                    LogBatch {
+                        reset: true,
+                        first_lsn: 0,
+                        last_lsn: lsn,
+                        primary_lsn: lsn,
+                        records: seed_core::replica::snapshot_records(pairs),
+                    }
+                }
+                Ok(seed_storage::WalTail::Records(records)) => {
+                    let first = records.first().map(|(lsn, _)| *lsn).unwrap_or(0);
+                    let last = records.last().map(|(lsn, _)| *lsn).unwrap_or(next - 1);
+                    LogBatch {
+                        reset: false,
+                        first_lsn: first,
+                        last_lsn: last,
+                        primary_lsn: durable.max(last),
+                        records: records.into_iter().map(|(_, record)| record).collect(),
+                    }
+                }
+            }
+        };
+        if write_frame(writer, FrameKind::LogBatch, &batch.encode()).is_err() {
+            return;
+        }
+        last_sent = std::time::Instant::now();
+        answer_now = false;
+        // Flow control: exactly one batch in flight — wait for the replica's durability ack.
+        match read_frame(reader) {
+            Ok(frame) if frame.kind == FrameKind::Ack => match Ack::decode(&frame.payload) {
+                Ok(ack) => {
+                    core.touch(client);
+                    core.note_replica_ack(client, ack.applied_lsn);
+                    // The ack IS the cursor — including backwards: a reset snapshot rebinds a
+                    // replica whose cursor came from a longer (different or restored) log to
+                    // this log's positions, and `next` must follow it down or the session
+                    // would re-ship the snapshot forever.
+                    next = ack.applied_lsn + 1;
+                }
+                Err(_) => return,
+            },
+            _ => return, // anything else (EOF, desync, wrong kind) ends the stream
+        }
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +764,35 @@ mod tests {
     }
 
     #[test]
+    fn v1_negotiated_sessions_get_v1_byte_shapes() {
+        // A v1-only peer must decode every reply with its original six-field persistence
+        // decoder: the server keys response encoding on the session's negotiated version.
+        let server = start_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        let v1_hello = Hello { max_version: 1, ..Hello::current("v1 peer") };
+        write_frame(&mut writer, FrameKind::Hello, &v1_hello.encode()).unwrap();
+        let welcome = read_frame(&mut reader).unwrap();
+        assert_eq!(welcome.kind, FrameKind::Welcome);
+        assert_eq!(crate::wire::Welcome::decode(&welcome.payload).unwrap().version, 1);
+        write_frame(
+            &mut writer,
+            FrameKind::Request,
+            &crate::codec::encode_request(&Request::Persistence),
+        )
+        .unwrap();
+        let reply = read_frame(&mut reader).unwrap();
+        // The payload must end right after the `versions` varint — no v2 replication flag.
+        let expected = crate::codec::encode_response_versioned(
+            &Response::Persistence(server.core().persistence_status()),
+            1,
+        );
+        assert_eq!(reply.payload, expected, "v1 session got a non-v1 byte shape");
+        server.shutdown();
+    }
+
+    #[test]
     fn incompatible_versions_are_rejected_at_handshake() {
         let server = start_server();
         let stream = TcpStream::connect(server.local_addr()).unwrap();
@@ -593,6 +802,7 @@ mod tests {
             min_version: PROTOCOL_VERSION + 1,
             max_version: PROTOCOL_VERSION + 2,
             agent: "from the future".into(),
+            role: HandshakeRole::Client,
         };
         write_frame(&mut writer, FrameKind::Hello, &future.encode()).unwrap();
         let reply = read_frame(&mut reader).unwrap();

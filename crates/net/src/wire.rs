@@ -17,13 +17,19 @@
 //! fatal.
 //!
 //! Connections open with a handshake: the client sends [`Hello`] (the protocol version range it
-//! speaks), the server answers [`Welcome`] (the negotiated version plus the client id this
-//! connection is bound to) or a [`FrameKind::Reject`] frame with a reason, then closes.
+//! speaks, plus the role it wants — ordinary client or replication subscriber), the server
+//! answers [`Welcome`] (the negotiated version plus the client id this connection is bound to)
+//! or a [`FrameKind::Reject`] frame with a reason, then closes.
+//!
+//! Protocol **v2** adds the replication kinds ([`FrameKind::Subscribe`], [`FrameKind::LogBatch`],
+//! [`FrameKind::Ack`]) and the handshake role byte; every v1 frame is byte-identical under v2.
+//! The complete wire contract is pinned in `docs/PROTOCOL.md` and enforced byte-exactly by
+//! `tests/protocol_contract.rs` — change all three together.
 
 use std::io::{Read, Write};
 
 use seed_storage::codec::crc32;
-use seed_storage::{Decoder, Encoder};
+use seed_storage::{Decoder, Encoder, LogRecord, Lsn};
 
 use crate::error::{WireError, WireResult};
 
@@ -33,8 +39,8 @@ pub const MAGIC: [u8; 4] = *b"SEWP";
 /// Oldest protocol version this build still speaks.
 pub const PROTOCOL_VERSION_MIN: u16 = 1;
 
-/// Newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Newest protocol version this build speaks (v2 = v1 plus the replication frame kinds).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on one frame's payload; larger lengths are treated as stream desync.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
@@ -52,16 +58,26 @@ pub enum FrameKind {
     Response,
     /// Server → client: the connection is being refused or abandoned (reason in the payload).
     Reject,
+    /// Replica → primary: open a replication stream from an LSN (v2; one [`Subscribe`]).
+    Subscribe,
+    /// Primary → replica: one batch of shipped WAL records (v2; one [`LogBatch`]).
+    LogBatch,
+    /// Replica → primary: the batch is durable locally (v2; one [`Ack`]).
+    Ack,
 }
 
 impl FrameKind {
-    fn to_u8(self) -> u8 {
+    /// The kind byte on the wire (pinned in `docs/PROTOCOL.md`).
+    pub fn to_u8(self) -> u8 {
         match self {
             FrameKind::Hello => 1,
             FrameKind::Welcome => 2,
             FrameKind::Request => 3,
             FrameKind::Response => 4,
             FrameKind::Reject => 5,
+            FrameKind::Subscribe => 6,
+            FrameKind::LogBatch => 7,
+            FrameKind::Ack => 8,
         }
     }
 
@@ -72,6 +88,9 @@ impl FrameKind {
             3 => FrameKind::Request,
             4 => FrameKind::Response,
             5 => FrameKind::Reject,
+            6 => FrameKind::Subscribe,
+            7 => FrameKind::LogBatch,
+            8 => FrameKind::Ack,
             _ => return None,
         })
     }
@@ -137,6 +156,34 @@ pub fn read_frame(r: &mut impl Read) -> WireResult<Frame> {
     Ok(Frame { kind, payload })
 }
 
+/// What a connection wants to be after the handshake.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum HandshakeRole {
+    /// An ordinary request/response client (checkout, check-in, queries).
+    #[default]
+    Client,
+    /// A replication subscriber: after the welcome it sends one [`Subscribe`] and then only
+    /// consumes [`LogBatch`] frames and produces [`Ack`] frames.
+    Replica,
+}
+
+impl HandshakeRole {
+    fn to_u8(self) -> u8 {
+        match self {
+            HandshakeRole::Client => 0,
+            HandshakeRole::Replica => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => HandshakeRole::Client,
+            1 => HandshakeRole::Replica,
+            _ => return None,
+        })
+    }
+}
+
 /// The client's handshake opener.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
@@ -146,32 +193,59 @@ pub struct Hello {
     pub max_version: u16,
     /// Free-form client software identification (for server logs).
     pub agent: String,
+    /// The role this connection wants.  Encoded as a trailing byte that v1 decoders never read
+    /// (they ignore trailing payload bytes), so a v2 replica hello still parses — and is then
+    /// version-rejected, not desynchronized — on a v1 server.
+    pub role: HandshakeRole,
 }
 
 impl Hello {
-    /// The hello this build sends.
+    /// The hello an ordinary client sends.
     pub fn current(agent: impl Into<String>) -> Self {
         Self {
             min_version: PROTOCOL_VERSION_MIN,
             max_version: PROTOCOL_VERSION,
             agent: agent.into(),
+            role: HandshakeRole::Client,
+        }
+    }
+
+    /// The hello a replication subscriber sends (requires v2: replication kinds do not exist
+    /// in v1).
+    pub fn replica(agent: impl Into<String>) -> Self {
+        Self {
+            min_version: 2,
+            max_version: PROTOCOL_VERSION,
+            agent: agent.into(),
+            role: HandshakeRole::Replica,
         }
     }
 
     /// Encodes the hello payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
-        e.put_u16(self.min_version).put_u16(self.max_version).put_str(&self.agent);
+        e.put_u16(self.min_version)
+            .put_u16(self.max_version)
+            .put_str(&self.agent)
+            .put_u8(self.role.to_u8());
         e.finish()
     }
 
-    /// Decodes a hello payload.
+    /// Decodes a hello payload.  The role byte is optional: a v1 hello ends after the agent
+    /// string and decodes as [`HandshakeRole::Client`].
     pub fn decode(bytes: &[u8]) -> WireResult<Self> {
         let mut d = Decoder::new(bytes);
         let min_version = d.get_u16()?;
         let max_version = d.get_u16()?;
         let agent = d.get_str()?.to_string();
-        Ok(Self { min_version, max_version, agent })
+        let role = if d.is_exhausted() {
+            HandshakeRole::Client
+        } else {
+            let raw = d.get_u8()?;
+            HandshakeRole::from_u8(raw)
+                .ok_or_else(|| WireError::Recoverable(format!("unknown handshake role {raw}")))?
+        };
+        Ok(Self { min_version, max_version, agent, role })
     }
 }
 
@@ -202,6 +276,131 @@ impl Welcome {
         let client_id = d.get_u64()?;
         let banner = d.get_str()?.to_string();
         Ok(Self { version, client_id, banner })
+    }
+}
+
+/// A replica's stream opener: ask for every record from `from_lsn` on.  The primary answers
+/// with one [`LogBatch`] immediately (possibly empty — it carries the primary's current end of
+/// log either way), then with a batch per news or heartbeat tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscribe {
+    /// First LSN the replica still needs (its durable applied LSN + 1; 1 for an empty store).
+    pub from_lsn: Lsn,
+}
+
+impl Subscribe {
+    /// Encodes the subscribe payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.from_lsn);
+        e.finish()
+    }
+
+    /// Decodes a subscribe payload.
+    pub fn decode(bytes: &[u8]) -> WireResult<Self> {
+        let mut d = Decoder::new(bytes);
+        let from_lsn = d.get_u64()?;
+        if !d.is_exhausted() {
+            return Err(WireError::Recoverable(format!(
+                "{} trailing bytes after subscribe",
+                d.remaining()
+            )));
+        }
+        Ok(Self { from_lsn })
+    }
+}
+
+/// One shipped batch of the primary's WAL.
+///
+/// Two shapes (see `docs/PROTOCOL.md` §6):
+///
+/// * **incremental** (`reset == false`): `records` are the primary's WAL records
+///   `first_lsn ..= last_lsn`, whole transactions only — the replica reduces them with the same
+///   committed-effects replay restart recovery uses and applies them on top of its keys;
+/// * **reset** (`reset == true`): `records` are one synthetic committed transaction rebuilding
+///   the full key space as of `last_lsn` (`first_lsn` is 0); the replica clears its store and
+///   applies them in one local transaction.  Sent when the subscriber's cursor fell behind a
+///   primary checkpoint, or came from a different log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogBatch {
+    /// Whether the replica must clear its store before applying (snapshot resync).
+    pub reset: bool,
+    /// LSN of the first shipped record (0 in reset batches).
+    pub first_lsn: Lsn,
+    /// LSN the replica's state reaches after applying this batch (its next `Ack` value).
+    pub last_lsn: Lsn,
+    /// The primary's durable end of log when the batch was cut — what replica lag is measured
+    /// against.
+    pub primary_lsn: Lsn,
+    /// The shipped records (empty in heartbeat batches).
+    pub records: Vec<LogRecord>,
+}
+
+impl LogBatch {
+    /// Encodes the batch payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_bool(self.reset)
+            .put_u64(self.first_lsn)
+            .put_u64(self.last_lsn)
+            .put_u64(self.primary_lsn)
+            .put_varint(self.records.len() as u64);
+        for record in &self.records {
+            e.put_bytes(&record.encode());
+        }
+        e.finish()
+    }
+
+    /// Decodes a batch payload.
+    pub fn decode(bytes: &[u8]) -> WireResult<Self> {
+        let mut d = Decoder::new(bytes);
+        let reset = d.get_bool()?;
+        let first_lsn = d.get_u64()?;
+        let last_lsn = d.get_u64()?;
+        let primary_lsn = d.get_u64()?;
+        let n = d.get_varint()? as usize;
+        let mut records = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            records.push(LogRecord::decode(d.get_bytes()?)?);
+        }
+        if !d.is_exhausted() {
+            return Err(WireError::Recoverable(format!(
+                "{} trailing bytes after log batch",
+                d.remaining()
+            )));
+        }
+        Ok(Self { reset, first_lsn, last_lsn, primary_lsn, records })
+    }
+}
+
+/// A replica's durability acknowledgement: everything up to `applied_lsn` is committed in its
+/// local store.  Flow control is one outstanding batch — the primary sends the next one only
+/// after the ack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack {
+    /// The replica's new durable cursor.
+    pub applied_lsn: Lsn,
+}
+
+impl Ack {
+    /// Encodes the ack payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.applied_lsn);
+        e.finish()
+    }
+
+    /// Decodes an ack payload.
+    pub fn decode(bytes: &[u8]) -> WireResult<Self> {
+        let mut d = Decoder::new(bytes);
+        let applied_lsn = d.get_u64()?;
+        if !d.is_exhausted() {
+            return Err(WireError::Recoverable(format!(
+                "{} trailing bytes after ack",
+                d.remaining()
+            )));
+        }
+        Ok(Self { applied_lsn })
     }
 }
 
@@ -289,9 +488,60 @@ mod tests {
     fn handshake_records_roundtrip() {
         let hello = Hello::current("test-agent");
         assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+        let replica = Hello::replica("replica-agent");
+        assert_eq!(replica.role, HandshakeRole::Replica);
+        assert_eq!(Hello::decode(&replica.encode()).unwrap(), replica);
         let welcome = Welcome { version: 1, client_id: 42, banner: "seed-net".into() };
         assert_eq!(Welcome::decode(&welcome.encode()).unwrap(), welcome);
         assert!(Hello::decode(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn v1_hello_without_role_byte_decodes_as_client() {
+        // A v1 peer's hello ends after the agent string.
+        let mut e = Encoder::new();
+        e.put_u16(1).put_u16(1).put_str("old client");
+        let hello = Hello::decode(&e.finish()).unwrap();
+        assert_eq!(hello.role, HandshakeRole::Client);
+        assert_eq!(hello.max_version, 1);
+        // An unknown role byte is a malformed (recoverable) payload, not a desync.
+        let mut e = Encoder::new();
+        e.put_u16(1).put_u16(2).put_str("x").put_u8(9);
+        assert!(Hello::decode(&e.finish()).unwrap_err().is_recoverable());
+    }
+
+    #[test]
+    fn replication_records_roundtrip() {
+        let sub = Subscribe { from_lsn: 17 };
+        assert_eq!(Subscribe::decode(&sub.encode()).unwrap(), sub);
+        let ack = Ack { applied_lsn: 99 };
+        assert_eq!(Ack::decode(&ack.encode()).unwrap(), ack);
+        let batch = LogBatch {
+            reset: false,
+            first_lsn: 18,
+            last_lsn: 21,
+            primary_lsn: 25,
+            records: vec![
+                LogRecord::Begin { txn: 4 },
+                LogRecord::Put { txn: 4, key: b"o/1".to_vec(), value: b"data".to_vec() },
+                LogRecord::Delete { txn: 4, key: b"d/o1".to_vec() },
+                LogRecord::Commit { txn: 4 },
+            ],
+        };
+        assert_eq!(LogBatch::decode(&batch.encode()).unwrap(), batch);
+        let heartbeat =
+            LogBatch { reset: true, first_lsn: 0, last_lsn: 7, primary_lsn: 7, records: vec![] };
+        assert_eq!(LogBatch::decode(&heartbeat.encode()).unwrap(), heartbeat);
+        // Trailing bytes are rejected as recoverable, like every other payload.
+        let mut bytes = sub.encode();
+        bytes.push(0);
+        assert!(Subscribe::decode(&bytes).unwrap_err().is_recoverable());
+        let mut bytes = batch.encode();
+        bytes.push(0);
+        assert!(LogBatch::decode(&bytes).unwrap_err().is_recoverable());
+        let mut bytes = ack.encode();
+        bytes.push(0);
+        assert!(Ack::decode(&bytes).unwrap_err().is_recoverable());
     }
 
     #[test]
@@ -302,6 +552,7 @@ mod tests {
             min_version: PROTOCOL_VERSION,
             max_version: PROTOCOL_VERSION + 5,
             agent: String::new(),
+            role: HandshakeRole::Client,
         };
         assert_eq!(negotiate(&newer).unwrap(), PROTOCOL_VERSION);
         // A client that requires only future versions is refused.
@@ -309,9 +560,15 @@ mod tests {
             min_version: PROTOCOL_VERSION + 1,
             max_version: PROTOCOL_VERSION + 2,
             agent: String::new(),
+            role: HandshakeRole::Client,
         };
         assert!(negotiate(&future).is_err());
-        let empty = Hello { min_version: 3, max_version: 2, agent: String::new() };
+        let empty = Hello {
+            min_version: 3,
+            max_version: 2,
+            agent: String::new(),
+            role: HandshakeRole::Client,
+        };
         assert!(negotiate(&empty).is_err());
     }
 }

@@ -30,6 +30,13 @@ pub enum ServerError {
     /// The peer violated the wire protocol (handshake failure, malformed frame, a request
     /// claiming another connection's client identity).
     Protocol(String),
+    /// The node is a read-only replica: writes (checkout, check-in, version creation) must be
+    /// redirected to the primary it replicates from.
+    ReadOnlyReplica {
+        /// Address of the primary this replica follows — where the client should reconnect for
+        /// writes.
+        primary: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -47,6 +54,12 @@ impl fmt::Display for ServerError {
             ServerError::Disconnected => write!(f, "server disconnected"),
             ServerError::Transport(message) => write!(f, "transport failed: {message}"),
             ServerError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            ServerError::ReadOnlyReplica { primary } => {
+                write!(
+                    f,
+                    "this node is a read-only replica; send writes to the primary at {primary}"
+                )
+            }
         }
     }
 }

@@ -27,6 +27,6 @@ pub use error::{ServerError, ServerResult};
 pub use lock::LockTable;
 pub use protocol::{
     AssociationSummary, CheckoutSet, ClassSummary, ClientId, PersistenceStatus, QueryAnswer,
-    RelationshipInfo, Request, Response, SchemaSummary, Update,
+    RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary, Update,
 };
 pub use server::{SeedServer, ServerHandle};

@@ -138,6 +138,42 @@ pub struct QueryAnswer {
     pub plan: Option<String>,
 }
 
+/// Which side of WAL-shipping replication a node plays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplicationRole {
+    /// The writable node whose WAL is shipped to subscribers.
+    #[default]
+    Primary,
+    /// A read-only node applying shipped log batches; writes are redirected to the primary.
+    Replica,
+}
+
+/// Replication progress, as surfaced in [`PersistenceStatus`] (the `Persistence` request is the
+/// operational window into both sides of the stream — see `docs/OPERATIONS.md`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicationStatus {
+    /// This node's role.
+    pub role: ReplicationRole,
+    /// Last primary LSN whose effects are durable on this node.  On the primary this equals
+    /// [`ReplicationStatus::primary_lsn`] (it is always caught up with itself).
+    pub applied_lsn: u64,
+    /// The primary's durable end of log, as last observed.
+    pub primary_lsn: u64,
+    /// Connected replication subscribers (primary side; 0 on replicas).
+    pub subscribers: u32,
+    /// The lowest LSN any connected subscriber has acknowledged (primary side; 0 when there
+    /// are no subscribers).
+    pub min_acked_lsn: u64,
+}
+
+impl ReplicationStatus {
+    /// Replication lag in log records: how far this node's applied state trails the primary's
+    /// durable end of log (always 0 on the primary).
+    pub fn lag(&self) -> u64 {
+        self.primary_lsn.saturating_sub(self.applied_lsn)
+    }
+}
+
 /// The durability state of the central database, as reported over the protocol.  After a
 /// server restart, the counts tell a client exactly what restart recovery reconstructed from
 /// the write-through records and the storage WAL.
@@ -155,6 +191,9 @@ pub struct PersistenceStatus {
     pub relationships: usize,
     /// Stored versions.
     pub versions: usize,
+    /// Replication progress — `Some` on replicas and on primaries with at least one connected
+    /// subscriber; `None` when the node takes no part in replication.
+    pub replication: Option<ReplicationStatus>,
 }
 
 /// Summary of one class, as shipped to remote clients ([`SchemaSummary`]).  Ids are the raw

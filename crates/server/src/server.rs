@@ -15,7 +15,7 @@ use crate::error::{ServerError, ServerResult};
 use crate::lock::LockTable;
 use crate::protocol::{
     AssociationSummary, CheckoutSet, ClassSummary, ClientId, PersistenceStatus, QueryAnswer,
-    RelationshipInfo, Request, Response, SchemaSummary, Update,
+    RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary, Update,
 };
 
 /// The central SEED server of the two-level multi-user scheme.
@@ -34,6 +34,13 @@ pub struct SeedServer {
     /// recovery rule: a vanished client's checked-out data must come back).
     sessions: Mutex<HashMap<ClientId, Instant>>,
     next_client: AtomicU64,
+    /// `Some(primary address)` turns this server into a read-only replica: every write surface
+    /// answers [`ServerError::ReadOnlyReplica`] redirecting the client to the primary.
+    read_only: Mutex<Option<String>>,
+    /// Primary side of replication: last acknowledged LSN per connected subscriber.
+    replica_acks: Mutex<HashMap<ClientId, u64>>,
+    /// Replica side of replication: `(applied LSN, last observed primary LSN)`.
+    replica_progress: Mutex<Option<(u64, u64)>>,
 }
 
 impl SeedServer {
@@ -45,7 +52,86 @@ impl SeedServer {
             checkouts: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(1),
+            read_only: Mutex::new(None),
+            replica_acks: Mutex::new(HashMap::new()),
+            replica_progress: Mutex::new(None),
         }
+    }
+
+    // ----- replication roles --------------------------------------------------------------------
+
+    /// Turns this server into a **read-only replica** of the primary at `primary`: checkout,
+    /// check-in and version creation answer [`ServerError::ReadOnlyReplica`] carrying that
+    /// address, while the whole read surface keeps working.  The replication driver
+    /// (`seed-net`'s `ReplicaNode`) swaps freshly applied databases in via
+    /// [`SeedServer::replace_database`].
+    pub fn set_read_only(&self, primary: impl Into<String>) {
+        *self.read_only.lock() = Some(primary.into());
+    }
+
+    /// The primary address when this server is a read-only replica.
+    pub fn read_only_primary(&self) -> Option<String> {
+        self.read_only.lock().clone()
+    }
+
+    fn guard_writable(&self) -> ServerResult<()> {
+        match &*self.read_only.lock() {
+            Some(primary) => Err(ServerError::ReadOnlyReplica { primary: primary.clone() }),
+            None => Ok(()),
+        }
+    }
+
+    /// Replaces the served database wholesale (the replica apply path: each applied log batch
+    /// rebuilds the database from the replica store and swaps it in under the write lock, so a
+    /// read sees the state before or after a whole batch, never in between).
+    pub fn replace_database(&self, db: Database) {
+        *self.db.write() = db;
+    }
+
+    /// Records a subscriber's acknowledged LSN (primary side; called by the network layer's
+    /// replication sessions).
+    pub fn note_replica_ack(&self, client: ClientId, acked_lsn: u64) {
+        self.replica_acks.lock().insert(client, acked_lsn);
+    }
+
+    /// Forgets a disconnected subscriber (primary side).
+    pub fn forget_replica(&self, client: ClientId) {
+        self.replica_acks.lock().remove(&client);
+    }
+
+    /// Number of connected replication subscribers (primary side).
+    pub fn subscriber_count(&self) -> usize {
+        self.replica_acks.lock().len()
+    }
+
+    /// Updates this replica's progress: the LSN applied locally and the primary's durable end
+    /// of log as last observed (replica side; called by the replication driver).
+    pub fn set_replica_progress(&self, applied_lsn: u64, primary_lsn: u64) {
+        *self.replica_progress.lock() = Some((applied_lsn, primary_lsn));
+    }
+
+    fn replication_status(&self, db: &Database) -> Option<ReplicationStatus> {
+        if let Some((applied, primary)) = *self.replica_progress.lock() {
+            return Some(ReplicationStatus {
+                role: ReplicationRole::Replica,
+                applied_lsn: applied,
+                primary_lsn: primary,
+                subscribers: 0,
+                min_acked_lsn: 0,
+            });
+        }
+        let acks = self.replica_acks.lock();
+        if acks.is_empty() {
+            return None;
+        }
+        let lsn = db.durable_lsn().unwrap_or(0);
+        Some(ReplicationStatus {
+            role: ReplicationRole::Primary,
+            applied_lsn: lsn,
+            primary_lsn: lsn,
+            subscribers: acks.len() as u32,
+            min_acked_lsn: acks.values().copied().min().unwrap_or(0),
+        })
     }
 
     /// Opens a server over a **durable** database in `dir` (running restart recovery if the
@@ -79,6 +165,7 @@ impl SeedServer {
             objects: db.object_count(),
             relationships: db.relationship_count(),
             versions: db.versions().len(),
+            replication: self.replication_status(&db),
         }
     }
 
@@ -298,6 +385,7 @@ impl SeedServer {
     /// Checks out the named objects for `client`: takes write locks on them (and their dependent
     /// objects) and returns copies of the objects plus the relationships among them.
     pub fn checkout(&self, client: ClientId, names: &[&str]) -> ServerResult<CheckoutSet> {
+        self.guard_writable()?;
         self.touch(client);
         let db = self.db.read();
         let mut locks = self.locks.lock();
@@ -355,6 +443,7 @@ impl SeedServer {
     /// the client's locks.  If any update fails (consistency violation, lock discipline breach),
     /// nothing is applied and the locks are kept so the client can fix and retry.
     pub fn checkin(&self, client: ClientId, updates: &[Update]) -> ServerResult<()> {
+        self.guard_writable()?;
         self.touch(client);
         let mut db = self.db.write();
         let locks = self.locks.lock();
@@ -485,6 +574,7 @@ impl SeedServer {
 
     /// Creates a global version snapshot on the central database.
     pub fn create_version(&self, comment: &str) -> ServerResult<VersionId> {
+        self.guard_writable()?;
         self.db.write().create_version(comment).map_err(ServerError::Rejected)
     }
 
@@ -877,6 +967,63 @@ mod tests {
         handle.shutdown().unwrap();
         join.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_replica_serves_reads_and_redirects_writes() {
+        let server = server_with_data();
+        server.set_read_only("primary.example:7044");
+        assert_eq!(server.read_only_primary().as_deref(), Some("primary.example:7044"));
+        // The whole read surface keeps working.
+        assert!(server.retrieve("Alarms").is_ok());
+        assert_eq!(server.query("count Action").unwrap().count, 2);
+        assert!(server.schema_summary().class_id("Data").is_some());
+        assert!(server.completeness_count() > 0);
+        // Writes are redirected, not applied.
+        let c1 = server.connect();
+        for err in [
+            server.checkout(c1, &["Alarms"]).unwrap_err(),
+            server.checkin(c1, &[]).unwrap_err(),
+            server.create_version("nope").unwrap_err(),
+        ] {
+            match err {
+                ServerError::ReadOnlyReplica { primary } => {
+                    assert_eq!(primary, "primary.example:7044");
+                }
+                other => panic!("expected a redirect, got {other:?}"),
+            }
+        }
+        assert_eq!(server.locked_count(), 0, "a redirected checkout must acquire nothing");
+        // The apply path: a freshly loaded database replaces the served one atomically.
+        let mut next = Database::new(figure3_schema());
+        next.create_object("Data", "FromTheStream").unwrap();
+        server.replace_database(next);
+        assert!(server.retrieve("FromTheStream").is_ok());
+        assert!(server.retrieve("Alarms").is_err(), "the old state was swapped out in full");
+        // Replica progress is surfaced through the persistence status.
+        server.set_replica_progress(41, 44);
+        let status = server.persistence_status();
+        let replication = status.replication.expect("replica status present");
+        assert_eq!(replication.role, ReplicationRole::Replica);
+        assert_eq!(replication.lag(), 3);
+    }
+
+    #[test]
+    fn primary_reports_subscribers_in_persistence_status() {
+        let server = server_with_data();
+        assert!(server.persistence_status().replication.is_none(), "no subscribers yet");
+        server.note_replica_ack(7, 12);
+        server.note_replica_ack(9, 8);
+        let status = server.persistence_status().replication.expect("primary status present");
+        assert_eq!(status.role, ReplicationRole::Primary);
+        assert_eq!(status.subscribers, 2);
+        assert_eq!(status.min_acked_lsn, 8);
+        assert_eq!(status.lag(), 0, "a primary never lags itself");
+        assert_eq!(server.subscriber_count(), 2);
+        server.forget_replica(9);
+        assert_eq!(server.subscriber_count(), 1);
+        server.forget_replica(7);
+        assert!(server.persistence_status().replication.is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::heapfile::{HeapFile, RecordId};
 use crate::page::PageId;
 use crate::pagestore::{FilePageStore, MemoryPageStore, PageStore};
-use crate::wal::{replay_committed, LogRecord, WriteAheadLog};
+use crate::wal::{replay_committed, LogRecord, Lsn, WalTail, WriteAheadLog};
 
 /// Configuration for opening a [`StorageEngine`].
 #[derive(Debug, Clone)]
@@ -58,6 +58,10 @@ impl Default for EngineConfig {
 
 /// Identifier of an open transaction.
 pub type TxnId = u64;
+
+/// Every committed `(key, value)` pair of an engine, in key order — the shape of a full
+/// replication snapshot ([`StorageEngine::snapshot_with_lsn`]).
+pub type KeySpaceDump = Vec<(Vec<u8>, Vec<u8>)>;
 
 struct EngineInner {
     index: BPlusTree,
@@ -481,6 +485,36 @@ impl StorageEngine {
     /// Bytes currently held by the WAL (recovery replay work is proportional to this).
     pub fn wal_size_bytes(&self) -> StorageResult<u64> {
         self.wal.size_bytes()
+    }
+
+    // ----- replication feed ---------------------------------------------------------------------
+
+    /// The absolute LSN of the last record in the WAL — the position a fully caught-up
+    /// replication subscriber has applied.  Checkpoint-stable: truncation advances the log's
+    /// base instead of resetting the numbering.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.wal.durable_lsn()
+    }
+
+    /// The WAL tail from `from` (inclusive): the committed log records a replication subscriber
+    /// at position `from - 1` still needs, or [`WalTail::Truncated`] when a checkpoint already
+    /// truncated them away and the subscriber must resync from
+    /// [`StorageEngine::snapshot_with_lsn`].
+    pub fn wal_tail(&self, from: Lsn) -> StorageResult<WalTail> {
+        self.wal.read_from(from)
+    }
+
+    /// Every committed `(key, value)` pair plus the LSN the snapshot corresponds to, read
+    /// atomically (commits hold the same lock while they append to the WAL and apply their
+    /// effects, so the pairs and the LSN cannot tear).  This is the full-resync path for
+    /// replication subscribers whose cursor fell behind a checkpoint.
+    pub fn snapshot_with_lsn(&self) -> StorageResult<(KeySpaceDump, Lsn)> {
+        let inner = self.inner.lock();
+        if inner.closed {
+            return Err(StorageError::Closed);
+        }
+        let pairs = Self::resolve_entries(&inner, inner.index.scan_prefix(b""))?;
+        Ok((pairs, self.wal.durable_lsn()))
     }
 
     /// Flushes dirty pages, persists the catalog and truncates the WAL.

@@ -36,4 +36,4 @@ pub use error::{StorageError, StorageResult};
 pub use heapfile::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagestore::{FilePageStore, MemoryPageStore, PageStore};
-pub use wal::{LogRecord, Lsn, WriteAheadLog};
+pub use wal::{LogRecord, Lsn, WalTail, WriteAheadLog};

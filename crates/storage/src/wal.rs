@@ -6,6 +6,17 @@
 //! not yet durable).
 //!
 //! Frame layout: `len: u32 | crc: u32 | payload: len bytes`.
+//!
+//! ## Checkpoint-stable LSNs
+//!
+//! LSNs are **absolute**: they number every record ever appended, and a checkpoint truncation
+//! does not reset them.  The log keeps a *base* — the number of records truncated away — so the
+//! first physical record in the file always carries LSN `base + 1`.  For file-backed logs the
+//! base survives restarts in a sidecar (`<log>.base`, written *before* the truncation: a crash
+//! between the two leaves records labelled with too-high LSNs, which replication subscribers
+//! re-apply idempotently, instead of re-using already-consumed LSNs for different content).
+//! This is what lets a replication subscriber hold a durable cursor into the primary's log
+//! ([`WriteAheadLog::read_from`]) across checkpoints and restarts on either side.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -16,8 +27,25 @@ use parking_lot::Mutex;
 use crate::codec::{crc32, Decoder, Encoder};
 use crate::error::{StorageError, StorageResult};
 
-/// Log sequence number: the index of a record in the log (1-based; 0 means "none").
+/// Log sequence number: the absolute, checkpoint-stable index of a record in the log (1-based;
+/// 0 means "none").  Truncation advances the log's base instead of resetting the numbering.
 pub type Lsn = u64;
+
+/// The answer to a tail read ([`WriteAheadLog::read_from`]): either the records from the asked
+/// position to the durable end, or the news that the position has been truncated away and the
+/// subscriber must resynchronize from a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every record with `lsn >= from`, in order (possibly empty when the caller is caught up).
+    Records(Vec<(Lsn, LogRecord)>),
+    /// The asked position is no longer in the log — either a checkpoint truncated it away, or
+    /// the caller's cursor is ahead of this log (a different or reset log).  `oldest` is the
+    /// first LSN still available.
+    Truncated {
+        /// The first LSN the log can still serve.
+        oldest: Lsn,
+    },
+}
 
 /// A logical WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,15 +127,58 @@ enum WalBackend {
 }
 
 /// An append-only write-ahead log.
+///
+/// Lock order: `backend` before `base` before `next_lsn` (never the other way around), so that
+/// readers holding the backend lock observe a base consistent with the bytes they read.
 pub struct WriteAheadLog {
     backend: Mutex<WalBackend>,
+    /// Number of records truncated away; the first physical record carries LSN `base + 1`.
+    base: Mutex<Lsn>,
     next_lsn: Mutex<Lsn>,
 }
 
 impl WriteAheadLog {
     /// Creates an in-memory log (used for ephemeral databases and tests).
     pub fn in_memory() -> Self {
-        Self { backend: Mutex::new(WalBackend::Memory(Vec::new())), next_lsn: Mutex::new(1) }
+        Self {
+            backend: Mutex::new(WalBackend::Memory(Vec::new())),
+            base: Mutex::new(0),
+            next_lsn: Mutex::new(1),
+        }
+    }
+
+    /// Sidecar path holding the base LSN of a file-backed log.
+    fn base_path(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".base");
+        PathBuf::from(p)
+    }
+
+    fn read_base(path: &Path) -> Lsn {
+        std::fs::read(Self::base_path(path))
+            .ok()
+            .and_then(|bytes| bytes.try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0)
+    }
+
+    fn write_base(path: &Path, base: Lsn) -> StorageResult<()> {
+        let fin = Self::base_path(path);
+        let tmp = fin.with_extension("base.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&base.to_le_bytes())?;
+            // The truncation ordering argument only holds if the base really reaches disk
+            // first: sync the bytes, then the rename (via the directory), before the caller
+            // shrinks the log.
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &fin)?;
+        if let Some(dir) = fin.parent() {
+            if let Ok(dir) = File::open(dir) {
+                let _ = dir.sync_data();
+            }
+        }
+        Ok(())
     }
 
     /// Opens (or creates) a log file at `path`.
@@ -117,16 +188,20 @@ impl WriteAheadLog {
     /// that every later recovery would stop at.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
+        let base = Self::read_base(&path);
         let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
-        let wal =
-            Self { backend: Mutex::new(WalBackend::File { file, path }), next_lsn: Mutex::new(1) };
+        let wal = Self {
+            backend: Mutex::new(WalBackend::File { file, path }),
+            base: Mutex::new(base),
+            next_lsn: Mutex::new(base + 1),
+        };
         let (existing, valid_len) = {
             let mut backend = wal.backend.lock();
             let WalBackend::File { file, .. } = &mut *backend else { unreachable!() };
             file.seek(SeekFrom::Start(0))?;
             let mut raw = Vec::new();
             file.read_to_end(&mut raw)?;
-            let (records, valid_len) = Self::parse_frames(&raw)?;
+            let (records, valid_len) = Self::parse_frames(&raw, base)?;
             if (valid_len as u64) < raw.len() as u64 {
                 file.set_len(valid_len as u64)?;
                 file.sync_data()?;
@@ -135,7 +210,7 @@ impl WriteAheadLog {
             (records, valid_len)
         };
         let _ = valid_len;
-        *wal.next_lsn.lock() = existing.len() as Lsn + 1;
+        *wal.next_lsn.lock() = base + existing.len() as Lsn + 1;
         Ok(wal)
     }
 
@@ -187,6 +262,16 @@ impl WriteAheadLog {
         *self.next_lsn.lock()
     }
 
+    /// LSN of the last appended record (0 when nothing was ever appended).
+    pub fn durable_lsn(&self) -> Lsn {
+        *self.next_lsn.lock() - 1
+    }
+
+    /// Number of records truncated away; the log still holds LSNs `base_lsn() + 1 ..`.
+    pub fn base_lsn(&self) -> Lsn {
+        *self.base.lock()
+    }
+
     /// Reads every valid record from the beginning of the log.
     ///
     /// Stops silently at the first truncated or checksum-failing frame — the standard WAL
@@ -196,28 +281,57 @@ impl WriteAheadLog {
     /// therefore never acknowledged (its batch's sync cannot have returned), so recovery keeps
     /// the valid prefix and discards the rest instead of refusing to open.
     pub fn read_all(&self) -> StorageResult<Vec<(Lsn, LogRecord)>> {
-        let raw = {
-            let mut backend = self.backend.lock();
-            match &mut *backend {
-                WalBackend::Memory(buf) => buf.clone(),
-                WalBackend::File { file, .. } => {
-                    file.seek(SeekFrom::Start(0))?;
-                    let mut buf = Vec::new();
-                    file.read_to_end(&mut buf)?;
-                    file.seek(SeekFrom::End(0))?;
-                    buf
-                }
-            }
-        };
-        Ok(Self::parse_frames(&raw)?.0)
+        let (_, (records, _, _)) = self.read_consistent(0)?;
+        Ok(records)
     }
 
-    /// Parses raw log bytes into records plus the byte length of the valid prefix (everything
-    /// after that offset is a torn tail the caller may truncate away).
-    fn parse_frames(raw: &[u8]) -> StorageResult<(Vec<(Lsn, LogRecord)>, usize)> {
+    /// Reads the base and the records from `min_lsn` on under one backend lock, so truncation
+    /// cannot interleave between the two.  Also returns the total record count (frames before
+    /// `min_lsn` are walked for framing but not decoded — the tail-poll path pays header
+    /// parsing, not record decoding, for the part it will not ship).
+    fn read_consistent(&self, min_lsn: Lsn) -> StorageResult<(Lsn, ParsedTail)> {
+        let mut backend = self.backend.lock();
+        let base = *self.base.lock();
+        let raw = match &mut *backend {
+            WalBackend::Memory(buf) => buf.clone(),
+            WalBackend::File { file, .. } => {
+                file.seek(SeekFrom::Start(0))?;
+                let mut buf = Vec::new();
+                file.read_to_end(&mut buf)?;
+                file.seek(SeekFrom::End(0))?;
+                buf
+            }
+        };
+        Ok((base, Self::parse_frames_from(&raw, base, min_lsn)?))
+    }
+
+    /// The tail of the log from LSN `from` (inclusive) to the durable end — the replication
+    /// cursor primitive.  Returns [`WalTail::Truncated`] when `from` is no longer in the log
+    /// (a checkpoint truncated it away) **or** lies beyond it (the caller's cursor belongs to a
+    /// different or reset log); in both cases the caller must resynchronize from a snapshot.
+    pub fn read_from(&self, from: Lsn) -> StorageResult<WalTail> {
+        let (base, (records, end, _)) = self.read_consistent(from)?;
+        if from <= base || from > end + 1 {
+            return Ok(WalTail::Truncated { oldest: base + 1 });
+        }
+        Ok(WalTail::Records(records))
+    }
+
+    /// Parses raw log bytes into records (numbered from `base + 1`) plus the byte length of the
+    /// valid prefix (everything after that offset is a torn tail the caller may truncate away).
+    fn parse_frames(raw: &[u8], base: Lsn) -> StorageResult<(Vec<(Lsn, LogRecord)>, usize)> {
+        let (records, _, valid_len) = Self::parse_frames_from(raw, base, 0)?;
+        Ok((records, valid_len))
+    }
+
+    /// Like [`WriteAheadLog::parse_frames`], but only records with `lsn >= min_lsn` are decoded
+    /// and returned — frames below the cursor are CRC-checked and skipped, which is what keeps
+    /// a replication tail read O(file bytes + tail records), not O(all records).  Also returns
+    /// the LSN of the last valid frame and the valid byte length.
+    fn parse_frames_from(raw: &[u8], base: Lsn, min_lsn: Lsn) -> StorageResult<ParsedTail> {
         let mut out = Vec::new();
         let mut pos = 0usize;
-        let mut lsn: Lsn = 1;
+        let mut lsn: Lsn = base + 1;
         while pos + 8 <= raw.len() {
             let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
@@ -231,20 +345,30 @@ impl WriteAheadLog {
                 // Everything from here on was never acknowledged; stop cleanly.
                 break;
             }
-            out.push((lsn, LogRecord::decode(payload)?));
+            if lsn >= min_lsn {
+                out.push((lsn, LogRecord::decode(payload)?));
+            }
             pos += 8 + len;
             lsn += 1;
         }
-        Ok((out, pos))
+        Ok((out, lsn - 1, pos))
     }
 
-    /// Truncates the log (used after a checkpoint has made its contents redundant).
+    /// Truncates the log (used after a checkpoint has made its contents redundant).  The LSN
+    /// numbering is **not** reset: the base advances to the last truncated LSN, so the next
+    /// append continues the absolute sequence ([`WriteAheadLog::read_from`] cursors stay valid
+    /// or report [`WalTail::Truncated`], never silently re-bind to different records).
     pub fn truncate(&self) -> StorageResult<()> {
         let mut backend = self.backend.lock();
+        let new_base = *self.next_lsn.lock() - 1;
         match &mut *backend {
             WalBackend::Memory(buf) => buf.clear(),
             WalBackend::File { file, path } => {
                 file.sync_data()?;
+                // The base sidecar is written before the log shrinks: if we crash in between,
+                // the surviving records re-parse under too-HIGH LSNs, which subscribers
+                // re-apply idempotently — never under already-consumed LSNs with new content.
+                Self::write_base(path, new_base)?;
                 let new_file =
                     OpenOptions::new().read(true).write(true).truncate(true).open(&*path)?;
                 new_file.sync_data()?;
@@ -252,7 +376,7 @@ impl WriteAheadLog {
                 *file = OpenOptions::new().read(true).append(true).open(&*path)?;
             }
         }
-        *self.next_lsn.lock() = 1;
+        *self.base.lock() = new_base;
         Ok(())
     }
 
@@ -265,6 +389,10 @@ impl WriteAheadLog {
         }
     }
 }
+
+/// One decoded stretch of the log: the records kept, the LSN of the last valid frame, and the
+/// byte length of the valid prefix (private parsing plumbing).
+type ParsedTail = (Vec<(Lsn, LogRecord)>, Lsn, usize);
 
 /// One logged effect on a key: `Some(value)` for a put, `None` for a delete.
 pub type KeyEffect = (Vec<u8>, Option<Vec<u8>>);
@@ -540,13 +668,72 @@ mod tests {
     }
 
     #[test]
-    fn truncate_resets_log() {
+    fn truncate_clears_bytes_but_keeps_the_lsn_sequence() {
         let wal = WriteAheadLog::in_memory();
         wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
         wal.truncate().unwrap();
         assert_eq!(wal.read_all().unwrap().len(), 0);
-        assert_eq!(wal.next_lsn(), 1);
+        assert_eq!(wal.next_lsn(), 2, "absolute LSNs survive truncation");
+        assert_eq!(wal.base_lsn(), 1);
         assert_eq!(wal.size_bytes().unwrap(), 0);
+        // The next append continues the sequence.
+        assert_eq!(wal.append(&LogRecord::Commit { txn: 1 }).unwrap(), 2);
+        assert_eq!(wal.read_all().unwrap(), vec![(2, LogRecord::Commit { txn: 1 })]);
+    }
+
+    #[test]
+    fn read_from_serves_the_tail_and_reports_truncation() {
+        let wal = WriteAheadLog::in_memory();
+        for txn in 1..=3 {
+            wal.append(&LogRecord::Begin { txn }).unwrap();
+            wal.append(&LogRecord::Commit { txn }).unwrap();
+        }
+        // Mid-log cursor: records 4..=6.
+        match wal.read_from(4).unwrap() {
+            WalTail::Records(recs) => {
+                assert_eq!(recs.len(), 3);
+                assert_eq!(recs[0], (4, LogRecord::Commit { txn: 2 }));
+            }
+            other => panic!("expected records, got {other:?}"),
+        }
+        // Caught up: empty, not an error.
+        assert_eq!(wal.read_from(7).unwrap(), WalTail::Records(vec![]));
+        // Ahead of the log: a foreign cursor, must resync.
+        assert!(matches!(wal.read_from(8).unwrap(), WalTail::Truncated { oldest: 1 }));
+        // After truncation, old cursors learn they were cut off; new ones still work.
+        wal.truncate().unwrap();
+        assert!(matches!(wal.read_from(3).unwrap(), WalTail::Truncated { oldest: 7 }));
+        assert_eq!(wal.read_from(7).unwrap(), WalTail::Records(vec![]));
+        wal.append(&LogRecord::Begin { txn: 9 }).unwrap();
+        match wal.read_from(7).unwrap() {
+            WalTail::Records(recs) => assert_eq!(recs, vec![(7, LogRecord::Begin { txn: 9 })]),
+            other => panic!("expected records, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn base_lsn_survives_reopen_of_a_file_log() {
+        let path = temp_path("base-reopen.wal");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(WriteAheadLog::base_path(&path));
+        {
+            let wal = WriteAheadLog::open(&path).unwrap();
+            wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+            wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
+            wal.sync().unwrap();
+            wal.truncate().unwrap();
+            wal.append(&LogRecord::Begin { txn: 2 }).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let wal = WriteAheadLog::open(&path).unwrap();
+            assert_eq!(wal.base_lsn(), 2, "base restored from the sidecar");
+            assert_eq!(wal.next_lsn(), 4);
+            assert_eq!(wal.read_all().unwrap(), vec![(3, LogRecord::Begin { txn: 2 })]);
+            assert!(matches!(wal.read_from(1).unwrap(), WalTail::Truncated { oldest: 3 }));
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(WriteAheadLog::base_path(&path));
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!   cost-aware planner with indexed access paths and `explain` (contract: `docs/QUERY.md`);
 //! * [`server`] — the two-level multi-user extension (check-out/check-in, write locks);
 //! * [`net`] — the network frontend: versioned binary wire protocol, concurrent TCP server,
-//!   blocking remote client (contract: `docs/ARCHITECTURE.md` §2.7);
+//!   blocking remote client, and WAL-shipping read replicas (wire contract:
+//!   `docs/PROTOCOL.md`; replication runbook: `docs/OPERATIONS.md`);
 //! * [`spades`] — the miniature SPADES specification tool, SEED's example application.
 //!
 //! # Example

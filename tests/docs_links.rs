@@ -1,0 +1,93 @@
+//! Guards the documentation graph: every intra-repo markdown link (`[text](relative/path)`)
+//! in the repository's `.md` files must point at a file that exists.  External links
+//! (`http(s)://`, `mailto:`) and pure `#anchor` links are ignored, as are fenced code blocks.
+//! CI's docs job runs this, so a renamed or dropped document fails the build instead of
+//! leaving dangling cross-references.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn collect_markdown(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Build output and VCS internals are not documentation.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_markdown(&path, out);
+        } else if name.ends_with(".md") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts `(text, target)` pairs of inline markdown links outside fenced code blocks.
+fn extract_links(markdown: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find "](", then read the target up to the matching ')'.
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = line[start..].find(')') {
+                    links.push(line[start..start + rel_end].to_string());
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+#[test]
+fn no_dangling_intra_repo_markdown_links() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    collect_markdown(&root, &mut files);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "the scan must at least see the README ({} files found)",
+        files.len()
+    );
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let content = std::fs::read_to_string(file).unwrap();
+        for target in extract_links(&content) {
+            let target = target.split_whitespace().next().unwrap_or(""); // drop "(path \"title\")"
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // Strip an anchor suffix; only the file half must exist.
+            let path_part = target.split('#').next().unwrap_or(target);
+            let resolved = file.parent().unwrap().join(path_part);
+            if !resolved.exists() {
+                broken.push(format!("{} -> {target}", file.strip_prefix(&root).unwrap().display()));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "dangling intra-repo markdown links:\n  {}", broken.join("\n  "));
+}

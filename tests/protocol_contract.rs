@@ -1,0 +1,254 @@
+//! Pins the wire contract documented in `docs/PROTOCOL.md`: the worked hex dumps render
+//! byte-exactly, the kind/tag tables match the code, and the error tiers behave as documented.
+//! Change `crates/net/src/wire.rs` / `crates/net/src/codec.rs`, the document and this test
+//! together.
+
+use seed::net::wire::{
+    negotiate, read_frame, write_frame, Ack, Hello, LogBatch, Subscribe, Welcome,
+};
+use seed::net::{FrameKind, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
+use seed::server::{Request, Response, ServerError};
+use seed::storage::LogRecord;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(" ")
+}
+
+fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, kind, payload).unwrap();
+    buf
+}
+
+#[test]
+fn constants_match_the_document() {
+    assert_eq!(seed::net::wire::MAGIC, *b"SEWP");
+    assert_eq!(hex(&seed::net::wire::MAGIC), "53 45 57 50");
+    assert_eq!(MAX_FRAME_LEN, 64 * 1024 * 1024);
+    assert_eq!(PROTOCOL_VERSION_MIN, 1);
+    assert_eq!(PROTOCOL_VERSION, 2);
+}
+
+#[test]
+fn frame_kind_bytes_match_the_table() {
+    // §3: kind bytes are pinned and never reused.
+    let table = [
+        (FrameKind::Hello, 1u8),
+        (FrameKind::Welcome, 2),
+        (FrameKind::Request, 3),
+        (FrameKind::Response, 4),
+        (FrameKind::Reject, 5),
+        (FrameKind::Subscribe, 6),
+        (FrameKind::LogBatch, 7),
+        (FrameKind::Ack, 8),
+    ];
+    for (kind, byte) in table {
+        assert_eq!(kind.to_u8(), byte, "{kind:?}");
+        // And the byte round-trips through a real frame.
+        let bytes = frame_bytes(kind, b"");
+        assert_eq!(bytes[4], byte);
+        assert_eq!(read_frame(&mut &bytes[..]).unwrap().kind, kind);
+    }
+}
+
+#[test]
+fn worked_frame_example_renders_exactly_as_documented() {
+    // §1: the Request::Persistence frame.
+    let payload = seed::net::codec::encode_request(&Request::Persistence);
+    assert_eq!(hex(&payload), "07");
+    let frame = frame_bytes(FrameKind::Request, &payload);
+    assert_eq!(hex(&frame), "53 45 57 50 03 01 00 00 00 2e 7a 66 4c 07");
+}
+
+#[test]
+fn handshake_dumps_render_exactly_as_documented() {
+    // §4.
+    assert_eq!(hex(&Hello::current("spades").encode()), "01 00 02 00 06 73 70 61 64 65 73 00");
+    assert_eq!(hex(&Hello::replica("spades").encode()), "02 00 02 00 06 73 70 61 64 65 73 01");
+    let welcome = Welcome { version: 2, client_id: 7, banner: "seed-net/0.1.0".into() };
+    assert_eq!(
+        hex(&welcome.encode()),
+        "02 00 07 00 00 00 00 00 00 00 0e 73 65 65 64 2d 6e 65 74 2f 30 2e 31 2e 30"
+    );
+    // Negotiation: min(client max, server max), inside both ranges.
+    assert_eq!(negotiate(&Hello::current("x")).unwrap(), PROTOCOL_VERSION);
+    let mut v1_only = Hello::current("old");
+    v1_only.max_version = 1;
+    assert_eq!(negotiate(&v1_only).unwrap(), 1);
+}
+
+#[test]
+fn replication_dumps_render_exactly_as_documented() {
+    // §6.
+    assert_eq!(hex(&Subscribe { from_lsn: 42 }.encode()), "2a 00 00 00 00 00 00 00");
+    assert_eq!(hex(&Ack { applied_lsn: 46 }.encode()), "2e 00 00 00 00 00 00 00");
+    let ack_frame = frame_bytes(FrameKind::Ack, &Ack { applied_lsn: 46 }.encode());
+    assert_eq!(hex(&ack_frame), "53 45 57 50 08 08 00 00 00 0d af de 89 2e 00 00 00 00 00 00 00");
+    let batch = LogBatch {
+        reset: false,
+        first_lsn: 43,
+        last_lsn: 46,
+        primary_lsn: 46,
+        records: vec![
+            LogRecord::Begin { txn: 9 },
+            LogRecord::Put { txn: 9, key: b"o/1".to_vec(), value: b"v".to_vec() },
+            LogRecord::Commit { txn: 9 },
+        ],
+    };
+    assert_eq!(
+        hex(&batch.encode()),
+        "00 2b 00 00 00 00 00 00 00 2e 00 00 00 00 00 00 00 2e 00 00 00 00 00 00 00 03 \
+         09 01 09 00 00 00 00 00 00 00 \
+         0f 04 09 00 00 00 00 00 00 00 03 6f 2f 31 01 76 \
+         09 02 09 00 00 00 00 00 00 00"
+    );
+    // Every replication record round-trips.
+    assert_eq!(LogBatch::decode(&batch.encode()).unwrap(), batch);
+    assert_eq!(Subscribe::decode(&Subscribe { from_lsn: 42 }.encode()).unwrap().from_lsn, 42);
+    assert_eq!(Ack::decode(&Ack { applied_lsn: 46 }.encode()).unwrap().applied_lsn, 46);
+}
+
+#[test]
+fn request_tags_match_the_table() {
+    // §5: the leading payload byte of every request variant.
+    use seed::net::codec::encode_request;
+    let cases: Vec<(Request, u8)> = vec![
+        (Request::Connect, 0),
+        (Request::Checkout { client: 1, objects: vec![] }, 1),
+        (Request::Checkin { client: 1, updates: vec![] }, 2),
+        (Request::Release { client: 1 }, 3),
+        (Request::Retrieve { name: "X".into() }, 4),
+        (Request::Query { text: "count Thing".into() }, 5),
+        (Request::CreateVersion { comment: String::new() }, 6),
+        (Request::Persistence, 7),
+        (Request::Checkpoint, 8),
+        (Request::Schema, 9),
+        (Request::Children { name: "X".into() }, 10),
+        (Request::Prefix { prefix: "X".into() }, 11),
+        (Request::RelationshipsOf { name: "X".into() }, 12),
+        (Request::ObjectsOfClass { class: "X".into(), transitive: true }, 13),
+        (Request::RelationshipCount { association: "X".into(), transitive: true }, 14),
+        (Request::Completeness, 15),
+        (Request::Shutdown, 16),
+    ];
+    for (request, tag) in cases {
+        assert_eq!(encode_request(&request)[0], tag, "{request:?}");
+    }
+}
+
+#[test]
+fn response_and_error_tags_match_the_tables() {
+    use seed::net::codec::encode_response;
+    let err = || ServerError::Disconnected;
+    let cases: Vec<(Response, u8)> = vec![
+        (Response::Connected(1), 0),
+        (Response::Checkout(Err(err())), 1),
+        (Response::Ack(Ok(())), 2),
+        (Response::Object(Err(err())), 3),
+        (Response::Answer(Err(err())), 4),
+        (Response::Version(Err(err())), 5),
+        (Response::Persistence(Default::default()), 6),
+        (Response::Schema(Default::default()), 7),
+        (Response::Objects(Err(err())), 8),
+        (Response::Relationships(Err(err())), 9),
+        (Response::Count(Ok(0)), 10),
+        (Response::Error(err()), 11),
+        (Response::ShuttingDown, 12),
+    ];
+    for (response, tag) in cases {
+        assert_eq!(encode_response(&response)[0], tag, "{response:?}");
+    }
+    // §5: server error tags, read through Response::Error (tag 11, then the error tag).
+    let errors: Vec<(ServerError, u8)> = vec![
+        (ServerError::Locked { object: "X".into(), holder: 1 }, 0),
+        (ServerError::NotCheckedOut("X".into()), 1),
+        (ServerError::Rejected(seed::core::SeedError::Invalid("x".into())), 2),
+        (ServerError::Unknown("X".into()), 3),
+        (ServerError::Query("bad".into()), 4),
+        (ServerError::Disconnected, 5),
+        (ServerError::Transport("gone".into()), 6),
+        (ServerError::Protocol("bad frame".into()), 7),
+        (ServerError::ReadOnlyReplica { primary: "127.0.0.1:7044".into() }, 8),
+    ];
+    for (error, tag) in errors {
+        let bytes = encode_response(&Response::Error(error));
+        assert_eq!(bytes[1], tag);
+    }
+    // The redirect error round-trips with its primary address intact.
+    let bytes = encode_response(&Response::Error(ServerError::ReadOnlyReplica {
+        primary: "10.0.0.9:7044".into(),
+    }));
+    match seed::net::codec::decode_response(&bytes).unwrap() {
+        Response::Error(ServerError::ReadOnlyReplica { primary }) => {
+            assert_eq!(primary, "10.0.0.9:7044");
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
+}
+
+#[test]
+fn v1_sessions_never_see_v2_additions() {
+    // §5: per-session encoding.  A v1-negotiated session gets the exact v1 byte shape — the
+    // persistence payload ends after `versions` (no replication flag)...
+    use seed::net::codec::{decode_response, encode_response_versioned};
+    use seed::server::{PersistenceStatus, ReplicationRole, ReplicationStatus};
+    let status = PersistenceStatus {
+        durable: true,
+        path: None,
+        wal_bytes: 9,
+        objects: 1,
+        relationships: 2,
+        versions: 3,
+        replication: Some(ReplicationStatus {
+            role: ReplicationRole::Replica,
+            applied_lsn: 4,
+            primary_lsn: 5,
+            subscribers: 0,
+            min_acked_lsn: 0,
+        }),
+    };
+    let v1 = encode_response_versioned(&Response::Persistence(status.clone()), 1);
+    let v2 = encode_response_versioned(&Response::Persistence(status.clone()), 2);
+    assert_eq!(v2.len(), v1.len() + 1 + 1 + 8 + 8 + 4 + 8, "v2 adds exactly the block of §5");
+    match decode_response(&v1).unwrap() {
+        Response::Persistence(decoded) => {
+            assert!(decoded.replication.is_none(), "v1 payload decodes with no block");
+            assert_eq!(decoded.versions, 3);
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
+    // ...and the ReadOnlyReplica redirect degrades to tag 7 (Protocol) with the primary named.
+    let redirect = Response::Error(ServerError::ReadOnlyReplica { primary: "10.0.0.9:1".into() });
+    let v1 = encode_response_versioned(&redirect, 1);
+    assert_eq!(v1[1], 7, "tag 8 must not reach a v1 peer");
+    match decode_response(&v1).unwrap() {
+        Response::Error(ServerError::Protocol(message)) => {
+            assert!(message.contains("10.0.0.9:1"), "the primary is still named: {message}");
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
+}
+
+#[test]
+fn error_tiers_behave_as_documented() {
+    // §2: CRC damage is recoverable, the boundary holds.
+    let mut buf = frame_bytes(FrameKind::Request, b"abc");
+    let last = buf.len() - 1;
+    buf[last] ^= 0xFF;
+    let mut extended = buf.clone();
+    write_frame(&mut extended, FrameKind::Request, b"next").unwrap();
+    let mut cursor = &extended[..];
+    assert!(matches!(read_frame(&mut cursor), Err(WireError::Recoverable(_))));
+    assert_eq!(read_frame(&mut cursor).unwrap().payload, b"next");
+
+    // Bad magic, unknown kind and oversize are fatal.
+    let mut bad_magic = frame_bytes(FrameKind::Request, b"x");
+    bad_magic[0] = b'X';
+    assert!(matches!(read_frame(&mut &bad_magic[..]), Err(WireError::Fatal(_))));
+    let mut bad_kind = frame_bytes(FrameKind::Request, b"x");
+    bad_kind[4] = 99;
+    assert!(matches!(read_frame(&mut &bad_kind[..]), Err(WireError::Fatal(_))));
+    let mut oversize = frame_bytes(FrameKind::Request, b"x");
+    oversize[5..9].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    assert!(matches!(read_frame(&mut &oversize[..]), Err(WireError::Fatal(_))));
+}
