@@ -18,7 +18,7 @@ use crate::scenarios;
 
 /// Machine-readable result of one experiment: its stable id and named numeric metrics.
 pub struct ExperimentMetrics {
-    /// Stable experiment id (`E1` … `E12`).
+    /// Stable experiment id (`E1` … `E13`).
     pub id: &'static str,
     /// Named metrics, in presentation order.  Times are microseconds unless the name says
     /// otherwise; `*_x` values are ratios.
@@ -668,6 +668,71 @@ pub fn e12_replicated_read_throughput(
     )
 }
 
+/// E13 — segmented WAL recovery: replaying a long, many-segment log serially vs with the
+/// per-segment parallel parser the recovery path uses.
+///
+/// The acceptance bar of the segmentation tentpole: parallel replay must be **bit-identical**
+/// to serial replay (asserted here on real files, and by the storage proptests on arbitrary
+/// logs), and on a multi-core host it must not be pathologically slower — segment parsing is
+/// embarrassingly parallel, the serial merge is O(records).
+pub fn e13_segmented_recovery(commits: usize, segment_max_bytes: u64) -> ExperimentMetrics {
+    use seed_storage::{LogRecord, WalConfig, WriteAheadLog};
+
+    let dir = std::env::temp_dir().join(format!("seed-bench-e13-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = WalConfig { segment_max_bytes, ..WalConfig::default() };
+
+    // Build a committed history long enough to span many sealed segments.
+    let wal = WriteAheadLog::open_dir(&dir, config.clone()).unwrap();
+    for txn in 0..commits as u64 {
+        let key = format!("bench/{txn:08}").into_bytes();
+        wal.append_batch(&[
+            LogRecord::Begin { txn },
+            LogRecord::Put { txn, key, value: vec![0xA5; 96] },
+            LogRecord::Commit { txn },
+        ])
+        .unwrap();
+    }
+    wal.sync().unwrap();
+    let segments = wal.segment_count();
+    let wal_bytes = wal.size_bytes().unwrap();
+    drop(wal);
+
+    // Reopen over the same on-disk segments and time both replay paths.
+    let wal = WriteAheadLog::open_dir(&dir, config).unwrap();
+    let (serial, serial_records) = time(|| wal.read_all().unwrap());
+    let (parallel, parallel_records) = time(|| wal.read_all_parallel().unwrap());
+    assert_eq!(serial_records, parallel_records, "parallel replay must be bit-identical");
+    let effects = seed_storage::replay_committed(&serial_records);
+    assert_eq!(effects.len(), commits, "every committed transaction must replay");
+    let serial_us = serial.as_secs_f64() * 1e6;
+    let parallel_us = parallel.as_secs_f64() * 1e6;
+    let speedup = serial_us / parallel_us.max(f64::EPSILON);
+
+    row(
+        "E13",
+        &format!("segmented recovery, {commits} commits over {segments} segments"),
+        format!(
+            "serial {:.2} ms vs parallel {:.2} ms ({speedup:.2}x) across {} KiB of log",
+            serial_us / 1e3,
+            parallel_us / 1e3,
+            wal_bytes / 1024
+        ),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    ExperimentMetrics::new(
+        "E13",
+        &[
+            ("commits", commits as f64),
+            ("segments", segments as f64),
+            ("wal_frame_bytes", wal_bytes as f64),
+            ("serial_replay_us", serial_us),
+            ("parallel_replay_us", parallel_us),
+            ("speedup_x", speedup),
+        ],
+    )
+}
+
 /// Renders the collected metrics as a JSON document (`experiment id → {metric: value}`).
 pub fn render_bench_json(results: &[ExperimentMetrics], smoke: bool) -> String {
     fn number(v: f64) -> String {
@@ -719,6 +784,7 @@ pub fn run_report_mode(smoke: bool) {
         results.push(e10_durable_throughput(1_000, 50));
         results.push(e11_net_throughput(200, 4, 250));
         results.push(e12_replicated_read_throughput(200, 4, 200, 10));
+        results.push(e13_segmented_recovery(2_000, 32 * 1024));
     } else {
         results.push(e1_spades_overhead(120));
         results.push(e2_consistency_overhead(120));
@@ -732,6 +798,7 @@ pub fn run_report_mode(smoke: bool) {
         results.push(e10_durable_throughput(10_000, 100));
         results.push(e11_net_throughput(1_000, 8, 2_000));
         results.push(e12_replicated_read_throughput(1_000, 8, 1_000, 30));
+        results.push(e13_segmented_recovery(20_000, 256 * 1024));
     }
     println!("{}", "-".repeat(110));
     let json = render_bench_json(&results, smoke);
@@ -765,6 +832,7 @@ mod tests {
         e10_durable_throughput(50, 5);
         e11_net_throughput(20, 2, 10);
         e12_replicated_read_throughput(20, 2, 10, 2);
+        e13_segmented_recovery(100, 2 * 1024);
     }
 
     #[test]
@@ -832,6 +900,29 @@ mod tests {
         assert!(
             scaling > 1.0,
             "2 read replicas must beat the primary-alone baseline, got {scaling}x on {cores} cores"
+        );
+    }
+
+    /// The acceptance bar of the segmented-WAL tentpole: parallel replay is bit-identical to
+    /// serial replay (asserted inside the experiment on real segment files) and not
+    /// pathologically slower — the per-segment parse is embarrassingly parallel, so even with
+    /// thread-scatter overhead it must stay within 2x of the serial path on a log of this
+    /// size.  Timing-sensitive, so the ratio bar only runs on optimized builds and multi-core
+    /// hosts (CI's recovery job runs it with `--release`).
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "timing bar is only meaningful in release builds")]
+    fn e13_parallel_replay_is_identical_and_not_pathological() {
+        let result = e13_segmented_recovery(20_000, 64 * 1024);
+        assert!(result.get("segments").expect("metric present") >= 8.0, "log must span segments");
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores < 2 {
+            eprintln!("skipping the replay ratio bar: only {cores} core(s) available");
+            return;
+        }
+        let speedup = result.get("speedup_x").expect("metric present");
+        assert!(
+            speedup > 0.5,
+            "parallel replay must stay within 2x of serial replay, got {speedup}x on {cores} cores"
         );
     }
 

@@ -111,6 +111,21 @@ impl Database {
     pub fn open_durable(dir: impl AsRef<Path>) -> SeedResult<Self> {
         let dir = dir.as_ref();
         let engine = durability::open_engine(dir)?;
+        Self::open_durable_engine(dir, engine)
+    }
+
+    /// [`Database::open_durable`] with an explicit storage configuration (WAL segment cap,
+    /// replication retention budget, auto-checkpoint threshold).
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        config: seed_storage::EngineConfig,
+    ) -> SeedResult<Self> {
+        let dir = dir.as_ref();
+        let engine = durability::open_engine_with(dir, config)?;
+        Self::open_durable_engine(dir, engine)
+    }
+
+    fn open_durable_engine(dir: &Path, engine: seed_storage::StorageEngine) -> SeedResult<Self> {
         let mut db = if durability::is_legacy_layout(&engine)? {
             durability::migrate_legacy(&engine)?
         } else if durability::is_keyed_layout(&engine)? {
@@ -130,6 +145,25 @@ impl Database {
     pub fn create_durable(dir: impl AsRef<Path>, schema: Schema) -> SeedResult<Self> {
         let dir = dir.as_ref();
         let engine = durability::open_engine(dir)?;
+        Self::create_durable_engine(dir, schema, engine)
+    }
+
+    /// [`Database::create_durable`] with an explicit storage configuration.
+    pub fn create_durable_with(
+        dir: impl AsRef<Path>,
+        schema: Schema,
+        config: seed_storage::EngineConfig,
+    ) -> SeedResult<Self> {
+        let dir = dir.as_ref();
+        let engine = durability::open_engine_with(dir, config)?;
+        Self::create_durable_engine(dir, schema, engine)
+    }
+
+    fn create_durable_engine(
+        dir: &Path,
+        schema: Schema,
+        engine: seed_storage::StorageEngine,
+    ) -> SeedResult<Self> {
         if durability::is_legacy_layout(&engine)? || durability::is_keyed_layout(&engine)? {
             return Err(SeedError::Invalid(format!(
                 "'{}' already holds a SEED database; use Database::open_durable",
@@ -199,6 +233,17 @@ impl Database {
             SeedError::Invalid("in-memory database has no state to replicate".to_string())
         })?;
         Ok(dur.engine.snapshot_with_lsn()?)
+    }
+
+    /// Pins WAL segments for lagging replication subscribers: checkpoints keep (budget
+    /// permitting) every segment containing LSNs at or above `floor`, so a replica whose
+    /// cursor is at `floor - 1` can catch up from the retained log instead of resyncing from a
+    /// full snapshot.  `None` releases the pin (checkpoints prune everything again).  No-op
+    /// for in-memory databases.
+    pub fn set_replication_retention(&self, floor: Option<seed_storage::Lsn>) {
+        if let Some(dur) = self.durability.as_ref() {
+            dur.engine.set_replication_retention(floor);
+        }
     }
 
     /// Checkpoints the durable storage (flush pages, persist the catalog, truncate the WAL).

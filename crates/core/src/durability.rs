@@ -285,6 +285,15 @@ pub(crate) fn open_engine(dir: impl AsRef<Path>) -> SeedResult<StorageEngine> {
     Ok(StorageEngine::open(dir)?)
 }
 
+/// Opens the storage engine with an explicit configuration (segment cap, retention budget,
+/// checkpoint threshold) — the tuning surface [`Database::open_durable_with`] exposes.
+pub(crate) fn open_engine_with(
+    dir: impl AsRef<Path>,
+    config: seed_storage::EngineConfig,
+) -> SeedResult<StorageEngine> {
+    Ok(StorageEngine::open_with(dir, config)?)
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;

@@ -282,7 +282,16 @@ mod tests {
             let mut replica = ReplicaStore::open(&replica_dir).unwrap();
             replica.apply(&batch2, batch2_lsn, false).unwrap();
         }
-        let wal_path = replica_dir.join("wal.log");
+        // The tail of the log lives in the newest `wal.*.seg` segment file.
+        let wal_path = std::fs::read_dir(&replica_dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.starts_with("wal.") && name.ends_with(".seg")
+            })
+            .max()
+            .expect("segmented WAL present");
         let bytes = std::fs::read(&wal_path).unwrap();
         std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
 

@@ -29,7 +29,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use seed_core::ReplicaStore;
-use seed_server::{SeedServer, ServerError, ServerResult};
+use seed_server::{ClientId, SeedServer, ServerError, ServerResult};
 
 use crate::server::{NetServerConfig, SeedNetServer};
 use crate::wire::{read_frame, write_frame, Ack, FrameKind, Hello, LogBatch, Subscribe, Welcome};
@@ -63,6 +63,9 @@ impl Default for ReplicaConfig {
 struct Progress {
     applied: AtomicU64,
     primary_lsn: AtomicU64,
+    /// Reset (full-snapshot) batches applied since this node started — a replica that catches
+    /// up from the primary's retained log keeps this at zero.
+    resets: AtomicU64,
 }
 
 /// One connection to the primary's replication stream.
@@ -170,6 +173,158 @@ impl Feed {
     }
 }
 
+/// What one read-locked look at the primary's log decided to ship to a subscriber at `next`.
+enum Shipment {
+    /// The database has no WAL at all — replication is impossible, reject the session.
+    InMemory,
+    /// Nothing new past the cursor; heartbeat (or the immediate subscribe answer).
+    CaughtUp { durable: u64 },
+    /// Log records covering the cursor onwards.
+    Records { records: Vec<(u64, seed_storage::LogRecord)>, durable: u64 },
+    /// The log no longer reaches the cursor; a full keyed snapshot with reset semantics.
+    Snapshot { pairs: seed_storage::engine::KeySpaceDump, lsn: u64 },
+    /// A storage error reading the tail or cutting the snapshot; end the session.
+    Failed,
+}
+
+/// One replication session on the primary: consume the replica's [`Subscribe`], then alternate
+/// [`LogBatch`] out / [`Ack`] in until the peer leaves or the server stops.
+///
+/// The cursor is driven by the **acks** (`next = acked + 1`), so a batch the replica never made
+/// durable is simply cut again.  The first batch after the subscribe ships immediately even
+/// when empty — it synchronizes the replica's view of the primary's end of log — and idle
+/// periods are bridged by heartbeat batches ([`NetServerConfig::replication_heartbeat`]).  A
+/// cursor the WAL no longer covers (the replica outslept the retention budget, or its store
+/// belongs to a different log) is answered with a full-snapshot reset batch.
+///
+/// Two guarantees keep checkpoints from racing this session into a spurious resync:
+///
+/// - The cursor is registered as an ack **at subscribe time** (before the first batch ships),
+///   so segment retention covers the tail this session is about to read.
+/// - The caught-up check, the tail read and the snapshot cut all happen under **one** database
+///   read lock per poll tick ([`Shipment`]); a checkpoint can never truncate the log between
+///   the durable-LSN read and the tail read and turn an idle heartbeat into a snapshot.
+pub(crate) fn serve_replica(
+    core: &SeedServer,
+    reader: &mut impl std::io::Read,
+    writer: &mut impl std::io::Write,
+    stop: &AtomicBool,
+    client: ClientId,
+    config: &NetServerConfig,
+) {
+    let subscribe = match read_frame(reader) {
+        Ok(frame) if frame.kind == FrameKind::Subscribe => {
+            match Subscribe::decode(&frame.payload) {
+                Ok(subscribe) => subscribe,
+                Err(e) => {
+                    let _ = write_frame(writer, FrameKind::Reject, e.to_string().as_bytes());
+                    return;
+                }
+            }
+        }
+        Ok(_) => {
+            let _ = write_frame(
+                writer,
+                FrameKind::Reject,
+                b"a replica session must open with a subscribe frame",
+            );
+            return;
+        }
+        Err(_) => return,
+    };
+    let mut next = subscribe.from_lsn.max(1);
+    // The subscribe IS the first ack: pin WAL retention to the cursor before the first batch
+    // ships, so a checkpoint racing the subscribe cannot truncate the tail out from under it.
+    core.note_replica_ack(client, next - 1);
+    let mut answer_now = true; // the subscribe (and every ack) deserves a prompt position sync
+    let mut last_sent = std::time::Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        let shipment = core.with_database(|db| {
+            // Caught-up check first: the durable LSN is a counter read, so an idle poll tick
+            // never touches the WAL files (reading the tail re-parses segments from disk).
+            let Some(durable) = db.durable_lsn() else { return Shipment::InMemory };
+            if durable + 1 == next {
+                return Shipment::CaughtUp { durable };
+            }
+            match db.wal_tail(next) {
+                Err(_) => Shipment::Failed,
+                Ok(seed_storage::WalTail::Records(records)) => {
+                    Shipment::Records { records, durable }
+                }
+                Ok(seed_storage::WalTail::Truncated { .. }) => match db.replication_snapshot() {
+                    Ok((pairs, lsn)) => Shipment::Snapshot { pairs, lsn },
+                    Err(_) => Shipment::Failed,
+                },
+            }
+        });
+        let batch = match shipment {
+            Shipment::InMemory => {
+                let _ = write_frame(
+                    writer,
+                    FrameKind::Reject,
+                    b"this primary serves an in-memory database; nothing to replicate",
+                );
+                return;
+            }
+            Shipment::Failed => return,
+            Shipment::CaughtUp { durable } => {
+                if !answer_now && last_sent.elapsed() < config.replication_heartbeat {
+                    std::thread::sleep(config.replication_poll);
+                    continue;
+                }
+                // Heartbeat (or the immediate answer to the subscribe): nothing to ship, just
+                // the primary's position.
+                LogBatch {
+                    reset: false,
+                    first_lsn: 0,
+                    last_lsn: next - 1,
+                    primary_lsn: durable,
+                    records: Vec::new(),
+                }
+            }
+            Shipment::Records { records, durable } => {
+                let first = records.first().map(|(lsn, _)| *lsn).unwrap_or(0);
+                let last = records.last().map(|(lsn, _)| *lsn).unwrap_or(next - 1);
+                LogBatch {
+                    reset: false,
+                    first_lsn: first,
+                    last_lsn: last,
+                    primary_lsn: durable.max(last),
+                    records: records.into_iter().map(|(_, record)| record).collect(),
+                }
+            }
+            Shipment::Snapshot { pairs, lsn } => LogBatch {
+                reset: true,
+                first_lsn: 0,
+                last_lsn: lsn,
+                primary_lsn: lsn,
+                records: seed_core::replica::snapshot_records(pairs),
+            },
+        };
+        if write_frame(writer, FrameKind::LogBatch, &batch.encode()).is_err() {
+            return;
+        }
+        last_sent = std::time::Instant::now();
+        answer_now = false;
+        // Flow control: exactly one batch in flight — wait for the replica's durability ack.
+        match read_frame(reader) {
+            Ok(frame) if frame.kind == FrameKind::Ack => match Ack::decode(&frame.payload) {
+                Ok(ack) => {
+                    core.touch(client);
+                    core.note_replica_ack(client, ack.applied_lsn);
+                    // The ack IS the cursor — including backwards: a reset snapshot rebinds a
+                    // replica whose cursor came from a longer (different or restored) log to
+                    // this log's positions, and `next` must follow it down or the session
+                    // would re-ship the snapshot forever.
+                    next = ack.applied_lsn + 1;
+                }
+                Err(_) => return,
+            },
+            _ => return, // anything else (EOF, desync, wrong kind) ends the stream
+        }
+    }
+}
+
 /// A running read-only replica: replication stream in, read-serving TCP listener out.
 pub struct ReplicaNode {
     net: Option<SeedNetServer>,
@@ -226,6 +381,7 @@ impl ReplicaNode {
         let progress = Arc::new(Progress {
             applied: AtomicU64::new(store.applied_lsn()),
             primary_lsn: AtomicU64::new(batch.primary_lsn),
+            resets: AtomicU64::new(u64::from(batch.reset)),
         });
 
         let apply_thread = {
@@ -275,6 +431,9 @@ impl ReplicaNode {
                         if !applied || live.ack(store.applied_lsn()).is_err() {
                             break;
                         }
+                        if batch.reset {
+                            progress.resets.fetch_add(1, Ordering::SeqCst);
+                        }
                         // Swap the freshly rebuilt database in; readers see whole batches.
                         match store.load() {
                             Ok(db) => core.replace_database(db),
@@ -312,6 +471,12 @@ impl ReplicaNode {
     /// The primary's end of log as last observed (heartbeats keep this fresh when idle).
     pub fn primary_lsn(&self) -> u64 {
         self.progress.primary_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Reset (full-snapshot) batches this node has applied since it started — zero means every
+    /// batch so far was an incremental log catch-up.
+    pub fn resets_applied(&self) -> u64 {
+        self.progress.resets.load(Ordering::SeqCst)
     }
 
     /// Polls until this replica has applied at least `lsn` (true) or `timeout` passes (false).
@@ -468,9 +633,9 @@ mod tests {
     }
 
     #[test]
-    fn replica_restart_across_primary_checkpoint_resyncs_from_snapshot() {
-        let primary_dir = temp_dir("ckpt-primary");
-        let replica_dir = temp_dir("ckpt-replica");
+    fn replica_restart_within_retention_budget_catches_up_from_the_log() {
+        let primary_dir = temp_dir("retain-primary");
+        let replica_dir = temp_dir("retain-replica");
         let primary = durable_primary(&primary_dir);
         let addr = primary.local_addr();
         let mut writer = RemoteClient::connect(addr).unwrap();
@@ -478,14 +643,16 @@ mod tests {
             .checkin(vec![Update::CreateObject { class: "Data".into(), name: "First".into() }])
             .unwrap();
 
-        // A replica syncs, then goes away.
+        // A replica syncs, then goes away.  Its session retires with an ack on record, so the
+        // checkpoint below retains the segments past its cursor (the outage fits the default
+        // retention budget).
         let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
         assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
         let stale_cursor = replica.applied_lsn();
         replica.shutdown();
 
-        // While it is away, the primary commits more and checkpoints — the WAL the replica
-        // would need is truncated (mid-stream truncation from the replica's point of view).
+        // While it is away, the primary commits more and checkpoints past the replica's
+        // cursor.
         writer
             .checkin(vec![Update::CreateObject { class: "Data".into(), name: "WhileAway".into() }])
             .unwrap();
@@ -494,11 +661,66 @@ mod tests {
             .checkin(vec![Update::CreateObject { class: "Data".into(), name: "AfterCkpt".into() }])
             .unwrap();
 
-        // The restarted replica's cursor predates the WAL base: the primary ships a reset
-        // snapshot and the replica converges anyway.
+        // The restarted replica catches up from the retained log — LogBatch frames, not a
+        // full-snapshot reset.
         let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
         assert!(replica.applied_lsn() > stale_cursor);
         assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+        assert_eq!(
+            replica.resets_applied(),
+            0,
+            "an outage within the retention budget must not force a snapshot resync"
+        );
+        let mut client = RemoteClient::connect(replica.local_addr()).unwrap();
+        for name in ["First", "WhileAway", "AfterCkpt"] {
+            assert_eq!(client.retrieve(name).unwrap().name.to_string(), name);
+        }
+        assert_eq!(client.query("count Data").unwrap().count, 3);
+        replica.shutdown();
+        primary.shutdown();
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    #[test]
+    fn replica_past_the_retention_budget_resyncs_from_snapshot() {
+        // A zero retention budget means checkpoints keep nothing for absent replicas — the
+        // reconnecting replica's cursor predates the WAL base and the primary must fall back
+        // to the full-snapshot reset path (and still converge).
+        let primary_dir = temp_dir("ckpt-primary");
+        let replica_dir = temp_dir("ckpt-replica");
+        let config = seed_storage::EngineConfig {
+            retention_budget_bytes: 0,
+            ..seed_storage::EngineConfig::default()
+        };
+        let db = Database::create_durable_with(&primary_dir, figure3_schema(), config).unwrap();
+        let primary = SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").unwrap();
+        let addr = primary.local_addr();
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "First".into() }])
+            .unwrap();
+
+        let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+        let stale_cursor = replica.applied_lsn();
+        replica.shutdown();
+
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "WhileAway".into() }])
+            .unwrap();
+        writer.checkpoint().unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "AfterCkpt".into() }])
+            .unwrap();
+
+        let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+        assert!(replica.applied_lsn() > stale_cursor);
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+        assert!(
+            replica.resets_applied() >= 1,
+            "a cursor past the retention budget must resync via a reset snapshot"
+        );
         let mut client = RemoteClient::connect(replica.local_addr()).unwrap();
         for name in ["First", "WhileAway", "AfterCkpt"] {
             assert_eq!(client.retrieve(name).unwrap().name.to_string(), name);

@@ -20,10 +20,7 @@ use seed_server::{ClientId, Request, Response, SeedServer, ServerError};
 
 use crate::codec::{decode_request, encode_response_versioned};
 use crate::error::WireError;
-use crate::wire::{
-    negotiate, read_frame, write_frame, Ack, FrameKind, HandshakeRole, Hello, LogBatch, Subscribe,
-    Welcome,
-};
+use crate::wire::{negotiate, read_frame, write_frame, FrameKind, HandshakeRole, Hello, Welcome};
 
 /// Tuning knobs of the TCP frontend.
 #[derive(Debug, Clone)]
@@ -256,8 +253,10 @@ fn serve_connection(
     reader.get_mut().deadline = None;
 
     if role == HandshakeRole::Replica {
-        serve_replica(core, &mut reader, &mut writer, stop, client, config);
-        core.forget_replica(client);
+        crate::replication::serve_replica(core, &mut reader, &mut writer, stop, client, config);
+        // Retire (not forget): the session's last ack keeps pinning WAL retention so the
+        // replica can catch up from the retained log when it reconnects.
+        core.retire_replica(client);
         core.disconnect(client);
         let _ = stream.shutdown(Shutdown::Both);
         return;
@@ -411,127 +410,6 @@ fn handshake(
         return None;
     }
     Some((client, hello.role, version))
-}
-
-/// One replication session on the primary: consume the replica's [`Subscribe`], then alternate
-/// [`LogBatch`] out / [`Ack`] in until the peer leaves or the server stops.
-///
-/// The cursor is driven by the **acks** (`next = acked + 1`), so a batch the replica never made
-/// durable is simply cut again.  The first batch after the subscribe ships immediately even
-/// when empty — it synchronizes the replica's view of the primary's end of log — and idle
-/// periods are bridged by heartbeat batches ([`NetServerConfig::replication_heartbeat`]).  A
-/// cursor the WAL no longer covers (the replica slept across a checkpoint truncation, or its
-/// store belongs to a different log) is answered with a full-snapshot reset batch.
-fn serve_replica(
-    core: &SeedServer,
-    reader: &mut impl std::io::Read,
-    writer: &mut impl std::io::Write,
-    stop: &AtomicBool,
-    client: ClientId,
-    config: &NetServerConfig,
-) {
-    let subscribe = match read_frame(reader) {
-        Ok(frame) if frame.kind == FrameKind::Subscribe => {
-            match Subscribe::decode(&frame.payload) {
-                Ok(subscribe) => subscribe,
-                Err(e) => {
-                    let _ = write_frame(writer, FrameKind::Reject, e.to_string().as_bytes());
-                    return;
-                }
-            }
-        }
-        Ok(_) => {
-            let _ = write_frame(
-                writer,
-                FrameKind::Reject,
-                b"a replica session must open with a subscribe frame",
-            );
-            return;
-        }
-        Err(_) => return,
-    };
-    let mut next = subscribe.from_lsn.max(1);
-    let mut answer_now = true; // the subscribe (and every ack) deserves a prompt position sync
-    let mut last_sent = std::time::Instant::now();
-    while !stop.load(Ordering::SeqCst) {
-        // Caught-up check first: the durable LSN is a counter read, so an idle poll tick never
-        // touches the WAL file (reading the tail re-parses the log from disk).
-        let Some(durable) = core.with_database(|db| db.durable_lsn()) else {
-            let _ = write_frame(
-                writer,
-                FrameKind::Reject,
-                b"this primary serves an in-memory database; nothing to replicate",
-            );
-            return;
-        };
-        let batch = if durable + 1 == next {
-            if !answer_now && last_sent.elapsed() < config.replication_heartbeat {
-                std::thread::sleep(config.replication_poll);
-                continue;
-            }
-            // Heartbeat (or the immediate answer to the subscribe): nothing to ship, just the
-            // primary's position.
-            LogBatch {
-                reset: false,
-                first_lsn: 0,
-                last_lsn: next - 1,
-                primary_lsn: durable,
-                records: Vec::new(),
-            }
-        } else {
-            match core.with_database(|db| db.wal_tail(next)) {
-                Err(_) => return,
-                Ok(seed_storage::WalTail::Truncated { .. }) => {
-                    // The WAL no longer reaches back to the replica's cursor: resync from a
-                    // full keyed snapshot (one synthetic committed transaction, reset
-                    // semantics).
-                    let Ok((pairs, lsn)) = core.with_database(|db| db.replication_snapshot())
-                    else {
-                        return;
-                    };
-                    LogBatch {
-                        reset: true,
-                        first_lsn: 0,
-                        last_lsn: lsn,
-                        primary_lsn: lsn,
-                        records: seed_core::replica::snapshot_records(pairs),
-                    }
-                }
-                Ok(seed_storage::WalTail::Records(records)) => {
-                    let first = records.first().map(|(lsn, _)| *lsn).unwrap_or(0);
-                    let last = records.last().map(|(lsn, _)| *lsn).unwrap_or(next - 1);
-                    LogBatch {
-                        reset: false,
-                        first_lsn: first,
-                        last_lsn: last,
-                        primary_lsn: durable.max(last),
-                        records: records.into_iter().map(|(_, record)| record).collect(),
-                    }
-                }
-            }
-        };
-        if write_frame(writer, FrameKind::LogBatch, &batch.encode()).is_err() {
-            return;
-        }
-        last_sent = std::time::Instant::now();
-        answer_now = false;
-        // Flow control: exactly one batch in flight — wait for the replica's durability ack.
-        match read_frame(reader) {
-            Ok(frame) if frame.kind == FrameKind::Ack => match Ack::decode(&frame.payload) {
-                Ok(ack) => {
-                    core.touch(client);
-                    core.note_replica_ack(client, ack.applied_lsn);
-                    // The ack IS the cursor — including backwards: a reset snapshot rebinds a
-                    // replica whose cursor came from a longer (different or restored) log to
-                    // this log's positions, and `next` must follow it down or the session
-                    // would re-ship the snapshot forever.
-                    next = ack.applied_lsn + 1;
-                }
-                Err(_) => return,
-            },
-            _ => return, // anything else (EOF, desync, wrong kind) ends the stream
-        }
-    }
 }
 
 #[cfg(test)]

@@ -39,9 +39,18 @@ pub struct SeedServer {
     read_only: Mutex<Option<String>>,
     /// Primary side of replication: last acknowledged LSN per connected subscriber.
     replica_acks: Mutex<HashMap<ClientId, u64>>,
+    /// Recently disconnected subscribers' last acks: their cursors keep pinning WAL retention
+    /// (bounded to [`RETIRED_ACK_CAP`] entries) so a replica that restarts across a primary
+    /// checkpoint can catch up from the retained segments instead of resyncing from a snapshot.
+    retired_acks: Mutex<HashMap<ClientId, u64>>,
     /// Replica side of replication: `(applied LSN, last observed primary LSN)`.
     replica_progress: Mutex<Option<(u64, u64)>>,
 }
+
+/// How many disconnected subscribers' cursors keep pinning WAL retention.  When the set
+/// overflows, the furthest-behind cursor is dropped first — it is the one most likely to need
+/// a snapshot resync anyway, and dropping it releases the most log.
+const RETIRED_ACK_CAP: usize = 16;
 
 impl SeedServer {
     /// Creates a server around an existing database.
@@ -54,6 +63,7 @@ impl SeedServer {
             next_client: AtomicU64::new(1),
             read_only: Mutex::new(None),
             replica_acks: Mutex::new(HashMap::new()),
+            retired_acks: Mutex::new(HashMap::new()),
             replica_progress: Mutex::new(None),
         }
     }
@@ -89,14 +99,52 @@ impl SeedServer {
     }
 
     /// Records a subscriber's acknowledged LSN (primary side; called by the network layer's
-    /// replication sessions).
+    /// replication sessions).  The subscriber's cursor pins WAL retention on the served
+    /// database: checkpoints keep (budget permitting) every segment the slowest subscriber
+    /// still needs.
     pub fn note_replica_ack(&self, client: ClientId, acked_lsn: u64) {
         self.replica_acks.lock().insert(client, acked_lsn);
+        // A reconnecting subscriber sheds its retired entry — the live ack supersedes it.
+        self.retired_acks.lock().remove(&client);
+        self.update_retention_floor();
     }
 
-    /// Forgets a disconnected subscriber (primary side).
+    /// Retires a disconnected subscriber (primary side): it no longer counts as connected, but
+    /// its last ack keeps pinning WAL retention (bounded) so a restart within the retention
+    /// budget catches up from the log instead of a full snapshot.
+    pub fn retire_replica(&self, client: ClientId) {
+        if let Some(acked) = self.replica_acks.lock().remove(&client) {
+            let mut retired = self.retired_acks.lock();
+            retired.insert(client, acked);
+            while retired.len() > RETIRED_ACK_CAP {
+                let victim = *retired
+                    .iter()
+                    .min_by_key(|(_, lsn)| **lsn)
+                    .map(|(c, _)| c)
+                    .expect("non-empty");
+                retired.remove(&victim);
+            }
+        }
+        self.update_retention_floor();
+    }
+
+    /// Forgets a subscriber entirely (primary side): its cursor stops pinning WAL retention.
     pub fn forget_replica(&self, client: ClientId) {
         self.replica_acks.lock().remove(&client);
+        self.retired_acks.lock().remove(&client);
+        self.update_retention_floor();
+    }
+
+    /// Recomputes the WAL retention floor from every live and retired subscriber cursor and
+    /// pushes it to the served database.  The acks locks are released before the database lock
+    /// is taken (status reads nest the other way around).
+    fn update_retention_floor(&self) {
+        let floor = {
+            let live = self.replica_acks.lock();
+            let retired = self.retired_acks.lock();
+            live.values().chain(retired.values()).copied().min().map(|acked| acked + 1)
+        };
+        self.db.read().set_replication_retention(floor);
     }
 
     /// Number of connected replication subscribers (primary side).
@@ -1024,6 +1072,44 @@ mod tests {
         assert_eq!(server.subscriber_count(), 1);
         server.forget_replica(7);
         assert!(server.persistence_status().replication.is_none());
+    }
+
+    #[test]
+    fn subscriber_acks_pin_wal_retention_across_checkpoints() {
+        use seed_storage::WalTail;
+        let dir = temp_dir("retention");
+        let server = SeedServer::create_durable(&dir, figure3_schema()).unwrap();
+        let client = server.connect();
+        for i in 0..20 {
+            server
+                .checkin(
+                    client,
+                    &[Update::CreateObject { class: "Data".into(), name: format!("D{i:03}") }],
+                )
+                .unwrap();
+        }
+        let durable = server.with_database(|db| db.durable_lsn().unwrap());
+        let cursor = durable - 5;
+
+        // A live subscriber's cursor survives a checkpoint: the tail it still needs is retained.
+        server.note_replica_ack(client, cursor);
+        server.checkpoint().unwrap();
+        let tail = server.with_database(|db| db.wal_tail(cursor + 1).unwrap());
+        assert!(matches!(tail, WalTail::Records(_)), "live ack must pin the tail, got {tail:?}");
+
+        // A retired (disconnected) subscriber keeps pinning until it is forgotten.
+        server.retire_replica(client);
+        assert_eq!(server.subscriber_count(), 0);
+        server.checkpoint().unwrap();
+        let tail = server.with_database(|db| db.wal_tail(cursor + 1).unwrap());
+        assert!(matches!(tail, WalTail::Records(_)), "retired ack must pin the tail");
+
+        // Forgetting releases the pin: the next checkpoint prunes everything.
+        server.forget_replica(client);
+        server.checkpoint().unwrap();
+        let tail = server.with_database(|db| db.wal_tail(cursor + 1).unwrap());
+        assert!(matches!(tail, WalTail::Truncated { .. }), "released pin must prune, got {tail:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::heapfile::{HeapFile, RecordId};
 use crate::page::PageId;
 use crate::pagestore::{FilePageStore, MemoryPageStore, PageStore};
-use crate::wal::{replay_committed, LogRecord, Lsn, WalTail, WriteAheadLog};
+use crate::wal::{replay_committed, LogRecord, Lsn, WalConfig, WalTail, WriteAheadLog};
 
 /// Configuration for opening a [`StorageEngine`].
 #[derive(Debug, Clone)]
@@ -40,18 +40,28 @@ pub struct EngineConfig {
     pub buffer_pool_pages: usize,
     /// Whether every commit forces the WAL to disk (`true` = durability on commit).
     pub sync_on_commit: bool,
-    /// Checkpoint automatically once the WAL grows past this many bytes (`None` = only on
-    /// explicit [`StorageEngine::checkpoint`] calls).  Bounding the WAL bounds recovery time:
-    /// replay work on open is proportional to the log, not to the database.
+    /// Checkpoint automatically once the uncheckpointed WAL grows past this many bytes
+    /// (`None` = only on explicit [`StorageEngine::checkpoint`] calls).  Bounding the WAL
+    /// bounds recovery time: replay work on open is proportional to the log, not to the
+    /// database.
     pub checkpoint_wal_bytes: Option<u64>,
+    /// Size cap of one WAL segment file: the log rotates to a fresh segment once the active
+    /// one reaches this many frame bytes (see [`WalConfig::segment_max_bytes`]).
+    pub segment_max_bytes: u64,
+    /// Upper bound on WAL bytes retained past a checkpoint for lagging replication
+    /// subscribers (see [`WalConfig::retention_budget_bytes`]).
+    pub retention_budget_bytes: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
+        let wal = WalConfig::default();
         Self {
             buffer_pool_pages: 256,
             sync_on_commit: true,
             checkpoint_wal_bytes: Some(4 * 1024 * 1024),
+            segment_max_bytes: wal.segment_max_bytes,
+            retention_budget_bytes: wal.retention_budget_bytes,
         }
     }
 }
@@ -103,7 +113,13 @@ impl StorageEngine {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let store = Arc::new(FilePageStore::open(dir.join("pages.db"))?);
-        let wal = WriteAheadLog::open(dir.join("wal.log"))?;
+        let wal = WriteAheadLog::open_dir(
+            &dir,
+            WalConfig {
+                segment_max_bytes: config.segment_max_bytes,
+                retention_budget_bytes: config.retention_budget_bytes,
+            },
+        )?;
         Self::build(store, wal, Some(dir), config)
     }
 
@@ -165,10 +181,21 @@ impl StorageEngine {
         // side file for durable engines, or kept in page 0's record 0 when it fits.
         match &self.path {
             Some(dir) => {
+                // Crash-safe replace: the new catalog reaches disk before the rename makes it
+                // visible, and the directory sync makes the rename itself durable — a crash at
+                // any point leaves either the old or the new catalog, never a torn one.
                 let tmp = dir.join("catalog.tmp");
                 let fin = dir.join("catalog.db");
-                std::fs::write(&tmp, &payload)?;
+                {
+                    let mut file = std::fs::File::create(&tmp)?;
+                    use std::io::Write as _;
+                    file.write_all(&payload)?;
+                    file.sync_data()?;
+                }
                 std::fs::rename(&tmp, &fin)?;
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_data();
+                }
             }
             None => {
                 // In-memory engines do not need a durable catalog.
@@ -214,10 +241,12 @@ impl StorageEngine {
 
     // ----- recovery ----------------------------------------------------------------------------
 
-    /// Replays committed WAL records over the checkpointed state.
+    /// Replays committed WAL records over the checkpointed state.  Sealed segments are parsed
+    /// in parallel across threads; the replay itself (and the active segment's tail) stays
+    /// serial, in LSN order.
     fn recover(&self) -> StorageResult<()> {
         self.reload_catalog()?;
-        let records = self.wal.read_all()?;
+        let records = self.wal.read_all_parallel()?;
         if records.is_empty() {
             return Ok(());
         }
@@ -453,7 +482,10 @@ impl StorageEngine {
                     None => Self::apply_delete(&mut inner, &key)?,
                 }
             }
-            self.wal.size_bytes()?
+            // The auto-checkpoint policy watches the *uncheckpointed* bytes, not the total:
+            // segments retained for replication would otherwise re-trigger a checkpoint on
+            // every commit.
+            self.wal.uncheckpointed_bytes()?
         };
         if let Some(threshold) = self.config.checkpoint_wal_bytes {
             if wal_bytes >= threshold {
@@ -502,6 +534,19 @@ impl StorageEngine {
     /// [`StorageEngine::snapshot_with_lsn`].
     pub fn wal_tail(&self, from: Lsn) -> StorageResult<WalTail> {
         self.wal.read_from(from)
+    }
+
+    /// Sets the oldest LSN a replication subscriber still needs (`None` = no subscribers).
+    /// Checkpoints keep the sealed WAL segments covering it — within
+    /// [`EngineConfig::retention_budget_bytes`] — so a lagging subscriber catches up from the
+    /// log instead of a full snapshot.
+    pub fn set_replication_retention(&self, floor: Option<Lsn>) {
+        self.wal.set_retention_floor(floor);
+    }
+
+    /// Number of live WAL segment files (exposed for tests and benchmarks).
+    pub fn wal_segment_count(&self) -> usize {
+        self.wal.segment_count()
     }
 
     /// Every committed `(key, value)` pair plus the LSN the snapshot corresponds to, read
@@ -751,6 +796,52 @@ mod tests {
         assert_eq!(engine.wal_size_bytes().unwrap(), 0, "effects are buffered until commit");
         engine.commit(txn).unwrap();
         assert!(engine.wal_size_bytes().unwrap() > 0);
+    }
+
+    #[test]
+    fn segmented_wal_rotates_and_recovers_across_reopen() {
+        let dir = temp_dir("segmented");
+        {
+            let config = EngineConfig {
+                segment_max_bytes: 256,
+                checkpoint_wal_bytes: None,
+                ..EngineConfig::default()
+            };
+            let engine = StorageEngine::open_with(&dir, config).unwrap();
+            for i in 0..40u32 {
+                engine.put(format!("k/{i:03}").as_bytes(), &[0xCD; 48]).unwrap();
+            }
+            assert!(engine.wal_segment_count() > 1, "commits rotated into multiple segments");
+            // No checkpoint/close: recovery replays all segments (in parallel) on reopen.
+        }
+        {
+            let engine = StorageEngine::open(&dir).unwrap();
+            assert_eq!(engine.len(), 40);
+            assert_eq!(engine.get(b"k/039").unwrap().unwrap(), vec![0xCD; 48]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_the_wal_tail_for_subscribers_across_a_checkpoint() {
+        let engine = StorageEngine::in_memory().unwrap();
+        for i in 0..20u32 {
+            engine.put(format!("k/{i:02}").as_bytes(), b"v").unwrap();
+        }
+        let cursor = engine.durable_lsn() - 10; // a lagging subscriber's next LSN
+        engine.set_replication_retention(Some(cursor));
+        engine.checkpoint().unwrap();
+        match engine.wal_tail(cursor).unwrap() {
+            WalTail::Records(recs) => {
+                assert_eq!(recs.first().map(|(l, _)| *l), Some(cursor));
+            }
+            other => panic!("retained tail expected, got {other:?}"),
+        }
+        // Without subscribers the next checkpoint prunes the retained segments.
+        engine.set_replication_retention(None);
+        engine.checkpoint().unwrap();
+        assert!(matches!(engine.wal_tail(cursor).unwrap(), WalTail::Truncated { .. }));
+        assert_eq!(engine.wal_size_bytes().unwrap(), 0);
     }
 
     #[test]

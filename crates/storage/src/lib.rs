@@ -10,7 +10,8 @@
 //! * [`pagestore`] — page-granular I/O backends (in-memory and file-backed),
 //! * [`buffer`] — an LRU buffer pool mediating page access,
 //! * [`heapfile`] — record-level storage with stable [`RecordId`]s and free-space tracking,
-//! * [`wal`] — a write-ahead log with CRC-protected frames and redo recovery,
+//! * [`wal`] — a segmented write-ahead log with CRC-protected frames, whole-segment checkpoint
+//!   pruning, replication retention, and parallel redo recovery,
 //! * [`btree`] — an ordered in-memory B+ tree used for the name index, persisted on checkpoint,
 //! * [`engine`] — a small key/value storage engine tying the pieces together.
 //!
@@ -36,4 +37,7 @@ pub use error::{StorageError, StorageResult};
 pub use heapfile::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagestore::{FilePageStore, MemoryPageStore, PageStore};
-pub use wal::{LogRecord, Lsn, WalTail, WriteAheadLog};
+pub use wal::{
+    replay_committed, FileSegmentIo, KeyEffect, LogRecord, Lsn, MemorySegmentIo, SegmentId,
+    SegmentIo, WalConfig, WalTail, WriteAheadLog,
+};

@@ -1,26 +1,45 @@
-//! Write-ahead log.
+//! Segmented write-ahead log.
 //!
 //! Every engine mutation is appended to the log before the corresponding page is allowed to be
 //! written back.  Frames are CRC-protected; recovery replays committed transactions in order and
 //! stops at the first corrupt or torn frame (everything after a torn write is, by definition,
 //! not yet durable).
 //!
-//! Frame layout: `len: u32 | crc: u32 | payload: len bytes`.
+//! The log is a sequence of bounded **segment files** (`wal.000017.seg`) instead of one
+//! monolithic file:
+//!
+//! * appends go to the **active** (last) segment; once it outgrows
+//!   [`WalConfig::segment_max_bytes`] the next batch triggers a **rotation** — the active
+//!   segment is synced shut (sealed) and a fresh one is created.  A group-commit batch never
+//!   spans segments, so fsync batching stays per-segment;
+//! * a **checkpoint** ([`WriteAheadLog::truncate`]) seals the active segment and then deletes
+//!   whole sealed segments oldest-first, instead of rewriting anything.  Segments holding
+//!   records a replication subscriber still needs (at or past the **retention floor**) are kept,
+//!   up to [`WalConfig::retention_budget_bytes`];
+//! * **recovery** parses sealed segments in parallel across threads
+//!   ([`WriteAheadLog::read_all_parallel`]), then replays the merged record stream serially.
+//!
+//! Segment layout: a 24-byte header (`magic | format version | base LSN | crc`) followed by
+//! frames of `len: u32 | crc: u32 | payload: len bytes`.
 //!
 //! ## Checkpoint-stable LSNs
 //!
-//! LSNs are **absolute**: they number every record ever appended, and a checkpoint truncation
-//! does not reset them.  The log keeps a *base* — the number of records truncated away — so the
-//! first physical record in the file always carries LSN `base + 1`.  For file-backed logs the
-//! base survives restarts in a sidecar (`<log>.base`, written *before* the truncation: a crash
-//! between the two leaves records labelled with too-high LSNs, which replication subscribers
-//! re-apply idempotently, instead of re-using already-consumed LSNs for different content).
-//! This is what lets a replication subscriber hold a durable cursor into the primary's log
+//! LSNs are **absolute**: they number every record ever appended, and checkpoint pruning does
+//! not reset them.  Each segment's header carries its *base* — the LSN before its first record —
+//! so the first frame of segment with base `b` always carries LSN `b + 1` (this generalizes the
+//! single-file log's `.base` sidecar, which is migrated on open).  This is what lets a
+//! replication subscriber hold a durable cursor into the primary's log
 //! ([`WriteAheadLog::read_from`]) across checkpoints and restarts on either side.
+//!
+//! All storage I/O goes through the [`SegmentIo`] trait ([`FileSegmentIo`] for durable
+//! directories, [`MemorySegmentIo`] for ephemeral logs), which is also the injection point for
+//! the deterministic crash-injection harness in `tests/crash_injection.rs`.
 
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -28,8 +47,11 @@ use crate::codec::{crc32, Decoder, Encoder};
 use crate::error::{StorageError, StorageResult};
 
 /// Log sequence number: the absolute, checkpoint-stable index of a record in the log (1-based;
-/// 0 means "none").  Truncation advances the log's base instead of resetting the numbering.
+/// 0 means "none").  Pruning advances the log's base instead of resetting the numbering.
 pub type Lsn = u64;
+
+/// Identifier of one segment file (monotonically increasing; gaps mark pruned segments).
+pub type SegmentId = u64;
 
 /// The answer to a tail read ([`WriteAheadLog::read_from`]): either the records from the asked
 /// position to the durable end, or the news that the position has been truncated away and the
@@ -38,7 +60,7 @@ pub type Lsn = u64;
 pub enum WalTail {
     /// Every record with `lsn >= from`, in order (possibly empty when the caller is caught up).
     Records(Vec<(Lsn, LogRecord)>),
-    /// The asked position is no longer in the log — either a checkpoint truncated it away, or
+    /// The asked position is no longer in the log — either a checkpoint pruned it away, or
     /// the caller's cursor is ahead of this log (a different or reset log).  `oldest` is the
     /// first LSN still available.
     Truncated {
@@ -121,278 +143,741 @@ impl LogRecord {
     }
 }
 
-enum WalBackend {
-    Memory(Vec<u8>),
-    File { file: File, path: PathBuf },
+// ----- configuration ----------------------------------------------------------------------------
+
+/// Tuning knobs of a [`WriteAheadLog`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Rotation threshold: once the active segment holds at least this many frame bytes, the
+    /// next append batch goes to a fresh segment.  A single batch never spans segments, so one
+    /// oversized batch may push a segment past the cap.
+    pub segment_max_bytes: u64,
+    /// Upper bound on the frame bytes kept **past a checkpoint** for replication subscribers
+    /// (the retention floor).  Sealed segments a subscriber still needs are retained newest-
+    /// first up to this budget; anything beyond it is pruned and the subscriber falls back to a
+    /// snapshot resync.
+    pub retention_budget_bytes: u64,
 }
 
-/// An append-only write-ahead log.
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self { segment_max_bytes: 256 * 1024, retention_budget_bytes: 4 * 1024 * 1024 }
+    }
+}
+
+// ----- segment I/O ------------------------------------------------------------------------------
+
+/// Byte-level storage for WAL segments.
 ///
-/// Lock order: `backend` before `base` before `next_lsn` (never the other way around), so that
-/// readers holding the backend lock observe a base consistent with the bytes they read.
+/// The log's durability argument rests on three properties implementations must provide:
+/// `create` persists the initial bytes (and the segment's existence) before returning, `sync`
+/// is a write barrier for earlier `append`s to the same segment, and `delete` durably removes
+/// the segment.  `append` may tear at any byte boundary on a crash — recovery handles that —
+/// which is exactly the surface the crash-injection harness drives.
+pub trait SegmentIo: Send + Sync {
+    /// Ids of all existing segments, in ascending order.
+    fn list(&self) -> StorageResult<Vec<SegmentId>>;
+    /// The full contents of segment `id`.
+    fn read(&self, id: SegmentId) -> StorageResult<Vec<u8>>;
+    /// Creates segment `id` holding `initial`, durably (contents, then existence).
+    fn create(&self, id: SegmentId, initial: &[u8]) -> StorageResult<()>;
+    /// Appends `bytes` to segment `id` (buffered until [`SegmentIo::sync`]).
+    fn append(&self, id: SegmentId, bytes: &[u8]) -> StorageResult<()>;
+    /// Forces all appended bytes of segment `id` to durable storage.
+    fn sync(&self, id: SegmentId) -> StorageResult<()>;
+    /// Shrinks segment `id` to `len` bytes (recovery chopping a torn tail).
+    fn truncate(&self, id: SegmentId, len: u64) -> StorageResult<()>;
+    /// Durably removes segment `id` (absent segments are not an error).
+    fn delete(&self, id: SegmentId) -> StorageResult<()>;
+}
+
+/// File-backed [`SegmentIo`]: one `wal.<id:06>.seg` file per segment inside a directory.
+pub struct FileSegmentIo {
+    dir: PathBuf,
+    /// Cached handle of the segment currently being appended to, so the group-commit hot path
+    /// (append + sync) does not reopen the file per call.
+    active: Mutex<Option<(SegmentId, File)>>,
+}
+
+impl FileSegmentIo {
+    /// A segment store over directory `dir` (which must exist).
+    pub fn new(dir: impl AsRef<Path>) -> Self {
+        Self { dir: dir.as_ref().to_path_buf(), active: Mutex::new(None) }
+    }
+
+    fn path(&self, id: SegmentId) -> PathBuf {
+        self.dir.join(format!("wal.{id:06}.seg"))
+    }
+
+    /// Parses `wal.<id>.seg` names; everything else in the directory is ignored.
+    fn parse_name(name: &str) -> Option<SegmentId> {
+        name.strip_prefix("wal.")?.strip_suffix(".seg")?.parse().ok()
+    }
+
+    fn sync_dir(&self) -> StorageResult<()> {
+        // Directory sync makes renames/creates/deletes durable; best-effort on filesystems
+        // that reject opening directories.
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_data();
+        }
+        Ok(())
+    }
+}
+
+impl SegmentIo for FileSegmentIo {
+    fn list(&self) -> StorageResult<Vec<SegmentId>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(id) = entry.file_name().to_str().and_then(Self::parse_name) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    fn read(&self, id: SegmentId) -> StorageResult<Vec<u8>> {
+        Ok(std::fs::read(self.path(id))?)
+    }
+
+    fn create(&self, id: SegmentId, initial: &[u8]) -> StorageResult<()> {
+        let mut file = OpenOptions::new().write(true).create_new(true).open(self.path(id))?;
+        file.write_all(initial)?;
+        file.sync_data()?;
+        self.sync_dir()?;
+        *self.active.lock() = Some((id, file));
+        Ok(())
+    }
+
+    fn append(&self, id: SegmentId, bytes: &[u8]) -> StorageResult<()> {
+        let mut active = self.active.lock();
+        if !matches!(&*active, Some((aid, _)) if *aid == id) {
+            let file = OpenOptions::new().read(true).append(true).open(self.path(id))?;
+            *active = Some((id, file));
+        }
+        let Some((_, file)) = &mut *active else { unreachable!() };
+        Ok(file.write_all(bytes)?)
+    }
+
+    fn sync(&self, id: SegmentId) -> StorageResult<()> {
+        let active = self.active.lock();
+        match &*active {
+            Some((aid, file)) if *aid == id => Ok(file.sync_data()?),
+            _ => Ok(File::open(self.path(id))?.sync_data()?),
+        }
+    }
+
+    fn truncate(&self, id: SegmentId, len: u64) -> StorageResult<()> {
+        let mut active = self.active.lock();
+        if matches!(&*active, Some((aid, _)) if *aid == id) {
+            *active = None;
+        }
+        let file = OpenOptions::new().write(true).open(self.path(id))?;
+        file.set_len(len)?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    fn delete(&self, id: SegmentId) -> StorageResult<()> {
+        let mut active = self.active.lock();
+        if matches!(&*active, Some((aid, _)) if *aid == id) {
+            *active = None;
+        }
+        drop(active);
+        match std::fs::remove_file(self.path(id)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// In-memory [`SegmentIo`] (ephemeral databases, tests, and the seed state the crash-injection
+/// harness reopens from).
+#[derive(Default)]
+pub struct MemorySegmentIo {
+    segments: Mutex<BTreeMap<SegmentId, Vec<u8>>>,
+}
+
+impl MemorySegmentIo {
+    /// An empty in-memory segment store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store seeded with existing segment contents (reopening a crash survivor state).
+    pub fn from_segments(segments: BTreeMap<SegmentId, Vec<u8>>) -> Self {
+        Self { segments: Mutex::new(segments) }
+    }
+
+    /// A copy of every segment's current contents.
+    pub fn dump(&self) -> BTreeMap<SegmentId, Vec<u8>> {
+        self.segments.lock().clone()
+    }
+}
+
+impl SegmentIo for MemorySegmentIo {
+    fn list(&self) -> StorageResult<Vec<SegmentId>> {
+        Ok(self.segments.lock().keys().copied().collect())
+    }
+
+    fn read(&self, id: SegmentId) -> StorageResult<Vec<u8>> {
+        self.segments
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| StorageError::InvalidArgument(format!("no such segment {id}")))
+    }
+
+    fn create(&self, id: SegmentId, initial: &[u8]) -> StorageResult<()> {
+        match self.segments.lock().entry(id) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                Err(StorageError::InvalidArgument(format!("segment {id} already exists")))
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(initial.to_vec());
+                Ok(())
+            }
+        }
+    }
+
+    fn append(&self, id: SegmentId, bytes: &[u8]) -> StorageResult<()> {
+        let mut segments = self.segments.lock();
+        let seg = segments
+            .get_mut(&id)
+            .ok_or_else(|| StorageError::InvalidArgument(format!("no such segment {id}")))?;
+        seg.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, _id: SegmentId) -> StorageResult<()> {
+        Ok(())
+    }
+
+    fn truncate(&self, id: SegmentId, len: u64) -> StorageResult<()> {
+        let mut segments = self.segments.lock();
+        let seg = segments
+            .get_mut(&id)
+            .ok_or_else(|| StorageError::InvalidArgument(format!("no such segment {id}")))?;
+        seg.truncate(len as usize);
+        Ok(())
+    }
+
+    fn delete(&self, id: SegmentId) -> StorageResult<()> {
+        self.segments.lock().remove(&id);
+        Ok(())
+    }
+}
+
+// ----- segment format ---------------------------------------------------------------------------
+
+const SEGMENT_MAGIC: &[u8; 8] = b"SEEDWSEG";
+const SEGMENT_FORMAT_VERSION: u32 = 1;
+/// Bytes of the segment header: magic (8) + version (4) + base LSN (8) + CRC (4).
+pub const SEGMENT_HEADER_LEN: usize = 24;
+
+fn segment_header(base: Lsn) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(SEGMENT_HEADER_LEN);
+    e.put_raw(SEGMENT_MAGIC).put_u32(SEGMENT_FORMAT_VERSION).put_u64(base);
+    let crc = crc32(e.as_slice());
+    e.put_u32(crc);
+    e.finish()
+}
+
+/// Parses a segment header, returning its base LSN.  `None` means torn or foreign bytes — the
+/// segment is a rotation artifact (creation cut by a crash) and carries no acknowledged data.
+fn parse_segment_header(raw: &[u8]) -> Option<Lsn> {
+    if raw.len() < SEGMENT_HEADER_LEN || &raw[..8] != SEGMENT_MAGIC {
+        return None;
+    }
+    let mut d = Decoder::new(&raw[..SEGMENT_HEADER_LEN]);
+    d.get_raw(8).ok()?;
+    let version = d.get_u32().ok()?;
+    let base = d.get_u64().ok()?;
+    let crc = d.get_u32().ok()?;
+    if version != SEGMENT_FORMAT_VERSION || crc != crc32(&raw[..SEGMENT_HEADER_LEN - 4]) {
+        return None;
+    }
+    Some(base)
+}
+
+fn frame_bytes(record: &LogRecord) -> Vec<u8> {
+    let payload = record.encode();
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// One parsed segment payload: the decoded records at or past the asked cursor, the total frame
+/// count, the byte length of the valid frame prefix, and whether that prefix covered every byte
+/// (`false` = a torn tail follows).
+struct SegmentParse {
+    records: Vec<(Lsn, LogRecord)>,
+    frames: u64,
+    valid_len: usize,
+    complete: bool,
+}
+
+/// Walks the frames of one segment's payload (the bytes after the header).  Records are
+/// numbered from `base + 1`; only those with `lsn >= min_lsn` are decoded and returned — frames
+/// below the cursor are CRC-checked and skipped, which keeps a replication tail read
+/// O(file bytes + tail records), not O(all records).  Stops at the first truncated or
+/// checksum-failing frame — the standard WAL recovery rule.  A crash can tear the final
+/// (multi-frame, multi-sector) group-commit batch anywhere, including out of order: any frame
+/// past the first invalid one was never acknowledged (its batch's sync cannot have returned),
+/// so recovery keeps the valid prefix and discards the rest instead of refusing to open.
+fn parse_segment(payload: &[u8], base: Lsn, min_lsn: Lsn) -> StorageResult<SegmentParse> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut lsn: Lsn = base + 1;
+    while pos + 8 <= payload.len() {
+        let len = u32::from_le_bytes(payload[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(payload[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if pos + 8 + len > payload.len() {
+            // Torn write at the tail: everything before it is still valid.
+            break;
+        }
+        let frame = &payload[pos + 8..pos + 8 + len];
+        if crc32(frame) != crc {
+            break;
+        }
+        if lsn >= min_lsn {
+            records.push((lsn, LogRecord::decode(frame)?));
+        }
+        pos += 8 + len;
+        lsn += 1;
+    }
+    Ok(SegmentParse {
+        records,
+        frames: lsn - 1 - base,
+        valid_len: pos,
+        complete: pos == payload.len(),
+    })
+}
+
+// ----- the log ----------------------------------------------------------------------------------
+
+/// Live metadata of one segment (the bytes themselves stay in the [`SegmentIo`]).
+#[derive(Debug, Clone)]
+struct Segment {
+    id: SegmentId,
+    /// LSN before this segment's first record: its frames carry `base + 1 ..= base + records`.
+    base: Lsn,
+    records: u64,
+    /// Frame bytes (the header is excluded everywhere sizes are reported).
+    bytes: u64,
+}
+
+impl Segment {
+    fn end(&self) -> Lsn {
+        self.base + self.records
+    }
+}
+
+struct WalState {
+    /// All live segments in id order; the last one is **active** (appends go there), everything
+    /// before it is sealed.  Never empty.
+    segments: Vec<Segment>,
+    next_lsn: Lsn,
+    /// LSN through which a checkpoint has logically discarded the log.  Sealed segments at or
+    /// below it may still be physically retained for replication subscribers; they no longer
+    /// count toward [`WriteAheadLog::uncheckpointed_bytes`].
+    pruned_to: Lsn,
+    /// Oldest LSN a replication subscriber still needs (`None` = no subscribers, retain
+    /// nothing past a checkpoint).
+    retention_floor: Option<Lsn>,
+}
+
+impl WalState {
+    fn active(&mut self) -> &mut Segment {
+        self.segments.last_mut().expect("segment list is never empty")
+    }
+}
+
+/// An append-only, segmented write-ahead log.
 pub struct WriteAheadLog {
-    backend: Mutex<WalBackend>,
-    /// Number of records truncated away; the first physical record carries LSN `base + 1`.
-    base: Mutex<Lsn>,
-    next_lsn: Mutex<Lsn>,
+    io: Arc<dyn SegmentIo>,
+    config: WalConfig,
+    /// All log state behind one lock: readers observe segment metadata consistent with the
+    /// bytes they read, appenders serialize against rotation and pruning.
+    state: Mutex<WalState>,
 }
 
 impl WriteAheadLog {
     /// Creates an in-memory log (used for ephemeral databases and tests).
     pub fn in_memory() -> Self {
-        Self {
-            backend: Mutex::new(WalBackend::Memory(Vec::new())),
-            base: Mutex::new(0),
-            next_lsn: Mutex::new(1),
-        }
+        Self::in_memory_with(WalConfig::default())
     }
 
-    /// Sidecar path holding the base LSN of a file-backed log.
-    fn base_path(path: &Path) -> PathBuf {
-        let mut p = path.as_os_str().to_owned();
-        p.push(".base");
-        PathBuf::from(p)
+    /// Creates an in-memory log with explicit tuning.
+    pub fn in_memory_with(config: WalConfig) -> Self {
+        Self::with_io(Arc::new(MemorySegmentIo::new()), config)
+            .expect("in-memory segment store cannot fail to open")
     }
 
-    fn read_base(path: &Path) -> Lsn {
-        std::fs::read(Self::base_path(path))
-            .ok()
-            .and_then(|bytes| bytes.try_into().ok().map(u64::from_le_bytes))
-            .unwrap_or(0)
+    /// Opens (or creates) a segmented log inside directory `dir`.
+    ///
+    /// A legacy single-file log (`wal.log` + `wal.log.base` sidecar) found in `dir` is migrated
+    /// into segment 1 first: the bytes are copied into a segment whose header carries the
+    /// sidecar's base, crash-safely (write-temp, sync, rename, sync dir), and the legacy files
+    /// are removed.  An interrupted migration redoes or completes itself on the next open.
+    pub fn open_dir(dir: impl AsRef<Path>, config: WalConfig) -> StorageResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Self::migrate_legacy(&dir)?;
+        Self::with_io(Arc::new(FileSegmentIo::new(&dir)), config)
     }
 
-    fn write_base(path: &Path, base: Lsn) -> StorageResult<()> {
-        let fin = Self::base_path(path);
-        let tmp = fin.with_extension("base.tmp");
-        {
-            let mut file = File::create(&tmp)?;
-            file.write_all(&base.to_le_bytes())?;
-            // The truncation ordering argument only holds if the base really reaches disk
-            // first: sync the bytes, then the rename (via the directory), before the caller
-            // shrinks the log.
-            file.sync_data()?;
-        }
-        std::fs::rename(&tmp, &fin)?;
-        if let Some(dir) = fin.parent() {
-            if let Ok(dir) = File::open(dir) {
-                let _ = dir.sync_data();
+    fn migrate_legacy(dir: &Path) -> StorageResult<()> {
+        let legacy = dir.join("wal.log");
+        let sidecar = dir.join("wal.log.base");
+        // Stale temp files are failed migrations (pre-rename); redo from the legacy source.
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".seg.tmp") {
+                let _ = std::fs::remove_file(entry.path());
             }
+        }
+        if !legacy.exists() {
+            return Ok(());
+        }
+        let has_segments = std::fs::read_dir(dir)?.any(|e| {
+            e.ok()
+                .and_then(|e| e.file_name().to_str().and_then(FileSegmentIo::parse_name))
+                .is_some()
+        });
+        if !has_segments {
+            // The sidecar held the count of records truncated away; it becomes segment 1's base.
+            let base = std::fs::read(&sidecar)
+                .ok()
+                .and_then(|bytes| bytes.try_into().ok().map(u64::from_le_bytes))
+                .unwrap_or(0);
+            let raw = std::fs::read(&legacy)?;
+            let tmp = dir.join("wal.000001.seg.tmp");
+            {
+                let mut file = File::create(&tmp)?;
+                file.write_all(&segment_header(base))?;
+                file.write_all(&raw)?;
+                file.sync_data()?;
+            }
+            std::fs::rename(&tmp, dir.join("wal.000001.seg"))?;
+        }
+        // Past the rename (now, or in the interrupted run that left segments behind), the
+        // segments are authoritative; drop the legacy files.
+        let _ = std::fs::remove_file(&legacy);
+        let _ = std::fs::remove_file(&sidecar);
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
         }
         Ok(())
     }
 
-    /// Opens (or creates) a log file at `path`.
+    /// Opens a log over an arbitrary [`SegmentIo`] — the injection point for fault-injection
+    /// tests, and what [`WriteAheadLog::open_dir`] / [`WriteAheadLog::in_memory`] build on.
     ///
-    /// A torn frame at the tail (a write interrupted by a crash) is physically truncated away,
-    /// so that subsequent appends continue the valid prefix instead of landing behind garbage
-    /// that every later recovery would stop at.
-    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
-        let path = path.as_ref().to_path_buf();
-        let base = Self::read_base(&path);
-        let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
-        let wal = Self {
-            backend: Mutex::new(WalBackend::File { file, path }),
-            base: Mutex::new(base),
-            next_lsn: Mutex::new(base + 1),
-        };
-        let (existing, valid_len) = {
-            let mut backend = wal.backend.lock();
-            let WalBackend::File { file, .. } = &mut *backend else { unreachable!() };
-            file.seek(SeekFrom::Start(0))?;
-            let mut raw = Vec::new();
-            file.read_to_end(&mut raw)?;
-            let (records, valid_len) = Self::parse_frames(&raw, base)?;
-            if (valid_len as u64) < raw.len() as u64 {
-                file.set_len(valid_len as u64)?;
-                file.sync_data()?;
+    /// Recovery scan: segments are walked in id order; the first torn segment header, torn or
+    /// checksum-failing frame, or LSN discontinuity ends the valid prefix — the offending tail
+    /// is physically truncated and every later segment deleted (bytes past the first invalid
+    /// point were never acknowledged).  A missing-prefix discontinuity (older segments deleted
+    /// by an interrupted prune) instead drops the stale older segments and keeps the newest
+    /// contiguous run, which necessarily starts at or past the last checkpoint.
+    pub fn with_io(io: Arc<dyn SegmentIo>, config: WalConfig) -> StorageResult<Self> {
+        let ids = io.list()?;
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut stale: Vec<SegmentId> = Vec::new();
+        let mut invalid_from: Option<usize> = None;
+        for (i, &id) in ids.iter().enumerate() {
+            let raw = io.read(id)?;
+            let Some(base) = parse_segment_header(&raw) else {
+                // Torn creation: the segment carries no acknowledged data.
+                invalid_from = Some(i);
+                break;
+            };
+            if let Some(prev) = segments.last() {
+                if base > prev.end() {
+                    // A hole: only an interrupted oldest-first prune leaves one, so the run
+                    // before the hole predates a checkpoint and the newest run wins.
+                    stale.extend(segments.drain(..).map(|s| s.id));
+                } else if base < prev.end() {
+                    // Overlapping numbering cannot come from any crash of ours.
+                    return Err(StorageError::Corrupt(format!(
+                        "segment {id} base {base} overlaps predecessor ending at {}",
+                        prev.end()
+                    )));
+                }
             }
-            file.seek(SeekFrom::End(0))?;
-            (records, valid_len)
-        };
-        let _ = valid_len;
-        *wal.next_lsn.lock() = base + existing.len() as Lsn + 1;
-        Ok(wal)
+            // Headers and frame CRCs are validated here; record decoding is deferred to the
+            // first read.
+            let parse = parse_segment(&raw[SEGMENT_HEADER_LEN..], base, u64::MAX)?;
+            segments.push(Segment {
+                id,
+                base,
+                records: parse.frames,
+                bytes: parse.valid_len as u64,
+            });
+            if !parse.complete {
+                io.truncate(id, (SEGMENT_HEADER_LEN + parse.valid_len) as u64)?;
+                invalid_from = Some(i + 1);
+                break;
+            }
+        }
+        if let Some(i) = invalid_from {
+            for &id in &ids[i..] {
+                io.delete(id)?;
+            }
+        }
+        for id in stale {
+            io.delete(id)?;
+        }
+        if segments.is_empty() {
+            let id = ids.last().map_or(1, |last| last + 1);
+            io.create(id, &segment_header(0))?;
+            segments.push(Segment { id, base: 0, records: 0, bytes: 0 });
+        }
+        let next_lsn = segments.last().expect("non-empty").end() + 1;
+        let pruned_to = segments[0].base;
+        Ok(Self {
+            io,
+            config,
+            state: Mutex::new(WalState { segments, next_lsn, pruned_to, retention_floor: None }),
+        })
     }
 
-    fn frame_bytes(record: &LogRecord) -> Vec<u8> {
-        let payload = record.encode();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        frame
-    }
-
-    /// Appends a record, returning its LSN.  The append is buffered; call [`WriteAheadLog::sync`]
-    /// to make it durable.
+    /// Appends a record, returning its LSN.  The append is buffered; call
+    /// [`WriteAheadLog::sync`] to make it durable.
     pub fn append(&self, record: &LogRecord) -> StorageResult<Lsn> {
         self.append_batch(std::slice::from_ref(record))
     }
 
     /// Appends a batch of records with **one** backend write (the group-commit primitive: a
     /// committing transaction hands its `Begin`/`Put`/`Delete`/`Commit` frames over in a single
-    /// contiguous write, then syncs once).  Returns the LSN of the first record.
+    /// contiguous write, then syncs once).  Returns the LSN of the first record.  If the active
+    /// segment is already at the rotation threshold, the batch opens a fresh segment — a batch
+    /// never spans two.
     pub fn append_batch(&self, records: &[LogRecord]) -> StorageResult<Lsn> {
         let mut frames = Vec::new();
         for record in records {
-            frames.extend_from_slice(&Self::frame_bytes(record));
+            frames.extend_from_slice(&frame_bytes(record));
         }
-        let mut backend = self.backend.lock();
-        match &mut *backend {
-            WalBackend::Memory(buf) => buf.extend_from_slice(&frames),
-            WalBackend::File { file, .. } => file.write_all(&frames)?,
+        let mut state = self.state.lock();
+        if !records.is_empty() && state.active().bytes >= self.config.segment_max_bytes {
+            self.rotate_locked(&mut state)?;
         }
-        let mut lsn = self.next_lsn.lock();
-        let first = *lsn;
-        *lsn += records.len() as Lsn;
+        let active = state.active();
+        self.io.append(active.id, &frames)?;
+        active.bytes += frames.len() as u64;
+        active.records += records.len() as u64;
+        let first = state.next_lsn;
+        state.next_lsn += records.len() as Lsn;
         Ok(first)
     }
 
-    /// Forces appended records to durable storage.
-    pub fn sync(&self) -> StorageResult<()> {
-        let backend = self.backend.lock();
-        if let WalBackend::File { file, .. } = &*backend {
-            file.sync_data()?;
-        }
+    /// Seals the active segment (sync, so nothing in it can tear after the new segment exists)
+    /// and starts a fresh one whose header base continues the LSN sequence.
+    fn rotate_locked(&self, state: &mut WalState) -> StorageResult<()> {
+        let active = state.active();
+        self.io.sync(active.id)?;
+        let id = active.id + 1;
+        let base = state.next_lsn - 1;
+        self.io.create(id, &segment_header(base))?;
+        state.segments.push(Segment { id, base, records: 0, bytes: 0 });
         Ok(())
+    }
+
+    /// Forces appended records to durable storage (the active segment; sealed segments were
+    /// synced when they were sealed).
+    pub fn sync(&self) -> StorageResult<()> {
+        let mut state = self.state.lock();
+        let id = state.active().id;
+        self.io.sync(id)
     }
 
     /// LSN that will be assigned to the next appended record.
     pub fn next_lsn(&self) -> Lsn {
-        *self.next_lsn.lock()
+        self.state.lock().next_lsn
     }
 
     /// LSN of the last appended record (0 when nothing was ever appended).
     pub fn durable_lsn(&self) -> Lsn {
-        *self.next_lsn.lock() - 1
+        self.state.lock().next_lsn - 1
     }
 
-    /// Number of records truncated away; the log still holds LSNs `base_lsn() + 1 ..`.
+    /// LSN before the oldest record still in the log (`base_lsn() + 1 ..` are readable).
     pub fn base_lsn(&self) -> Lsn {
-        *self.base.lock()
+        self.state.lock().segments[0].base
     }
 
-    /// Reads every valid record from the beginning of the log.
-    ///
-    /// Stops silently at the first truncated or checksum-failing frame — the standard WAL
-    /// recovery rule.  A crash can tear the final (multi-frame, multi-sector) group-commit
-    /// batch anywhere, including out of order: a frame in the middle of the batch may be torn
-    /// while bytes of later frames exist after it.  Any frame past the first invalid one was
-    /// therefore never acknowledged (its batch's sync cannot have returned), so recovery keeps
-    /// the valid prefix and discards the rest instead of refusing to open.
+    /// Number of live segment files (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.state.lock().segments.len()
+    }
+
+    /// Sets the oldest LSN replication still needs.  Checkpoint pruning keeps sealed segments
+    /// containing LSNs at or past the floor (newest-first, within the retention budget) so a
+    /// lagging subscriber can catch up from the log instead of a snapshot.  `None` retains
+    /// nothing past a checkpoint.
+    pub fn set_retention_floor(&self, floor: Option<Lsn>) {
+        self.state.lock().retention_floor = floor;
+    }
+
+    /// Reads every valid record from the beginning of the log, serially.
     pub fn read_all(&self) -> StorageResult<Vec<(Lsn, LogRecord)>> {
-        let (_, (records, _, _)) = self.read_consistent(0)?;
-        Ok(records)
+        let state = self.state.lock();
+        let mut out = Vec::new();
+        for seg in &state.segments {
+            let raw = self.io.read(seg.id)?;
+            let parse = parse_segment(&raw[SEGMENT_HEADER_LEN..], seg.base, 0)?;
+            out.extend(parse.records);
+            if !parse.complete {
+                break;
+            }
+        }
+        Ok(out)
     }
 
-    /// Reads the base and the records from `min_lsn` on under one backend lock, so truncation
-    /// cannot interleave between the two.  Also returns the total record count (frames before
-    /// `min_lsn` are walked for framing but not decoded — the tail-poll path pays header
-    /// parsing, not record decoding, for the part it will not ship).
-    fn read_consistent(&self, min_lsn: Lsn) -> StorageResult<(Lsn, ParsedTail)> {
-        let mut backend = self.backend.lock();
-        let base = *self.base.lock();
-        let raw = match &mut *backend {
-            WalBackend::Memory(buf) => buf.clone(),
-            WalBackend::File { file, .. } => {
-                file.seek(SeekFrom::Start(0))?;
-                let mut buf = Vec::new();
-                file.read_to_end(&mut buf)?;
-                file.seek(SeekFrom::End(0))?;
-                buf
-            }
+    /// Reads every valid record, parsing sealed segments **in parallel** across threads before
+    /// the active segment's serial tail parse.  The merged stream is byte-for-byte identical to
+    /// [`WriteAheadLog::read_all`] — the recovery path uses this, the property tests pin the
+    /// equivalence.
+    pub fn read_all_parallel(&self) -> StorageResult<Vec<(Lsn, LogRecord)>> {
+        // Snapshot segment metadata and bytes under the lock, parse outside it.
+        let raws: Vec<(Lsn, Vec<u8>)> = {
+            let state = self.state.lock();
+            state
+                .segments
+                .iter()
+                .map(|seg| Ok((seg.base, self.io.read(seg.id)?)))
+                .collect::<StorageResult<_>>()?
         };
-        Ok((base, Self::parse_frames_from(&raw, base, min_lsn)?))
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(raws.len());
+        if workers <= 1 {
+            let mut out = Vec::new();
+            for (base, raw) in &raws {
+                let parse = parse_segment(&raw[SEGMENT_HEADER_LEN..], *base, 0)?;
+                out.extend(parse.records);
+                if !parse.complete {
+                    break;
+                }
+            }
+            return Ok(out);
+        }
+        let mut parses: Vec<Option<StorageResult<SegmentParse>>> =
+            (0..raws.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker in 0..workers {
+                let assigned: Vec<(usize, &(Lsn, Vec<u8>))> =
+                    raws.iter().enumerate().filter(|(i, _)| i % workers == worker).collect();
+                handles.push(scope.spawn(move || {
+                    assigned
+                        .into_iter()
+                        .map(|(i, (base, raw))| {
+                            (i, parse_segment(&raw[SEGMENT_HEADER_LEN..], *base, 0))
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                for (i, parse) in handle.join().expect("segment parser panicked") {
+                    parses[i] = Some(parse);
+                }
+            }
+        });
+        let mut out = Vec::new();
+        for parse in parses.into_iter().map(|p| p.expect("every slot parsed")) {
+            let parse = parse?;
+            out.extend(parse.records);
+            if !parse.complete {
+                // Same global rule as the serial read: nothing past the first invalid frame.
+                break;
+            }
+        }
+        Ok(out)
     }
 
     /// The tail of the log from LSN `from` (inclusive) to the durable end — the replication
     /// cursor primitive.  Returns [`WalTail::Truncated`] when `from` is no longer in the log
-    /// (a checkpoint truncated it away) **or** lies beyond it (the caller's cursor belongs to a
+    /// (a checkpoint pruned it away) **or** lies beyond it (the caller's cursor belongs to a
     /// different or reset log); in both cases the caller must resynchronize from a snapshot.
     pub fn read_from(&self, from: Lsn) -> StorageResult<WalTail> {
-        let (base, (records, end, _)) = self.read_consistent(from)?;
-        if from <= base || from > end + 1 {
-            return Ok(WalTail::Truncated { oldest: base + 1 });
+        let state = self.state.lock();
+        let oldest = state.segments[0].base + 1;
+        let end = state.next_lsn - 1;
+        if from < oldest || from > end + 1 {
+            return Ok(WalTail::Truncated { oldest });
         }
-        Ok(WalTail::Records(records))
-    }
-
-    /// Parses raw log bytes into records (numbered from `base + 1`) plus the byte length of the
-    /// valid prefix (everything after that offset is a torn tail the caller may truncate away).
-    fn parse_frames(raw: &[u8], base: Lsn) -> StorageResult<(Vec<(Lsn, LogRecord)>, usize)> {
-        let (records, _, valid_len) = Self::parse_frames_from(raw, base, 0)?;
-        Ok((records, valid_len))
-    }
-
-    /// Like [`WriteAheadLog::parse_frames`], but only records with `lsn >= min_lsn` are decoded
-    /// and returned — frames below the cursor are CRC-checked and skipped, which is what keeps
-    /// a replication tail read O(file bytes + tail records), not O(all records).  Also returns
-    /// the LSN of the last valid frame and the valid byte length.
-    fn parse_frames_from(raw: &[u8], base: Lsn, min_lsn: Lsn) -> StorageResult<ParsedTail> {
         let mut out = Vec::new();
-        let mut pos = 0usize;
-        let mut lsn: Lsn = base + 1;
-        while pos + 8 <= raw.len() {
-            let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            if pos + 8 + len > raw.len() {
-                // Torn write at the tail: everything before it is still valid.
+        for seg in &state.segments {
+            if seg.records == 0 || seg.end() < from {
+                continue;
+            }
+            let raw = self.io.read(seg.id)?;
+            let parse = parse_segment(&raw[SEGMENT_HEADER_LEN..], seg.base, from)?;
+            out.extend(parse.records);
+            if !parse.complete {
                 break;
             }
-            let payload = &raw[pos + 8..pos + 8 + len];
-            if crc32(payload) != crc {
-                // Invalid frame: the tail of a torn (possibly out-of-order) batch write.
-                // Everything from here on was never acknowledged; stop cleanly.
-                break;
-            }
-            if lsn >= min_lsn {
-                out.push((lsn, LogRecord::decode(payload)?));
-            }
-            pos += 8 + len;
-            lsn += 1;
         }
-        Ok((out, lsn - 1, pos))
+        Ok(WalTail::Records(out))
     }
 
-    /// Truncates the log (used after a checkpoint has made its contents redundant).  The LSN
-    /// numbering is **not** reset: the base advances to the last truncated LSN, so the next
-    /// append continues the absolute sequence ([`WriteAheadLog::read_from`] cursors stay valid
+    /// Checkpoint pruning (named for the single-file era, where it truncated the log file).
+    /// Seals the active segment and deletes sealed segments oldest-first, except those still
+    /// needed by replication (see [`WriteAheadLog::set_retention_floor`]) within the retention
+    /// budget.  The LSN numbering is **not** reset: segment headers carry absolute bases, so
+    /// the next append continues the sequence ([`WriteAheadLog::read_from`] cursors stay valid
     /// or report [`WalTail::Truncated`], never silently re-bind to different records).
     pub fn truncate(&self) -> StorageResult<()> {
-        let mut backend = self.backend.lock();
-        let new_base = *self.next_lsn.lock() - 1;
-        match &mut *backend {
-            WalBackend::Memory(buf) => buf.clear(),
-            WalBackend::File { file, path } => {
-                file.sync_data()?;
-                // The base sidecar is written before the log shrinks: if we crash in between,
-                // the surviving records re-parse under too-HIGH LSNs, which subscribers
-                // re-apply idempotently — never under already-consumed LSNs with new content.
-                Self::write_base(path, new_base)?;
-                let new_file =
-                    OpenOptions::new().read(true).write(true).truncate(true).open(&*path)?;
-                new_file.sync_data()?;
-                // Re-open in append mode to keep the invariant that writes go to the end.
-                *file = OpenOptions::new().read(true).append(true).open(&*path)?;
+        let mut state = self.state.lock();
+        if state.active().bytes > 0 {
+            self.rotate_locked(&mut state)?;
+        }
+        state.pruned_to = state.next_lsn - 1;
+        self.prune_locked(&mut state)
+    }
+
+    /// Deletes prunable sealed segments.  The retained set is decided newest-first (keep while
+    /// the floor needs the segment and the budget allows), so the deleted set is always a
+    /// prefix of the segment sequence — which is what keeps the on-disk log contiguous even
+    /// when a crash interrupts the deletes (`with_io`'s hole rule covers the interrupted case).
+    fn prune_locked(&self, state: &mut WalState) -> StorageResult<()> {
+        let sealed = state.segments.len() - 1;
+        let mut keep_from = sealed;
+        if let Some(floor) = state.retention_floor {
+            let mut retained: u64 = 0;
+            while keep_from > 0 {
+                let seg = &state.segments[keep_from - 1];
+                if seg.end() < floor || retained + seg.bytes > self.config.retention_budget_bytes {
+                    break;
+                }
+                retained += seg.bytes;
+                keep_from -= 1;
             }
         }
-        *self.base.lock() = new_base;
+        for seg in &state.segments[..keep_from] {
+            self.io.delete(seg.id)?;
+        }
+        state.segments.drain(..keep_from);
         Ok(())
     }
 
-    /// Bytes currently held by the log.
+    /// Frame bytes currently held by the log across all segments, including segments retained
+    /// only for replication (headers excluded: an empty log reports 0).
     pub fn size_bytes(&self) -> StorageResult<u64> {
-        let backend = self.backend.lock();
-        match &*backend {
-            WalBackend::Memory(buf) => Ok(buf.len() as u64),
-            WalBackend::File { file, .. } => Ok(file.metadata()?.len()),
-        }
+        Ok(self.state.lock().segments.iter().map(|s| s.bytes).sum())
+    }
+
+    /// Frame bytes not yet covered by a checkpoint — what recovery would have to replay, and
+    /// what the engine's auto-checkpoint policy watches.  Excludes segments retained purely for
+    /// replication, so retention cannot retrigger checkpoints in a loop.
+    pub fn uncheckpointed_bytes(&self) -> StorageResult<u64> {
+        let state = self.state.lock();
+        Ok(state.segments.iter().filter(|s| s.base >= state.pruned_to).map(|s| s.bytes).sum())
     }
 }
-
-/// One decoded stretch of the log: the records kept, the LSN of the last valid frame, and the
-/// byte length of the valid prefix (private parsing plumbing).
-type ParsedTail = (Vec<(Lsn, LogRecord)>, Lsn, usize);
 
 /// One logged effect on a key: `Some(value)` for a put, `None` for a delete.
 pub type KeyEffect = (Vec<u8>, Option<Vec<u8>>);
@@ -435,10 +920,33 @@ pub fn replay_committed(records: &[(Lsn, LogRecord)]) -> Vec<KeyEffect> {
 mod tests {
     use super::*;
 
-    fn temp_path(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("seed-wal-test-{}", std::process::id()));
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "seed-wal-test-{}-{name}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        dir
+    }
+
+    /// Path of the newest (active) segment file in `dir`.
+    fn active_segment(dir: &Path) -> PathBuf {
+        segment_files(dir).pop().expect("at least one segment file")
+    }
+
+    fn segment_files(dir: &Path) -> Vec<PathBuf> {
+        let mut files: Vec<(SegmentId, PathBuf)> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| {
+                let e = e.unwrap();
+                let id = e.file_name().to_str().and_then(FileSegmentIo::parse_name)?;
+                Some((id, e.path()))
+            })
+            .collect();
+        files.sort();
+        files.into_iter().map(|(_, p)| p).collect()
     }
 
     #[test]
@@ -463,6 +971,20 @@ mod tests {
     }
 
     #[test]
+    fn segment_header_roundtrips_and_rejects_damage() {
+        let header = segment_header(1234);
+        assert_eq!(header.len(), SEGMENT_HEADER_LEN);
+        assert_eq!(parse_segment_header(&header), Some(1234));
+        assert_eq!(parse_segment_header(&header[..SEGMENT_HEADER_LEN - 1]), None, "torn header");
+        let mut flipped = header.clone();
+        flipped[12] ^= 0xFF;
+        assert_eq!(parse_segment_header(&flipped), None, "corrupt header");
+        let mut foreign = header;
+        foreign[0] = b'X';
+        assert_eq!(parse_segment_header(&foreign), None, "foreign magic");
+    }
+
+    #[test]
     fn memory_log_appends_and_reads_back() {
         let wal = WriteAheadLog::in_memory();
         let l1 = wal.append(&LogRecord::Begin { txn: 7 }).unwrap();
@@ -477,10 +999,9 @@ mod tests {
 
     #[test]
     fn file_log_survives_reopen() {
-        let path = temp_path("reopen.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = temp_dir("reopen");
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
             wal.append(&LogRecord::Put { txn: 1, key: b"k".to_vec(), value: b"v".to_vec() })
                 .unwrap();
@@ -488,48 +1009,46 @@ mod tests {
             wal.sync().unwrap();
         }
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             let all = wal.read_all().unwrap();
             assert_eq!(all.len(), 3);
             assert_eq!(wal.next_lsn(), 4);
         }
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn torn_tail_is_ignored() {
-        let path = temp_path("torn.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = temp_dir("torn");
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
             wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
             wal.sync().unwrap();
         }
         // Simulate a torn write: append garbage that looks like the start of a frame.
         {
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = OpenOptions::new().append(true).open(active_segment(&dir)).unwrap();
             f.write_all(&[200, 0, 0, 0, 1, 2, 3]).unwrap();
         }
-        let wal = WriteAheadLog::open(&path).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
         let all = wal.read_all().unwrap();
         assert_eq!(all.len(), 2, "torn frame must be dropped, durable prefix kept");
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn truncation_mid_frame_recovers_committed_prefix() {
-        let path = temp_path("midframe.wal");
-        let _ = std::fs::remove_file(&path);
-        let committed_len;
+        let dir = temp_dir("midframe");
+        let committed_file_len;
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
             wal.append(&LogRecord::Put { txn: 1, key: b"a".to_vec(), value: b"1".to_vec() })
                 .unwrap();
             wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
             wal.sync().unwrap();
-            committed_len = wal.size_bytes().unwrap();
+            committed_file_len = std::fs::metadata(active_segment(&dir)).unwrap().len();
             // A second transaction whose frames the crash will cut in half.
             wal.append(&LogRecord::Begin { txn: 2 }).unwrap();
             wal.append(&LogRecord::Put { txn: 2, key: b"b".to_vec(), value: b"2".to_vec() })
@@ -538,10 +1057,11 @@ mod tests {
             wal.sync().unwrap();
         }
         // Crash mid-frame: cut the file a few bytes into the torn region.
-        let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..(committed_len as usize + 5)]).unwrap();
+        let seg = active_segment(&dir);
+        let full = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &full[..(committed_file_len as usize + 5)]).unwrap();
 
-        let wal = WriteAheadLog::open(&path).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
         let records: Vec<LogRecord> = wal.read_all().unwrap().into_iter().map(|(_, r)| r).collect();
         assert_eq!(
             records,
@@ -555,22 +1075,21 @@ mod tests {
         let effects = replay_committed(&wal.read_all().unwrap());
         assert_eq!(effects, vec![(b"a".to_vec(), Some(b"1".to_vec()))]);
         // The torn bytes were physically truncated, so new appends extend the valid prefix.
-        assert_eq!(wal.size_bytes().unwrap(), committed_len);
+        assert_eq!(std::fs::metadata(&seg).unwrap().len(), committed_file_len);
         wal.append(&LogRecord::Begin { txn: 3 }).unwrap();
         wal.append(&LogRecord::Commit { txn: 3 }).unwrap();
         wal.sync().unwrap();
         drop(wal);
-        let wal = WriteAheadLog::open(&path).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
         assert_eq!(wal.read_all().unwrap().len(), 5, "appends after a torn tail stay readable");
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn torn_tail_inside_uncommitted_transaction_is_dropped() {
-        let path = temp_path("torn-uncommitted.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = temp_dir("torn-uncommitted");
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
             wal.append(&LogRecord::Put { txn: 1, key: b"k".to_vec(), value: b"v".to_vec() })
                 .unwrap();
@@ -581,23 +1100,23 @@ mod tests {
                 .unwrap();
             wal.sync().unwrap();
         }
-        let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let seg = active_segment(&dir);
+        let full = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &full[..full.len() - 3]).unwrap();
 
-        let wal = WriteAheadLog::open(&path).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
         let records = wal.read_all().unwrap();
         assert_eq!(records.len(), 4, "only the torn frame is dropped");
         let effects = replay_committed(&records);
         assert_eq!(effects, vec![(b"k".to_vec(), Some(b"v".to_vec()))]);
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn partially_overwritten_final_frame_is_treated_as_torn() {
-        let path = temp_path("partial-final.wal");
-        let _ = std::fs::remove_file(&path);
+        let dir = temp_dir("partial-final");
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
             wal.append(&LogRecord::Put { txn: 2, key: b"k".to_vec(), value: b"v".to_vec() })
                 .unwrap();
@@ -605,17 +1124,18 @@ mod tests {
         }
         // Flip a byte inside the LAST frame's payload: a torn (partially written) tail frame,
         // not interior corruption — recovery must stop cleanly before it.
+        let seg = active_segment(&dir);
         {
-            let mut bytes = std::fs::read(&path).unwrap();
+            let mut bytes = std::fs::read(&seg).unwrap();
             let n = bytes.len();
             bytes[n - 2] ^= 0xFF;
-            std::fs::write(&path, &bytes).unwrap();
+            std::fs::write(&seg, &bytes).unwrap();
         }
-        let wal = WriteAheadLog::open(&path).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
         let records = wal.read_all().unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].1, LogRecord::Commit { txn: 1 });
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -640,13 +1160,13 @@ mod tests {
         // Standard WAL recovery rule: everything past the first invalid frame was never
         // acknowledged (its batch's sync cannot have returned), so recovery keeps the valid
         // prefix and discards the rest rather than refusing to open.
-        let path = temp_path("corrupt.wal");
-        let _ = std::fs::remove_file(&path);
-        let first_frame_len;
+        let dir = temp_dir("corrupt");
+        let first_frame_end;
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
-            first_frame_len = wal.size_bytes().unwrap();
+            wal.sync().unwrap();
+            first_frame_end = std::fs::metadata(active_segment(&dir)).unwrap().len();
             wal.append(&LogRecord::Put { txn: 1, key: b"key".to_vec(), value: b"value".to_vec() })
                 .unwrap();
             wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
@@ -654,17 +1174,22 @@ mod tests {
         }
         // Tear the middle frame (out-of-order batch persistence): bytes of the final frame
         // still exist after the invalid one.
+        let seg = active_segment(&dir);
         {
-            let mut bytes = std::fs::read(&path).unwrap();
-            bytes[first_frame_len as usize + 10] ^= 0xFF;
-            std::fs::write(&path, &bytes).unwrap();
+            let mut bytes = std::fs::read(&seg).unwrap();
+            bytes[first_frame_end as usize + 10] ^= 0xFF;
+            std::fs::write(&seg, &bytes).unwrap();
         }
-        let wal = WriteAheadLog::open(&path).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
         let records = wal.read_all().unwrap();
         assert_eq!(records.len(), 1, "valid prefix kept, torn batch discarded");
         assert_eq!(records[0].1, LogRecord::Begin { txn: 1 });
-        assert_eq!(wal.size_bytes().unwrap(), first_frame_len, "torn bytes truncated on open");
-        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            std::fs::metadata(&seg).unwrap().len(),
+            first_frame_end,
+            "torn bytes truncated on open"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -713,11 +1238,9 @@ mod tests {
 
     #[test]
     fn base_lsn_survives_reopen_of_a_file_log() {
-        let path = temp_path("base-reopen.wal");
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_file(WriteAheadLog::base_path(&path));
+        let dir = temp_dir("base-reopen");
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
             wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
             wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
             wal.sync().unwrap();
@@ -726,14 +1249,229 @@ mod tests {
             wal.sync().unwrap();
         }
         {
-            let wal = WriteAheadLog::open(&path).unwrap();
-            assert_eq!(wal.base_lsn(), 2, "base restored from the sidecar");
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
+            assert_eq!(wal.base_lsn(), 2, "base restored from the segment header");
             assert_eq!(wal.next_lsn(), 4);
             assert_eq!(wal.read_all().unwrap(), vec![(3, LogRecord::Begin { txn: 2 })]);
             assert!(matches!(wal.read_from(1).unwrap(), WalTail::Truncated { oldest: 3 }));
         }
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_file(WriteAheadLog::base_path(&path));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn small_cap(cap: u64) -> WalConfig {
+        WalConfig { segment_max_bytes: cap, ..WalConfig::default() }
+    }
+
+    fn commit_batch(txn: u64, payload: usize) -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { txn },
+            LogRecord::Put {
+                txn,
+                key: format!("k/{txn:04}").into_bytes(),
+                value: vec![7; payload],
+            },
+            LogRecord::Commit { txn },
+        ]
+    }
+
+    #[test]
+    fn rotation_splits_the_log_across_segment_files() {
+        let dir = temp_dir("rotate");
+        {
+            let wal = WriteAheadLog::open_dir(&dir, small_cap(128)).unwrap();
+            for txn in 1..=10 {
+                wal.append_batch(&commit_batch(txn, 48)).unwrap();
+                wal.sync().unwrap();
+            }
+            assert!(wal.segment_count() > 1, "small cap must force rotations");
+            assert_eq!(segment_files(&dir).len(), wal.segment_count());
+            let all = wal.read_all().unwrap();
+            assert_eq!(all.len(), 30);
+            let lsns: Vec<Lsn> = all.iter().map(|(l, _)| *l).collect();
+            assert_eq!(lsns, (1..=30).collect::<Vec<_>>(), "LSNs stay contiguous across files");
+        }
+        {
+            let wal = WriteAheadLog::open_dir(&dir, small_cap(128)).unwrap();
+            assert_eq!(wal.read_all().unwrap().len(), 30);
+            assert_eq!(wal.next_lsn(), 31);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_batch_never_spans_two_segments() {
+        let wal = WriteAheadLog::in_memory_with(small_cap(64));
+        for txn in 1..=6 {
+            wal.append_batch(&commit_batch(txn, 100)).unwrap();
+        }
+        // Every batch rotated into its own segment: records per segment divisible by 3.
+        let state = wal.state.lock();
+        for seg in state.segments.iter().filter(|s| s.records > 0) {
+            assert_eq!(seg.records % 3, 0, "segment holds whole batches only");
+        }
+    }
+
+    #[test]
+    fn truncate_prunes_whole_sealed_segments() {
+        let dir = temp_dir("prune");
+        let wal = WriteAheadLog::open_dir(&dir, small_cap(128)).unwrap();
+        for txn in 1..=10 {
+            wal.append_batch(&commit_batch(txn, 48)).unwrap();
+        }
+        wal.sync().unwrap();
+        let end = wal.durable_lsn();
+        assert!(segment_files(&dir).len() > 1);
+        wal.truncate().unwrap();
+        assert_eq!(segment_files(&dir).len(), 1, "checkpoint deletes sealed segments");
+        assert_eq!(wal.size_bytes().unwrap(), 0);
+        assert_eq!(wal.base_lsn(), end);
+        assert_eq!(wal.next_lsn(), end + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_floor_keeps_segments_a_subscriber_still_needs() {
+        let wal = WriteAheadLog::in_memory_with(small_cap(128));
+        for txn in 1..=10 {
+            wal.append_batch(&commit_batch(txn, 48)).unwrap();
+        }
+        let end = wal.durable_lsn();
+        let cursor = end - 7; // a lagging subscriber's next LSN
+        wal.set_retention_floor(Some(cursor));
+        wal.truncate().unwrap();
+        assert!(wal.base_lsn() < cursor, "segments covering the cursor survive the checkpoint");
+        match wal.read_from(cursor).unwrap() {
+            WalTail::Records(recs) => {
+                assert_eq!(recs.first().map(|(l, _)| *l), Some(cursor));
+                assert_eq!(recs.last().map(|(l, _)| *l), Some(end));
+            }
+            other => panic!("expected retained records, got {other:?}"),
+        }
+        // Once the subscriber is gone, the next checkpoint drops the retained segments.
+        wal.set_retention_floor(None);
+        wal.truncate().unwrap();
+        assert!(matches!(wal.read_from(cursor).unwrap(), WalTail::Truncated { .. }));
+        assert_eq!(wal.size_bytes().unwrap(), 0);
+    }
+
+    #[test]
+    fn retention_budget_bounds_what_a_checkpoint_keeps() {
+        let wal = WriteAheadLog::in_memory_with(WalConfig {
+            segment_max_bytes: 128,
+            retention_budget_bytes: 0,
+        });
+        for txn in 1..=10 {
+            wal.append_batch(&commit_batch(txn, 48)).unwrap();
+        }
+        wal.set_retention_floor(Some(2));
+        wal.truncate().unwrap();
+        assert!(
+            matches!(wal.read_from(2).unwrap(), WalTail::Truncated { .. }),
+            "a zero budget retains nothing, the subscriber must snapshot"
+        );
+        assert_eq!(wal.size_bytes().unwrap(), 0);
+    }
+
+    #[test]
+    fn torn_rotation_artifact_is_deleted_on_open() {
+        let dir = temp_dir("torn-rotation");
+        {
+            let wal = WriteAheadLog::open_dir(&dir, small_cap(64)).unwrap();
+            for txn in 1..=3 {
+                wal.append_batch(&commit_batch(txn, 32)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // A crash mid-rotation leaves a new segment whose header write was cut short.
+        let next_id = segment_files(&dir).len() as SegmentId + 1;
+        let artifact = dir.join(format!("wal.{next_id:06}.seg"));
+        std::fs::write(&artifact, &segment_header(999)[..7]).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, small_cap(64)).unwrap();
+        assert!(!artifact.exists(), "rotation artifact removed");
+        assert_eq!(wal.read_all().unwrap().len(), 9, "sealed records all survive");
+        wal.append(&LogRecord::Begin { txn: 4 }).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 10, "appends continue after cleanup");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_prune_hole_keeps_the_newest_contiguous_run() {
+        let dir = temp_dir("torn-prune");
+        {
+            let wal = WriteAheadLog::open_dir(&dir, small_cap(64)).unwrap();
+            for txn in 1..=4 {
+                wal.append_batch(&commit_batch(txn, 48)).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.segment_count() >= 3);
+        }
+        // A prune interrupted out of order would leave a hole; recovery must keep the run
+        // after the hole (it starts at or past the checkpoint) and drop the stale prefix.
+        let files = segment_files(&dir);
+        std::fs::remove_file(&files[1]).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, small_cap(64)).unwrap();
+        assert!(!files[0].exists(), "stale pre-hole segment deleted");
+        let all = wal.read_all().unwrap();
+        assert!(!all.is_empty());
+        assert!(all[0].0 > 1, "records before the hole are gone");
+        let lsns: Vec<Lsn> = all.iter().map(|(l, _)| *l).collect();
+        assert_eq!(
+            lsns,
+            (all[0].0..=all[all.len() - 1].0).collect::<Vec<_>>(),
+            "surviving records are contiguous"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_file_log_is_migrated_on_open() {
+        let dir = temp_dir("legacy");
+        // Fabricate a pre-segmentation log: raw frames in `wal.log`, base in the sidecar.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&frame_bytes(&LogRecord::Begin { txn: 9 }));
+        raw.extend_from_slice(&frame_bytes(&LogRecord::Commit { txn: 9 }));
+        std::fs::write(dir.join("wal.log"), &raw).unwrap();
+        std::fs::write(dir.join("wal.log.base"), 5u64.to_le_bytes()).unwrap();
+        {
+            let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
+            assert_eq!(wal.base_lsn(), 5, "sidecar base became the segment header base");
+            assert_eq!(
+                wal.read_all().unwrap(),
+                vec![(6, LogRecord::Begin { txn: 9 }), (7, LogRecord::Commit { txn: 9 })]
+            );
+            assert!(!dir.join("wal.log").exists(), "legacy file removed after migration");
+            assert!(!dir.join("wal.log.base").exists());
+            assert!(dir.join("wal.000001.seg").exists());
+            wal.append(&LogRecord::Begin { txn: 10 }).unwrap();
+            wal.sync().unwrap();
+        }
+        let wal = WriteAheadLog::open_dir(&dir, WalConfig::default()).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 3);
+        assert_eq!(wal.next_lsn(), 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_read_matches_serial_including_torn_tails() {
+        let dir = temp_dir("parallel");
+        {
+            let wal = WriteAheadLog::open_dir(&dir, small_cap(96)).unwrap();
+            for txn in 1..=12 {
+                wal.append_batch(&commit_batch(txn, 40)).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.segment_count() > 2);
+            assert_eq!(wal.read_all_parallel().unwrap(), wal.read_all().unwrap());
+        }
+        // Tear the active segment's tail; both reads must agree on the shortened stream.
+        let seg = active_segment(&dir);
+        let full = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &full[..full.len() - 4]).unwrap();
+        let wal = WriteAheadLog::open_dir(&dir, small_cap(96)).unwrap();
+        let serial = wal.read_all().unwrap();
+        assert_eq!(wal.read_all_parallel().unwrap(), serial);
+        assert!(serial.len() < 36);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -803,6 +1541,53 @@ mod proptests {
             }
             let read: Vec<LogRecord> = wal.read_all().unwrap().into_iter().map(|(_, r)| r).collect();
             prop_assert_eq!(read, records);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The segmentation tentpole's core property: random commit-size sequences over an
+        /// arbitrary segment cap recover identically to the single-file oracle (a log whose cap
+        /// never rotates), across checkpoints and a simulated restart — and the parallel replay
+        /// path equals the serial one at every step.
+        #[test]
+        fn segmented_log_matches_single_file_oracle(
+            steps in proptest::collection::vec(
+                (proptest::collection::vec(arb_record(), 1..6), any::<bool>()),
+                1..24,
+            ),
+            cap in 16u64..512,
+        ) {
+            let io = Arc::new(MemorySegmentIo::new());
+            let config = WalConfig { segment_max_bytes: cap, ..WalConfig::default() };
+            let wal = WriteAheadLog::with_io(io.clone(), config.clone()).unwrap();
+            let oracle = WriteAheadLog::in_memory_with(WalConfig {
+                segment_max_bytes: u64::MAX,
+                ..WalConfig::default()
+            });
+            for (batch, checkpoint) in &steps {
+                prop_assert_eq!(
+                    wal.append_batch(batch).unwrap(),
+                    oracle.append_batch(batch).unwrap()
+                );
+                if *checkpoint {
+                    wal.truncate().unwrap();
+                    oracle.truncate().unwrap();
+                }
+            }
+            prop_assert_eq!(wal.read_all().unwrap(), oracle.read_all().unwrap());
+            prop_assert_eq!(wal.read_all_parallel().unwrap(), wal.read_all().unwrap());
+            prop_assert_eq!(wal.next_lsn(), oracle.next_lsn());
+            prop_assert_eq!(wal.base_lsn(), oracle.base_lsn());
+
+            // Restart: reopen over the same segment bytes; nothing may change.
+            drop(wal);
+            let reopened = WriteAheadLog::with_io(io, config).unwrap();
+            prop_assert_eq!(reopened.read_all().unwrap(), oracle.read_all().unwrap());
+            prop_assert_eq!(reopened.read_all_parallel().unwrap(), reopened.read_all().unwrap());
+            prop_assert_eq!(reopened.next_lsn(), oracle.next_lsn());
+            prop_assert_eq!(reopened.base_lsn(), oracle.base_lsn());
         }
     }
 }
