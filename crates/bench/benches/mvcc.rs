@@ -1,0 +1,90 @@
+//! E14 — MVCC snapshot reads: in-process read throughput on a quiescent server vs the same
+//! reads while a writer thread commits check-ins continuously.
+//!
+//! Each iteration runs a fixed batch of `retrieve` calls spread across a fixed reader fleet;
+//! the interesting number is how little the per-iteration time grows when the write stream is
+//! on — reads run against the published immutable snapshot, never the database write lock, so
+//! the writer only costs them the occasional snapshot republish.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seed_core::Database;
+use seed_schema::figure3_schema;
+use seed_server::{SeedServer, Update};
+
+const OBJECTS: usize = 500;
+const READERS: usize = 4;
+const OPS_PER_ITER: usize = 400;
+
+fn seeded_server() -> Arc<SeedServer> {
+    let mut db = Database::new(figure3_schema());
+    db.begin_transaction().expect("txn");
+    for i in 0..OBJECTS {
+        db.create_object("Data", &format!("Data{i:05}")).expect("create");
+    }
+    db.commit_transaction().expect("commit");
+    Arc::new(SeedServer::new(db))
+}
+
+fn read_batch(server: &Arc<SeedServer>) -> usize {
+    let ops_each = OPS_PER_ITER / READERS;
+    let workers: Vec<_> = (0..READERS)
+        .map(|w| {
+            let server = Arc::clone(server);
+            std::thread::spawn(move || {
+                for i in 0..ops_each {
+                    let name = format!("Data{:05}", (w * 131 + i) % OBJECTS);
+                    server.retrieve(&name).expect("retrieve");
+                }
+                ops_each
+            })
+        })
+        .collect();
+    workers.into_iter().map(|w| w.join().expect("reader")).sum::<usize>()
+}
+
+fn snapshot_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E14_snapshot_reads");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for writers in [0usize, 1] {
+        group.bench_with_input(BenchmarkId::from_parameter(writers), &writers, |b, &writers| {
+            let server = seeded_server();
+            let stop = Arc::new(AtomicBool::new(false));
+            let writer_threads: Vec<_> = (0..writers)
+                .map(|_| {
+                    let server = Arc::clone(&server);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let client = server.connect();
+                        let mut commits = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            server
+                                .checkin(
+                                    client,
+                                    &[Update::CreateObject {
+                                        class: "Data".into(),
+                                        name: format!("Churn{commits:08}"),
+                                    }],
+                                )
+                                .expect("checkin");
+                            commits += 1;
+                        }
+                    })
+                })
+                .collect();
+            b.iter(|| read_batch(&server));
+            stop.store(true, Ordering::Relaxed);
+            for writer in writer_threads {
+                writer.join().expect("writer");
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, snapshot_reads);
+criterion_main!(benches);

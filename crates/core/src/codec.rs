@@ -66,6 +66,22 @@ pub(crate) fn relationship_key(id: RelationshipId) -> Vec<u8> {
     format!("r/{:016x}", id.0).into_bytes()
 }
 
+/// Parses an `o/<id>` key back into its object id.
+pub(crate) fn parse_object_key(key: &[u8]) -> SeedResult<ObjectId> {
+    let bad = || SeedError::Invalid(format!("malformed object key {key:?}"));
+    let text = std::str::from_utf8(key).map_err(|_| bad())?;
+    let hex = text.strip_prefix("o/").ok_or_else(bad)?;
+    Ok(ObjectId(u64::from_str_radix(hex, 16).map_err(|_| bad())?))
+}
+
+/// Parses an `r/<id>` key back into its relationship id.
+pub(crate) fn parse_relationship_key(key: &[u8]) -> SeedResult<RelationshipId> {
+    let bad = || SeedError::Invalid(format!("malformed relationship key {key:?}"));
+    let text = std::str::from_utf8(key).map_err(|_| bad())?;
+    let hex = text.strip_prefix("r/").ok_or_else(bad)?;
+    Ok(RelationshipId(u64::from_str_radix(hex, 16).map_err(|_| bad())?))
+}
+
 /// `s/<svid:08x>`
 pub(crate) fn schema_key(id: SchemaVersionId) -> Vec<u8> {
     format!("s/{:08x}", id.0).into_bytes()

@@ -6,7 +6,7 @@
 //! through consistency checking before it touches the store ("SEED permanently ensures database
 //! consistency"); completeness is checked only on demand.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
 use seed_schema::{ClassId, Schema, SchemaRegistry, SchemaVersionId};
@@ -54,6 +54,14 @@ pub struct Database {
     consistency_checking: bool,
     /// Write-through persistence handle (`None` for purely in-memory databases).
     durability: Option<Durability>,
+    /// Items mutated since the last snapshot publication (fed from the store's change journal;
+    /// see [`Database::enable_snapshot_tracking`]).
+    snap_changed: HashSet<ItemId>,
+    /// Whether snapshot-delta tracking is on (the server's MVCC read path enables it).
+    snapshot_tracking: bool,
+    /// Set when the store was replaced wholesale (alternative checkout/return, fresh tracking):
+    /// the next snapshot publication must rebuild instead of applying a delta.
+    snap_reset: bool,
 }
 
 impl std::fmt::Debug for Database {
@@ -83,6 +91,9 @@ impl Database {
             transition_rules: Vec::new(),
             consistency_checking: true,
             durability: None,
+            snap_changed: HashSet::new(),
+            snapshot_tracking: false,
+            snap_reset: false,
         }
     }
 
@@ -266,12 +277,21 @@ impl Database {
     /// open).  No-op for in-memory databases and while working on an alternative (the
     /// alternative store is scratch state; only its version snapshots persist).
     fn persist_changes(&mut self) -> SeedResult<()> {
-        if self.durability.is_none() || self.alternative.is_some() {
+        if self.alternative.is_some() {
+            return Ok(());
+        }
+        if self.durability.is_none() {
+            if self.snapshot_tracking {
+                self.snap_changed.extend(self.store.take_changed());
+            }
             return Ok(());
         }
         let changed = self.store.take_changed();
         if changed.is_empty() {
             return Ok(());
+        }
+        if self.snapshot_tracking {
+            self.snap_changed.extend(changed.iter().copied());
         }
         let result = self.stage_and_commit_changes(&changed);
         if result.is_err() {
@@ -621,8 +641,13 @@ impl Database {
                     }
                 }
                 // The undo replay re-marked the restored items in the change journal, but their
-                // durable state already equals the restored (pre-transaction) state.
-                let _ = self.store.take_changed();
+                // durable state already equals the restored (pre-transaction) state.  A read
+                // snapshot published mid-transaction may have seen the undone values, so the
+                // restored items still count toward the next snapshot delta.
+                let undone = self.store.take_changed();
+                if self.snapshot_tracking {
+                    self.snap_changed.extend(undone.iter().copied());
+                }
                 // The aborted storage transaction also discarded its meta writes; re-commit the
                 // meta record so the durable id floors match the in-memory counters (ids
                 // allocated by the rolled-back transaction stay burned).
@@ -1454,6 +1479,8 @@ impl Database {
         view.raise_id_floor(obj_floor, rel_floor);
         let stashed = std::mem::replace(&mut self.store, view);
         self.alternative = Some(AlternativeContext { base, stashed });
+        // The working store changed wholesale; a snapshot delta cannot describe it.
+        self.snap_reset = self.snapshot_tracking;
         Ok(())
     }
 
@@ -1482,6 +1509,7 @@ impl Database {
         match self.alternative.take() {
             Some(alt) => {
                 self.store = alt.stashed;
+                self.snap_reset = self.snapshot_tracking;
                 Ok(())
             }
             None => Err(SeedError::Version("not working on an alternative".to_string())),
@@ -1514,7 +1542,189 @@ impl Database {
             transition_rules,
             consistency_checking: true,
             durability: None,
+            snap_changed: HashSet::new(),
+            snapshot_tracking: false,
+            snap_reset: false,
         }
+    }
+
+    // ----- snapshot plumbing (used by crate::snapshot) --------------------------------------------------------------
+
+    /// Turns on snapshot-delta tracking: from now on every committed mutation is also recorded
+    /// in a second journal drained by the snapshot publisher ([`crate::snapshot::SnapshotCell`]),
+    /// so a new read snapshot can be produced by an O(delta) copy-on-write sync instead of a
+    /// full clone.  Idempotent; forces the store's change journal on even for in-memory
+    /// databases.
+    pub fn enable_snapshot_tracking(&mut self) {
+        if !self.snapshot_tracking {
+            self.snapshot_tracking = true;
+            self.snap_reset = true;
+            self.store.set_journal(true);
+        }
+    }
+
+    /// Whether snapshot-delta tracking is on.
+    pub fn snapshot_tracking(&self) -> bool {
+        self.snapshot_tracking
+    }
+
+    /// Drains the snapshot delta: the items mutated since the last drain, sorted.  Returns
+    /// `None` when the store changed wholesale (alternative checkout, fresh tracking) and the
+    /// publisher must rebuild instead of patching.
+    pub(crate) fn take_snapshot_changes(&mut self) -> Option<Vec<ItemId>> {
+        // Catch store mutations that bypassed persist_changes (e.g. the replica's direct effect
+        // apply): fold any undrained journal items into the snapshot delta, but leave them
+        // queued for durability (a durable database re-stages them on its next commit).
+        let residue = self.store.take_changed();
+        if !residue.is_empty() {
+            self.snap_changed.extend(residue.iter().copied());
+            if self.durability.is_some() {
+                // Items a durable database failed to stage must stay queued for its retry.
+                self.store.requeue_changed(&residue);
+            }
+        }
+        if self.snap_reset {
+            self.snap_reset = false;
+            self.snap_changed.clear();
+            return None;
+        }
+        let mut items: Vec<ItemId> = self.snap_changed.drain().collect();
+        items.sort();
+        Some(items)
+    }
+
+    /// A deep copy of the queryable state (schemas, store with all indexes, versions, rules) for
+    /// use as an immutable read snapshot.  Durability handles, open transactions and attached
+    /// procedures are not carried over — snapshots never write.
+    pub(crate) fn clone_for_snapshot(&self) -> Database {
+        Database {
+            schemas: self.schemas.clone(),
+            store: self.store.clone(),
+            versions: self.versions.clone(),
+            procedures: ProcedureRegistry::new(),
+            selected_version: self.selected_version.clone(),
+            selected_view: self.selected_view.clone(),
+            alternative: None,
+            txn: None,
+            transition_rules: self.transition_rules.clone(),
+            consistency_checking: self.consistency_checking,
+            durability: None,
+            snap_changed: HashSet::new(),
+            snapshot_tracking: false,
+            snap_reset: false,
+        }
+    }
+
+    /// Patches `self` (a retired snapshot clone) to match `src` given that exactly `items`
+    /// were mutated in between — the O(delta) half of copy-on-write snapshot publication.
+    /// Index maintenance rides on the store's ordinary mutators, so the patched clone is
+    /// byte-identical to a fresh [`Database::clone_for_snapshot`] of `src`.
+    pub(crate) fn sync_snapshot_from(&mut self, src: &Database, items: &[ItemId]) {
+        // Cross-item renames within one delta (A→B while B→A) would corrupt the name index if
+        // patched in place, because `update_object` unconditionally re-inserts the new name:
+        // park every live-and-renamed (or soon-removed) object under a collision-free temporary
+        // name first, then apply the real records.
+        for item in items {
+            let ItemId::Object(oid) = item else { continue };
+            let stale = match self.store.object(*oid) {
+                Some(rec) if !rec.deleted => rec,
+                _ => continue,
+            };
+            let needs_parking = match src.store.object(*oid) {
+                None => true,
+                Some(new) => new.name.to_string() != stale.name.to_string(),
+            };
+            if needs_parking {
+                let parked = format!("\u{1}snap-parked-{}", oid.0);
+                self.store.update_object(*oid, |o| o.name = o.name.with_root_renamed(parked));
+            }
+        }
+        for item in items {
+            match *item {
+                ItemId::Object(oid) => {
+                    match src.store.object(oid) {
+                        Some(rec) => {
+                            let rec = rec.clone();
+                            if self.store.object(oid).is_some() {
+                                self.store.update_object(oid, |o| *o = rec);
+                            } else {
+                                self.store.insert_object(rec);
+                            }
+                        }
+                        None => {
+                            if self.store.object(oid).is_some() {
+                                self.store.remove_object(oid);
+                            }
+                        }
+                    }
+                    // The inherits-links of a changed object travel with it (mirroring the
+                    // durable codec, where the object record carries them).
+                    let want = src.store.inherited_patterns(oid);
+                    for have in self.store.inherited_patterns(oid) {
+                        if !want.contains(&have) {
+                            self.store.remove_inherits(oid, have);
+                        }
+                    }
+                    for pattern in want {
+                        if !self.store.inherited_patterns(oid).contains(&pattern) {
+                            self.store.add_inherits(oid, pattern);
+                        }
+                    }
+                }
+                ItemId::Relationship(rid) => match src.store.relationship(rid) {
+                    Some(rec) => {
+                        let rec = rec.clone();
+                        if self.store.relationship(rid).is_some() {
+                            self.store.update_relationship(rid, |r| *r = rec);
+                        } else {
+                            self.store.insert_relationship(rec);
+                        }
+                    }
+                    None => {
+                        if self.store.relationship(rid).is_some() {
+                            self.store.remove_relationship(rid);
+                        }
+                    }
+                },
+            }
+        }
+        let (obj_floor, rel_floor) = src.store.id_floor();
+        self.store.raise_id_floor(obj_floor, rel_floor);
+        if self.schemas != src.schemas {
+            self.schemas = src.schemas.clone();
+        }
+        if self.versions.seq() != src.versions.seq()
+            || self.versions.version_count() != src.versions.version_count()
+            || self.versions.last_created() != src.versions.last_created()
+        {
+            self.versions = src.versions.clone();
+        }
+        if self.transition_rules.len() != src.transition_rules.len() {
+            self.transition_rules = src.transition_rules.clone();
+        }
+        if self.selected_version != src.selected_version {
+            self.selected_version = src.selected_version.clone();
+            self.selected_view = src.selected_view.clone();
+        }
+        self.consistency_checking = src.consistency_checking;
+    }
+
+    // ----- replica apply plumbing (used by crate::replica) ------------------------------------------------------------
+
+    pub(crate) fn store_mut(&mut self) -> &mut DataStore {
+        &mut self.store
+    }
+
+    pub(crate) fn set_schemas(&mut self, schemas: SchemaRegistry) {
+        self.schemas = schemas;
+    }
+
+    pub(crate) fn set_versions(&mut self, versions: VersionManager) {
+        self.versions = versions;
+    }
+
+    pub(crate) fn set_transition_rules(&mut self, rules: Vec<TransitionRule>) {
+        self.transition_rules = rules;
     }
 }
 

@@ -186,15 +186,21 @@ pub(crate) fn write_full(db: &Database, engine: &StorageEngine, txn: TxnId) -> S
     Ok(())
 }
 
-/// Loads a database from the per-item layout: one ordered scan per record kind, then an
-/// in-memory index rebuild (the store's secondary indexes are reconstructed by the inserts).
-pub(crate) fn load_keyed(engine: &StorageEngine) -> SeedResult<Database> {
+/// Reads and decodes the `meta` record.
+pub(crate) fn load_meta(engine: &StorageEngine) -> SeedResult<codec::MetaRecord> {
     let meta_bytes = engine
         .get(codec::KEY_META)?
         .ok_or_else(|| SeedError::NotFound("missing key 'meta'".to_string()))?;
-    let meta = codec::decode_meta(&meta_bytes)?;
+    codec::decode_meta(&meta_bytes)
+}
 
-    // Schema registry: `s/` keys are ordered by schema version id.
+/// Rebuilds the schema registry from one ordered `s/` range scan (`s/` keys sort by schema
+/// version id).  Factored out of [`load_keyed`] so the replica's incremental apply can rescan
+/// exactly one record kind when a batch ships schema changes.
+pub(crate) fn load_schemas(
+    engine: &StorageEngine,
+    current: seed_schema::SchemaVersionId,
+) -> SeedResult<SchemaRegistry> {
     let mut schemas = Vec::new();
     for (_, bytes) in engine.scan_prefix(codec::PREFIX_SCHEMA)? {
         schemas.push(codec::decode_schema_entry(&bytes)?);
@@ -207,7 +213,37 @@ pub(crate) fn load_keyed(engine: &StorageEngine) -> SeedResult<Database> {
     for schema in iter {
         registry.publish(schema);
     }
-    registry.select(meta.current_schema)?;
+    registry.select(current)?;
+    Ok(registry)
+}
+
+/// Rebuilds the version manager from the `vi/` and `v/` ranges.  Factored out of
+/// [`load_keyed`] for the same reason as [`load_schemas`]: version-creating batches are rare,
+/// and when one arrives the replica rescans only these two ranges.
+pub(crate) fn load_versions(
+    engine: &StorageEngine,
+    meta: &codec::MetaRecord,
+) -> SeedResult<VersionManager> {
+    let mut infos = Vec::new();
+    for (_, bytes) in engine.scan_prefix(codec::PREFIX_VERSION_INFO)? {
+        infos.push(codec::decode_version_info(&bytes)?);
+    }
+    let mut histories: HashMap<ItemId, Vec<(VersionId, ItemSnapshot)>> = HashMap::new();
+    for (key, bytes) in engine.scan_prefix(codec::PREFIX_VERSION_DELTA)? {
+        let (vid, item) = codec::parse_version_delta_key(&key)?;
+        histories.entry(item).or_default().push((vid, codec::decode_snapshot(&bytes)?));
+    }
+    let mut histories: Vec<(ItemId, Vec<(VersionId, ItemSnapshot)>)> =
+        histories.into_iter().collect();
+    histories.sort_by_key(|(item, _)| *item);
+    Ok(VersionManager::from_state(infos, histories, meta.last_created.clone(), meta.version_seq))
+}
+
+/// Loads a database from the per-item layout: one ordered scan per record kind, then an
+/// in-memory index rebuild (the store's secondary indexes are reconstructed by the inserts).
+pub(crate) fn load_keyed(engine: &StorageEngine) -> SeedResult<Database> {
+    let meta = load_meta(engine)?;
+    let registry = load_schemas(engine, meta.current_schema)?;
 
     // Data store: objects (with their inherits-links), then relationships.
     let mut store = DataStore::new();
@@ -228,20 +264,7 @@ pub(crate) fn load_keyed(engine: &StorageEngine) -> SeedResult<Database> {
     }
 
     // Version manager: metadata records plus per-version delta snapshots.
-    let mut infos = Vec::new();
-    for (_, bytes) in engine.scan_prefix(codec::PREFIX_VERSION_INFO)? {
-        infos.push(codec::decode_version_info(&bytes)?);
-    }
-    let mut histories: HashMap<ItemId, Vec<(VersionId, ItemSnapshot)>> = HashMap::new();
-    for (key, bytes) in engine.scan_prefix(codec::PREFIX_VERSION_DELTA)? {
-        let (vid, item) = codec::parse_version_delta_key(&key)?;
-        histories.entry(item).or_default().push((vid, codec::decode_snapshot(&bytes)?));
-    }
-    let mut histories: Vec<(ItemId, Vec<(VersionId, ItemSnapshot)>)> =
-        histories.into_iter().collect();
-    histories.sort_by_key(|(item, _)| *item);
-    let versions =
-        VersionManager::from_state(infos, histories, meta.last_created, meta.version_seq);
+    let versions = load_versions(engine, &meta)?;
 
     // Id floors and the dirty set (the inserts above marked everything dirty; the real dirty
     // set is the persisted one).

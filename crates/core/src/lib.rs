@@ -64,6 +64,7 @@ pub mod persist;
 pub mod procedures;
 pub mod relationship;
 pub mod replica;
+pub mod snapshot;
 pub mod store;
 pub mod undo;
 pub mod value;
@@ -83,6 +84,7 @@ pub use pattern::{MaterializedChild, MaterializedRelationship, VariantFamily};
 pub use procedures::{ProcedureContext, ProcedureRegistry};
 pub use relationship::RelationshipRecord;
 pub use replica::ReplicaStore;
+pub use snapshot::{Snapshot, SnapshotCell};
 pub use store::DataStore;
 pub use value::Value;
 pub use version::{ItemSnapshot, VersionInfo, VersionManager};

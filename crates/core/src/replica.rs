@@ -19,19 +19,23 @@
 //!   checkpoint, or when the replica is empty and the primary's WAL no longer reaches back to
 //!   LSN 1); the store's keys are cleared and rebuilt in the same transaction.
 //!
-//! The store never mutates through [`Database`] paths — replicas are read-only by construction;
-//! the serving database they load is plain in-memory state that the next applied batch
-//! replaces.
+//! The store never mutates through [`Database`] write paths — replicas are read-only by
+//! construction.  The serving database they load is plain in-memory state; an incremental
+//! batch's committed effects can be patched onto it in O(delta) with
+//! [`ReplicaStore::apply_to_database`] (reset batches reload wholesale).
 
 use std::path::Path;
 
 use seed_storage::wal::replay_committed;
-use seed_storage::{LogRecord, Lsn, StorageEngine};
+use seed_storage::{KeyEffect, LogRecord, Lsn, StorageEngine};
 
 use crate::codec;
 use crate::database::Database;
 use crate::durability;
 use crate::error::{SeedError, SeedResult};
+use crate::ident::{ItemId, ObjectId, RelationshipId};
+use crate::object::ObjectRecord;
+use crate::relationship::RelationshipRecord;
 
 /// Key holding the replica's durable cursor: the last primary LSN whose effects are committed
 /// locally.  Outside every per-item prefix (`o/`, `r/`, `s/`, `vi/`, `v/`, `d/`, `meta`), so
@@ -84,7 +88,16 @@ impl ReplicaStore {
     /// recovery would) plus the new cursor `up_to`.  With `reset`, every existing key is
     /// deleted first — the snapshot-resync path — in the same transaction, so a crash
     /// mid-resync leaves the old state intact.
-    pub fn apply(&mut self, records: &[LogRecord], up_to: Lsn, reset: bool) -> SeedResult<()> {
+    ///
+    /// Returns the committed key effects, so that a caller serving reads can patch its
+    /// in-memory database with [`ReplicaStore::apply_to_database`] — O(delta) — instead of
+    /// rebuilding it with [`ReplicaStore::load`] — O(database).
+    pub fn apply(
+        &mut self,
+        records: &[LogRecord],
+        up_to: Lsn,
+        reset: bool,
+    ) -> SeedResult<Vec<KeyEffect>> {
         let numbered: Vec<(Lsn, LogRecord)> =
             records.iter().cloned().enumerate().map(|(i, r)| (i as Lsn + 1, r)).collect();
         let effects = replay_committed(&numbered);
@@ -103,7 +116,7 @@ impl ReplicaStore {
         self.engine.txn_put(txn, KEY_APPLIED, &up_to.to_le_bytes())?;
         self.engine.commit(txn)?;
         self.applied = up_to;
-        Ok(())
+        Ok(effects)
     }
 
     /// Rebuilds a serving [`Database`] from the store — the PR 3 recovery path: one keyed range
@@ -116,6 +129,139 @@ impl ReplicaStore {
             ));
         }
         durability::load_keyed(&self.engine)
+    }
+
+    /// Patches a previously loaded serving database with the key effects one incremental batch
+    /// committed — the O(delta) alternative to calling [`ReplicaStore::load`] again.  Index
+    /// maintenance rides on the store's ordinary mutators, so the patched database matches a
+    /// fresh [`ReplicaStore::load`] of the post-batch store exactly.  Returns the number of
+    /// per-item records touched (the replica's staleness/cost observable).
+    ///
+    /// Only valid for **incremental** batches applied on top of the state `db` was loaded
+    /// from; after a **reset** batch, reload wholesale instead.
+    pub fn apply_to_database(&self, db: &mut Database, effects: &[KeyEffect]) -> SeedResult<usize> {
+        /// A decoded `o/<id>` effect: the record plus its inherits-links, or `None` (delete).
+        type ObjectEffect = Option<(ObjectRecord, Vec<ObjectId>)>;
+        // Decode the per-item effects up front, partitioned by record kind.
+        let mut objects: Vec<(ObjectId, ObjectEffect)> = Vec::new();
+        let mut relationships: Vec<(RelationshipId, Option<RelationshipRecord>)> = Vec::new();
+        let mut dirty_marks: Vec<(ItemId, bool)> = Vec::new();
+        let mut schemas_changed = false;
+        let mut versions_changed = false;
+        let mut meta_changed = false;
+        for (key, value) in effects {
+            if key.starts_with(codec::PREFIX_OBJECT) {
+                let id = codec::parse_object_key(key)?;
+                let entry = value.as_deref().map(codec::decode_object_entry).transpose()?;
+                objects.push((id, entry));
+            } else if key.starts_with(codec::PREFIX_RELATIONSHIP) {
+                let id = codec::parse_relationship_key(key)?;
+                let entry = value.as_deref().map(codec::decode_relationship_entry).transpose()?;
+                relationships.push((id, entry));
+            } else if key.starts_with(codec::PREFIX_DIRTY) {
+                dirty_marks.push((codec::parse_dirty_key(key)?, value.is_some()));
+            } else if key.starts_with(codec::PREFIX_SCHEMA) {
+                schemas_changed = true;
+            } else if key.starts_with(codec::PREFIX_VERSION_INFO)
+                || key.starts_with(codec::PREFIX_VERSION_DELTA)
+            {
+                versions_changed = true;
+            } else if key.as_slice() == codec::KEY_META {
+                meta_changed = true;
+            }
+            // Anything else (the repl/ cursor) carries no database state.
+        }
+        let touched = objects.len() + relationships.len();
+
+        // Cross-item renames within one batch (A→B while B→A) would corrupt the name index if
+        // patched in place, because `update_object` unconditionally re-inserts the new name:
+        // park every live-and-renamed (or soon-removed) object under a collision-free
+        // temporary name first, exactly as `Database::sync_snapshot_from` does.
+        objects.sort_by_key(|(id, _)| *id);
+        relationships.sort_by_key(|(id, _)| *id);
+        let store = db.store_mut();
+        for (oid, entry) in &objects {
+            let stale = match store.object(*oid) {
+                Some(rec) if !rec.deleted => rec,
+                _ => continue,
+            };
+            let needs_parking = match entry {
+                None => true,
+                Some((new, _)) => new.name.to_string() != stale.name.to_string(),
+            };
+            if needs_parking {
+                let parked = format!("\u{1}repl-parked-{}", oid.0);
+                store.update_object(*oid, |o| o.name = o.name.with_root_renamed(parked));
+            }
+        }
+        for (oid, entry) in objects {
+            match entry {
+                Some((rec, inherits)) => {
+                    if store.object(oid).is_some() {
+                        store.update_object(oid, |o| *o = rec);
+                    } else {
+                        store.insert_object(rec);
+                    }
+                    // The inherits-links of a changed object travel with it (they are part of
+                    // the `o/` record).
+                    for have in store.inherited_patterns(oid) {
+                        if !inherits.contains(&have) {
+                            store.remove_inherits(oid, have);
+                        }
+                    }
+                    for pattern in inherits {
+                        if !store.inherited_patterns(oid).contains(&pattern) {
+                            store.add_inherits(oid, pattern);
+                        }
+                    }
+                }
+                None => {
+                    if store.object(oid).is_some() {
+                        store.remove_object(oid);
+                    }
+                }
+            }
+        }
+        for (rid, entry) in relationships {
+            match entry {
+                Some(rec) => {
+                    if store.relationship(rid).is_some() {
+                        store.update_relationship(rid, |r| *r = rec);
+                    } else {
+                        store.insert_relationship(rec);
+                    }
+                }
+                None => {
+                    if store.relationship(rid).is_some() {
+                        store.remove_relationship(rid);
+                    }
+                }
+            }
+        }
+        // The shipped dirty markers override whatever the mutators above flagged: the replica
+        // mirrors the primary's persisted dirty set, not its own apply work.
+        for (item, dirty) in dirty_marks {
+            store.sync_dirty_mark(item, dirty);
+        }
+
+        // Rare, coarse-grained state reloads straight from the (already committed) engine:
+        // schema publishes and version creations rescan exactly their own key ranges.
+        if meta_changed || schemas_changed || versions_changed {
+            let meta = durability::load_meta(&self.engine)?;
+            let store = db.store_mut();
+            store.raise_id_floor(meta.object_floor, meta.relationship_floor);
+            if schemas_changed || db.parts().0.current_id() != meta.current_schema {
+                db.set_schemas(durability::load_schemas(&self.engine, meta.current_schema)?);
+            }
+            if versions_changed
+                || db.parts().2.seq() != meta.version_seq
+                || db.parts().2.last_created() != meta.last_created.as_ref()
+            {
+                db.set_versions(durability::load_versions(&self.engine, &meta)?);
+            }
+            db.set_transition_rules(meta.rules);
+        }
+        Ok(touched)
     }
 
     /// Checkpoints the replica's own engine (flush pages, truncate its local WAL).  The engine
@@ -309,6 +455,64 @@ mod tests {
         replica.apply(&records, up_to, false).unwrap();
         assert_eq!(up_to, batch2_lsn);
         assert_same_state(&replica.load().unwrap(), &primary, true);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    /// The tentpole's replica half: patching the serving database with a batch's committed
+    /// effects yields exactly the database a wholesale reload would, while touching only
+    /// O(delta) items — including across renames, deletes, rollbacks and version creation.
+    #[test]
+    fn incremental_apply_to_database_matches_a_wholesale_reload() {
+        let primary_dir = temp_dir("repl-incr-primary");
+        let replica_dir = temp_dir("repl-incr-replica");
+        let mut primary = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+        let alarms = primary.create_object("Data", "Alarms").unwrap();
+        let sensor = primary.create_object("Action", "Sensor").unwrap();
+        primary.create_relationship("Access", &[("from", alarms), ("by", sensor)]).unwrap();
+
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        let (records, mut cursor) = tail_records(&primary, 1);
+        replica.apply(&records, cursor, false).unwrap();
+        let mut serving = replica.load().unwrap();
+
+        // A sequence of batches exercising every record kind; after each one, the patched
+        // database must equal a fresh reload, and the touched count must stay O(delta).
+        type Mutation = Box<dyn Fn(&mut Database)>;
+        let mutate: Vec<Mutation> = vec![
+            Box::new(|db| {
+                let s = db.object_by_name("Sensor").unwrap().id;
+                db.create_dependent(s, "Description", Value::string("v1")).unwrap();
+            }),
+            // Cross-item rename swap within one transaction (one shipped batch).
+            Box::new(|db| {
+                let a = db.object_by_name("Alarms").unwrap().id;
+                let s = db.object_by_name("Sensor").unwrap().id;
+                db.begin_transaction().unwrap();
+                db.rename_object(a, "Stash").unwrap();
+                db.rename_object(s, "Alarms").unwrap();
+                db.rename_object(a, "Sensor").unwrap();
+                db.commit_transaction().unwrap();
+            }),
+            Box::new(|db| {
+                db.create_version("checkpointed cut").unwrap();
+            }),
+            Box::new(|db| {
+                let victim = db.create_object("Data", "ShortLived").unwrap();
+                db.delete_object(victim).unwrap();
+            }),
+        ];
+        for mutate in mutate {
+            mutate(&mut primary);
+            let (records, up_to) = tail_records(&primary, cursor + 1);
+            let effects = replica.apply(&records, up_to, false).unwrap();
+            cursor = up_to;
+            let touched = replica.apply_to_database(&mut serving, &effects).unwrap();
+            assert!(touched <= 8, "batch touched {touched} items, expected O(delta)");
+            assert_same_state(&serving, &replica.load().unwrap(), true);
+            assert_same_state(&serving, &primary, true);
+        }
+        assert_eq!(serving.versions().len(), 1);
         let _ = std::fs::remove_dir_all(&primary_dir);
         let _ = std::fs::remove_dir_all(&replica_dir);
     }

@@ -109,6 +109,17 @@ impl DataStore {
         self.dirty.extend(items.iter().copied());
     }
 
+    /// Sets one item's dirty flag directly, without journaling — used when mirroring a shipped
+    /// `d/` marker onto a replica's serving database, where the flag must track the primary's
+    /// persisted dirty set rather than the local mutations that applied the batch.
+    pub fn sync_dirty_mark(&mut self, item: ItemId, dirty: bool) {
+        if dirty {
+            self.dirty.insert(item);
+        } else {
+            self.dirty.remove(&item);
+        }
+    }
+
     // ----- change journal (write-through durability) -----------------------------------------------
 
     /// Turns the change journal on or off.  While on, every mutation records the touched item in

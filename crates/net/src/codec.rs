@@ -375,6 +375,11 @@ fn encode_persistence_status(e: &mut Encoder, s: &PersistenceStatus, version: u1
                 .put_u64(r.primary_lsn)
                 .put_u32(r.subscribers)
                 .put_u64(r.min_acked_lsn);
+            if version >= 3 {
+                // v3 appends the serving snapshot's LSN; a v2 peer's decoder stops at
+                // min_acked_lsn and must see exactly the v2 bytes.
+                e.put_u64(r.snapshot_lsn);
+            }
         }
         None => {
             e.put_bool(false);
@@ -405,6 +410,9 @@ fn decode_persistence_status(d: &mut Decoder<'_>) -> WireResult<PersistenceStatu
                 primary_lsn: d.get_u64()?,
                 subscribers: d.get_u32()?,
                 min_acked_lsn: d.get_u64()?,
+                // Appended in v3; a v2 peer's status simply ends here (the replication block
+                // is the payload's last field, so exhaustion means "older peer").
+                snapshot_lsn: if d.is_exhausted() { 0 } else { d.get_u64()? },
             })
         },
     })

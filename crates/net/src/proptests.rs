@@ -164,16 +164,19 @@ fn server_error() -> BoxedStrategy<ServerError> {
 }
 
 fn replication_status() -> BoxedStrategy<ReplicationStatus> {
-    (any::<bool>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>())
-        .prop_map(|(replica, applied_lsn, primary_lsn, subscribers, min_acked_lsn)| {
-            ReplicationStatus {
-                role: if replica { ReplicationRole::Replica } else { ReplicationRole::Primary },
-                applied_lsn,
-                primary_lsn,
-                subscribers,
-                min_acked_lsn,
-            }
-        })
+    (any::<bool>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>())
+        .prop_map(
+            |(replica, applied_lsn, primary_lsn, subscribers, min_acked_lsn, snapshot_lsn)| {
+                ReplicationStatus {
+                    role: if replica { ReplicationRole::Replica } else { ReplicationRole::Primary },
+                    applied_lsn,
+                    primary_lsn,
+                    subscribers,
+                    min_acked_lsn,
+                    snapshot_lsn,
+                }
+            },
+        )
         .boxed()
 }
 

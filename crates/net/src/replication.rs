@@ -13,9 +13,10 @@
 //! 1. **Initial sync** — `start` blocks until the first batch is applied (the primary answers a
 //!    subscribe immediately, with a snapshot reset batch when the replica's cursor fell behind
 //!    the primary's WAL), so the node never listens before it has a database to serve.
-//! 2. **Streaming** — a background thread applies batches, swaps the freshly loaded database
-//!    into the serving core under the write lock (a read sees whole batches, never halves),
-//!    and acknowledges each batch once it is durable locally.
+//! 2. **Streaming** — a background thread applies batches and patches the serving database
+//!    **in place, O(delta)** with the batch's committed key effects (reset batches reload
+//!    wholesale), publishing a fresh read snapshot keyed to the applied LSN — a read sees
+//!    whole batches, never halves — and acknowledges each batch once it is durable locally.
 //! 3. **Reconnect** — a dropped primary connection is retried with a fixed backoff, resuming
 //!    from the replica's durable cursor; a crash mid-batch loses that batch atomically and it
 //!    is simply shipped again.
@@ -66,6 +67,9 @@ struct Progress {
     /// Reset (full-snapshot) batches applied since this node started — a replica that catches
     /// up from the primary's retained log keeps this at zero.
     resets: AtomicU64,
+    /// Cumulative per-item records patched onto the serving database by incremental batches —
+    /// grows with the shipped deltas, not with batches × database size.
+    items_applied: AtomicU64,
 }
 
 /// One connection to the primary's replication stream.
@@ -374,6 +378,9 @@ impl ReplicaNode {
         let server = SeedServer::new(db);
         server.set_read_only(primary.to_string());
         server.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
+        // Key the serving snapshot to the synced cursor (the loaded database is plain
+        // in-memory state and cannot derive the primary's LSN itself).
+        server.with_database_mut_at(store.applied_lsn(), |_| ());
         let net = SeedNetServer::with_config(server, listen, config.net.clone())
             .map_err(|e| ServerError::Transport(e.to_string()))?;
         let core = net.core();
@@ -382,6 +389,7 @@ impl ReplicaNode {
             applied: AtomicU64::new(store.applied_lsn()),
             primary_lsn: AtomicU64::new(batch.primary_lsn),
             resets: AtomicU64::new(u64::from(batch.reset)),
+            items_applied: AtomicU64::new(0),
         });
 
         let apply_thread = {
@@ -426,18 +434,42 @@ impl ReplicaNode {
                             }
                             continue;
                         }
-                        let applied =
-                            store.apply(&batch.records, batch.last_lsn, batch.reset).is_ok();
-                        if !applied || live.ack(store.applied_lsn()).is_err() {
+                        let effects = match store.apply(&batch.records, batch.last_lsn, batch.reset)
+                        {
+                            Ok(effects) => effects,
+                            Err(_) => break,
+                        };
+                        if live.ack(store.applied_lsn()).is_err() {
                             break;
                         }
                         if batch.reset {
+                            // Reset semantics replace the whole key space: reload wholesale and
+                            // swap, keyed to the new cursor.
                             progress.resets.fetch_add(1, Ordering::SeqCst);
-                        }
-                        // Swap the freshly rebuilt database in; readers see whole batches.
-                        match store.load() {
-                            Ok(db) => core.replace_database(db),
-                            Err(_) => break,
+                            match store.load() {
+                                Ok(db) => core.replace_database_at(db, store.applied_lsn()),
+                                Err(_) => break,
+                            }
+                        } else {
+                            // Incremental batch: patch the serving database in place — O(delta)
+                            // per batch — and publish the snapshot at the applied LSN.  Readers
+                            // see whole batches, never halves.
+                            let patched = core.with_database_mut_at(store.applied_lsn(), |db| {
+                                store.apply_to_database(db, &effects)
+                            });
+                            match patched {
+                                Ok(touched) => {
+                                    progress
+                                        .items_applied
+                                        .fetch_add(touched as u64, Ordering::SeqCst);
+                                }
+                                // A patch that fails to decode falls back to the wholesale
+                                // reload — correctness over speed.
+                                Err(_) => match store.load() {
+                                    Ok(db) => core.replace_database_at(db, store.applied_lsn()),
+                                    Err(_) => break,
+                                },
+                            }
                         }
                         core.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
                         progress.applied.store(store.applied_lsn(), Ordering::SeqCst);
@@ -477,6 +509,13 @@ impl ReplicaNode {
     /// batch so far was an incremental log catch-up.
     pub fn resets_applied(&self) -> u64 {
         self.progress.resets.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative count of per-item records patched onto the serving database by incremental
+    /// batches.  Proportional to the shipped deltas (what the primary actually committed), not
+    /// to batches × database size — the observable that replica apply is O(delta) per batch.
+    pub fn items_applied(&self) -> u64 {
+        self.progress.items_applied.load(Ordering::SeqCst)
     }
 
     /// Polls until this replica has applied at least `lsn` (true) or `timeout` passes (false).
@@ -600,6 +639,10 @@ mod tests {
             let status = client.persistence().unwrap().replication.expect("replica status");
             assert_eq!(status.role, ReplicationRole::Replica);
             assert_eq!(status.lag(), 0, "caught-up replica reports zero lag");
+            assert_eq!(
+                status.snapshot_lsn, status.applied_lsn,
+                "the serving snapshot is keyed to the applied cursor (protocol v3)"
+            );
         }
         // The primary reports its subscribers.
         let status = primary_client.persistence().unwrap().replication.expect("primary status");

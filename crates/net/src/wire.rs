@@ -39,8 +39,9 @@ pub const MAGIC: [u8; 4] = *b"SEWP";
 /// Oldest protocol version this build still speaks.
 pub const PROTOCOL_VERSION_MIN: u16 = 1;
 
-/// Newest protocol version this build speaks (v2 = v1 plus the replication frame kinds).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Newest protocol version this build speaks (v2 = v1 plus the replication frame kinds;
+/// v3 = v2 plus the serving-snapshot LSN in the persistence status's replication block).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on one frame's payload; larger lengths are treated as stream desync.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;

@@ -164,6 +164,9 @@ pub struct ReplicationStatus {
     /// The lowest LSN any connected subscriber has acknowledged (primary side; 0 when there
     /// are no subscribers).
     pub min_acked_lsn: u64,
+    /// The LSN of the snapshot the read surface is currently serving (on both roles) — the
+    /// operator's staleness observable: reads reflect the database as of this LSN.
+    pub snapshot_lsn: u64,
 }
 
 impl ReplicationStatus {
@@ -191,8 +194,9 @@ pub struct PersistenceStatus {
     pub relationships: usize,
     /// Stored versions.
     pub versions: usize,
-    /// Replication progress — `Some` on replicas and on primaries with at least one connected
-    /// subscriber; `None` when the node takes no part in replication.
+    /// Replication progress and the serving snapshot's LSN.  Always `Some` on a server (both
+    /// roles report the snapshot LSN so operators can observe staleness); `None` only in
+    /// statuses decoded from peers speaking a protocol version without the replication block.
     pub replication: Option<ReplicationStatus>,
 }
 

@@ -9,7 +9,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 
-use seed_core::{Database, NameSegment, ObjectId, ObjectRecord, SeedError, Value, VersionId};
+use seed_core::{
+    Database, NameSegment, ObjectId, ObjectRecord, SeedError, Snapshot, SnapshotCell, Value,
+    VersionId,
+};
 
 use crate::error::{ServerError, ServerResult};
 use crate::lock::LockTable;
@@ -20,12 +23,18 @@ use crate::protocol::{
 
 /// The central SEED server of the two-level multi-user scheme.
 ///
-/// The database sits behind a read–write lock: retrieval, queries and check-outs (which only
-/// read the database and mutate the lock table) proceed in parallel with each other; only a
-/// check-in — the single transaction that applies a client's updates — takes the write side.
-/// This is what makes the TCP frontend (`seed-net`) actually concurrent.
+/// The **write** path (check-in, version creation, replica apply) runs under the database's
+/// write lock; the **read** surface (retrieval, queries, check-out resolution, status) runs
+/// against an immutable MVCC [`Snapshot`] published by every committed write — readers never
+/// take the database lock at all, so a slow check-in cannot stall them (see
+/// `docs/ARCHITECTURE.md`, *Snapshot reads*).  The lock table still serializes conflicting
+/// check-outs; that is pessimistic by design (the paper's two-level scheme), orthogonal to
+/// read snapshotting.
 pub struct SeedServer {
     db: RwLock<Database>,
+    /// The serving snapshot: published under [`SeedServer::db`]'s write lock at every commit
+    /// point, read lock-free by the whole read surface.
+    snapshots: SnapshotCell,
     locks: Mutex<LockTable>,
     /// Names each client has checked out (lock bookkeeping by name, since clients address
     /// objects by name).
@@ -54,9 +63,11 @@ const RETIRED_ACK_CAP: usize = 16;
 
 impl SeedServer {
     /// Creates a server around an existing database.
-    pub fn new(db: Database) -> Self {
+    pub fn new(mut db: Database) -> Self {
+        let snapshots = SnapshotCell::new(&mut db);
         Self {
             db: RwLock::new(db),
+            snapshots,
             locks: Mutex::new(LockTable::new()),
             checkouts: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
@@ -91,11 +102,40 @@ impl SeedServer {
         }
     }
 
-    /// Replaces the served database wholesale (the replica apply path: each applied log batch
-    /// rebuilds the database from the replica store and swaps it in under the write lock, so a
-    /// read sees the state before or after a whole batch, never in between).
+    /// Replaces the served database wholesale and publishes a fresh snapshot (the replica
+    /// **reset** path, and test seams).  Readers see the state before or after the swap, never
+    /// in between.
     pub fn replace_database(&self, db: Database) {
-        *self.db.write() = db;
+        let mut slot = self.db.write();
+        *slot = db;
+        self.snapshots.publish(&mut slot);
+    }
+
+    /// Like [`SeedServer::replace_database`], keying the published snapshot to an explicit
+    /// LSN (a replica's applied cursor, which the serving database cannot derive itself).
+    pub fn replace_database_at(&self, db: Database, lsn: u64) {
+        let mut slot = self.db.write();
+        *slot = db;
+        self.snapshots.publish_at(&mut slot, Some(lsn));
+    }
+
+    /// Runs a mutating closure under the database write lock, then publishes a new snapshot —
+    /// the generic commit point for callers outside the check-in path.
+    pub fn with_database_mut<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut db = self.db.write();
+        let result = f(&mut db);
+        self.snapshots.publish(&mut db);
+        result
+    }
+
+    /// Like [`SeedServer::with_database_mut`], keying the published snapshot to an explicit
+    /// LSN — the replica's **incremental** apply path: the batch's effects are patched onto
+    /// the serving database in O(delta) and the snapshot advances to the batch's last LSN.
+    pub fn with_database_mut_at<R>(&self, lsn: u64, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut db = self.db.write();
+        let result = f(&mut db);
+        self.snapshots.publish_at(&mut db, Some(lsn));
+        result
     }
 
     /// Records a subscriber's acknowledged LSN (primary side; called by the network layer's
@@ -158,7 +198,7 @@ impl SeedServer {
         *self.replica_progress.lock() = Some((applied_lsn, primary_lsn));
     }
 
-    fn replication_status(&self, db: &Database) -> Option<ReplicationStatus> {
+    fn replication_status(&self, snapshot: &Snapshot) -> Option<ReplicationStatus> {
         if let Some((applied, primary)) = *self.replica_progress.lock() {
             return Some(ReplicationStatus {
                 role: ReplicationRole::Replica,
@@ -166,19 +206,20 @@ impl SeedServer {
                 primary_lsn: primary,
                 subscribers: 0,
                 min_acked_lsn: 0,
+                snapshot_lsn: snapshot.lsn(),
             });
         }
+        // A primary always reports: even without subscribers, the serving snapshot's LSN is
+        // the operator's read-staleness observable.
         let acks = self.replica_acks.lock();
-        if acks.is_empty() {
-            return None;
-        }
-        let lsn = db.durable_lsn().unwrap_or(0);
+        let lsn = snapshot.lsn();
         Some(ReplicationStatus {
             role: ReplicationRole::Primary,
             applied_lsn: lsn,
             primary_lsn: lsn,
             subscribers: acks.len() as u32,
             min_acked_lsn: acks.values().copied().min().unwrap_or(0),
+            snapshot_lsn: lsn,
         })
     }
 
@@ -200,26 +241,31 @@ impl SeedServer {
         Ok(Self::new(db))
     }
 
-    /// The durability state of the central database.  After [`SeedServer::open_durable`], the
-    /// counts report what restart recovery reconstructed — this is how recovery is observable
-    /// over the protocol ([`Request::Persistence`]).
+    /// The durability state of the central database, as captured by the serving snapshot.
+    /// After [`SeedServer::open_durable`], the counts report what restart recovery
+    /// reconstructed — this is how recovery is observable over the protocol
+    /// ([`Request::Persistence`]).  Lock-free: status is part of the read surface.
     pub fn persistence_status(&self) -> PersistenceStatus {
-        let db = self.db.read();
-        let status = db.durability_status();
+        let snapshot = self.snapshots.read();
+        let status = snapshot.durability();
         PersistenceStatus {
             durable: status.is_some(),
-            path: status.as_ref().map(|s| s.path.display().to_string()),
-            wal_bytes: status.as_ref().map(|s| s.wal_bytes).unwrap_or(0),
-            objects: db.object_count(),
-            relationships: db.relationship_count(),
-            versions: db.versions().len(),
-            replication: self.replication_status(&db),
+            path: status.map(|s| s.path.display().to_string()),
+            wal_bytes: status.map(|s| s.wal_bytes).unwrap_or(0),
+            objects: snapshot.object_count(),
+            relationships: snapshot.relationship_count(),
+            versions: snapshot.versions().len(),
+            replication: self.replication_status(&snapshot),
         }
     }
 
-    /// Checkpoints the durable storage (errors when the database is in-memory).
+    /// Checkpoints the durable storage (errors when the database is in-memory).  Publishes a
+    /// snapshot on success so the status surface sees the truncated WAL immediately.
     pub fn checkpoint(&self) -> ServerResult<()> {
-        self.db.write().checkpoint().map_err(ServerError::Rejected)
+        let mut db = self.db.write();
+        db.checkpoint().map_err(ServerError::Rejected)?;
+        self.snapshots.publish(&mut db);
+        Ok(())
     }
 
     /// Registers a client and returns its id.
@@ -281,15 +327,24 @@ impl SeedServer {
         reclaimed
     }
 
-    /// Runs a read-only closure against the central database (retrieval goes straight to the
-    /// server in the paper's sketch).
+    /// Runs a read-only closure against the **live** central database, under its read lock.
+    /// This is for callers that need the durability engine underneath (WAL tails, replication
+    /// snapshots, retention floors) — it blocks while a check-in holds the write lock.  The
+    /// query/read surface uses [`SeedServer::snapshot`] instead, which never blocks.
     pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
         f(&self.db.read())
     }
 
+    /// The immutable snapshot the read surface currently serves.  Lock-free with respect to
+    /// writers: an in-flight check-in cannot stall this (it publishes a *new* snapshot at its
+    /// commit point), and the returned handle stays consistent for as long as it is held.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshots.read()
+    }
+
     /// Retrieves a copy of an object by name.
     pub fn retrieve(&self, name: &str) -> ServerResult<ObjectRecord> {
-        self.db
+        self.snapshots
             .read()
             .object_by_name(name)
             .map_err(|_| ServerError::Unknown(format!("object '{name}'")))
@@ -302,7 +357,7 @@ impl SeedServer {
 
     /// A structural summary of the current schema for remote clients.
     pub fn schema_summary(&self) -> SchemaSummary {
-        let db = self.db.read();
+        let db = self.snapshots.read();
         let schema = db.schema();
         SchemaSummary {
             name: schema.name.clone(),
@@ -332,7 +387,7 @@ impl SeedServer {
 
     /// The (materialized) children of an object, by name.
     pub fn children_of(&self, name: &str) -> ServerResult<Vec<ObjectRecord>> {
-        let db = self.db.read();
+        let db = self.snapshots.read();
         let root = db
             .object_by_name(name)
             .map_err(|_| ServerError::Unknown(format!("object '{name}'")))?;
@@ -341,12 +396,12 @@ impl SeedServer {
 
     /// All objects whose hierarchical name starts with `prefix`.
     pub fn objects_with_prefix(&self, prefix: &str) -> Vec<ObjectRecord> {
-        self.db.read().objects_with_name_prefix(prefix)
+        self.snapshots.read().objects_with_name_prefix(prefix)
     }
 
     /// The relationships an object participates in, rendered by name for remote clients.
     pub fn relationships_of(&self, name: &str) -> ServerResult<Vec<RelationshipInfo>> {
-        let db = self.db.read();
+        let db = self.snapshots.read();
         let root = db
             .object_by_name(name)
             .map_err(|_| ServerError::Unknown(format!("object '{name}'")))?;
@@ -378,7 +433,7 @@ impl SeedServer {
         class: &str,
         transitive: bool,
     ) -> ServerResult<Vec<ObjectRecord>> {
-        self.db.read().objects_of_class(class, transitive).map_err(ServerError::Rejected)
+        self.snapshots.read().objects_of_class(class, transitive).map_err(ServerError::Rejected)
     }
 
     /// Counts the live relationships of `association` (optionally including specializations).
@@ -387,7 +442,7 @@ impl SeedServer {
         association: &str,
         transitive: bool,
     ) -> ServerResult<usize> {
-        let db = self.db.read();
+        let db = self.snapshots.read();
         let schema = db.schema();
         let root = schema
             .association_id(association)
@@ -404,14 +459,14 @@ impl SeedServer {
 
     /// Runs the completeness analysis and returns the number of findings.
     pub fn completeness_count(&self) -> usize {
-        self.db.read().completeness_report().len()
+        self.snapshots.read().completeness_report().len()
     }
 
     /// Evaluates a retrieval-language query (`find` / `count`, or `explain` for the physical
     /// plan) on the central database.  Queries take no locks: retrieval is served directly by
     /// the server, and the planner's indexed access paths keep it cheap under load.
     pub fn query(&self, text: &str) -> ServerResult<QueryAnswer> {
-        let db = self.db.read();
+        let db = self.snapshots.read();
         let outcome = seed_query::run(&db, text).map_err(|e| ServerError::Query(e.to_string()))?;
         Ok(QueryAnswer {
             names: outcome.names(),
@@ -435,7 +490,10 @@ impl SeedServer {
     pub fn checkout(&self, client: ClientId, names: &[&str]) -> ServerResult<CheckoutSet> {
         self.guard_writable()?;
         self.touch(client);
-        let db = self.db.read();
+        // Check-out resolution reads the serving snapshot (every commit publishes before it
+        // releases the write lock, so the snapshot is as fresh as a locked read would be);
+        // only the lock table itself is mutated.
+        let db = self.snapshots.read();
         let mut locks = self.locks.lock();
 
         // Resolve every requested root and its dependents first, so a conflict acquires nothing.
@@ -513,6 +571,9 @@ impl SeedServer {
         match result {
             Ok(()) => {
                 db.commit_transaction().map_err(ServerError::Rejected)?;
+                // Publish before releasing the write lock: once any reader can observe the
+                // released locks, the serving snapshot already contains this check-in.
+                self.snapshots.publish(&mut db);
                 drop(db);
                 self.release(client);
                 Ok(())
@@ -623,7 +684,10 @@ impl SeedServer {
     /// Creates a global version snapshot on the central database.
     pub fn create_version(&self, comment: &str) -> ServerResult<VersionId> {
         self.guard_writable()?;
-        self.db.write().create_version(comment).map_err(ServerError::Rejected)
+        let mut db = self.db.write();
+        let version = db.create_version(comment).map_err(ServerError::Rejected)?;
+        self.snapshots.publish(&mut db);
+        Ok(version)
     }
 
     /// Dispatches one protocol request to the corresponding server operation.
@@ -1054,12 +1118,22 @@ mod tests {
         let replication = status.replication.expect("replica status present");
         assert_eq!(replication.role, ReplicationRole::Replica);
         assert_eq!(replication.lag(), 3);
+        // The apply path keys the serving snapshot to the applied cursor explicitly.
+        let mut next = Database::new(figure3_schema());
+        next.create_object("Data", "Keyed").unwrap();
+        server.replace_database_at(next, 41);
+        let replication = server.persistence_status().replication.expect("replica status");
+        assert_eq!(replication.snapshot_lsn, 41, "snapshot keyed to the applied LSN");
     }
 
     #[test]
     fn primary_reports_subscribers_in_persistence_status() {
         let server = server_with_data();
-        assert!(server.persistence_status().replication.is_none(), "no subscribers yet");
+        // Even without subscribers the primary reports: the serving snapshot's LSN is the
+        // operator's read-staleness observable.
+        let idle = server.persistence_status().replication.expect("primary always reports");
+        assert_eq!(idle.role, ReplicationRole::Primary);
+        assert_eq!(idle.subscribers, 0);
         server.note_replica_ack(7, 12);
         server.note_replica_ack(9, 8);
         let status = server.persistence_status().replication.expect("primary status present");
@@ -1067,11 +1141,13 @@ mod tests {
         assert_eq!(status.subscribers, 2);
         assert_eq!(status.min_acked_lsn, 8);
         assert_eq!(status.lag(), 0, "a primary never lags itself");
+        assert_eq!(status.snapshot_lsn, idle.snapshot_lsn, "no write, same serving snapshot");
         assert_eq!(server.subscriber_count(), 2);
         server.forget_replica(9);
         assert_eq!(server.subscriber_count(), 1);
         server.forget_replica(7);
-        assert!(server.persistence_status().replication.is_none());
+        let status = server.persistence_status().replication.expect("primary always reports");
+        assert_eq!(status.subscribers, 0);
     }
 
     #[test]

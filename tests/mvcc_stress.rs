@@ -1,0 +1,111 @@
+//! MVCC stress: a deliberately slow check-in holds the write path while reader threads hammer
+//! the query surface.  Snapshot reads must stay fast (they never take the database write lock)
+//! and must never observe a torn mid-transaction state.  The design is documented in
+//! `docs/ARCHITECTURE.md` (snapshot reads); the satellite oracle lives in
+//! `crates/core/src/snapshot.rs` proptests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use seed::core::Database;
+use seed::schema::figure3_schema;
+use seed::server::SeedServer;
+
+/// How long each "slow" check-in holds the database write lock.
+const WRITE_HOLD: Duration = Duration::from_millis(500);
+/// Rounds of slow check-ins.
+const ROUNDS: usize = 4;
+/// Reader threads querying concurrently.
+const READERS: usize = 6;
+/// A single snapshot read must complete well under one write-lock hold.  If reads took the
+/// write lock they would block for up to `WRITE_HOLD` each round; 350 ms leaves generous
+/// headroom for CI jitter while still failing a lock-coupled read path.
+const LATENCY_BOUND: Duration = Duration::from_millis(350);
+/// Independent `Data` objects seeded before the run; the writer keeps exactly one extra
+/// `Flip*` object alive, so every consistent state has `SEEDED + 1` objects of class `Data`.
+const SEEDED: usize = 10;
+
+#[test]
+fn readers_stay_fast_and_consistent_while_a_slow_checkin_holds_the_write_path() {
+    let mut db = Database::new(figure3_schema());
+    db.begin_transaction().unwrap();
+    for i in 0..SEEDED {
+        db.create_object("Data", &format!("Seed{i}")).unwrap();
+    }
+    db.create_object("Data", "Flip0").unwrap();
+    db.commit_transaction().unwrap();
+    let server = Arc::new(SeedServer::new(db));
+    let invariant_count = (SEEDED + 1) as u64;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_latency_ns = Arc::new(AtomicU64::new(0));
+    let reads_done = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let max_latency_ns = Arc::clone(&max_latency_ns);
+            let reads_done = Arc::clone(&reads_done);
+            std::thread::spawn(move || {
+                let mut last_lsn = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let start = Instant::now();
+                    let count = server.query("count Data").unwrap().count as u64;
+                    let snapshot = server.snapshot();
+                    let latency = start.elapsed();
+                    // Torn-read check: the writer deletes one Flip and creates the next
+                    // inside a single transaction, so no published snapshot ever shows the
+                    // intermediate count.
+                    assert_eq!(count, invariant_count, "torn read: mid-transaction state leaked");
+                    // Snapshots only move forward for a single observer.
+                    assert!(snapshot.lsn() >= last_lsn, "snapshot LSN went backwards");
+                    last_lsn = snapshot.lsn();
+                    max_latency_ns.fetch_max(latency.as_nanos() as u64, Ordering::Relaxed);
+                    reads_done.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // The slow writer: each round holds the write lock for WRITE_HOLD with the transaction
+    // half-applied (the old Flip deleted, the new one created but uncommitted), the worst
+    // case for a reader that could see live state.
+    for round in 0..ROUNDS {
+        server.with_database_mut(|db| {
+            db.begin_transaction().unwrap();
+            let old = db.object_by_name(&format!("Flip{round}")).unwrap().id;
+            db.delete_object(old).unwrap();
+            std::thread::sleep(WRITE_HOLD / 2);
+            db.create_object("Data", &format!("Flip{}", round + 1)).unwrap();
+            std::thread::sleep(WRITE_HOLD / 2);
+            db.commit_transaction().unwrap();
+        });
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        reader.join().unwrap();
+    }
+
+    let max_latency = Duration::from_nanos(max_latency_ns.load(Ordering::Relaxed));
+    assert!(
+        max_latency < LATENCY_BOUND,
+        "a read blocked for {max_latency:?} (bound {LATENCY_BOUND:?}): reads must not take \
+         the write lock"
+    );
+    // Readers made real progress during ROUNDS * WRITE_HOLD of continuous write-lock holds.
+    let reads = reads_done.load(Ordering::Relaxed);
+    assert!(
+        reads >= (READERS * ROUNDS * 4) as u64,
+        "only {reads} reads completed — readers appear to have been serialized behind writes"
+    );
+
+    // The writer's effects are all visible once the last publish lands.
+    assert!(server.retrieve(&format!("Flip{ROUNDS}")).is_ok());
+    for round in 0..ROUNDS {
+        assert!(server.retrieve(&format!("Flip{round}")).is_err(), "Flip{round} must be gone");
+    }
+    assert_eq!(server.query("count Data").unwrap().count as u64, invariant_count);
+}

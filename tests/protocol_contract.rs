@@ -26,7 +26,7 @@ fn constants_match_the_document() {
     assert_eq!(hex(&seed::net::wire::MAGIC), "53 45 57 50");
     assert_eq!(MAX_FRAME_LEN, 64 * 1024 * 1024);
     assert_eq!(PROTOCOL_VERSION_MIN, 1);
-    assert_eq!(PROTOCOL_VERSION, 2);
+    assert_eq!(PROTOCOL_VERSION, 3);
 }
 
 #[test]
@@ -63,12 +63,12 @@ fn worked_frame_example_renders_exactly_as_documented() {
 #[test]
 fn handshake_dumps_render_exactly_as_documented() {
     // §4.
-    assert_eq!(hex(&Hello::current("spades").encode()), "01 00 02 00 06 73 70 61 64 65 73 00");
-    assert_eq!(hex(&Hello::replica("spades").encode()), "02 00 02 00 06 73 70 61 64 65 73 01");
-    let welcome = Welcome { version: 2, client_id: 7, banner: "seed-net/0.1.0".into() };
+    assert_eq!(hex(&Hello::current("spades").encode()), "01 00 03 00 06 73 70 61 64 65 73 00");
+    assert_eq!(hex(&Hello::replica("spades").encode()), "02 00 03 00 06 73 70 61 64 65 73 01");
+    let welcome = Welcome { version: 3, client_id: 7, banner: "seed-net/0.1.0".into() };
     assert_eq!(
         hex(&welcome.encode()),
-        "02 00 07 00 00 00 00 00 00 00 0e 73 65 65 64 2d 6e 65 74 2f 30 2e 31 2e 30"
+        "03 00 07 00 00 00 00 00 00 00 0e 73 65 65 64 2d 6e 65 74 2f 30 2e 31 2e 30"
     );
     // Negotiation: min(client max, server max), inside both ranges.
     assert_eq!(negotiate(&Hello::current("x")).unwrap(), PROTOCOL_VERSION);
@@ -187,7 +187,7 @@ fn response_and_error_tags_match_the_tables() {
 }
 
 #[test]
-fn v1_sessions_never_see_v2_additions() {
+fn old_sessions_never_see_newer_additions() {
     // §5: per-session encoding.  A v1-negotiated session gets the exact v1 byte shape — the
     // persistence payload ends after `versions` (no replication flag)...
     use seed::net::codec::{decode_response, encode_response_versioned};
@@ -205,15 +205,33 @@ fn v1_sessions_never_see_v2_additions() {
             primary_lsn: 5,
             subscribers: 0,
             min_acked_lsn: 0,
+            snapshot_lsn: 4,
         }),
     };
     let v1 = encode_response_versioned(&Response::Persistence(status.clone()), 1);
     let v2 = encode_response_versioned(&Response::Persistence(status.clone()), 2);
+    let v3 = encode_response_versioned(&Response::Persistence(status.clone()), 3);
     assert_eq!(v2.len(), v1.len() + 1 + 1 + 8 + 8 + 4 + 8, "v2 adds exactly the block of §5");
+    assert_eq!(v3.len(), v2.len() + 8, "v3 adds exactly the trailing snapshot_lsn");
     match decode_response(&v1).unwrap() {
         Response::Persistence(decoded) => {
             assert!(decoded.replication.is_none(), "v1 payload decodes with no block");
             assert_eq!(decoded.versions, 3);
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
+    // A v2 payload decodes on a v3 peer with the snapshot LSN defaulted to 0 (unknown).
+    match decode_response(&v2).unwrap() {
+        Response::Persistence(decoded) => {
+            let replication = decoded.replication.expect("v2 payload carries the block");
+            assert_eq!(replication.applied_lsn, 4);
+            assert_eq!(replication.snapshot_lsn, 0, "absent on the wire decodes as 0");
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
+    match decode_response(&v3).unwrap() {
+        Response::Persistence(decoded) => {
+            assert_eq!(decoded.replication.expect("block present").snapshot_lsn, 4);
         }
         other => panic!("unexpected decode: {other:?}"),
     }

@@ -147,6 +147,66 @@ fn replica_killed_mid_stream_restarts_and_converges() {
     let _ = std::fs::remove_dir_all(&replica_dir);
 }
 
+/// A long shipped stream is applied incrementally: the replica patches its serving snapshot
+/// in place, O(delta) items per batch, and never falls back to a wholesale reload.  This is
+/// the E12/E14 lag mechanism — a batch that touches one object must not cost a full rebuild
+/// of a database holding hundreds.
+#[test]
+fn long_streams_apply_incrementally_without_wholesale_reloads() {
+    let primary_dir = temp_dir("incr-primary");
+    let replica_dir = temp_dir("incr-replica");
+    let primary = durable_primary(&primary_dir);
+    let addr = primary.local_addr();
+    let mut writer = RemoteClient::connect(addr).unwrap();
+
+    // Bulk state first, so a rebuild would be visibly more expensive than a patch.
+    let bulk: Vec<Update> = (0..200)
+        .map(|i| Update::CreateObject { class: "Data".into(), name: format!("Bulk{i}") })
+        .collect();
+    writer.checkin(bulk).unwrap();
+
+    let replica = ReplicaNode::start(&replica_dir, addr, "127.0.0.1:0").unwrap();
+    assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(30)));
+    let after_sync = replica.items_applied();
+
+    // A long stream of small commits: one object each.
+    const ROUNDS: u64 = 40;
+    for round in 0..ROUNDS {
+        writer
+            .checkin(vec![Update::CreateObject {
+                class: "Data".into(),
+                name: format!("Stream{round}"),
+            }])
+            .unwrap();
+    }
+    assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(30)));
+
+    assert_eq!(replica.resets_applied(), 0, "an uninterrupted stream never forces a reload");
+    let streamed = replica.items_applied() - after_sync;
+    // Each commit touches exactly one object; batching may coalesce commits but the total
+    // item count is O(delta), nowhere near ROUNDS * 200 (what per-batch rebuilds would cost).
+    assert!(
+        streamed >= ROUNDS,
+        "every shipped object must be applied (saw {streamed}, expected >= {ROUNDS})"
+    );
+    assert!(
+        streamed <= ROUNDS * 4,
+        "apply touched {streamed} items for {ROUNDS} one-object commits — not O(delta)"
+    );
+
+    // And the patched snapshot actually serves the streamed state.
+    let mut reader = RemoteClient::connect(replica.local_addr()).unwrap();
+    assert_eq!(reader.query("count Data").unwrap().count, 240);
+    assert!(reader.retrieve("Stream39").is_ok());
+    let status = reader.persistence().unwrap().replication.expect("replica status");
+    assert_eq!(status.snapshot_lsn, status.applied_lsn, "reads serve the applied cursor");
+
+    replica.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
 /// Version snapshots created on the primary are visible on replicas (the `vi/` and `v/` key
 /// spaces ship like everything else), and a replica refuses to create its own.
 #[test]
