@@ -1699,7 +1699,7 @@ impl Database {
         {
             self.versions = src.versions.clone();
         }
-        if self.transition_rules.len() != src.transition_rules.len() {
+        if self.transition_rules != src.transition_rules {
             self.transition_rules = src.transition_rules.clone();
         }
         if self.selected_version != src.selected_version {

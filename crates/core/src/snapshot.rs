@@ -335,6 +335,26 @@ mod tests {
     }
 
     #[test]
+    fn transition_rules_replaced_with_the_same_count_patch_cleanly() {
+        use crate::history::TransitionRule;
+        let mut db = Database::new(figure3_schema());
+        db.add_transition_rule(TransitionRule::NoDeletions).unwrap();
+        let cell = SnapshotCell::new(&mut db);
+        db.create_object("Data", "Warmup").unwrap();
+        cell.publish(&mut db);
+        // Swap the rule set for a different one of the SAME length: the patched spare must
+        // pick it up (a count-based comparison would silently serve the stale rules).
+        db.set_transition_rules(vec![TransitionRule::MustDiffer]);
+        db.create_object("Data", "Warmup2").unwrap();
+        cell.publish(&mut db);
+        assert_eq!(cell.read().transition_rules(), &[TransitionRule::MustDiffer]);
+        // And again, so the spare that still carries the old rules is patched and republished.
+        db.create_object("Data", "Warmup3").unwrap();
+        cell.publish(&mut db);
+        assert_eq!(cell.read().transition_rules(), &[TransitionRule::MustDiffer]);
+    }
+
+    #[test]
     fn rolled_back_transactions_leave_the_next_snapshot_clean() {
         let mut db = Database::new(figure3_schema());
         let alarms = db.create_object("Data", "Alarms").unwrap();

@@ -401,6 +401,10 @@ impl ReplicaNode {
             let connect_timeout = config.connect_timeout;
             std::thread::spawn(move || {
                 let mut feed = Some(feed);
+                // Set when the serving database may be torn (a failed incremental patch whose
+                // wholesale-reload fallback also failed): nothing was published, and only a
+                // successful wholesale swap may publish again.
+                let mut serving_stale = false;
                 while !stop.load(Ordering::SeqCst) {
                     // (Re-)establish the stream from the durable cursor.
                     let mut live = match feed.take() {
@@ -442,33 +446,57 @@ impl ReplicaNode {
                         if live.ack(store.applied_lsn()).is_err() {
                             break;
                         }
-                        if batch.reset {
-                            // Reset semantics replace the whole key space: reload wholesale and
-                            // swap, keyed to the new cursor.
-                            progress.resets.fetch_add(1, Ordering::SeqCst);
+                        if batch.reset || serving_stale {
+                            // Reset semantics replace the whole key space — and a torn serving
+                            // database (earlier failed patch) likewise only recovers by a
+                            // wholesale swap: reload and swap, keyed to the new cursor.
+                            if batch.reset {
+                                progress.resets.fetch_add(1, Ordering::SeqCst);
+                            }
                             match store.load() {
-                                Ok(db) => core.replace_database_at(db, store.applied_lsn()),
-                                Err(_) => break,
+                                Ok(db) => {
+                                    core.replace_database_at(db, store.applied_lsn());
+                                    serving_stale = false;
+                                }
+                                Err(_) => {
+                                    serving_stale = true;
+                                    break;
+                                }
                             }
                         } else {
                             // Incremental batch: patch the serving database in place — O(delta)
-                            // per batch — and publish the snapshot at the applied LSN.  Readers
+                            // per batch — and publish the snapshot at the applied LSN.  The
+                            // patch and its decode-error fallback (a wholesale reload,
+                            // correctness over speed) both run inside ONE publication closure,
+                            // so only the final consistent state is ever published: readers
                             // see whole batches, never halves.
-                            let patched = core.with_database_mut_at(store.applied_lsn(), |db| {
-                                store.apply_to_database(db, &effects)
-                            });
+                            let patched = core.try_with_database_mut_at(
+                                store.applied_lsn(),
+                                |db| match store.apply_to_database(db, &effects) {
+                                    Ok(touched) => Ok(Some(touched)),
+                                    Err(_) => match store.load() {
+                                        Ok(fresh) => {
+                                            *db = fresh;
+                                            Ok(None)
+                                        }
+                                        Err(_) => Err(()),
+                                    },
+                                },
+                            );
                             match patched {
-                                Ok(touched) => {
+                                Ok(Some(touched)) => {
                                     progress
                                         .items_applied
                                         .fetch_add(touched as u64, Ordering::SeqCst);
                                 }
-                                // A patch that fails to decode falls back to the wholesale
-                                // reload — correctness over speed.
-                                Err(_) => match store.load() {
-                                    Ok(db) => core.replace_database_at(db, store.applied_lsn()),
-                                    Err(_) => break,
-                                },
+                                Ok(None) => {}
+                                // Patch AND reload failed: nothing was published, but the
+                                // serving database may be torn — reconnect, and make the next
+                                // applied batch swap wholesale before publishing again.
+                                Err(()) => {
+                                    serving_stale = true;
+                                    break;
+                                }
                             }
                         }
                         core.set_replica_progress(store.applied_lsn(), batch.primary_lsn);

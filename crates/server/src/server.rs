@@ -138,6 +138,24 @@ impl SeedServer {
         result
     }
 
+    /// Like [`SeedServer::with_database_mut_at`], but publishes only when the closure
+    /// succeeds: on `Err` the previously published snapshot keeps serving, so a closure that
+    /// fails partway through a mutation never exposes a torn intermediate state to readers.
+    /// The caller owns recovery of the (possibly half-mutated) authoritative database — e.g.
+    /// by replacing it wholesale before the next publication.
+    pub fn try_with_database_mut_at<R, E>(
+        &self,
+        lsn: u64,
+        f: impl FnOnce(&mut Database) -> Result<R, E>,
+    ) -> Result<R, E> {
+        let mut db = self.db.write();
+        let result = f(&mut db);
+        if result.is_ok() {
+            self.snapshots.publish_at(&mut db, Some(lsn));
+        }
+        result
+    }
+
     /// Records a subscriber's acknowledged LSN (primary side; called by the network layer's
     /// replication sessions).  The subscriber's cursor pins WAL retention on the served
     /// database: checkpoints keep (budget permitting) every segment the slowest subscriber
@@ -210,9 +228,12 @@ impl SeedServer {
             });
         }
         // A primary always reports: even without subscribers, the serving snapshot's LSN is
-        // the operator's read-staleness observable.
+        // the operator's read-staleness observable.  An in-memory primary has no durable
+        // cursor — its snapshots are keyed by the publication epoch, which is not a WAL LSN,
+        // so the LSN fields report 0 rather than an epoch counter an operator could mistake
+        // for a durable position.
         let acks = self.replica_acks.lock();
-        let lsn = snapshot.lsn();
+        let lsn = if snapshot.durability().is_some() { snapshot.lsn() } else { 0 };
         Some(ReplicationStatus {
             role: ReplicationRole::Primary,
             applied_lsn: lsn,
@@ -490,11 +511,14 @@ impl SeedServer {
     pub fn checkout(&self, client: ClientId, names: &[&str]) -> ServerResult<CheckoutSet> {
         self.guard_writable()?;
         self.touch(client);
-        // Check-out resolution reads the serving snapshot (every commit publishes before it
-        // releases the write lock, so the snapshot is as fresh as a locked read would be);
-        // only the lock table itself is mutated.
-        let db = self.snapshots.read();
+        // Check-out resolution reads the serving snapshot; only the lock table itself is
+        // mutated.  The lock table must be acquired BEFORE the snapshot is pinned: check-in
+        // publishes its snapshot and only then releases its locks under this mutex, so a
+        // snapshot read while holding the mutex includes every check-in whose locks appear
+        // free — reading the snapshot first would let a concurrent check-in commit and
+        // release in between, handing the client locks over stale copies (a lost update).
         let mut locks = self.locks.lock();
+        let db = self.snapshots.read();
 
         // Resolve every requested root and its dependents first, so a conflict acquires nothing.
         let mut object_ids: Vec<(String, ObjectId)> = Vec::new();
@@ -1134,6 +1158,12 @@ mod tests {
         let idle = server.persistence_status().replication.expect("primary always reports");
         assert_eq!(idle.role, ReplicationRole::Primary);
         assert_eq!(idle.subscribers, 0);
+        // An in-memory primary keys its snapshots by publication epoch, which is NOT a WAL
+        // LSN: the LSN fields report 0 so tooling never mistakes the epoch for a durable
+        // position (the epoch stays internal).
+        assert_eq!(idle.snapshot_lsn, 0);
+        assert_eq!(idle.applied_lsn, 0);
+        assert_eq!(idle.primary_lsn, 0);
         server.note_replica_ack(7, 12);
         server.note_replica_ack(9, 8);
         let status = server.persistence_status().replication.expect("primary status present");
@@ -1151,6 +1181,33 @@ mod tests {
     }
 
     #[test]
+    fn failed_fallible_mutations_publish_nothing() {
+        let server = server_with_data();
+        let torn: Result<(), ()> = server.try_with_database_mut_at(99, |db| {
+            db.create_object("Data", "Torn").unwrap();
+            Err(())
+        });
+        assert!(torn.is_err());
+        // The half-applied mutation is invisible: the previous snapshot keeps serving.
+        assert!(server.retrieve("Torn").is_err());
+        let whole: Result<(), ()> = server.try_with_database_mut_at(100, |db| {
+            db.create_object("Data", "Whole").unwrap();
+            Ok(())
+        });
+        assert!(whole.is_ok());
+        // A successful closure publishes the authoritative state wholesale — including the
+        // earlier unpublished mutation, whose recovery the caller owns (replica apply swaps
+        // in a freshly loaded database before publishing again).
+        assert!(server.retrieve("Whole").is_ok());
+        assert!(server.retrieve("Torn").is_ok());
+        // Through the replica status surface, the serving snapshot carries only the
+        // successfully published LSN — the failed publication never surfaced its own.
+        server.set_replica_progress(100, 100);
+        let replication = server.persistence_status().replication.expect("replica status");
+        assert_eq!(replication.snapshot_lsn, 100, "failed publication must not surface its LSN");
+    }
+
+    #[test]
     fn subscriber_acks_pin_wal_retention_across_checkpoints() {
         use seed_storage::WalTail;
         let dir = temp_dir("retention");
@@ -1165,6 +1222,9 @@ mod tests {
                 .unwrap();
         }
         let durable = server.with_database(|db| db.durable_lsn().unwrap());
+        let replication = server.persistence_status().replication.expect("primary status");
+        assert_eq!(replication.snapshot_lsn, durable, "durable primary reports the real WAL LSN");
+        assert_eq!(replication.applied_lsn, durable);
         let cursor = durable - 5;
 
         // A live subscriber's cursor survives a checkpoint: the tail it still needs is retained.
