@@ -1,0 +1,365 @@
+//! Offline stand-in for the parts of the `polling` crate the workspace uses: a portable
+//! readiness poller with **oneshot** event delivery and a cross-thread wakeup.
+//!
+//! Backed by `poll(2)` through a direct libc FFI declaration (the build has no `libc` crate;
+//! `std` already links the C library, so the symbols resolve without any new dependency).  The
+//! crates.io `polling` crate would use epoll/kqueue/IOCP per platform; this stand-in supports
+//! the workspace's target (Linux) and keeps the same observable semantics:
+//!
+//! * [`Poller::add`] / [`Poller::modify`] register interest in a source under a caller-chosen
+//!   `key`; [`Poller::wait`] blocks until readiness, a timeout, or a [`Poller::notify`] call.
+//! * Delivery is **oneshot**: once an event for a key is returned, that key's interest is
+//!   cleared and must be re-armed with `modify` — exactly the contract of the real crate, and
+//!   what makes a one-thread reactor race-free.
+//! * [`Poller::notify`] wakes a concurrent `wait` from any thread via a self-pipe; wakeups
+//!   coalesce and never produce an event entry.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+const O_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+const EINTR: i32 = 4;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Interest in (or readiness of) a source, tagged with the caller's `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The caller-chosen identifier the source was registered under.
+    pub key: usize,
+    /// Interest in / readiness for reading.
+    pub readable: bool,
+    /// Interest in / readiness for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Self { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Self {
+        Self { key, readable: false, writable: true }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Self {
+        Self { key, readable: true, writable: true }
+    }
+
+    /// No interest (the source stays registered but produces no events until re-armed).
+    pub fn none(key: usize) -> Self {
+        Self { key, readable: false, writable: false }
+    }
+}
+
+struct Registration {
+    fd: RawFd,
+    interest: Event,
+}
+
+/// A `poll(2)`-backed readiness poller with oneshot delivery and a self-pipe notifier.
+pub struct Poller {
+    registry: Mutex<HashMap<usize, Registration>>,
+    notify_read: RawFd,
+    notify_write: RawFd,
+    /// Collapses concurrent `notify` calls into one pipe byte (the pipe could otherwise fill
+    /// and block a notifier).
+    notified: AtomicBool,
+}
+
+// The registry is mutex-guarded and the pipe fds are only read/written atomically.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates a poller (and its internal wakeup pipe).
+    pub fn new() -> io::Result<Self> {
+        let mut fds = [0 as c_int; 2];
+        if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            registry: Mutex::new(HashMap::new()),
+            notify_read: fds[0],
+            notify_write: fds[1],
+            notified: AtomicBool::new(false),
+        })
+    }
+
+    /// Registers `source` under `interest.key` with the given initial interest.  The caller
+    /// must keep the source alive (and its fd open) until [`Poller::delete`].
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut registry = self.registry.lock().unwrap();
+        if registry.contains_key(&interest.key) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("key {} is already registered", interest.key),
+            ));
+        }
+        registry.insert(interest.key, Registration { fd, interest });
+        Ok(())
+    }
+
+    /// Replaces the interest of the source registered under `interest.key` (the re-arm call of
+    /// the oneshot contract).
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut registry = self.registry.lock().unwrap();
+        match registry.get_mut(&interest.key) {
+            Some(reg) => {
+                reg.fd = fd;
+                reg.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("key {} is not registered", interest.key),
+            )),
+        }
+    }
+
+    /// Removes every registration of `source` (by fd).
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        self.registry.lock().unwrap().retain(|_, reg| reg.fd != fd);
+        Ok(())
+    }
+
+    /// Blocks until at least one armed source is ready, `timeout` passes (`None` = forever),
+    /// or another thread calls [`Poller::notify`].  Ready sources are appended to `events`
+    /// (which is **not** cleared first) and their interest is cleared — oneshot delivery.
+    /// Returns the number of events appended; a notify wakeup appends nothing.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        // Snapshot the armed registrations so the lock is not held across the blocking call
+        // (`notify` never needs the lock, but `Poller` is Sync and should not serialize on a
+        // sleeping waiter).
+        let mut pollfds = vec![PollFd { fd: self.notify_read, events: POLLIN, revents: 0 }];
+        let mut keys = vec![usize::MAX];
+        {
+            let registry = self.registry.lock().unwrap();
+            for (key, reg) in registry.iter() {
+                let mut mask = 0i16;
+                if reg.interest.readable {
+                    mask |= POLLIN;
+                }
+                if reg.interest.writable {
+                    mask |= POLLOUT;
+                }
+                if mask != 0 {
+                    pollfds.push(PollFd { fd: reg.fd, events: mask, revents: 0 });
+                    keys.push(*key);
+                }
+            }
+        }
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().min(i32::MAX as u128) as c_int;
+                // Round sub-millisecond timeouts up so tiny sleeps do not become busy spins.
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms
+                }
+            }
+        };
+        let ready = loop {
+            let rc = unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as c_ulong, timeout_ms) };
+            if rc >= 0 {
+                break rc;
+            }
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() != Some(EINTR) {
+                return Err(err);
+            }
+        };
+        if ready == 0 {
+            return Ok(0);
+        }
+        // Drain the wakeup pipe (coalesced notifies) without emitting an event.
+        if pollfds[0].revents != 0 {
+            let mut buf = [0u8; 64];
+            while unsafe { read(self.notify_read, buf.as_mut_ptr(), buf.len()) } > 0 {}
+            self.notified.store(false, Ordering::SeqCst);
+        }
+        let mut delivered = 0;
+        let mut registry = self.registry.lock().unwrap();
+        for (pollfd, key) in pollfds.iter().zip(keys.iter()).skip(1) {
+            if pollfd.revents == 0 {
+                continue;
+            }
+            let Some(reg) = registry.get_mut(key) else { continue };
+            let error = pollfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            let event = Event {
+                key: *key,
+                readable: reg.interest.readable && (pollfd.revents & POLLIN != 0 || error),
+                writable: reg.interest.writable && (pollfd.revents & POLLOUT != 0 || error),
+            };
+            if event.readable || event.writable {
+                reg.interest = Event::none(*key);
+                events.push(event);
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] from any thread.  Wakeups coalesce; calling this
+    /// with no waiter makes the next `wait` return immediately.
+    pub fn notify(&self) -> io::Result<()> {
+        if !self.notified.swap(true, Ordering::SeqCst) {
+            let byte = 1u8;
+            // A full pipe means a wakeup is already pending — exactly what we want.
+            let _ = unsafe { write(self.notify_write, &byte, 1) };
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.notify_read);
+            close(self.notify_write);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_event_fires_once_and_rearms_with_modify() {
+        let (mut client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        // Nothing to read yet: the wait times out.
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+
+        client.write_all(b"x").unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0], Event { key: 7, readable: true, writable: false });
+
+        // Oneshot: without a re-arm the same readiness produces no further events.
+        events.clear();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "oneshot delivery must clear the interest");
+
+        poller.modify(&server, Event::readable(7)).unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1, "modify must re-arm the key");
+        let mut server = server;
+        let mut byte = [0u8; 1];
+        server.read_exact(&mut byte).unwrap();
+        assert_eq!(&byte, b"x");
+    }
+
+    #[test]
+    fn writable_interest_and_both_directions() {
+        let (mut client, server) = pair();
+        let poller = Poller::new().unwrap();
+        // A fresh connected socket has send-buffer space: writable fires immediately.
+        poller.add(&server, Event::writable(1)).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events, vec![Event { key: 1, readable: false, writable: true }]);
+
+        client.write_all(b"y").unwrap();
+        poller.modify(&server, Event::all(1)).unwrap();
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events, vec![Event { key: 1, readable: true, writable: true }]);
+    }
+
+    #[test]
+    fn notify_wakes_a_waiter_without_an_event() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.clone();
+        let waiter = std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+            (n, events.len())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        waker.notify().unwrap();
+        let (n, len) = waiter.join().unwrap();
+        assert_eq!((n, len), (0, 0), "a notify wakeup appends no events");
+        // Coalesced notifies with no waiter: the next wait returns immediately, once.
+        waker.notify().unwrap();
+        waker.notify().unwrap();
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        waker.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "pending notify must not block");
+    }
+
+    #[test]
+    fn delete_and_duplicate_keys() {
+        let (mut client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(3)).unwrap();
+        assert!(poller.add(&server, Event::readable(3)).is_err(), "duplicate key");
+        poller.delete(&server).unwrap();
+        client.write_all(b"z").unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0, "a deleted source must produce no events");
+        assert!(poller.modify(&server, Event::readable(3)).is_err(), "gone after delete");
+    }
+
+    #[test]
+    fn peer_hangup_is_delivered_to_read_interest() {
+        let (client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(9)).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "EOF must wake the reader (read() will see 0 bytes)");
+    }
+}

@@ -7,6 +7,7 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use seed_core::{ObjectRecord, Value, VersionId};
 use seed_server::{
@@ -267,6 +268,15 @@ impl RemoteClient {
         }
     }
 
+    /// Starts a pipelined batch: queue many requests with [`Pipeline::submit`], then send them
+    /// all and collect the responses in submission order with [`Pipeline::flush`].  The
+    /// event-loop server admits many in-flight frames per connection and answers strictly in
+    /// request order, so a deep pipeline pays one round-trip for the whole batch instead of
+    /// one per request.
+    pub fn pipeline(&mut self) -> Pipeline<'_> {
+        Pipeline { client: self, queued: Vec::new(), count: 0 }
+    }
+
     /// Connects a topology-aware client: writes go to the `primary`, reads fan out across the
     /// `replicas` round-robin (falling back to the primary when a replica connection fails
     /// mid-call, or when `replicas` is empty).  This is how an application points itself at a
@@ -282,6 +292,125 @@ impl RemoteClient {
                 .push(RemoteClient::connect_as(replica, "seed-net read-preferred (replica)")?);
         }
         Ok(ReadPreferredClient { primary, replicas: replica_clients, cursor: 0 })
+    }
+}
+
+/// While a pipelined write stalls on backpressure, wait this long before draining a response
+/// to free the server's in-flight window (the server stops reading a connection whose window
+/// is full; draining is what un-sticks the write).
+const PIPELINE_WRITE_SLICE: Duration = Duration::from_millis(100);
+
+/// A batch of requests submitted over one connection before any response is read.
+///
+/// Responses are returned **by submission index** from [`Pipeline::flush`]: the server answers
+/// strictly in request order, so `results[i]` is the answer to the `i`-th
+/// [`Pipeline::submit`].  A server-side [`Response::Error`] reply is surfaced as `Err` at its
+/// index without disturbing its neighbours; a transport or framing failure aborts the whole
+/// flush (and the connection should be discarded — the stream may hold unread responses).
+pub struct Pipeline<'a> {
+    client: &'a mut RemoteClient,
+    queued: Vec<u8>,
+    count: usize,
+}
+
+impl Pipeline<'_> {
+    /// Queues one request and returns its index into the [`Pipeline::flush`] results.
+    pub fn submit(&mut self, request: Request) -> usize {
+        let index = self.count;
+        self.count += 1;
+        write_frame(&mut self.queued, FrameKind::Request, &encode_request(&request))
+            .expect("writing a frame into a Vec cannot fail");
+        index
+    }
+
+    /// Number of requests queued so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether nothing has been submitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sends every queued frame and drains the responses, in submission order.
+    ///
+    /// Writing and reading are interleaved: when the server applies backpressure (it stops
+    /// reading a connection past its in-flight window), the flush drains ready responses to
+    /// open the window instead of deadlocking with both sides blocked on full buffers.
+    pub fn flush(self) -> ServerResult<Vec<ServerResult<Response>>> {
+        let Pipeline { client, queued, count } = self;
+        let mut results = Vec::with_capacity(count);
+        if count == 0 {
+            return Ok(results);
+        }
+        // Anything buffered from earlier sequential calls goes out first.
+        use std::io::Write as _;
+        client.writer.flush().map_err(transport)?;
+        client.writer.get_mut().set_write_timeout(Some(PIPELINE_WRITE_SLICE)).map_err(transport)?;
+        let outcome = interleave(client, &queued, count, &mut results);
+        let _ = client.writer.get_mut().set_write_timeout(None);
+        outcome?;
+        Ok(results)
+    }
+}
+
+/// The write-then-drain loop of [`Pipeline::flush`], separated so the write timeout is always
+/// restored on the way out.
+fn interleave(
+    client: &mut RemoteClient,
+    queued: &[u8],
+    count: usize,
+    results: &mut Vec<ServerResult<Response>>,
+) -> ServerResult<()> {
+    use std::io::Write as _;
+    let mut written = 0;
+    while written < queued.len() {
+        match client.writer.get_mut().write(&queued[written..]) {
+            Ok(0) => {
+                return Err(ServerError::Transport("connection closed mid-pipeline".to_string()))
+            }
+            Ok(n) => written += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if results.len() >= count {
+                    // Every response is in but the peer still won't take our bytes: nothing
+                    // left to drain, so this can only be a dead or wedged connection.
+                    return Err(ServerError::Transport(
+                        "pipelined write stalled after every response arrived".to_string(),
+                    ));
+                }
+                results.push(read_pipelined_response(&mut client.reader)?);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(transport(e)),
+        }
+    }
+    while results.len() < count {
+        results.push(read_pipelined_response(&mut client.reader)?);
+    }
+    Ok(())
+}
+
+/// Reads one in-order response.  The outer `Err` aborts the whole flush (broken stream); the
+/// inner result is the per-index answer.
+fn read_pipelined_response(
+    reader: &mut BufReader<TcpStream>,
+) -> ServerResult<ServerResult<Response>> {
+    let frame = read_frame(reader).map_err(ServerError::from)?;
+    match frame.kind {
+        FrameKind::Response => match decode_response(&frame.payload)? {
+            Response::Error(e) => Ok(Err(e)),
+            response => Ok(Ok(response)),
+        },
+        FrameKind::Reject => {
+            Err(ServerError::Protocol(String::from_utf8_lossy(&frame.payload).into_owned()))
+        }
+        other => Err(ServerError::Protocol(format!("unexpected {other:?} frame"))),
     }
 }
 
@@ -420,5 +549,69 @@ impl ReadPreferredClient {
             Err(e) => Err(first_error.unwrap_or(e)),
             Ok(()) => first_error.map_or(Ok(()), Err),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedNetServer;
+    use seed_core::Database;
+    use seed_schema::figure3_schema;
+    use seed_server::SeedServer;
+
+    fn start_server() -> SeedNetServer {
+        let mut db = Database::new(figure3_schema());
+        db.create_object("Data", "Alarms").unwrap();
+        db.create_object("Action", "Sensor").unwrap();
+        SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn a_pipeline_returns_results_by_submission_index() {
+        let server = start_server();
+        let mut client = RemoteClient::connect(server.local_addr()).unwrap();
+        let mut pipeline = client.pipeline();
+        let a = pipeline.submit(Request::Retrieve { name: "Alarms".to_string() });
+        let ghost = pipeline.submit(Request::Retrieve { name: "Ghost".to_string() });
+        let forged = pipeline.submit(Request::Release { client: u64::MAX });
+        let b = pipeline.submit(Request::Retrieve { name: "Sensor".to_string() });
+        assert_eq!((a, ghost, forged, b), (0, 1, 2, 3));
+        assert_eq!(pipeline.len(), 4);
+        let results = pipeline.flush().unwrap();
+        assert_eq!(results.len(), 4);
+        match &results[0] {
+            Ok(Response::Object(Ok(record))) => assert_eq!(record.name.to_string(), "Alarms"),
+            other => panic!("index 0: expected Alarms, got {other:?}"),
+        }
+        // The unknown name errors in place without disturbing its neighbours.
+        assert!(matches!(&results[1], Ok(Response::Object(Err(ServerError::Unknown(_))))));
+        // The forged identity is rejected at its index, as an outright protocol error.
+        assert!(matches!(&results[2], Err(ServerError::Protocol(_))));
+        match &results[3] {
+            Ok(Response::Object(Ok(record))) => assert_eq!(record.name.to_string(), "Sensor"),
+            other => panic!("index 3: expected Sensor, got {other:?}"),
+        }
+        client.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_pipeline_deeper_than_the_servers_window_still_drains() {
+        // 512 submissions against the default 128-deep in-flight window: the flush leans on
+        // the interleaved write/drain path instead of deadlocking on mutual backpressure.
+        let server = start_server();
+        let mut client = RemoteClient::connect(server.local_addr()).unwrap();
+        let mut pipeline = client.pipeline();
+        for _ in 0..512 {
+            pipeline.submit(Request::Retrieve { name: "Alarms".to_string() });
+        }
+        let results = pipeline.flush().unwrap();
+        assert_eq!(results.len(), 512);
+        assert!(results.iter().all(|r| matches!(r, Ok(Response::Object(Ok(_))))));
+        // The connection is still perfectly usable for sequential calls afterwards.
+        assert_eq!(client.retrieve("Sensor").unwrap().name.to_string(), "Sensor");
+        client.close().unwrap();
+        server.shutdown();
     }
 }

@@ -8,15 +8,18 @@
 //! * [`codec`] — the binary encoding of the existing [`seed_server::Request`] /
 //!   [`seed_server::Response`] protocol (reusing `seed-core`'s record codecs, so records have
 //!   one binary shape on disk and on the wire);
-//! * [`server`] — [`SeedNetServer`], a multi-threaded TCP server running one session per
-//!   connection over a shared [`seed_server::SeedServer`]; sessions are identity-bound (a
-//!   connection can only act for the client id assigned at handshake) and a client's write
-//!   locks are released on disconnect or after an idle timeout — the paper's crash-recovery
-//!   rule for checked-out data;
+//! * [`server`] — [`SeedNetServer`], a readiness-polled event-loop TCP server over a shared
+//!   [`seed_server::SeedServer`]: one reactor thread owns every socket and a sharded worker
+//!   pool executes requests, so a connection may *pipeline* many request frames and read the
+//!   responses back in request order.  Sessions are identity-bound (a connection can only act
+//!   for the client id assigned at handshake) and a client's write locks are released on
+//!   disconnect or after an idle timeout — the paper's crash-recovery rule for checked-out
+//!   data;
 //! * [`client`] — [`RemoteClient`], a blocking client exposing the same checkout / check-in /
 //!   query surface as the in-process API, so applications (the SPADES tool, the examples) run
-//!   unmodified over loopback — plus [`ReadPreferredClient`], which fans reads out across
-//!   replicas and sends writes to the primary;
+//!   unmodified over loopback — plus [`Pipeline`] for batched submission over one connection,
+//!   and [`ReadPreferredClient`], which fans reads out across replicas and sends writes to the
+//!   primary;
 //! * [`replication`] — [`ReplicaNode`], a read-only replica: it subscribes to a primary's WAL
 //!   stream (protocol v2 `Subscribe` / `LogBatch` / `Ack` frames), applies batches into its own
 //!   durable [`seed_core::ReplicaStore`] and serves the full read surface on its own listener.
@@ -50,13 +53,13 @@ pub mod replication;
 pub mod server;
 pub mod wire;
 
-pub use client::{ReadPreferredClient, RemoteClient};
+pub use client::{Pipeline, ReadPreferredClient, RemoteClient};
 pub use error::{WireError, WireResult};
 pub use replication::{ReplicaConfig, ReplicaNode};
 pub use server::{NetServerConfig, SeedNetServer};
 pub use wire::{
-    Ack, FrameKind, HandshakeRole, Hello, LogBatch, Subscribe, Welcome, MAX_FRAME_LEN,
-    PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
+    Ack, FrameDecoder, FrameKind, HandshakeRole, Hello, LogBatch, Subscribe, Welcome,
+    MAX_FRAME_LEN, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
 };
 
 #[cfg(test)]

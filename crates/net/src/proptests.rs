@@ -15,7 +15,7 @@ use seed_server::{
 };
 
 use crate::codec::{decode_request, decode_response, encode_request, encode_response};
-use crate::wire::{read_frame, write_frame, FrameKind};
+use crate::wire::{read_frame, write_frame, FrameDecoder, FrameKind};
 
 fn ident() -> impl Strategy<Value = String> {
     "[A-Z][a-z0-9]{0,6}"
@@ -385,6 +385,47 @@ proptest! {
             let _ = decode_response(&corrupted);
         }
         prop_assert!(decode_response(&[]).is_err());
+    }
+
+    /// The pipelined server decodes from a byte stream, not from whole reads: a burst of
+    /// concatenated frames must decode to the same frame sequence no matter where the network
+    /// fragments it.  Every two-part split of the stream (and a one-byte-at-a-time feed) is
+    /// checked against the unsplit decode.
+    #[test]
+    fn concatenated_frames_survive_every_split_boundary(
+        requests in proptest::collection::vec(request(), 1..4),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for request in &requests {
+            let payload = encode_request(request);
+            write_frame(&mut stream, FrameKind::Request, &payload).unwrap();
+            expected.push(payload);
+        }
+        fn decode_all(chunks: impl Iterator<Item = impl AsRef<[u8]>>) -> Vec<(FrameKind, Vec<u8>)> {
+            let mut decoder = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for chunk in chunks {
+                decoder.extend(chunk.as_ref());
+                while let Some(frame) =
+                    decoder.next_frame().expect("a well-formed stream never errors")
+                {
+                    frames.push((frame.kind, frame.payload));
+                }
+            }
+            frames
+        }
+        let whole = decode_all(std::iter::once(&stream));
+        prop_assert_eq!(whole.len(), expected.len());
+        for (payload, (kind, decoded)) in expected.iter().zip(whole.iter()) {
+            prop_assert_eq!(*kind, FrameKind::Request);
+            prop_assert_eq!(decoded, payload);
+        }
+        for cut in 0..=stream.len() {
+            let split = decode_all([&stream[..cut], &stream[cut..]].into_iter());
+            prop_assert!(split == whole, "split at byte {} diverged", cut);
+        }
+        prop_assert!(decode_all(stream.chunks(1)) == whole, "byte-at-a-time feed diverged");
     }
 
     #[test]

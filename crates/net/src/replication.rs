@@ -30,7 +30,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use seed_core::ReplicaStore;
-use seed_server::{ClientId, SeedServer, ServerError, ServerResult};
+use seed_server::{SeedServer, ServerError, ServerResult};
 
 use crate::server::{NetServerConfig, SeedNetServer};
 use crate::wire::{read_frame, write_frame, Ack, FrameKind, Hello, LogBatch, Subscribe, Welcome};
@@ -191,141 +191,99 @@ enum Shipment {
     Failed,
 }
 
-/// One replication session on the primary: consume the replica's [`Subscribe`], then alternate
-/// [`LogBatch`] out / [`Ack`] in until the peer leaves or the server stops.
+/// What a primary-side replication session should do at this poll tick, as planned by
+/// [`cut_shipment`] on a worker shard.  The event loop in [`crate::server`] owns the framing
+/// (the [`Subscribe`] opener, [`Ack`] consumption, the one-batch-in-flight flow control); this
+/// is the database side of one tick.
+pub(crate) enum ShipmentPlan {
+    /// Reject the session with this reason and close it.
+    Reject(&'static str),
+    /// A storage error reading the tail or cutting the snapshot; end the session.
+    End,
+    /// Caught up, the prompt answer already went out and no heartbeat is due: send nothing.
+    Idle,
+    /// Ship this batch and await the replica's ack.
+    Batch(LogBatch),
+}
+
+/// Cuts what a replication session at cursor `next` should ship, under **one** database read
+/// lock — the primary side of the Subscribe/LogBatch/Ack session, shared by the event-loop
+/// server's worker shards.
 ///
 /// The cursor is driven by the **acks** (`next = acked + 1`), so a batch the replica never made
-/// durable is simply cut again.  The first batch after the subscribe ships immediately even
-/// when empty — it synchronizes the replica's view of the primary's end of log — and idle
-/// periods are bridged by heartbeat batches ([`NetServerConfig::replication_heartbeat`]).  A
-/// cursor the WAL no longer covers (the replica outslept the retention budget, or its store
-/// belongs to a different log) is answered with a full-snapshot reset batch.
+/// durable is simply cut again.  `answer_now` is set for the first tick after the subscribe —
+/// the opener deserves a position sync even when there is nothing to ship — and idle periods
+/// are bridged by heartbeat batches (`heartbeat_due`, paced by
+/// [`NetServerConfig::replication_heartbeat`]).  A cursor the WAL no longer covers (the replica
+/// outslept the retention budget, or its store belongs to a different log) is answered with a
+/// full-snapshot reset batch.
 ///
-/// Two guarantees keep checkpoints from racing this session into a spurious resync:
+/// Two guarantees keep checkpoints from racing a session into a spurious resync:
 ///
 /// - The cursor is registered as an ack **at subscribe time** (before the first batch ships),
 ///   so segment retention covers the tail this session is about to read.
 /// - The caught-up check, the tail read and the snapshot cut all happen under **one** database
 ///   read lock per poll tick ([`Shipment`]); a checkpoint can never truncate the log between
 ///   the durable-LSN read and the tail read and turn an idle heartbeat into a snapshot.
-pub(crate) fn serve_replica(
+pub(crate) fn cut_shipment(
     core: &SeedServer,
-    reader: &mut impl std::io::Read,
-    writer: &mut impl std::io::Write,
-    stop: &AtomicBool,
-    client: ClientId,
-    config: &NetServerConfig,
-) {
-    let subscribe = match read_frame(reader) {
-        Ok(frame) if frame.kind == FrameKind::Subscribe => {
-            match Subscribe::decode(&frame.payload) {
-                Ok(subscribe) => subscribe,
-                Err(e) => {
-                    let _ = write_frame(writer, FrameKind::Reject, e.to_string().as_bytes());
-                    return;
-                }
-            }
+    next: u64,
+    answer_now: bool,
+    heartbeat_due: bool,
+) -> ShipmentPlan {
+    let shipment = core.with_database(|db| {
+        // Caught-up check first: the durable LSN is a counter read, so an idle poll tick
+        // never touches the WAL files (reading the tail re-parses segments from disk).
+        let Some(durable) = db.durable_lsn() else { return Shipment::InMemory };
+        if durable + 1 == next {
+            return Shipment::CaughtUp { durable };
         }
-        Ok(_) => {
-            let _ = write_frame(
-                writer,
-                FrameKind::Reject,
-                b"a replica session must open with a subscribe frame",
-            );
-            return;
-        }
-        Err(_) => return,
-    };
-    let mut next = subscribe.from_lsn.max(1);
-    // The subscribe IS the first ack: pin WAL retention to the cursor before the first batch
-    // ships, so a checkpoint racing the subscribe cannot truncate the tail out from under it.
-    core.note_replica_ack(client, next - 1);
-    let mut answer_now = true; // the subscribe (and every ack) deserves a prompt position sync
-    let mut last_sent = std::time::Instant::now();
-    while !stop.load(Ordering::SeqCst) {
-        let shipment = core.with_database(|db| {
-            // Caught-up check first: the durable LSN is a counter read, so an idle poll tick
-            // never touches the WAL files (reading the tail re-parses segments from disk).
-            let Some(durable) = db.durable_lsn() else { return Shipment::InMemory };
-            if durable + 1 == next {
-                return Shipment::CaughtUp { durable };
-            }
-            match db.wal_tail(next) {
+        match db.wal_tail(next) {
+            Err(_) => Shipment::Failed,
+            Ok(seed_storage::WalTail::Records(records)) => Shipment::Records { records, durable },
+            Ok(seed_storage::WalTail::Truncated { .. }) => match db.replication_snapshot() {
+                Ok((pairs, lsn)) => Shipment::Snapshot { pairs, lsn },
                 Err(_) => Shipment::Failed,
-                Ok(seed_storage::WalTail::Records(records)) => {
-                    Shipment::Records { records, durable }
-                }
-                Ok(seed_storage::WalTail::Truncated { .. }) => match db.replication_snapshot() {
-                    Ok((pairs, lsn)) => Shipment::Snapshot { pairs, lsn },
-                    Err(_) => Shipment::Failed,
-                },
+            },
+        }
+    });
+    match shipment {
+        Shipment::InMemory => {
+            ShipmentPlan::Reject("this primary serves an in-memory database; nothing to replicate")
+        }
+        Shipment::Failed => ShipmentPlan::End,
+        Shipment::CaughtUp { durable } => {
+            if !answer_now && !heartbeat_due {
+                return ShipmentPlan::Idle;
             }
-        });
-        let batch = match shipment {
-            Shipment::InMemory => {
-                let _ = write_frame(
-                    writer,
-                    FrameKind::Reject,
-                    b"this primary serves an in-memory database; nothing to replicate",
-                );
-                return;
-            }
-            Shipment::Failed => return,
-            Shipment::CaughtUp { durable } => {
-                if !answer_now && last_sent.elapsed() < config.replication_heartbeat {
-                    std::thread::sleep(config.replication_poll);
-                    continue;
-                }
-                // Heartbeat (or the immediate answer to the subscribe): nothing to ship, just
-                // the primary's position.
-                LogBatch {
-                    reset: false,
-                    first_lsn: 0,
-                    last_lsn: next - 1,
-                    primary_lsn: durable,
-                    records: Vec::new(),
-                }
-            }
-            Shipment::Records { records, durable } => {
-                let first = records.first().map(|(lsn, _)| *lsn).unwrap_or(0);
-                let last = records.last().map(|(lsn, _)| *lsn).unwrap_or(next - 1);
-                LogBatch {
-                    reset: false,
-                    first_lsn: first,
-                    last_lsn: last,
-                    primary_lsn: durable.max(last),
-                    records: records.into_iter().map(|(_, record)| record).collect(),
-                }
-            }
-            Shipment::Snapshot { pairs, lsn } => LogBatch {
-                reset: true,
+            // Heartbeat (or the immediate answer to the subscribe): nothing to ship, just
+            // the primary's position.
+            ShipmentPlan::Batch(LogBatch {
+                reset: false,
                 first_lsn: 0,
-                last_lsn: lsn,
-                primary_lsn: lsn,
-                records: seed_core::replica::snapshot_records(pairs),
-            },
-        };
-        if write_frame(writer, FrameKind::LogBatch, &batch.encode()).is_err() {
-            return;
+                last_lsn: next - 1,
+                primary_lsn: durable,
+                records: Vec::new(),
+            })
         }
-        last_sent = std::time::Instant::now();
-        answer_now = false;
-        // Flow control: exactly one batch in flight — wait for the replica's durability ack.
-        match read_frame(reader) {
-            Ok(frame) if frame.kind == FrameKind::Ack => match Ack::decode(&frame.payload) {
-                Ok(ack) => {
-                    core.touch(client);
-                    core.note_replica_ack(client, ack.applied_lsn);
-                    // The ack IS the cursor — including backwards: a reset snapshot rebinds a
-                    // replica whose cursor came from a longer (different or restored) log to
-                    // this log's positions, and `next` must follow it down or the session
-                    // would re-ship the snapshot forever.
-                    next = ack.applied_lsn + 1;
-                }
-                Err(_) => return,
-            },
-            _ => return, // anything else (EOF, desync, wrong kind) ends the stream
+        Shipment::Records { records, durable } => {
+            let first = records.first().map(|(lsn, _)| *lsn).unwrap_or(0);
+            let last = records.last().map(|(lsn, _)| *lsn).unwrap_or(next - 1);
+            ShipmentPlan::Batch(LogBatch {
+                reset: false,
+                first_lsn: first,
+                last_lsn: last,
+                primary_lsn: durable.max(last),
+                records: records.into_iter().map(|(_, record)| record).collect(),
+            })
         }
+        Shipment::Snapshot { pairs, lsn } => ShipmentPlan::Batch(LogBatch {
+            reset: true,
+            first_lsn: 0,
+            last_lsn: lsn,
+            primary_lsn: lsn,
+            records: seed_core::replica::snapshot_records(pairs),
+        }),
     }
 }
 

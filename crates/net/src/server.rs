@@ -1,26 +1,49 @@
-//! The concurrent TCP frontend: one session thread per connection over a shared
-//! [`SeedServer`].
+//! The event-loop TCP frontend: a readiness-polled reactor over nonblocking sockets, feeding a
+//! sharded worker pool, over a shared [`SeedServer`].
 //!
-//! Each connection is handshaken onto its own [`ClientId`]; the session enforces that identity
+//! One reactor thread owns every socket.  It accepts connections, decodes as many complete
+//! frames as each wakeup delivers ([`FrameDecoder`]), and hands the decoded requests to worker
+//! shards over channels; a connection's requests always go to the **same** shard, so they
+//! execute serially in arrival order (checkout → check-in ordering is preserved) while
+//! different connections proceed in parallel.  Responses come back tagged with a per-connection
+//! sequence number and are emitted strictly in request order — a peer may therefore *pipeline*:
+//! write many request frames before reading a single response, and read the responses back in
+//! the order it sent the requests.  The wire format is unchanged (still protocol v3);
+//! pipelining is purely a scheduling property of this server.
+//!
+//! Two backpressure rules bound memory per connection: a connection with
+//! [`NetServerConfig::max_in_flight`] requests admitted-but-unanswered is not read from until
+//! responses drain, and a connection whose peer stops draining its socket (output backlog past
+//! a high-water mark) is likewise paused.  All responses ready for a connection are coalesced
+//! into one `write` syscall per wakeup.
+//!
+//! Each connection is handshaken onto its own [`ClientId`]; the reactor enforces that identity
 //! on every lock-table request (a peer cannot act for another connection's client), and when
 //! the connection closes — cleanly or not — the client's write locks and checkout bookkeeping
-//! are released, the paper's crash-recovery rule for checked-out data.  A background reaper
-//! additionally reclaims the locks of clients that stay connected but fall silent beyond the
-//! configured idle timeout.
+//! are released, the paper's crash-recovery rule for checked-out data.  The idle reaper runs as
+//! a reactor tick.  Replication sessions (Subscribe / LogBatch / Ack) ride the same event loop:
+//! the reactor owns the framing and the one-batch-in-flight flow control, the worker shards cut
+//! each shipment under one database read lock ([`crate::replication::cut_shipment`]).
 
-use std::io::{BufReader, BufWriter};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use polling::{Event, Poller};
 use seed_server::{ClientId, Request, Response, SeedServer, ServerError};
 
 use crate::codec::{decode_request, encode_response_versioned};
 use crate::error::WireError;
-use crate::wire::{negotiate, read_frame, write_frame, FrameKind, HandshakeRole, Hello, Welcome};
+use crate::replication::{cut_shipment, ShipmentPlan};
+use crate::wire::{
+    negotiate, write_frame, Ack, Frame, FrameDecoder, FrameKind, HandshakeRole, Hello, Subscribe,
+    Welcome,
+};
 
 /// Tuning knobs of the TCP frontend.
 #[derive(Debug, Clone)]
@@ -37,6 +60,15 @@ pub struct NetServerConfig {
     /// Longest a replication session stays silent: an empty heartbeat batch ships after this,
     /// so replicas can track the primary's end of log (and their lag) through idle periods.
     pub replication_heartbeat: Duration,
+    /// Number of worker shards executing requests.  A connection is pinned to one shard
+    /// (its requests run serially, in order); throughput scales across connections.
+    pub worker_shards: usize,
+    /// Most requests a single connection may have admitted-but-unanswered.  A pipelining peer
+    /// past this window is not read from until responses drain (bounded memory per connection).
+    pub max_in_flight: usize,
+    /// How long shutdown waits for in-flight pipelined requests to finish and their responses
+    /// to flush before closing the remaining connections anyway.
+    pub shutdown_drain: Duration,
 }
 
 impl Default for NetServerConfig {
@@ -47,18 +79,38 @@ impl Default for NetServerConfig {
             banner: format!("seed-net/{}", env!("CARGO_PKG_VERSION")),
             replication_poll: Duration::from_millis(10),
             replication_heartbeat: Duration::from_secs(1),
+            worker_shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8),
+            max_in_flight: 128,
+            shutdown_drain: Duration::from_secs(5),
         }
     }
 }
+
+/// The poller key reserved for the listening socket.  Connection tokens start at 1.
+const LISTENER: usize = 0;
+
+/// How long a fresh connection may take to complete the handshake.  Without a deadline, a peer
+/// that connects and never sends its hello would hold a registration for the server's whole
+/// lifetime — and the idle reaper cannot reclaim it, because no client id exists yet.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Stop reading a connection whose un-flushed output backlog passes this (the peer is not
+/// draining its socket; buffering more responses for it would be unbounded memory).
+const OUT_HIGH_WATER: usize = 1024 * 1024;
+
+/// Read syscall granularity.
+const READ_CHUNK: usize = 16 * 1024;
 
 /// A running TCP server around a shared [`SeedServer`].
 pub struct SeedNetServer {
     core: Arc<SeedServer>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    reaper_thread: Option<JoinHandle<()>>,
-    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    poller: Arc<Poller>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl SeedNetServer {
@@ -68,54 +120,56 @@ impl SeedNetServer {
         Self::with_config(server, addr, NetServerConfig::default())
     }
 
-    /// Binds a listener and starts the accept loop (and the idle reaper, when configured).
+    /// Binds a listener and starts the reactor and its worker shards.
     pub fn with_config(
         server: SeedServer,
         addr: impl ToSocketAddrs,
         config: NetServerConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let core = Arc::new(server);
         let stop = Arc::new(AtomicBool::new(false));
-        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let poller = Arc::new(Poller::new()?);
+        poller.add(&listener, Event::readable(LISTENER))?;
 
-        let accept_thread = {
+        let shard_count = config.worker_shards.max(1);
+        let (done_tx, done_rx) = unbounded::<Done>();
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut workers = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let (job_tx, job_rx) = unbounded::<Job>();
+            shards.push(job_tx);
             let core = core.clone();
-            let stop = stop.clone();
-            let sessions = sessions.clone();
-            let config = Arc::new(config.clone());
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let core = core.clone();
-                    let stop = stop.clone();
-                    let config = config.clone();
-                    let handle =
-                        std::thread::spawn(move || serve_connection(&core, stream, &stop, &config));
-                    let mut sessions = sessions.lock();
-                    sessions.retain(|h| !h.is_finished());
-                    sessions.push(handle);
-                }
-            })
+            let done = done_tx.clone();
+            let poller = poller.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("seed-net-worker-{i}"))
+                .spawn(move || worker_loop(&core, job_rx, done, &poller))?;
+            workers.push(handle);
+        }
+        drop(done_tx);
+
+        let reactor = Reactor {
+            core: core.clone(),
+            config,
+            poller: poller.clone(),
+            listener,
+            stop: stop.clone(),
+            conns: HashMap::new(),
+            next_token: LISTENER + 1,
+            shards,
+            done_rx,
+            workers,
+            last_reap: Instant::now(),
+            draining_since: None,
         };
+        let reactor_thread = std::thread::Builder::new()
+            .name("seed-net-reactor".into())
+            .spawn(move || reactor.run())?;
 
-        let reaper_thread = config.idle_timeout.map(|timeout| {
-            let core = core.clone();
-            let stop = stop.clone();
-            let interval = config.reaper_interval;
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(interval);
-                    core.reclaim_idle(timeout);
-                }
-            })
-        });
-
-        Ok(Self { core, addr, stop, accept_thread: Some(accept_thread), reaper_thread, sessions })
+        Ok(Self { core, addr, stop, poller, reactor_thread: Some(reactor_thread) })
     }
 
     /// The address the server listens on.
@@ -128,8 +182,8 @@ impl SeedNetServer {
         self.core.clone()
     }
 
-    /// Stops accepting, waits for the accept loop, the reaper and every live session to finish.
-    /// Sessions notice the stop flag at their next read-timeout tick.
+    /// Stops accepting, drains in-flight pipelined requests (bounded by
+    /// [`NetServerConfig::shutdown_drain`]) and waits for the reactor and every worker shard.
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
@@ -138,24 +192,8 @@ impl SeedNetServer {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.  An unspecified bind address
-        // (0.0.0.0 / ::) is not connectable on all platforms — wake via loopback instead.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        if let Some(handle) = self.reaper_thread.take() {
-            let _ = handle.join();
-        }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut self.sessions.lock());
-        for handle in handles {
+        let _ = self.poller.notify();
+        if let Some(handle) = self.reactor_thread.take() {
             let _ = handle.join();
         }
     }
@@ -167,259 +205,840 @@ impl Drop for SeedNetServer {
     }
 }
 
-/// How often a blocked session read wakes up to check the stop flag.
-const SESSION_POLL: Duration = Duration::from_millis(100);
-
-/// Upper bound on a blocked frame write.  A peer that stops draining its socket would
-/// otherwise park the session thread in `write_all` forever (the stop flag only unblocks
-/// reads) and hang server shutdown.
-const SESSION_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
-
-/// How long a fresh connection may take to complete the handshake.  Without a deadline, a peer
-/// that connects and never sends its hello would park a session thread for the server's whole
-/// lifetime — and the idle reaper cannot reclaim it, because no client id exists yet.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// A reader that turns the socket's read timeout into stop-flag polling **without losing
-/// partial progress**: `read` retries on `WouldBlock`/`TimedOut` until at least one byte
-/// arrives, the server is stopping, or the optional deadline (pre-handshake only) passes.
-/// `Read::read_exact` on top of this never observes a timeout mid-frame, so a frame split
-/// across poll ticks (slow or fragmented link) is reassembled instead of desynchronizing the
-/// stream.
-struct PollRead<'a> {
-    inner: TcpStream,
-    stop: &'a AtomicBool,
-    deadline: Option<std::time::Instant>,
+/// One unit of work for a worker shard.
+enum Job {
+    /// Answer one client request frame.  `frame` is the request payload, or the ordered
+    /// protocol-error text when the reactor already rejected the frame (wrong kind, recoverable
+    /// framing error) — the error response must still be emitted *in sequence*.
+    Client {
+        token: usize,
+        seq: u64,
+        client: ClientId,
+        version: u16,
+        frame: Result<Vec<u8>, String>,
+    },
+    /// Cut one replication shipment for the session at cursor `next`.
+    Pump { token: usize, next: u64, answer_now: bool, heartbeat_due: bool },
 }
 
-impl std::io::Read for PollRead<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            match self.inner.read(buf) {
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if self.stop.load(Ordering::SeqCst) {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::ConnectionAborted,
-                            "server shutting down",
-                        ));
-                    }
-                    if self.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::TimedOut,
-                            "handshake deadline passed",
-                        ));
-                    }
-                }
-                other => return other,
+/// A worker shard's completion, routed back to the reactor.
+enum Done {
+    /// The encoded response frame for (`token`, `seq`); `close` ends the connection after it.
+    Client { token: usize, seq: u64, bytes: Vec<u8>, close: bool },
+    /// The outcome of a replication pump tick.
+    Pump { token: usize, outcome: PumpOutcome },
+}
+
+enum PumpOutcome {
+    /// Nothing to ship and no answer due.
+    Idle,
+    /// An encoded log-batch frame to ship (then await the replica's ack).
+    Batch(Vec<u8>),
+    /// An encoded reject frame; close the session after it flushes.
+    Reject(Vec<u8>),
+    /// Storage failure; close the session.
+    End,
+}
+
+fn worker_loop(core: &SeedServer, jobs: Receiver<Job>, done: Sender<Done>, poller: &Poller) {
+    while let Ok(job) = jobs.recv() {
+        let completion = match job {
+            Job::Client { token, seq, client, version, frame } => {
+                let (response, close) = answer(core, client, frame);
+                let payload = encode_response_versioned(&response, version);
+                let mut bytes = Vec::with_capacity(payload.len() + 16);
+                write_frame(&mut bytes, FrameKind::Response, &payload)
+                    .expect("writing a frame into a Vec cannot fail");
+                Done::Client { token, seq, bytes, close }
             }
+            Job::Pump { token, next, answer_now, heartbeat_due } => {
+                let outcome = match cut_shipment(core, next, answer_now, heartbeat_due) {
+                    ShipmentPlan::Idle => PumpOutcome::Idle,
+                    ShipmentPlan::End => PumpOutcome::End,
+                    ShipmentPlan::Reject(reason) => {
+                        let mut bytes = Vec::new();
+                        write_frame(&mut bytes, FrameKind::Reject, reason.as_bytes())
+                            .expect("writing a frame into a Vec cannot fail");
+                        PumpOutcome::Reject(bytes)
+                    }
+                    ShipmentPlan::Batch(batch) => {
+                        let payload = batch.encode();
+                        let mut bytes = Vec::with_capacity(payload.len() + 16);
+                        write_frame(&mut bytes, FrameKind::LogBatch, &payload)
+                            .expect("writing a frame into a Vec cannot fail");
+                        PumpOutcome::Batch(bytes)
+                    }
+                };
+                Done::Pump { token, outcome }
+            }
+        };
+        if done.send(completion).is_err() {
+            break;
         }
+        // Wake the reactor so the completion is emitted promptly.
+        let _ = poller.notify();
     }
 }
 
-fn serve_connection(
-    core: &SeedServer,
-    stream: TcpStream,
-    stop: &AtomicBool,
-    config: &NetServerConfig,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(SESSION_POLL));
-    let _ = stream.set_write_timeout(Some(SESSION_WRITE_TIMEOUT));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => PollRead {
-            inner: s,
-            stop,
-            deadline: Some(std::time::Instant::now() + HANDSHAKE_TIMEOUT),
-        },
-        Err(_) => return,
-    });
-    let mut writer = BufWriter::new(stream.try_clone().expect("second clone after first"));
-
-    // Handshake: Hello in, Welcome (or Reject) out.
-    let (client, role, version) = match handshake(core, &mut reader, &mut writer, &config.banner) {
-        Some(outcome) => outcome,
-        None => {
-            let _ = stream.shutdown(Shutdown::Both);
-            return;
-        }
+/// Answers one client frame: the request-validation pipeline of the old per-connection session
+/// loop, unchanged — identity enforcement, the Connect rejection, activity touch, dispatch.
+fn answer(core: &SeedServer, client: ClientId, frame: Result<Vec<u8>, String>) -> (Response, bool) {
+    let payload = match frame {
+        Ok(payload) => payload,
+        Err(msg) => return (Response::Error(ServerError::Protocol(msg)), false),
     };
-    // Handshaken sessions may idle between frames as long as they like (the reaper governs
-    // their locks); only the handshake itself is deadlined.
-    reader.get_mut().deadline = None;
-
-    if role == HandshakeRole::Replica {
-        crate::replication::serve_replica(core, &mut reader, &mut writer, stop, client, config);
-        // Retire (not forget): the session's last ack keeps pinning WAL retention so the
-        // replica can catch up from the retained log when it reconnects.
-        core.retire_replica(client);
-        core.disconnect(client);
-        let _ = stream.shutdown(Shutdown::Both);
-        return;
-    }
-
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(frame) => frame,
-            Err(WireError::Recoverable(msg)) => {
-                // The frame boundary held: reject the frame, keep the connection.
-                let response = Response::Error(ServerError::Protocol(msg));
-                if write_frame(
-                    &mut writer,
-                    FrameKind::Response,
-                    &encode_response_versioned(&response, version),
-                )
-                .is_err()
-                {
-                    break;
-                }
-                continue;
-            }
-            Err(_) => break, // desync, dead socket, or server shutdown
-        };
-        if frame.kind != FrameKind::Request {
-            let response = Response::Error(ServerError::Protocol(format!(
-                "expected a request frame, got {:?}",
-                frame.kind
-            )));
-            if write_frame(
-                &mut writer,
-                FrameKind::Response,
-                &encode_response_versioned(&response, version),
-            )
-            .is_err()
-            {
-                break;
-            }
-            continue;
-        }
-        let request = match decode_request(&frame.payload) {
-            Ok(request) => request,
-            Err(e) => {
-                let response = Response::Error(ServerError::from(e));
-                if write_frame(
-                    &mut writer,
-                    FrameKind::Response,
-                    &encode_response_versioned(&response, version),
-                )
-                .is_err()
-                {
-                    break;
-                }
-                continue;
-            }
-        };
-        // Per-connection identity: lock-table requests may only act for the client id bound to
-        // this connection at handshake.
-        if let Some(claimed) = request.client_id() {
-            if claimed != client {
-                let response = Response::Error(ServerError::Protocol(format!(
+    let request = match decode_request(&payload) {
+        Ok(request) => request,
+        Err(e) => return (Response::Error(ServerError::from(e)), false),
+    };
+    // Per-connection identity: lock-table requests may only act for the client id bound to
+    // this connection at handshake.
+    if let Some(claimed) = request.client_id() {
+        if claimed != client {
+            return (
+                Response::Error(ServerError::Protocol(format!(
                     "request claims client {claimed}, but this connection is client {client}"
-                )));
-                if write_frame(
-                    &mut writer,
-                    FrameKind::Response,
-                    &encode_response_versioned(&response, version),
-                )
-                .is_err()
-                {
-                    break;
-                }
-                continue;
-            }
+                ))),
+                false,
+            );
         }
-        // Identity is assigned at handshake, one per connection; serving Connect here would
-        // mint session entries nothing ever cleans up.
-        if matches!(request, Request::Connect) {
-            let response = Response::Error(ServerError::Protocol(
+    }
+    // Identity is assigned at handshake, one per connection; serving Connect here would mint
+    // session entries nothing ever cleans up.
+    if matches!(request, Request::Connect) {
+        return (
+            Response::Error(ServerError::Protocol(
                 "client identity is assigned at handshake; open a new connection instead"
                     .to_string(),
-            ));
-            if write_frame(
-                &mut writer,
-                FrameKind::Response,
-                &encode_response_versioned(&response, version),
-            )
-            .is_err()
-            {
-                break;
-            }
-            continue;
-        }
-        core.touch(client);
-        let closing = matches!(request, Request::Shutdown);
-        let response = core.handle(request);
-        if write_frame(
-            &mut writer,
-            FrameKind::Response,
-            &encode_response_versioned(&response, version),
-        )
-        .is_err()
-        {
-            break;
-        }
-        if closing {
-            break;
-        }
+            )),
+            false,
+        );
     }
-
-    // The crash-recovery rule: whatever this client still had checked out comes back.
-    core.disconnect(client);
-    let _ = stream.shutdown(Shutdown::Both);
+    core.touch(client);
+    let closing = matches!(request, Request::Shutdown);
+    (core.handle(request), closing)
 }
 
-fn handshake(
-    core: &SeedServer,
-    reader: &mut impl std::io::Read,
-    writer: &mut impl std::io::Write,
-    banner: &str,
-) -> Option<(ClientId, HandshakeRole, u16)> {
-    let Ok(frame) = read_frame(reader) else { return None };
-    if frame.kind != FrameKind::Hello {
-        let _ = write_frame(writer, FrameKind::Reject, b"handshake must start with a hello frame");
-        return None;
+/// Where a connection is in its lifecycle.
+enum ConnState {
+    /// Awaiting the hello frame (deadlined — no client id exists for the reaper to govern).
+    Handshake { deadline: Instant },
+    /// A handshaken request/response session.
+    Client(ClientSession),
+    /// A handshaken replica awaiting its subscribe frame.
+    ReplicaPending { client: ClientId },
+    /// A subscribed replication session.
+    Replica(ReplicaSession),
+}
+
+struct ClientSession {
+    client: ClientId,
+    version: u16,
+    /// Sequence number assigned to the next admitted request.
+    next_seq: u64,
+    /// Sequence number of the next response to emit (responses go out in request order).
+    next_emit: u64,
+    /// Completed responses waiting for their turn, keyed by sequence number.
+    ready: BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Requests admitted but not yet completed by a worker.
+    in_flight: usize,
+    /// A close-flagged response (`Request::Shutdown`) was emitted; later responses are dropped,
+    /// exactly as the old per-connection loop never read past a shutdown.
+    halted: bool,
+}
+
+struct ReplicaSession {
+    client: ClientId,
+    /// First LSN the replica still needs (`acked + 1`; acks may move it down on a resync).
+    next: u64,
+    /// The subscribe deserves a position-sync batch even when there is nothing to ship.
+    answer_now: bool,
+    /// Pump at the next tick without waiting out `replication_poll` (set by the subscribe and
+    /// by every ack — new records ship promptly, but a caught-up cursor goes idle instead of
+    /// ping-ponging heartbeats against instant acks).
+    pump_now: bool,
+    /// One batch in flight: true from batch emission until the replica's ack.
+    awaiting_ack: bool,
+    /// A pump job is on a worker shard; don't schedule another.
+    pump_busy: bool,
+    last_sent: Instant,
+    last_pump: Instant,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Coalesced output: every frame ready for this connection, flushed in one write per
+    /// wakeup.  `out_pos` marks the flushed prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    /// No more frames are read or admitted; the connection closes once in-flight work drains
+    /// and the output flushes (or the write side dies).
+    closing: bool,
+    /// The write side failed; pending output is discarded and the close is immediate.
+    write_dead: bool,
+    /// Something happened this wakeup (event, completion, admission): sweep this connection.
+    touched: bool,
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
     }
-    let hello = match Hello::decode(&frame.payload) {
-        Ok(hello) => hello,
-        Err(e) => {
-            let _ = write_frame(writer, FrameKind::Reject, e.to_string().as_bytes());
-            return None;
+}
+
+fn append_frame(out: &mut Vec<u8>, kind: FrameKind, payload: &[u8]) {
+    write_frame(out, kind, payload).expect("writing a frame into a Vec cannot fail");
+}
+
+fn reject(conn: &mut Conn, reason: &[u8]) {
+    append_frame(&mut conn.out, FrameKind::Reject, reason);
+    conn.closing = true;
+}
+
+/// Emits every consecutively-ready response into the connection's output buffer.  Runs during
+/// shutdown drain too: `closing` stops *reads*, never the emission of answers already earned.
+fn emit_ready(conn: &mut Conn) {
+    let ConnState::Client(session) = &mut conn.state else { return };
+    while !session.halted {
+        let Some((bytes, close)) = session.ready.remove(&session.next_emit) else { break };
+        session.next_emit += 1;
+        conn.out.extend_from_slice(&bytes);
+        if close {
+            session.halted = true;
+            conn.closing = true;
         }
-    };
-    let version = match negotiate(&hello) {
-        Ok(version) => version,
-        Err(reason) => {
-            let _ = write_frame(writer, FrameKind::Reject, reason.as_bytes());
-            return None;
+    }
+    if session.halted {
+        session.ready.clear();
+    }
+}
+
+/// Write coalescing: one `write` syscall covers everything emitted this wakeup (looping only
+/// on partial writes).
+fn flush_out(conn: &mut Conn) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.write_dead = true;
+                break;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.write_dead = true;
+                break;
+            }
         }
-    };
-    // The replication kinds exist only from v2 on; a v1-negotiated replica could never speak
-    // its own stream.
-    if hello.role == HandshakeRole::Replica && version < 2 {
-        let _ = write_frame(writer, FrameKind::Reject, b"replication requires protocol v2");
-        return None;
     }
-    let client = core.connect();
-    let welcome = Welcome { version, client_id: client, banner: banner.to_string() };
-    if write_frame(writer, FrameKind::Welcome, &welcome.encode()).is_err() {
-        core.disconnect(client);
-        return None;
+    if conn.write_dead || conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos >= 64 * 1024 {
+        // Reclaim the flushed prefix before it grows unbounded under a slow peer.
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
     }
-    Some((client, hello.role, version))
+    if conn.write_dead {
+        conn.closing = true;
+    }
+}
+
+struct Reactor {
+    core: Arc<SeedServer>,
+    config: NetServerConfig,
+    poller: Arc<Poller>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    shards: Vec<Sender<Job>>,
+    done_rx: Receiver<Done>,
+    workers: Vec<JoinHandle<()>>,
+    last_reap: Instant,
+    draining_since: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.stop.load(Ordering::SeqCst) && self.draining_since.is_none() {
+                self.begin_drain();
+            }
+            if let Some(since) = self.draining_since {
+                if self.conns.is_empty() || since.elapsed() >= self.config.shutdown_drain {
+                    break;
+                }
+            }
+            events.clear();
+            let _ = self.poller.wait(&mut events, self.poll_timeout());
+            // Completions first: a freed in-flight window lets paused connections resume in
+            // the same sweep.
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.on_done(done);
+            }
+            for event in events.drain(..) {
+                if event.key == LISTENER {
+                    self.accept_burst();
+                } else if event.key != usize::MAX {
+                    self.on_io(event.key, event.readable);
+                }
+            }
+            self.tick();
+            self.sweep();
+        }
+        self.finish();
+    }
+
+    /// Stop accepting and flag every connection for a drained close: reads stop immediately,
+    /// in-flight responses still complete and flush (bounded by `shutdown_drain`).
+    fn begin_drain(&mut self) {
+        self.draining_since = Some(Instant::now());
+        let _ = self.poller.delete(&self.listener);
+        for conn in self.conns.values_mut() {
+            conn.closing = true;
+            conn.touched = true;
+        }
+    }
+
+    fn poll_timeout(&self) -> Option<Duration> {
+        if self.draining_since.is_some() {
+            return Some(Duration::from_millis(5));
+        }
+        let mut timeout: Option<Duration> = None;
+        let mut consider = |d: Duration| {
+            let d = d.max(Duration::from_millis(1));
+            timeout = Some(match timeout {
+                Some(t) if t < d => t,
+                _ => d,
+            });
+        };
+        if self.config.idle_timeout.is_some() {
+            consider(self.config.reaper_interval.saturating_sub(self.last_reap.elapsed()));
+        }
+        let now = Instant::now();
+        for conn in self.conns.values() {
+            match &conn.state {
+                ConnState::Handshake { deadline } => {
+                    consider(deadline.saturating_duration_since(now));
+                }
+                ConnState::Replica(s) if !s.awaiting_ack && !s.pump_busy && !conn.closing => {
+                    consider(self.config.replication_poll);
+                }
+                _ => {}
+            }
+        }
+        timeout
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining_since.is_some() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.add(&stream, Event::readable(token)).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            state: ConnState::Handshake {
+                                deadline: Instant::now() + HANDSHAKE_TIMEOUT,
+                            },
+                            closing: false,
+                            write_dead: false,
+                            touched: true,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        // Oneshot delivery: re-arm the listener.
+        let _ = self.poller.modify(&self.listener, Event::readable(LISTENER));
+    }
+
+    fn on_io(&mut self, token: usize, readable: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        conn.touched = true;
+        if readable && !conn.closing {
+            self.pump_read(token);
+        }
+    }
+
+    /// Reads until the socket runs dry, the connection pauses (backpressure) or closes,
+    /// dispatching every complete frame as it is decoded.
+    fn pump_read(&mut self, token: usize) {
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            self.dispatch_frames(token);
+            let Some(conn) = self.conns.get(&token) else { return };
+            if conn.closing {
+                return;
+            }
+            if self.read_paused(token) {
+                return;
+            }
+            let conn = self.conns.get_mut(&token).expect("checked above");
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF: the peer is gone.  Frames still buffered but undispatched are
+                    // dropped — same as the old server, which never read past a disconnect.
+                    conn.closing = true;
+                    return;
+                }
+                Ok(n) => conn.decoder.extend(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.closing = true;
+                    conn.write_dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes and routes every complete buffered frame, honoring backpressure between frames.
+    fn dispatch_frames(&mut self, token: usize) {
+        loop {
+            {
+                let Some(conn) = self.conns.get(&token) else { return };
+                if conn.closing {
+                    return;
+                }
+            }
+            if self.read_paused(token) {
+                return;
+            }
+            let step = self.conns.get_mut(&token).expect("checked above").decoder.next_frame();
+            match step {
+                Ok(Some(frame)) => self.route_frame(token, frame),
+                Ok(None) => return,
+                Err(WireError::Recoverable(msg)) => {
+                    // The frame boundary held.  A client session answers in sequence and
+                    // lives on; any other state treats it as a handshake/stream failure.
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    if matches!(conn.state, ConnState::Client(_)) {
+                        self.admit(token, Err(msg));
+                    } else {
+                        conn.closing = true;
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // Desync (bad magic, unknown kind, oversize): the stream is unusable.
+                    self.conns.get_mut(&token).expect("checked above").closing = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn route_frame(&mut self, token: usize, frame: Frame) {
+        enum Route {
+            Hello,
+            Client,
+            Subscribe(ClientId),
+            Replica,
+        }
+        let route = match &self.conns.get(&token).expect("routed for a live conn").state {
+            ConnState::Handshake { .. } => Route::Hello,
+            ConnState::Client(_) => Route::Client,
+            ConnState::ReplicaPending { client } => Route::Subscribe(*client),
+            ConnState::Replica(_) => Route::Replica,
+        };
+        match route {
+            Route::Hello => self.on_hello(token, frame),
+            Route::Client => {
+                if frame.kind == FrameKind::Request {
+                    self.admit(token, Ok(frame.payload));
+                } else {
+                    self.admit(
+                        token,
+                        Err(format!("expected a request frame, got {:?}", frame.kind)),
+                    );
+                }
+            }
+            Route::Subscribe(client) => self.on_subscribe(token, client, frame),
+            Route::Replica => self.on_replica_frame(token, frame),
+        }
+    }
+
+    /// Hello in, Welcome (or Reject) out — the old `handshake()`, minus the blocking reads.
+    fn on_hello(&mut self, token: usize, frame: Frame) {
+        let conn = self.conns.get_mut(&token).expect("routed for a live conn");
+        if frame.kind != FrameKind::Hello {
+            reject(conn, b"handshake must start with a hello frame");
+            return;
+        }
+        let hello = match Hello::decode(&frame.payload) {
+            Ok(hello) => hello,
+            Err(e) => {
+                reject(conn, e.to_string().as_bytes());
+                return;
+            }
+        };
+        let version = match negotiate(&hello) {
+            Ok(version) => version,
+            Err(reason) => {
+                reject(conn, reason.as_bytes());
+                return;
+            }
+        };
+        // The replication kinds exist only from v2 on; a v1-negotiated replica could never
+        // speak its own stream.
+        if hello.role == HandshakeRole::Replica && version < 2 {
+            reject(conn, b"replication requires protocol v2");
+            return;
+        }
+        let client = self.core.connect();
+        let welcome = Welcome { version, client_id: client, banner: self.config.banner.clone() };
+        append_frame(&mut conn.out, FrameKind::Welcome, &welcome.encode());
+        conn.state = match hello.role {
+            HandshakeRole::Replica => ConnState::ReplicaPending { client },
+            HandshakeRole::Client => ConnState::Client(ClientSession {
+                client,
+                version,
+                next_seq: 0,
+                next_emit: 0,
+                ready: BTreeMap::new(),
+                in_flight: 0,
+                halted: false,
+            }),
+        };
+    }
+
+    fn on_subscribe(&mut self, token: usize, client: ClientId, frame: Frame) {
+        if frame.kind != FrameKind::Subscribe {
+            let conn = self.conns.get_mut(&token).expect("routed for a live conn");
+            reject(conn, b"a replica session must open with a subscribe frame");
+            return;
+        }
+        let subscribe = match Subscribe::decode(&frame.payload) {
+            Ok(subscribe) => subscribe,
+            Err(e) => {
+                let conn = self.conns.get_mut(&token).expect("routed for a live conn");
+                reject(conn, e.to_string().as_bytes());
+                return;
+            }
+        };
+        let next = subscribe.from_lsn.max(1);
+        // The subscribe IS the first ack: pin WAL retention to the cursor before the first
+        // batch ships, so a checkpoint racing the subscribe cannot truncate the tail out from
+        // under it.
+        self.core.note_replica_ack(client, next - 1);
+        let now = Instant::now();
+        let conn = self.conns.get_mut(&token).expect("routed for a live conn");
+        conn.state = ConnState::Replica(ReplicaSession {
+            client,
+            next,
+            answer_now: true, // the subscribe deserves a prompt position sync
+            pump_now: true,
+            awaiting_ack: false,
+            pump_busy: false,
+            last_sent: now,
+            last_pump: now,
+        });
+    }
+
+    fn on_replica_frame(&mut self, token: usize, frame: Frame) {
+        let (client, applied) = {
+            let conn = self.conns.get_mut(&token).expect("routed for a live conn");
+            let ConnState::Replica(session) = &mut conn.state else { return };
+            // Flow control is one batch in flight; anything but the awaited ack (EOF, desync,
+            // wrong kind) ends the stream, as in the old session loop.
+            if frame.kind != FrameKind::Ack || !session.awaiting_ack {
+                conn.closing = true;
+                return;
+            }
+            match Ack::decode(&frame.payload) {
+                Ok(ack) => (session.client, ack.applied_lsn),
+                Err(_) => {
+                    conn.closing = true;
+                    return;
+                }
+            }
+        };
+        self.core.touch(client);
+        self.core.note_replica_ack(client, applied);
+        let conn = self.conns.get_mut(&token).expect("routed for a live conn");
+        let ConnState::Replica(session) = &mut conn.state else { return };
+        // The ack IS the cursor — including backwards: a reset snapshot rebinds a replica
+        // whose cursor came from a longer (different or restored) log to this log's positions,
+        // and `next` must follow it down or the session would re-ship the snapshot forever.
+        session.next = applied + 1;
+        session.awaiting_ack = false;
+        session.pump_now = true; // re-check the log promptly; idle if nothing new shipped
+    }
+
+    /// Admits one request (or its ordered rejection) into the connection's pipeline and hands
+    /// it to the connection's shard.  Same shard every time: a connection's requests execute
+    /// serially in arrival order.
+    fn admit(&mut self, token: usize, frame: Result<Vec<u8>, String>) {
+        let shard = token % self.shards.len();
+        let conn = self.conns.get_mut(&token).expect("admitting for a live conn");
+        let ConnState::Client(session) = &mut conn.state else { return };
+        let seq = session.next_seq;
+        session.next_seq += 1;
+        session.in_flight += 1;
+        conn.touched = true;
+        let job =
+            Job::Client { token, seq, client: session.client, version: session.version, frame };
+        let _ = self.shards[shard].send(job);
+    }
+
+    fn on_done(&mut self, done: Done) {
+        match done {
+            Done::Client { token, seq, bytes, close } => {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                conn.touched = true;
+                let ConnState::Client(session) = &mut conn.state else { return };
+                session.in_flight -= 1;
+                session.ready.insert(seq, (bytes, close));
+            }
+            Done::Pump { token, outcome } => {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                conn.touched = true;
+                let ConnState::Replica(session) = &mut conn.state else { return };
+                session.pump_busy = false;
+                match outcome {
+                    PumpOutcome::Idle => {}
+                    PumpOutcome::Batch(bytes) => {
+                        if !conn.closing {
+                            conn.out.extend_from_slice(&bytes);
+                            session.awaiting_ack = true;
+                            session.last_sent = Instant::now();
+                        }
+                    }
+                    PumpOutcome::Reject(bytes) => {
+                        conn.out.extend_from_slice(&bytes);
+                        conn.closing = true;
+                    }
+                    PumpOutcome::End => conn.closing = true,
+                }
+            }
+        }
+    }
+
+    fn read_paused(&self, token: usize) -> bool {
+        let Some(conn) = self.conns.get(&token) else { return true };
+        if conn.backlog() > OUT_HIGH_WATER {
+            return true;
+        }
+        match &conn.state {
+            ConnState::Client(s) => s.in_flight + s.ready.len() >= self.config.max_in_flight,
+            _ => false,
+        }
+    }
+
+    /// Timer work: the idle reaper, handshake deadlines, replication pump scheduling.
+    fn tick(&mut self) {
+        let now = Instant::now();
+        if let Some(timeout) = self.config.idle_timeout {
+            if now.duration_since(self.last_reap) >= self.config.reaper_interval {
+                self.last_reap = now;
+                self.core.reclaim_idle(timeout);
+            }
+        }
+        let mut pumps = Vec::new();
+        for (token, conn) in self.conns.iter_mut() {
+            match &mut conn.state {
+                ConnState::Handshake { deadline } if now >= *deadline => {
+                    conn.closing = true;
+                    conn.touched = true;
+                }
+                ConnState::Replica(session) => {
+                    if conn.closing || session.pump_busy || session.awaiting_ack {
+                        continue;
+                    }
+                    let due = session.pump_now
+                        || now.duration_since(session.last_pump) >= self.config.replication_poll;
+                    if due {
+                        session.pump_busy = true;
+                        session.last_pump = now;
+                        let answer_now = session.answer_now;
+                        session.answer_now = false;
+                        session.pump_now = false;
+                        let heartbeat_due = now.duration_since(session.last_sent)
+                            >= self.config.replication_heartbeat;
+                        pumps.push((
+                            *token,
+                            Job::Pump {
+                                token: *token,
+                                next: session.next,
+                                answer_now,
+                                heartbeat_due,
+                            },
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (token, job) in pumps {
+            let shard = token % self.shards.len();
+            let _ = self.shards[shard].send(job);
+        }
+    }
+
+    /// Per-wakeup housekeeping for every touched connection: emit ready responses, flush
+    /// coalesced output, resume paused reads, finalize drained closes, re-arm interest.
+    fn sweep(&mut self) {
+        let touched: Vec<usize> =
+            self.conns.iter().filter(|(_, c)| c.touched).map(|(t, _)| *t).collect();
+        for token in touched {
+            {
+                let Some(conn) = self.conns.get_mut(&token) else { continue };
+                conn.touched = false;
+                emit_ready(conn);
+                flush_out(conn);
+            }
+            // A completion may have freed the in-flight window: dispatch frames that were
+            // buffered under backpressure (the poller is level-triggered underneath, so
+            // re-arming read interest below re-delivers anything still in the kernel buffer).
+            if !self.conns[&token].closing && !self.read_paused(token) {
+                self.dispatch_frames(token);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    emit_ready(conn);
+                    flush_out(conn);
+                }
+            }
+            if self.maybe_finalize(token) {
+                continue;
+            }
+            self.rearm(token);
+        }
+    }
+
+    fn rearm(&mut self, token: usize) {
+        let paused = self.read_paused(token);
+        let Some(conn) = self.conns.get(&token) else { return };
+        let readable = !conn.closing && !paused;
+        let writable = !conn.write_dead && conn.out_pos < conn.out.len();
+        let _ = self.poller.modify(&conn.stream, Event { key: token, readable, writable });
+    }
+
+    /// Closes a `closing` connection once its in-flight work has drained and its output has
+    /// flushed (or its write side died).  Never closes under a live worker job: releasing the
+    /// client's locks mid-request would yank state out from under the handler.
+    fn maybe_finalize(&mut self, token: usize) -> bool {
+        let Some(conn) = self.conns.get(&token) else { return true };
+        if !conn.closing {
+            return false;
+        }
+        let busy = match &conn.state {
+            ConnState::Client(s) => s.in_flight > 0 || (!s.halted && !s.ready.is_empty()),
+            ConnState::Replica(s) => s.pump_busy,
+            _ => false,
+        };
+        if busy {
+            return false;
+        }
+        if !conn.write_dead && conn.out_pos < conn.out.len() {
+            return false;
+        }
+        self.close_conn(token);
+        true
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        let _ = self.poller.delete(&conn.stream);
+        match conn.state {
+            ConnState::Handshake { .. } => {}
+            // The crash-recovery rule: whatever this client still had checked out comes back.
+            ConnState::Client(s) => {
+                self.core.disconnect(s.client);
+            }
+            // Retire (not forget): the session's last ack keeps pinning WAL retention so the
+            // replica can catch up from the retained log when it reconnects.
+            ConnState::ReplicaPending { client } => {
+                self.core.retire_replica(client);
+                self.core.disconnect(client);
+            }
+            ConnState::Replica(s) => {
+                self.core.retire_replica(s.client);
+                self.core.disconnect(s.client);
+            }
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Shutdown epilogue: flush what completed, retire the workers, then disconnect every
+    /// surviving client in one sweep.  Workers are joined *before* the disconnects so no lock
+    /// is ever released under a still-running request.
+    fn finish(mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.on_done(done);
+        }
+        for conn in self.conns.values_mut() {
+            emit_ready(conn);
+            flush_out(conn);
+        }
+        let shards = std::mem::take(&mut self.shards);
+        drop(shards); // workers drain their queues and exit
+        let workers = std::mem::take(&mut self.workers);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.on_done(done);
+        }
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        let mut clients = Vec::new();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                emit_ready(conn);
+                flush_out(conn);
+            }
+            let Some(conn) = self.conns.remove(&token) else { continue };
+            let _ = self.poller.delete(&conn.stream);
+            match conn.state {
+                ConnState::Handshake { .. } => {}
+                ConnState::Client(s) => clients.push(s.client),
+                ConnState::ReplicaPending { client } => {
+                    self.core.retire_replica(client);
+                    clients.push(client);
+                }
+                ConnState::Replica(s) => {
+                    self.core.retire_replica(s.client);
+                    clients.push(s.client);
+                }
+            }
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        self.core.disconnect_many(&clients);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::RemoteClient;
-    use crate::wire::{Hello, PROTOCOL_VERSION};
+    use crate::wire::{read_frame, Hello, PROTOCOL_VERSION};
     use seed_core::{Database, Value};
     use seed_schema::figure3_schema;
     use seed_server::Update;
+    use std::io::{BufReader, BufWriter};
 
     fn start_server() -> SeedNetServer {
         let mut db = Database::new(figure3_schema());
@@ -523,7 +1142,7 @@ mod tests {
             assert!(core.locked_count() > 0);
             // Dropped without release or close: the TCP connection dies with it.
         }
-        // The session thread notices EOF and runs the crash-recovery rule.
+        // The reactor notices EOF and runs the crash-recovery rule.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while core.locked_count() > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
@@ -687,5 +1306,131 @@ mod tests {
         assert_eq!(reply.kind, FrameKind::Reject);
         assert!(String::from_utf8_lossy(&reply.payload).contains("no common protocol version"));
         server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_get_in_order_responses_over_one_connection() {
+        let server = start_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(&mut writer, FrameKind::Hello, &Hello::current("pipeliner").encode()).unwrap();
+        let welcome = read_frame(&mut reader).unwrap();
+        assert_eq!(welcome.kind, FrameKind::Welcome);
+
+        // A whole burst written before reading a single response: three valid retrieves, a
+        // malformed payload in the middle, an unknown name at the end.
+        let names = ["Alarms", "Sensor", "AlarmHandler"];
+        for name in names {
+            write_frame(
+                &mut writer,
+                FrameKind::Request,
+                &crate::codec::encode_request(&Request::Retrieve { name: name.to_string() }),
+            )
+            .unwrap();
+        }
+        write_frame(&mut writer, FrameKind::Request, &[0xFF, 0xEE]).unwrap();
+        write_frame(
+            &mut writer,
+            FrameKind::Request,
+            &crate::codec::encode_request(&Request::Retrieve { name: "Ghost".to_string() }),
+        )
+        .unwrap();
+        use std::io::Write as _;
+        writer.flush().unwrap();
+
+        // The responses come back in request order: the error answers take their turn too.
+        for name in names {
+            let reply = read_frame(&mut reader).unwrap();
+            assert_eq!(reply.kind, FrameKind::Response);
+            match crate::codec::decode_response(&reply.payload).unwrap() {
+                Response::Object(Ok(record)) => assert_eq!(record.name.to_string(), name),
+                other => panic!("expected the object {name}, got {other:?}"),
+            }
+        }
+        let reply = read_frame(&mut reader).unwrap();
+        assert!(matches!(
+            crate::codec::decode_response(&reply.payload).unwrap(),
+            Response::Error(ServerError::Protocol(_))
+        ));
+        let reply = read_frame(&mut reader).unwrap();
+        match crate::codec::decode_response(&reply.payload).unwrap() {
+            Response::Object(Err(ServerError::Unknown(_))) => {}
+            other => panic!("expected unknown-object error last, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_tiny_in_flight_window_still_answers_every_request_in_order() {
+        // max_in_flight = 2 forces the reactor through its pause/resume backpressure path on
+        // every burst; all 50 responses must still arrive, in order.
+        let mut db = Database::new(figure3_schema());
+        db.create_object("Data", "Alarms").unwrap();
+        let config = NetServerConfig { max_in_flight: 2, ..NetServerConfig::default() };
+        let server =
+            SeedNetServer::with_config(SeedServer::new(db), "127.0.0.1:0", config).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(&mut writer, FrameKind::Hello, &Hello::current("burst").encode()).unwrap();
+        assert_eq!(read_frame(&mut reader).unwrap().kind, FrameKind::Welcome);
+        for _ in 0..50 {
+            write_frame(
+                &mut writer,
+                FrameKind::Request,
+                &crate::codec::encode_request(&Request::Retrieve { name: "Alarms".to_string() }),
+            )
+            .unwrap();
+        }
+        use std::io::Write as _;
+        writer.flush().unwrap();
+        for i in 0..50 {
+            let reply = read_frame(&mut reader).unwrap();
+            assert_eq!(reply.kind, FrameKind::Response, "response {i}");
+            match crate::codec::decode_response(&reply.payload).unwrap() {
+                Response::Object(Ok(record)) => assert_eq!(record.name.to_string(), "Alarms"),
+                other => panic!("response {i}: expected Alarms, got {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pipelined_work_and_never_parks_on_a_stuffed_socket() {
+        // The old thread-per-connection server could park forever in `write_all` against a
+        // peer that stopped draining its socket.  The reactor's shutdown must return within
+        // its drain deadline no matter what the peer does.
+        let mut db = Database::new(figure3_schema());
+        db.create_object("Data", "Alarms").unwrap();
+        let config =
+            NetServerConfig { shutdown_drain: Duration::from_millis(300), ..Default::default() };
+        let server =
+            SeedNetServer::with_config(SeedServer::new(db), "127.0.0.1:0", config).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(&mut writer, FrameKind::Hello, &Hello::current("stuffer").encode()).unwrap();
+        for _ in 0..64 {
+            write_frame(
+                &mut writer,
+                FrameKind::Request,
+                &crate::codec::encode_request(&Request::Persistence),
+            )
+            .unwrap();
+        }
+        use std::io::Write as _;
+        writer.flush().unwrap();
+        // Give the burst a moment to be admitted, then shut down while work is in flight and
+        // the peer never reads a byte.
+        std::thread::sleep(Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown must not park on an undrained peer (took {:?})",
+            started.elapsed()
+        );
+        drop((reader, writer));
     }
 }

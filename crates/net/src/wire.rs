@@ -157,6 +157,86 @@ pub fn read_frame(r: &mut impl Read) -> WireResult<Frame> {
     Ok(Frame { kind, payload })
 }
 
+/// An incremental frame decoder for nonblocking (readiness-driven) readers: bytes go in as
+/// they arrive off the socket, complete frames come out — as many as one wakeup delivered,
+/// which is what makes request pipelining a pure scheduling change on the server.
+///
+/// Error classification matches [`read_frame`] exactly: a checksum or payload failure consumes
+/// the offending frame and is **recoverable** (keep feeding the decoder, the next
+/// [`FrameDecoder::next_frame`] call resumes at the following frame boundary); a bad magic, an
+/// unknown kind or an oversized length is **fatal** (the stream is desynchronized and the
+/// decoder must be discarded with its connection).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Frame header size on the wire: magic + kind + length + checksum.
+const HEADER_LEN: usize = 13;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix space before growing (amortized O(1) per byte).
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames (a partial frame, or complete frames not
+    /// yet pulled).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pulls the next complete frame, if the buffer holds one.
+    ///
+    /// * `Ok(Some(frame))` — one frame decoded and consumed;
+    /// * `Ok(None)` — the buffer ends mid-frame; feed more bytes;
+    /// * `Err(recoverable)` — the frame boundary held and the bad frame was consumed;
+    /// * `Err(fatal)` — the stream is desynchronized; close the connection.
+    pub fn next_frame(&mut self) -> WireResult<Option<Frame>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if avail[..4] != MAGIC {
+            return Err(WireError::Fatal(format!(
+                "bad frame magic {:02x?} (stream desynchronized or not a SEED peer)",
+                &avail[..4]
+            )));
+        }
+        let kind = FrameKind::from_u8(avail[4])
+            .ok_or_else(|| WireError::Fatal(format!("unknown frame kind {}", avail[4])))?;
+        let len = u32::from_le_bytes([avail[5], avail[6], avail[7], avail[8]]);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Fatal(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+        }
+        let total = HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let expected_crc = u32::from_le_bytes([avail[9], avail[10], avail[11], avail[12]]);
+        let payload = avail[HEADER_LEN..total].to_vec();
+        self.start += total; // the boundary held either way: consume exactly this frame
+        if crc32(&payload) != expected_crc {
+            return Err(WireError::Recoverable(format!(
+                "frame checksum mismatch ({} byte payload)",
+                payload.len()
+            )));
+        }
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
 /// What a connection wants to be after the handshake.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum HandshakeRole {
@@ -482,6 +562,67 @@ mod tests {
         for cut in 0..buf.len() {
             let mut cursor = Cursor::new(buf[..cut].to_vec());
             assert!(read_frame(&mut cursor).is_err(), "cut at {cut} must error, not panic");
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_matches_the_blocking_reader() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameKind::Request, b"first").unwrap();
+        write_frame(&mut stream, FrameKind::Response, b"").unwrap();
+        write_frame(&mut stream, FrameKind::Request, b"third frame payload").unwrap();
+
+        // Fed byte by byte, the decoder produces exactly the three frames, in order.
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in &stream {
+            decoder.extend(std::slice::from_ref(byte));
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].payload, b"first");
+        assert_eq!(frames[1].kind, FrameKind::Response);
+        assert_eq!(frames[2].payload, b"third frame payload");
+        assert_eq!(decoder.buffered(), 0);
+
+        // Fed all at once, one wakeup drains all three — the pipelining read path.
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&stream);
+        let mut n = 0;
+        while decoder.next_frame().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn incremental_decoder_classifies_errors_like_read_frame() {
+        // Corrupt payload: recoverable, and the decoder resynchronizes on the next frame.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameKind::Request, b"damaged").unwrap();
+        write_frame(&mut stream, FrameKind::Request, b"intact").unwrap();
+        stream[14] ^= 0xFF;
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&stream);
+        let err = decoder.next_frame().unwrap_err();
+        assert!(err.is_recoverable(), "checksum failure must keep the stream: {err}");
+        assert_eq!(decoder.next_frame().unwrap().unwrap().payload, b"intact");
+
+        // Bad magic, unknown kind, oversize: all fatal, like the blocking reader.
+        let corruptions: [fn(&mut Vec<u8>); 3] = [
+            |b| b[0] = b'X',
+            |b| b[4] = 99,
+            |b| b[5..9].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes()),
+        ];
+        for corrupt in corruptions {
+            let mut stream = Vec::new();
+            write_frame(&mut stream, FrameKind::Request, b"x").unwrap();
+            corrupt(&mut stream);
+            let mut decoder = FrameDecoder::new();
+            decoder.extend(&stream);
+            assert!(matches!(decoder.next_frame(), Err(WireError::Fatal(_))));
         }
     }
 

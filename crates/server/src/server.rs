@@ -315,6 +315,19 @@ impl SeedServer {
         self.release(client)
     }
 
+    /// Detaches a batch of clients in one session-table sweep — the event-loop server's
+    /// shutdown path, where every live connection disconnects at once.  Returns the total
+    /// number of locks released.
+    pub fn disconnect_many(&self, clients: &[ClientId]) -> usize {
+        {
+            let mut sessions = self.sessions.lock();
+            for client in clients {
+                sessions.remove(client);
+            }
+        }
+        clients.iter().map(|client| self.release(*client)).sum()
+    }
+
     /// Reclaims the locks of every client whose last activity is older than `max_idle` and that
     /// still holds checked-out data, and prunes the session entries of lock-free idle clients
     /// (so stale ids never accumulate).  Returns the ids whose locks were reclaimed.  This is
