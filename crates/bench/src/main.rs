@@ -2,9 +2,15 @@
 //! the machine-readable `BENCH.json` next to it.
 //!
 //! Run with `cargo run -p seed-bench --release`; pass `--smoke` for the small-parameter variant
-//! CI runs (seconds instead of minutes, same metrics).
+//! CI runs (seconds instead of minutes, same metrics).  Pass `--metrics` to additionally print
+//! the final metrics registry in Prometheus text exposition format on stdout (see
+//! `docs/OBSERVABILITY.md`).
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let metrics = std::env::args().any(|a| a == "--metrics");
     seed_bench::run_report_mode(smoke);
+    if metrics {
+        print!("{}", seed_obs::global().snapshot().to_prometheus_text());
+    }
 }

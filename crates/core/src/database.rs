@@ -215,6 +215,17 @@ impl Database {
         })
     }
 
+    /// A write-path probe for health checks: fsyncs the active WAL segment of a durable
+    /// database and reports whether the log currently accepts writes (a failing disk or a
+    /// vanished directory surfaces here).  `true` for in-memory databases, whose write path
+    /// cannot fail on I/O.
+    pub fn wal_writable(&self) -> bool {
+        match &self.durability {
+            Some(d) => d.engine.wal_probe().is_ok(),
+            None => true,
+        }
+    }
+
     // ----- replication feed (the primary side of WAL shipping) --------------------------------
 
     /// The absolute, checkpoint-stable LSN of the last committed storage record — what a fully

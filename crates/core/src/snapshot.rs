@@ -163,6 +163,8 @@ impl SnapshotCell {
     /// [`SnapshotCell::publish`] with an explicit LSN — the replica apply path, where the
     /// serving database is in-memory but the position is the shipped batch's `last_lsn`.
     pub fn publish_at(&self, db: &mut Database, lsn_hint: Option<u64>) {
+        let start = std::time::Instant::now();
+        let registry = seed_obs::global();
         let mut st = self.state.lock();
         // A wholesale-replaced database (replica snapshot resync) arrives untracked; enabling
         // tracking marks it for a rebuild, which take_snapshot_changes reports as `None`.
@@ -176,15 +178,22 @@ impl SnapshotCell {
             (Some(items), Some(mut spare)) => {
                 // O(delta) path: the spare is two generations behind `db`, by exactly
                 // `lag ∪ items`.  A straggler still pinning it forces a one-off clone.
+                if Arc::get_mut(&mut spare).is_none() {
+                    registry.counter("snapshot_straggler_copies_total").inc();
+                }
                 let gen = Arc::make_mut(&mut spare);
                 let missing: Vec<ItemId> = st.lag.iter().chain(items.iter()).copied().collect();
+                registry.histogram("snapshot_patch_items").observe(missing.len() as u64);
                 gen.db.sync_snapshot_from(db, &missing);
                 gen.lsn = lsn;
                 gen.epoch = epoch;
                 gen.durability = db.durability_status();
                 spare
             }
-            _ => Arc::new(SnapshotGen::capture(db, epoch, lsn)),
+            _ => {
+                registry.counter("snapshot_full_captures_total").inc();
+                Arc::new(SnapshotGen::capture(db, epoch, lsn))
+            }
         };
 
         let retired = {
@@ -204,6 +213,7 @@ impl SnapshotCell {
                 st.spare = None;
             }
         }
+        registry.histogram("snapshot_publish_us").observe_duration(start.elapsed());
     }
 }
 

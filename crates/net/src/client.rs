@@ -11,8 +11,8 @@ use std::time::Duration;
 
 use seed_core::{ObjectRecord, Value, VersionId};
 use seed_server::{
-    CheckoutSet, ClientId, PersistenceStatus, QueryAnswer, RelationshipInfo, Request, Response,
-    SchemaSummary, ServerError, ServerResult, Update,
+    CheckoutSet, ClientId, HealthStatus, PersistenceStatus, QueryAnswer, RelationshipInfo, Request,
+    Response, SchemaSummary, ServerError, ServerResult, Update,
 };
 
 use crate::codec::{decode_response, encode_request};
@@ -169,6 +169,24 @@ impl RemoteClient {
     pub fn persistence(&mut self) -> ServerResult<PersistenceStatus> {
         match self.call(Request::Persistence)? {
             Response::Persistence(status) => Ok(status),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// A point-in-time copy of the server's whole metrics registry: every counter, gauge and
+    /// latency histogram, ready for percentile extraction or Prometheus re-exposition.
+    pub fn stats(&mut self) -> ServerResult<seed_obs::RegistrySnapshot> {
+        match self.call(Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// The server's liveness/readiness probe: a reply at all is liveness, `ready` is the
+    /// readiness verdict (a primary with a writable WAL; a replica within its lag budget).
+    pub fn health(&mut self) -> ServerResult<HealthStatus> {
+        match self.call(Request::Health)? {
+            Response::Health(status) => Ok(status),
             _ => Err(ServerError::Disconnected),
         }
     }

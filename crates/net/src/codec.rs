@@ -22,7 +22,7 @@ use seed_core::codec::{
 };
 use seed_core::{SeedError, VersionId};
 use seed_server::{
-    AssociationSummary, CheckoutSet, ClassSummary, PersistenceStatus, QueryAnswer,
+    AssociationSummary, CheckoutSet, ClassSummary, HealthStatus, PersistenceStatus, QueryAnswer,
     RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary,
     ServerError, Update,
 };
@@ -465,6 +465,77 @@ fn decode_schema_summary(d: &mut Decoder<'_>) -> WireResult<SchemaSummary> {
     Ok(SchemaSummary { name, classes, associations })
 }
 
+fn encode_registry_snapshot(e: &mut Encoder, s: &seed_obs::RegistrySnapshot) {
+    e.put_varint(s.counters.len() as u64);
+    for (name, value) in &s.counters {
+        e.put_str(name).put_u64(*value);
+    }
+    e.put_varint(s.gauges.len() as u64);
+    for (name, value) in &s.gauges {
+        e.put_str(name).put_u64(*value as u64);
+    }
+    e.put_varint(s.histograms.len() as u64);
+    for h in &s.histograms {
+        e.put_str(&h.name).put_u64(h.count).put_u64(h.sum);
+        e.put_varint(h.buckets.len() as u64);
+        for (bound, cumulative) in &h.buckets {
+            e.put_u64(*bound).put_u64(*cumulative);
+        }
+    }
+}
+
+fn decode_registry_snapshot(d: &mut Decoder<'_>) -> WireResult<seed_obs::RegistrySnapshot> {
+    let n = d.get_varint()? as usize;
+    let mut counters = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        counters.push((d.get_str()?.to_string(), d.get_u64()?));
+    }
+    let n = d.get_varint()? as usize;
+    let mut gauges = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        gauges.push((d.get_str()?.to_string(), d.get_u64()? as i64));
+    }
+    let n = d.get_varint()? as usize;
+    let mut histograms = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = d.get_str()?.to_string();
+        let count = d.get_u64()?;
+        let sum = d.get_u64()?;
+        let buckets_len = d.get_varint()? as usize;
+        let mut buckets = Vec::with_capacity(buckets_len.min(1024));
+        for _ in 0..buckets_len {
+            buckets.push((d.get_u64()?, d.get_u64()?));
+        }
+        histograms.push(seed_obs::HistogramSnapshot { name, count, sum, buckets });
+    }
+    Ok(seed_obs::RegistrySnapshot { counters, gauges, histograms })
+}
+
+fn encode_health_status(e: &mut Encoder, h: &HealthStatus) {
+    e.put_bool(h.ready)
+        .put_u8(match h.role {
+            ReplicationRole::Primary => 0,
+            ReplicationRole::Replica => 1,
+        })
+        .put_u64(h.lag)
+        .put_u64(h.lag_budget)
+        .put_str(&h.detail);
+}
+
+fn decode_health_status(d: &mut Decoder<'_>) -> WireResult<HealthStatus> {
+    Ok(HealthStatus {
+        ready: d.get_bool()?,
+        role: match d.get_u8()? {
+            0 => ReplicationRole::Primary,
+            1 => ReplicationRole::Replica,
+            other => return Err(bad_tag("replication role", other)),
+        },
+        lag: d.get_u64()?,
+        lag_budget: d.get_u64()?,
+        detail: d.get_str()?.to_string(),
+    })
+}
+
 fn encode_relationship_info(e: &mut Encoder, info: &RelationshipInfo) {
     e.put_str(&info.association);
     put_string_pairs(e, &info.bindings);
@@ -544,6 +615,12 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Shutdown => {
             e.put_u8(16);
         }
+        Request::Stats => {
+            e.put_u8(17);
+        }
+        Request::Health => {
+            e.put_u8(18);
+        }
     }
     e.finish()
 }
@@ -590,6 +667,8 @@ pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
         },
         15 => Request::Completeness,
         16 => Request::Shutdown,
+        17 => Request::Stats,
+        18 => Request::Health,
         other => return Err(bad_tag("request", other)),
     };
     if !d.is_exhausted() {
@@ -692,6 +771,17 @@ pub fn encode_response_versioned(response: &Response, version: u16) -> Vec<u8> {
         Response::ShuttingDown => {
             e.put_u8(12);
         }
+        // Tags 13/14 answer the v3-era Stats/Health requests.  No per-version shaping: a peer
+        // that can send the request can decode the reply, and older peers never see these tags
+        // because they cannot ask.
+        Response::Stats(snapshot) => {
+            e.put_u8(13);
+            encode_registry_snapshot(&mut e, snapshot);
+        }
+        Response::Health(health) => {
+            e.put_u8(14);
+            encode_health_status(&mut e, health);
+        }
     }
     e.finish()
 }
@@ -722,6 +812,8 @@ pub fn decode_response(bytes: &[u8]) -> WireResult<Response> {
         10 => Response::Count(get_result(&mut d, |d| Ok(d.get_varint()? as usize))?),
         11 => Response::Error(decode_server_error(&mut d)?),
         12 => Response::ShuttingDown,
+        13 => Response::Stats(decode_registry_snapshot(&mut d)?),
+        14 => Response::Health(decode_health_status(&mut d)?),
         other => return Err(bad_tag("response", other)),
     };
     if !d.is_exhausted() {

@@ -83,6 +83,27 @@ struct Feed {
 /// How often a blocked feed read wakes up to check the stop flag.
 const FEED_POLL: Duration = Duration::from_millis(50);
 
+/// Replica-side replication metric handles, registered once on first use.  `repl_ack_lag` is
+/// the records-behind gauge (`primary_lsn − applied_lsn`) — the one number a health check or a
+/// dashboard should watch instead of polling `PersistenceStatus` in a loop.
+struct ReplMetrics {
+    batches_applied: seed_obs::Counter,
+    resets: seed_obs::Counter,
+    ack_lag: seed_obs::Gauge,
+}
+
+fn repl_metrics() -> &'static ReplMetrics {
+    static METRICS: std::sync::OnceLock<ReplMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = seed_obs::global();
+        ReplMetrics {
+            batches_applied: r.counter("repl_batches_applied_total"),
+            resets: r.counter("repl_resets_total"),
+            ack_lag: r.gauge("repl_ack_lag"),
+        }
+    })
+}
+
 impl Feed {
     /// Connects, handshakes as a replica and subscribes from `from_lsn`.  Everything up to
     /// (and including) the first frame read is bounded by `timeout`.
@@ -336,6 +357,11 @@ impl ReplicaNode {
         let server = SeedServer::new(db);
         server.set_read_only(primary.to_string());
         server.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
+        repl_metrics().batches_applied.inc();
+        if batch.reset {
+            repl_metrics().resets.inc();
+        }
+        repl_metrics().ack_lag.set(batch.primary_lsn.saturating_sub(store.applied_lsn()) as i64);
         // Key the serving snapshot to the synced cursor (the loaded database is plain
         // in-memory state and cannot derive the primary's LSN itself).
         server.with_database_mut_at(store.applied_lsn(), |_| ());
@@ -391,6 +417,9 @@ impl ReplicaNode {
                         {
                             core.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
                             progress.primary_lsn.store(batch.primary_lsn, Ordering::SeqCst);
+                            repl_metrics()
+                                .ack_lag
+                                .set(batch.primary_lsn.saturating_sub(store.applied_lsn()) as i64);
                             if live.ack(store.applied_lsn()).is_err() {
                                 break;
                             }
@@ -410,6 +439,7 @@ impl ReplicaNode {
                             // wholesale swap: reload and swap, keyed to the new cursor.
                             if batch.reset {
                                 progress.resets.fetch_add(1, Ordering::SeqCst);
+                                repl_metrics().resets.inc();
                             }
                             match store.load() {
                                 Ok(db) => {
@@ -460,6 +490,10 @@ impl ReplicaNode {
                         core.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
                         progress.applied.store(store.applied_lsn(), Ordering::SeqCst);
                         progress.primary_lsn.store(batch.primary_lsn, Ordering::SeqCst);
+                        repl_metrics().batches_applied.inc();
+                        repl_metrics()
+                            .ack_lag
+                            .set(batch.primary_lsn.saturating_sub(store.applied_lsn()) as i64);
                     }
                     if !stop.load(Ordering::SeqCst) {
                         std::thread::sleep(backoff);

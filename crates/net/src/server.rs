@@ -23,13 +23,13 @@
 //! are released, the paper's crash-recovery rule for checked-out data.  The idle reaper runs as
 //! a reactor tick.  Replication sessions (Subscribe / LogBatch / Ack) ride the same event loop:
 //! the reactor owns the framing and the one-batch-in-flight flow control, the worker shards cut
-//! each shipment under one database read lock ([`crate::replication::cut_shipment`]).
+//! each shipment under one database read lock (`replication::cut_shipment`).
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -103,6 +103,57 @@ const OUT_HIGH_WATER: usize = 1024 * 1024;
 
 /// Read syscall granularity.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// The frontend's metric handles, registered once on first use.  Request latency is recorded
+/// per request kind (`net_request_us_<kind>`); everything else is whole-server.
+struct NetMetrics {
+    connections: seed_obs::Gauge,
+    connections_total: seed_obs::Counter,
+    bytes_in: seed_obs::Counter,
+    bytes_out: seed_obs::Counter,
+    in_flight: seed_obs::Gauge,
+    backpressure_pauses: seed_obs::Counter,
+    write_coalesce_bytes: seed_obs::Histogram,
+    reaper_reclaims: seed_obs::Counter,
+    io_errors: seed_obs::Counter,
+    batches_shipped: seed_obs::Counter,
+    request_us: HashMap<&'static str, seed_obs::Histogram>,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    static METRICS: OnceLock<NetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = seed_obs::global();
+        NetMetrics {
+            connections: r.gauge("net_connections"),
+            connections_total: r.counter("net_connections_total"),
+            bytes_in: r.counter("net_bytes_in_total"),
+            bytes_out: r.counter("net_bytes_out_total"),
+            in_flight: r.gauge("net_in_flight"),
+            backpressure_pauses: r.counter("net_backpressure_pauses_total"),
+            write_coalesce_bytes: r.histogram("net_write_coalesce_bytes"),
+            reaper_reclaims: r.counter("net_reaper_reclaims_total"),
+            io_errors: r.counter("net_io_errors_total"),
+            batches_shipped: r.counter("repl_batches_shipped_total"),
+            request_us: Request::KIND_NAMES
+                .iter()
+                .map(|kind| (*kind, r.histogram(&format!("net_request_us_{kind}"))))
+                .collect(),
+        }
+    })
+}
+
+/// Routes a connection I/O failure into the structured log (and `net_io_errors_total`) with
+/// the peer address and, once handshaken, the session's client id — previously these errors
+/// were dropped on the floor and a dead peer looked identical to a clean close.
+fn log_io_error(conn: &Conn, what: &str, detail: String) {
+    net_metrics().io_errors.inc();
+    let mut fields: Vec<(&str, String)> = vec![("peer", conn.peer.to_string()), ("error", detail)];
+    if let Some(client) = conn.client_id() {
+        fields.push(("client", client.to_string()));
+    }
+    seed_obs::global().events().emit(seed_obs::Level::Warn, "net", what, &fields);
+}
 
 /// A running TCP server around a shared [`SeedServer`].
 pub struct SeedNetServer {
@@ -180,6 +231,12 @@ impl SeedNetServer {
     /// The shared central server (for in-process inspection next to remote clients).
     pub fn core(&self) -> Arc<SeedServer> {
         self.core.clone()
+    }
+
+    /// The process-wide metrics registry rendered in Prometheus text exposition format —
+    /// the scrape surface for anything that speaks Prometheus rather than SEWP.
+    pub fn metrics_text(&self) -> String {
+        seed_obs::global().snapshot().to_prometheus_text()
     }
 
     /// Stops accepting, drains in-flight pipelined requests (bounded by
@@ -316,7 +373,13 @@ fn answer(core: &SeedServer, client: ClientId, frame: Result<Vec<u8>, String>) -
     }
     core.touch(client);
     let closing = matches!(request, Request::Shutdown);
-    (core.handle(request), closing)
+    let kind = request.kind_name();
+    let start = Instant::now();
+    let response = core.handle(request);
+    if let Some(latency) = net_metrics().request_us.get(kind) {
+        latency.observe_duration(start.elapsed());
+    }
+    (response, closing)
 }
 
 /// Where a connection is in its lifecycle.
@@ -367,6 +430,8 @@ struct ReplicaSession {
 
 struct Conn {
     stream: TcpStream,
+    /// Peer address, captured at accept for the I/O-error log.
+    peer: SocketAddr,
     decoder: FrameDecoder,
     /// Coalesced output: every frame ready for this connection, flushed in one write per
     /// wakeup.  `out_pos` marks the flushed prefix.
@@ -380,11 +445,23 @@ struct Conn {
     write_dead: bool,
     /// Something happened this wakeup (event, completion, admission): sweep this connection.
     touched: bool,
+    /// Last pause verdict seen at re-arm time, so `net_backpressure_pauses_total` counts
+    /// pause *onsets* instead of every wakeup spent paused.
+    paused: bool,
 }
 
 impl Conn {
     fn backlog(&self) -> usize {
         self.out.len() - self.out_pos
+    }
+
+    fn client_id(&self) -> Option<ClientId> {
+        match &self.state {
+            ConnState::Handshake { .. } => None,
+            ConnState::Client(s) => Some(s.client),
+            ConnState::ReplicaPending { client } => Some(*client),
+            ConnState::Replica(s) => Some(s.client),
+        }
     }
 }
 
@@ -418,16 +495,24 @@ fn emit_ready(conn: &mut Conn) {
 /// Write coalescing: one `write` syscall covers everything emitted this wakeup (looping only
 /// on partial writes).
 fn flush_out(conn: &mut Conn) {
+    if conn.out_pos < conn.out.len() {
+        net_metrics().write_coalesce_bytes.observe(conn.backlog() as u64);
+    }
     while conn.out_pos < conn.out.len() {
         match conn.stream.write(&conn.out[conn.out_pos..]) {
             Ok(0) => {
+                log_io_error(conn, "write returned zero bytes", "peer stopped accepting".into());
                 conn.write_dead = true;
                 break;
             }
-            Ok(n) => conn.out_pos += n,
+            Ok(n) => {
+                conn.out_pos += n;
+                net_metrics().bytes_out.add(n as u64);
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => {
+            Err(e) => {
+                log_io_error(conn, "write error", e.to_string());
                 conn.write_dead = true;
                 break;
             }
@@ -537,7 +622,7 @@ impl Reactor {
     fn accept_burst(&mut self) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok((stream, peer)) => {
                     if self.draining_since.is_some() {
                         let _ = stream.shutdown(Shutdown::Both);
                         continue;
@@ -551,10 +636,13 @@ impl Reactor {
                     if self.poller.add(&stream, Event::readable(token)).is_err() {
                         continue;
                     }
+                    net_metrics().connections.inc();
+                    net_metrics().connections_total.inc();
                     self.conns.insert(
                         token,
                         Conn {
                             stream,
+                            peer,
                             decoder: FrameDecoder::new(),
                             out: Vec::new(),
                             out_pos: 0,
@@ -564,6 +652,7 @@ impl Reactor {
                             closing: false,
                             write_dead: false,
                             touched: true,
+                            paused: false,
                         },
                     );
                 }
@@ -605,10 +694,14 @@ impl Reactor {
                     conn.closing = true;
                     return;
                 }
-                Ok(n) => conn.decoder.extend(&buf[..n]),
+                Ok(n) => {
+                    conn.decoder.extend(&buf[..n]);
+                    net_metrics().bytes_in.add(n as u64);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => {
+                Err(e) => {
+                    log_io_error(conn, "read error", e.to_string());
                     conn.closing = true;
                     conn.write_dead = true;
                     return;
@@ -800,6 +893,7 @@ impl Reactor {
         let seq = session.next_seq;
         session.next_seq += 1;
         session.in_flight += 1;
+        net_metrics().in_flight.inc();
         conn.touched = true;
         let job =
             Job::Client { token, seq, client: session.client, version: session.version, frame };
@@ -809,6 +903,7 @@ impl Reactor {
     fn on_done(&mut self, done: Done) {
         match done {
             Done::Client { token, seq, bytes, close } => {
+                net_metrics().in_flight.dec();
                 let Some(conn) = self.conns.get_mut(&token) else { return };
                 conn.touched = true;
                 let ConnState::Client(session) = &mut conn.state else { return };
@@ -827,6 +922,7 @@ impl Reactor {
                             conn.out.extend_from_slice(&bytes);
                             session.awaiting_ack = true;
                             session.last_sent = Instant::now();
+                            net_metrics().batches_shipped.inc();
                         }
                     }
                     PumpOutcome::Reject(bytes) => {
@@ -856,13 +952,23 @@ impl Reactor {
         if let Some(timeout) = self.config.idle_timeout {
             if now.duration_since(self.last_reap) >= self.config.reaper_interval {
                 self.last_reap = now;
-                self.core.reclaim_idle(timeout);
+                let reclaimed = self.core.reclaim_idle(timeout);
+                if !reclaimed.is_empty() {
+                    net_metrics().reaper_reclaims.add(reclaimed.len() as u64);
+                    seed_obs::global().events().emit(
+                        seed_obs::Level::Warn,
+                        "net",
+                        "idle reaper reclaimed client locks",
+                        &[("clients", format!("{reclaimed:?}"))],
+                    );
+                }
             }
         }
         let mut pumps = Vec::new();
         for (token, conn) in self.conns.iter_mut() {
             match &mut conn.state {
                 ConnState::Handshake { deadline } if now >= *deadline => {
+                    log_io_error(conn, "handshake timed out", "no hello within deadline".into());
                     conn.closing = true;
                     conn.touched = true;
                 }
@@ -931,7 +1037,11 @@ impl Reactor {
 
     fn rearm(&mut self, token: usize) {
         let paused = self.read_paused(token);
-        let Some(conn) = self.conns.get(&token) else { return };
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if paused && !conn.paused && !conn.closing {
+            net_metrics().backpressure_pauses.inc();
+        }
+        conn.paused = paused;
         let readable = !conn.closing && !paused;
         let writable = !conn.write_dead && conn.out_pos < conn.out.len();
         let _ = self.poller.modify(&conn.stream, Event { key: token, readable, writable });
@@ -962,6 +1072,7 @@ impl Reactor {
 
     fn close_conn(&mut self, token: usize) {
         let Some(conn) = self.conns.remove(&token) else { return };
+        net_metrics().connections.dec();
         let _ = self.poller.delete(&conn.stream);
         match conn.state {
             ConnState::Handshake { .. } => {}
@@ -1011,6 +1122,7 @@ impl Reactor {
                 flush_out(conn);
             }
             let Some(conn) = self.conns.remove(&token) else { continue };
+            net_metrics().connections.dec();
             let _ = self.poller.delete(&conn.stream);
             match conn.state {
                 ConnState::Handshake { .. } => {}

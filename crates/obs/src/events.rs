@@ -1,0 +1,218 @@
+//! The structured-event tracer: a bounded in-memory ring of recent events plus a leveled,
+//! rate-limited stderr logger.
+//!
+//! Events are for the *rare* and *diagnostic* — connection failures, slow operations, resets —
+//! not per-request traffic (that is what the metrics are for).  The ring keeps the last
+//! [`RING_CAP`] events for in-process inspection; the stderr sink is capped at
+//! [`STDERR_BUDGET_PER_SEC`] lines per second so a failure storm cannot turn the logger itself
+//! into the outage.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// How many recent events the ring retains.
+pub const RING_CAP: usize = 256;
+
+/// Most stderr lines emitted per second; excess events still enter the ring but are counted
+/// as suppressed instead of written.
+pub const STDERR_BUDGET_PER_SEC: u32 = 50;
+
+/// Event severity.  Ordered: `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            0 => Some(Level::Debug),
+            1 => Some(Level::Info),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One structured event: a level, a short static target naming the subsystem (`"net"`,
+/// `"slowop"`, `"repl"`), a human message, and `key=value` detail fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Microseconds since the Unix epoch at emission.
+    pub ts_micros: u64,
+    pub level: Level,
+    pub target: &'static str,
+    pub message: String,
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// One-line rendering: `WARN [net] read error peer=1.2.3.4:5 client=7`.
+    pub fn render(&self) -> String {
+        let mut line = format!("{} [{}] {}", self.level.as_str(), self.target, self.message);
+        for (k, v) in &self.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(v);
+        }
+        line
+    }
+}
+
+/// The ring + stderr sink.  One per [`Registry`](crate::Registry).
+pub struct EventRing {
+    ring: Mutex<RingState>,
+    /// Minimum level written to stderr, as `Level as u8`; `u8::MAX` disables the sink.
+    stderr_level: AtomicU8,
+    /// Events dropped by the stderr rate limiter (they still reached the ring).
+    suppressed: AtomicU64,
+}
+
+struct RingState {
+    events: VecDeque<Event>,
+    window_start: Instant,
+    written_this_window: u32,
+}
+
+impl EventRing {
+    pub(crate) fn new() -> Self {
+        Self {
+            ring: Mutex::new(RingState {
+                events: VecDeque::with_capacity(RING_CAP),
+                window_start: Instant::now(),
+                written_this_window: 0,
+            }),
+            // Warn by default: operational failures surface, per-op noise does not.
+            stderr_level: AtomicU8::new(Level::Warn as u8),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Records an event into the ring and, level and budget permitting, onto stderr.
+    pub fn emit(
+        &self,
+        level: Level,
+        target: &'static str,
+        message: impl Into<String>,
+        fields: &[(&str, String)],
+    ) {
+        if cfg!(feature = "off") {
+            return;
+        }
+        let event = Event {
+            ts_micros: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+                .unwrap_or(0),
+            level,
+            target,
+            message: message.into(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        let to_stderr = level as u8 >= self.stderr_level.load(Ordering::Relaxed);
+        let mut state = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if state.events.len() == RING_CAP {
+            state.events.pop_front();
+        }
+        let line = if to_stderr {
+            // Rate limiting shares the ring mutex: emission is already the cold path.
+            let now = Instant::now();
+            if now.duration_since(state.window_start).as_secs() >= 1 {
+                state.window_start = now;
+                state.written_this_window = 0;
+            }
+            if state.written_this_window < STDERR_BUDGET_PER_SEC {
+                state.written_this_window += 1;
+                Some(event.render())
+            } else {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        } else {
+            None
+        };
+        state.events.push_back(event);
+        drop(state);
+        if let Some(line) = line {
+            eprintln!("{line}");
+        }
+    }
+
+    /// The retained recent events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        let state = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        state.events.iter().cloned().collect()
+    }
+
+    /// Sets the minimum level echoed to stderr; `None` silences the sink entirely (the ring
+    /// still records).
+    pub fn set_stderr_level(&self, level: Option<Level>) {
+        self.stderr_level.store(level.map(|l| l as u8).unwrap_or(u8::MAX), Ordering::Relaxed);
+    }
+
+    /// The current stderr threshold.
+    pub fn stderr_level(&self) -> Option<Level> {
+        Level::from_u8(self.stderr_level.load(Ordering::Relaxed))
+    }
+
+    /// How many events the stderr rate limiter has dropped so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_caps_at_capacity_and_keeps_the_newest() {
+        let ring = EventRing::new();
+        ring.set_stderr_level(None);
+        for i in 0..(RING_CAP + 10) {
+            ring.emit(Level::Info, "test", format!("event {i}"), &[]);
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), RING_CAP);
+        assert_eq!(recent.last().unwrap().message, format!("event {}", RING_CAP + 9));
+        assert_eq!(recent.first().unwrap().message, "event 10");
+    }
+
+    #[test]
+    fn rate_limiter_suppresses_past_the_per_second_budget() {
+        let ring = EventRing::new();
+        ring.set_stderr_level(Some(Level::Error));
+        // Redirecting stderr is not worth the ceremony: count suppressions instead.
+        for _ in 0..(STDERR_BUDGET_PER_SEC + 20) {
+            ring.emit(Level::Error, "test", "storm", &[]);
+        }
+        assert_eq!(ring.suppressed(), 20);
+        assert_eq!(ring.recent().len(), (STDERR_BUDGET_PER_SEC + 20) as usize);
+    }
+
+    #[test]
+    fn render_includes_fields() {
+        let ring = EventRing::new();
+        ring.set_stderr_level(None);
+        ring.emit(Level::Warn, "net", "read error", &[("peer", "1.2.3.4:5".to_string())]);
+        let events = ring.recent();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].render(), "WARN [net] read error peer=1.2.3.4:5");
+    }
+}

@@ -26,7 +26,8 @@ pub use client::ClientSession;
 pub use error::{ServerError, ServerResult};
 pub use lock::LockTable;
 pub use protocol::{
-    AssociationSummary, CheckoutSet, ClassSummary, ClientId, PersistenceStatus, QueryAnswer,
-    RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary, Update,
+    AssociationSummary, CheckoutSet, ClassSummary, ClientId, HealthStatus, PersistenceStatus,
+    QueryAnswer, RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response,
+    SchemaSummary, Update,
 };
-pub use server::{SeedServer, ServerHandle};
+pub use server::{SeedServer, ServerHandle, DEFAULT_HEALTH_LAG_BUDGET};

@@ -200,6 +200,23 @@ pub struct PersistenceStatus {
     pub replication: Option<ReplicationStatus>,
 }
 
+/// The answer to a [`Request::Health`] probe: liveness is implied by any reply at all;
+/// readiness means the node can currently do its job — a primary's WAL accepts writes, a
+/// replica is within its lag budget.  See `docs/OBSERVABILITY.md` for probe semantics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthStatus {
+    /// Whether the node is ready to serve (primary: WAL writable; replica: within lag budget).
+    pub ready: bool,
+    /// This node's replication role.
+    pub role: ReplicationRole,
+    /// Replication lag in log records (always 0 on the primary).
+    pub lag: u64,
+    /// The lag budget the readiness verdict was computed against (records).
+    pub lag_budget: u64,
+    /// Human-readable reason, `"ok"` when ready.
+    pub detail: String,
+}
+
 /// Summary of one class, as shipped to remote clients ([`SchemaSummary`]).  Ids are the raw
 /// `ClassId` numbers of the server's schema; the vector index in [`SchemaSummary::classes`]
 /// equals the id.
@@ -409,6 +426,11 @@ pub enum Request {
     Completeness,
     /// Shut the server thread down (over TCP: close this session).
     Shutdown,
+    /// Ask for a full metrics-registry snapshot (every counter, gauge and histogram — see
+    /// `docs/OBSERVABILITY.md` for the catalog).
+    Stats,
+    /// Liveness/readiness probe ([`HealthStatus`]).
+    Health,
 }
 
 impl Request {
@@ -423,6 +445,56 @@ impl Request {
             _ => None,
         }
     }
+
+    /// A short static name for the request kind — the key used for per-kind latency metrics
+    /// (`net_request_us_<kind>`) and the slow-operation log.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Connect => "connect",
+            Request::Checkout { .. } => "checkout",
+            Request::Checkin { .. } => "checkin",
+            Request::Release { .. } => "release",
+            Request::Retrieve { .. } => "retrieve",
+            Request::Query { .. } => "query",
+            Request::CreateVersion { .. } => "create_version",
+            Request::Persistence => "persistence",
+            Request::Checkpoint => "checkpoint",
+            Request::Schema => "schema",
+            Request::Children { .. } => "children",
+            Request::Prefix { .. } => "prefix",
+            Request::RelationshipsOf { .. } => "relationships_of",
+            Request::ObjectsOfClass { .. } => "objects_of_class",
+            Request::RelationshipCount { .. } => "relationship_count",
+            Request::Completeness => "completeness",
+            Request::Shutdown => "shutdown",
+            Request::Stats => "stats",
+            Request::Health => "health",
+        }
+    }
+
+    /// Every value [`Request::kind_name`] can return, for pre-registering per-kind metric
+    /// handles before the first request arrives.
+    pub const KIND_NAMES: &'static [&'static str] = &[
+        "connect",
+        "checkout",
+        "checkin",
+        "release",
+        "retrieve",
+        "query",
+        "create_version",
+        "persistence",
+        "checkpoint",
+        "schema",
+        "children",
+        "prefix",
+        "relationships_of",
+        "objects_of_class",
+        "relationship_count",
+        "completeness",
+        "shutdown",
+        "stats",
+        "health",
+    ];
 }
 
 /// A reply from the server thread.
@@ -455,6 +527,10 @@ pub enum Response {
     Error(crate::error::ServerError),
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
+    /// Reply to [`Request::Stats`]: a point-in-time copy of the whole metrics registry.
+    Stats(seed_obs::RegistrySnapshot),
+    /// Reply to [`Request::Health`].
+    Health(HealthStatus),
 }
 
 #[cfg(test)]

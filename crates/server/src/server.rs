@@ -17,9 +17,32 @@ use seed_core::{
 use crate::error::{ServerError, ServerResult};
 use crate::lock::LockTable;
 use crate::protocol::{
-    AssociationSummary, CheckoutSet, ClassSummary, ClientId, PersistenceStatus, QueryAnswer,
-    RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary, Update,
+    AssociationSummary, CheckoutSet, ClassSummary, ClientId, HealthStatus, PersistenceStatus,
+    QueryAnswer, RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response,
+    SchemaSummary, Update,
 };
+
+/// Default replica readiness budget: a replica more than this many log records behind the
+/// primary reports not-ready ([`SeedServer::health`]).
+pub const DEFAULT_HEALTH_LAG_BUDGET: u64 = 1024;
+
+/// Process-wide lock-table metrics (`docs/OBSERVABILITY.md`): how long check-outs wait to
+/// enter the lock table, and how many write locks are held right now.
+struct LockMetrics {
+    wait_us: seed_obs::Histogram,
+    held: seed_obs::Gauge,
+}
+
+fn lock_metrics() -> &'static LockMetrics {
+    static METRICS: std::sync::OnceLock<LockMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = seed_obs::global();
+        LockMetrics {
+            wait_us: registry.histogram("lock_wait_us"),
+            held: registry.gauge("locks_held"),
+        }
+    })
+}
 
 /// The central SEED server of the two-level multi-user scheme.
 ///
@@ -54,6 +77,8 @@ pub struct SeedServer {
     retired_acks: Mutex<HashMap<ClientId, u64>>,
     /// Replica side of replication: `(applied LSN, last observed primary LSN)`.
     replica_progress: Mutex<Option<(u64, u64)>>,
+    /// Readiness budget for replicas, in log records ([`DEFAULT_HEALTH_LAG_BUDGET`]).
+    health_lag_budget: AtomicU64,
 }
 
 /// How many disconnected subscribers' cursors keep pinning WAL retention.  When the set
@@ -76,6 +101,7 @@ impl SeedServer {
             replica_acks: Mutex::new(HashMap::new()),
             retired_acks: Mutex::new(HashMap::new()),
             replica_progress: Mutex::new(None),
+            health_lag_budget: AtomicU64::new(DEFAULT_HEALTH_LAG_BUDGET),
         }
     }
 
@@ -280,6 +306,48 @@ impl SeedServer {
         }
     }
 
+    /// Overrides the replica readiness budget (log records behind the primary).
+    pub fn set_health_lag_budget(&self, records: u64) {
+        self.health_lag_budget.store(records, Ordering::SeqCst);
+    }
+
+    /// The liveness/readiness probe ([`Request::Health`]).  Liveness is implied by any answer
+    /// at all; readiness means the node can do its job right now — a primary's WAL accepts
+    /// writes ([`Database::wal_writable`]), a replica is within its lag budget.  Lock-free on
+    /// the replica path; the primary path takes the database read lock for the WAL probe.
+    pub fn health(&self) -> HealthStatus {
+        let snapshot = self.snapshots.read();
+        let status = self.replication_status(&snapshot).unwrap_or_default();
+        let lag_budget = self.health_lag_budget.load(Ordering::SeqCst);
+        match status.role {
+            ReplicationRole::Replica => {
+                let lag = status.lag();
+                let ready = lag <= lag_budget;
+                HealthStatus {
+                    ready,
+                    role: ReplicationRole::Replica,
+                    lag,
+                    lag_budget,
+                    detail: if ready {
+                        "ok".to_string()
+                    } else {
+                        format!("replica {lag} records behind primary (budget {lag_budget})")
+                    },
+                }
+            }
+            ReplicationRole::Primary => {
+                let ready = self.with_database(|db| db.wal_writable());
+                HealthStatus {
+                    ready,
+                    role: ReplicationRole::Primary,
+                    lag: 0,
+                    lag_budget,
+                    detail: if ready { "ok".to_string() } else { "WAL not writable".to_string() },
+                }
+            }
+        }
+    }
+
     /// Checkpoints the durable storage (errors when the database is in-memory).  Publishes a
     /// snapshot on success so the status surface sees the truncated WAL immediately.
     pub fn checkpoint(&self) -> ServerResult<()> {
@@ -351,7 +419,10 @@ impl SeedServer {
             // Sequential (never nested) checkout-table and lock-table accesses, matching the
             // lock order everywhere else.
             let had_checkouts = self.checkouts.lock().remove(&client).is_some();
-            let released = self.locks.lock().release_all(client);
+            let mut locks = self.locks.lock();
+            let released = locks.release_all(client);
+            lock_metrics().held.set(locks.len() as i64);
+            drop(locks);
             if had_checkouts || released > 0 {
                 reclaimed.push(client);
             }
@@ -530,7 +601,9 @@ impl SeedServer {
         // snapshot read while holding the mutex includes every check-in whose locks appear
         // free — reading the snapshot first would let a concurrent check-in commit and
         // release in between, handing the client locks over stale copies (a lost update).
+        let lock_start = Instant::now();
         let mut locks = self.locks.lock();
+        lock_metrics().wait_us.observe_duration(lock_start.elapsed());
         let db = self.snapshots.read();
 
         // Resolve every requested root and its dependents first, so a conflict acquires nothing.
@@ -562,6 +635,7 @@ impl SeedServer {
         for (_, id) in &object_ids {
             locks.acquire(*id, client).expect("conflicts were ruled out above");
         }
+        lock_metrics().held.set(locks.len() as i64);
         self.checkouts
             .lock()
             .entry(client)
@@ -715,7 +789,10 @@ impl SeedServer {
     /// Releases every lock held by `client` (explicit release or after a successful check-in).
     pub fn release(&self, client: ClientId) -> usize {
         self.checkouts.lock().remove(&client);
-        self.locks.lock().release_all(client)
+        let mut locks = self.locks.lock();
+        let released = locks.release_all(client);
+        lock_metrics().held.set(locks.len() as i64);
+        released
     }
 
     /// Creates a global version snapshot on the central database.
@@ -733,6 +810,33 @@ impl SeedServer {
     /// session) and is answered with [`Response::ShuttingDown`] — the caller decides what
     /// "shutting down" means for its transport.
     pub fn handle(&self, request: Request) -> Response {
+        let start = Instant::now();
+        let kind = request.kind_name();
+        let client = request.client_id();
+        // Kept aside for the slow-op log: the request is consumed by the dispatch below.
+        let query_text = match &request {
+            Request::Query { text } => Some(text.clone()),
+            _ => None,
+        };
+        let response = self.dispatch(request);
+        let elapsed = start.elapsed();
+        let registry = seed_obs::global();
+        if elapsed >= registry.slow_op_threshold() {
+            let mut detail: Vec<(&str, String)> = Vec::new();
+            if let Some(text) = query_text {
+                detail.push(("text", text));
+            }
+            if let Response::Answer(Ok(answer)) = &response {
+                if let Some(plan) = &answer.plan {
+                    detail.push(("plan", plan.clone()));
+                }
+            }
+            registry.observe_op(kind, client, elapsed, &detail);
+        }
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::Connect => Response::Connected(self.connect()),
             Request::Checkout { client, objects } => {
@@ -763,6 +867,8 @@ impl SeedServer {
             }
             Request::Completeness => Response::Count(Ok(self.completeness_count())),
             Request::Shutdown => Response::ShuttingDown,
+            Request::Stats => Response::Stats(seed_obs::global().snapshot()),
+            Request::Health => Response::Health(self.health()),
         }
     }
 

@@ -245,6 +245,7 @@ impl StorageEngine {
     /// in parallel across threads; the replay itself (and the active segment's tail) stays
     /// serial, in LSN order.
     fn recover(&self) -> StorageResult<()> {
+        let start = std::time::Instant::now();
         self.reload_catalog()?;
         let records = self.wal.read_all_parallel()?;
         if records.is_empty() {
@@ -272,6 +273,7 @@ impl StorageEngine {
             .max()
             .unwrap_or(0);
         self.next_txn.store(max_txn + 1, Ordering::SeqCst);
+        seed_obs::global().histogram("wal_recovery_replay_us").observe_duration(start.elapsed());
         Ok(())
     }
 
@@ -519,6 +521,13 @@ impl StorageEngine {
         self.wal.size_bytes()
     }
 
+    /// Health probe for the write path: fsyncs the active WAL segment and reports whether the
+    /// log is currently writable at all (a failing disk or a vanished directory surfaces
+    /// here).  No-op `Ok` for in-memory logs.
+    pub fn wal_probe(&self) -> StorageResult<()> {
+        self.wal.sync()
+    }
+
     // ----- replication feed ---------------------------------------------------------------------
 
     /// The absolute LSN of the last record in the WAL — the position a fully caught-up
@@ -564,6 +573,7 @@ impl StorageEngine {
 
     /// Flushes dirty pages, persists the catalog and truncates the WAL.
     pub fn checkpoint(&self) -> StorageResult<()> {
+        let start = std::time::Instant::now();
         let inner = self.inner.lock();
         if inner.closed {
             return Err(StorageError::Closed);
@@ -573,6 +583,9 @@ impl StorageEngine {
         self.wal.append(&LogRecord::Checkpoint { up_to: self.wal.next_lsn() })?;
         self.wal.sync()?;
         self.wal.truncate()?;
+        let registry = seed_obs::global();
+        registry.counter("wal_checkpoints_total").inc();
+        registry.histogram("wal_checkpoint_us").observe_duration(start.elapsed());
         Ok(())
     }
 

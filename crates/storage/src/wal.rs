@@ -39,12 +39,35 @@ use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::codec::{crc32, Decoder, Encoder};
 use crate::error::{StorageError, StorageResult};
+
+/// Process-wide WAL metrics (see `docs/OBSERVABILITY.md` for the catalog).  Handles are
+/// registered once and shared by every log instance; recording is lock-free.
+struct WalMetrics {
+    append_us: seed_obs::Histogram,
+    fsync_us: seed_obs::Histogram,
+    batch_records: seed_obs::Histogram,
+    rotations: seed_obs::Counter,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = seed_obs::global();
+        WalMetrics {
+            append_us: registry.histogram("wal_append_us"),
+            fsync_us: registry.histogram("wal_fsync_us"),
+            batch_records: registry.histogram("wal_batch_records"),
+            rotations: registry.counter("wal_rotations_total"),
+        }
+    })
+}
 
 /// Log sequence number: the absolute, checkpoint-stable index of a record in the log (1-based;
 /// 0 means "none").  Pruning advances the log's base instead of resetting the numbering.
@@ -658,6 +681,7 @@ impl WriteAheadLog {
     /// segment is already at the rotation threshold, the batch opens a fresh segment — a batch
     /// never spans two.
     pub fn append_batch(&self, records: &[LogRecord]) -> StorageResult<Lsn> {
+        let start = Instant::now();
         let mut frames = Vec::new();
         for record in records {
             frames.extend_from_slice(&frame_bytes(record));
@@ -672,6 +696,9 @@ impl WriteAheadLog {
         active.records += records.len() as u64;
         let first = state.next_lsn;
         state.next_lsn += records.len() as Lsn;
+        let metrics = wal_metrics();
+        metrics.batch_records.observe(records.len() as u64);
+        metrics.append_us.observe_duration(start.elapsed());
         Ok(first)
     }
 
@@ -684,15 +711,19 @@ impl WriteAheadLog {
         let base = state.next_lsn - 1;
         self.io.create(id, &segment_header(base))?;
         state.segments.push(Segment { id, base, records: 0, bytes: 0 });
+        wal_metrics().rotations.inc();
         Ok(())
     }
 
     /// Forces appended records to durable storage (the active segment; sealed segments were
     /// synced when they were sealed).
     pub fn sync(&self) -> StorageResult<()> {
+        let start = Instant::now();
         let mut state = self.state.lock();
         let id = state.active().id;
-        self.io.sync(id)
+        let result = self.io.sync(id);
+        wal_metrics().fsync_us.observe_duration(start.elapsed());
+        result
     }
 
     /// LSN that will be assigned to the next appended record.

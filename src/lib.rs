@@ -4,6 +4,8 @@
 //!
 //! Layer by layer (see `docs/ARCHITECTURE.md` for the full picture):
 //!
+//! * [`obs`] — lock-free metrics registry, structured event ring and slow-operation log
+//!   shared by every layer (catalog: `docs/OBSERVABILITY.md`);
 //! * [`storage`] — pages, buffer pool, heap files, WAL, B+ tree, key/value engine;
 //! * [`schema`] — classes, associations, generalization, SDL, validation, versioning;
 //! * [`core`] — the DBMS: objects, relationships, consistency/completeness, versions, patterns;
@@ -40,6 +42,7 @@
 
 pub use seed_core as core;
 pub use seed_net as net;
+pub use seed_obs as obs;
 pub use seed_query as query;
 pub use seed_schema as schema;
 pub use seed_server as server;

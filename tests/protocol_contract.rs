@@ -130,6 +130,8 @@ fn request_tags_match_the_table() {
         (Request::RelationshipCount { association: "X".into(), transitive: true }, 14),
         (Request::Completeness, 15),
         (Request::Shutdown, 16),
+        (Request::Stats, 17),
+        (Request::Health, 18),
     ];
     for (request, tag) in cases {
         assert_eq!(encode_request(&request)[0], tag, "{request:?}");
@@ -154,6 +156,8 @@ fn response_and_error_tags_match_the_tables() {
         (Response::Count(Ok(0)), 10),
         (Response::Error(err()), 11),
         (Response::ShuttingDown, 12),
+        (Response::Stats(Default::default()), 13),
+        (Response::Health(Default::default()), 14),
     ];
     for (response, tag) in cases {
         assert_eq!(encode_response(&response)[0], tag, "{response:?}");
