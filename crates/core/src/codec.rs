@@ -720,6 +720,11 @@ pub(crate) fn decode_transition_rule(d: &mut Decoder<'_>) -> SeedResult<Transiti
 /// The small `meta` record: everything that is neither an item, a schema version nor a version
 /// delta.  Rewritten on every durable commit (it is a few dozen bytes), which is what keeps the
 /// id floors and the version sequence crash-consistent.
+///
+/// The trailing topology fields (`epoch`, `fenced_to`) were appended for replica promotion:
+/// they are decoded leniently — a meta record written before the failover work simply ends
+/// after `version_seq` and reads back as epoch 0, not fenced — so the on-disk format version
+/// is unchanged and old directories open cleanly.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct MetaRecord {
     pub format: u32,
@@ -729,6 +734,11 @@ pub(crate) struct MetaRecord {
     pub rules: Vec<TransitionRule>,
     pub last_created: Option<VersionId>,
     pub version_seq: u64,
+    /// Topology epoch: bumped by every promotion; the fencing tiebreaker.
+    pub epoch: u64,
+    /// When set, this store was fenced as primary: writes must be refused and redirected to
+    /// the named address.  Persisted so a fenced primary that restarts *stays* fenced.
+    pub fenced_to: Option<String>,
 }
 
 pub(crate) fn encode_meta(meta: &MetaRecord) -> Vec<u8> {
@@ -749,6 +759,15 @@ pub(crate) fn encode_meta(meta: &MetaRecord) -> Vec<u8> {
         }
     }
     e.put_u64(meta.version_seq);
+    e.put_u64(meta.epoch);
+    match &meta.fenced_to {
+        Some(addr) => {
+            e.put_bool(true).put_str(addr);
+        }
+        None => {
+            e.put_bool(false);
+        }
+    }
     e.finish()
 }
 
@@ -770,6 +789,10 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> SeedResult<MetaRecord> {
     }
     let last_created = if d.get_bool()? { Some(VersionId::parse(d.get_str()?)?) } else { None };
     let version_seq = d.get_u64()?;
+    // Topology fields appended by the failover work: absent on pre-promotion meta records.
+    let epoch = if d.is_exhausted() { 0 } else { d.get_u64()? };
+    let fenced_to =
+        if d.is_exhausted() || !d.get_bool()? { None } else { Some(d.get_str()?.to_string()) };
     Ok(MetaRecord {
         format,
         object_floor,
@@ -778,6 +801,8 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> SeedResult<MetaRecord> {
         rules,
         last_created,
         version_seq,
+        epoch,
+        fenced_to,
     })
 }
 
@@ -874,10 +899,35 @@ mod tests {
             ],
             last_created: Some(VersionId::parse("3.0").unwrap()),
             version_seq: 11,
+            epoch: 3,
+            fenced_to: Some("10.0.0.9:7044".to_string()),
         };
         assert_eq!(decode_meta(&encode_meta(&meta)).unwrap(), meta);
         let mut bad = meta.clone();
         bad.format = FORMAT_VERSION + 1;
         assert!(decode_meta(&encode_meta(&bad)).is_err());
+    }
+
+    #[test]
+    fn meta_without_topology_fields_decodes_with_defaults() {
+        // A pre-promotion meta record ends after version_seq; it must still open, reading
+        // back as epoch 0 / not fenced.
+        let meta = MetaRecord {
+            format: FORMAT_VERSION,
+            object_floor: 1,
+            relationship_floor: 1,
+            current_schema: SchemaVersionId(1),
+            rules: vec![],
+            last_created: None,
+            version_seq: 0,
+            epoch: 0,
+            fenced_to: None,
+        };
+        let mut bytes = encode_meta(&meta);
+        bytes.truncate(bytes.len() - 8 - 1); // drop epoch (u64) and the fenced_to flag
+        let decoded = decode_meta(&bytes).unwrap();
+        assert_eq!(decoded.epoch, 0);
+        assert_eq!(decoded.fenced_to, None);
+        assert_eq!(decoded.version_seq, 0);
     }
 }

@@ -62,6 +62,12 @@ pub struct Database {
     /// Set when the store was replaced wholesale (alternative checkout/return, fresh tracking):
     /// the next snapshot publication must rebuild instead of applying a delta.
     snap_reset: bool,
+    /// Topology epoch: bumped on every replica promotion, persisted in the meta record so a
+    /// restarted node knows which fencing round it last witnessed.
+    topology_epoch: u64,
+    /// Set while this store is fenced as a demoted primary: the address of the primary that
+    /// superseded it.  Persisted so fencing survives a restart.
+    fenced_to: Option<String>,
 }
 
 impl std::fmt::Debug for Database {
@@ -94,6 +100,8 @@ impl Database {
             snap_changed: HashSet::new(),
             snapshot_tracking: false,
             snap_reset: false,
+            topology_epoch: 0,
+            fenced_to: None,
         }
     }
 
@@ -189,7 +197,7 @@ impl Database {
         Ok(db)
     }
 
-    fn attach_durability(&mut self, engine: seed_storage::StorageEngine) {
+    pub(crate) fn attach_durability(&mut self, engine: seed_storage::StorageEngine) {
         self.store.set_journal(true);
         let _ = self.store.take_changed();
         self.durability = Some(Durability { engine, txn: None });
@@ -224,6 +232,47 @@ impl Database {
             Some(d) => d.engine.wal_probe().is_ok(),
             None => true,
         }
+    }
+
+    // ----- topology (replica promotion / fencing) ---------------------------------------------
+
+    /// The topology epoch this store last witnessed (0 until a promotion ever happens).
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
+    }
+
+    /// When this store was fenced as a demoted primary: the address of the primary that
+    /// superseded it.  A fenced store must refuse writes and redirect clients there.
+    pub fn fenced_to(&self) -> Option<&str> {
+        self.fenced_to.as_deref()
+    }
+
+    pub(crate) fn set_topology(&mut self, epoch: u64, fenced_to: Option<String>) {
+        self.topology_epoch = epoch;
+        self.fenced_to = fenced_to;
+    }
+
+    /// Records a topology change (a promotion's epoch bump, a fence, or a rejoin clearing one)
+    /// and commits the updated meta record immediately in its own storage transaction, so the
+    /// decision survives a restart.  Fencing must not ride an open explicit transaction — a
+    /// rollback could then un-fence a demoted primary.
+    pub fn persist_topology(&mut self, epoch: u64, fenced_to: Option<String>) -> SeedResult<()> {
+        self.topology_epoch = epoch;
+        self.fenced_to = fenced_to;
+        let Some(dur) = self.durability.as_ref() else { return Ok(()) };
+        let txn = dur.engine.begin()?;
+        durability::stage_meta(
+            &dur.engine,
+            txn,
+            &self.schemas,
+            &self.store,
+            &self.versions,
+            &self.transition_rules,
+            self.topology_epoch,
+            self.fenced_to.as_deref(),
+        )?;
+        dur.engine.commit(txn)?;
+        Ok(())
     }
 
     // ----- replication feed (the primary side of WAL shipping) --------------------------------
@@ -327,6 +376,8 @@ impl Database {
             &self.store,
             &self.versions,
             &self.transition_rules,
+            self.topology_epoch,
+            self.fenced_to.as_deref(),
         )?;
         if auto {
             dur.engine.commit(txn)?;
@@ -345,6 +396,8 @@ impl Database {
             &self.store,
             &self.versions,
             &self.transition_rules,
+            self.topology_epoch,
+            self.fenced_to.as_deref(),
         )?;
         if auto {
             dur.engine.commit(txn)?;
@@ -391,6 +444,8 @@ impl Database {
             &self.store,
             &self.versions,
             &self.transition_rules,
+            self.topology_epoch,
+            self.fenced_to.as_deref(),
         )?;
         if auto {
             dur.engine.commit(txn)?;
@@ -419,6 +474,8 @@ impl Database {
             &self.store,
             &self.versions,
             &self.transition_rules,
+            self.topology_epoch,
+            self.fenced_to.as_deref(),
         )?;
         dur.engine.commit(txn)?;
         Ok(())
@@ -460,6 +517,8 @@ impl Database {
                 &self.store,
                 &self.versions,
                 &self.transition_rules,
+                self.topology_epoch,
+                self.fenced_to.as_deref(),
             )?;
             dur.engine.commit(txn)?;
         }
@@ -625,6 +684,8 @@ impl Database {
                             &self.store,
                             &self.versions,
                             &self.transition_rules,
+                            self.topology_epoch,
+                            self.fenced_to.as_deref(),
                         )?;
                     }
                 }
@@ -1556,6 +1617,8 @@ impl Database {
             snap_changed: HashSet::new(),
             snapshot_tracking: false,
             snap_reset: false,
+            topology_epoch: 0,
+            fenced_to: None,
         }
     }
 
@@ -1623,6 +1686,8 @@ impl Database {
             snap_changed: HashSet::new(),
             snapshot_tracking: false,
             snap_reset: false,
+            topology_epoch: self.topology_epoch,
+            fenced_to: self.fenced_to.clone(),
         }
     }
 

@@ -107,6 +107,7 @@ pub(crate) fn stage_item(
 }
 
 /// Stages the small `meta` record from the database's current state.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn stage_meta(
     engine: &StorageEngine,
     txn: TxnId,
@@ -114,6 +115,8 @@ pub(crate) fn stage_meta(
     store: &DataStore,
     versions: &VersionManager,
     rules: &[TransitionRule],
+    epoch: u64,
+    fenced_to: Option<&str>,
 ) -> SeedResult<()> {
     let (object_floor, relationship_floor) = store.id_floor();
     let meta = codec::MetaRecord {
@@ -124,6 +127,8 @@ pub(crate) fn stage_meta(
         rules: rules.to_vec(),
         last_created: versions.last_created().cloned(),
         version_seq: versions.seq(),
+        epoch,
+        fenced_to: fenced_to.map(str::to_string),
     };
     engine.txn_put(txn, codec::KEY_META, &codec::encode_meta(&meta))?;
     Ok(())
@@ -182,7 +187,7 @@ pub(crate) fn write_full(db: &Database, engine: &StorageEngine, txn: TxnId) -> S
     for item in dirty {
         engine.txn_put(txn, &codec::dirty_key(item), b"")?;
     }
-    stage_meta(engine, txn, schemas, store, versions, rules)?;
+    stage_meta(engine, txn, schemas, store, versions, rules, db.topology_epoch(), db.fenced_to())?;
     Ok(())
 }
 
@@ -276,7 +281,9 @@ pub(crate) fn load_keyed(engine: &StorageEngine) -> SeedResult<Database> {
     }
     store.mark_dirty_bulk(&dirty);
 
-    Ok(Database::from_parts(registry, store, versions, meta.rules))
+    let mut db = Database::from_parts(registry, store, versions, meta.rules);
+    db.set_topology(meta.epoch, meta.fenced_to);
+    Ok(db)
 }
 
 /// Whether `engine` holds a legacy blob-layout database (the pre-write-through format).

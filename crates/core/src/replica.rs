@@ -55,10 +55,7 @@ impl ReplicaStore {
     /// primary for everything.
     pub fn open(dir: impl AsRef<Path>) -> SeedResult<Self> {
         let engine = StorageEngine::open(dir)?;
-        let applied = engine
-            .get(KEY_APPLIED)?
-            .and_then(|bytes| bytes.try_into().ok().map(u64::from_le_bytes))
-            .unwrap_or(0);
+        let applied = engine.get_u64_cell(KEY_APPLIED, 0)?;
         Ok(Self { engine, applied })
     }
 
@@ -269,6 +266,41 @@ impl ReplicaStore {
     /// depend on it — the cursor lives in the keyed state, not the local WAL.
     pub fn checkpoint(&self) -> SeedResult<()> {
         Ok(self.engine.checkpoint()?)
+    }
+
+    /// The topology epoch recorded in the mirrored meta record (0 for an uninitialized store
+    /// or a pre-promotion primary's state).  A `ReplicaNode` re-pointed at a new primary
+    /// compares this against the promotion epoch to decide whether its local state may be
+    /// continued incrementally or must be resynced from a snapshot.
+    pub fn topology_epoch(&self) -> SeedResult<u64> {
+        match self.engine.get(codec::KEY_META)? {
+            Some(bytes) => Ok(codec::decode_meta(&bytes)?.epoch),
+            None => Ok(0),
+        }
+    }
+
+    /// Promotion: consumes the replica store and turns its directory into a **durable primary**
+    /// at topology epoch `epoch` — reusing the engine, pages and segmented WAL in place, no
+    /// data copy.  In one local transaction the replication cursor key is deleted (the
+    /// directory stops being a replica store; a later [`ReplicaStore::open`] on it reads cursor
+    /// 0, which forces the snapshot resync path on rejoin-as-replica) and the meta record is
+    /// rewritten with the new epoch and no fence.  Then the keyed state is loaded exactly as
+    /// [`Database::open_durable`] would and write-through durability is attached.
+    ///
+    /// The caller is responsible for having drained the shipped tail first: records the old
+    /// primary committed but never shipped here are lost by design (they were never
+    /// acknowledged to this node).
+    pub fn into_primary(self, epoch: u64) -> SeedResult<Database> {
+        let txn = self.engine.begin()?;
+        self.engine.txn_delete(txn, KEY_APPLIED)?;
+        let mut meta = durability::load_meta(&self.engine)?;
+        meta.epoch = epoch;
+        meta.fenced_to = None;
+        self.engine.txn_put(txn, codec::KEY_META, &codec::encode_meta(&meta))?;
+        self.engine.commit(txn)?;
+        let mut db = durability::load_keyed(&self.engine)?;
+        db.attach_durability(self.engine);
+        Ok(db)
     }
 }
 
@@ -513,6 +545,46 @@ mod tests {
             assert_same_state(&serving, &primary, true);
         }
         assert_eq!(serving.versions().len(), 1);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    /// The promotion flip: a synced replica store becomes a writable durable primary in place
+    /// (no data copy), carrying the promotion epoch in its meta; reopening the same directory
+    /// as a replica store afterwards reads cursor 0 — the signature that forces a snapshot
+    /// resync instead of continuing in a foreign LSN space.
+    #[test]
+    fn into_primary_flips_the_store_in_place_and_resets_the_cursor() {
+        let primary_dir = temp_dir("repl-flip-primary");
+        let replica_dir = temp_dir("repl-flip-replica");
+        let mut primary = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+        primary.create_object("Data", "Survivor").unwrap();
+
+        let mut replica = ReplicaStore::open(&replica_dir).unwrap();
+        let (records, up_to) = tail_records(&primary, 1);
+        replica.apply(&records, up_to, false).unwrap();
+        assert_eq!(replica.topology_epoch().unwrap(), 0);
+
+        let mut promoted = replica.into_primary(7).unwrap();
+        assert!(promoted.is_durable(), "the flipped store writes through");
+        assert_eq!(promoted.topology_epoch(), 7);
+        assert_eq!(promoted.fenced_to(), None);
+        assert!(promoted.object_by_name("Survivor").is_ok(), "no data was lost in the flip");
+        promoted.create_object("Data", "PostPromotion").unwrap();
+        drop(promoted);
+
+        // The directory now recovers as an ordinary durable primary...
+        let reopened = Database::open_durable(&replica_dir).unwrap();
+        assert_eq!(reopened.topology_epoch(), 7);
+        assert!(reopened.object_by_name("PostPromotion").is_ok());
+        drop(reopened);
+
+        // ...and reopening it as a replica store reads cursor 0 with state present — the
+        // former-primary signature that demotion-to-replica resyncs from a snapshot.
+        let rejoined = ReplicaStore::open(&replica_dir).unwrap();
+        assert_eq!(rejoined.applied_lsn(), 0);
+        assert!(rejoined.is_initialized().unwrap());
+        assert_eq!(rejoined.topology_epoch().unwrap(), 7);
         let _ = std::fs::remove_dir_all(&primary_dir);
         let _ = std::fs::remove_dir_all(&replica_dir);
     }

@@ -6,13 +6,14 @@
 //! to the connection — it is filled in automatically on every lock-table request.
 
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use seed_core::{ObjectRecord, Value, VersionId};
 use seed_server::{
-    CheckoutSet, ClientId, HealthStatus, PersistenceStatus, QueryAnswer, RelationshipInfo, Request,
-    Response, SchemaSummary, ServerError, ServerResult, Update,
+    CheckoutSet, ClientId, HealthStatus, PersistenceStatus, PromotionReceipt, QueryAnswer,
+    RelationshipInfo, ReplicationRole, Request, Response, SchemaSummary, ServerError, ServerResult,
+    Update,
 };
 
 use crate::codec::{decode_response, encode_request};
@@ -199,6 +200,19 @@ impl RemoteClient {
         }
     }
 
+    /// Orders a topology change under epoch `epoch` (see `docs/OPERATIONS.md` §7).  Sent to a
+    /// **replica**, the node finishes applying its shipped tail, fences its old primary and
+    /// takes over as primary at `new_primary`.  Sent to the **old primary**, the node is fenced
+    /// directly: it refuses every further write with [`ServerError::Fenced`] naming
+    /// `new_primary`.
+    pub fn promote(&mut self, epoch: u64, new_primary: &str) -> ServerResult<PromotionReceipt> {
+        let request = Request::Promote { epoch, new_primary: new_primary.to_string() };
+        match self.call(request)? {
+            Response::Promoted(result) => result,
+            _ => Err(ServerError::Disconnected),
+        }
+    }
+
     /// A structural summary of the server's schema (fetched once, then cached).
     pub fn schema(&mut self) -> ServerResult<SchemaSummary> {
         if let Some(schema) = &self.schema {
@@ -297,20 +311,41 @@ impl RemoteClient {
 
     /// Connects a topology-aware client: writes go to the `primary`, reads fan out across the
     /// `replicas` round-robin (falling back to the primary when a replica connection fails
-    /// mid-call, or when `replicas` is empty).  This is how an application points itself at a
+    /// mid-call, or when `replicas` is empty).  Across a failover the client re-routes itself:
+    /// a `Fenced`/`ReadOnlyReplica` rejection re-points the write connection at the node the
+    /// rejection names, and a dead connection triggers a health-probe sweep over every known
+    /// endpoint to find the new primary.  This is how an application points itself at a
     /// replicated deployment — see `docs/OPERATIONS.md`.
     pub fn connect_read_preferred(
         primary: impl ToSocketAddrs,
         replicas: &[impl ToSocketAddrs],
     ) -> ServerResult<ReadPreferredClient> {
-        let primary = RemoteClient::connect_as(primary, "seed-net read-preferred (primary)")?;
+        let primary_addr = resolve(primary)?;
+        let primary = RemoteClient::connect_as(primary_addr, "seed-net read-preferred (primary)")?;
+        let mut replica_addrs = Vec::with_capacity(replicas.len());
         let mut replica_clients = Vec::with_capacity(replicas.len());
         for replica in replicas {
+            let addr = resolve(replica)?;
             replica_clients
-                .push(RemoteClient::connect_as(replica, "seed-net read-preferred (replica)")?);
+                .push(RemoteClient::connect_as(addr, "seed-net read-preferred (replica)")?);
+            replica_addrs.push(addr);
         }
-        Ok(ReadPreferredClient { primary, replicas: replica_clients, cursor: 0 })
+        Ok(ReadPreferredClient {
+            primary,
+            primary_addr,
+            replicas: replica_clients,
+            replica_addrs,
+            cursor: 0,
+        })
     }
+}
+
+/// Resolves an address argument to its first concrete socket address.
+fn resolve(addr: impl ToSocketAddrs) -> ServerResult<SocketAddr> {
+    addr.to_socket_addrs()
+        .map_err(transport)?
+        .next()
+        .ok_or_else(|| ServerError::Transport("address resolves to nothing".into()))
 }
 
 /// While a pipelined write stalls on backpressure, wait this long before draining a response
@@ -436,9 +471,20 @@ fn read_pipelined_response(
 /// connection per replica.  Every read round-robins across the replicas (a replica answers the
 /// full read surface with the same bytes as the primary once caught up); every write — and any
 /// read whose replica connection died mid-call — goes to the primary.
+///
+/// The client survives a failover without application involvement: when the primary rejects a
+/// write with [`ServerError::Fenced`] (or [`ServerError::ReadOnlyReplica`], the demoted form)
+/// it reconnects to the node the rejection names and retries once — safe because a rejected
+/// write was refused outright, never half-applied.  When the primary connection is simply dead,
+/// it sweeps every known endpoint with a health probe ([`RemoteClient::health`]) and adopts
+/// whichever node reports itself a ready primary.  A retry after a **mid-call transport**
+/// failure is at-least-once, not exactly-once: the lost reply may have been an ack, in which
+/// case the retry surfaces the server's duplicate rejection instead of silently double-applying.
 pub struct ReadPreferredClient {
     primary: RemoteClient,
+    primary_addr: SocketAddr,
     replicas: Vec<RemoteClient>,
+    replica_addrs: Vec<SocketAddr>,
     cursor: usize,
 }
 
@@ -448,26 +494,103 @@ impl ReadPreferredClient {
         &mut self.primary
     }
 
+    /// The address the write connection currently points at — after a failover, the promoted
+    /// node.
+    pub fn primary_addr(&self) -> SocketAddr {
+        self.primary_addr
+    }
+
     /// Number of replica connections reads fan out across.
     pub fn replica_count(&self) -> usize {
         self.replicas.len()
     }
 
     /// Runs one read against the next replica in the rotation, falling back to the primary on
-    /// transport failure (a dead replica must degrade the topology, not the application).
+    /// transport failure (a dead replica must degrade the topology, not the application) and
+    /// re-routing to a rediscovered primary when the fallback is dead too.  Reads are
+    /// idempotent, so the replay is transparent.
     fn read<R>(
         &mut self,
         mut op: impl FnMut(&mut RemoteClient) -> ServerResult<R>,
     ) -> ServerResult<R> {
         if self.replicas.is_empty() {
-            return op(&mut self.primary);
+            return match op(&mut self.primary) {
+                Err(ServerError::Transport(_)) => {
+                    self.rediscover()?;
+                    op(&mut self.primary)
+                }
+                outcome => outcome,
+            };
         }
         let pick = self.cursor % self.replicas.len();
         self.cursor = self.cursor.wrapping_add(1);
         match op(&mut self.replicas[pick]) {
-            Err(ServerError::Transport(_)) => op(&mut self.primary),
+            Err(ServerError::Transport(_)) => match op(&mut self.primary) {
+                Err(ServerError::Transport(_)) => {
+                    self.rediscover()?;
+                    op(&mut self.primary)
+                }
+                outcome => outcome,
+            },
             outcome => outcome,
         }
+    }
+
+    /// Runs one write against the primary, re-routing once across a failover: a fencing
+    /// rejection names the node to use instead, a dead connection triggers rediscovery.
+    fn write<R>(
+        &mut self,
+        mut op: impl FnMut(&mut RemoteClient) -> ServerResult<R>,
+    ) -> ServerResult<R> {
+        match op(&mut self.primary) {
+            Err(ServerError::Fenced { new_primary, .. }) => {
+                self.repoint(&new_primary)?;
+                op(&mut self.primary)
+            }
+            Err(ServerError::ReadOnlyReplica { primary }) => {
+                self.repoint(&primary)?;
+                op(&mut self.primary)
+            }
+            Err(ServerError::Transport(_)) => {
+                self.rediscover()?;
+                op(&mut self.primary)
+            }
+            outcome => outcome,
+        }
+    }
+
+    /// Re-points the write connection at the node a fencing rejection named, falling back to a
+    /// full probe sweep when that node is not reachable (yet).
+    fn repoint(&mut self, addr: &str) -> ServerResult<()> {
+        if let Ok(sock) = addr.parse::<SocketAddr>() {
+            if let Ok(fresh) = RemoteClient::connect_as(sock, "seed-net read-preferred (primary)") {
+                self.primary = fresh;
+                self.primary_addr = sock;
+                return Ok(());
+            }
+        }
+        self.rediscover()
+    }
+
+    /// Probes every known endpoint over a fresh connection and adopts the one whose health
+    /// reports a ready primary.
+    fn rediscover(&mut self) -> ServerResult<()> {
+        let mut candidates = vec![self.primary_addr];
+        candidates.extend(self.replica_addrs.iter().copied());
+        for addr in candidates {
+            let Ok(mut probe) = RemoteClient::connect_as(addr, "seed-net read-preferred (probe)")
+            else {
+                continue;
+            };
+            let Ok(health) = probe.health() else { continue };
+            if health.ready && health.role == ReplicationRole::Primary {
+                self.primary = probe;
+                self.primary_addr = addr;
+                return Ok(());
+            }
+            let _ = probe.close();
+        }
+        Err(ServerError::Transport("no ready primary found among the known endpoints".into()))
     }
 
     /// Retrieves one object by name, from a replica.
@@ -525,32 +648,38 @@ impl ReadPreferredClient {
 
     /// The **primary's** durability and replication status (authoritative for the deployment).
     pub fn persistence(&mut self) -> ServerResult<PersistenceStatus> {
-        self.primary.persistence()
+        match self.primary.persistence() {
+            Err(ServerError::Transport(_)) => {
+                self.rediscover()?;
+                self.primary.persistence()
+            }
+            outcome => outcome,
+        }
     }
 
-    /// Checks out the named objects on the primary.
+    /// Checks out the named objects on the primary (re-routing across a failover).
     pub fn checkout(&mut self, names: &[&str]) -> ServerResult<CheckoutSet> {
-        self.primary.checkout(names)
+        self.write(|c| c.checkout(names))
     }
 
-    /// Checks a batch of updates in on the primary.
+    /// Checks a batch of updates in on the primary (re-routing across a failover).
     pub fn checkin(&mut self, updates: Vec<Update>) -> ServerResult<()> {
-        self.primary.checkin(updates)
+        self.write(|c| c.checkin(updates.clone()))
     }
 
     /// Releases the primary-side locks without checking anything in.
     pub fn release(&mut self) -> ServerResult<()> {
-        self.primary.release()
+        self.write(|c| c.release())
     }
 
-    /// Creates a global version snapshot on the primary.
+    /// Creates a global version snapshot on the primary (re-routing across a failover).
     pub fn create_version(&mut self, comment: &str) -> ServerResult<VersionId> {
-        self.primary.create_version(comment)
+        self.write(|c| c.create_version(comment))
     }
 
     /// Convenience: sets a value through a one-shot checkout/check-in cycle on the primary.
     pub fn quick_set_value(&mut self, object: &str, value: Value) -> ServerResult<()> {
-        self.primary.quick_set_value(object, value)
+        self.write(|c| c.quick_set_value(object, value.clone()))
     }
 
     /// Closes every connection politely.  Every close is attempted even when one fails (a

@@ -22,9 +22,9 @@ use seed_core::codec::{
 };
 use seed_core::{SeedError, VersionId};
 use seed_server::{
-    AssociationSummary, CheckoutSet, ClassSummary, HealthStatus, PersistenceStatus, QueryAnswer,
-    RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response, SchemaSummary,
-    ServerError, Update,
+    AssociationSummary, CheckoutSet, ClassSummary, HealthStatus, PersistenceStatus,
+    PromotionReceipt, QueryAnswer, RelationshipInfo, ReplicationRole, ReplicationStatus, Request,
+    Response, SchemaSummary, ServerError, Update,
 };
 use seed_storage::{Decoder, Encoder};
 
@@ -153,6 +153,14 @@ fn encode_server_error(e: &mut Encoder, err: &ServerError, version: u16) {
             return;
         }
     }
+    // Tag 9 (`Fenced`) exists only from v3 on; older peers get the same degrade — the text
+    // still names the new primary and the epoch.
+    if version < 3 {
+        if let ServerError::Fenced { .. } = err {
+            e.put_u8(7).put_str(&err.to_string());
+            return;
+        }
+    }
     match err {
         ServerError::Locked { object, holder } => {
             e.put_u8(0).put_str(object).put_u64(*holder);
@@ -182,6 +190,9 @@ fn encode_server_error(e: &mut Encoder, err: &ServerError, version: u16) {
         ServerError::ReadOnlyReplica { primary } => {
             e.put_u8(8).put_str(primary);
         }
+        ServerError::Fenced { new_primary, epoch } => {
+            e.put_u8(9).put_str(new_primary).put_u64(*epoch);
+        }
     }
 }
 
@@ -196,6 +207,7 @@ fn decode_server_error(d: &mut Decoder<'_>) -> WireResult<ServerError> {
         6 => ServerError::Transport(d.get_str()?.to_string()),
         7 => ServerError::Protocol(d.get_str()?.to_string()),
         8 => ServerError::ReadOnlyReplica { primary: d.get_str()?.to_string() },
+        9 => ServerError::Fenced { new_primary: d.get_str()?.to_string(), epoch: d.get_u64()? },
         other => return Err(bad_tag("server error", other)),
     })
 }
@@ -621,6 +633,9 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Health => {
             e.put_u8(18);
         }
+        Request::Promote { epoch, new_primary } => {
+            e.put_u8(19).put_u64(*epoch).put_str(new_primary);
+        }
     }
     e.finish()
 }
@@ -669,6 +684,7 @@ pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
         16 => Request::Shutdown,
         17 => Request::Stats,
         18 => Request::Health,
+        19 => Request::Promote { epoch: d.get_u64()?, new_primary: d.get_str()?.to_string() },
         other => return Err(bad_tag("request", other)),
     };
     if !d.is_exhausted() {
@@ -782,6 +798,14 @@ pub fn encode_response_versioned(response: &Response, version: u16) -> Vec<u8> {
             e.put_u8(14);
             encode_health_status(&mut e, health);
         }
+        // Tag 15 answers the v3-era Promote request — same reasoning as Stats/Health: only a
+        // peer that can ask ever sees it.
+        Response::Promoted(result) => {
+            e.put_u8(15);
+            put_result(&mut e, result, version, |e, receipt: &PromotionReceipt| {
+                e.put_u64(receipt.epoch).put_u64(receipt.last_lsn);
+            });
+        }
     }
     e.finish()
 }
@@ -814,6 +838,9 @@ pub fn decode_response(bytes: &[u8]) -> WireResult<Response> {
         12 => Response::ShuttingDown,
         13 => Response::Stats(decode_registry_snapshot(&mut d)?),
         14 => Response::Health(decode_health_status(&mut d)?),
+        15 => Response::Promoted(get_result(&mut d, |d| {
+            Ok(PromotionReceipt { epoch: d.get_u64()?, last_lsn: d.get_u64()? })
+        })?),
         other => return Err(bad_tag("response", other)),
     };
     if !d.is_exhausted() {

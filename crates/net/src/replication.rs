@@ -25,13 +25,14 @@
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use seed_core::ReplicaStore;
-use seed_server::{SeedServer, ServerError, ServerResult};
+use seed_server::{PromotionReceipt, SeedServer, ServerError, ServerResult};
 
+use crate::client::RemoteClient;
 use crate::server::{NetServerConfig, SeedNetServer};
 use crate::wire::{read_frame, write_frame, Ack, FrameKind, Hello, LogBatch, Subscribe, Welcome};
 
@@ -45,6 +46,17 @@ pub struct ReplicaConfig {
     /// Upper bound on connect + handshake + first batch; a primary that accepts the TCP
     /// connection but never answers fails `ReplicaNode::start` instead of hanging it.
     pub connect_timeout: Duration,
+    /// How many consecutive failed reconnection attempts the stream tolerates before it stops
+    /// hammering the primary's address and idles — still serving reads from the last applied
+    /// state, still stoppable, still promotable.  Each attempt bumps `repl_reconnect_total`;
+    /// hitting the cap emits one `Warn` event.  A promotion order resets the count (the cap is
+    /// per topology epoch).
+    pub max_reconnect_attempts: u32,
+    /// The topology epoch this replica was (re-)pointed at its primary under.  When this is
+    /// newer than the epoch recorded in the replica's own store, the local cursor belongs to a
+    /// superseded primary's log and the node forces a full-snapshot resync instead of resuming
+    /// it.  Leave at 0 when no failover ever happened.
+    pub epoch: u64,
     /// Configuration of the replica's own read-serving TCP frontend.
     pub net: NetServerConfig,
 }
@@ -55,6 +67,8 @@ impl Default for ReplicaConfig {
             agent: format!("seed-replica/{}", env!("CARGO_PKG_VERSION")),
             reconnect_backoff: Duration::from_millis(200),
             connect_timeout: Duration::from_secs(10),
+            max_reconnect_attempts: 120,
+            epoch: 0,
             net: NetServerConfig::default(),
         }
     }
@@ -89,6 +103,7 @@ const FEED_POLL: Duration = Duration::from_millis(50);
 struct ReplMetrics {
     batches_applied: seed_obs::Counter,
     resets: seed_obs::Counter,
+    reconnects: seed_obs::Counter,
     ack_lag: seed_obs::Gauge,
 }
 
@@ -99,6 +114,7 @@ fn repl_metrics() -> &'static ReplMetrics {
         ReplMetrics {
             batches_applied: r.counter("repl_batches_applied_total"),
             resets: r.counter("repl_resets_total"),
+            reconnects: r.counter("repl_reconnect_total"),
             ack_lag: r.gauge("repl_ack_lag"),
         }
     })
@@ -119,7 +135,8 @@ impl Feed {
         stream.set_read_timeout(Some(FEED_POLL)).map_err(transport)?;
         let mut feed = Self { stream, deadline: Some(std::time::Instant::now() + timeout) };
         write_frame(&mut feed.stream, FrameKind::Hello, &Hello::replica(agent).encode())?;
-        let frame = feed.read_frame_blocking(&AtomicBool::new(false))?;
+        let never = AtomicBool::new(false);
+        let frame = feed.read_frame_blocking(&never, &never)?;
         match frame.kind {
             FrameKind::Welcome => {
                 Welcome::decode(&frame.payload)?;
@@ -140,11 +157,17 @@ impl Feed {
     }
 
     /// Reads one frame, turning read timeouts into stop-flag polls (a mid-frame timeout keeps
-    /// accumulating bytes; see the server-side `PollRead` for the same idea).
-    fn read_frame_blocking(&mut self, stop: &AtomicBool) -> ServerResult<crate::wire::Frame> {
+    /// accumulating bytes; see the server-side `PollRead` for the same idea).  `abort` is the
+    /// promotion pre-empt: a pending promotion order must not wait behind a blocked read.
+    fn read_frame_blocking(
+        &mut self,
+        stop: &AtomicBool,
+        abort: &AtomicBool,
+    ) -> ServerResult<crate::wire::Frame> {
         struct PollStream<'a> {
             inner: &'a TcpStream,
             stop: &'a AtomicBool,
+            abort: &'a AtomicBool,
             deadline: Option<std::time::Instant>,
         }
         impl std::io::Read for PollStream<'_> {
@@ -163,6 +186,13 @@ impl Feed {
                                     "replica shutting down",
                                 ));
                             }
+                            if self.abort.load(Ordering::SeqCst) {
+                                // NOT `Interrupted`: `read_exact` retries that kind forever.
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::ConnectionAborted,
+                                    "a promotion order pre-empted the stream",
+                                ));
+                            }
                             if self.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
                                 return Err(std::io::Error::new(
                                     std::io::ErrorKind::TimedOut,
@@ -175,13 +205,13 @@ impl Feed {
                 }
             }
         }
-        read_frame(&mut PollStream { inner: &self.stream, stop, deadline: self.deadline })
+        read_frame(&mut PollStream { inner: &self.stream, stop, abort, deadline: self.deadline })
             .map_err(ServerError::from)
     }
 
     /// Waits for the next log batch (Reject ends the stream with its reason).
-    fn next_batch(&mut self, stop: &AtomicBool) -> ServerResult<LogBatch> {
-        let frame = self.read_frame_blocking(stop)?;
+    fn next_batch(&mut self, stop: &AtomicBool, abort: &AtomicBool) -> ServerResult<LogBatch> {
+        let frame = self.read_frame_blocking(stop, abort)?;
         match frame.kind {
             FrameKind::LogBatch => Ok(LogBatch::decode(&frame.payload)?),
             FrameKind::Reject => {
@@ -196,6 +226,204 @@ impl Feed {
         write_frame(&mut self.stream, FrameKind::Ack, &Ack { applied_lsn }.encode())?;
         Ok(())
     }
+}
+
+/// How long a `Promote` request blocks waiting for the apply thread to execute the order.
+const PROMOTE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The life of one promotion order inside the [`PromoteCell`] mailbox.
+enum PromoteState {
+    /// No order outstanding; a `Promote` request may submit one.
+    Idle,
+    /// An order is waiting for the apply thread to claim it.
+    Requested { epoch: u64, new_primary: String },
+    /// The apply thread claimed the order and is fencing/draining/flipping.
+    Executing,
+    /// The outcome, waiting for the requester to consume it.
+    Done(ServerResult<PromotionReceipt>),
+}
+
+/// The promotion mailbox between a request-serving worker (submits an order and waits for the
+/// outcome) and the apply thread (owns the [`ReplicaStore`], so only it can execute the order).
+struct PromoteCell {
+    state: Mutex<PromoteState>,
+    cond: Condvar,
+    /// Mirrors "an order is waiting" so the feed's poll loop can abort a blocked read without
+    /// taking the mutex on every tick.
+    pending: AtomicBool,
+}
+
+impl PromoteCell {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(PromoteState::Idle),
+            cond: Condvar::new(),
+            pending: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PromoteState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Apply-thread side: claims a waiting order, if any.
+    fn take_order(&self) -> Option<(u64, String)> {
+        if !self.pending.swap(false, Ordering::SeqCst) {
+            return None;
+        }
+        let mut state = self.lock();
+        match std::mem::replace(&mut *state, PromoteState::Executing) {
+            PromoteState::Requested { epoch, new_primary } => Some((epoch, new_primary)),
+            other => {
+                *state = other;
+                None
+            }
+        }
+    }
+
+    /// Apply-thread side: reports the outcome of a claimed order.  If the requester already
+    /// gave up waiting (timeout), the outcome has no consumer and the mailbox just resets.
+    fn finish(&self, outcome: ServerResult<PromotionReceipt>) {
+        let mut state = self.lock();
+        *state = match *state {
+            PromoteState::Executing => PromoteState::Done(outcome),
+            _ => PromoteState::Idle,
+        };
+        self.cond.notify_all();
+    }
+
+    /// Apply-thread side: parks until an order arrives (or the timeout passes) — the idle wait
+    /// of a stream that gave up reconnecting.
+    fn wait_for_order(&self, timeout: Duration) {
+        let state = self.lock();
+        if matches!(*state, PromoteState::Requested { .. }) {
+            return;
+        }
+        let _ = self.cond.wait_timeout(state, timeout).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Bridges [`SeedServer`]'s promotion dispatch to the apply thread: a [`Request::Promote`]
+/// landing on a replica is handed to the thread that owns the store, and the requester blocks
+/// until that thread reports the outcome.
+///
+/// [`Request::Promote`]: seed_server::Request::Promote
+struct PromotionDriver {
+    cell: Arc<PromoteCell>,
+}
+
+impl seed_server::Promoter for PromotionDriver {
+    fn promote(&self, epoch: u64, new_primary: &str) -> ServerResult<PromotionReceipt> {
+        let mut state = self.cell.lock();
+        if !matches!(*state, PromoteState::Idle) {
+            return Err(ServerError::Protocol(
+                "another promotion is already in progress on this replica".into(),
+            ));
+        }
+        *state = PromoteState::Requested { epoch, new_primary: new_primary.to_string() };
+        self.cell.pending.store(true, Ordering::SeqCst);
+        self.cell.cond.notify_all();
+        let deadline = std::time::Instant::now() + PROMOTE_TIMEOUT;
+        loop {
+            if matches!(*state, PromoteState::Done(_)) {
+                let PromoteState::Done(outcome) =
+                    std::mem::replace(&mut *state, PromoteState::Idle)
+                else {
+                    unreachable!("matched Done above");
+                };
+                return outcome;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                // Give up; `finish` sees a non-Executing state and resets the mailbox.
+                *state = PromoteState::Idle;
+                self.cell.pending.store(false, Ordering::SeqCst);
+                return Err(ServerError::Transport(
+                    "the promotion order timed out waiting for the replica's apply thread".into(),
+                ));
+            }
+            state = self
+                .cell
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// Everything fallible that must happen *before* the store flip of a promotion: the epoch
+/// freshness check, fencing the old primary, draining the shipped tail up to the fenced
+/// primary's final LSN.  Leaves the store consistent on failure so the node resumes its
+/// replica role.
+fn prepare_promotion(
+    store: &mut ReplicaStore,
+    primary: SocketAddr,
+    agent: &str,
+    connect_timeout: Duration,
+    epoch: u64,
+    new_primary: &str,
+) -> ServerResult<()> {
+    let current = store.topology_epoch().map_err(ServerError::Rejected)?;
+    if epoch <= current {
+        return Err(ServerError::Protocol(format!(
+            "stale promotion epoch {epoch}: this replica is already at epoch {current}"
+        )));
+    }
+    // Fence the old primary.  Three outcomes:
+    //  - a `Promoted` receipt: this promotion won the compare-and-swap on the primary; its
+    //    `last_lsn` is the final write the old log will ever hold — drain up to it.
+    //  - `Fenced` (or any other rejection): a concurrent promotion won first; abort, stay a
+    //    replica.
+    //  - unreachable: a dead primary cannot be fenced, and whatever it committed beyond the
+    //    shipped tail is lost with it — the documented failover data-loss boundary.
+    let drain_to = match RemoteClient::connect_as(primary, "seed-replica promotion fence") {
+        Ok(mut fencer) => match fencer.promote(epoch, new_primary) {
+            Ok(receipt) => Some(receipt.last_lsn),
+            Err(ServerError::Transport(_)) | Err(ServerError::Disconnected) => None,
+            Err(e) => return Err(e),
+        },
+        Err(_) => None,
+    };
+    if let Some(target) = drain_to {
+        // The fence succeeded, so the old primary was alive a moment ago and fencing does not
+        // block its replication feed — drain the tail so no write it acknowledged is lost.
+        let never = AtomicBool::new(false);
+        let deadline = std::time::Instant::now() + connect_timeout;
+        'drain: while store.applied_lsn() < target && std::time::Instant::now() < deadline {
+            let Ok(mut feed) = Feed::open(primary, agent, store.applied_lsn() + 1, connect_timeout)
+            else {
+                break;
+            };
+            while store.applied_lsn() < target {
+                let Ok(batch) = feed.next_batch(&never, &never) else { continue 'drain };
+                if batch.records.is_empty() && !batch.reset && batch.last_lsn <= store.applied_lsn()
+                {
+                    if feed.ack(store.applied_lsn()).is_err() {
+                        continue 'drain;
+                    }
+                    continue;
+                }
+                store
+                    .apply(&batch.records, batch.last_lsn, batch.reset)
+                    .map_err(ServerError::Rejected)?;
+                let _ = feed.ack(store.applied_lsn());
+            }
+        }
+        if store.applied_lsn() < target {
+            // The primary died between the fence and the drain.  Refusing here is the safe
+            // default: the old primary is fenced but its acknowledged tail is unreachable, and
+            // the operator must re-issue the promotion (a retry against a now-dead primary
+            // skips the drain and accepts the loss explicitly).
+            return Err(ServerError::Transport(format!(
+                "fenced the primary at epoch {epoch} but lost it before draining its tail: \
+                 applied {} of {}",
+                store.applied_lsn(),
+                target
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// What one read-locked look at the primary's log decided to ship to a subscriber at `next`.
@@ -343,12 +571,29 @@ impl ReplicaNode {
             })?;
         let mut store = ReplicaStore::open(dir).map_err(ServerError::Rejected)?;
 
-        // Initial sync: subscribe from the durable cursor and apply the first batch — the
-        // primary answers immediately (snapshot reset when our cursor fell behind its WAL).
+        // A store that once was a primary (meta but no replication cursor: an old primary
+        // rejoining after a failover, or a promoted replica being re-pointed) — or one the
+        // operator re-pointed under a promotion epoch — must NOT resume its cursor: its
+        // LSNs belong to a superseded log.  Subscribing from a cursor no log can cover forces
+        // the full-snapshot reset path, which rebinds the cursor downwards.
+        //
+        // The epoch comparison is `>=`, not `>`: the winner's fence record replicates, so a
+        // replica that stayed subscribed to the fenced primary may already carry the promotion
+        // epoch in its meta — but its cursor still belongs to the OLD log, and resuming it
+        // against the new primary would read a foreign LSN space.  Any configured epoch at or
+        // past the store's therefore forces the resync; plain restarts (default `epoch: 0`
+        // against an un-promoted topology) keep the cheap cursor resume.
+        let demoted =
+            store.is_initialized().map_err(ServerError::Rejected)? && store.applied_lsn() == 0;
+        let repointed = config.epoch > 0
+            && config.epoch >= store.topology_epoch().map_err(ServerError::Rejected)?;
+        let from_lsn = if demoted || repointed { u64::MAX } else { store.applied_lsn() + 1 };
+
+        // Initial sync: subscribe and apply the first batch — the primary answers immediately
+        // (snapshot reset when our cursor fell behind its WAL, or when resync was forced).
         let never_stop = AtomicBool::new(false);
-        let mut feed =
-            Feed::open(primary, &config.agent, store.applied_lsn() + 1, config.connect_timeout)?;
-        let batch = feed.next_batch(&never_stop)?;
+        let mut feed = Feed::open(primary, &config.agent, from_lsn, config.connect_timeout)?;
+        let batch = feed.next_batch(&never_stop, &never_stop)?;
         feed.deadline = None; // the stream is live; only shutdown unblocks it from here on
         store.apply(&batch.records, batch.last_lsn, batch.reset).map_err(ServerError::Rejected)?;
         feed.ack(store.applied_lsn())?;
@@ -356,6 +601,8 @@ impl ReplicaNode {
 
         let server = SeedServer::new(db);
         server.set_read_only(primary.to_string());
+        let promote = Arc::new(PromoteCell::new());
+        server.set_promoter(Arc::new(PromotionDriver { cell: promote.clone() }));
         server.set_replica_progress(store.applied_lsn(), batch.primary_lsn);
         repl_metrics().batches_applied.inc();
         if batch.reset {
@@ -380,16 +627,73 @@ impl ReplicaNode {
             let core = core.clone();
             let stop = stop.clone();
             let progress = progress.clone();
+            let promote = promote.clone();
             let agent = config.agent.clone();
             let backoff = config.reconnect_backoff;
             let connect_timeout = config.connect_timeout;
+            let max_attempts = config.max_reconnect_attempts.max(1);
             std::thread::spawn(move || {
                 let mut feed = Some(feed);
                 // Set when the serving database may be torn (a failed incremental patch whose
                 // wholesale-reload fallback also failed): nothing was published, and only a
                 // successful wholesale swap may publish again.
                 let mut serving_stale = false;
+                // Consecutive failed reconnects; `gave_up` parks the stream once the per-epoch
+                // cap is hit.
+                let mut failed_attempts: u32 = 0;
+                let mut gave_up = false;
                 while !stop.load(Ordering::SeqCst) {
+                    // A promotion order pre-empts everything, including a given-up stream.
+                    if let Some((epoch, new_primary)) = promote.take_order() {
+                        failed_attempts = 0;
+                        gave_up = false;
+                        feed = None; // whatever stream existed is moot after a role change
+                        match prepare_promotion(
+                            &mut store,
+                            primary,
+                            &agent,
+                            connect_timeout,
+                            epoch,
+                            &new_primary,
+                        ) {
+                            Ok(()) => {
+                                // Point of no return: flip the durable store in place and swap
+                                // the serving core to a writable primary.  `into_primary`
+                                // consumes the engine, so both arms end this thread — as a
+                                // primary the node has nothing left to stream, and a node that
+                                // failed the flip has no store left to stream into.
+                                let flipped = store.into_primary(epoch);
+                                match flipped {
+                                    Ok(db) => {
+                                        let receipt = PromotionReceipt {
+                                            epoch,
+                                            last_lsn: db.durable_lsn().unwrap_or(0),
+                                        };
+                                        core.install_primary(db);
+                                        repl_metrics().ack_lag.set(0);
+                                        seed_obs::global().events().emit(
+                                            seed_obs::Level::Info,
+                                            "repl",
+                                            "promoted to primary",
+                                            &[("epoch", epoch.to_string())],
+                                        );
+                                        promote.finish(Ok(receipt));
+                                    }
+                                    Err(e) => promote.finish(Err(ServerError::Rejected(e))),
+                                }
+                                return;
+                            }
+                            Err(e) => {
+                                // Lost the race, or could not fence/drain: stay a replica.
+                                promote.finish(Err(e));
+                                continue;
+                            }
+                        }
+                    }
+                    if gave_up {
+                        promote.wait_for_order(FEED_POLL);
+                        continue;
+                    }
                     // (Re-)establish the stream from the durable cursor.
                     let mut live = match feed.take() {
                         Some(live) => live,
@@ -399,15 +703,34 @@ impl ReplicaNode {
                             store.applied_lsn() + 1,
                             connect_timeout,
                         ) {
-                            Ok(live) => live,
+                            Ok(live) => {
+                                failed_attempts = 0;
+                                live
+                            }
                             Err(_) => {
+                                failed_attempts += 1;
+                                repl_metrics().reconnects.inc();
+                                if failed_attempts >= max_attempts {
+                                    gave_up = true;
+                                    seed_obs::global().events().emit(
+                                        seed_obs::Level::Warn,
+                                        "repl",
+                                        "giving up reconnecting to the primary; \
+                                         idling until stopped or promoted",
+                                        &[
+                                            ("primary", primary.to_string()),
+                                            ("attempts", failed_attempts.to_string()),
+                                        ],
+                                    );
+                                    continue;
+                                }
                                 std::thread::sleep(backoff);
                                 continue;
                             }
                         },
                     };
                     // Drain batches until the connection drops or the node stops.
-                    while let Ok(batch) = live.next_batch(&stop) {
+                    while let Ok(batch) = live.next_batch(&stop, &promote.pending) {
                         live.deadline = None;
                         // Heartbeats (no records, nothing new) only refresh the observed
                         // primary position — no cursor write, no fsync, no database rebuild.
@@ -495,7 +818,7 @@ impl ReplicaNode {
                             .ack_lag
                             .set(batch.primary_lsn.saturating_sub(store.applied_lsn()) as i64);
                     }
-                    if !stop.load(Ordering::SeqCst) {
+                    if !stop.load(Ordering::SeqCst) && !promote.pending.load(Ordering::SeqCst) {
                         std::thread::sleep(backoff);
                     }
                 }
@@ -536,6 +859,16 @@ impl ReplicaNode {
     /// to batches × database size — the observable that replica apply is O(delta) per batch.
     pub fn items_applied(&self) -> u64 {
         self.progress.items_applied.load(Ordering::SeqCst)
+    }
+
+    /// Orders this node to take over as primary under topology epoch `epoch` — the in-process
+    /// equivalent of sending `Request::Promote` to its listener.  `new_primary` is the address
+    /// clients should be told to write to from now on (normally this node's own
+    /// [`local_addr`](Self::local_addr)).  Blocks until the role change completes: the old
+    /// primary is fenced (when reachable), the shipped tail drained, the store flipped.  On
+    /// success the node serves writes and its own replication feed.
+    pub fn promote(&self, epoch: u64, new_primary: &str) -> ServerResult<PromotionReceipt> {
+        self.core.promote(epoch, new_primary)
     }
 
     /// Polls until this replica has applied at least `lsn` (true) or `timeout` passes (false).
@@ -886,12 +1219,77 @@ mod tests {
     }
 
     #[test]
+    fn reconnects_are_capped_and_a_given_up_replica_is_still_promotable() {
+        let primary_dir = temp_dir("cap-primary");
+        let replica_dir = temp_dir("cap-replica");
+        let primary = durable_primary(&primary_dir);
+        let addr = primary.local_addr();
+        let mut writer = RemoteClient::connect(addr).unwrap();
+        writer
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "Kept".into() }])
+            .unwrap();
+        let config = ReplicaConfig {
+            reconnect_backoff: Duration::from_millis(5),
+            max_reconnect_attempts: 3,
+            ..ReplicaConfig::default()
+        };
+        let replica = ReplicaNode::with_config(&replica_dir, addr, "127.0.0.1:0", config).unwrap();
+        assert!(replica.wait_for_lsn(primary_lsn(&primary), Duration::from_secs(10)));
+
+        // The primary dies for good.  The replica burns through its capped attempts, warns
+        // once, and idles instead of hammering the dead address forever.
+        primary.shutdown();
+        let reconnects_before =
+            seed_obs::global().snapshot().counter("repl_reconnect_total").unwrap_or(0);
+        if seed_obs::recording_compiled_in() {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                let warned = seed_obs::global().events().recent().iter().any(|e| {
+                    e.level == seed_obs::Level::Warn && e.message.contains("giving up reconnecting")
+                });
+                if warned {
+                    break;
+                }
+                assert!(std::time::Instant::now() < deadline, "the give-up warning never came");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert!(
+                seed_obs::global().snapshot().counter("repl_reconnect_total").unwrap_or(0)
+                    >= reconnects_before + 3,
+                "each failed attempt must bump repl_reconnect_total"
+            );
+        } else {
+            // Recording is compiled out; give the capped attempts time to burn through.
+            std::thread::sleep(Duration::from_millis(500));
+        }
+        // Still serving reads from the last applied state.
+        let mut reader = RemoteClient::connect(replica.local_addr()).unwrap();
+        assert_eq!(reader.retrieve("Kept").unwrap().name.to_string(), "Kept");
+
+        // And still promotable: the dead primary cannot be fenced, so the promotion proceeds
+        // with the shipped tail, and the node starts taking writes.
+        let receipt = replica.promote(1, &replica.local_addr().to_string()).unwrap();
+        assert_eq!(receipt.epoch, 1);
+        let mut client = RemoteClient::connect(replica.local_addr()).unwrap();
+        client
+            .checkin(vec![Update::CreateObject { class: "Data".into(), name: "PostPromo".into() }])
+            .unwrap();
+        assert_eq!(client.query("count Data").unwrap().count, 2);
+        let health = client.health().unwrap();
+        assert_eq!(health.role, ReplicationRole::Primary);
+        assert!(health.ready);
+        replica.shutdown();
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&replica_dir);
+    }
+
+    #[test]
     fn subscribing_to_an_in_memory_primary_is_rejected() {
         let primary =
             SeedNetServer::bind(SeedServer::new(Database::new(figure3_schema())), "127.0.0.1:0")
                 .unwrap();
         let err = Feed::open(primary.local_addr(), "test", 1, Duration::from_secs(5))
-            .and_then(|mut feed| feed.next_batch(&AtomicBool::new(false)))
+            .and_then(|mut feed| feed.next_batch(&AtomicBool::new(false), &AtomicBool::new(false)))
             .unwrap_err();
         assert!(
             err.to_string().contains("in-memory"),

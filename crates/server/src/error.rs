@@ -37,6 +37,14 @@ pub enum ServerError {
         /// writes.
         primary: String,
     },
+    /// This node was fenced: a replica was promoted past it, and it must never accept another
+    /// write (split-brain prevention).  Clients reconnect to the new primary.
+    Fenced {
+        /// Address of the primary that superseded this node.
+        new_primary: String,
+        /// The topology epoch of the promotion that fenced it.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -58,6 +66,13 @@ impl fmt::Display for ServerError {
                 write!(
                     f,
                     "this node is a read-only replica; send writes to the primary at {primary}"
+                )
+            }
+            ServerError::Fenced { new_primary, epoch } => {
+                write!(
+                    f,
+                    "this node was fenced at topology epoch {epoch}; \
+                     the primary is now at {new_primary}"
                 )
             }
         }

@@ -27,7 +27,7 @@ pub use error::{ServerError, ServerResult};
 pub use lock::LockTable;
 pub use protocol::{
     AssociationSummary, CheckoutSet, ClassSummary, ClientId, HealthStatus, PersistenceStatus,
-    QueryAnswer, RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response,
-    SchemaSummary, Update,
+    PromotionReceipt, QueryAnswer, RelationshipInfo, ReplicationRole, ReplicationStatus, Request,
+    Response, SchemaSummary, Update,
 };
-pub use server::{SeedServer, ServerHandle, DEFAULT_HEALTH_LAG_BUDGET};
+pub use server::{Promoter, SeedServer, ServerHandle, DEFAULT_HEALTH_LAG_BUDGET};

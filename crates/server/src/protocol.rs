@@ -431,6 +431,19 @@ pub enum Request {
     Stats,
     /// Liveness/readiness probe ([`HealthStatus`]).
     Health,
+    /// Change this node's place in the replication topology (see `docs/OPERATIONS.md` §7).
+    ///
+    /// Sent to a **replica**, it orders the node to finish applying its shipped tail and take
+    /// over as primary under topology epoch `epoch`.  Sent to the **old primary**, it fences the
+    /// node: the epoch is compared against the node's current epoch (a compare-and-swap — the
+    /// arbitration point when two promotions race) and, if newer, the node persistently refuses
+    /// all further writes with [`crate::error::ServerError::Fenced`] pointing at `new_primary`.
+    Promote {
+        /// The topology epoch of this promotion; must exceed the node's current epoch.
+        epoch: u64,
+        /// Address of the node taking over as primary.
+        new_primary: String,
+    },
 }
 
 impl Request {
@@ -469,6 +482,7 @@ impl Request {
             Request::Shutdown => "shutdown",
             Request::Stats => "stats",
             Request::Health => "health",
+            Request::Promote { .. } => "promote",
         }
     }
 
@@ -494,6 +508,7 @@ impl Request {
         "shutdown",
         "stats",
         "health",
+        "promote",
     ];
 }
 
@@ -531,6 +546,19 @@ pub enum Response {
     Stats(seed_obs::RegistrySnapshot),
     /// Reply to [`Request::Health`].
     Health(HealthStatus),
+    /// Reply to [`Request::Promote`]: the accepted topology epoch and the node's durable end of
+    /// log at the moment the promotion took effect (on a fenced primary: the last LSN it will
+    /// ever write — the new primary must have applied at least this far for zero data loss).
+    Promoted(Result<PromotionReceipt, crate::error::ServerError>),
+}
+
+/// The payload of [`Response::Promoted`]: proof of where the node stood when it changed roles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromotionReceipt {
+    /// The topology epoch now in force on the node.
+    pub epoch: u64,
+    /// The node's durable end of log at the role change.
+    pub last_lsn: u64,
 }
 
 #[cfg(test)]

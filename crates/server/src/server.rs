@@ -18,9 +18,19 @@ use crate::error::{ServerError, ServerResult};
 use crate::lock::LockTable;
 use crate::protocol::{
     AssociationSummary, CheckoutSet, ClassSummary, ClientId, HealthStatus, PersistenceStatus,
-    QueryAnswer, RelationshipInfo, ReplicationRole, ReplicationStatus, Request, Response,
-    SchemaSummary, Update,
+    PromotionReceipt, QueryAnswer, RelationshipInfo, ReplicationRole, ReplicationStatus, Request,
+    Response, SchemaSummary, Update,
 };
+
+/// The replica-side half of a controlled promotion, implemented by the replication driver
+/// (`seed-net`'s `ReplicaNode`): fence the old primary, finish applying the shipped tail, flip
+/// the replica store to a durable primary and install it on the server.  [`SeedServer`] holds a
+/// registered promoter so [`Request::Promote`] can reach the driver through the protocol.
+pub trait Promoter: Send + Sync {
+    /// Carries out the promotion under topology epoch `epoch`; `new_primary` is the address
+    /// this node will serve from (what fenced peers and redirected clients are told).
+    fn promote(&self, epoch: u64, new_primary: &str) -> ServerResult<PromotionReceipt>;
+}
 
 /// Default replica readiness budget: a replica more than this many log records behind the
 /// primary reports not-ready ([`SeedServer::health`]).
@@ -69,6 +79,13 @@ pub struct SeedServer {
     /// `Some(primary address)` turns this server into a read-only replica: every write surface
     /// answers [`ServerError::ReadOnlyReplica`] redirecting the client to the primary.
     read_only: Mutex<Option<String>>,
+    /// `Some((new primary, epoch))` after this primary was fenced by a promotion: every write
+    /// surface answers [`ServerError::Fenced`].  Mirrors the state persisted in the database
+    /// meta (so fencing survives a restart); the authoritative compare-and-swap happens under
+    /// the database write lock in [`SeedServer::fence`].
+    fenced: Mutex<Option<(String, u64)>>,
+    /// The replica-side promotion driver, registered by the network layer ([`Promoter`]).
+    promoter: Mutex<Option<Arc<dyn Promoter>>>,
     /// Primary side of replication: last acknowledged LSN per connected subscriber.
     replica_acks: Mutex<HashMap<ClientId, u64>>,
     /// Recently disconnected subscribers' last acks: their cursors keep pinning WAL retention
@@ -90,6 +107,8 @@ impl SeedServer {
     /// Creates a server around an existing database.
     pub fn new(mut db: Database) -> Self {
         let snapshots = SnapshotCell::new(&mut db);
+        // A fenced primary stays fenced across restarts: the fence was persisted to meta.
+        let fenced = db.fenced_to().map(|p| (p.to_string(), db.topology_epoch()));
         Self {
             db: RwLock::new(db),
             snapshots,
@@ -98,6 +117,8 @@ impl SeedServer {
             sessions: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(1),
             read_only: Mutex::new(None),
+            fenced: Mutex::new(fenced),
+            promoter: Mutex::new(None),
             replica_acks: Mutex::new(HashMap::new()),
             retired_acks: Mutex::new(HashMap::new()),
             replica_progress: Mutex::new(None),
@@ -122,10 +143,98 @@ impl SeedServer {
     }
 
     fn guard_writable(&self) -> ServerResult<()> {
+        if let Some((new_primary, epoch)) = &*self.fenced.lock() {
+            return Err(ServerError::Fenced { new_primary: new_primary.clone(), epoch: *epoch });
+        }
         match &*self.read_only.lock() {
             Some(primary) => Err(ServerError::ReadOnlyReplica { primary: primary.clone() }),
             None => Ok(()),
         }
+    }
+
+    /// Re-checks fencing **after** the database write lock is held: [`SeedServer::fence`]
+    /// persists under the same lock, so a check-in that raced past [`guard_writable`] while a
+    /// fence was landing still loses here — a fenced node never commits another write.
+    fn guard_unfenced(db: &Database) -> ServerResult<()> {
+        match db.fenced_to() {
+            Some(new_primary) => Err(ServerError::Fenced {
+                new_primary: new_primary.to_string(),
+                epoch: db.topology_epoch(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    // ----- promotion and fencing ----------------------------------------------------------------
+
+    /// The topology epoch this node currently serves under (bumped by every promotion).
+    pub fn topology_epoch(&self) -> u64 {
+        self.db.read().topology_epoch()
+    }
+
+    /// `Some((new primary, epoch))` when this node was fenced by a promotion.
+    pub fn fenced_state(&self) -> Option<(String, u64)> {
+        self.fenced.lock().clone()
+    }
+
+    /// Registers the replica-side promotion driver ([`Promoter`]); the network layer installs
+    /// its `ReplicaNode` here so [`Request::Promote`] can reach it.
+    pub fn set_promoter(&self, promoter: Arc<dyn Promoter>) {
+        *self.promoter.lock() = Some(promoter);
+    }
+
+    /// Handles [`Request::Promote`], role-dependent:
+    ///
+    /// * on a **replica**, delegates to the registered [`Promoter`] — drain the shipped tail,
+    ///   flip the store, take over as primary;
+    /// * on a **primary**, the promotion happened elsewhere: [`SeedServer::fence`] this node.
+    pub fn promote(&self, epoch: u64, new_primary: &str) -> ServerResult<PromotionReceipt> {
+        if self.read_only.lock().is_none() {
+            return self.fence(epoch, new_primary);
+        }
+        let promoter = self.promoter.lock().clone();
+        match promoter {
+            Some(driver) => driver.promote(epoch, new_primary),
+            None => Err(ServerError::Protocol(
+                "no promotion driver is registered on this replica".to_string(),
+            )),
+        }
+    }
+
+    /// Fences this primary: persistently refuses all further writes, redirecting clients to
+    /// `new_primary`.  The epoch comparison under the database write lock is the arbitration
+    /// point when two promotions race — exactly one fence (the first to take the lock with a
+    /// newer epoch) wins; the loser is told who won.  Returns the node's durable end of log:
+    /// the last LSN it will ever write, which the new primary must have applied for zero loss.
+    pub fn fence(&self, epoch: u64, new_primary: &str) -> ServerResult<PromotionReceipt> {
+        let mut db = self.db.write();
+        let current = db.topology_epoch();
+        if epoch <= current {
+            return Err(match db.fenced_to() {
+                Some(winner) => {
+                    ServerError::Fenced { new_primary: winner.to_string(), epoch: current }
+                }
+                None => ServerError::Protocol(format!(
+                    "stale promotion epoch {epoch}: this node is already at epoch {current}"
+                )),
+            });
+        }
+        db.persist_topology(epoch, Some(new_primary.to_string())).map_err(ServerError::Rejected)?;
+        *self.fenced.lock() = Some((new_primary.to_string(), epoch));
+        Ok(PromotionReceipt { epoch, last_lsn: db.durable_lsn().unwrap_or(0) })
+    }
+
+    /// Installs a freshly promoted database as this node's primary state (the last step of the
+    /// replica-side promotion): swaps the served database in, clears the replica role and
+    /// progress, and publishes a snapshot.  Readers see the replica state or the primary state,
+    /// never in between.
+    pub fn install_primary(&self, db: Database) {
+        let mut slot = self.db.write();
+        *slot = db;
+        *self.read_only.lock() = None;
+        *self.replica_progress.lock() = None;
+        *self.fenced.lock() = None;
+        self.snapshots.publish(&mut slot);
     }
 
     /// Replaces the served database wholesale and publishes a fresh snapshot (the replica
@@ -319,6 +428,17 @@ impl SeedServer {
         let snapshot = self.snapshots.read();
         let status = self.replication_status(&snapshot).unwrap_or_default();
         let lag_budget = self.health_lag_budget.load(Ordering::SeqCst);
+        // A fenced node is alive but permanently not-ready: it answers probes (so operators
+        // can see the fence) yet must never attract traffic again.
+        if let Some((new_primary, epoch)) = self.fenced_state() {
+            return HealthStatus {
+                ready: false,
+                role: ReplicationRole::Primary,
+                lag: 0,
+                lag_budget,
+                detail: format!("fenced at epoch {epoch}; the primary is now at {new_primary}"),
+            };
+        }
         match status.role {
             ReplicationRole::Replica => {
                 let lag = status.lag();
@@ -663,6 +783,7 @@ impl SeedServer {
         self.guard_writable()?;
         self.touch(client);
         let mut db = self.db.write();
+        Self::guard_unfenced(&db)?;
         let locks = self.locks.lock();
 
         // Lock discipline: every touched existing object must be checked out by this client.
@@ -799,6 +920,7 @@ impl SeedServer {
     pub fn create_version(&self, comment: &str) -> ServerResult<VersionId> {
         self.guard_writable()?;
         let mut db = self.db.write();
+        Self::guard_unfenced(&db)?;
         let version = db.create_version(comment).map_err(ServerError::Rejected)?;
         self.snapshots.publish(&mut db);
         Ok(version)
@@ -869,6 +991,9 @@ impl SeedServer {
             Request::Shutdown => Response::ShuttingDown,
             Request::Stats => Response::Stats(seed_obs::global().snapshot()),
             Request::Health => Response::Health(self.health()),
+            Request::Promote { epoch, new_primary } => {
+                Response::Promoted(self.promote(epoch, &new_primary))
+            }
         }
     }
 
@@ -1365,6 +1490,96 @@ mod tests {
         let tail = server.with_database(|db| db.wal_tail(cursor + 1).unwrap());
         assert!(matches!(tail, WalTail::Truncated { .. }), "released pin must prune, got {tail:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fencing_rejects_writes_survives_restart_and_arbitrates_races() {
+        let dir = temp_dir("fence");
+        {
+            let server = SeedServer::create_durable(&dir, figure3_schema()).unwrap();
+            let client = server.connect();
+            server
+                .checkin(
+                    client,
+                    &[Update::CreateObject { class: "Data".into(), name: "Before".into() }],
+                )
+                .unwrap();
+            assert_eq!(server.topology_epoch(), 0);
+            assert!(server.fenced_state().is_none());
+
+            // The first promotion with a newer epoch fences the node.
+            let receipt = server.promote(1, "10.0.0.2:7044").unwrap();
+            assert_eq!(receipt.epoch, 1);
+            assert!(receipt.last_lsn > 0, "a durable primary reports its end of log");
+            assert_eq!(server.fenced_state(), Some(("10.0.0.2:7044".to_string(), 1)));
+
+            // A racing promotion (same or older epoch) loses and is told who won.
+            match server.promote(1, "10.0.0.3:7044").unwrap_err() {
+                ServerError::Fenced { new_primary, epoch } => {
+                    assert_eq!(new_primary, "10.0.0.2:7044");
+                    assert_eq!(epoch, 1);
+                }
+                other => panic!("expected Fenced, got {other:?}"),
+            }
+
+            // Every write surface refuses; the read surface keeps serving.
+            for err in [
+                server.checkout(client, &["Before"]).unwrap_err(),
+                server.checkin(client, &[]).unwrap_err(),
+                server.create_version("nope").unwrap_err(),
+            ] {
+                assert!(matches!(err, ServerError::Fenced { .. }), "got {err:?}");
+            }
+            assert!(server.retrieve("Before").is_ok());
+
+            // Health: alive, permanently not-ready, still reporting as a (fenced) primary.
+            let health = server.health();
+            assert!(!health.ready);
+            assert_eq!(health.role, ReplicationRole::Primary);
+            assert!(health.detail.contains("fenced at epoch 1"), "got: {}", health.detail);
+            // Crash without checkpoint: the fence must already be durable.
+        }
+        let server = SeedServer::open_durable(&dir).unwrap();
+        assert_eq!(server.fenced_state(), Some(("10.0.0.2:7044".to_string(), 1)));
+        assert_eq!(server.topology_epoch(), 1);
+        let client = server.connect();
+        assert!(matches!(server.checkin(client, &[]).unwrap_err(), ServerError::Fenced { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_on_a_replica_needs_a_registered_driver() {
+        let server = server_with_data();
+        server.set_read_only("primary.example:7044");
+        assert!(matches!(server.promote(1, "replica.example:7044"), Err(ServerError::Protocol(_))));
+
+        struct FakeDriver;
+        impl Promoter for FakeDriver {
+            fn promote(&self, epoch: u64, _new_primary: &str) -> ServerResult<PromotionReceipt> {
+                Ok(PromotionReceipt { epoch, last_lsn: 42 })
+            }
+        }
+        server.set_promoter(Arc::new(FakeDriver));
+        let receipt = server.promote(2, "replica.example:7044").unwrap();
+        assert_eq!(receipt, PromotionReceipt { epoch: 2, last_lsn: 42 });
+    }
+
+    #[test]
+    fn install_primary_clears_the_replica_role_atomically() {
+        let server = server_with_data();
+        server.set_read_only("old-primary:7044");
+        server.set_replica_progress(10, 10);
+        let mut promoted = Database::new(figure3_schema());
+        promoted.create_object("Data", "PostPromotion").unwrap();
+        server.install_primary(promoted);
+        assert!(server.read_only_primary().is_none());
+        assert!(server.retrieve("PostPromotion").is_ok());
+        let replication = server.persistence_status().replication.expect("primary reports");
+        assert_eq!(replication.role, ReplicationRole::Primary);
+        let client = server.connect();
+        server
+            .checkin(client, &[Update::CreateObject { class: "Data".into(), name: "New".into() }])
+            .unwrap();
     }
 
     #[test]

@@ -326,6 +326,18 @@ impl StorageEngine {
         self.commit(txn)
     }
 
+    /// Reads a little-endian `u64` cell stored under `key` — the shape of the durable
+    /// single-value bookkeeping keys layered on the engine (a replica's applied-LSN cursor,
+    /// a node's topology epoch).  Returns `default` when the key is absent or its value is
+    /// not exactly eight bytes (a foreign key reused for a cell is treated as unset, not as
+    /// corruption — the callers' recovery paths handle "unset" conservatively).
+    pub fn get_u64_cell(&self, key: &[u8], default: u64) -> StorageResult<u64> {
+        Ok(self
+            .get(key)?
+            .and_then(|bytes| <[u8; 8]>::try_from(bytes.as_slice()).ok().map(u64::from_le_bytes))
+            .unwrap_or(default))
+    }
+
     /// Reads the value stored under `key`.
     pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
         let inner = self.inner.lock();
@@ -621,6 +633,16 @@ mod tests {
         assert_eq!(engine.get(b"obj/Alarms").unwrap(), None);
         assert!(!engine.contains(b"obj/Alarms").unwrap());
         assert!(engine.contains(b"obj/AlarmHandler").unwrap());
+    }
+
+    #[test]
+    fn u64_cell_reads_defaults_and_round_trips() {
+        let engine = StorageEngine::in_memory().unwrap();
+        assert_eq!(engine.get_u64_cell(b"repl/applied", 0).unwrap(), 0, "absent reads default");
+        engine.put(b"repl/applied", &42u64.to_le_bytes()).unwrap();
+        assert_eq!(engine.get_u64_cell(b"repl/applied", 0).unwrap(), 42);
+        engine.put(b"repl/applied", b"not eight bytes").unwrap();
+        assert_eq!(engine.get_u64_cell(b"repl/applied", 7).unwrap(), 7, "bad shape reads default");
     }
 
     #[test]

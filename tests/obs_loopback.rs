@@ -105,6 +105,62 @@ fn stats_and_health_round_trip_with_consistent_counters_after_a_mixed_workload()
 }
 
 #[test]
+fn failover_flips_health_and_resets_the_ack_lag_gauge() {
+    if !seed::obs::recording_compiled_in() {
+        return; // compiled with seed-obs/off: gauges and health detail are not recorded
+    }
+    let primary_dir = temp_dir("fo-primary");
+    let replica_dir = temp_dir("fo-replica");
+    let db = Database::create_durable(&primary_dir, figure3_schema()).unwrap();
+    let primary = SeedNetServer::bind(SeedServer::new(db), "127.0.0.1:0").unwrap();
+    let old_addr = primary.local_addr();
+    let replica = ReplicaNode::start(&replica_dir, old_addr, "127.0.0.1:0").unwrap();
+    let new_addr = replica.local_addr();
+
+    let mut client = RemoteClient::connect(old_addr).unwrap();
+    client
+        .checkin(vec![Update::CreateObject { class: "Data".into(), name: "Alarms".into() }])
+        .unwrap();
+    let target = primary.core().with_database(|db| db.durable_lsn().unwrap());
+    assert!(replica.wait_for_lsn(target, Duration::from_secs(10)), "replica lagged out");
+
+    // Before the failover both nodes are ready in their respective roles.
+    let mut replica_client = RemoteClient::connect(new_addr).unwrap();
+    assert!(client.health().unwrap().ready);
+    assert!(replica_client.health().unwrap().ready);
+
+    // The gauge is registered by name (names are the identity), so this writes to the very
+    // gauge the replication layer owns.  A caught-up replica already reports 0; planting a
+    // stale value is the deterministic way to observe the promotion path's explicit reset.
+    seed::obs::global().gauge("repl_ack_lag").set(7);
+
+    let receipt = replica_client.promote(1, &new_addr.to_string()).unwrap();
+    assert_eq!(receipt.epoch, 1);
+
+    // Promotion resets the ack-lag gauge: the node no longer trails anyone.
+    assert_eq!(
+        seed::obs::global().snapshot().gauge("repl_ack_lag"),
+        Some(0),
+        "promotion must reset repl_ack_lag"
+    );
+
+    // Health flips: the fenced old primary answers (liveness) but is no longer ready, and its
+    // detail names the fencing epoch; the promoted node reports a ready primary.
+    let fenced = client.health().unwrap();
+    assert!(!fenced.ready, "a fenced node must not report ready: {}", fenced.detail);
+    assert!(fenced.detail.contains("fenced at epoch 1"), "detail: {}", fenced.detail);
+    let promoted = replica_client.health().unwrap();
+    assert!(promoted.ready, "the promoted node must be ready: {}", promoted.detail);
+    assert_eq!(promoted.role, ReplicationRole::Primary);
+    assert_eq!(promoted.lag, 0, "a primary never lags itself");
+
+    replica.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+#[test]
 fn slow_operations_land_in_the_event_ring_with_query_text() {
     if !seed::obs::recording_compiled_in() {
         return;

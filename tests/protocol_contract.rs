@@ -132,6 +132,7 @@ fn request_tags_match_the_table() {
         (Request::Shutdown, 16),
         (Request::Stats, 17),
         (Request::Health, 18),
+        (Request::Promote { epoch: 1, new_primary: "X".into() }, 19),
     ];
     for (request, tag) in cases {
         assert_eq!(encode_request(&request)[0], tag, "{request:?}");
@@ -158,6 +159,7 @@ fn response_and_error_tags_match_the_tables() {
         (Response::ShuttingDown, 12),
         (Response::Stats(Default::default()), 13),
         (Response::Health(Default::default()), 14),
+        (Response::Promoted(Err(err())), 15),
     ];
     for (response, tag) in cases {
         assert_eq!(encode_response(&response)[0], tag, "{response:?}");
@@ -173,6 +175,7 @@ fn response_and_error_tags_match_the_tables() {
         (ServerError::Transport("gone".into()), 6),
         (ServerError::Protocol("bad frame".into()), 7),
         (ServerError::ReadOnlyReplica { primary: "127.0.0.1:7044".into() }, 8),
+        (ServerError::Fenced { new_primary: "127.0.0.1:7044".into(), epoch: 1 }, 9),
     ];
     for (error, tag) in errors {
         let bytes = encode_response(&Response::Error(error));
@@ -188,6 +191,50 @@ fn response_and_error_tags_match_the_tables() {
         }
         other => panic!("unexpected decode: {other:?}"),
     }
+    // The fencing error round-trips with the new primary and the epoch intact.
+    let bytes = encode_response(&Response::Error(ServerError::Fenced {
+        new_primary: "10.0.0.9:7044".into(),
+        epoch: 7,
+    }));
+    match seed::net::codec::decode_response(&bytes).unwrap() {
+        Response::Error(ServerError::Fenced { new_primary, epoch }) => {
+            assert_eq!(new_primary, "10.0.0.9:7044");
+            assert_eq!(epoch, 7);
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
+}
+
+#[test]
+fn promotion_frames_render_exactly_as_documented() {
+    // §5: the v3 failover frames, byte-exact.  `Promote` carries the epoch then the advertised
+    // address of the node being promoted; `Promoted` wraps the receipt in the usual result
+    // encoding; `Fenced` reaches clients as error tag 9 under a `Response::Error` (tag 11).
+    use seed::net::codec::{decode_request, decode_response, encode_request, encode_response};
+    use seed::server::PromotionReceipt;
+    let promote = Request::Promote { epoch: 7, new_primary: "10.0.0.9:1".into() };
+    let payload = encode_request(&promote);
+    assert_eq!(hex(&payload), "13 07 00 00 00 00 00 00 00 0a 31 30 2e 30 2e 30 2e 39 3a 31");
+    match decode_request(&payload).unwrap() {
+        Request::Promote { epoch, new_primary } => {
+            assert_eq!(epoch, 7);
+            assert_eq!(new_primary, "10.0.0.9:1");
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
+
+    let receipt = PromotionReceipt { epoch: 7, last_lsn: 46 };
+    let payload = encode_response(&Response::Promoted(Ok(receipt)));
+    assert_eq!(hex(&payload), "0f 01 07 00 00 00 00 00 00 00 2e 00 00 00 00 00 00 00");
+    match decode_response(&payload).unwrap() {
+        Response::Promoted(Ok(decoded)) => assert_eq!(decoded, receipt),
+        other => panic!("unexpected decode: {other:?}"),
+    }
+
+    let fenced =
+        Response::Error(ServerError::Fenced { new_primary: "10.0.0.9:1".into(), epoch: 7 });
+    let payload = encode_response(&fenced);
+    assert_eq!(hex(&payload), "0b 09 0a 31 30 2e 30 2e 30 2e 39 3a 31 07 00 00 00 00 00 00 00");
 }
 
 #[test]
@@ -248,6 +295,41 @@ fn old_sessions_never_see_newer_additions() {
             assert!(message.contains("10.0.0.9:1"), "the primary is still named: {message}");
         }
         other => panic!("unexpected decode: {other:?}"),
+    }
+    // The fencing error (tag 9, v3-era) takes the same degrade on every pre-v3 session; the
+    // text still names the new primary and the epoch, so even an old client can follow it.
+    let fenced =
+        Response::Error(ServerError::Fenced { new_primary: "10.0.0.9:1".into(), epoch: 7 });
+    for version in [1u16, 2] {
+        let bytes = encode_response_versioned(&fenced, version);
+        assert_eq!(bytes[1], 7, "tag 9 must not reach a v{version} peer");
+        match decode_response(&bytes).unwrap() {
+            Response::Error(ServerError::Protocol(message)) => {
+                assert!(
+                    message.contains("10.0.0.9:1") && message.contains("epoch 7"),
+                    "new primary and epoch still named: {message}"
+                );
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+    assert_eq!(encode_response_versioned(&fenced, 3)[1], 9, "a v3 peer gets the structured tag");
+    // Append-only discipline: everything that existed before v3 still encodes byte-identically
+    // on every negotiated session version — new frames extend the protocol, never reshape it.
+    let stable: Vec<Response> = vec![
+        Response::Connected(9),
+        Response::Ack(Ok(())),
+        Response::Error(ServerError::Disconnected),
+        Response::Error(ServerError::Locked { object: "X".into(), holder: 1 }),
+        Response::ShuttingDown,
+        Response::Count(Ok(3)),
+    ];
+    for response in stable {
+        let v1 = encode_response_versioned(&response, 1);
+        let v2 = encode_response_versioned(&response, 2);
+        let v3 = encode_response_versioned(&response, 3);
+        assert_eq!(v1, v2, "{response:?} must be version-stable");
+        assert_eq!(v2, v3, "{response:?} must be version-stable");
     }
 }
 
